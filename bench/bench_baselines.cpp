@@ -1,0 +1,108 @@
+// Related-work comparison (paper S VII): refresh savings and VRT
+// robustness of MECC versus RAIDR-style retention-aware multirate
+// refresh and Flikker-style critical-data partitioning.
+//
+// Paper's qualitative claims, reproduced quantitatively here:
+//  * Flikker's savings are Amdahl-limited by the critical region
+//    (1/4 critical -> effective rate ~1/3, vs MECC's 1/16).
+//  * Retention-profiling schemes cannot reach a 1 s period on this
+//    technology (the weakest cell of a 16 KB row essentially never
+//    retains 2 s) and are vulnerable to VRT; MECC tolerates random
+//    failures by construction.
+#include <cstdio>
+
+#include "baselines/hiecc.h"
+#include "baselines/raidr.h"
+#include "bench_util.h"
+#include "mecc/memory_image.h"
+#include "reliability/retention_model.h"
+
+int main() {
+  using namespace mecc;
+  using namespace mecc::baselines;
+
+  bench::print_banner("Related-work comparison: MECC vs RAIDR vs Flikker",
+                      "refresh reduction in idle mode + VRT robustness");
+
+  const reliability::RetentionModel retention;
+  RaidrConfig rc;
+  Raidr raidr(rc);
+  Rng rng(11);
+  const RaidrProfile profile = raidr.profile(retention, rng);
+
+  TextTable t({"scheme", "mechanism", "refresh reduction", "needs sw changes",
+               "VRT-safe"});
+  t.add_row({"Baseline", "64 ms everywhere", "1.0x", "no", "yes"});
+  t.add_row({"Flikker (1/4 critical)", "partition + slow non-critical",
+             TextTable::num(
+                 1.0 / flikker_effective_refresh_rate(0.25, 16.0), 1) + "x",
+             "YES (programmer)", "no"});
+  t.add_row({"RAIDR-style (profiled bins)", "multirate by row retention",
+             TextTable::num(profile.refresh_reduction(rc), 1) + "x", "no",
+             "NO"});
+  t.add_row({"MECC (idle)", "ECC-6 + 1 s self-refresh", "15.6x", "no",
+             "yes"});
+  t.print("Idle-mode refresh reduction");
+
+  std::printf("\nRAIDR bin occupancy (64 ms / 256 ms / 1 s): "
+              "%llu / %llu / %llu rows\n",
+              static_cast<unsigned long long>(profile.rows_per_bin[0]),
+              static_cast<unsigned long long>(profile.rows_per_bin[1]),
+              static_cast<unsigned long long>(profile.rows_per_bin[2]));
+  std::printf("-> on this 60 nm retention curve, profiling alone cannot"
+              " reach the 1 s bin; ECC is required.\n");
+
+  // VRT: cells that flip to a low-retention state after profiling.
+  bench::print_banner("Variable Retention Time exposure",
+                      "expected corrupted rows after profiling");
+  TextTable v({"VRT rate (per cell)", "RAIDR victim rows (expected)",
+               "MECC victim lines"});
+  for (double rate : {1e-12, 1e-10, 1e-9, 1e-8}) {
+    // MECC: a VRT cell is just one more random bad bit; ECC-6 absorbs it
+    // unless the line already carries 6 errors (probability ~1e-16/line,
+    // Table I) - effectively zero.
+    v.add_row({TextTable::sci(rate),
+               TextTable::num(raidr.expected_vrt_victim_rows(profile, rate),
+                              2),
+               "~0 (absorbed by ECC-6)"});
+  }
+  v.print("Post-profiling retention surprises");
+
+  // Demonstrate MECC absorbing a VRT event at the bit level.
+  morph::MemoryImage img(64);
+  Rng drng(3);
+  BitVec data(morph::kDataBits);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.set(i, drng.chance(0.5));
+  }
+  img.write_line(7, data, morph::LineMode::kStrong);
+  reliability::FaultInjector fi(4);
+  (void)img.inject_retention_errors(3.16e-5, fi);  // idle period at 1 s
+  img.flip_stored_bit(7, 123);  // the VRT cell: one extra surprise bit
+  const auto out = img.read_line(7, true);
+  std::printf("\nBit-level check: strong line with idle-period errors + a"
+              " VRT surprise decodes %s.\n",
+              (out.has_value() && *out == data) ? "intact" : "CORRUPTED");
+
+  // Hi-ECC (S VII-C): coarse-granularity strong ECC trades storage for
+  // overfetch and read-modify-write traffic.
+  bench::print_banner("Hi-ECC granularity trade-off (S VII-C)",
+                      "parity storage vs per-64B-access traffic");
+  TextTable h({"granularity", "parity bits", "storage overhead",
+               "read overfetch", "write amplification"});
+  for (std::size_t block : {64u, 256u, 1024u, 4096u}) {
+    const auto c = strong_ecc_granularity(block, 6);
+    h.add_row({std::to_string(block) + " B (t=6)",
+               std::to_string(c.parity_bits),
+               TextTable::pct(c.storage_overhead, 1).substr(1),
+               TextTable::num(c.read_overfetch, 0) + "x",
+               TextTable::num(c.write_amplification, 0) + "x"});
+  }
+  h.print("Strong-ECC protection granularity");
+  std::printf("\nMECC stays at 64 B: zero extra storage (the code lives in"
+              " the existing (72,64) spare bits) and no overfetch; Hi-ECC's"
+              " 1 KB blocks save parity but move 16-32x the data per"
+              " access, and its line-disable trick would punch holes in"
+              " main memory.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Google-benchmark microbenchmarks for the real ECC codecs (supports the
+// S III-E latency/area discussion): SECDED and BCH-t encode/decode
+// throughput, with and without injected errors.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ecc/bch.h"
+#include "ecc/secded.h"
+#include "mecc/line_codec.h"
+#include "reliability/fault_injection.h"
+
+namespace {
+
+using namespace mecc;
+
+BitVec random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.chance(0.5));
+  return v;
+}
+
+void BM_SecdedEncode64(benchmark::State& state) {
+  const ecc::Secded code(64);
+  const BitVec d = random_bits(64, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(d));
+  }
+}
+BENCHMARK(BM_SecdedEncode64);
+
+void BM_SecdedDecodeClean64(benchmark::State& state) {
+  const ecc::Secded code(64);
+  const BitVec cw = code.encode(random_bits(64, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(cw));
+  }
+}
+BENCHMARK(BM_SecdedDecodeClean64);
+
+void BM_SecdedEncode512(benchmark::State& state) {
+  const ecc::Secded code(512);
+  const BitVec d = random_bits(512, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(d));
+  }
+}
+BENCHMARK(BM_SecdedEncode512);
+
+void BM_SecdedDecodeOneError512(benchmark::State& state) {
+  const ecc::Secded code(512);
+  BitVec cw = code.encode(random_bits(512, 4));
+  cw.flip(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(cw));
+  }
+}
+BENCHMARK(BM_SecdedDecodeOneError512);
+
+void BM_BchEncode(benchmark::State& state) {
+  const ecc::Bch code(10, static_cast<std::size_t>(state.range(0)), 512);
+  const BitVec d = random_bits(512, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(d));
+  }
+}
+BENCHMARK(BM_BchEncode)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_BchDecodeClean(benchmark::State& state) {
+  const ecc::Bch code(10, static_cast<std::size_t>(state.range(0)), 512);
+  const BitVec cw = code.encode(random_bits(512, 6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(cw));
+  }
+}
+BENCHMARK(BM_BchDecodeClean)->Arg(1)->Arg(6);
+
+void BM_BchDecodeWithErrors(benchmark::State& state) {
+  // Full Berlekamp-Massey + Chien search path at t errors.
+  const std::size_t nerr = static_cast<std::size_t>(state.range(0));
+  const ecc::Bch code(10, 6, 512);
+  BitVec cw = code.encode(random_bits(512, 7));
+  reliability::FaultInjector fi(8);
+  fi.inject_exact(cw, nerr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(cw));
+  }
+}
+BENCHMARK(BM_BchDecodeWithErrors)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_LineCodecStoreStrong(benchmark::State& state) {
+  const morph::LineCodec codec;
+  const BitVec d = random_bits(512, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.store(d, morph::LineMode::kStrong));
+  }
+}
+BENCHMARK(BM_LineCodecStoreStrong);
+
+void BM_LineCodecLoadTrialDecode(benchmark::State& state) {
+  // Worst case: mode replicas split 2-2, forcing trial decoding.
+  const morph::LineCodec codec;
+  BitVec stored = codec.store(random_bits(512, 10), morph::LineMode::kStrong);
+  stored.flip(512);
+  stored.flip(513);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.load(stored));
+  }
+}
+BENCHMARK(BM_LineCodecLoadTrialDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Regenerates Fig. 2: cumulative bit-failure probability vs retention
+// time (60 nm DRAM, derived from Kim & Lee), and derived operating
+// points used throughout the paper.
+#include <cstdio>
+#include <cmath>
+
+#include "bench_util.h"
+#include "reliability/retention_model.h"
+
+int main() {
+  using namespace mecc;
+  using namespace mecc::reliability;
+
+  bench::print_banner("Fig. 2: DRAM retention-time distribution",
+                      "bit failure probability vs retention time (log-log)");
+
+  const RetentionModel model;
+  TextTable t({"retention (s)", "bit failure prob", "log10", ""});
+  for (double s : {0.01, 0.032, 0.064, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0,
+                   100.0}) {
+    const double p = model.bit_failure_probability(s);
+    t.add_row({TextTable::num(s, 3), TextTable::sci(p),
+               TextTable::num(std::log10(std::max(p, 1e-300)), 2),
+               ascii_bar(9.0 + std::log10(std::max(p, 1e-12)), 12.0, 24)});
+  }
+  t.print("Cumulative failure probability");
+
+  std::printf("\nDerived operating points:\n");
+  std::printf("  BER at 64 ms (JEDEC)     : %.2e  (paper: ~1e-9)\n",
+              model.bit_failure_probability(0.064));
+  std::printf("  BER at 1 s (MECC idle)   : %.2e  (paper: 10^-4.5)\n",
+              model.bit_failure_probability(1.0));
+  const double bits_1gb = 1024.0 * 1024.0 * 1024.0;
+  std::printf("  Expected failing bits/1Gb: %.0f  (paper: ~32K)\n",
+              bits_1gb * model.bit_failure_probability(1.0));
+  std::printf("  Expected failing bits/1GB: %.0f  (paper: ~256K)\n",
+              8.0 * bits_1gb * model.bit_failure_probability(1.0));
+  return 0;
+}

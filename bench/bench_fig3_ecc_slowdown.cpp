@@ -1,0 +1,62 @@
+// Regenerates Fig. 3: normalized IPC of SECDED and ECC-6 versus a
+// no-error-correction baseline, grouped by MPKI class.
+//
+// Paper: SECDED is within ~0.5% everywhere; ECC-6 loses up to ~21%
+// (libquantum) and ~10% on average, concentrated in the high-MPKI class.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mecc;
+  using namespace mecc::sim;
+
+  const SimOptions opts = parse_options(argc, argv, 20'000'000);
+  const SystemConfig cfg = bench::scaled_config(opts);
+
+  bench::print_banner("Fig. 3: performance impact of ECC decode latency",
+                      "normalized IPC by MPKI class, SECDED vs ECC-6");
+  std::printf("slice: %llu instructions (1/%.0f of the paper's 4B)\n",
+              static_cast<unsigned long long>(cfg.instructions),
+              4e9 / static_cast<double>(cfg.instructions));
+
+  const auto base = bench::run_suite_map(EccPolicy::kNoEcc, cfg);
+  const auto secded = bench::run_suite_map(EccPolicy::kSecded, cfg);
+  const auto ecc6 = bench::run_suite_map(EccPolicy::kEcc6, cfg);
+
+  std::map<std::string, double> n_secded;
+  std::map<std::string, double> n_ecc6;
+  for (const auto& [name, r] : base) {
+    n_secded[name] = secded.at(name).ipc / r.ipc;
+    n_ecc6[name] = ecc6.at(name).ipc / r.ipc;
+  }
+  const auto s_sec = bench::summarize_by_class(n_secded);
+  const auto s_e6 = bench::summarize_by_class(n_ecc6);
+
+  TextTable t({"class", "SECDED norm IPC", "ECC-6 norm IPC", "paper"});
+  t.add_row({"Low-MPKI", TextTable::num(s_sec.low), TextTable::num(s_e6.low),
+             "ECC-6 ~1.00"});
+  t.add_row({"Med-MPKI", TextTable::num(s_sec.med), TextTable::num(s_e6.med),
+             "ECC-6 degraded"});
+  t.add_row({"High-MPKI", TextTable::num(s_sec.high),
+             TextTable::num(s_e6.high), "ECC-6 worst"});
+  t.add_row({"ALL (geomean)", TextTable::num(s_sec.all),
+             TextTable::num(s_e6.all), "SECDED ~0.995, ECC-6 ~0.90"});
+  t.print("Normalized IPC (baseline = no error correction)");
+
+  std::printf("\nSECDED average slowdown: %s (paper: ~0.5%%)\n",
+              TextTable::pct(s_sec.all - 1.0).c_str());
+  std::printf("ECC-6  average slowdown: %s (paper: ~10%%, worst ~21%%)\n",
+              TextTable::pct(s_e6.all - 1.0).c_str());
+  double worst = 1.0;
+  std::string worst_name;
+  for (const auto& [name, v] : n_ecc6) {
+    if (v < worst) {
+      worst = v;
+      worst_name = name;
+    }
+  }
+  std::printf("ECC-6  worst slowdown  : %s (%s)\n",
+              TextTable::pct(worst - 1.0).c_str(), worst_name.c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Regenerates Fig. 7: per-benchmark normalized IPC of SECDED, ECC-6 and
+// MECC versus the no-error-correction baseline, plus the ALL geomean.
+//
+// Paper shape: SECDED ~0.5% slowdown, ECC-6 up to 21% (libquantum) and
+// ~10% on average, MECC within ~1.2% on average, bridging the gap.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mecc;
+  using namespace mecc::sim;
+
+  const SimOptions opts = parse_options(argc, argv, 20'000'000);
+  const SystemConfig cfg = bench::scaled_config(opts);
+
+  bench::print_banner("Fig. 7: SECDED / ECC-6 / MECC normalized IPC",
+                      "per benchmark + ALL geomean");
+  std::printf("slice: %llu instructions\n",
+              static_cast<unsigned long long>(cfg.instructions));
+
+  const auto base = bench::run_suite_map(EccPolicy::kNoEcc, cfg);
+  const auto secded = bench::run_suite_map(EccPolicy::kSecded, cfg);
+  const auto ecc6 = bench::run_suite_map(EccPolicy::kEcc6, cfg);
+  const auto mecc = bench::run_suite_map(EccPolicy::kMecc, cfg);
+
+  std::map<std::string, double> n_sec;
+  std::map<std::string, double> n_e6;
+  std::map<std::string, double> n_mecc;
+
+  TextTable t({"benchmark", "class", "SECDED", "ECC-6", "MECC",
+               "ECC-6 bar"});
+  for (const auto& b : trace::all_benchmarks()) {
+    const std::string name(b.name);
+    const double ipc0 = base.at(name).ipc;
+    n_sec[name] = secded.at(name).ipc / ipc0;
+    n_e6[name] = ecc6.at(name).ipc / ipc0;
+    n_mecc[name] = mecc.at(name).ipc / ipc0;
+    t.add_row({name, trace::mpki_class_name(b.klass),
+               TextTable::num(n_sec[name]), TextTable::num(n_e6[name]),
+               TextTable::num(n_mecc[name]),
+               ascii_bar(1.0 - n_e6[name], 0.25, 25)});
+  }
+  const auto s_sec = bench::summarize_by_class(n_sec);
+  const auto s_e6 = bench::summarize_by_class(n_e6);
+  const auto s_mecc = bench::summarize_by_class(n_mecc);
+  t.add_row({"ALL (geomean)", "", TextTable::num(s_sec.all),
+             TextTable::num(s_e6.all), TextTable::num(s_mecc.all), ""});
+  t.print("Normalized IPC (baseline = no error correction latency)");
+
+  std::printf("\nAverage slowdowns (paper): SECDED %s (~0.5%%), ECC-6 %s"
+              " (~10%%), MECC %s (~1.2%%)\n",
+              TextTable::pct(s_sec.all - 1.0).c_str(),
+              TextTable::pct(s_e6.all - 1.0).c_str(),
+              TextTable::pct(s_mecc.all - 1.0).c_str());
+  std::printf("MECC within %s of SECDED (paper: within 1%%)\n",
+              TextTable::pct(s_mecc.all / s_sec.all - 1.0).c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Regenerates the S II-A motivation: DRAM idle-mode options and their
+// power / capacity / wake-up trade-off. The paper's framing: "we want
+// the power savings close to PASR or DPD, and yet have a usable capacity
+// of Auto/Self Refresh" - which is what MECC's slow self-refresh
+// delivers.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "power/idle_modes.h"
+
+int main() {
+  using namespace mecc;
+
+  bench::print_banner("S II-A: idle-mode options for a 1 GB mobile memory",
+                      "power vs usable capacity vs wake-up cost");
+
+  const power::PowerModel pm;
+  const auto options = power::idle_mode_options(pm, 1024.0);
+
+  TextTable t({"mode", "idle power", "norm", "usable capacity",
+               "state kept", "wake-up"});
+  const double base = options.front().power_mw;
+  for (const auto& o : options) {
+    std::string wake;
+    if (o.wakeup_seconds < 1e-3) {
+      wake = TextTable::num(o.wakeup_seconds * 1e9, 0) + " ns";
+    } else {
+      wake = TextTable::num(o.wakeup_seconds, 1) + " s";
+    }
+    t.add_row({o.name, TextTable::num(o.power_mw, 3) + " mW",
+               TextTable::num(o.power_mw / base, 2) + "x",
+               TextTable::pct(o.usable_capacity_fraction, 0).substr(1),
+               o.state_preserved ? "yes" : "NO",
+               wake});
+  }
+  t.print("Idle-mode comparison");
+
+  std::printf("\nPASR/DPD reach low power only by dropping contents - the"
+              " paper's S I point: restoring 1 GB from mobile flash takes"
+              " tens of seconds, ruining responsiveness.\n");
+  std::printf("MECC keeps the full state resident at PASR-class power with"
+              " nanosecond-class wake-up.\n");
+  return 0;
+}

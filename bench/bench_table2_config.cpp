@@ -1,0 +1,76 @@
+// Prints the reproduction's system configuration (Table II) and power
+// parameters (Table IV) so every other bench's context is on record.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dram/dram_params.h"
+#include "ecc/ecc_model.h"
+#include "power/power_params.h"
+
+int main() {
+  using namespace mecc;
+
+  bench::print_banner("Table II: baseline system configuration",
+                      "in-order 1.6 GHz core, 1 MB LLC, 1 GB LPDDR-200");
+  {
+    const dram::Geometry g;
+    const dram::Timing t;
+    TextTable tt({"parameter", "value"});
+    tt.add_row({"Processor", "in-order, 2-wide retire, 1.6 GHz"});
+    tt.add_row({"Cache", "1 MB LLC, 64 B lines"});
+    tt.add_row({"Memory", "1 GB LPDDR, 200 MHz DDR bus, x32"});
+    tt.add_row({"Channels/Ranks/Banks",
+                std::to_string(g.channels) + "/" + std::to_string(g.ranks) +
+                    "/" + std::to_string(g.banks)});
+    tt.add_row({"Rows per bank", std::to_string(g.rows_per_bank)});
+    tt.add_row({"Row buffer", std::to_string(g.lines_per_row * 64) + " B"});
+    tt.add_row({"Total lines", std::to_string(g.total_lines())});
+    tt.add_row({"tRCD/tRP/tCL (cycles)",
+                std::to_string(t.tRCD) + "/" + std::to_string(t.tRP) + "/" +
+                    std::to_string(t.tCL)});
+    tt.add_row({"tRAS/tWR/tRFC", std::to_string(t.tRAS) + "/" +
+                                     std::to_string(t.tWR) + "/" +
+                                     std::to_string(t.tRFC)});
+    tt.add_row({"tREFI", std::to_string(t.tREFI) + " cycles (7.8 us)"});
+    tt.print("System configuration");
+  }
+
+  bench::print_banner("Table IV: power parameters", "Micron LPDDR values");
+  {
+    const power::PowerParams p;
+    TextTable tt({"parameter", "value", "description"});
+    tt.add_row({"VDD", TextTable::num(p.vdd, 1) + " V", "operating voltage"});
+    tt.add_row({"IDD0", TextTable::num(p.idd0_ma, 0) + " mA",
+                "1-bank active-precharge"});
+    tt.add_row({"IDD2P", TextTable::num(p.idd2p_ma, 1) + " mA",
+                "precharge power-down standby"});
+    tt.add_row({"IDD3P", TextTable::num(p.idd3p_ma, 1) + " mA",
+                "active power-down standby"});
+    tt.add_row({"IDD4", TextTable::num(p.idd4_ma, 0) + " mA",
+                "burst read/write"});
+    tt.add_row({"IDD5", TextTable::num(p.idd5_ma, 0) + " mA", "auto refresh"});
+    tt.add_row({"IDD8", TextTable::num(p.idd8_ma, 1) + " mA", "self refresh"});
+    tt.add_row({"IDD2N*", TextTable::num(p.idd2n_ma, 0) + " mA",
+                "precharge standby (datasheet)"});
+    tt.add_row({"IDD3N*", TextTable::num(p.idd3n_ma, 0) + " mA",
+                "active standby (datasheet)"});
+    tt.print("Power parameters (* = values the paper omits)");
+  }
+
+  bench::print_banner("ECC scheme costs (S III-E)",
+                      "decode/encode latency, energy, area");
+  {
+    const ecc::EccModel m;
+    TextTable tt({"scheme", "decode (cyc)", "encode (cyc)", "decode (pJ)",
+                  "gates"});
+    for (auto s : {ecc::Scheme::kSecded, ecc::Scheme::kEcc6}) {
+      const auto c = m.costs(s);
+      tt.add_row({ecc::scheme_name(s), std::to_string(c.decode_cycles),
+                  std::to_string(c.encode_cycles),
+                  TextTable::num(c.decode_energy_pj, 0),
+                  std::to_string(c.gate_count)});
+    }
+    tt.print("Modeled codec costs");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates Table III: benchmark characterization (baseline IPC, MPKI,
+// footprint), per class and per benchmark, as measured by the simulator
+// against the paper's targets.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mecc;
+  using namespace mecc::sim;
+
+  const SimOptions opts = parse_options(argc, argv, 20'000'000);
+  const SystemConfig cfg = bench::scaled_config(opts);
+
+  bench::print_banner("Table III: benchmark characterization",
+                      "28 SPEC2006-profile workloads, no-ECC baseline");
+
+  const auto base = bench::run_suite_map(EccPolicy::kNoEcc, cfg);
+
+  TextTable t({"benchmark", "class", "IPC", "(paper)", "MPKI", "(paper)",
+               "footprint MB"});
+  struct Acc {
+    double ipc = 0, mpki = 0, fp = 0;
+    int n = 0;
+  };
+  std::map<trace::MpkiClass, Acc> acc;
+  for (const auto& b : trace::all_benchmarks()) {
+    const auto& r = base.at(std::string(b.name));
+    t.add_row({std::string(b.name), trace::mpki_class_name(b.klass),
+               TextTable::num(r.ipc), TextTable::num(b.paper_ipc),
+               TextTable::num(r.measured_mpki, 1), TextTable::num(b.mpki, 1),
+               TextTable::num(b.footprint_mb, 1)});
+    auto& a = acc[b.klass];
+    a.ipc += r.ipc;
+    a.mpki += r.measured_mpki;
+    a.fp += b.footprint_mb;
+    ++a.n;
+  }
+  t.print("Per-benchmark characterization (measured vs paper)");
+
+  TextTable s({"class", "IPC", "(paper)", "MPKI", "(paper)", "footprint",
+               "(paper)"});
+  const char* paper_rows[3][3] = {{"1.514", "0.3", "26"},
+                                  {"0.887", "4.7", "96.4"},
+                                  {"0.359", "23.5", "259.1"}};
+  int i = 0;
+  for (auto klass : {trace::MpkiClass::kLow, trace::MpkiClass::kMed,
+                     trace::MpkiClass::kHigh}) {
+    const auto& a = acc[klass];
+    s.add_row({trace::mpki_class_name(klass), TextTable::num(a.ipc / a.n),
+               paper_rows[i][0], TextTable::num(a.mpki / a.n, 1),
+               paper_rows[i][1], TextTable::num(a.fp / a.n, 1),
+               paper_rows[i][2]});
+    ++i;
+  }
+  s.print("Class averages (measured vs Table III)");
+  return 0;
+}

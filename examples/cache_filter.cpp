@@ -1,0 +1,57 @@
+// Demonstrates the LLC module on a raw (pre-cache) access stream: the
+// 1 MB Table II cache filters CPU accesses into the post-LLC traffic the
+// main simulation replays, producing the miss stream, writebacks, and
+// the flush-on-idle-entry behavior (S III-B: caches are flushed before
+// the processor is switched off).
+#include <cstdio>
+
+#include "cache/llc.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+int main() {
+  using namespace mecc;
+
+  std::printf("LLC as a traffic filter (1 MB, 16-way, 64 B lines)\n");
+  std::printf("==================================================\n\n");
+
+  TextTable t({"working set", "accesses", "LLC miss rate", "writebacks",
+               "post-LLC MPKI*"});
+  // Sweep working-set sizes through the 1 MB cache: a loop blocked under
+  // the LLC size produces almost no memory traffic; beyond it, traffic
+  // grows toward the raw access rate. (*assuming 10 accesses per kilo
+  // instruction of CPU work.)
+  for (const double ws_mb : {0.25, 0.5, 1.0, 2.0, 8.0, 64.0}) {
+    cache::Llc llc(1 << 20, 16);
+    Rng rng(7);
+    const auto lines = static_cast<std::uint64_t>(ws_mb * (1 << 20) / 64);
+    std::uint64_t writebacks = 0;
+    const std::uint64_t kAccesses = 400'000;
+    for (std::uint64_t i = 0; i < kAccesses; ++i) {
+      // 70/30 read/write mix with some spatial locality.
+      const bool is_write = rng.chance(0.3);
+      const Address addr = rng.chance(0.5)
+                               ? (i % lines) * 64           // streaming
+                               : rng.next_below(lines) * 64; // random
+      if (llc.access(addr, is_write).writeback) ++writebacks;
+    }
+    t.add_row({TextTable::num(ws_mb, 2) + " MB", std::to_string(kAccesses),
+               TextTable::pct(llc.miss_rate(), 1).substr(1),
+               std::to_string(writebacks),
+               TextTable::num(llc.miss_rate() * 10.0, 2)});
+  }
+  std::printf("%s", t.render().c_str());
+
+  // Idle entry: flush the dirty contents (these become memory writes that
+  // MECC re-encodes with strong ECC before self-refresh).
+  cache::Llc llc(1 << 20, 16);
+  Rng rng(8);
+  for (int i = 0; i < 50000; ++i) {
+    (void)llc.access(rng.next_below(16384) * 64, rng.chance(0.3));
+  }
+  const auto dirty = llc.flush();
+  std::printf("\nIdle entry: cache flush wrote back %zu dirty lines"
+              " (%.0f KB) before self-refresh.\n",
+              dirty.size(), static_cast<double>(dirty.size()) * 64 / 1024);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The Fig. 4 lifecycle, live: one app used in bursts on a single System.
+//
+//   wake -> active burst (demand ECC-Downgrade) -> idle entry
+//   (MDT-guided ECC-Upgrade, 1 s self-refresh) -> wake -> ...
+//
+// Shows the per-burst IPC (the first accesses after every wake pay the
+// one-time ECC-6 decode), the upgrade walk on every idle entry, and the
+// idle-power saving versus a baseline system doing the same pattern.
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+int main() {
+  using namespace mecc;
+  using namespace mecc::sim;
+
+  const auto& app = trace::benchmark("sphinx3");
+  const InstCount kBurst = 2'000'000;
+  const double kIdleSeconds = 60.0;
+  const int kCycles = 4;
+
+  SystemConfig mecc_cfg;
+  mecc_cfg.policy = EccPolicy::kMecc;
+  mecc_cfg.instructions = kBurst;
+  SystemConfig base_cfg = mecc_cfg;
+  base_cfg.policy = EccPolicy::kNoEcc;
+
+  System mecc(app, mecc_cfg);
+  System base(app, base_cfg);
+
+  std::printf("sphinx3 in %d bursts of %llu instructions, %g s idle "
+              "between (MECC vs no-ECC baseline)\n\n",
+              kCycles, static_cast<unsigned long long>(kBurst),
+              kIdleSeconds);
+  std::printf("%-7s %10s %10s %12s %14s %12s %14s\n", "burst", "base IPC",
+              "MECC IPC", "norm IPC", "ECC-6 decodes", "upgrade ms",
+              "idle mJ saved");
+
+  double total_idle_saved = 0.0;
+  for (int i = 0; i < kCycles; ++i) {
+    const RunResult rb = base.run_period(kBurst);
+    const RunResult rm = mecc.run_period(kBurst);
+    const IdleReport ib = base.idle_period(kIdleSeconds);
+    const IdleReport im = mecc.idle_period(kIdleSeconds);
+    const double saved = ib.idle_energy_mj - im.idle_energy_mj;
+    total_idle_saved += saved;
+    std::printf("%-7d %10.3f %10.3f %12.3f %14llu %12.1f %14.1f\n", i + 1,
+                rb.ipc, rm.ipc, rm.ipc / rb.ipc,
+                static_cast<unsigned long long>(rm.strong_decodes),
+                im.upgrade_seconds * 1e3, saved);
+  }
+
+  std::printf("\nEvery wake repeats the pattern: a burst of ECC-6 decodes"
+              " while the working set downgrades, then SECDED-speed"
+              " operation.\n");
+  std::printf("Idle energy saved over the session: %.0f mJ (the paper's"
+              " ~43%% idle-power reduction, every idle period).\n",
+              total_idle_saved);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Refresh-rate explorer: for a range of refresh periods, derive the raw
+// bit error rate from the retention model, compute the analytic system
+// failure probability at each ECC strength, and *verify with live fault
+// injection through the real codecs* that the chosen strength actually
+// survives the predicted error rate.
+//
+// This is the tool a memory-system designer would use to pick the
+// (refresh period, ECC strength) operating point; the paper's choice -
+// ECC-6 at 1 s - falls out of it.
+#include <cstdio>
+
+#include "common/table.h"
+#include "ecc/bch.h"
+#include "ecc/secded.h"
+#include "reliability/failure_analysis.h"
+#include "reliability/fault_injection.h"
+#include "reliability/retention_model.h"
+
+int main() {
+  using namespace mecc;
+  using namespace mecc::reliability;
+
+  const RetentionModel retention;
+  std::printf("Refresh period vs required ECC strength (1 GB memory, "
+              "target < 1e-6 system failures)\n\n");
+
+  TextTable t({"refresh period", "raw BER", "required ECC",
+               "refresh power vs 64ms"});
+  for (double period : {0.064, 0.128, 0.256, 0.512, 1.0, 2.0}) {
+    const double ber = retention.bit_failure_probability(period);
+    const std::size_t need =
+        required_ecc_strength(kTable1LineBits, kTable1NumLines, ber, 1e-6);
+    t.add_row({TextTable::num(period, 3) + " s", TextTable::sci(ber),
+               "ECC-" + std::to_string(need),
+               TextTable::num(0.064 / period, 3) + "x"});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\nThe paper's operating point: 1 s -> ECC-5 + 1 soft-error"
+              " margin = ECC-6.\n\n");
+
+  // Live validation: push each codec through its predicted regime.
+  std::printf("Live fault injection through the real codecs\n");
+  std::printf("--------------------------------------------\n");
+  struct Probe {
+    const char* what;
+    const ecc::Code* code;
+    double ber;
+    std::size_t trials;
+  };
+  const ecc::Secded secded(512);
+  const ecc::Bch ecc2(10, 2, 512);
+  const ecc::Bch ecc6(10, 6, 512);
+  const double ber_1s = retention.bit_failure_probability(1.0);
+
+  TextTable v({"codec", "BER", "trials", "lines lost", "verdict"});
+  for (const Probe p : {
+           Probe{"SECDED @ 64ms-BER", &secded, 1e-9, 20000},
+           Probe{"SECDED @ 1s-BER", &secded, ber_1s, 20000},
+           Probe{"BCH t=2 @ 1s-BER", &ecc2, ber_1s, 20000},
+           Probe{"BCH t=6 @ 1s-BER", &ecc6, ber_1s, 20000},
+           Probe{"BCH t=6 @ 30x 1s-BER", &ecc6, 30 * ber_1s, 5000},
+       }) {
+    const auto r = measure_line_failures(*p.code, p.ber, p.trials, 99);
+    // SECDED at the 1 s BER loses lines at ~1.6e-4 (Table I) - visible in
+    // 20 k trials; ECC-6 must stay clean.
+    v.add_row({p.what, TextTable::sci(p.ber), std::to_string(p.trials),
+               std::to_string(r.failures),
+               r.failures == 0 ? "SAFE" : "DATA LOSS"});
+  }
+  std::printf("%s", v.render().c_str());
+  std::printf("\nSECDED alone cannot hold a 1 s refresh period; ECC-6 can"
+              " - exactly the paper's motivation for morphing.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Hi-ECC-style coarse-granularity strong ECC (Wilkerson et al., ISCA
+// 2010), the paper's closest related work (S VII-C).
+//
+// Hi-ECC amortizes the strong code over a large block (1 KB) to cut the
+// parity storage overhead. The paper's critique: every sub-block access
+// must fetch (and on writes, read-modify-write) the whole protected
+// block - significant overfetch - and its cache-line-disable trick does
+// not transfer to main memory ("holes" in the address space).
+//
+// This model quantifies that trade-off against MECC's line-granularity
+// code that hides entirely in the (72,64) spare space.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mecc::baselines {
+
+struct GranularityCosts {
+  std::size_t block_bytes = 0;     // protection granularity
+  std::size_t parity_bits = 0;     // per block
+  double storage_overhead = 0.0;   // parity / data
+  double read_overfetch = 1.0;     // bytes moved per 64 B read / 64
+  double write_amplification = 1.0;  // bytes moved per 64 B write / 64
+};
+
+/// Costs of protecting `block_bytes` (a power of two >= 64) with a
+/// BCH code correcting `t` errors. The field size m is the smallest
+/// with 2^m - 1 >= block bits + t*m.
+[[nodiscard]] constexpr GranularityCosts strong_ecc_granularity(
+    std::size_t block_bytes, std::size_t t) {
+  const std::size_t data_bits = block_bytes * 8;
+  unsigned m = 3;
+  while (((1ull << m) - 1) < data_bits + t * m) ++m;
+  GranularityCosts c;
+  c.block_bytes = block_bytes;
+  c.parity_bits = t * m;
+  c.storage_overhead = static_cast<double>(c.parity_bits) /
+                       static_cast<double>(data_bits);
+  // A 64 B read must pull the whole block through the decoder.
+  c.read_overfetch = static_cast<double>(block_bytes) / kLineBytes;
+  // A 64 B write is read-modify-write of the whole block.
+  c.write_amplification = 2.0 * static_cast<double>(block_bytes) /
+                          kLineBytes;
+  return c;
+}
+
+}  // namespace mecc::baselines

@@ -1,0 +1,76 @@
+#include "baselines/raidr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mecc::baselines {
+
+double RaidrProfile::refresh_ops_per_second(const RaidrConfig& config) const {
+  double ops = 0.0;
+  for (std::size_t b = 0; b < rows_per_bin.size(); ++b) {
+    ops += static_cast<double>(rows_per_bin[b]) / config.bin_periods[b];
+  }
+  return ops;
+}
+
+double RaidrProfile::refresh_reduction(const RaidrConfig& config) const {
+  const double all_fast = static_cast<double>(config.num_rows) /
+                          config.bin_periods.front();
+  return all_fast / refresh_ops_per_second(config);
+}
+
+RaidrProfile Raidr::profile(const reliability::RetentionModel& retention,
+                            Rng& rng) const {
+  assert(!config_.bin_periods.empty());
+  RaidrProfile p;
+  p.row_bin.resize(config_.num_rows, 0);
+  p.rows_per_bin.assign(config_.bin_periods.size(), 0);
+
+  for (std::uint64_t row = 0; row < config_.num_rows; ++row) {
+    // The row's weakest cell decides its bin. Sampling every cell is
+    // wasteful; sample the minimum directly: P(min < t) =
+    // 1 - (1 - F(t))^cells. Equivalently transform one uniform draw
+    // through the per-cell quantile at u' = 1-(1-u)^(1/cells); for the
+    // tiny tail probabilities here u' ~ u / cells.
+    const double u = std::max(rng.next_double(), 1e-18);
+    const double per_cell_quantile =
+        -std::expm1(std::log1p(-u) / config_.cells_per_row);
+    const double weakest_retention =
+        retention.retention_for_ber(std::max(per_cell_quantile, 1e-300));
+
+    std::uint32_t bin = 0;
+    for (std::size_t b = config_.bin_periods.size(); b-- > 0;) {
+      if (weakest_retention >= config_.bin_periods[b] * config_.guard_band) {
+        bin = static_cast<std::uint32_t>(b);
+        break;
+      }
+    }
+    p.row_bin[row] = bin;
+    ++p.rows_per_bin[bin];
+  }
+  return p;
+}
+
+double Raidr::expected_vrt_victim_rows(const RaidrProfile& profile,
+                                       double vrt_rate) const {
+  // Any cell in a slow-bin row that flips into a low-retention state is
+  // an unprotected failure (no ECC in RAIDR).
+  double expected = 0.0;
+  for (std::size_t b = 1; b < profile.rows_per_bin.size(); ++b) {
+    const double rows = static_cast<double>(profile.rows_per_bin[b]);
+    const double p_row =
+        -std::expm1(config_.cells_per_row * std::log1p(-vrt_rate));
+    expected += rows * p_row;
+  }
+  return expected;
+}
+
+double flikker_effective_refresh_rate(double critical_fraction,
+                                      double slow_divider) {
+  assert(critical_fraction >= 0.0 && critical_fraction <= 1.0);
+  assert(slow_divider >= 1.0);
+  return critical_fraction + (1.0 - critical_fraction) / slow_divider;
+}
+
+}  // namespace mecc::baselines

@@ -1,0 +1,78 @@
+// RAIDR-style retention-aware multirate refresh (Liu et al., ISCA 2012),
+// the paper's main related-work comparison (S VII-B).
+//
+// RAIDR profiles each row's retention time and bins rows into refresh-
+// rate classes: rows whose weakest cell retains > T get refreshed every
+// T. Refresh savings depend on how many rows land in the slow bins.
+//
+// The paper's critique, which this model reproduces: profiling-based
+// schemes assume retention is static, but a small population of cells
+// exhibits Variable Retention Time (VRT) and can drop to a low retention
+// state *after* profiling - without ECC, any such cell in a slow-bin row
+// corrupts data. MECC instead tolerates random failures by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "reliability/retention_model.h"
+
+namespace mecc::baselines {
+
+struct RaidrConfig {
+  std::uint64_t num_rows = 64 * 1024;   // 4 banks x 16K rows
+  std::uint32_t cells_per_row = 16384 * 8;  // 16 KB rows
+  // Refresh-period bins, ascending (seconds). A row goes into the
+  // slowest bin whose period is still below its weakest cell's
+  // retention time (with the guard band applied).
+  std::vector<double> bin_periods = {0.064, 0.256, 1.0};
+  // Profiling guard band: a row's weakest cell must retain at least
+  // guard * period to use that bin.
+  double guard_band = 2.0;
+};
+
+struct RaidrProfile {
+  std::vector<std::uint32_t> row_bin;      // bin index per row
+  std::vector<std::uint64_t> rows_per_bin;
+
+  /// Refresh operations per second, summed over bins (one refresh per
+  /// row per period).
+  [[nodiscard]] double refresh_ops_per_second(
+      const RaidrConfig& config) const;
+
+  /// Reduction versus refreshing every row at the fastest period.
+  [[nodiscard]] double refresh_reduction(const RaidrConfig& config) const;
+};
+
+class Raidr {
+ public:
+  explicit Raidr(const RaidrConfig& config) : config_(config) {}
+
+  /// Profiles every row: samples the weakest-cell retention from the
+  /// device retention distribution and assigns bins.
+  [[nodiscard]] RaidrProfile profile(
+      const reliability::RetentionModel& retention, Rng& rng) const;
+
+  /// Expected number of rows that suffer a retention failure after
+  /// profiling, if each cell independently enters a low-retention VRT
+  /// state with probability `vrt_rate` (retention collapses below the
+  /// assigned bin period). Rows in the fastest bin are safe by
+  /// construction (JEDEC period).
+  [[nodiscard]] double expected_vrt_victim_rows(const RaidrProfile& profile,
+                                                double vrt_rate) const;
+
+  [[nodiscard]] const RaidrConfig& config() const { return config_; }
+
+ private:
+  RaidrConfig config_;
+};
+
+/// Flikker-style critical/non-critical partition (S VII-A): the critical
+/// fraction refreshes at the full rate, the rest at `slow_divider` times
+/// slower. Returns the *effective* refresh rate relative to refreshing
+/// everything at full rate - the paper's Amdahl's-law argument.
+[[nodiscard]] double flikker_effective_refresh_rate(double critical_fraction,
+                                                    double slow_divider);
+
+}  // namespace mecc::baselines

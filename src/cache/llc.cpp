@@ -1,0 +1,68 @@
+#include "cache/llc.h"
+
+#include <stdexcept>
+
+namespace mecc::cache {
+
+Llc::Llc(std::uint64_t capacity_bytes, std::uint32_t associativity)
+    : assoc_(associativity) {
+  if (associativity == 0 || capacity_bytes % (kLineBytes * associativity)) {
+    throw std::invalid_argument("Llc: capacity must be sets*assoc*64B");
+  }
+  num_sets_ =
+      static_cast<std::uint32_t>(capacity_bytes / kLineBytes / associativity);
+  ways_.resize(static_cast<std::size_t>(num_sets_) * assoc_);
+}
+
+AccessOutcome Llc::access(Address addr, bool is_write) {
+  const std::uint32_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &ways_[static_cast<std::size_t>(set) * assoc_];
+  ++stamp_;
+
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = stamp_;
+      way.dirty |= is_write;
+      ++hits_;
+      return {.hit = true, .writeback = std::nullopt};
+    }
+  }
+
+  ++misses_;
+  // Choose victim: an invalid way, else true LRU.
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+
+  AccessOutcome out;
+  if (victim->valid && victim->dirty) {
+    out.writeback = addr_of(set, victim->tag);
+  }
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  return out;
+}
+
+std::vector<Address> Llc::flush() {
+  std::vector<Address> dirty;
+  for (std::uint32_t set = 0; set < num_sets_; ++set) {
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      Way& way = ways_[static_cast<std::size_t>(set) * assoc_ + w];
+      if (way.valid && way.dirty) dirty.push_back(addr_of(set, way.tag));
+      way.valid = false;
+      way.dirty = false;
+    }
+  }
+  return dirty;
+}
+
+}  // namespace mecc::cache

@@ -1,0 +1,75 @@
+// Set-associative last-level cache (Table II: 1 MB, 64 B lines), LRU,
+// write-back / write-allocate.
+//
+// The main evaluation replays USIMM-style post-LLC traces (see
+// src/trace), so this cache sits off the hot path; it is used by the
+// raw-access trace path, the cache-filter example, and the tests that
+// validate the MPKI characteristics the trace generator targets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mecc::cache {
+
+struct AccessOutcome {
+  bool hit = false;
+  // On a miss that evicts a dirty line, the line to write back.
+  std::optional<Address> writeback;
+};
+
+class Llc {
+ public:
+  Llc(std::uint64_t capacity_bytes, std::uint32_t associativity);
+
+  /// Looks up `addr`; on miss, allocates (write-allocate for stores too)
+  /// and reports any dirty victim.
+  AccessOutcome access(Address addr, bool is_write);
+
+  /// Invalidates everything, returning dirty lines (cache flush on idle
+  /// entry: "the OS can turn off the processor chip (after flushing the
+  /// caches)", paper S III-B).
+  [[nodiscard]] std::vector<Address> flush();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double miss_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(misses_) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
+  [[nodiscard]] std::uint32_t associativity() const { return assoc_; }
+
+ private:
+  struct Way {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // last-use stamp
+  };
+
+  [[nodiscard]] std::uint32_t set_of(Address addr) const {
+    return static_cast<std::uint32_t>((addr / kLineBytes) % num_sets_);
+  }
+  [[nodiscard]] std::uint64_t tag_of(Address addr) const {
+    return (addr / kLineBytes) / num_sets_;
+  }
+  [[nodiscard]] Address addr_of(std::uint32_t set, std::uint64_t tag) const {
+    return (tag * num_sets_ + set) * kLineBytes;
+  }
+
+  std::uint32_t num_sets_;
+  std::uint32_t assoc_;
+  std::vector<Way> ways_;  // num_sets_ * assoc_, row-major by set
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mecc::cache

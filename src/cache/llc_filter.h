@@ -1,0 +1,90 @@
+// LLC-in-the-loop trace filtering.
+//
+// Wraps a *CPU-level* access stream (loads/stores before any cache) and
+// the Table II 1 MB LLC, emitting the post-LLC memory traffic the rest
+// of the simulator consumes: a fill read per miss (write-allocate, so
+// store misses fill too) and a write-back per dirty eviction. This is
+// how the paper's USIMM traces were produced from SPEC runs; the
+// synthetic per-benchmark generators model that post-LLC stream
+// directly, and this filter lets users start one level up instead.
+#pragma once
+
+#include <deque>
+
+#include "cache/llc.h"
+#include "trace/trace_source.h"
+
+namespace mecc::cache {
+
+class LlcFilteredSource final : public trace::TraceSource {
+ public:
+  /// Takes ownership of neither: `cpu_stream` must outlive this source.
+  LlcFilteredSource(trace::TraceSource& cpu_stream,
+                    std::uint64_t llc_capacity_bytes = 1 << 20,
+                    std::uint32_t llc_associativity = 16)
+      : cpu_(cpu_stream), llc_(llc_capacity_bytes, llc_associativity) {}
+
+  /// Next post-LLC memory access. Gaps accumulate all CPU instructions
+  /// (including cache-hitting memory instructions) since the previous
+  /// emitted access.
+  trace::TraceRecord next() override {
+    while (true) {
+      if (!pending_writebacks_.empty()) {
+        const Address wb = pending_writebacks_.front();
+        pending_writebacks_.pop_front();
+        trace::TraceRecord rec;
+        rec.gap = take_gap();
+        rec.is_write = true;
+        rec.line_addr = wb;
+        return rec;
+      }
+      const trace::TraceRecord cpu = cpu_.next();
+      gap_accum_ += cpu.gap + 1;  // the access itself retires too
+      ++cpu_accesses_;
+      const AccessOutcome out = llc_.access(cpu.line_addr, cpu.is_write);
+      if (out.writeback) pending_writebacks_.push_back(*out.writeback);
+      if (!out.hit) {
+        // Miss: fill read (write-allocate covers stores as well).
+        trace::TraceRecord rec;
+        rec.gap = take_gap();
+        rec.is_write = false;
+        rec.line_addr = cpu.line_addr;
+        return rec;
+      }
+      // Pure-hit stretches cannot stall the emitter forever.
+      if (gap_accum_ > kMaxGap) {
+        trace::TraceRecord rec;
+        rec.gap = take_gap();
+        rec.is_write = false;
+        rec.line_addr = cpu.line_addr;
+        return rec;
+      }
+    }
+  }
+
+  /// Flush on idle entry (paper S III-B); returns dirty lines which the
+  /// caller writes back before self-refresh.
+  [[nodiscard]] std::vector<Address> flush() { return llc_.flush(); }
+
+  [[nodiscard]] const Llc& llc() const { return llc_; }
+  [[nodiscard]] std::uint64_t cpu_accesses() const { return cpu_accesses_; }
+
+ private:
+  static constexpr std::uint64_t kMaxGap = 1'000'000;
+
+  [[nodiscard]] std::uint32_t take_gap() {
+    const auto gap = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(gap_accum_ > 0 ? gap_accum_ - 1 : 0,
+                                kMaxGap));
+    gap_accum_ = 0;
+    return gap;
+  }
+
+  trace::TraceSource& cpu_;
+  Llc llc_;
+  std::deque<Address> pending_writebacks_;
+  std::uint64_t gap_accum_ = 0;
+  std::uint64_t cpu_accesses_ = 0;
+};
+
+}  // namespace mecc::cache

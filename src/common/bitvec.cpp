@@ -1,0 +1,88 @@
+#include "common/bitvec.h"
+
+#include <bit>
+#include <cassert>
+
+namespace mecc {
+
+BitVec BitVec::from_bytes(std::span<const std::uint8_t> bytes) {
+  BitVec v(bytes.size() * 8);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    v.words_[i >> 3] |= static_cast<std::uint64_t>(bytes[i]) << ((i & 7) * 8);
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> BitVec::to_bytes() const {
+  std::vector<std::uint8_t> out((nbits_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(words_[i >> 3] >> ((i & 7) * 8));
+  }
+  return out;
+}
+
+void BitVec::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::any() const {
+  for (auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  assert(nbits_ == other.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
+  assert(pos + len <= nbits_);
+  BitVec out(len);
+  for (std::size_t i = 0; i < len; ++i) out.set(i, get(pos + i));
+  return out;
+}
+
+void BitVec::splice(std::size_t pos, const BitVec& src) {
+  assert(pos + src.size() <= nbits_);
+  for (std::size_t i = 0; i < src.size(); ++i) set(pos + i, src.get(i));
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const {
+  assert(nbits_ == other.nbits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return n;
+}
+
+std::vector<std::size_t> BitVec::set_positions() const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int b = std::countr_zero(word);
+      out.push_back(w * 64 + static_cast<std::size_t>(b));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(nbits_);
+  for (std::size_t i = 0; i < nbits_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace mecc

@@ -1,0 +1,89 @@
+// A dynamically sized bit vector backed by 64-bit words.
+//
+// This is the data plane of the ECC codecs: codewords, data lines and
+// syndromes are all BitVec instances. It deliberately supports only the
+// operations the codecs need (bit get/set/flip, XOR, popcount, slicing)
+// and keeps them branch-light.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mecc {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Creates an all-zero vector of `nbits` bits.
+  explicit BitVec(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  /// Builds a vector from raw bytes, LSB-first within each byte.
+  static BitVec from_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Serializes back to bytes (LSB-first within each byte). Size is
+  /// rounded up to whole bytes; trailing pad bits are zero.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+  [[nodiscard]] std::size_t size() const { return nbits_; }
+  [[nodiscard]] bool empty() const { return nbits_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i, bool v) {
+    const std::uint64_t mask = 1ull << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+  void flip(std::size_t i) { words_[i >> 6] ^= 1ull << (i & 63); }
+
+  /// Sets every bit to zero.
+  void clear();
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const;
+
+  /// True if any bit is set.
+  [[nodiscard]] bool any() const;
+
+  /// XOR-accumulate another vector of the same size into this one.
+  BitVec& operator^=(const BitVec& other);
+  [[nodiscard]] friend BitVec operator^(BitVec a, const BitVec& b) {
+    a ^= b;
+    return a;
+  }
+
+  [[nodiscard]] bool operator==(const BitVec& other) const = default;
+
+  /// Copies bits [pos, pos+len) into a fresh vector.
+  [[nodiscard]] BitVec slice(std::size_t pos, std::size_t len) const;
+
+  /// Writes `src` into this vector starting at bit `pos`.
+  void splice(std::size_t pos, const BitVec& src);
+
+  /// Hamming distance to another vector of equal size.
+  [[nodiscard]] std::size_t hamming_distance(const BitVec& other) const;
+
+  /// Positions of set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> set_positions() const;
+
+  /// "0101..."-style debug rendering, bit 0 first.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Direct word access for hashing / fast scans.
+  [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mecc

@@ -1,0 +1,42 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component in the simulator (workload generators, fault
+// injection) draws from a seeded mt19937_64 so that all tests, examples and
+// benches are exactly reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mecc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+    return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with probability `p`.
+  [[nodiscard]] bool chance(double p) { return next_double() < p; }
+
+  /// Geometric inter-arrival sample with mean `mean` (>= 1).
+  [[nodiscard]] std::uint64_t next_geometric(double mean) {
+    std::geometric_distribution<std::uint64_t> d(1.0 / mean);
+    return d(engine_) + 1;
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mecc

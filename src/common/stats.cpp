@@ -1,0 +1,14 @@
+#include "common/stats.h"
+
+namespace mecc {
+
+void StatSet::merge(const std::string& prefix, const StatSet& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[prefix + name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauges_[prefix + name] = value;
+  }
+}
+
+}  // namespace mecc

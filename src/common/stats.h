@@ -1,0 +1,52 @@
+// Lightweight named-counter / gauge registry used by every simulator
+// component to expose its activity to the experiment runner.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mecc {
+
+/// A flat bag of named statistics. Components own a StatSet each; the
+/// System merges them for reporting. Deliberately simple: counters are
+/// monotonically increasing uint64, gauges are doubles set at will.
+class StatSet {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  void set_gauge(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] double gauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+
+  /// Adds all entries of `other` into this set, prefixing names.
+  void merge(const std::string& prefix, const StatSet& other);
+
+  void reset() {
+    counters_.clear();
+    gauges_.clear();
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace mecc

@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mecc {
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      out << c << std::string(widths[i] - c.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TextTable::print(const std::string& title) const {
+  std::string banner(title.size(), '=');
+  std::printf("\n%s\n%s\n%s", title.c_str(), banner.c_str(), "\n");
+  std::fputs(render().c_str(), stdout);
+}
+
+std::string ascii_bar(double value, double max_value, std::size_t width) {
+  if (max_value <= 0.0) return std::string();
+  double frac = std::clamp(value / max_value, 0.0, 1.0);
+  const auto n = static_cast<std::size_t>(frac * static_cast<double>(width));
+  return std::string(n, '#');
+}
+
+}  // namespace mecc

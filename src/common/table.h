@@ -1,0 +1,44 @@
+// Plain-text table formatting for the bench harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as a
+// text table; this helper keeps their output uniform and readable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mecc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Scientific notation, e.g. "1.8e-02".
+  static std::string sci(double v, int precision = 1);
+  /// Percent with sign, e.g. "-10.2%".
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders with aligned columns.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout with a title banner.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a simple horizontal ASCII bar (for figure-style benches).
+[[nodiscard]] std::string ascii_bar(double value, double max_value,
+                                    std::size_t width = 40);
+
+}  // namespace mecc

@@ -1,0 +1,46 @@
+// Core scalar types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace mecc {
+
+/// CPU-clock cycle count. The whole simulation is driven in CPU cycles
+/// (1.6 GHz); the DRAM bus (200 MHz) ticks every kCpuCyclesPerMemCycle.
+using Cycle = std::uint64_t;
+
+/// Physical byte address into the simulated DRAM space.
+using Address = std::uint64_t;
+
+/// Retired-instruction count.
+using InstCount = std::uint64_t;
+
+/// Ratio of CPU clock (1.6 GHz) to memory bus clock (200 MHz).
+inline constexpr Cycle kCpuCyclesPerMemCycle = 8;
+
+/// CPU frequency in Hz (Table II: in-order core at 1.6 GHz).
+inline constexpr double kCpuFreqHz = 1.6e9;
+
+/// Memory bus frequency in Hz (Table II: 200 MHz DDR).
+inline constexpr double kMemFreqHz = 200.0e6;
+
+/// Cache-line size in bytes (Table II).
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/// Simulated main-memory capacity in bytes (Table II: 1 GB LPDDR).
+inline constexpr std::uint64_t kMemoryBytes = 1ull << 30;
+
+/// Number of 64 B lines in the 1 GB memory ("16 million lines", paper S III).
+inline constexpr std::uint64_t kMemoryLines = kMemoryBytes / kLineBytes;
+
+/// Convert a CPU-cycle count to seconds.
+[[nodiscard]] constexpr double cycles_to_seconds(Cycle c) {
+  return static_cast<double>(c) / kCpuFreqHz;
+}
+
+/// Convert seconds to CPU cycles (rounded down).
+[[nodiscard]] constexpr Cycle seconds_to_cycles(double s) {
+  return static_cast<Cycle>(s * kCpuFreqHz);
+}
+
+}  // namespace mecc

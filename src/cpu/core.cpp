@@ -1,0 +1,101 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace mecc::cpu {
+
+InOrderCore::InOrderCore(const CoreConfig& config, trace::TraceSource& gen,
+                         IssueRead issue_read, IssueWrite issue_write)
+    : config_(config),
+      gen_(gen),
+      issue_read_(std::move(issue_read)),
+      issue_write_(std::move(issue_write)) {
+  assert(config_.base_ipc > 0.0 &&
+         config_.base_ipc <= static_cast<double>(config_.width));
+}
+
+void InOrderCore::fetch_next_record() {
+  current_ = gen_.next();
+  gap_remaining_ = current_.gap;
+  have_record_ = true;
+}
+
+void InOrderCore::on_read_data(std::uint64_t /*tag*/) {
+  assert(waiting_for_data_);
+  waiting_for_data_ = false;
+  // The load itself retires with its data.
+  ++retired_;
+  have_record_ = false;
+}
+
+void InOrderCore::tick() {
+  ++cycles_;
+  if (waiting_for_data_) {
+    ++stall_cycles_;
+    return;
+  }
+  if (!have_record_) fetch_next_record();
+
+  // Retry memory issues that found the controller queues full.
+  if (read_pending_issue_) {
+    if (issue_read_(current_.line_addr, next_tag_)) {
+      ++next_tag_;
+      ++reads_issued_;
+      read_pending_issue_ = false;
+      waiting_for_data_ = true;
+    } else {
+      ++stall_cycles_;
+    }
+    return;
+  }
+  if (write_pending_issue_) {
+    if (issue_write_(current_.line_addr)) {
+      ++writes_issued_;
+      ++retired_;  // the store retires on issue
+      write_pending_issue_ = false;
+      have_record_ = false;
+    } else {
+      ++stall_cycles_;
+      return;
+    }
+    if (!have_record_) fetch_next_record();
+  }
+
+  // Retire non-memory instructions at base_ipc, at most `width` per cycle.
+  retire_credit_ += config_.base_ipc;
+  std::uint32_t retired_this_cycle = 0;
+  while (retire_credit_ >= 1.0 && gap_remaining_ > 0 &&
+         retired_this_cycle < config_.width) {
+    retire_credit_ -= 1.0;
+    --gap_remaining_;
+    ++retired_;
+    ++retired_this_cycle;
+  }
+  // Credit does not bank beyond one cycle's retire width.
+  retire_credit_ =
+      std::min(retire_credit_, static_cast<double>(config_.width));
+  if (gap_remaining_ > 0) return;
+
+  // The memory instruction is at the head: issue it.
+  if (current_.is_write) {
+    if (issue_write_(current_.line_addr)) {
+      ++writes_issued_;
+      ++retired_;
+      have_record_ = false;
+    } else {
+      write_pending_issue_ = true;
+    }
+  } else {
+    if (issue_read_(current_.line_addr, next_tag_)) {
+      ++next_tag_;
+      ++reads_issued_;
+      waiting_for_data_ = true;
+    } else {
+      read_pending_issue_ = true;
+    }
+  }
+}
+
+}  // namespace mecc::cpu

@@ -1,0 +1,78 @@
+// Trace-driven in-order core (Table II: 1.6 GHz, 2-wide retire).
+//
+// The core retires non-memory instructions at the benchmark's base rate
+// (capped at the 2-wide width), blocks on memory reads until the data —
+// including any ECC decode latency — returns, and issues writes into the
+// memory controller's write queue without stalling (a store buffer),
+// stalling only when that queue is full.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "trace/trace_source.h"
+
+namespace mecc::cpu {
+
+struct CoreConfig {
+  double base_ipc = 2.0;    // non-memory retire rate (<= width)
+  std::uint32_t width = 2;  // retire width
+};
+
+class InOrderCore {
+ public:
+  /// Attempts to issue a read for `line`; returns false when the memory
+  /// controller cannot accept it this cycle (retry next cycle).
+  using IssueRead = std::function<bool(Address line, std::uint64_t tag)>;
+  /// Same for writes.
+  using IssueWrite = std::function<bool(Address line)>;
+
+  InOrderCore(const CoreConfig& config, trace::TraceSource& gen,
+              IssueRead issue_read, IssueWrite issue_write);
+
+  /// Advances one CPU cycle.
+  void tick();
+
+  /// Memory system callback: the read tagged `tag` has its data (ECC
+  /// decode already accounted by the caller's timing).
+  void on_read_data(std::uint64_t tag);
+
+  [[nodiscard]] InstCount retired() const { return retired_; }
+  [[nodiscard]] Cycle cycles() const { return cycles_; }
+  [[nodiscard]] double ipc() const {
+    return cycles_ == 0 ? 0.0
+                        : static_cast<double>(retired_) /
+                              static_cast<double>(cycles_);
+  }
+  [[nodiscard]] Cycle stall_cycles() const { return stall_cycles_; }
+  [[nodiscard]] std::uint64_t reads_issued() const { return reads_issued_; }
+  [[nodiscard]] std::uint64_t writes_issued() const { return writes_issued_; }
+  [[nodiscard]] bool stalled_on_read() const { return waiting_for_data_; }
+
+ private:
+  void fetch_next_record();
+
+  CoreConfig config_;
+  trace::TraceSource& gen_;
+  IssueRead issue_read_;
+  IssueWrite issue_write_;
+
+  trace::TraceRecord current_{};
+  bool have_record_ = false;
+  std::uint32_t gap_remaining_ = 0;
+  double retire_credit_ = 0.0;
+
+  bool waiting_for_data_ = false;   // read issued, data not yet back
+  bool read_pending_issue_ = false; // read ready but queue was full
+  bool write_pending_issue_ = false;
+
+  InstCount retired_ = 0;
+  Cycle cycles_ = 0;
+  Cycle stall_cycles_ = 0;
+  std::uint64_t reads_issued_ = 0;
+  std::uint64_t writes_issued_ = 0;
+  std::uint64_t next_tag_ = 1;
+};
+
+}  // namespace mecc::cpu

@@ -1,0 +1,81 @@
+// Per-bank state machine: open row tracking plus the earliest-issue
+// timestamps implied by the DRAM timing constraints.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/dram_params.h"
+
+namespace mecc::dram {
+
+/// Memory-bus cycle count (the DRAM side of the clock-domain boundary).
+using MemCycle = std::uint64_t;
+
+class Bank {
+ public:
+  explicit Bank(const Timing& t) : t_(&t) {}
+
+  [[nodiscard]] bool row_open() const { return open_row_ >= 0; }
+  [[nodiscard]] std::int64_t open_row() const { return open_row_; }
+
+  [[nodiscard]] bool can_activate(MemCycle now) const {
+    return !row_open() && now >= ready_act_;
+  }
+  [[nodiscard]] bool can_column(MemCycle now) const {
+    return row_open() && now >= ready_col_;
+  }
+  [[nodiscard]] bool can_precharge(MemCycle now) const {
+    return row_open() && now >= ready_pre_;
+  }
+
+  [[nodiscard]] MemCycle ready_act() const { return ready_act_; }
+  [[nodiscard]] MemCycle ready_col() const { return ready_col_; }
+  [[nodiscard]] MemCycle ready_pre() const { return ready_pre_; }
+
+  void activate(MemCycle now, std::uint32_t row) {
+    open_row_ = row;
+    ready_col_ = now + t_->tRCD;
+    ready_pre_ = now + t_->tRAS;
+  }
+
+  /// Issues a read column command; returns the cycle the last data beat
+  /// leaves the pins.
+  MemCycle read(MemCycle now) {
+    const MemCycle done = now + t_->tCL + t_->tBURST;
+    ready_pre_ = std::max(ready_pre_, now + t_->tRTP + t_->tBURST);
+    ready_col_ = std::max(ready_col_, now + t_->tBURST);
+    return done;
+  }
+
+  /// Issues a write column command; returns the cycle the write recovery
+  /// completes inside the array.
+  MemCycle write(MemCycle now) {
+    const MemCycle done = now + t_->tCWL + t_->tBURST;
+    ready_pre_ = std::max(ready_pre_, done + t_->tWR);
+    ready_col_ = std::max(ready_col_, now + t_->tBURST);
+    return done;
+  }
+
+  void precharge(MemCycle now) {
+    open_row_ = -1;
+    ready_act_ = now + t_->tRP;
+  }
+
+  /// Blocks the bank (e.g. for a refresh) until `until`.
+  void block_until(MemCycle until) {
+    ready_act_ = std::max(ready_act_, until);
+    ready_col_ = std::max(ready_col_, until);
+    ready_pre_ = std::max(ready_pre_, until);
+  }
+
+ private:
+  const Timing* t_;
+  std::int64_t open_row_ = -1;
+  MemCycle ready_act_ = 0;
+  MemCycle ready_col_ = 0;
+  MemCycle ready_pre_ = 0;
+};
+
+}  // namespace mecc::dram

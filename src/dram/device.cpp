@@ -1,0 +1,180 @@
+#include "dram/device.h"
+
+#include <cassert>
+
+namespace mecc::dram {
+
+Device::Device(const Geometry& geo, const Timing& timing)
+    : geo_(geo), timing_(timing) {
+  banks_.reserve(geo_.banks);
+  for (std::uint32_t i = 0; i < geo_.banks; ++i) banks_.emplace_back(timing_);
+}
+
+bool Device::all_banks_precharged() const {
+  for (const auto& b : banks_) {
+    if (b.row_open()) return false;
+  }
+  return true;
+}
+
+PowerState Device::compute_state() const {
+  if (in_self_refresh_) return PowerState::kSelfRefresh;
+  if (powered_down_) {
+    return all_banks_precharged() ? PowerState::kPrechargePowerDown
+                                  : PowerState::kActivePowerDown;
+  }
+  return all_banks_precharged() ? PowerState::kPrechargeStandby
+                                : PowerState::kActiveStandby;
+}
+
+void Device::account_to(MemCycle now) {
+  assert(now >= state_since_);
+  counters_.state_cycles[static_cast<std::size_t>(state_)] +=
+      now - state_since_;
+  state_since_ = now;
+}
+
+void Device::refresh_state(MemCycle now) {
+  account_to(now);
+  state_ = compute_state();
+}
+
+bool Device::can_activate(std::uint32_t bank, MemCycle now) const {
+  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  if (!banks_[bank].can_activate(now)) return false;
+  if (now < next_act_allowed_) return false;
+  // tFAW: this would be the fifth ACT within the window.
+  if (act_count_ < act_window_.size()) return true;
+  const MemCycle oldest = act_window_[act_window_idx_];
+  return now >= oldest + timing_.tFAW;
+}
+
+void Device::activate(std::uint32_t bank, std::uint32_t row, MemCycle now) {
+  assert(can_activate(bank, now));
+  record(CmdType::kActivate, bank, row, now);
+  banks_[bank].activate(now, row);
+  next_act_allowed_ = now + timing_.tRRD;
+  act_window_[act_window_idx_] = now;
+  act_window_idx_ = (act_window_idx_ + 1) % act_window_.size();
+  ++act_count_;
+  ++counters_.activates;
+  refresh_state(now);
+}
+
+bool Device::can_read(std::uint32_t bank, std::uint32_t row,
+                      MemCycle now) const {
+  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  const Bank& b = banks_[bank];
+  if (!b.can_column(now) || b.open_row() != static_cast<std::int64_t>(row)) {
+    return false;
+  }
+  MemCycle bus_ok = bus_ready_;
+  if (last_col_was_write_) bus_ok += timing_.tWTR;
+  return now >= bus_ok;
+}
+
+MemCycle Device::read(std::uint32_t bank, MemCycle now) {
+  record(CmdType::kRead, bank, 0, now);
+  const MemCycle done = banks_[bank].read(now);
+  bus_ready_ = now + timing_.tBURST;
+  last_col_was_write_ = false;
+  ++counters_.reads;
+  refresh_state(now);
+  return done;
+}
+
+bool Device::can_write(std::uint32_t bank, std::uint32_t row,
+                       MemCycle now) const {
+  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  const Bank& b = banks_[bank];
+  if (!b.can_column(now) || b.open_row() != static_cast<std::int64_t>(row)) {
+    return false;
+  }
+  return now >= bus_ready_;
+}
+
+MemCycle Device::write(std::uint32_t bank, MemCycle now) {
+  record(CmdType::kWrite, bank, 0, now);
+  const MemCycle done = banks_[bank].write(now);
+  bus_ready_ = now + timing_.tBURST;
+  last_col_was_write_ = true;
+  ++counters_.writes;
+  refresh_state(now);
+  return done;
+}
+
+bool Device::can_precharge(std::uint32_t bank, MemCycle now) const {
+  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  return banks_[bank].can_precharge(now);
+}
+
+void Device::precharge(std::uint32_t bank, MemCycle now) {
+  assert(can_precharge(bank, now));
+  record(CmdType::kPrecharge, bank, 0, now);
+  banks_[bank].precharge(now);
+  ++counters_.precharges;
+  refresh_state(now);
+}
+
+bool Device::can_refresh(MemCycle now) const {
+  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  if (!all_banks_precharged()) return false;
+  for (const auto& b : banks_) {
+    if (now < b.ready_act()) return false;
+  }
+  return true;
+}
+
+void Device::refresh(MemCycle now) {
+  assert(can_refresh(now));
+  record(CmdType::kRefresh, 0, 0, now);
+  for (auto& b : banks_) b.block_until(now + timing_.tRFC);
+  ++counters_.refreshes;
+  refresh_state(now);
+}
+
+void Device::enter_power_down(MemCycle now) {
+  assert(!powered_down_ && !in_self_refresh_);
+  record(CmdType::kPowerDownEnter, 0, 0, now);
+  powered_down_ = true;
+  refresh_state(now);
+}
+
+void Device::exit_power_down(MemCycle now) {
+  assert(powered_down_);
+  record(CmdType::kPowerDownExit, 0, 0, now);
+  powered_down_ = false;
+  wakeup_ready_ = now + timing_.tXP;
+  refresh_state(now);
+}
+
+void Device::enter_self_refresh(MemCycle now, std::uint32_t refresh_divider) {
+  assert(!powered_down_ && !in_self_refresh_);
+  assert(all_banks_precharged());
+  assert(refresh_divider >= 1);
+  record(CmdType::kSelfRefreshEnter, 0, 0, now);
+  in_self_refresh_ = true;
+  sr_divider_ = refresh_divider;
+  sr_entry_time_ = now;
+  refresh_state(now);
+}
+
+void Device::exit_self_refresh(MemCycle now) {
+  assert(in_self_refresh_);
+  // Credit the internal refresh pulses performed while asleep: one pulse
+  // per (tREFI * divider).
+  const MemCycle stay = now - sr_entry_time_;
+  counters_.self_refresh_pulses +=
+      stay / (static_cast<MemCycle>(timing_.tREFI) * sr_divider_);
+  record(CmdType::kSelfRefreshExit, 0, 0, now);
+  in_self_refresh_ = false;
+  wakeup_ready_ = now + timing_.tXSR;
+  refresh_state(now);
+}
+
+const ActivityCounters& Device::counters(MemCycle now) {
+  account_to(now);
+  return counters_;
+}
+
+}  // namespace mecc::dram

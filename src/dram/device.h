@@ -1,0 +1,146 @@
+// The DRAM device: a rank of banks, rank-global timing constraints
+// (data bus, tRRD, tFAW), refresh, power-mode transitions, and the
+// activity / state-residency accounting consumed by the power model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "dram/bank.h"
+#include "dram/dram_params.h"
+#include "dram/timing_checker.h"
+
+namespace mecc::dram {
+
+/// Power-relevant device states (per Micron TN-46-12 categories).
+enum class PowerState : std::uint8_t {
+  kPrechargeStandby,    // all banks idle, clock running (IDD2N)
+  kActiveStandby,       // some bank open, clock running (IDD3N)
+  kPrechargePowerDown,  // CKE low, all banks idle (IDD2P)
+  kActivePowerDown,     // CKE low, bank open (IDD3P)
+  kSelfRefresh,         // self-refresh mode (IDD8-class)
+};
+inline constexpr std::size_t kNumPowerStates = 5;
+
+/// Event counters the power model turns into energy.
+struct ActivityCounters {
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t refreshes = 0;           // auto-refresh commands issued
+  std::uint64_t self_refresh_pulses = 0; // internal refreshes while in SR
+  std::array<std::uint64_t, kNumPowerStates> state_cycles{};  // mem cycles
+
+  /// Counter delta (this - earlier): per-period accounting when one
+  /// device lives across several active/idle periods.
+  [[nodiscard]] ActivityCounters since(const ActivityCounters& earlier) const {
+    ActivityCounters d;
+    d.activates = activates - earlier.activates;
+    d.precharges = precharges - earlier.precharges;
+    d.reads = reads - earlier.reads;
+    d.writes = writes - earlier.writes;
+    d.refreshes = refreshes - earlier.refreshes;
+    d.self_refresh_pulses = self_refresh_pulses - earlier.self_refresh_pulses;
+    for (std::size_t i = 0; i < kNumPowerStates; ++i) {
+      d.state_cycles[i] = state_cycles[i] - earlier.state_cycles[i];
+    }
+    return d;
+  }
+};
+
+class Device {
+ public:
+  Device(const Geometry& geo, const Timing& timing);
+
+  [[nodiscard]] const Geometry& geometry() const { return geo_; }
+  [[nodiscard]] const Timing& timing() const { return timing_; }
+
+  // ---- command interface (active operation) ----
+  [[nodiscard]] bool can_activate(std::uint32_t bank, MemCycle now) const;
+  void activate(std::uint32_t bank, std::uint32_t row, MemCycle now);
+
+  [[nodiscard]] bool can_read(std::uint32_t bank, std::uint32_t row,
+                              MemCycle now) const;
+  /// Returns the cycle the last data beat is on the bus.
+  MemCycle read(std::uint32_t bank, MemCycle now);
+
+  [[nodiscard]] bool can_write(std::uint32_t bank, std::uint32_t row,
+                               MemCycle now) const;
+  MemCycle write(std::uint32_t bank, MemCycle now);
+
+  [[nodiscard]] bool can_precharge(std::uint32_t bank, MemCycle now) const;
+  void precharge(std::uint32_t bank, MemCycle now);
+
+  /// All-bank auto refresh; requires every bank precharged. Banks are
+  /// blocked for tRFC.
+  [[nodiscard]] bool can_refresh(MemCycle now) const;
+  void refresh(MemCycle now);
+
+  // ---- power modes ----
+  /// Precharge/active power-down entry (CKE low). No commands until exit.
+  void enter_power_down(MemCycle now);
+  /// Exit power-down; commands legal again after tXP.
+  void exit_power_down(MemCycle now);
+  [[nodiscard]] bool in_power_down() const { return powered_down_; }
+
+  /// Self-refresh entry: all banks must be precharged. While in self
+  /// refresh the device refreshes itself; `refresh_divider` slows the
+  /// internal refresh rate (the paper's 4-bit counter: 16 -> 1 s period).
+  void enter_self_refresh(MemCycle now, std::uint32_t refresh_divider = 1);
+  /// Exit self refresh; commands legal after tXSR. Internal refresh pulses
+  /// performed during the stay are credited to the activity counters.
+  void exit_self_refresh(MemCycle now);
+  [[nodiscard]] bool in_self_refresh() const { return in_self_refresh_; }
+
+  [[nodiscard]] const Bank& bank(std::uint32_t i) const { return banks_[i]; }
+  [[nodiscard]] bool all_banks_precharged() const;
+  [[nodiscard]] PowerState power_state() const { return state_; }
+
+  /// Finalizes state-residency accounting up to `now` and returns the
+  /// counters. Safe to call repeatedly.
+  [[nodiscard]] const ActivityCounters& counters(MemCycle now);
+
+  /// Attaches a command log; every subsequent command is appended (for
+  /// the TimingChecker and debugging). Pass nullptr to detach.
+  void set_command_log(std::vector<Command>* log) { cmd_log_ = log; }
+
+ private:
+  void account_to(MemCycle now);
+  void refresh_state(MemCycle now);
+  [[nodiscard]] PowerState compute_state() const;
+
+  Geometry geo_;
+  Timing timing_;
+  std::vector<Bank> banks_;
+
+  MemCycle bus_ready_ = 0;        // next legal column command (data bus)
+  MemCycle next_act_allowed_ = 0; // tRRD
+  std::array<MemCycle, 4> act_window_{};  // last four ACT times (tFAW)
+  std::size_t act_window_idx_ = 0;
+  std::uint64_t act_count_ = 0;   // tFAW binds only after four ACTs
+  MemCycle wakeup_ready_ = 0;     // earliest command after PD/SR exit
+  bool last_col_was_write_ = false;
+
+  bool powered_down_ = false;
+  bool in_self_refresh_ = false;
+  std::uint32_t sr_divider_ = 1;
+  MemCycle sr_entry_time_ = 0;
+
+  PowerState state_ = PowerState::kPrechargeStandby;
+  MemCycle state_since_ = 0;
+  ActivityCounters counters_;
+  std::vector<Command>* cmd_log_ = nullptr;
+
+  void record(CmdType type, std::uint32_t bank, std::uint32_t row,
+              MemCycle now) {
+    if (cmd_log_ != nullptr) {
+      cmd_log_->push_back(
+          {.type = type, .bank = bank, .row = row, .cycle = now});
+    }
+  }
+};
+
+}  // namespace mecc::dram

@@ -1,0 +1,67 @@
+// DRAM geometry and timing parameters (paper Table II + Micron 1 Gb
+// mobile LPDDR datasheet [21] for the values the paper omits).
+//
+// All timing values are in *memory-bus cycles* (200 MHz, tCK = 5 ns).
+// The simulator core runs in CPU cycles (1.6 GHz); the memory controller
+// converts at the boundary (8 CPU cycles per memory cycle).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace mecc::dram {
+
+struct Geometry {
+  std::uint32_t channels = 1;
+  std::uint32_t ranks = 1;
+  std::uint32_t banks = 4;
+  std::uint32_t rows_per_bank = 16 * 1024;
+  // Table II lists 1K columns on a x32 DDR interface; a row buffer holds
+  // 16 KB, i.e. 256 cache lines of 64 B. With 4 banks x 16K rows x 16 KB
+  // this is exactly the 1 GB capacity of Table II.
+  std::uint32_t lines_per_row = 256;
+
+  [[nodiscard]] std::uint64_t total_lines() const {
+    return static_cast<std::uint64_t>(channels) * ranks * banks *
+           rows_per_bank * lines_per_row;
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return total_lines() * kLineBytes;
+  }
+};
+
+struct Timing {
+  // Core array timing (memory cycles @ 5 ns).
+  std::uint32_t tRCD = 3;   // ACT to column command, 15 ns
+  std::uint32_t tRP = 3;    // PRE to ACT, 15 ns
+  std::uint32_t tCL = 3;    // read column to first data, 15 ns
+  std::uint32_t tCWL = 2;   // write column to first data, 10 ns
+  std::uint32_t tRAS = 8;   // ACT to PRE, 40 ns
+  std::uint32_t tWR = 3;    // write recovery, 15 ns
+  std::uint32_t tRTP = 2;   // read to PRE, 10 ns
+  std::uint32_t tBURST = 8; // 64 B line over x32 DDR = 16 beats = 8 cycles
+  std::uint32_t tWTR = 2;   // write-to-read turnaround
+  std::uint32_t tRRD = 2;   // ACT-to-ACT, different banks
+  std::uint32_t tFAW = 10;  // four-activate window
+  std::uint32_t tRFC = 13;  // refresh command duration, 65 ns
+  std::uint32_t tREFI = 1560;  // refresh interval, 7.8 us (distributed AR)
+  std::uint32_t tXP = 2;    // power-down exit
+  std::uint32_t tCKE = 2;   // power-down entry
+  std::uint32_t tXSR = 40;  // self-refresh exit, 200 ns
+
+  [[nodiscard]] std::uint32_t tRC() const { return tRAS + tRP; }
+};
+
+/// Rows refreshed per all-bank REF command so the whole device is covered
+/// once per 64 ms window: rows_per_bank / (64 ms / tREFI) = 16384 / 8192.
+inline constexpr std::uint32_t kRowsPerRefreshCommand = 2;
+
+/// Number of REF commands per 64 ms retention window.
+inline constexpr std::uint32_t kRefreshCommandsPerWindow = 8192;
+
+/// JEDEC baseline retention window (64 ms) in memory cycles.
+inline constexpr std::uint64_t kRetentionWindowMemCycles =
+    static_cast<std::uint64_t>(0.064 * kMemFreqHz);
+
+}  // namespace mecc::dram

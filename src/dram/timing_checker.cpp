@@ -1,0 +1,163 @@
+#include "dram/timing_checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+namespace mecc::dram {
+
+std::string cmd_name(CmdType t) {
+  switch (t) {
+    case CmdType::kActivate:
+      return "ACT";
+    case CmdType::kRead:
+      return "RD";
+    case CmdType::kWrite:
+      return "WR";
+    case CmdType::kPrecharge:
+      return "PRE";
+    case CmdType::kRefresh:
+      return "REF";
+    case CmdType::kPowerDownEnter:
+      return "PDE";
+    case CmdType::kPowerDownExit:
+      return "PDX";
+    case CmdType::kSelfRefreshEnter:
+      return "SRE";
+    case CmdType::kSelfRefreshExit:
+      return "SRX";
+  }
+  return "?";
+}
+
+std::string TimingViolation::to_string() const {
+  return rule + ": commands #" + std::to_string(first_index) + " -> #" +
+         std::to_string(second_index) + " gap " +
+         std::to_string(actual_gap) + " < required " +
+         std::to_string(required_gap);
+}
+
+namespace {
+
+struct BankState {
+  std::optional<std::size_t> last_act;
+  std::optional<std::size_t> last_rd;
+  std::optional<std::size_t> last_wr;
+  std::optional<std::size_t> last_pre;
+  bool row_open = false;
+};
+
+}  // namespace
+
+std::vector<TimingViolation> TimingChecker::check(
+    const std::vector<Command>& log, std::uint32_t num_banks) const {
+  std::vector<TimingViolation> out;
+  std::vector<BankState> banks(num_banks);
+  std::optional<std::size_t> last_rank_act;       // tRRD
+  std::deque<std::size_t> act_window;             // tFAW
+  std::optional<std::size_t> last_col;            // data bus (tBURST)
+  std::optional<std::size_t> last_wr_any;         // tWTR
+  std::optional<std::size_t> last_ref;            // tRFC
+  std::optional<std::size_t> last_wakeup;         // tXP / tXSR
+  std::uint64_t wakeup_gap = 0;
+
+  auto require = [&](std::optional<std::size_t> first, std::size_t second,
+                     std::uint64_t gap, const char* rule) {
+    if (!first) return;
+    const std::uint64_t actual = log[second].cycle - log[*first].cycle;
+    if (actual < gap) {
+      out.push_back({.first_index = *first,
+                     .second_index = second,
+                     .rule = rule,
+                     .required_gap = gap,
+                     .actual_gap = actual});
+    }
+  };
+
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const Command& c = log[i];
+    BankState* b = c.bank < num_banks ? &banks[c.bank] : nullptr;
+
+    // No array command may beat a power-mode exit's wake-up penalty.
+    const bool is_array_cmd =
+        c.type == CmdType::kActivate || c.type == CmdType::kRead ||
+        c.type == CmdType::kWrite || c.type == CmdType::kPrecharge ||
+        c.type == CmdType::kRefresh;
+    if (is_array_cmd) {
+      require(last_wakeup, i, wakeup_gap, "tXP/tXSR (wake-up)");
+      require(last_ref, i, t_.tRFC, "tRFC");
+    }
+
+    switch (c.type) {
+      case CmdType::kActivate: {
+        require(b->last_pre, i, t_.tRP, "tRP");
+        require(last_rank_act, i, t_.tRRD, "tRRD");
+        if (act_window.size() >= 4) {
+          require(act_window.front(), i, t_.tFAW, "tFAW");
+          act_window.pop_front();
+        }
+        act_window.push_back(i);
+        last_rank_act = i;
+        b->last_act = i;
+        b->row_open = true;
+        break;
+      }
+      case CmdType::kRead: {
+        require(b->last_act, i, t_.tRCD, "tRCD");
+        require(last_col, i, t_.tBURST, "tBURST (data bus)");
+        if (last_wr_any) {
+          require(last_wr_any, i, t_.tBURST + t_.tWTR, "tWTR");
+        }
+        b->last_rd = i;
+        last_col = i;
+        break;
+      }
+      case CmdType::kWrite: {
+        require(b->last_act, i, t_.tRCD, "tRCD");
+        require(last_col, i, t_.tBURST, "tBURST (data bus)");
+        b->last_wr = i;
+        last_col = i;
+        last_wr_any = i;
+        break;
+      }
+      case CmdType::kPrecharge: {
+        require(b->last_act, i, t_.tRAS, "tRAS");
+        require(b->last_rd, i, t_.tBURST + t_.tRTP, "tRTP");
+        require(b->last_wr, i, t_.tCWL + t_.tBURST + t_.tWR, "tWR");
+        b->last_pre = i;
+        b->row_open = false;
+        break;
+      }
+      case CmdType::kRefresh: {
+        // All banks must be precharged and past tRP.
+        for (std::uint32_t bk = 0; bk < num_banks; ++bk) {
+          if (banks[bk].row_open) {
+            out.push_back({.first_index = banks[bk].last_act.value_or(0),
+                           .second_index = i,
+                           .rule = "REF with open row (bank " +
+                                   std::to_string(bk) + ")",
+                           .required_gap = 0,
+                           .actual_gap = 0});
+          }
+          require(banks[bk].last_pre, i, t_.tRP, "tRP before REF");
+        }
+        last_ref = i;
+        break;
+      }
+      case CmdType::kPowerDownExit:
+        last_wakeup = i;
+        wakeup_gap = t_.tXP;
+        break;
+      case CmdType::kSelfRefreshExit:
+        last_wakeup = i;
+        wakeup_gap = t_.tXSR;
+        break;
+      case CmdType::kPowerDownEnter:
+      case CmdType::kSelfRefreshEnter:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mecc::dram

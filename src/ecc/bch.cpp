@@ -1,0 +1,152 @@
+#include "ecc/bch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace mecc::ecc {
+
+using galois::Elem;
+using galois::Gf2Poly;
+using galois::GfmPoly;
+
+Bch::Bch(unsigned m, std::size_t t, std::size_t data_bits)
+    : gf_(m), t_(t), k_(data_bits) {
+  if (t == 0) throw std::invalid_argument("Bch: t must be >= 1");
+
+  // g(x) = LCM of minimal polynomials of alpha^1 .. alpha^2t. Minimal
+  // polynomials repeat across a cyclotomic coset, so collect the distinct
+  // ones (it suffices to look at odd powers; even powers share cosets).
+  std::set<std::uint64_t> distinct;
+  gen_ = Gf2Poly::from_mask(1);  // the constant 1
+  for (std::uint32_t i = 1; i <= 2 * t; ++i) {
+    const std::uint64_t mp = gf_.minimal_poly(i);
+    if (distinct.insert(mp).second) {
+      gen_ = gen_ * Gf2Poly::from_mask(mp);
+    }
+  }
+  p_ = static_cast<std::size_t>(gen_.degree());
+  if (k_ + p_ > gf_.order()) {
+    throw std::invalid_argument("Bch: data does not fit in 2^m - 1 bits");
+  }
+}
+
+BitVec Bch::to_poly_coeffs(const BitVec& codeword) const {
+  // Polynomial layout: coefficients [0, p) = parity, [p, p + k) = data.
+  BitVec poly(p_ + k_);
+  for (std::size_t i = 0; i < k_; ++i) poly.set(p_ + i, codeword.get(i));
+  for (std::size_t j = 0; j < p_; ++j) poly.set(j, codeword.get(k_ + j));
+  return poly;
+}
+
+BitVec Bch::encode(const BitVec& data) const {
+  assert(data.size() == k_);
+  // Systematic encoding: parity(x) = (data(x) * x^p) mod g(x).
+  BitVec shifted(p_ + k_);
+  shifted.splice(p_, data);
+  const Gf2Poly rem = Gf2Poly::from_bits(shifted).mod(gen_);
+
+  BitVec cw(k_ + p_);
+  cw.splice(0, data);
+  for (std::size_t j = 0; j < p_; ++j) {
+    cw.set(k_ + j, rem.coeff(j));
+  }
+  return cw;
+}
+
+DecodeResult Bch::decode(const BitVec& codeword) const {
+  assert(codeword.size() == codeword_bits());
+  DecodeResult res;
+  const BitVec poly = to_poly_coeffs(codeword);
+  const std::size_t n = poly.size();
+
+  // Syndromes S_j = r(alpha^j), j = 1 .. 2t. Only the set coefficient
+  // positions contribute (r has GF(2) coefficients).
+  const auto error_positions_hint = poly.set_positions();
+  std::vector<Elem> syn(2 * t_ + 1, 0);
+  bool any_syndrome = false;
+  for (std::size_t j = 1; j <= 2 * t_; ++j) {
+    Elem s = 0;
+    for (auto pos : error_positions_hint) {
+      s = galois::GaloisField::add(
+          s, gf_.alpha_pow(static_cast<std::uint32_t>((pos * j) % gf_.order())));
+    }
+    syn[j] = s;
+    any_syndrome |= (s != 0);
+  }
+
+  if (!any_syndrome) {
+    res.status = DecodeStatus::kClean;
+    res.data = codeword.slice(0, k_);
+    return res;
+  }
+
+  // Berlekamp-Massey: find the minimal LFSR (error-locator polynomial
+  // lambda) generating the syndrome sequence.
+  GfmPoly lambda(std::vector<Elem>{1});
+  GfmPoly prev(std::vector<Elem>{1});
+  std::size_t L = 0;
+  std::size_t shift = 1;
+  Elem prev_disc = 1;
+  for (std::size_t it = 0; it < 2 * t_; ++it) {
+    // Discrepancy d = S[it+1] + sum_{i=1..L} lambda_i * S[it+1-i].
+    Elem d = syn[it + 1];
+    for (std::size_t i = 1; i <= L; ++i) {
+      d = galois::GaloisField::add(
+          d, gf_.mul(lambda.coeff(i), syn[it + 1 - i]));
+    }
+    if (d == 0) {
+      ++shift;
+    } else if (2 * L <= it) {
+      const GfmPoly tmp = lambda;
+      lambda = lambda.add(prev.scale(gf_, gf_.div(d, prev_disc)).shift(shift));
+      L = it + 1 - L;
+      prev = tmp;
+      prev_disc = d;
+      shift = 1;
+    } else {
+      lambda = lambda.add(prev.scale(gf_, gf_.div(d, prev_disc)).shift(shift));
+      ++shift;
+    }
+  }
+
+  if (L > t_ || static_cast<std::size_t>(lambda.degree()) != L) {
+    res.status = DecodeStatus::kUncorrectable;
+    return res;
+  }
+
+  // Chien search: position i is in error iff lambda(alpha^-i) == 0.
+  // Roots landing at i >= n would be inside the shortened (always-zero)
+  // prefix, which cannot be in error -> decode failure.
+  std::vector<std::size_t> error_positions;
+  std::size_t roots_found = 0;
+  for (std::uint32_t i = 0; i < gf_.order(); ++i) {
+    const Elem x = gf_.alpha_pow((gf_.order() - i) % gf_.order());
+    if (lambda.eval(gf_, x) == 0) {
+      ++roots_found;
+      if (i < n) error_positions.push_back(i);
+    }
+  }
+  if (roots_found != L || error_positions.size() != L) {
+    res.status = DecodeStatus::kUncorrectable;
+    return res;
+  }
+
+  BitVec fixed = poly;
+  for (auto pos : error_positions) fixed.flip(pos);
+
+  res.status = DecodeStatus::kCorrected;
+  res.corrected_bits = error_positions.size();
+  res.data = BitVec(k_);
+  for (std::size_t i = 0; i < k_; ++i) res.data.set(i, fixed.get(p_ + i));
+  return res;
+}
+
+std::string Bch::name() const {
+  return "BCH(t=" + std::to_string(t_) + ",k=" + std::to_string(k_) +
+         ",p=" + std::to_string(p_) + ")";
+}
+
+}  // namespace mecc::ecc

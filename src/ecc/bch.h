@@ -1,0 +1,54 @@
+// Binary BCH code, shortened and systematic, correcting up to t errors.
+//
+// This is the paper's "strong ECC" (S III-E): ECC-6 over a 64-byte line is
+// Bch(/*m=*/10, /*t=*/6, /*data_bits=*/512), which needs t*m = 60 parity
+// bits - exactly the budget left in the (72,64) spare space after the four
+// replicated ECC-mode bits (S III-D).
+//
+// Encoding is systematic polynomial division by the generator g(x) (the
+// LCM of the minimal polynomials of alpha^1 .. alpha^2t). Decoding runs
+// syndrome computation, Berlekamp-Massey, and Chien search.
+#pragma once
+
+#include <cstddef>
+
+#include "ecc/code.h"
+#include "galois/gf.h"
+#include "galois/gf2_poly.h"
+#include "galois/gfm_poly.h"
+
+namespace mecc::ecc {
+
+class Bch final : public Code {
+ public:
+  /// GF(2^m), corrects up to `t` errors over `data_bits` data bits.
+  /// Requires data_bits + parity <= 2^m - 1. Throws std::invalid_argument
+  /// if the code does not fit.
+  Bch(unsigned m, std::size_t t, std::size_t data_bits);
+
+  [[nodiscard]] std::size_t data_bits() const override { return k_; }
+  [[nodiscard]] std::size_t parity_bits() const override { return p_; }
+  [[nodiscard]] std::size_t correct_capability() const override { return t_; }
+
+  /// Codeword layout: bits [0, k) = data, bits [k, k+p) = parity.
+  [[nodiscard]] BitVec encode(const BitVec& data) const override;
+  [[nodiscard]] DecodeResult decode(const BitVec& codeword) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+  /// The generator polynomial g(x).
+  [[nodiscard]] const galois::Gf2Poly& generator() const { return gen_; }
+
+ private:
+  // Maps external codeword layout (data first) to polynomial coefficients
+  // (parity = low-order coefficients, data above them) and back.
+  [[nodiscard]] BitVec to_poly_coeffs(const BitVec& codeword) const;
+
+  galois::GaloisField gf_;
+  std::size_t t_;   // correction capability
+  std::size_t k_;   // data bits
+  std::size_t p_;   // parity bits = deg(g)
+  galois::Gf2Poly gen_;
+};
+
+}  // namespace mecc::ecc

@@ -1,0 +1,51 @@
+// Abstract interface for block error-correcting codes.
+//
+// All codecs in this library are *real*: they produce actual parity bits
+// and correct actual bit flips. The performance simulator consumes only
+// their modeled latency (latency_model.h), but tests and the fault-
+// injection harness exercise the bit-level machinery end to end.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/bitvec.h"
+
+namespace mecc::ecc {
+
+enum class DecodeStatus {
+  kClean,          // no error present
+  kCorrected,      // error(s) found and corrected
+  kUncorrectable,  // error detected but beyond correction capability
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kClean;
+  BitVec data;                    // recovered data bits
+  std::size_t corrected_bits = 0; // number of bit positions flipped back
+};
+
+class Code {
+ public:
+  virtual ~Code() = default;
+
+  /// Number of data bits per codeword.
+  [[nodiscard]] virtual std::size_t data_bits() const = 0;
+  /// Number of parity (check) bits per codeword.
+  [[nodiscard]] virtual std::size_t parity_bits() const = 0;
+  /// Total codeword length.
+  [[nodiscard]] std::size_t codeword_bits() const {
+    return data_bits() + parity_bits();
+  }
+  /// Guaranteed random-error correction capability t.
+  [[nodiscard]] virtual std::size_t correct_capability() const = 0;
+
+  /// Encodes `data` (must be data_bits() long) into a codeword.
+  [[nodiscard]] virtual BitVec encode(const BitVec& data) const = 0;
+  /// Decodes a (possibly corrupted) codeword.
+  [[nodiscard]] virtual DecodeResult decode(const BitVec& codeword) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace mecc::ecc

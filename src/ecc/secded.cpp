@@ -1,0 +1,115 @@
+#include "ecc/secded.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace mecc::ecc {
+
+namespace {
+
+[[nodiscard]] bool is_power_of_two(std::uint32_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace
+
+Secded::Secded(std::size_t data_bits) : k_(data_bits) {
+  if (data_bits < 4) {
+    throw std::invalid_argument("Secded: data_bits must be >= 4");
+  }
+  // Smallest r with 2^r >= k + r + 1 (classic Hamming bound).
+  r_ = 1;
+  while ((1ull << r_) < k_ + r_ + 1) ++r_;
+
+  // Tags: data bits get the non-power-of-two non-zero values in ascending
+  // order; Hamming check bit i gets tag 2^i. The syndrome of a clean word
+  // is zero, and a single flipped bit yields exactly its tag.
+  tags_.resize(k_ + r_);
+  tag_to_pos_.assign(1ull << r_, static_cast<std::size_t>(-1));
+  std::uint32_t next_tag = 3;
+  for (std::size_t i = 0; i < k_; ++i) {
+    while (is_power_of_two(next_tag)) ++next_tag;
+    tags_[i] = next_tag;
+    tag_to_pos_[next_tag] = i;
+    ++next_tag;
+  }
+  for (std::size_t i = 0; i < r_; ++i) {
+    tags_[k_ + i] = 1u << i;
+    tag_to_pos_[1u << i] = k_ + i;
+  }
+}
+
+BitVec Secded::encode(const BitVec& data) const {
+  assert(data.size() == k_);
+  BitVec cw(k_ + r_ + 1);
+  cw.splice(0, data);
+  // Hamming check bit i = XOR of data bits whose tag has bit i set.
+  for (std::size_t i = 0; i < r_; ++i) {
+    bool p = false;
+    for (std::size_t d = 0; d < k_; ++d) {
+      if ((tags_[d] >> i) & 1u) p ^= data.get(d);
+    }
+    cw.set(k_ + i, p);
+  }
+  // Overall parity: make the whole codeword even-weight.
+  bool overall = false;
+  for (std::size_t i = 0; i < k_ + r_; ++i) overall ^= cw.get(i);
+  cw.set(k_ + r_, overall);
+  return cw;
+}
+
+std::uint32_t Secded::syndrome_of(const BitVec& codeword) const {
+  std::uint32_t s = 0;
+  for (std::size_t i = 0; i < k_ + r_; ++i) {
+    if (codeword.get(i)) s ^= tags_[i];
+  }
+  return s;
+}
+
+DecodeResult Secded::decode(const BitVec& codeword) const {
+  assert(codeword.size() == codeword_bits());
+  DecodeResult res;
+  const std::uint32_t s = syndrome_of(codeword);
+  bool parity = false;
+  for (std::size_t i = 0; i < codeword.size(); ++i) parity ^= codeword.get(i);
+
+  if (s == 0 && !parity) {
+    res.status = DecodeStatus::kClean;
+    res.data = codeword.slice(0, k_);
+    return res;
+  }
+  if (s == 0 && parity) {
+    // The overall parity bit itself flipped; data is intact.
+    res.status = DecodeStatus::kCorrected;
+    res.corrected_bits = 1;
+    res.data = codeword.slice(0, k_);
+    return res;
+  }
+  if (parity) {
+    // Odd number of errors with non-zero syndrome: treat as single error.
+    const std::size_t pos = s < tag_to_pos_.size()
+                                ? tag_to_pos_[s]
+                                : static_cast<std::size_t>(-1);
+    if (pos == static_cast<std::size_t>(-1)) {
+      res.status = DecodeStatus::kUncorrectable;  // >= 3 errors aliasing
+      return res;
+    }
+    BitVec fixed = codeword;
+    fixed.flip(pos);
+    res.status = DecodeStatus::kCorrected;
+    res.corrected_bits = 1;
+    res.data = fixed.slice(0, k_);
+    return res;
+  }
+  // Non-zero syndrome, even parity: double-bit error detected.
+  res.status = DecodeStatus::kUncorrectable;
+  return res;
+}
+
+std::string Secded::name() const {
+  return "SECDED(" + std::to_string(codeword_bits()) + "," +
+         std::to_string(k_) + ")";
+}
+
+}  // namespace mecc::ecc

@@ -1,0 +1,43 @@
+// Extended Hamming SEC-DED code, generic over the data length.
+//
+// Instantiations used by the paper's design:
+//   * Secded(64)  -> the classic (72,64) code: 7 Hamming bits + 1 overall
+//     parity = 8 check bits per 64 data bits (S III-C).
+//   * Secded(512) -> SECDED at cache-line granularity: 10 Hamming bits +
+//     1 overall parity = 11 check bits per 64 B line (S III-D).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ecc/code.h"
+
+namespace mecc::ecc {
+
+class Secded final : public Code {
+ public:
+  /// Builds a SEC-DED code protecting `data_bits` bits (data_bits >= 4).
+  explicit Secded(std::size_t data_bits);
+
+  [[nodiscard]] std::size_t data_bits() const override { return k_; }
+  [[nodiscard]] std::size_t parity_bits() const override { return r_ + 1; }
+  [[nodiscard]] std::size_t correct_capability() const override { return 1; }
+
+  [[nodiscard]] BitVec encode(const BitVec& data) const override;
+  [[nodiscard]] DecodeResult decode(const BitVec& codeword) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  // Codeword layout: [data bits 0..k-1][hamming bits 0..r-1][overall parity].
+  // Each codeword bit is assigned a distinct non-zero "tag"; the syndrome is
+  // the XOR of tags of flipped bits, so a single error is located by its tag.
+  [[nodiscard]] std::uint32_t syndrome_of(const BitVec& codeword) const;
+
+  std::size_t k_;                     // data bits
+  std::size_t r_;                     // hamming check bits
+  std::vector<std::uint32_t> tags_;   // tag per codeword bit (ex. parity bit)
+  std::vector<std::size_t> tag_to_pos_;  // inverse map: tag -> bit position
+};
+
+}  // namespace mecc::ecc

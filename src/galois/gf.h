@@ -1,0 +1,61 @@
+// Finite-field arithmetic GF(2^m) via log/antilog tables.
+//
+// This is the arithmetic substrate of the BCH codec (src/ecc/bch.*). Field
+// elements are represented as integers in [0, 2^m); 0 is the additive
+// identity, alpha (the primitive element) generates the multiplicative
+// group of order 2^m - 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mecc::galois {
+
+/// A field element. Only the low m bits are meaningful.
+using Elem = std::uint32_t;
+
+class GaloisField {
+ public:
+  /// Constructs GF(2^m) for m in [3, 16] using a standard primitive
+  /// polynomial for that m. Throws std::invalid_argument otherwise.
+  explicit GaloisField(unsigned m);
+
+  [[nodiscard]] unsigned m() const { return m_; }
+  /// Field size 2^m.
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+  /// Multiplicative group order 2^m - 1.
+  [[nodiscard]] std::uint32_t order() const { return size_ - 1; }
+  /// The primitive polynomial, as a bit mask including the x^m term.
+  [[nodiscard]] std::uint32_t primitive_poly() const { return prim_poly_; }
+
+  /// alpha^i for i in [0, order).
+  [[nodiscard]] Elem alpha_pow(std::uint32_t i) const {
+    return antilog_[i % order()];
+  }
+  /// Discrete log base alpha; undefined for x == 0 (asserted).
+  [[nodiscard]] std::uint32_t log(Elem x) const;
+
+  [[nodiscard]] static Elem add(Elem a, Elem b) { return a ^ b; }
+  [[nodiscard]] Elem mul(Elem a, Elem b) const;
+  [[nodiscard]] Elem div(Elem a, Elem b) const;
+  [[nodiscard]] Elem inv(Elem a) const;
+  /// a^e with e any non-negative exponent (a may be 0: 0^0 == 1).
+  [[nodiscard]] Elem pow(Elem a, std::uint64_t e) const;
+
+  /// Minimal polynomial of alpha^i over GF(2), returned as a GF(2)
+  /// coefficient bit mask (bit k = coefficient of x^k).
+  [[nodiscard]] std::uint64_t minimal_poly(std::uint32_t i) const;
+
+  /// The cyclotomic coset of i modulo 2^m - 1 (i, 2i, 4i, ... reduced).
+  [[nodiscard]] std::vector<std::uint32_t> cyclotomic_coset(
+      std::uint32_t i) const;
+
+ private:
+  unsigned m_;
+  std::uint32_t size_;
+  std::uint32_t prim_poly_;
+  std::vector<Elem> antilog_;          // antilog_[i] = alpha^i
+  std::vector<std::uint32_t> log_;     // log_[x] = i with alpha^i = x
+};
+
+}  // namespace mecc::galois

@@ -1,0 +1,155 @@
+#include "galois/gf2_poly.h"
+
+#include <cassert>
+
+namespace mecc::galois {
+
+Gf2Poly Gf2Poly::from_mask(std::uint64_t mask) {
+  Gf2Poly p;
+  p.bits_ = BitVec(64);
+  for (std::size_t k = 0; k < 64; ++k) {
+    if ((mask >> k) & 1u) p.bits_.set(k, true);
+  }
+  p.trim();
+  return p;
+}
+
+Gf2Poly Gf2Poly::from_bits(const BitVec& bits) {
+  Gf2Poly p;
+  p.bits_ = bits;
+  p.trim();
+  return p;
+}
+
+Gf2Poly Gf2Poly::monomial(std::size_t k) {
+  Gf2Poly p;
+  p.bits_ = BitVec(k + 1);
+  p.bits_.set(k, true);
+  return p;
+}
+
+int Gf2Poly::degree() const {
+  for (std::size_t i = bits_.size(); i > 0; --i) {
+    if (bits_.get(i - 1)) return static_cast<int>(i - 1);
+  }
+  return -1;
+}
+
+void Gf2Poly::set_coeff(std::size_t k, bool v) {
+  if (k >= bits_.size()) {
+    BitVec grown(k + 1);
+    grown.splice(0, bits_);
+    bits_ = std::move(grown);
+  }
+  bits_.set(k, v);
+}
+
+Gf2Poly Gf2Poly::operator+(const Gf2Poly& other) const {
+  const std::size_t n = std::max(bits_.size(), other.bits_.size());
+  Gf2Poly out;
+  out.bits_ = BitVec(n);
+  out.bits_.splice(0, bits_);
+  for (std::size_t k = 0; k < other.bits_.size(); ++k) {
+    if (other.bits_.get(k)) out.bits_.flip(k);
+  }
+  out.trim();
+  return out;
+}
+
+Gf2Poly Gf2Poly::operator*(const Gf2Poly& other) const {
+  const int da = degree();
+  const int db = other.degree();
+  if (da < 0 || db < 0) return Gf2Poly{};
+  Gf2Poly out;
+  out.bits_ = BitVec(static_cast<std::size_t>(da + db) + 1);
+  for (int i = 0; i <= da; ++i) {
+    if (!bits_.get(static_cast<std::size_t>(i))) continue;
+    for (int j = 0; j <= db; ++j) {
+      if (other.bits_.get(static_cast<std::size_t>(j))) {
+        out.bits_.flip(static_cast<std::size_t>(i + j));
+      }
+    }
+  }
+  return out;
+}
+
+Gf2Poly Gf2Poly::mod(const Gf2Poly& divisor) const {
+  const int dd = divisor.degree();
+  assert(dd >= 0 && "division by zero polynomial");
+  Gf2Poly rem = *this;
+  int dr = rem.degree();
+  while (dr >= dd) {
+    const std::size_t shift = static_cast<std::size_t>(dr - dd);
+    for (int k = 0; k <= dd; ++k) {
+      if (divisor.bits_.get(static_cast<std::size_t>(k))) {
+        rem.bits_.flip(shift + static_cast<std::size_t>(k));
+      }
+    }
+    dr = rem.degree();
+  }
+  rem.trim();
+  return rem;
+}
+
+Gf2Poly Gf2Poly::div(const Gf2Poly& divisor) const {
+  const int dd = divisor.degree();
+  assert(dd >= 0 && "division by zero polynomial");
+  Gf2Poly rem = *this;
+  int dr = rem.degree();
+  if (dr < dd) return Gf2Poly{};
+  Gf2Poly quot;
+  quot.bits_ = BitVec(static_cast<std::size_t>(dr - dd) + 1);
+  while (dr >= dd) {
+    const std::size_t shift = static_cast<std::size_t>(dr - dd);
+    quot.bits_.set(shift, true);
+    for (int k = 0; k <= dd; ++k) {
+      if (divisor.bits_.get(static_cast<std::size_t>(k))) {
+        rem.bits_.flip(shift + static_cast<std::size_t>(k));
+      }
+    }
+    dr = rem.degree();
+  }
+  quot.trim();
+  return quot;
+}
+
+bool Gf2Poly::operator==(const Gf2Poly& other) const {
+  const int d = degree();
+  if (d != other.degree()) return false;
+  for (int k = 0; k <= d; ++k) {
+    if (coeff(static_cast<std::size_t>(k)) !=
+        other.coeff(static_cast<std::size_t>(k))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Gf2Poly::to_string() const {
+  const int d = degree();
+  if (d < 0) return "0";
+  std::string s;
+  for (int k = d; k >= 0; --k) {
+    if (!coeff(static_cast<std::size_t>(k))) continue;
+    if (!s.empty()) s += " + ";
+    if (k == 0) {
+      s += "1";
+    } else if (k == 1) {
+      s += "x";
+    } else {
+      s += "x^" + std::to_string(k);
+    }
+  }
+  return s;
+}
+
+void Gf2Poly::trim() {
+  const int d = degree();
+  BitVec tight(d < 0 ? 0 : static_cast<std::size_t>(d) + 1);
+  for (int k = 0; k <= d; ++k) {
+    tight.set(static_cast<std::size_t>(k), bits_.get(static_cast<std::size_t>(k)));
+  }
+  bits_ = std::move(tight);
+}
+
+}  // namespace mecc::galois

@@ -1,0 +1,59 @@
+// Polynomials over GF(2), arbitrary degree, dense bit representation.
+//
+// Used for BCH generator-polynomial construction (LCM of minimal
+// polynomials) and for systematic encoding (shift-and-mod division).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace mecc::galois {
+
+class Gf2Poly {
+ public:
+  /// The zero polynomial.
+  Gf2Poly() = default;
+
+  /// From a coefficient bit mask (bit k = coefficient of x^k); supports
+  /// polynomials of degree < 64.
+  static Gf2Poly from_mask(std::uint64_t mask);
+
+  /// From a coefficient bit vector (bit k = coefficient of x^k).
+  static Gf2Poly from_bits(const BitVec& bits);
+
+  /// x^k.
+  static Gf2Poly monomial(std::size_t k);
+
+  /// Degree; -1 for the zero polynomial.
+  [[nodiscard]] int degree() const;
+
+  [[nodiscard]] bool is_zero() const { return !bits_.any(); }
+  [[nodiscard]] bool coeff(std::size_t k) const {
+    return k < bits_.size() && bits_.get(k);
+  }
+  void set_coeff(std::size_t k, bool v);
+
+  [[nodiscard]] Gf2Poly operator+(const Gf2Poly& other) const;
+  [[nodiscard]] Gf2Poly operator*(const Gf2Poly& other) const;
+  /// Remainder of this modulo `divisor` (divisor must be non-zero).
+  [[nodiscard]] Gf2Poly mod(const Gf2Poly& divisor) const;
+  /// Quotient of this / `divisor`.
+  [[nodiscard]] Gf2Poly div(const Gf2Poly& divisor) const;
+
+  [[nodiscard]] bool operator==(const Gf2Poly& other) const;
+
+  /// Human-readable, e.g. "x^3 + x + 1".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Coefficients as a bit vector sized degree()+1 (empty if zero).
+  [[nodiscard]] const BitVec& bits() const { return bits_; }
+
+ private:
+  void trim();
+  BitVec bits_;  // bit k = coefficient of x^k
+};
+
+}  // namespace mecc::galois

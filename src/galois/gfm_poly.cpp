@@ -1,0 +1,65 @@
+#include "galois/gfm_poly.h"
+
+namespace mecc::galois {
+
+void GfmPoly::set_coeff(std::size_t k, Elem v) {
+  if (k >= coeffs_.size()) coeffs_.resize(k + 1, 0);
+  coeffs_[k] = v;
+  trim();
+}
+
+Elem GfmPoly::eval(const GaloisField& gf, Elem x) const {
+  Elem acc = 0;
+  for (std::size_t i = coeffs_.size(); i > 0; --i) {
+    acc = GaloisField::add(gf.mul(acc, x), coeffs_[i - 1]);
+  }
+  return acc;
+}
+
+GfmPoly GfmPoly::add(const GfmPoly& other) const {
+  std::vector<Elem> out(std::max(coeffs_.size(), other.coeffs_.size()), 0);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = GaloisField::add(coeff(k), other.coeff(k));
+  }
+  return GfmPoly(std::move(out));
+}
+
+GfmPoly GfmPoly::mul(const GaloisField& gf, const GfmPoly& other) const {
+  if (coeffs_.empty() || other.coeffs_.empty()) return GfmPoly{};
+  std::vector<Elem> out(coeffs_.size() + other.coeffs_.size() - 1, 0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0) continue;
+    for (std::size_t j = 0; j < other.coeffs_.size(); ++j) {
+      out[i + j] = GaloisField::add(out[i + j],
+                                    gf.mul(coeffs_[i], other.coeffs_[j]));
+    }
+  }
+  return GfmPoly(std::move(out));
+}
+
+GfmPoly GfmPoly::scale(const GaloisField& gf, Elem s) const {
+  std::vector<Elem> out(coeffs_.size());
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = gf.mul(coeffs_[k], s);
+  return GfmPoly(std::move(out));
+}
+
+GfmPoly GfmPoly::shift(std::size_t k) const {
+  if (coeffs_.empty()) return GfmPoly{};
+  std::vector<Elem> out(coeffs_.size() + k, 0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i + k] = coeffs_[i];
+  return GfmPoly(std::move(out));
+}
+
+GfmPoly GfmPoly::derivative() const {
+  if (coeffs_.size() <= 1) return GfmPoly{};
+  std::vector<Elem> out(coeffs_.size() - 1, 0);
+  // In characteristic 2, d/dx sum c_k x^k = sum over odd k of c_k x^(k-1).
+  for (std::size_t k = 1; k < coeffs_.size(); k += 2) out[k - 1] = coeffs_[k];
+  return GfmPoly(std::move(out));
+}
+
+void GfmPoly::trim() {
+  while (!coeffs_.empty() && coeffs_.back() == 0) coeffs_.pop_back();
+}
+
+}  // namespace mecc::galois

@@ -1,0 +1,49 @@
+// Polynomials with coefficients in GF(2^m).
+//
+// Decoder-side algebra for BCH: the error-locator polynomial produced by
+// Berlekamp-Massey and evaluated by Chien search lives here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "galois/gf.h"
+
+namespace mecc::galois {
+
+class GfmPoly {
+ public:
+  GfmPoly() = default;
+  explicit GfmPoly(std::vector<Elem> coeffs) : coeffs_(std::move(coeffs)) {
+    trim();
+  }
+
+  [[nodiscard]] int degree() const {
+    return static_cast<int>(coeffs_.size()) - 1;
+  }
+  [[nodiscard]] Elem coeff(std::size_t k) const {
+    return k < coeffs_.size() ? coeffs_[k] : 0;
+  }
+  void set_coeff(std::size_t k, Elem v);
+
+  /// Evaluates the polynomial at x (Horner).
+  [[nodiscard]] Elem eval(const GaloisField& gf, Elem x) const;
+
+  [[nodiscard]] GfmPoly add(const GfmPoly& other) const;
+  [[nodiscard]] GfmPoly mul(const GaloisField& gf, const GfmPoly& other) const;
+  /// Scales every coefficient by s.
+  [[nodiscard]] GfmPoly scale(const GaloisField& gf, Elem s) const;
+  /// Multiplies by x^k.
+  [[nodiscard]] GfmPoly shift(std::size_t k) const;
+
+  /// Formal derivative (char 2: even-power terms vanish).
+  [[nodiscard]] GfmPoly derivative() const;
+
+  [[nodiscard]] const std::vector<Elem>& coeffs() const { return coeffs_; }
+
+ private:
+  void trim();
+  std::vector<Elem> coeffs_;  // coeffs_[k] = coefficient of x^k
+};
+
+}  // namespace mecc::galois

@@ -1,0 +1,144 @@
+// The Morphable-ECC policy engine (paper S III, S VI).
+//
+// Sits beside the memory controller and decides, per access, which
+// decoder a line needs and whether the line undergoes ECC-Downgrade; on
+// idle entry it drives ECC-Upgrade (optionally narrowed by MDT) and the
+// switch to the 1 s self-refresh interval.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mecc/mdt.h"
+#include "mecc/mode_store.h"
+#include "mecc/smd.h"
+
+namespace mecc::morph {
+
+struct EngineConfig {
+  std::uint64_t memory_lines = kMemoryLines;
+  std::uint64_t memory_bytes = kMemoryBytes;
+
+  bool use_mdt = true;
+  std::size_t mdt_entries = 1024;
+
+  bool use_smd = false;
+  double smd_mpkc_threshold = 2.0;
+  Cycle smd_quantum_cycles = 102'400'000;  // 64 ms at 1.6 GHz
+
+  // Idle refresh period = 64 ms * divider (the paper's 4-bit counter: 16).
+  std::uint32_t idle_refresh_divider = 16;
+
+  // ECC-Upgrade walk rate: cycles per line converted. The paper's 400 ms
+  // for 16 M lines at 1.6 GHz works out to 40 CPU cycles per line.
+  Cycle upgrade_cycles_per_line = 40;
+};
+
+/// What the memory side must do for one read that just returned.
+struct ReadDecision {
+  LineMode decode_mode = LineMode::kWeak;  // which decoder the data needs
+  bool downgrade = false;  // re-encode weak + write back (off critical path)
+};
+
+struct UpgradeReport {
+  std::uint64_t lines_upgraded = 0;
+  Cycle upgrade_cycles = 0;   // CPU cycles spent converting
+  double upgrade_seconds = 0.0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineConfig& config)
+      : config_(config),
+        modes_(config.memory_lines, LineMode::kStrong),
+        mdt_(config.memory_bytes, config.mdt_entries),
+        smd_(config.smd_quantum_cycles, config.smd_mpkc_threshold) {}
+
+  /// Per-CPU-cycle housekeeping (SMD quantum checks).
+  void tick(Cycle now) {
+    if (config_.use_smd) smd_.tick(now);
+  }
+
+  /// A read's data arrived from DRAM: which decoder does it need, and
+  /// does the line get downgraded?
+  [[nodiscard]] ReadDecision on_read(Address line_addr) {
+    if (config_.use_smd) smd_.record_access();
+    ReadDecision d;
+    d.decode_mode = modes_.mode_of(line_addr);
+    if (d.decode_mode == LineMode::kStrong && downgrade_enabled()) {
+      d.downgrade = true;
+      modes_.set_mode(line_addr, LineMode::kWeak);
+      mdt_.mark(line_addr);
+      stats_.add("downgrades");
+    }
+    return d;
+  }
+
+  /// A write is being sent to DRAM. With downgrade enabled the line is
+  /// encoded weak (one-cycle encoder); otherwise it is re-encoded with
+  /// strong ECC so the 1 s refresh stays safe.
+  void on_write(Address line_addr) {
+    if (config_.use_smd) smd_.record_access();
+    if (downgrade_enabled()) {
+      if (modes_.mode_of(line_addr) == LineMode::kStrong) {
+        mdt_.mark(line_addr);
+        stats_.add("downgrades_on_write");
+      }
+      modes_.set_mode(line_addr, LineMode::kWeak);
+    } else {
+      modes_.set_mode(line_addr, LineMode::kStrong);
+    }
+  }
+
+  /// Idle entry: ECC-Upgrade everything MDT says was downgraded (or the
+  /// whole memory without MDT), then the DRAM can drop to the 1 s rate.
+  UpgradeReport enter_idle() {
+    UpgradeReport r;
+    r.lines_upgraded = config_.use_mdt
+                           ? mdt_.lines_to_upgrade()
+                           : config_.memory_lines;
+    r.upgrade_cycles = r.lines_upgraded * config_.upgrade_cycles_per_line;
+    r.upgrade_seconds = cycles_to_seconds(r.upgrade_cycles);
+    modes_.set_all(LineMode::kStrong);
+    mdt_.reset();
+    stats_.add("idle_entries");
+    stats_.add("lines_upgraded", r.lines_upgraded);
+    return r;
+  }
+
+  /// Wake from idle: with SMD, downgrade starts disabled and must earn
+  /// its way on via the traffic check.
+  void wake(Cycle now) {
+    if (config_.use_smd) smd_.reset(now);
+    stats_.add("wakeups");
+  }
+
+  /// ECC-Downgrade is active (always, unless SMD is holding it off).
+  [[nodiscard]] bool downgrade_enabled() const {
+    return !config_.use_smd || smd_.downgrade_enabled();
+  }
+
+  /// Refresh divider the memory controller should run with right now:
+  /// 1 (64 ms) in normal active mode, the idle divider while SMD keeps
+  /// the memory fully ECC-6 protected.
+  [[nodiscard]] std::uint32_t active_refresh_divider() const {
+    return downgrade_enabled() ? 1 : config_.idle_refresh_divider;
+  }
+
+  [[nodiscard]] const ModeStore& modes() const { return modes_; }
+  [[nodiscard]] const Mdt& mdt() const { return mdt_; }
+  [[nodiscard]] const Smd& smd() const { return smd_; }
+  [[nodiscard]] const StatSet& stats() const { return stats_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+  ModeStore modes_;
+  Mdt mdt_;
+  Smd smd_;
+  StatSet stats_;
+};
+
+}  // namespace mecc::morph

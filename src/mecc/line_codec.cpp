@@ -1,0 +1,85 @@
+#include "mecc/line_codec.h"
+
+#include <cassert>
+
+namespace mecc::morph {
+
+namespace {
+
+// Stored-word layout offsets.
+constexpr std::size_t kModeOffset = kDataBits;            // bits 512..515
+constexpr std::size_t kCodeOffset = kDataBits + kModeReplicas;  // 516..575
+constexpr std::size_t kCodeSpaceBits = kSpareBits - kModeReplicas;  // 60
+
+}  // namespace
+
+LineCodec::LineCodec() : secded_(kDataBits), bch_(10, 6, kDataBits) {
+  assert(secded_.parity_bits() == 11);
+  assert(bch_.parity_bits() == kCodeSpaceBits);
+}
+
+BitVec LineCodec::store(const BitVec& data, LineMode mode) const {
+  assert(data.size() == kDataBits);
+  BitVec stored(kStoredBits);
+  stored.splice(0, data);
+  const bool mode_bit = (mode == LineMode::kStrong);
+  for (std::size_t r = 0; r < kModeReplicas; ++r) {
+    stored.set(kModeOffset + r, mode_bit);
+  }
+  if (mode == LineMode::kStrong) {
+    const BitVec cw = bch_.encode(data);  // [data | 60 parity]
+    stored.splice(kCodeOffset, cw.slice(kDataBits, bch_.parity_bits()));
+  } else {
+    const BitVec cw = secded_.encode(data);  // [data | 11 check]
+    stored.splice(kCodeOffset, cw.slice(kDataBits, secded_.parity_bits()));
+    // Bits beyond the SEC-DED check bits stay zero (unused, Fig. 6-ii).
+  }
+  return stored;
+}
+
+LineDecodeResult LineCodec::try_mode(const BitVec& stored,
+                                     LineMode mode) const {
+  LineDecodeResult res;
+  res.mode = mode;
+  const ecc::Code& code = (mode == LineMode::kStrong)
+                              ? static_cast<const ecc::Code&>(bch_)
+                              : static_cast<const ecc::Code&>(secded_);
+  BitVec cw(code.codeword_bits());
+  cw.splice(0, stored.slice(0, kDataBits));
+  for (std::size_t j = 0; j < code.parity_bits(); ++j) {
+    cw.set(kDataBits + j, stored.get(kCodeOffset + j));
+  }
+  const ecc::DecodeResult d = code.decode(cw);
+  if (d.status == ecc::DecodeStatus::kUncorrectable) return res;
+  res.ok = true;
+  res.corrected_bits = d.corrected_bits;
+  res.data = d.data;
+  return res;
+}
+
+LineDecodeResult LineCodec::load(const BitVec& stored) const {
+  assert(stored.size() == kStoredBits);
+  std::size_t votes = 0;
+  for (std::size_t r = 0; r < kModeReplicas; ++r) {
+    votes += stored.get(kModeOffset + r) ? 1 : 0;
+  }
+
+  if (votes == 0 || votes == kModeReplicas) {
+    // Unanimous mode bits: decode directly.
+    return try_mode(stored,
+                    votes == 0 ? LineMode::kWeak : LineMode::kStrong);
+  }
+
+  // Replica mismatch: try both decoders; the one that yields a valid
+  // decode identifies the true mode. Strong mode is attempted first —
+  // mode-bit flips happen during the long-refresh idle period, when every
+  // line is ECC-6 protected.
+  LineDecodeResult strong = try_mode(stored, LineMode::kStrong);
+  strong.mode_bits_disagreed = true;
+  if (strong.ok) return strong;
+  LineDecodeResult weak = try_mode(stored, LineMode::kWeak);
+  weak.mode_bits_disagreed = true;
+  return weak;
+}
+
+}  // namespace mecc::morph

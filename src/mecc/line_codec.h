@@ -1,0 +1,61 @@
+// Bit-level MECC line layout (paper S III-D, Fig. 6).
+//
+// A (72,64)-style memory gives every 64 B line 64 spare bits. MECC packs:
+//   [ 4 x replicated ECC-mode bit | 60 bits of code space ]
+// When the line is in *weak* mode the code space holds an 11-bit SEC-DED
+// over the 512 data bits (bits 15..63 unused); in *strong* mode it holds
+// the 60 parity bits of BCH t=6. No extra storage beyond the standard
+// (72,64) provisioning is needed — that is the paper's key storage claim.
+//
+// The replicated mode bits are themselves subject to retention errors; on
+// a replica mismatch the decoder falls back to trial decoding with both
+// codes (S III-D "we try both SECDED and ECC-6 decoder").
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitvec.h"
+#include "ecc/bch.h"
+#include "ecc/ecc_model.h"
+#include "ecc/secded.h"
+
+namespace mecc::morph {
+
+inline constexpr std::size_t kDataBits = 512;   // 64 B line
+inline constexpr std::size_t kSpareBits = 64;   // (72,64) spare space
+inline constexpr std::size_t kStoredBits = kDataBits + kSpareBits;  // 576
+inline constexpr std::size_t kModeReplicas = 4;
+
+enum class LineMode : std::uint8_t { kWeak = 0, kStrong = 1 };
+
+struct LineDecodeResult {
+  bool ok = false;              // data recovered
+  LineMode mode = LineMode::kWeak;
+  bool mode_bits_disagreed = false;  // trial decoding was needed
+  std::size_t corrected_bits = 0;
+  BitVec data;                  // 512 bits when ok
+};
+
+class LineCodec {
+ public:
+  LineCodec();
+
+  /// Encodes 512 data bits into the 576-bit stored word with the given
+  /// protection mode.
+  [[nodiscard]] BitVec store(const BitVec& data, LineMode mode) const;
+
+  /// Decodes a (possibly corrupted) 576-bit stored word.
+  [[nodiscard]] LineDecodeResult load(const BitVec& stored) const;
+
+  [[nodiscard]] const ecc::Secded& weak_code() const { return secded_; }
+  [[nodiscard]] const ecc::Bch& strong_code() const { return bch_; }
+
+ private:
+  [[nodiscard]] LineDecodeResult try_mode(const BitVec& stored,
+                                          LineMode mode) const;
+
+  ecc::Secded secded_;  // SECDED(523,512): 11 check bits
+  ecc::Bch bch_;        // BCH t=6 over 512 bits: 60 parity bits
+};
+
+}  // namespace mecc::morph

@@ -1,0 +1,72 @@
+// Memory Downgrade Tracking (paper S VI-A, Fig. 15).
+//
+// A table of single-bit entries, one per memory region (default 1 K
+// entries over 1 GB -> 1 MB regions, 128 bytes of storage). A region's
+// bit is set when any line in it undergoes ECC-Downgrade; on idle entry
+// only the marked regions need ECC-Upgrade, and the table is reset once
+// the upgrade completes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mecc::morph {
+
+class Mdt {
+ public:
+  Mdt(std::uint64_t memory_bytes, std::size_t num_entries = 1024)
+      : region_bytes_(memory_bytes / num_entries),
+        bits_(num_entries, false) {}
+
+  /// Records that a line in the region containing `addr` was downgraded.
+  void mark(Address addr) {
+    const std::size_t r = region_of(addr);
+    if (!bits_[r]) {
+      bits_[r] = true;
+      ++marked_;
+    }
+  }
+
+  [[nodiscard]] bool is_marked(Address addr) const {
+    return bits_[region_of(addr)];
+  }
+
+  /// Number of regions that contain downgraded lines.
+  [[nodiscard]] std::size_t marked_regions() const { return marked_; }
+  [[nodiscard]] std::size_t num_entries() const { return bits_.size(); }
+  [[nodiscard]] std::uint64_t region_bytes() const { return region_bytes_; }
+
+  /// Memory the ECC-Upgrade walk must touch (bytes), as estimated by the
+  /// table (Fig. 11's y-axis).
+  [[nodiscard]] std::uint64_t tracked_bytes() const {
+    return static_cast<std::uint64_t>(marked_) * region_bytes_;
+  }
+  /// Lines the ECC-Upgrade walk must touch.
+  [[nodiscard]] std::uint64_t lines_to_upgrade() const {
+    return tracked_bytes() / kLineBytes;
+  }
+
+  /// Hardware cost of the table (bits / 8).
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return (bits_.size() + 7) / 8;
+  }
+
+  /// Reset after the ECC-Upgrade completes.
+  void reset() {
+    bits_.assign(bits_.size(), false);
+    marked_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t region_of(Address addr) const {
+    return static_cast<std::size_t>((addr / region_bytes_) % bits_.size());
+  }
+
+  std::uint64_t region_bytes_;
+  std::vector<bool> bits_;
+  std::size_t marked_ = 0;
+};
+
+}  // namespace mecc::morph

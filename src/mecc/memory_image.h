@@ -1,0 +1,79 @@
+// Functional MECC memory image: actually stores the 576-bit lines
+// (512 data + 4 replicated mode bits + 60 code bits) and runs the real
+// codecs on every access.
+//
+// This is the bit-accurate companion to the timing simulator: it proves
+// the full MECC data path — store weak/strong, retention-error
+// injection during a long-refresh idle period, wake-up reads with
+// demand ECC-Downgrade, idle-entry ECC-Upgrade — preserves data.
+// It is used by the reliability integration tests and the
+// idle-reliability bench, at a small line count (the timing simulator
+// never moves real data, as in USIMM).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "mecc/line_codec.h"
+#include "reliability/fault_injection.h"
+
+namespace mecc::morph {
+
+struct ImageStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t downgrades = 0;
+  std::uint64_t upgrades = 0;
+  std::uint64_t corrected_bits = 0;
+  std::uint64_t mode_bit_repairs = 0;   // trial decodes that succeeded
+  std::uint64_t uncorrectable = 0;      // data loss events
+};
+
+class MemoryImage {
+ public:
+  /// A small memory of `num_lines` 64 B lines, all initialized to zero
+  /// and stored with strong ECC (the post-idle state).
+  explicit MemoryImage(std::size_t num_lines);
+
+  [[nodiscard]] std::size_t num_lines() const { return lines_.size(); }
+
+  /// Writes 512 bits of data to a line with the given protection mode.
+  void write_line(std::size_t index, const BitVec& data, LineMode mode);
+
+  /// Reads a line: decodes with the mode the stored bits indicate (trial
+  /// decoding on replica mismatch). If `downgrade` and the line was
+  /// strong, re-encodes it weak (the MECC active-mode read path).
+  /// Returns the recovered data, or nullopt on an uncorrectable line.
+  [[nodiscard]] std::optional<BitVec> read_line(std::size_t index,
+                                                bool downgrade);
+
+  /// ECC-Upgrade: re-encodes every weak line with strong ECC (decoding
+  /// first, so accumulated correctable errors are scrubbed).
+  void upgrade_all();
+
+  /// Injects uniform random bit flips at `ber` over every stored line
+  /// (one idle period's worth of retention errors at a slowed refresh).
+  /// Returns the number of bits flipped.
+  std::uint64_t inject_retention_errors(double ber,
+                                        reliability::FaultInjector& injector);
+
+  /// Flips one stored bit of a line directly (targeted fault injection,
+  /// e.g. a VRT cell dropping its charge).
+  void flip_stored_bit(std::size_t index, std::size_t bit) {
+    lines_[index].flip(bit);
+  }
+
+  /// The current protection mode a line's stored replicas indicate.
+  [[nodiscard]] LineMode stored_mode(std::size_t index) const;
+
+  [[nodiscard]] const ImageStats& stats() const { return stats_; }
+
+ private:
+  LineCodec codec_;
+  std::vector<BitVec> lines_;  // each 576 bits
+  ImageStats stats_;
+};
+
+}  // namespace mecc::morph

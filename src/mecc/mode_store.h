@@ -1,0 +1,66 @@
+// Per-line ECC-mode tracking for the whole memory (the simulator-side
+// mirror of the ECC-mode bits stored in each line's spare space).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "mecc/line_codec.h"
+
+namespace mecc::morph {
+
+class ModeStore {
+ public:
+  /// All lines start in `initial` mode (strong after an idle period).
+  explicit ModeStore(std::uint64_t num_lines,
+                     LineMode initial = LineMode::kStrong)
+      : num_lines_(num_lines),
+        weak_bits_((num_lines + 63) / 64, 0),
+        weak_count_(0) {
+    if (initial == LineMode::kWeak) set_all(LineMode::kWeak);
+  }
+
+  [[nodiscard]] LineMode mode_of(Address line_addr) const {
+    const std::uint64_t i = index(line_addr);
+    return ((weak_bits_[i >> 6] >> (i & 63)) & 1u) ? LineMode::kWeak
+                                                   : LineMode::kStrong;
+  }
+
+  void set_mode(Address line_addr, LineMode mode) {
+    const std::uint64_t i = index(line_addr);
+    const std::uint64_t mask = 1ull << (i & 63);
+    const bool was_weak = (weak_bits_[i >> 6] & mask) != 0;
+    const bool now_weak = (mode == LineMode::kWeak);
+    if (was_weak == now_weak) return;
+    if (now_weak) {
+      weak_bits_[i >> 6] |= mask;
+      ++weak_count_;
+    } else {
+      weak_bits_[i >> 6] &= ~mask;
+      --weak_count_;
+    }
+  }
+
+  void set_all(LineMode mode) {
+    const bool weak = (mode == LineMode::kWeak);
+    for (auto& w : weak_bits_) w = weak ? ~0ull : 0ull;
+    weak_count_ = weak ? num_lines_ : 0;
+  }
+
+  /// Number of lines currently in weak (downgraded) mode.
+  [[nodiscard]] std::uint64_t weak_lines() const { return weak_count_; }
+  [[nodiscard]] std::uint64_t num_lines() const { return num_lines_; }
+  [[nodiscard]] bool all_strong() const { return weak_count_ == 0; }
+
+ private:
+  [[nodiscard]] std::uint64_t index(Address line_addr) const {
+    return (line_addr / kLineBytes) % num_lines_;
+  }
+
+  std::uint64_t num_lines_;
+  std::vector<std::uint64_t> weak_bits_;  // 1 = weak (downgraded)
+  std::uint64_t weak_count_;
+};
+
+}  // namespace mecc::morph

@@ -1,0 +1,65 @@
+// Selective Memory Downgrade (paper S VI-B, Fig. 14).
+//
+// When the system wakes from idle, ECC-Downgrade starts *disabled* and
+// the refresh interval stays at 1 s. Every quantum (64 ms, ~100 M CPU
+// cycles) the memory traffic of the previous quantum is checked; once
+// the traffic (misses per kilo-cycle, MPKC) exceeds the threshold,
+// ECC-Downgrade is enabled for the rest of the active period. Hardware
+// cost: two registers (an access counter and the last check time).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace mecc::morph {
+
+class Smd {
+ public:
+  /// `quantum_cycles`: check period in CPU cycles (paper: 64 ms ~ 100 M
+  /// cycles at 1.6 GHz; scaled runs scale it with the slice).
+  /// `mpkc_threshold`: enable ECC-Downgrade above this misses-per-kilo-
+  /// cycle traffic (paper: 2).
+  Smd(Cycle quantum_cycles, double mpkc_threshold)
+      : quantum_cycles_(quantum_cycles), threshold_(mpkc_threshold) {}
+
+  /// Called on every memory access (the counter register).
+  void record_access() { ++accesses_in_quantum_; }
+
+  /// Called every CPU cycle; performs the periodic check.
+  void tick(Cycle now) {
+    if (enabled_ || now < next_check_) return;
+    const double mpkc = static_cast<double>(accesses_in_quantum_) * 1000.0 /
+                        static_cast<double>(quantum_cycles_);
+    if (mpkc > threshold_) {
+      enabled_ = true;
+      enabled_at_ = now;
+    }
+    accesses_in_quantum_ = 0;
+    next_check_ = now + quantum_cycles_;
+  }
+
+  /// Re-arm on wake from idle: ECC-Downgrade starts disabled.
+  void reset(Cycle now) {
+    enabled_ = false;
+    accesses_in_quantum_ = 0;
+    next_check_ = now + quantum_cycles_;
+    enabled_at_ = 0;
+  }
+
+  [[nodiscard]] bool downgrade_enabled() const { return enabled_; }
+  /// Cycle at which downgrade switched on (0 when still disabled).
+  [[nodiscard]] Cycle enabled_at() const { return enabled_at_; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] Cycle quantum_cycles() const { return quantum_cycles_; }
+
+ private:
+  Cycle quantum_cycles_;
+  double threshold_;
+  bool enabled_ = false;
+  std::uint64_t accesses_in_quantum_ = 0;
+  Cycle next_check_ = 0;
+  Cycle enabled_at_ = 0;
+};
+
+}  // namespace mecc::morph

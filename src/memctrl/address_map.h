@@ -1,0 +1,52 @@
+// Physical address to DRAM coordinate mapping.
+//
+// Open-page friendly layout: consecutive cache lines fill a row, then
+// rotate across banks, then advance the row. Sequential streams therefore
+// enjoy row-buffer hits while independent streams spread over banks.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/dram_params.h"
+
+namespace mecc::memctrl {
+
+struct DramCoord {
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;  // line index within the row
+};
+
+class AddressMap {
+ public:
+  explicit AddressMap(const dram::Geometry& geo) : geo_(geo) {}
+
+  [[nodiscard]] DramCoord decode(Address byte_addr) const {
+    const std::uint64_t line = (byte_addr / kLineBytes) % geo_.total_lines();
+    DramCoord c;
+    c.col = static_cast<std::uint32_t>(line % geo_.lines_per_row);
+    c.bank = static_cast<std::uint32_t>((line / geo_.lines_per_row) %
+                                        geo_.banks);
+    c.row = static_cast<std::uint32_t>(line /
+                                       (static_cast<std::uint64_t>(
+                                            geo_.lines_per_row) *
+                                        geo_.banks));
+    assert(c.row < geo_.rows_per_bank);
+    return c;
+  }
+
+  [[nodiscard]] Address encode(const DramCoord& c) const {
+    const std::uint64_t line =
+        (static_cast<std::uint64_t>(c.row) * geo_.banks + c.bank) *
+            geo_.lines_per_row +
+        c.col;
+    return line * kLineBytes;
+  }
+
+ private:
+  dram::Geometry geo_;
+};
+
+}  // namespace mecc::memctrl

@@ -1,0 +1,280 @@
+#include "memctrl/controller.h"
+
+#include <algorithm>
+
+namespace mecc::memctrl {
+
+Controller::Controller(dram::Device& device, const ControllerConfig& config)
+    : device_(device), config_(config), map_(device.geometry()) {
+  next_refresh_ = device_.timing().tREFI;
+}
+
+bool Controller::enqueue_read(Address line_addr, std::uint64_t id,
+                              dram::MemCycle now) {
+  if (read_q_.size() >= config_.read_queue_size) return false;
+  // Write-to-read forwarding: a pending write to the same line can serve
+  // the read directly from the queue.
+  for (const auto& w : write_q_) {
+    if (w.line_addr == line_addr) {
+      in_flight_.push_back({ReadCompletion{
+          .id = id, .line_addr = line_addr, .done = now + 1,
+          .forwarded = true}});
+      stats_.add("reads_forwarded");
+      return true;
+    }
+  }
+  MemRequest r;
+  r.type = ReqType::kRead;
+  r.line_addr = line_addr;
+  r.id = id;
+  r.arrive = now;
+  const DramCoord c = map_.decode(line_addr);
+  r.bank = c.bank;
+  r.row = c.row;
+  r.col = c.col;
+  read_q_.push_back(r);
+  stats_.add("reads_enqueued");
+  return true;
+}
+
+bool Controller::enqueue_write(Address line_addr, dram::MemCycle now) {
+  if (write_q_.size() >= config_.write_queue_size) return false;
+  // Coalesce with an existing pending write to the same line.
+  for (const auto& w : write_q_) {
+    if (w.line_addr == line_addr) {
+      stats_.add("writes_coalesced");
+      return true;
+    }
+  }
+  MemRequest r;
+  r.type = ReqType::kWrite;
+  r.line_addr = line_addr;
+  r.arrive = now;
+  const DramCoord c = map_.decode(line_addr);
+  r.bank = c.bank;
+  r.row = c.row;
+  r.col = c.col;
+  write_q_.push_back(r);
+  stats_.add("writes_enqueued");
+  return true;
+}
+
+void Controller::manage_refresh(dram::MemCycle now) {
+  if (!config_.refresh_enabled) return;
+  const dram::MemCycle interval =
+      static_cast<dram::MemCycle>(device_.timing().tREFI) *
+      config_.refresh_divider;
+  // Accrue refresh debt for every interval boundary passed.
+  while (now >= next_refresh_) {
+    ++refresh_debt_;
+    next_refresh_ += interval;
+  }
+  if (refresh_debt_ == 0) {
+    refresh_urgent_ = false;
+    return;
+  }
+
+  // Elastic refresh: while demand traffic is pending and the postpone
+  // budget isn't exhausted, let reads/writes go first.
+  if (config_.elastic_refresh &&
+      refresh_debt_ < config_.max_postponed_refreshes &&
+      (!read_q_.empty() || !write_q_.empty())) {
+    refresh_urgent_ = false;
+    return;
+  }
+  // A due refresh now outranks demand traffic: the scheduler must stop
+  // opening new rows so the banks can drain to the all-precharged state.
+  refresh_urgent_ = true;
+
+  // Refresh is due: get the device out of power-down, close open rows and
+  // issue the REF command with priority over regular traffic.
+  if (device_.in_power_down()) {
+    device_.exit_power_down(now);
+    stats_.add("pd_exits_for_refresh");
+    return;
+  }
+  if (device_.can_refresh(now)) {
+    device_.refresh(now);
+    stats_.add("refreshes");
+    --refresh_debt_;
+    refresh_urgent_ = refresh_debt_ > 0;
+    return;
+  }
+  for (std::uint32_t b = 0; b < device_.geometry().banks; ++b) {
+    if (device_.bank(b).row_open() && device_.can_precharge(b, now)) {
+      device_.precharge(b, now);
+      stats_.add("precharges_for_refresh");
+      return;
+    }
+  }
+}
+
+bool Controller::row_still_needed(std::uint32_t bank, std::int64_t row) const {
+  auto needs = [&](const std::deque<MemRequest>& q) {
+    return std::any_of(q.begin(), q.end(), [&](const MemRequest& r) {
+      return r.bank == bank && static_cast<std::int64_t>(r.row) == row;
+    });
+  };
+  return needs(read_q_) || needs(write_q_);
+}
+
+bool Controller::try_issue_column(std::deque<MemRequest>& q,
+                                  dram::MemCycle now) {
+  // FR-FCFS stage 1: oldest request whose row is open and can issue now.
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (it->type == ReqType::kRead) {
+      if (device_.can_read(it->bank, it->row, now)) {
+        const dram::MemCycle done = device_.read(it->bank, now);
+        in_flight_.push_back({ReadCompletion{
+            .id = it->id, .line_addr = it->line_addr, .done = done,
+            .forwarded = false}});
+        stats_.add("row_hits");
+        stats_.add("read_latency_mem_cycles", done - it->arrive);
+        q.erase(it);
+        return true;
+      }
+    } else {
+      if (device_.can_write(it->bank, it->row, now)) {
+        device_.write(it->bank, now);
+        stats_.add("row_hits");
+        q.erase(it);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Controller::try_prepare_row(std::deque<MemRequest>& q,
+                                 dram::MemCycle now) {
+  // FR-FCFS stage 2: for the oldest request whose row is not open,
+  // precharge a conflicting row or activate the needed one.
+  for (auto& r : q) {
+    const dram::Bank& bank = device_.bank(r.bank);
+    if (bank.row_open() &&
+        bank.open_row() != static_cast<std::int64_t>(r.row)) {
+      // Oldest-first: close the conflicting row unless an *older* request
+      // (already scanned without issuing) still wants it, in which case
+      // stage 1 will reach it once the bank timing allows.
+      if (!row_still_needed(r.bank, bank.open_row()) &&
+          device_.can_precharge(r.bank, now)) {
+        device_.precharge(r.bank, now);
+        stats_.add("row_conflicts");
+        return true;
+      }
+      continue;  // bank busy or row still wanted; look at other requests
+    }
+    if (!bank.row_open() && !refresh_urgent_ &&
+        device_.can_activate(r.bank, now)) {
+      device_.activate(r.bank, r.row, now);
+      stats_.add("row_misses");
+      return true;
+    }
+  }
+  return false;
+}
+
+void Controller::manage_power_down(dram::MemCycle now, bool did_work) {
+  if (did_work || !read_q_.empty() || !write_q_.empty()) {
+    last_activity_ = now;
+    if (device_.in_power_down()) {
+      device_.exit_power_down(now);
+      stats_.add("pd_exits");
+    }
+    return;
+  }
+  if (device_.in_power_down() || device_.in_self_refresh()) return;
+  if (now - last_activity_ < config_.power_down_idle_threshold) return;
+  // Aggressive power-down: close open rows first so we land in the deeper
+  // precharge power-down state.
+  for (std::uint32_t b = 0; b < device_.geometry().banks; ++b) {
+    if (device_.bank(b).row_open()) {
+      if (device_.can_precharge(b, now)) {
+        device_.precharge(b, now);
+      }
+      return;  // try again next cycle
+    }
+  }
+  // Leave headroom for pending or imminent refresh so we don't thrash.
+  if (config_.refresh_enabled &&
+      (refresh_debt_ > 0 ||
+       next_refresh_ <= now + device_.timing().tXP)) {
+    return;
+  }
+  device_.enter_power_down(now);
+  stats_.add("pd_entries");
+}
+
+void Controller::schedule(dram::MemCycle now) {
+  // Write drain hysteresis.
+  if (write_q_.size() >= config_.write_drain_high) draining_writes_ = true;
+  if (write_q_.size() <= config_.write_drain_low) draining_writes_ = false;
+
+  const bool prefer_writes = draining_writes_ || read_q_.empty();
+  bool did_work = false;
+  if (prefer_writes) {
+    did_work = try_issue_column(write_q_, now) ||
+               try_issue_column(read_q_, now) ||
+               try_prepare_row(write_q_, now) ||
+               try_prepare_row(read_q_, now);
+  } else {
+    did_work = try_issue_column(read_q_, now) ||
+               try_prepare_row(read_q_, now) ||
+               try_issue_column(write_q_, now);
+  }
+  if (!did_work) did_work = try_close_unneeded_row(now);
+  manage_power_down(now, did_work);
+}
+
+bool Controller::try_close_unneeded_row(dram::MemCycle now) {
+  // Closed-page: proactively close rows nobody queued for, so the next
+  // miss to the bank skips the conflict precharge.
+  if (config_.page_policy != PagePolicy::kClosed) return false;
+  if (device_.in_power_down() || device_.in_self_refresh()) return false;
+  for (std::uint32_t b = 0; b < device_.geometry().banks; ++b) {
+    const dram::Bank& bank = device_.bank(b);
+    if (bank.row_open() && !row_still_needed(b, bank.open_row()) &&
+        device_.can_precharge(b, now)) {
+      device_.precharge(b, now);
+      stats_.add("closed_page_precharges");
+      return true;
+    }
+  }
+  return false;
+}
+
+void Controller::tick(dram::MemCycle now) {
+  manage_refresh(now);
+  if ((read_q_.empty() && write_q_.empty())) {
+    const bool closed = try_close_unneeded_row(now);
+    manage_power_down(now, closed);
+    return;
+  }
+  if (device_.in_power_down()) {
+    device_.exit_power_down(now);
+    stats_.add("pd_exits");
+    return;
+  }
+  schedule(now);
+}
+
+std::vector<ReadCompletion> Controller::collect_completions(
+    dram::MemCycle now) {
+  std::vector<ReadCompletion> done;
+  auto it = in_flight_.begin();
+  while (it != in_flight_.end()) {
+    if (it->completion.done <= now) {
+      done.push_back(it->completion);
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(done.begin(), done.end(),
+            [](const ReadCompletion& a, const ReadCompletion& b) {
+              return a.done < b.done;
+            });
+  return done;
+}
+
+}  // namespace mecc::memctrl

@@ -1,0 +1,129 @@
+// The memory controller: read/write transaction queues, FR-FCFS command
+// scheduling, distributed auto-refresh, write-to-read forwarding, and the
+// aggressive power-down policy the paper's baseline uses ("the scheduler
+// issues a power-down command whenever it is possible", S IV-A).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "dram/device.h"
+#include "memctrl/address_map.h"
+#include "memctrl/request.h"
+
+namespace mecc::memctrl {
+
+/// Row-buffer management policy.
+enum class PagePolicy : std::uint8_t {
+  kOpen,    // leave rows open for locality (default; Table II workloads)
+  kClosed,  // precharge as soon as no queued request wants the row
+};
+
+struct ControllerConfig {
+  PagePolicy page_policy = PagePolicy::kOpen;
+  std::size_t read_queue_size = 32;
+  std::size_t write_queue_size = 32;
+  // Write drain hysteresis: start draining when the write queue reaches
+  // the high watermark, stop at the low one.
+  std::size_t write_drain_high = 24;
+  std::size_t write_drain_low = 8;
+  // Enter power-down after this many idle memory cycles (aggressive).
+  dram::MemCycle power_down_idle_threshold = 4;
+  // Auto-refresh enable and rate divider (1 = 64 ms retention; MECC's SMD
+  // mode keeps the divider at 16 even while active).
+  bool refresh_enabled = true;
+  std::uint32_t refresh_divider = 1;
+  // Elastic refresh: postpone due REF commands while demand traffic is
+  // pending, up to the JEDEC limit of 8 outstanding, and catch up when
+  // the bus quiets down. Off by default (the paper's baseline refreshes
+  // strictly on schedule).
+  bool elastic_refresh = false;
+  std::uint32_t max_postponed_refreshes = 8;
+};
+
+class Controller {
+ public:
+  Controller(dram::Device& device, const ControllerConfig& config);
+
+  /// Enqueues a line-granularity read; false when the queue is full.
+  [[nodiscard]] bool enqueue_read(Address line_addr, std::uint64_t id,
+                                  dram::MemCycle now);
+  /// Enqueues a line-granularity write (write-back or ECC re-encode
+  /// traffic); false when the queue is full.
+  [[nodiscard]] bool enqueue_write(Address line_addr, dram::MemCycle now);
+
+  /// Advances the controller by one memory cycle.
+  void tick(dram::MemCycle now);
+
+  /// Drains and returns reads completed up to now.
+  [[nodiscard]] std::vector<ReadCompletion> collect_completions(
+      dram::MemCycle now);
+
+  [[nodiscard]] std::size_t read_queue_depth() const {
+    return read_q_.size();
+  }
+  [[nodiscard]] std::size_t write_queue_depth() const {
+    return write_q_.size();
+  }
+  [[nodiscard]] bool idle() const {
+    return read_q_.empty() && write_q_.empty() && in_flight_.empty();
+  }
+
+  void set_refresh_divider(std::uint32_t divider) {
+    config_.refresh_divider = divider;
+  }
+  void set_refresh_enabled(bool enabled) {
+    config_.refresh_enabled = enabled;
+  }
+
+  /// Re-aligns the refresh schedule after a self-refresh stay (the
+  /// device refreshed itself; accumulated debt does not apply).
+  void resync_refresh(dram::MemCycle now) {
+    next_refresh_ =
+        now + static_cast<dram::MemCycle>(device_.timing().tREFI) *
+                  config_.refresh_divider;
+    refresh_debt_ = 0;
+    refresh_urgent_ = false;
+  }
+
+  [[nodiscard]] const StatSet& stats() const { return stats_; }
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+ private:
+  struct InFlight {
+    ReadCompletion completion;
+  };
+
+  /// True if any queued request targets this bank's open row.
+  void schedule(dram::MemCycle now);
+  [[nodiscard]] bool try_issue_column(std::deque<MemRequest>& q,
+                                      dram::MemCycle now);
+  [[nodiscard]] bool try_prepare_row(std::deque<MemRequest>& q,
+                                     dram::MemCycle now);
+  void manage_power_down(dram::MemCycle now, bool did_work);
+  void manage_refresh(dram::MemCycle now);
+  [[nodiscard]] bool try_close_unneeded_row(dram::MemCycle now);
+  [[nodiscard]] bool row_still_needed(std::uint32_t bank,
+                                      std::int64_t row) const;
+
+  dram::Device& device_;
+  ControllerConfig config_;
+  AddressMap map_;
+
+  std::deque<MemRequest> read_q_;
+  std::deque<MemRequest> write_q_;
+  std::vector<InFlight> in_flight_;
+
+  bool draining_writes_ = false;
+  dram::MemCycle next_refresh_ = 0;
+  std::uint32_t refresh_debt_ = 0;
+  bool refresh_urgent_ = false;  // block new ACTs until the REF goes out
+  dram::MemCycle last_activity_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace mecc::memctrl

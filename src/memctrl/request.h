@@ -1,0 +1,34 @@
+// Memory transaction types shared by the controller, CPU model and MECC
+// engine.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/bank.h"
+
+namespace mecc::memctrl {
+
+enum class ReqType : std::uint8_t { kRead, kWrite };
+
+struct MemRequest {
+  ReqType type = ReqType::kRead;
+  Address line_addr = 0;       // byte address, line aligned
+  std::uint64_t id = 0;        // caller's tag, returned on completion
+  dram::MemCycle arrive = 0;   // enqueue time (memory cycles)
+
+  // Decoded DRAM coordinates (filled by the controller).
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+};
+
+/// Completion record handed back to the CPU side.
+struct ReadCompletion {
+  std::uint64_t id = 0;
+  Address line_addr = 0;
+  dram::MemCycle done = 0;     // last data beat, memory cycles
+  bool forwarded = false;      // served from the write queue
+};
+
+}  // namespace mecc::memctrl

@@ -1,0 +1,49 @@
+#include "power/idle_modes.h"
+
+namespace mecc::power {
+
+std::vector<IdleModeOption> idle_mode_options(const PowerModel& pm,
+                                              double capacity_mb,
+                                              const IdleModeParams& params) {
+  std::vector<IdleModeOption> out;
+
+  const IdlePower sr64 = pm.idle_power(0.064);
+  out.push_back({.name = "Self Refresh (64 ms)",
+                 .power_mw = sr64.total_mw(),
+                 .usable_capacity_fraction = 1.0,
+                 .wakeup_seconds = params.sr_exit_seconds,
+                 .state_preserved = true});
+
+  // PASR: only the retained fraction is refreshed; the rest of the
+  // array's contents are lost. Background control logic stays powered,
+  // the array-dependent share of background scales with the fraction
+  // (we attribute half of background to the array).
+  const double f = params.pasr_retained_fraction;
+  const double pasr_bg = sr64.background_mw * (0.5 + 0.5 * f);
+  out.push_back({.name = "PASR (keep " +
+                         std::to_string(static_cast<int>(f * 100)) + "%)",
+                 .power_mw = sr64.refresh_mw * f + pasr_bg,
+                 .usable_capacity_fraction = f,
+                 .wakeup_seconds = params.sr_exit_seconds,
+                 .state_preserved = false});
+
+  // Deep Power Down: nothing refreshed, nothing retained; wake-up must
+  // restore state from flash at mobile-storage bandwidth.
+  const PowerParams& pp = pm.params();
+  out.push_back({.name = "Deep Power Down",
+                 .power_mw = pp.vdd * params.dpd_current_ma,
+                 .usable_capacity_fraction = 0.0,
+                 .wakeup_seconds =
+                     capacity_mb / params.flash_restore_mb_per_s,
+                 .state_preserved = false});
+
+  const IdlePower mecc = pm.idle_power(params.mecc_refresh_period_s);
+  out.push_back({.name = "MECC (ECC-6, 1 s SR)",
+                 .power_mw = mecc.total_mw(),
+                 .usable_capacity_fraction = 1.0,
+                 .wakeup_seconds = params.sr_exit_seconds,
+                 .state_preserved = true});
+  return out;
+}
+
+}  // namespace mecc::power

@@ -1,0 +1,44 @@
+// Idle-mode alternatives for the memory system (paper S II-A): Auto/Self
+// Refresh, Partial Array Self Refresh, Deep Power Down - and MECC's slow
+// self-refresh. Each option trades idle power against usable capacity
+// and wake-up cost; MECC's pitch is PASR/DPD-class power at full
+// capacity and instant wake-up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/power_model.h"
+
+namespace mecc::power {
+
+struct IdleModeOption {
+  std::string name;
+  double power_mw = 0.0;
+  double usable_capacity_fraction = 1.0;  // contents retained
+  double wakeup_seconds = 0.0;            // until memory is usable again
+  bool state_preserved = true;
+};
+
+struct IdleModeParams {
+  // Deep Power Down residual current (Micron: ~10 uA class).
+  double dpd_current_ma = 0.010;
+  // Flash restore bandwidth for rebuilding memory contents after DPD
+  // (paper S I: 32-64 MB/s on mobile flash).
+  double flash_restore_mb_per_s = 48.0;
+  // Self-refresh exit is sub-microsecond; the dominant wake cost for SR
+  // modes is negligible at user timescale.
+  double sr_exit_seconds = 200e-9;
+  // MECC: ECC-Upgrade happens on *idle entry*, not on wake, so wake-up
+  // is the same SR exit; the 1 s period requires the ECC provisioning.
+  double mecc_refresh_period_s = 1.0;
+  // PASR: fraction of the array kept alive.
+  double pasr_retained_fraction = 0.25;
+};
+
+/// Builds the S II-A comparison for a memory of `capacity_mb`.
+[[nodiscard]] std::vector<IdleModeOption> idle_mode_options(
+    const PowerModel& pm, double capacity_mb,
+    const IdleModeParams& params = IdleModeParams{});
+
+}  // namespace mecc::power

@@ -1,0 +1,94 @@
+#include "power/power_model.h"
+
+#include <cassert>
+
+namespace mecc::power {
+
+PowerModel::PowerModel(const PowerParams& params, const dram::Timing& timing)
+    : params_(params), timing_(timing), tck_s_(1.0 / kMemFreqHz) {}
+
+double PowerModel::energy_act_pre_nj() const {
+  // Energy of an ACT/PRE pair above the background current, spread over
+  // tRC (TN-46-03 scheme).
+  const double trc_s = timing_.tRC() * tck_s_;
+  const double tras_s = timing_.tRAS * tck_s_;
+  const double bg_ma =
+      (params_.idd3n_ma * tras_s + params_.idd2n_ma * (trc_s - tras_s)) /
+      trc_s;
+  return params_.vdd * (params_.idd0_ma - bg_ma) * 1e-3 * trc_s * 1e9;
+}
+
+double PowerModel::energy_read_nj() const {
+  const double burst_s = timing_.tBURST * tck_s_;
+  return params_.vdd * (params_.idd4_ma - params_.idd3n_ma) * 1e-3 * burst_s *
+         1e9;
+}
+
+double PowerModel::energy_write_nj() const {
+  // LPDDR IDD4W is close to IDD4R; the paper's Table IV lists one IDD4.
+  return energy_read_nj();
+}
+
+double PowerModel::energy_refresh_cmd_nj() const {
+  const double trfc_s = timing_.tRFC * tck_s_;
+  return params_.vdd * (params_.idd5_ma - params_.idd2n_ma) * 1e-3 * trfc_s *
+         1e9;
+}
+
+double PowerModel::background_power_mw(dram::PowerState state) const {
+  using dram::PowerState;
+  switch (state) {
+    case PowerState::kPrechargeStandby:
+      return params_.vdd * params_.idd2n_ma;
+    case PowerState::kActiveStandby:
+      return params_.vdd * params_.idd3n_ma;
+    case PowerState::kPrechargePowerDown:
+      return params_.vdd * params_.idd2p_ma;
+    case PowerState::kActivePowerDown:
+      return params_.vdd * params_.idd3p_ma;
+    case PowerState::kSelfRefresh:
+      // Idle mode is computed analytically by idle_power(); during active
+      // operation a short self-refresh stay is charged at the 64 ms rate.
+      return params_.vdd * params_.idd8_ma;
+  }
+  return 0.0;
+}
+
+ActiveEnergy PowerModel::active_energy(
+    const dram::ActivityCounters& counters) const {
+  ActiveEnergy e;
+  std::uint64_t total_cycles = 0;
+  for (std::size_t s = 0; s < dram::kNumPowerStates; ++s) {
+    const double secs = static_cast<double>(counters.state_cycles[s]) * tck_s_;
+    e.background_mj +=
+        background_power_mw(static_cast<dram::PowerState>(s)) * secs;
+    total_cycles += counters.state_cycles[s];
+  }
+  e.seconds = static_cast<double>(total_cycles) * tck_s_;
+  e.activate_mj = static_cast<double>(counters.activates) *
+                  energy_act_pre_nj() * 1e-6;
+  e.read_mj = static_cast<double>(counters.reads) * energy_read_nj() * 1e-6;
+  e.write_mj = static_cast<double>(counters.writes) * energy_write_nj() * 1e-6;
+  e.refresh_mj = static_cast<double>(counters.refreshes) *
+                 energy_refresh_cmd_nj() * 1e-6;
+  return e;
+}
+
+IdlePower PowerModel::idle_power(double refresh_period_s) const {
+  assert(refresh_period_s > 0.0);
+  const double total_at_64ms_mw = params_.vdd * params_.idd8_ma;
+  const double refresh_at_64ms_mw =
+      total_at_64ms_mw * params_.self_refresh_refresh_share;
+  IdlePower p;
+  p.background_mw = total_at_64ms_mw - refresh_at_64ms_mw;
+  p.refresh_mw = refresh_at_64ms_mw * (0.064 / refresh_period_s);
+  return p;
+}
+
+double PowerModel::refresh_ops_per_second(double refresh_period_s) const {
+  assert(refresh_period_s > 0.0);
+  // All rows once per period, kRowsPerRefreshCommand rows per pulse.
+  return dram::kRefreshCommandsPerWindow * (0.064 / refresh_period_s) / 0.064;
+}
+
+}  // namespace mecc::power

@@ -1,0 +1,79 @@
+// Micron-style (TN-46-03 / TN-46-12) DRAM power calculator.
+//
+// Two halves, matching how the paper evaluates power:
+//   * Active mode: event energies (ACT/PRE pair, read burst, write burst,
+//     auto-refresh command) plus state-residency background power, driven
+//     by the Device's ActivityCounters.
+//   * Idle mode (Eq. 1): P_idle = P_refresh(period) + P_background, where
+//     refresh power scales linearly with the refresh rate. The 64 ms
+//     anchor point is VDD * IDD8 split by the calibrated refresh share.
+#pragma once
+
+#include "common/types.h"
+#include "dram/device.h"
+#include "power/power_params.h"
+
+namespace mecc::power {
+
+/// Idle (self-refresh) power split, in milliwatts.
+struct IdlePower {
+  double refresh_mw = 0.0;
+  double background_mw = 0.0;
+  [[nodiscard]] double total_mw() const { return refresh_mw + background_mw; }
+};
+
+/// Active-mode energy breakdown, in millijoules, over an interval.
+struct ActiveEnergy {
+  double background_mj = 0.0;
+  double activate_mj = 0.0;
+  double read_mj = 0.0;
+  double write_mj = 0.0;
+  double refresh_mj = 0.0;
+  double ecc_mj = 0.0;  // encoder/decoder energy (filled in by the system)
+  double seconds = 0.0;
+
+  [[nodiscard]] double total_mj() const {
+    return background_mj + activate_mj + read_mj + write_mj + refresh_mj +
+           ecc_mj;
+  }
+  [[nodiscard]] double average_power_mw() const {
+    return seconds > 0.0 ? total_mj() / seconds : 0.0;
+  }
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const PowerParams& params = PowerParams{},
+                      const dram::Timing& timing = dram::Timing{});
+
+  // ---- event energies (nanojoules) ----
+  [[nodiscard]] double energy_act_pre_nj() const;
+  [[nodiscard]] double energy_read_nj() const;
+  [[nodiscard]] double energy_write_nj() const;
+  [[nodiscard]] double energy_refresh_cmd_nj() const;
+
+  /// Background power for a device state (milliwatts).
+  [[nodiscard]] double background_power_mw(dram::PowerState state) const;
+
+  /// Converts the device's activity counters over `elapsed_mem_cycles`
+  /// into an active-mode energy breakdown.
+  [[nodiscard]] ActiveEnergy active_energy(
+      const dram::ActivityCounters& counters) const;
+
+  /// Idle-mode power at a given self-refresh period (seconds). The
+  /// refresh component scales as 64 ms / period (paper: 1 s -> 16x less).
+  [[nodiscard]] IdlePower idle_power(double refresh_period_s) const;
+
+  /// Refresh operations per second in idle mode at `refresh_period_s`
+  /// (the Fig. 8-left "refresh power" proxy is proportional to this).
+  [[nodiscard]] double refresh_ops_per_second(double refresh_period_s) const;
+
+  [[nodiscard]] const PowerParams& params() const { return params_; }
+
+ private:
+  PowerParams params_;
+  dram::Timing timing_;
+  double tck_s_;  // memory-cycle duration in seconds
+};
+
+}  // namespace mecc::power

@@ -1,0 +1,79 @@
+#include "reliability/failure_analysis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mecc::reliability {
+
+double binomial_pmf(std::size_t n, std::size_t k, double p) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double logc = std::lgamma(static_cast<double>(n) + 1) -
+                      std::lgamma(static_cast<double>(k) + 1) -
+                      std::lgamma(static_cast<double>(n - k) + 1);
+  const double logp = logc + static_cast<double>(k) * std::log(p) +
+                      static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(logp);
+}
+
+double line_failure_probability(std::size_t line_bits, std::size_t correct_t,
+                                double ber) {
+  if (ber <= 0.0) return 0.0;
+  if (ber >= 1.0) return correct_t < line_bits ? 1.0 : 0.0;
+  // P(fail) = 1 - sum_{k<=t} pmf(k). For the tiny-p regime that subtraction
+  // cancels, so sum the tail directly: sum_{k=t+1..n} pmf(k). The tail
+  // decays geometrically, so stop once terms become negligible.
+  double tail = 0.0;
+  for (std::size_t k = correct_t + 1; k <= line_bits; ++k) {
+    const double term = binomial_pmf(line_bits, k, ber);
+    tail += term;
+    if (term < tail * 1e-18 && k > correct_t + 3) break;
+  }
+  return tail;
+}
+
+double system_failure_probability(double p_line, std::uint64_t num_lines) {
+  if (p_line <= 0.0) return 0.0;
+  if (p_line >= 1.0) return 1.0;
+  return -std::expm1(static_cast<double>(num_lines) * std::log1p(-p_line));
+}
+
+double max_tolerable_ber(std::size_t line_bits, std::size_t correct_t,
+                         std::uint64_t num_lines, double target) {
+  if (target <= 0.0) throw std::invalid_argument("target must be > 0");
+  auto meets = [&](double ber) {
+    return system_failure_probability(
+               line_failure_probability(line_bits, correct_t, ber),
+               num_lines) < target;
+  };
+  if (!meets(1e-15)) return 0.0;
+  double lo = 1e-15;  // meets the target
+  double hi = 0.5;    // assumed not to (checked below)
+  if (meets(hi)) return hi;
+  // Bisect in log space: ~60 iterations pin ber to float precision.
+  for (int it = 0; it < 200; ++it) {
+    const double mid = std::sqrt(lo * hi);
+    if (meets(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t required_ecc_strength(std::size_t line_bits,
+                                  std::uint64_t num_lines, double ber,
+                                  double target) {
+  if (target <= 0.0) throw std::invalid_argument("target must be > 0");
+  for (std::size_t t = 0; t <= line_bits; ++t) {
+    const double ps =
+        system_failure_probability(line_failure_probability(line_bits, t, ber),
+                                   num_lines);
+    if (ps < target) return t;
+  }
+  return line_bits;  // unreachable for sane inputs
+}
+
+}  // namespace mecc::reliability

@@ -1,0 +1,50 @@
+// Analytic line / system failure probabilities (paper Table I).
+//
+// Model (paper S II-C): bit errors are uniform and independent at rate
+// `ber`; a line protected with ECC-K fails when more than K of its bits
+// flip; a system fails when any of its lines fails. Everything is
+// computed in the log domain so that probabilities down to ~1e-300 stay
+// exact-ish (Table I spans 1.2e-16).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mecc::reliability {
+
+/// P(X == k) for X ~ Binomial(n, p), computed via lgamma.
+[[nodiscard]] double binomial_pmf(std::size_t n, std::size_t k, double p);
+
+/// P(X > t) for X ~ Binomial(n, p): probability that a line with n bits
+/// and correction capability t fails.
+[[nodiscard]] double line_failure_probability(std::size_t line_bits,
+                                              std::size_t correct_t,
+                                              double ber);
+
+/// 1 - (1 - p_line)^num_lines without catastrophic cancellation.
+[[nodiscard]] double system_failure_probability(double p_line,
+                                                std::uint64_t num_lines);
+
+/// Minimal ECC correction capability t such that the system failure
+/// probability is below `target` (paper: 1e-6 -> t = 5, +1 soft-error
+/// margin -> ECC-6).
+[[nodiscard]] std::size_t required_ecc_strength(std::size_t line_bits,
+                                                std::uint64_t num_lines,
+                                                double ber, double target);
+
+/// Inverse of required_ecc_strength: the highest raw BER a line with
+/// `correct_t` retention-error correction can tolerate while keeping the
+/// system failure probability below `target`. (The caller reserves the
+/// paper's +1 soft-error margin by passing correct_t = provisioned - 1.)
+/// Returns 0 when even BER -> 0 cannot meet the target.
+[[nodiscard]] double max_tolerable_ber(std::size_t line_bits,
+                                       std::size_t correct_t,
+                                       std::uint64_t num_lines,
+                                       double target);
+
+/// Paper constants for Table I: a 64 B line plus its 8 B ECC space is
+/// 576 bits, and the 1 GB memory has 2^24 lines.
+inline constexpr std::size_t kTable1LineBits = 576;
+inline constexpr std::uint64_t kTable1NumLines = 1ull << 24;
+
+}  // namespace mecc::reliability

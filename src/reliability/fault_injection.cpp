@@ -1,0 +1,56 @@
+#include "reliability/fault_injection.h"
+
+#include <random>
+#include <set>
+
+namespace mecc::reliability {
+
+std::size_t FaultInjector::inject(BitVec& word, double ber) {
+  if (ber <= 0.0 || word.empty()) return 0;
+  std::binomial_distribution<std::size_t> dist(word.size(), ber);
+  const std::size_t count = dist(rng_.engine());
+  inject_exact(word, count);
+  return count;
+}
+
+void FaultInjector::inject_exact(BitVec& word, std::size_t count) {
+  std::set<std::size_t> flipped;
+  while (flipped.size() < count) {
+    const std::size_t pos = rng_.next_below(word.size());
+    if (flipped.insert(pos).second) word.flip(pos);
+  }
+}
+
+MonteCarloResult measure_line_failures(const ecc::Code& code, double ber,
+                                       std::size_t trials,
+                                       std::uint64_t seed) {
+  FaultInjector injector(seed);
+  MonteCarloResult result;
+  result.trials = trials;
+  BitVec data(code.data_bits());
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data.set(i, injector.rng().chance(0.5));
+    }
+    BitVec cw = code.encode(data);
+    result.total_injected_bits += injector.inject(cw, ber);
+    const ecc::DecodeResult r = code.decode(cw);
+    switch (r.status) {
+      case ecc::DecodeStatus::kClean:
+      case ecc::DecodeStatus::kCorrected:
+        result.total_corrected_bits += r.corrected_bits;
+        if (r.data != data) {
+          ++result.failures;
+          ++result.miscorrections;
+        }
+        break;
+      case ecc::DecodeStatus::kUncorrectable:
+        ++result.failures;
+        ++result.detected;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace mecc::reliability

@@ -1,0 +1,55 @@
+// Fault injection: uniform independent bit flips on stored codewords, plus
+// a Monte-Carlo harness that drives a real codec end-to-end and measures
+// empirical line failure rates (cross-check for Table I's analytics and a
+// correctness workout for the codecs under realistic error patterns).
+#pragma once
+
+#include <cstddef>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "ecc/code.h"
+
+namespace mecc::reliability {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Flips each bit of `word` independently with probability `ber`.
+  /// Returns the number of bits flipped. Uses binomial count + positions
+  /// so it stays O(flips) even for long words at low BER.
+  std::size_t inject(BitVec& word, double ber);
+
+  /// Flips exactly `count` distinct random bits.
+  void inject_exact(BitVec& word, std::size_t count);
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+struct MonteCarloResult {
+  std::size_t trials = 0;
+  std::size_t failures = 0;        // decode returned wrong data or gave up
+  std::size_t miscorrections = 0;  // decode returned wrong data silently
+  std::size_t detected = 0;        // decode flagged uncorrectable
+  std::size_t total_injected_bits = 0;
+  std::size_t total_corrected_bits = 0;
+
+  [[nodiscard]] double failure_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(failures) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Runs `trials` rounds of encode -> inject(ber) -> decode against `code`
+/// with random data, and tallies outcomes.
+[[nodiscard]] MonteCarloResult measure_line_failures(const ecc::Code& code,
+                                                     double ber,
+                                                     std::size_t trials,
+                                                     std::uint64_t seed);
+
+}  // namespace mecc::reliability

@@ -1,0 +1,37 @@
+#include "reliability/retention_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mecc::reliability {
+
+RetentionModel::RetentionModel(double p_at_64ms, double p_at_1s) {
+  if (p_at_64ms <= 0 || p_at_1s <= 0 || p_at_64ms >= p_at_1s) {
+    throw std::invalid_argument(
+        "RetentionModel: need 0 < p(64ms) < p(1s)");
+  }
+  const double lt0 = std::log10(0.064);
+  slope_ = (std::log10(p_at_1s) - std::log10(p_at_64ms)) / (0.0 - lt0);
+  intercept_ = std::log10(p_at_1s);
+}
+
+double RetentionModel::bit_failure_probability(double retention_s) const {
+  if (retention_s <= 0) return 0.0;
+  const double lp = intercept_ + slope_ * std::log10(retention_s);
+  return std::clamp(std::pow(10.0, lp), 0.0, 1.0);
+}
+
+double RetentionModel::retention_for_ber(double ber) const {
+  if (ber <= 0) throw std::invalid_argument("retention_for_ber: ber <= 0");
+  return std::pow(10.0, (std::log10(ber) - intercept_) / slope_);
+}
+
+double RetentionModel::sample_retention_seconds(Rng& rng) const {
+  // Inverse-CDF sampling of the tail; u is the cell's failure quantile.
+  const double u = rng.next_double();
+  const double t = retention_for_ber(std::max(u, 1e-300));
+  return std::min(t, 100.0);
+}
+
+}  // namespace mecc::reliability

@@ -1,0 +1,46 @@
+// DRAM cell retention-time model (paper Fig. 2, derived from Kim & Lee,
+// "A new investigation of data retention time in truly nanoscaled DRAMs",
+// 60 nm technology).
+//
+// The paper reads two anchor points off that distribution:
+//   * at the JEDEC 64 ms refresh period the bit failure probability is
+//     ~1e-9 (weak bits below this are repaired at test time), and
+//   * at a 1 second refresh period it is 10^-4.5 (the default "raw BER"
+//     used throughout the evaluation).
+// Between and beyond the anchors the cumulative failure probability is
+// log-log linear, which matches the straight-line tail of Fig. 2.
+#pragma once
+
+#include "common/rng.h"
+
+namespace mecc::reliability {
+
+class RetentionModel {
+ public:
+  /// Paper default raw BER at the 1 s refresh period: 10^-4.5.
+  static constexpr double kDefaultBerAt1s = 3.16227766016838e-5;
+
+  /// Anchors: failure probability at 64 ms and at 1 s. Defaults are the
+  /// paper's values.
+  explicit RetentionModel(double p_at_64ms = 1e-9,
+                          double p_at_1s = kDefaultBerAt1s);
+
+  /// Cumulative probability that a cell's retention time is below
+  /// `retention_s` seconds, i.e. the raw bit error rate when the refresh
+  /// period equals `retention_s`. Clamped to [0, 1].
+  [[nodiscard]] double bit_failure_probability(double retention_s) const;
+
+  /// Inverse: the refresh period (seconds) at which the bit error rate
+  /// reaches `ber`.
+  [[nodiscard]] double retention_for_ber(double ber) const;
+
+  /// Samples one cell's retention time (seconds) from the distribution
+  /// tail. Cells outside the modeled tail get a large sentinel (100 s).
+  [[nodiscard]] double sample_retention_seconds(Rng& rng) const;
+
+ private:
+  double slope_;      // d log10(P) / d log10(t)
+  double intercept_;  // log10(P) at t = 1 s
+};
+
+}  // namespace mecc::reliability

@@ -1,0 +1,34 @@
+#include "sim/csv.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace mecc::sim {
+
+std::string results_csv_header() {
+  return "benchmark,policy,instructions,cycles,ipc,seconds,mpki,reads,"
+         "writes,strong_decodes,weak_decodes,downgrades,energy_mj,"
+         "avg_power_mw,edp_mj_s,mdt_regions,mdt_tracked_bytes,"
+         "frac_downgrade_disabled";
+}
+
+void write_results_csv(const std::string& path,
+                       const std::vector<RunResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_results_csv: cannot open " + path);
+  }
+  out << results_csv_header() << '\n';
+  for (const auto& r : results) {
+    out << r.benchmark << ',' << policy_name(r.policy) << ','
+        << r.instructions << ',' << r.cpu_cycles << ',' << r.ipc << ','
+        << r.seconds << ',' << r.measured_mpki << ',' << r.reads << ','
+        << r.writes << ',' << r.strong_decodes << ',' << r.weak_decodes
+        << ',' << r.downgrades << ',' << r.energy.total_mj() << ','
+        << r.avg_power_mw << ',' << r.edp_mj_s << ',' << r.mdt_marked_regions
+        << ',' << r.mdt_tracked_bytes << ',' << r.frac_downgrade_disabled
+        << '\n';
+  }
+}
+
+}  // namespace mecc::sim

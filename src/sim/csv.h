@@ -1,0 +1,19 @@
+// CSV export of run results, for plotting outside the text tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace mecc::sim {
+
+/// Writes one row per RunResult with a fixed header. Throws
+/// std::runtime_error if the file cannot be opened.
+void write_results_csv(const std::string& path,
+                       const std::vector<RunResult>& results);
+
+/// The column header written by write_results_csv.
+[[nodiscard]] std::string results_csv_header();
+
+}  // namespace mecc::sim

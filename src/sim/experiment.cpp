@@ -1,0 +1,90 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+
+#include "ecc/ecc_model.h"
+
+namespace mecc::sim {
+
+RunResult run_benchmark(const trace::BenchmarkProfile& profile,
+                        EccPolicy policy, SystemConfig config) {
+  config.policy = policy;
+  System system(profile, config);
+  return system.run();
+}
+
+std::vector<RunResult> run_suite(EccPolicy policy,
+                                 const SystemConfig& config) {
+  std::vector<RunResult> results;
+  results.reserve(trace::all_benchmarks().size());
+  for (const auto& b : trace::all_benchmarks()) {
+    results.push_back(run_benchmark(b, policy, config));
+  }
+  return results;
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+std::vector<IdleSchemeReport> analyze_idle(const power::PowerModel& pm) {
+  std::vector<IdleSchemeReport> out;
+  auto make = [&](const std::string& name, double period) {
+    IdleSchemeReport r;
+    r.scheme = name;
+    r.refresh_period_s = period;
+    r.refresh_ops_per_s = pm.refresh_ops_per_second(period);
+    r.power = pm.idle_power(period);
+    return r;
+  };
+  out.push_back(make("Baseline", 0.064));
+  out.push_back(make("MECC", 1.0));
+  out.push_back(make("ECC-6", 1.0));
+  return out;
+}
+
+EnergyMix compose_energy(double active_power_mw, double active_seconds,
+                         double idle_power_mw, double idle_share) {
+  EnergyMix m;
+  m.active_power_mw = active_power_mw;
+  m.idle_power_mw = idle_power_mw;
+  m.active_seconds = active_seconds;
+  m.idle_seconds = active_seconds * idle_share / (1.0 - idle_share);
+  return m;
+}
+
+double normalized(double value, double base) {
+  return base == 0.0 ? 0.0 : value / base;
+}
+
+BreakEven mecc_break_even(const power::PowerModel& pm, std::uint64_t lines,
+                          Cycle upgrade_cycles_per_line) {
+  BreakEven b;
+  b.lines_upgraded = lines;
+  // Per line: read the line, ECC-6 decode, re-encode, write it back.
+  const ecc::EccModel ecc;
+  const auto strong = ecc.costs(ecc::Scheme::kEcc6);
+  const double per_line_nj = pm.energy_read_nj() + pm.energy_write_nj() +
+                             pm.energy_act_pre_nj() +
+                             (strong.decode_energy_pj +
+                              strong.encode_energy_pj) * 1e-3;
+  b.upgrade_energy_mj = static_cast<double>(lines) * per_line_nj * 1e-6;
+  b.upgrade_seconds = cycles_to_seconds(lines * upgrade_cycles_per_line);
+  b.idle_saving_mw =
+      pm.idle_power(0.064).total_mw() - pm.idle_power(1.0).total_mw();
+  b.break_even_seconds =
+      b.idle_saving_mw > 0.0 ? b.upgrade_energy_mj / b.idle_saving_mw : 0.0;
+  return b;
+}
+
+}  // namespace mecc::sim

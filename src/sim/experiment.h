@@ -1,0 +1,84 @@
+// Shared experiment plumbing for the bench harnesses: batch runs over the
+// 28-benchmark suite, idle-mode analysis (Fig. 8), active/idle energy
+// composition (Fig. 10), and small numeric helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/power_model.h"
+#include "sim/system.h"
+#include "trace/benchmarks.h"
+
+namespace mecc::sim {
+
+/// Runs one benchmark under one policy with the given base config
+/// (policy/seed fields are overwritten per call).
+[[nodiscard]] RunResult run_benchmark(const trace::BenchmarkProfile& profile,
+                                      EccPolicy policy,
+                                      SystemConfig config);
+
+/// Runs the whole 28-benchmark suite under one policy.
+[[nodiscard]] std::vector<RunResult> run_suite(EccPolicy policy,
+                                               const SystemConfig& config);
+
+/// Geometric mean (for normalized-IPC "ALL" bars; values must be > 0).
+[[nodiscard]] double geomean(const std::vector<double>& values);
+/// Arithmetic mean.
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+// ---- idle mode (Figs. 8, 10) ----
+
+struct IdleSchemeReport {
+  std::string scheme;
+  double refresh_period_s = 0.064;
+  double refresh_ops_per_s = 0.0;
+  power::IdlePower power;
+};
+
+/// Baseline (64 ms), MECC and ECC-6 (both 1 s) idle-mode analysis.
+[[nodiscard]] std::vector<IdleSchemeReport> analyze_idle(
+    const power::PowerModel& pm);
+
+struct EnergyMix {
+  double active_power_mw = 0.0;
+  double idle_power_mw = 0.0;
+  double active_seconds = 0.0;
+  double idle_seconds = 0.0;
+  [[nodiscard]] double active_mj() const {
+    return active_power_mw * active_seconds;
+  }
+  [[nodiscard]] double idle_mj() const { return idle_power_mw * idle_seconds; }
+  [[nodiscard]] double total_mj() const { return active_mj() + idle_mj(); }
+};
+
+/// Composes active + idle energy with the paper's 95%-idle usage mix
+/// (S V-D): idle time = active time * idle_share / (1 - idle_share).
+[[nodiscard]] EnergyMix compose_energy(double active_power_mw,
+                                       double active_seconds,
+                                       double idle_power_mw,
+                                       double idle_share = 0.95);
+
+/// Normalized value helper (returns 0 when the base is 0).
+[[nodiscard]] double normalized(double value, double base);
+
+// ---- MECC idle break-even analysis (extension) ----
+
+struct BreakEven {
+  std::uint64_t lines_upgraded = 0;
+  double upgrade_energy_mj = 0.0;   // ECC-Upgrade walk (read+code+write)
+  double upgrade_seconds = 0.0;
+  double idle_saving_mw = 0.0;      // P_idle(64 ms) - P_idle(1 s)
+  // Idle must last at least this long for the upgrade to pay for itself.
+  double break_even_seconds = 0.0;
+};
+
+/// How long an idle period must last before MECC's idle-entry
+/// ECC-Upgrade energy is recouped by the slower refresh. `lines` is the
+/// number of lines the upgrade walk touches (MDT-bounded footprint).
+[[nodiscard]] BreakEven mecc_break_even(const power::PowerModel& pm,
+                                        std::uint64_t lines,
+                                        Cycle upgrade_cycles_per_line = 40);
+
+}  // namespace mecc::sim

@@ -1,0 +1,50 @@
+#include "sim/options.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace mecc::sim {
+
+namespace {
+
+[[nodiscard]] bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+SimOptions parse_options(int argc, char** argv,
+                         InstCount default_instructions) {
+  SimOptions opts;
+  opts.instructions = default_instructions;
+
+  if (const char* env = std::getenv("MECC_INSTRUCTIONS")) {
+    std::uint64_t v = 0;
+    if (parse_u64(env, v) && v > 0) opts.instructions = v;
+  }
+  if (const char* env = std::getenv("MECC_SEED")) {
+    std::uint64_t v = 0;
+    if (parse_u64(env, v)) opts.seed = v;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string inst_prefix = "--instructions=";
+    const std::string seed_prefix = "--seed=";
+    std::uint64_t v = 0;
+    if (arg.rfind(inst_prefix, 0) == 0 &&
+        parse_u64(arg.substr(inst_prefix.size()), v) && v > 0) {
+      opts.instructions = v;
+    } else if (arg.rfind(seed_prefix, 0) == 0 &&
+               parse_u64(arg.substr(seed_prefix.size()), v)) {
+      opts.seed = v;
+    }
+  }
+  return opts;
+}
+
+}  // namespace mecc::sim

@@ -1,0 +1,26 @@
+// Command-line / environment knobs shared by the bench and example
+// binaries, mainly the slice length (all paper-shape results hold at the
+// default scaled slice; longer runs sharpen them).
+//
+//   --instructions=N   instructions per active period (default per binary)
+//   --seed=N           RNG seed
+//   MECC_INSTRUCTIONS / MECC_SEED environment variables as fallbacks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace mecc::sim {
+
+struct SimOptions {
+  InstCount instructions = 20'000'000;
+  std::uint64_t seed = 1;
+};
+
+/// Parses argv/env; unknown arguments are ignored (benches accept the
+/// google-benchmark flags too).
+[[nodiscard]] SimOptions parse_options(int argc, char** argv,
+                                       InstCount default_instructions);
+
+}  // namespace mecc::sim

@@ -1,0 +1,343 @@
+#include "sim/system.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "trace/file_trace.h"
+
+namespace mecc::sim {
+
+std::string policy_name(EccPolicy p) {
+  switch (p) {
+    case EccPolicy::kNoEcc:
+      return "Baseline";
+    case EccPolicy::kSecded:
+      return "SECDED";
+    case EccPolicy::kEcc6:
+      return "ECC-6";
+    case EccPolicy::kMecc:
+      return "MECC";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Backs the non-memory retire rate out of the paper's baseline IPC:
+/// 1/ipc_base = 1/ipc_paper - read_pki/1000 * nominal_read_latency.
+[[nodiscard]] double calibrate_base_ipc(const trace::BenchmarkProfile& p,
+                                        double nominal_read_latency) {
+  const double read_pki = p.mpki * p.read_fraction;
+  const double cpi_target = 1.0 / p.paper_ipc;
+  const double cpi_mem = read_pki / 1000.0 * nominal_read_latency;
+  const double cpi_base = cpi_target - cpi_mem;
+  if (cpi_base <= 0.5) return 2.0;  // memory-bound: retire at full width
+  return std::min(2.0, 1.0 / cpi_base);
+}
+
+}  // namespace
+
+System::System(const trace::BenchmarkProfile& profile,
+               const SystemConfig& config)
+    : profile_(profile),
+      config_(config),
+      base_ipc_(calibrate_base_ipc(profile,
+                                   config.calibration_read_latency_cycles)),
+      device_(config.geometry, config.timing),
+      controller_(device_, config.controller),
+      power_model_(config.power, config.timing) {
+  if (config.trace_file.empty()) {
+    source_ = std::make_unique<trace::GeneratorSource>(
+        profile,
+        trace::GeneratorConfig{
+            .footprint_scale =
+                config.footprint_scale != 0.0
+                    ? config.footprint_scale
+                    : static_cast<double>(config.instructions) / 4e9,
+            .phase_length_insts = config.phase_length_insts != 0
+                                      ? config.phase_length_insts
+                                      : std::max<std::uint64_t>(
+                                            1, config.instructions / 8),
+            .base_addr = 0,
+            .seed = config.seed,
+        });
+  } else {
+    source_ = std::make_unique<trace::FileTrace>(config.trace_file);
+  }
+  init_engine_and_core();
+}
+
+System::System(const trace::BenchmarkProfile& profile,
+               const SystemConfig& config,
+               std::unique_ptr<trace::TraceSource> source)
+    : profile_(profile),
+      config_(config),
+      base_ipc_(calibrate_base_ipc(profile,
+                                   config.calibration_read_latency_cycles)),
+      device_(config.geometry, config.timing),
+      controller_(device_, config.controller),
+      source_(std::move(source)),
+      power_model_(config.power, config.timing) {
+  init_engine_and_core();
+}
+
+void System::init_engine_and_core() {
+  const SystemConfig& config = config_;
+  ecc_model_.set_ecc6_decode_cycles(
+      config.strong_ecc_t == 6
+          ? config.ecc6_decode_cycles
+          : ecc::EccModel::decode_cycles_for_strength(config.strong_ecc_t));
+
+  if (config.policy == EccPolicy::kMecc) {
+    morph::EngineConfig ec;
+    ec.memory_lines = config.geometry.total_lines();
+    ec.memory_bytes = config.geometry.capacity_bytes();
+    ec.use_mdt = config.mecc_use_mdt;
+    ec.mdt_entries = config.mdt_entries;
+    ec.use_smd = config.mecc_use_smd;
+    ec.smd_mpkc_threshold = config.smd_mpkc_threshold;
+    ec.smd_quantum_cycles = config.smd_quantum_cycles;
+    engine_ = std::make_unique<morph::Engine>(ec);
+  }
+
+  core_ = std::make_unique<cpu::InOrderCore>(
+      cpu::CoreConfig{.base_ipc = base_ipc_, .width = 2}, *source_,
+      [this](Address line, std::uint64_t tag) {
+        const dram::MemCycle now = core_->cycles() / kCpuCyclesPerMemCycle;
+        return controller_.enqueue_read(line, tag, now);
+      },
+      [this](Address line) {
+        const dram::MemCycle now = core_->cycles() / kCpuCyclesPerMemCycle;
+        if (!controller_.enqueue_write(line, now)) return false;
+        if (engine_) engine_->on_write(line);
+        return true;
+      });
+}
+
+System::~System() = default;
+
+Cycle System::decode_latency(Address line_addr, bool forwarded) {
+  // Forwarded reads were served from the controller's write queue: the
+  // data never traversed an ECC decoder.
+  if (forwarded) return 0;
+  switch (config_.policy) {
+    case EccPolicy::kNoEcc:
+      return 0;
+    case EccPolicy::kSecded:
+      ++weak_decodes_;
+      return ecc_model_.decode_cycles(ecc::Scheme::kSecded);
+    case EccPolicy::kEcc6:
+      ++strong_decodes_;
+      return ecc_model_.decode_cycles(ecc::Scheme::kEcc6);
+    case EccPolicy::kMecc: {
+      const morph::ReadDecision d = engine_->on_read(line_addr);
+      if (d.downgrade) pending_downgrade_writes_.push_back(line_addr);
+      if (d.decode_mode == morph::LineMode::kStrong) {
+        ++strong_decodes_;
+        return ecc_model_.decode_cycles(ecc::Scheme::kEcc6);
+      }
+      ++weak_decodes_;
+      return ecc_model_.decode_cycles(ecc::Scheme::kSecded);
+    }
+  }
+  return 0;
+}
+
+void System::handle_completion(const memctrl::ReadCompletion& c, Cycle now) {
+  const Cycle data_at_cpu = c.done * kCpuCyclesPerMemCycle;
+  const Cycle ready =
+      std::max(now, data_at_cpu) + decode_latency(c.line_addr, c.forwarded);
+  pending_data_.push_back({.ready = ready, .tag = c.id});
+}
+
+RunResult System::run() { return run_period(config_.instructions); }
+
+RunResult System::run_period(InstCount instructions) {
+  RunResult r;
+  r.benchmark = std::string(profile_.name);
+  r.policy = config_.policy;
+
+  // Snapshot for per-period deltas (Fig. 4 lifecycle: a System may run
+  // several active periods separated by idle_period calls).
+  PeriodSnapshot snap;
+  snap.retired = core_->retired();
+  snap.core_cycles = core_->cycles();
+  snap.reads = core_->reads_issued();
+  snap.writes = core_->writes_issued();
+  snap.strong_decodes = strong_decodes_;
+  snap.weak_decodes = weak_decodes_;
+  snap.downgrades = downgrades_issued_;
+  snap.counters = device_.counters(now_ / kCpuCyclesPerMemCycle);
+  const Cycle period_begin = now_;
+
+  std::vector<InstCount> checkpoints = config_.checkpoint_insts;
+  std::sort(checkpoints.begin(), checkpoints.end());
+  std::size_t next_cp = 0;
+
+  const InstCount target = snap.retired + instructions;
+  while (core_->retired() < target) {
+    ++now_;
+    const Cycle cycle = now_;
+    if (engine_) engine_->tick(cycle);
+
+    if (cycle % kCpuCyclesPerMemCycle == 0) {
+      const dram::MemCycle mem_now = cycle / kCpuCyclesPerMemCycle;
+      // ECC-Downgrade write-backs go out as soon as the write queue has
+      // room (off the critical path).
+      while (!pending_downgrade_writes_.empty() &&
+             controller_.enqueue_write(pending_downgrade_writes_.back(),
+                                       mem_now)) {
+        pending_downgrade_writes_.pop_back();
+        ++downgrades_issued_;
+      }
+      if (engine_) {
+        controller_.set_refresh_divider(engine_->active_refresh_divider());
+      }
+      controller_.tick(mem_now);
+      for (const auto& c : controller_.collect_completions(mem_now)) {
+        handle_completion(c, cycle);
+      }
+    }
+
+    // Deliver data whose (transfer + ECC decode) time has elapsed.
+    for (std::size_t i = 0; i < pending_data_.size();) {
+      if (pending_data_[i].ready <= cycle) {
+        core_->on_read_data(pending_data_[i].tag);
+        pending_data_.erase(pending_data_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    core_->tick();
+
+    if (next_cp < checkpoints.size() &&
+        core_->retired() - snap.retired >= checkpoints[next_cp]) {
+      r.checkpoints.push_back(
+          {.instructions = checkpoints[next_cp],
+           .cycles = cycle - period_begin});
+      ++next_cp;
+    }
+  }
+
+  const Cycle period_cycles = now_ - period_begin;
+  r.instructions = core_->retired() - snap.retired;
+  r.cpu_cycles = period_cycles;
+  r.ipc = static_cast<double>(r.instructions) /
+          static_cast<double>(period_cycles);
+  r.seconds = cycles_to_seconds(period_cycles);
+  r.reads = core_->reads_issued() - snap.reads;
+  r.writes = core_->writes_issued() - snap.writes;
+  r.measured_mpki = static_cast<double>(r.reads + r.writes) * 1000.0 /
+                    static_cast<double>(r.instructions);
+  r.strong_decodes = strong_decodes_ - snap.strong_decodes;
+  r.weak_decodes = weak_decodes_ - snap.weak_decodes;
+  r.downgrades = downgrades_issued_ - snap.downgrades;
+
+  // ---- energy accounting (this period's counter deltas) ----
+  const dram::MemCycle mem_now = now_ / kCpuCyclesPerMemCycle;
+  r.energy = power_model_.active_energy(
+      device_.counters(mem_now).since(snap.counters));
+  const auto weak_costs = ecc_model_.costs(ecc::Scheme::kSecded);
+  const auto strong_costs = ecc_model_.costs(ecc::Scheme::kEcc6);
+  double ecc_pj = 0.0;
+  ecc_pj +=
+      static_cast<double>(r.weak_decodes) * weak_costs.decode_energy_pj;
+  ecc_pj +=
+      static_cast<double>(r.strong_decodes) * strong_costs.decode_energy_pj;
+  const double encode_pj =
+      (config_.policy == EccPolicy::kEcc6) ? strong_costs.encode_energy_pj
+                                           : weak_costs.encode_energy_pj;
+  if (config_.policy != EccPolicy::kNoEcc) {
+    ecc_pj += static_cast<double>(r.writes + r.downgrades) * encode_pj;
+  }
+  r.energy.ecc_mj = ecc_pj * 1e-9;
+  r.avg_power_mw = r.energy.average_power_mw();
+  r.edp_mj_s = r.energy.total_mj() * r.seconds;
+
+  // ---- MECC observability ----
+  if (engine_) {
+    r.mdt_marked_regions = engine_->mdt().marked_regions();
+    r.mdt_tracked_bytes = engine_->mdt().tracked_bytes();
+    if (config_.mecc_use_smd) {
+      if (!engine_->smd().downgrade_enabled()) {
+        r.frac_downgrade_disabled = 1.0;
+      } else {
+        // Fraction of *this period* spent with downgrade disabled.
+        const Cycle on_at = engine_->smd().enabled_at();
+        const Cycle disabled =
+            on_at > period_begin ? on_at - period_begin : 0;
+        r.frac_downgrade_disabled =
+            std::min(1.0, static_cast<double>(disabled) /
+                              static_cast<double>(period_cycles));
+      }
+    }
+    r.stats.merge("mecc.", engine_->stats());
+  }
+  r.stats.merge("memctrl.", controller_.stats());
+  return r;
+}
+
+IdleReport System::idle_period(double seconds) {
+  IdleReport rep;
+  rep.idle_seconds = seconds;
+
+  // Drain outstanding memory work (writes, in-flight reads) before the
+  // transition; cap the drain generously.
+  dram::MemCycle mem_now = now_ / kCpuCyclesPerMemCycle;
+  for (int guard = 0; guard < 200'000 && !controller_.idle(); ++guard) {
+    ++mem_now;
+    controller_.tick(mem_now);
+    for (const auto& c : controller_.collect_completions(mem_now)) {
+      handle_completion(c, mem_now * kCpuCyclesPerMemCycle);
+    }
+  }
+  now_ = mem_now * kCpuCyclesPerMemCycle;
+  for (const auto& pd : pending_data_) core_->on_read_data(pd.tag);
+  pending_data_.clear();
+
+  // ECC-Upgrade (MECC) and the idle refresh rate.
+  std::uint32_t divider = 1;
+  if (engine_) {
+    const morph::UpgradeReport up = engine_->enter_idle();
+    rep.lines_upgraded = up.lines_upgraded;
+    rep.upgrade_seconds = up.upgrade_seconds;
+    now_ += up.upgrade_cycles;
+    divider = engine_->config().idle_refresh_divider;
+  } else if (config_.policy == EccPolicy::kEcc6) {
+    divider = 16;  // always-strong systems also sleep at 1 s
+  }
+  rep.refresh_period_s = 0.064 * divider;
+
+  // Precharge everything and enter self refresh.
+  mem_now = now_ / kCpuCyclesPerMemCycle;
+  if (device_.in_power_down()) device_.exit_power_down(mem_now);
+  mem_now += device_.timing().tXP;
+  int guard = 0;
+  while (!device_.all_banks_precharged() && guard++ < 1000) {
+    for (std::uint32_t b = 0; b < device_.geometry().banks; ++b) {
+      if (device_.bank(b).row_open() && device_.can_precharge(b, mem_now)) {
+        device_.precharge(b, mem_now);
+      }
+    }
+    ++mem_now;
+  }
+  const std::uint64_t pulses_before =
+      device_.counters(mem_now).self_refresh_pulses;
+  device_.enter_self_refresh(mem_now, divider);
+  now_ = mem_now * kCpuCyclesPerMemCycle + seconds_to_cycles(seconds);
+  mem_now = now_ / kCpuCyclesPerMemCycle;
+  device_.exit_self_refresh(mem_now);
+  rep.refresh_pulses =
+      device_.counters(mem_now).self_refresh_pulses - pulses_before;
+  rep.idle_energy_mj =
+      power_model_.idle_power(rep.refresh_period_s).total_mw() * seconds;
+
+  // Wake up: refresh schedule restarts, SMD re-arms.
+  controller_.resync_refresh(mem_now);
+  if (engine_) engine_->wake(now_);
+  return rep;
+}
+
+}  // namespace mecc::sim

@@ -1,0 +1,209 @@
+// Full-system simulation: in-order core -> MECC engine -> memory
+// controller -> LPDDR device, with Micron-style power accounting.
+//
+// One System instance simulates one *active period* of one benchmark
+// under one ECC policy. Idle-mode power and the idle-entry ECC-Upgrade
+// are analytic (paper Eq. 1) and exposed via the MECC engine and
+// PowerModel; see sim/experiment.h for the idle/active composition used
+// by Figs. 8-10.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "cpu/core.h"
+#include "dram/device.h"
+#include "ecc/ecc_model.h"
+#include "mecc/engine.h"
+#include "memctrl/controller.h"
+#include "power/power_model.h"
+#include "trace/benchmarks.h"
+#include "trace/trace_source.h"
+
+namespace mecc::sim {
+
+enum class EccPolicy : std::uint8_t { kNoEcc, kSecded, kEcc6, kMecc };
+
+[[nodiscard]] std::string policy_name(EccPolicy p);
+
+struct SystemConfig {
+  EccPolicy policy = EccPolicy::kNoEcc;
+  InstCount instructions = 20'000'000;
+
+  // Scaled-slice knobs (DESIGN.md S3). 0 = auto: footprints shrink by the
+  // same factor as the instruction slice (instructions / 4e9), preserving
+  // the paper's first-touch-per-access and downgrade-traffic ratios at
+  // any slice length.
+  double footprint_scale = 0.0;
+  // MPKI phase segment length; 0 = auto (instructions / 8, so every run
+  // sees the full phase schedule regardless of slice length).
+  std::uint64_t phase_length_insts = 0;
+
+  Cycle ecc6_decode_cycles = 30;   // Fig. 12 sweeps 15..60
+
+  // Strong-ECC correction strength for MECC / always-strong runs. 6 is
+  // the paper's choice; other values exercise the closing claim that
+  // MECC morphs between arbitrary ECC levels (decode latency then follows
+  // EccModel::decode_cycles_for_strength, and ecc6_decode_cycles is
+  // ignored).
+  std::size_t strong_ecc_t = 6;
+
+  // MECC options.
+  bool mecc_use_mdt = true;
+  std::size_t mdt_entries = 1024;
+  bool mecc_use_smd = false;
+  double smd_mpkc_threshold = 2.0;
+  Cycle smd_quantum_cycles = 1'024'000;  // 64 ms / 100 (scaled)
+
+  // Record cumulative cycles when retiring past these instruction counts
+  // (Fig. 13 transition study).
+  std::vector<InstCount> checkpoint_insts;
+
+  std::uint64_t seed = 1;
+
+  // Replay a USIMM-style trace file instead of the synthetic generator
+  // (the profile then only supplies base_ipc calibration).
+  std::string trace_file;
+
+  dram::Geometry geometry{};
+  dram::Timing timing{};
+  memctrl::ControllerConfig controller{};
+  power::PowerParams power{};
+
+  // Nominal read latency used to back out each benchmark's non-memory
+  // retire rate from its Table III IPC.
+  double calibration_read_latency_cycles = 140.0;
+};
+
+struct Checkpoint {
+  InstCount instructions = 0;
+  Cycle cycles = 0;
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// Outcome of one idle period (the Fig. 4 right-hand state).
+struct IdleReport {
+  std::uint64_t lines_upgraded = 0;   // ECC-Upgrade walk on entry
+  double upgrade_seconds = 0.0;
+  double idle_seconds = 0.0;          // time asleep in self refresh
+  double idle_energy_mj = 0.0;        // refresh + background while asleep
+  std::uint64_t refresh_pulses = 0;   // internal SR refreshes performed
+  double refresh_period_s = 0.064;    // effective period while asleep
+};
+
+struct RunResult {
+  std::string benchmark;
+  EccPolicy policy = EccPolicy::kNoEcc;
+  InstCount instructions = 0;
+  Cycle cpu_cycles = 0;
+  double ipc = 0.0;
+  double seconds = 0.0;
+  double measured_mpki = 0.0;
+
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t strong_decodes = 0;  // reads decoded with ECC-6
+  std::uint64_t weak_decodes = 0;
+  std::uint64_t downgrades = 0;      // ECC-Downgrade write-backs generated
+
+  power::ActiveEnergy energy;        // memory energy over the run
+  double avg_power_mw = 0.0;
+  double edp_mj_s = 0.0;             // energy-delay product
+
+  // MECC observability.
+  std::uint64_t mdt_marked_regions = 0;
+  std::uint64_t mdt_tracked_bytes = 0;
+  double frac_downgrade_disabled = 0.0;  // SMD: share of run disabled
+
+  std::vector<Checkpoint> checkpoints;
+  StatSet stats;  // merged controller + engine counters
+};
+
+class System {
+ public:
+  System(const trace::BenchmarkProfile& profile, const SystemConfig& config);
+
+  /// Injects a custom trace source (e.g. an LLC-filtered CPU stream or a
+  /// programmatic capture) instead of the config-selected one. The
+  /// profile still supplies the base-IPC calibration.
+  System(const trace::BenchmarkProfile& profile, const SystemConfig& config,
+         std::unique_ptr<trace::TraceSource> source);
+
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Simulates one active period of `config.instructions` instructions.
+  /// Equivalent to run_period(config.instructions).
+  [[nodiscard]] RunResult run();
+
+  /// Simulates an *additional* active period (Fig. 4 lifecycle: call
+  /// run_period / idle_period alternately on one System). The result
+  /// covers just this period.
+  [[nodiscard]] RunResult run_period(InstCount instructions);
+
+  /// Transitions to idle: MECC performs the (MDT-guided) ECC-Upgrade and
+  /// drops to the 1 s self-refresh period; other policies self-refresh
+  /// at 64 ms. The device sleeps for `seconds`, then wakes (SMD re-arms).
+  [[nodiscard]] IdleReport idle_period(double seconds);
+
+  /// The MECC engine (valid only for EccPolicy::kMecc; null otherwise).
+  [[nodiscard]] morph::Engine* engine() { return engine_.get(); }
+
+  /// Non-memory retire rate backed out of the paper IPC (exposed for
+  /// tests / Table III reporting).
+  [[nodiscard]] double base_ipc() const { return base_ipc_; }
+
+ private:
+  struct PendingData {
+    Cycle ready = 0;
+    std::uint64_t tag = 0;
+  };
+
+  void init_engine_and_core();
+  void handle_completion(const memctrl::ReadCompletion& c, Cycle now);
+  [[nodiscard]] Cycle decode_latency(Address line_addr, bool forwarded);
+
+  trace::BenchmarkProfile profile_;
+  SystemConfig config_;
+  double base_ipc_;
+
+  dram::Device device_;
+  memctrl::Controller controller_;
+  std::unique_ptr<trace::TraceSource> source_;
+  std::unique_ptr<cpu::InOrderCore> core_;
+  std::unique_ptr<morph::Engine> engine_;
+  ecc::EccModel ecc_model_;
+  power::PowerModel power_model_;
+
+  std::vector<PendingData> pending_data_;
+  std::vector<Address> pending_downgrade_writes_;
+  std::uint64_t strong_decodes_ = 0;
+  std::uint64_t weak_decodes_ = 0;
+  std::uint64_t downgrades_issued_ = 0;
+
+  // Multi-period state (Fig. 4 lifecycle).
+  Cycle now_ = 0;  // absolute CPU cycles, including idle jumps
+  struct PeriodSnapshot {
+    InstCount retired = 0;
+    Cycle core_cycles = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t strong_decodes = 0;
+    std::uint64_t weak_decodes = 0;
+    std::uint64_t downgrades = 0;
+    dram::ActivityCounters counters;
+  };
+  PeriodSnapshot period_start_;
+};
+
+}  // namespace mecc::sim

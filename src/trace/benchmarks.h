@@ -1,0 +1,44 @@
+// The 28 SPEC CPU2006 workloads of the paper's evaluation (Table III,
+// Fig. 7), modeled as parameterized synthetic trace generators.
+//
+// SPEC binaries/traces are proprietary, so each benchmark is described by
+// the characteristics the paper's methodology actually depends on
+// ("for our studies we simply need memory access patterns", S IV-B):
+// memory intensity (MPKI), baseline IPC, footprint, read share and
+// row-buffer locality. Class averages match Table III exactly:
+//   Low-MPKI  (7 benchmarks):  IPC 1.514, MPKI 0.3,  footprint 26 MB
+//   Med-MPKI  (10 benchmarks): IPC 0.887, MPKI 4.7,  footprint 96.4 MB
+//   High-MPKI (11 benchmarks): IPC 0.359, MPKI 23.5, footprint 259.1 MB
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace mecc::trace {
+
+enum class MpkiClass : std::uint8_t { kLow, kMed, kHigh };
+
+[[nodiscard]] std::string mpki_class_name(MpkiClass c);
+
+struct BenchmarkProfile {
+  std::string_view name;
+  MpkiClass klass;
+  double mpki;           // post-LLC memory accesses per kilo-instruction
+  double paper_ipc;      // Table III baseline IPC (no ECC latency)
+  double footprint_mb;   // unique 4 KB pages touched, in MB
+  double read_fraction;  // share of memory accesses that are reads
+  double row_locality;   // P(next access continues the current stream)
+};
+
+/// All 28 profiles in the paper's Fig. 7 x-axis order.
+[[nodiscard]] std::span<const BenchmarkProfile> all_benchmarks();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+[[nodiscard]] const BenchmarkProfile& benchmark(std::string_view name);
+
+/// The per-class subsets.
+[[nodiscard]] std::size_t count_in_class(MpkiClass c);
+
+}  // namespace mecc::trace

@@ -1,0 +1,79 @@
+#include "trace/file_trace.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mecc::trace {
+
+FileTrace::FileTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("FileTrace: cannot open " + path);
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and blank lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::uint64_t gap = 0;
+    std::string type;
+    std::string addr;
+    if (!(fields >> gap)) continue;  // blank line
+    if (!(fields >> type >> addr) || (type != "R" && type != "W")) {
+      throw std::runtime_error("FileTrace: malformed record at " + path +
+                               ":" + std::to_string(lineno));
+    }
+    TraceRecord rec;
+    rec.gap = static_cast<std::uint32_t>(gap);
+    rec.is_write = (type == "W");
+    rec.line_addr = std::stoull(addr, nullptr, 16) & ~static_cast<Address>(
+                                                         kLineBytes - 1);
+    records_.push_back(rec);
+  }
+  if (records_.empty()) {
+    throw std::runtime_error("FileTrace: no records in " + path);
+  }
+}
+
+FileTrace::FileTrace(std::vector<TraceRecord> records)
+    : records_(std::move(records)) {
+  if (records_.empty()) {
+    throw std::runtime_error("FileTrace: no records");
+  }
+}
+
+TraceRecord FileTrace::next() {
+  const TraceRecord rec = records_[pos_];
+  if (++pos_ == records_.size()) {
+    pos_ = 0;
+    ++laps_;
+  }
+  return rec;
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_trace_file: cannot open " + path);
+  }
+  out << "# gap R|W line_address (USIMM-style)\n";
+  for (const auto& r : records) {
+    out << r.gap << ' ' << (r.is_write ? 'W' : 'R') << " 0x" << std::hex
+        << r.line_addr << std::dec << '\n';
+  }
+}
+
+std::vector<TraceRecord> capture(TraceSource& source, std::size_t count) {
+  std::vector<TraceRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(source.next());
+  return out;
+}
+
+}  // namespace mecc::trace

@@ -1,0 +1,47 @@
+// USIMM-style trace file support.
+//
+// Format: one access per line, whitespace separated:
+//     <gap> <R|W> <hex line address>
+// e.g. "42 R 0x1fc0" - 42 non-memory instructions, then a read of the
+// line at 0x1fc0. Lines starting with '#' are comments. The reader
+// loops the file to provide an infinite stream (with a configurable
+// address offset per lap to avoid artificial re-use, off by default).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.h"
+
+namespace mecc::trace {
+
+class FileTrace final : public TraceSource {
+ public:
+  /// Loads a trace file fully into memory. Throws std::runtime_error on
+  /// unreadable files or malformed records.
+  explicit FileTrace(const std::string& path);
+
+  /// Builds directly from records (testing / programmatic capture).
+  explicit FileTrace(std::vector<TraceRecord> records);
+
+  TraceRecord next() override;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t laps() const { return laps_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t pos_ = 0;
+  std::uint64_t laps_ = 0;
+};
+
+/// Serializes records in the file format (the inverse of FileTrace).
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceRecord>& records);
+
+/// Convenience: captures `count` records from any source (e.g. to dump a
+/// synthetic benchmark to a file other tools can consume).
+[[nodiscard]] std::vector<TraceRecord> capture(TraceSource& source,
+                                               std::size_t count);
+
+}  // namespace mecc::trace

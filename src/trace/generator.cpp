@@ -1,0 +1,53 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mecc::trace {
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile& profile,
+                               const GeneratorConfig& config)
+    : profile_(profile), config_(config), rng_(config.seed) {
+  const double bytes =
+      profile.footprint_mb * 1024.0 * 1024.0 * config.footprint_scale;
+  footprint_lines_ = std::max<std::uint64_t>(
+      64, static_cast<std::uint64_t>(bytes / kLineBytes));
+  phase_offset_ = static_cast<std::size_t>(config.seed % 4);
+  stream_line_ = rng_.next_below(footprint_lines_);
+}
+
+double TraceGenerator::phase_multiplier() const {
+  const std::uint64_t segment = insts_generated_ / config_.phase_length_insts;
+  return kPhaseSchedule[(segment + phase_offset_) % 4];
+}
+
+TraceRecord TraceGenerator::next() {
+  TraceRecord rec;
+
+  // Gap targeting the phase-adjusted MPKI: one access per
+  // (1000 / effective_mpki) instructions on average, including the memory
+  // instruction itself.
+  const double effective_mpki =
+      std::max(0.01, profile_.mpki * phase_multiplier());
+  const double mean_insts_per_access = 1000.0 / effective_mpki;
+  const std::uint64_t total =
+      std::max<std::uint64_t>(1, rng_.next_geometric(mean_insts_per_access));
+  rec.gap = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      total - 1, 1'000'000));
+  insts_generated_ += rec.gap + 1;
+
+  // Address: continue the sequential stream with P(row_locality), else
+  // jump somewhere else in the footprint.
+  if (rng_.chance(profile_.row_locality)) {
+    stream_line_ = (stream_line_ + 1) % footprint_lines_;
+  } else {
+    stream_line_ = rng_.next_below(footprint_lines_);
+  }
+  rec.line_addr =
+      config_.base_addr + stream_line_ * static_cast<Address>(kLineBytes);
+
+  rec.is_write = rng_.chance(1.0 - profile_.read_fraction);
+  return rec;
+}
+
+}  // namespace mecc::trace

@@ -1,0 +1,35 @@
+// Abstract source of memory-access records.
+//
+// The simulator consumes TraceSource; the two implementations are the
+// synthetic per-benchmark generator (generator.h) and a USIMM-style
+// trace-file reader (file_trace.h), so users can replay their own
+// captured traces through the full system.
+#pragma once
+
+#include "trace/generator.h"
+
+namespace mecc::trace {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  /// Next access; sources are infinite (file readers loop).
+  virtual TraceRecord next() = 0;
+};
+
+/// Adapter exposing TraceGenerator through the TraceSource interface.
+class GeneratorSource final : public TraceSource {
+ public:
+  GeneratorSource(const BenchmarkProfile& profile,
+                  const GeneratorConfig& config)
+      : gen_(profile, config) {}
+
+  TraceRecord next() override { return gen_.next(); }
+
+  [[nodiscard]] TraceGenerator& generator() { return gen_; }
+
+ private:
+  TraceGenerator gen_;
+};
+
+}  // namespace mecc::trace

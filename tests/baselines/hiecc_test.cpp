@@ -1,0 +1,55 @@
+#include "baselines/hiecc.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc::baselines {
+namespace {
+
+TEST(HiEcc, LineGranularityMatchesMeccNumbers) {
+  // 64 B, t = 6: m = 10, 60 parity bits - the paper's ECC-6 layout.
+  constexpr auto c = strong_ecc_granularity(64, 6);
+  EXPECT_EQ(c.parity_bits, 60u);
+  EXPECT_NEAR(c.storage_overhead, 60.0 / 512.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.read_overfetch, 1.0);
+  EXPECT_DOUBLE_EQ(c.write_amplification, 2.0);
+}
+
+TEST(HiEcc, KilobyteGranularityCutsStorageButOverfetches) {
+  // 1 KB, t = 6 (Hi-ECC's design point): m = 14 -> 84 parity bits.
+  constexpr auto hiecc = strong_ecc_granularity(1024, 6);
+  EXPECT_EQ(hiecc.parity_bits, 84u);
+  constexpr auto mecc = strong_ecc_granularity(64, 6);
+  // ~11x less parity per data bit...
+  EXPECT_GT(mecc.storage_overhead / hiecc.storage_overhead, 10.0);
+  // ...but 16x read overfetch and 32x write traffic per 64 B access.
+  EXPECT_DOUBLE_EQ(hiecc.read_overfetch, 16.0);
+  EXPECT_DOUBLE_EQ(hiecc.write_amplification, 32.0);
+}
+
+TEST(HiEcc, OverheadMonotonicallyFallsWithBlockSize) {
+  double prev = 1.0;
+  for (std::size_t block : {64u, 128u, 256u, 512u, 1024u, 4096u}) {
+    const auto c = strong_ecc_granularity(block, 6);
+    EXPECT_LT(c.storage_overhead, prev);
+    prev = c.storage_overhead;
+  }
+}
+
+TEST(HiEcc, OverfetchScalesLinearly) {
+  for (std::size_t block : {64u, 256u, 2048u}) {
+    const auto c = strong_ecc_granularity(block, 4);
+    EXPECT_DOUBLE_EQ(c.read_overfetch,
+                     static_cast<double>(block) / 64.0);
+  }
+}
+
+TEST(HiEcc, FieldSizePickedMinimal) {
+  // 64 B: m = 10 (1023 >= 512 + 60); 65 B-equivalent would bump m.
+  constexpr auto c64 = strong_ecc_granularity(64, 6);
+  EXPECT_EQ(c64.parity_bits / 6, 10u);
+  constexpr auto c128 = strong_ecc_granularity(128, 6);
+  EXPECT_EQ(c128.parity_bits / 6, 11u);  // 2047 >= 1024 + 66
+}
+
+}  // namespace
+}  // namespace mecc::baselines

@@ -1,0 +1,115 @@
+#include "cache/llc_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/system.h"
+#include "trace/benchmarks.h"
+
+namespace mecc::cache {
+namespace {
+
+/// A scripted CPU-level source for deterministic filter tests.
+class ScriptedSource final : public trace::TraceSource {
+ public:
+  explicit ScriptedSource(std::vector<trace::TraceRecord> script)
+      : script_(std::move(script)) {}
+  trace::TraceRecord next() override {
+    const trace::TraceRecord r = script_[pos_ % script_.size()];
+    ++pos_;
+    return r;
+  }
+
+ private:
+  std::vector<trace::TraceRecord> script_;
+  std::size_t pos_ = 0;
+};
+
+trace::TraceRecord rec(std::uint32_t gap, bool write, Address addr) {
+  return {.gap = gap, .is_write = write, .line_addr = addr};
+}
+
+TEST(LlcFilter, MissEmitsFillRead) {
+  ScriptedSource cpu({rec(10, false, 0x1000)});
+  LlcFilteredSource filt(cpu, 1 << 14, 4);
+  const trace::TraceRecord out = filt.next();
+  EXPECT_FALSE(out.is_write);  // fill read
+  EXPECT_EQ(out.line_addr, 0x1000u);
+  EXPECT_EQ(out.gap, 10u);
+}
+
+TEST(LlcFilter, StoreMissAlsoFills) {
+  ScriptedSource cpu({rec(3, true, 0x2000)});
+  LlcFilteredSource filt(cpu, 1 << 14, 4);
+  const trace::TraceRecord out = filt.next();
+  EXPECT_FALSE(out.is_write);  // write-allocate: fill read first
+  EXPECT_EQ(out.line_addr, 0x2000u);
+}
+
+TEST(LlcFilter, HitsAccumulateIntoGap) {
+  // Two lines, second access hits; the emitted stream shows the hit's
+  // instructions folded into the following miss's gap.
+  ScriptedSource cpu({rec(4, false, 0x0), rec(5, false, 0x0),
+                      rec(6, false, 0x40000)});
+  LlcFilteredSource filt(cpu, 1 << 14, 4);
+  const trace::TraceRecord first = filt.next();
+  EXPECT_EQ(first.line_addr, 0x0u);
+  const trace::TraceRecord second = filt.next();
+  EXPECT_EQ(second.line_addr, 0x40000u);
+  // gap = (5 + 1 hit access) + 6 = 12.
+  EXPECT_EQ(second.gap, 12u);
+}
+
+TEST(LlcFilter, DirtyEvictionEmitsWriteback) {
+  // Direct-mapped 2-line cache: write line A, then fill two conflicting
+  // lines to evict it.
+  ScriptedSource cpu({rec(0, true, 0 * 64), rec(0, false, 2 * 64),
+                      rec(0, false, 4 * 64), rec(0, false, 6 * 64)});
+  LlcFilteredSource filt(cpu, 2 * 64, 1);
+  std::vector<trace::TraceRecord> out;
+  for (int i = 0; i < 5; ++i) out.push_back(filt.next());
+  bool saw_writeback = false;
+  for (const auto& r : out) {
+    if (r.is_write && r.line_addr == 0) saw_writeback = true;
+  }
+  EXPECT_TRUE(saw_writeback);
+}
+
+TEST(LlcFilter, SmallWorkingSetProducesFewMemoryAccesses) {
+  // CPU stream confined to 256 KB inside a 1 MB LLC: after the cold
+  // fills, the filter must emit (almost) nothing per CPU access.
+  trace::BenchmarkProfile tiny = trace::benchmark("gamess");
+  trace::GeneratorSource cpu(tiny, trace::GeneratorConfig{
+                                       .footprint_scale = 0.0625,  // 256 KB
+                                       .seed = 3});
+  LlcFilteredSource filt(cpu);
+  for (int i = 0; i < 5000; ++i) (void)filt.next();  // warm + measure
+  EXPECT_GT(filt.llc().hits(), filt.llc().misses() * 5);
+}
+
+TEST(LlcFilter, DrivesTheFullSystem) {
+  // End-to-end: CPU-level stream -> LLC filter -> full timing simulation
+  // under MECC. The post-LLC traffic the System sees is read-heavy
+  // (fills) with write-backs - the mix the paper's traces have.
+  const auto& profile = trace::benchmark("soplex");
+  auto cpu = std::make_unique<trace::GeneratorSource>(
+      profile, trace::GeneratorConfig{.footprint_scale = 0.01, .seed = 7});
+  // Keep the CPU source alive alongside the filter.
+  static std::unique_ptr<trace::GeneratorSource> cpu_keeper;
+  cpu_keeper = std::move(cpu);
+  auto filtered =
+      std::make_unique<LlcFilteredSource>(*cpu_keeper, 1 << 18, 16);
+
+  sim::SystemConfig cfg;
+  cfg.instructions = 300'000;
+  cfg.policy = sim::EccPolicy::kMecc;
+  sim::System system(profile, cfg, std::move(filtered));
+  const sim::RunResult r = system.run();
+  EXPECT_GT(r.reads, 0u);
+  EXPECT_GT(r.writes, 0u);          // write-backs made it to memory
+  EXPECT_GT(r.reads, r.writes);     // fill reads dominate
+  EXPECT_GT(r.downgrades, 0u);      // MECC engaged on the filtered stream
+  EXPECT_GT(r.ipc, 0.0);
+}
+
+}  // namespace
+}  // namespace mecc::cache

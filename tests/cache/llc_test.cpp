@@ -1,0 +1,109 @@
+#include "cache/llc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mecc::cache {
+namespace {
+
+TEST(Llc, GeometryTable2) {
+  // Table II: 1 MB, 64 B lines. With 16 ways -> 1024 sets.
+  const Llc llc(1 << 20, 16);
+  EXPECT_EQ(llc.num_sets(), 1024u);
+  EXPECT_EQ(llc.associativity(), 16u);
+}
+
+TEST(Llc, RejectsBadGeometry) {
+  EXPECT_THROW(Llc(1000, 4), std::invalid_argument);
+  EXPECT_THROW(Llc(1 << 20, 0), std::invalid_argument);
+}
+
+TEST(Llc, ColdMissThenHit) {
+  Llc llc(1 << 20, 16);
+  EXPECT_FALSE(llc.access(0x1000, false).hit);
+  EXPECT_TRUE(llc.access(0x1000, false).hit);
+  EXPECT_TRUE(llc.access(0x1020, false).hit);  // same line
+  EXPECT_EQ(llc.misses(), 1u);
+  EXPECT_EQ(llc.hits(), 2u);
+}
+
+TEST(Llc, LruEvictsLeastRecentlyUsed) {
+  Llc llc(4 * 64 * 2, 2);  // 4 sets, 2 ways
+  // Fill set 0 (lines map to set via line index % 4).
+  const Address a = 0 * 64;       // set 0
+  const Address b = 4 * 64;       // set 0
+  const Address c = 8 * 64;       // set 0
+  EXPECT_FALSE(llc.access(a, false).hit);
+  EXPECT_FALSE(llc.access(b, false).hit);
+  EXPECT_TRUE(llc.access(a, false).hit);   // a most recent
+  EXPECT_FALSE(llc.access(c, false).hit);  // evicts b
+  EXPECT_TRUE(llc.access(a, false).hit);
+  EXPECT_FALSE(llc.access(b, false).hit);  // b was evicted
+}
+
+TEST(Llc, DirtyEvictionReportsWriteback) {
+  Llc llc(2 * 64 * 1, 1);  // 2 sets, direct-mapped
+  const Address a = 0;
+  const Address conflict = 2 * 64;  // same set as a
+  EXPECT_FALSE(llc.access(a, true).hit);  // dirty
+  const auto out = llc.access(conflict, false);
+  EXPECT_FALSE(out.hit);
+  ASSERT_TRUE(out.writeback.has_value());
+  EXPECT_EQ(*out.writeback, a);
+}
+
+TEST(Llc, CleanEvictionHasNoWriteback) {
+  Llc llc(2 * 64 * 1, 1);
+  EXPECT_FALSE(llc.access(0, false).hit);
+  const auto out = llc.access(2 * 64, false);
+  EXPECT_FALSE(out.writeback.has_value());
+}
+
+TEST(Llc, WriteHitMarksDirty) {
+  Llc llc(2 * 64 * 1, 1);
+  (void)llc.access(0, false);
+  (void)llc.access(0, true);  // hit, now dirty
+  const auto out = llc.access(2 * 64, false);
+  ASSERT_TRUE(out.writeback.has_value());
+}
+
+TEST(Llc, FlushReturnsAllDirtyLinesAndEmptiesCache) {
+  Llc llc(1 << 14, 4);
+  (void)llc.access(0x0000, true);
+  (void)llc.access(0x4000, true);
+  (void)llc.access(0x8000, false);
+  auto dirty = llc.flush();
+  EXPECT_EQ(dirty.size(), 2u);
+  // Everything misses after the flush.
+  EXPECT_FALSE(llc.access(0x0000, false).hit);
+  EXPECT_FALSE(llc.access(0x8000, false).hit);
+}
+
+TEST(Llc, WorkingSetSmallerThanCacheHasNoCapacityMisses) {
+  Llc llc(1 << 20, 16);
+  Rng rng(5);
+  // 8K lines = 512 KB working set in a 1 MB cache.
+  std::vector<Address> lines;
+  for (int i = 0; i < 8192; ++i) lines.push_back(static_cast<Address>(i) * 64);
+  for (auto a : lines) (void)llc.access(a, false);  // cold misses
+  const std::uint64_t cold = llc.misses();
+  for (int i = 0; i < 100000; ++i) {
+    (void)llc.access(lines[rng.next_below(lines.size())], false);
+  }
+  EXPECT_EQ(llc.misses(), cold);  // everything hits
+}
+
+TEST(Llc, WorkingSetLargerThanCacheThrashes) {
+  Llc llc(1 << 20, 16);
+  Rng rng(6);
+  // 64K lines = 4 MB working set in a 1 MB cache, random access.
+  const std::uint64_t span = 65536;
+  for (int i = 0; i < 100000; ++i) {
+    (void)llc.access(rng.next_below(span) * 64, false);
+  }
+  EXPECT_GT(llc.miss_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace mecc::cache

@@ -1,0 +1,134 @@
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mecc {
+namespace {
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_FALSE(v.any());
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(70);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(69, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(69));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.flip(63);
+  EXPECT_FALSE(v.get(63));
+  v.flip(63);
+  EXPECT_TRUE(v.get(63));
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, ClearZeroesEverything) {
+  BitVec v(130);
+  for (std::size_t i = 0; i < 130; i += 3) v.set(i, true);
+  EXPECT_TRUE(v.any());
+  v.clear();
+  EXPECT_FALSE(v.any());
+  EXPECT_EQ(v.size(), 130u);
+}
+
+TEST(BitVec, XorIsBitwise) {
+  BitVec a(65);
+  BitVec b(65);
+  a.set(1, true);
+  a.set(64, true);
+  b.set(1, true);
+  b.set(2, true);
+  const BitVec c = a ^ b;
+  EXPECT_FALSE(c.get(1));
+  EXPECT_TRUE(c.get(2));
+  EXPECT_TRUE(c.get(64));
+  EXPECT_EQ(c.popcount(), 2u);
+}
+
+TEST(BitVec, XorWithSelfIsZero) {
+  BitVec a(512);
+  Rng rng(7);
+  for (std::size_t i = 0; i < 512; ++i) a.set(i, rng.chance(0.5));
+  const BitVec z = a ^ a;
+  EXPECT_FALSE(z.any());
+}
+
+TEST(BitVec, SliceAndSpliceRoundTrip) {
+  BitVec v(200);
+  Rng rng(11);
+  for (std::size_t i = 0; i < 200; ++i) v.set(i, rng.chance(0.5));
+  const BitVec mid = v.slice(50, 100);
+  EXPECT_EQ(mid.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(mid.get(i), v.get(50 + i));
+
+  BitVec w(200);
+  w.splice(50, mid);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(w.get(50 + i), v.get(50 + i));
+  EXPECT_EQ(w.slice(0, 50).popcount(), 0u);
+}
+
+TEST(BitVec, HammingDistanceCountsDiffs) {
+  BitVec a(128);
+  BitVec b(128);
+  EXPECT_EQ(a.hamming_distance(b), 0u);
+  b.set(0, true);
+  b.set(127, true);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  a.set(0, true);
+  EXPECT_EQ(a.hamming_distance(b), 1u);
+}
+
+TEST(BitVec, SetPositionsAscending) {
+  BitVec v(300);
+  v.set(3, true);
+  v.set(64, true);
+  v.set(299, true);
+  const auto pos = v.set_positions();
+  ASSERT_EQ(pos.size(), 3u);
+  EXPECT_EQ(pos[0], 3u);
+  EXPECT_EQ(pos[1], 64u);
+  EXPECT_EQ(pos[2], 299u);
+}
+
+TEST(BitVec, BytesRoundTrip) {
+  std::vector<std::uint8_t> bytes = {0x01, 0x80, 0xff, 0x00, 0xa5};
+  const BitVec v = BitVec::from_bytes(bytes);
+  EXPECT_EQ(v.size(), 40u);
+  EXPECT_TRUE(v.get(0));     // 0x01 LSB
+  EXPECT_TRUE(v.get(15));    // 0x80 MSB of byte 1
+  EXPECT_FALSE(v.get(14));
+  EXPECT_EQ(v.to_bytes(), bytes);
+}
+
+TEST(BitVec, EqualityComparesContent) {
+  BitVec a(64);
+  BitVec b(64);
+  EXPECT_EQ(a, b);
+  a.set(5, true);
+  EXPECT_NE(a, b);
+  b.set(5, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, ToStringLsbFirst) {
+  BitVec v(4);
+  v.set(0, true);
+  v.set(3, true);
+  EXPECT_EQ(v.to_string(), "1001");
+}
+
+}  // namespace
+}  // namespace mecc

@@ -1,0 +1,46 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc {
+namespace {
+
+TEST(StatSet, CountersAccumulate) {
+  StatSet s;
+  EXPECT_EQ(s.counter("reads"), 0u);
+  s.add("reads");
+  s.add("reads", 4);
+  EXPECT_EQ(s.counter("reads"), 5u);
+}
+
+TEST(StatSet, GaugesOverwrite) {
+  StatSet s;
+  s.set_gauge("ipc", 1.0);
+  s.set_gauge("ipc", 0.5);
+  EXPECT_DOUBLE_EQ(s.gauge("ipc"), 0.5);
+  EXPECT_DOUBLE_EQ(s.gauge("missing"), 0.0);
+}
+
+TEST(StatSet, MergePrefixesNames) {
+  StatSet child;
+  child.add("acts", 10);
+  child.set_gauge("power_mw", 42.0);
+  StatSet parent;
+  parent.add("dram.acts", 1);
+  parent.merge("dram.", child);
+  EXPECT_EQ(parent.counter("dram.acts"), 11u);
+  EXPECT_DOUBLE_EQ(parent.gauge("dram.power_mw"), 42.0);
+}
+
+TEST(StatSet, ResetClears) {
+  StatSet s;
+  s.add("x", 3);
+  s.set_gauge("g", 1.0);
+  s.reset();
+  EXPECT_EQ(s.counter("x"), 0u);
+  EXPECT_DOUBLE_EQ(s.gauge("g"), 0.0);
+  EXPECT_TRUE(s.counters().empty());
+}
+
+}  // namespace
+}  // namespace mecc

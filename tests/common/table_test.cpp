@@ -1,0 +1,36 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header line and separator precede rows.
+  EXPECT_LT(out.find("name"), out.find("----"));
+  EXPECT_LT(out.find("----"), out.find("longer"));
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::sci(0.018, 1), "1.8e-02");
+  EXPECT_EQ(TextTable::pct(-0.102, 1), "-10.2%");
+  EXPECT_EQ(TextTable::pct(0.01, 1), "+1.0%");
+}
+
+TEST(AsciiBar, ScalesWithValue) {
+  EXPECT_EQ(ascii_bar(0.0, 1.0, 10), "");
+  EXPECT_EQ(ascii_bar(1.0, 1.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.5, 1.0, 10), "#####");
+  EXPECT_EQ(ascii_bar(2.0, 1.0, 10), "##########");  // clamped
+  EXPECT_EQ(ascii_bar(1.0, 0.0, 10), "");            // degenerate max
+}
+
+}  // namespace
+}  // namespace mecc

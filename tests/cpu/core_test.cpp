@@ -1,0 +1,167 @@
+#include "cpu/core.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "trace/benchmarks.h"
+
+namespace mecc::cpu {
+namespace {
+
+/// A toy memory that completes reads a fixed number of cycles after
+/// issue and optionally rejects enqueues (to test backpressure).
+struct FakeMemory {
+  Cycle latency = 100;
+  bool accept_reads = true;
+  bool accept_writes = true;
+  std::deque<std::pair<Cycle, std::uint64_t>> in_flight;  // (ready, tag)
+  Cycle now = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  bool issue_read(std::uint64_t tag) {
+    if (!accept_reads) return false;
+    in_flight.emplace_back(now + latency, tag);
+    ++reads;
+    return true;
+  }
+  bool issue_write() {
+    if (!accept_writes) return false;
+    ++writes;
+    return true;
+  }
+  void deliver(InOrderCore& core) {
+    while (!in_flight.empty() && in_flight.front().first <= now) {
+      core.on_read_data(in_flight.front().second);
+      in_flight.pop_front();
+    }
+  }
+};
+
+class CoreTest : public ::testing::Test {
+ protected:
+  void build(const char* bench, double base_ipc, Cycle latency = 100) {
+    gen_ = std::make_unique<trace::GeneratorSource>(
+        trace::benchmark(bench), trace::GeneratorConfig{.seed = 3});
+    mem_.latency = latency;
+    core_ = std::make_unique<InOrderCore>(
+        CoreConfig{.base_ipc = base_ipc, .width = 2}, *gen_,
+        [this](Address, std::uint64_t tag) { return mem_.issue_read(tag); },
+        [this](Address) { return mem_.issue_write(); });
+  }
+
+  void run(InstCount instructions) {
+    while (core_->retired() < instructions) {
+      ++mem_.now;
+      mem_.deliver(*core_);
+      core_->tick();
+      ASSERT_LT(core_->cycles(), 100'000'000u) << "core appears hung";
+    }
+  }
+
+  std::unique_ptr<trace::GeneratorSource> gen_;
+  FakeMemory mem_;
+  std::unique_ptr<InOrderCore> core_;
+};
+
+TEST_F(CoreTest, IpcApproachesBaseIpcWhenMemoryIsFree) {
+  // gamess: MPKI 0.05 with zero-latency memory -> IPC ~ base_ipc.
+  build("gamess", 1.9, /*latency=*/1);
+  run(1'000'000);
+  EXPECT_NEAR(core_->ipc(), 1.9, 0.05);
+}
+
+TEST_F(CoreTest, FullWidthRetirement) {
+  build("gamess", 2.0, 1);
+  run(1'000'000);
+  EXPECT_NEAR(core_->ipc(), 2.0, 0.05);
+}
+
+TEST_F(CoreTest, ReadsBlockTheCore) {
+  // libquantum at 33 MPKI with 100-cycle reads: IPC must be dominated by
+  // memory stalls (roughly reads-per-inst * latency).
+  build("libquantum", 2.0, 100);
+  run(200'000);
+  const double reads_per_inst = static_cast<double>(mem_.reads) /
+                                static_cast<double>(core_->retired());
+  const double expected_cpi = 0.5 + reads_per_inst * 100.0;
+  EXPECT_NEAR(1.0 / core_->ipc(), expected_cpi, expected_cpi * 0.15);
+  EXPECT_GT(core_->stall_cycles(), core_->cycles() / 2);
+}
+
+TEST_F(CoreTest, LongerLatencyLowersIpc) {
+  build("milc", 2.0, 50);
+  run(200'000);
+  const double fast = core_->ipc();
+  build("milc", 2.0, 300);
+  run(200'000);
+  EXPECT_LT(core_->ipc(), fast * 0.6);
+}
+
+TEST_F(CoreTest, WritesDoNotBlock) {
+  // lbm is 50% writes; with writes accepted instantly, only reads stall.
+  build("lbm", 2.0, 100);
+  run(100'000);
+  EXPECT_GT(mem_.writes, 0u);
+  const double reads_per_inst = static_cast<double>(mem_.reads) /
+                                static_cast<double>(core_->retired());
+  const double expected_cpi = 0.5 + reads_per_inst * 100.0;
+  EXPECT_NEAR(1.0 / core_->ipc(), expected_cpi, expected_cpi * 0.15);
+}
+
+TEST_F(CoreTest, WriteBackpressureStallsUntilAccepted) {
+  build("lbm", 2.0, 10);
+  mem_.accept_writes = false;
+  // Run until the core wants to issue a write, then some more cycles.
+  for (int i = 0; i < 5000 && mem_.writes == 0; ++i) {
+    ++mem_.now;
+    mem_.deliver(*core_);
+    core_->tick();
+  }
+  EXPECT_EQ(mem_.writes, 0u);
+  const InstCount stuck_at = core_->retired();
+  for (int i = 0; i < 100; ++i) {
+    ++mem_.now;
+    mem_.deliver(*core_);
+    core_->tick();
+  }
+  EXPECT_EQ(core_->retired(), stuck_at);  // fully blocked
+  mem_.accept_writes = true;
+  for (int i = 0; i < 100; ++i) {
+    ++mem_.now;
+    mem_.deliver(*core_);
+    core_->tick();
+  }
+  EXPECT_GT(core_->retired(), stuck_at);  // unblocked
+}
+
+TEST_F(CoreTest, ReadBackpressureRetries) {
+  build("libquantum", 2.0, 10);
+  mem_.accept_reads = false;
+  for (int i = 0; i < 1000; ++i) {
+    ++mem_.now;
+    mem_.deliver(*core_);
+    core_->tick();
+  }
+  EXPECT_EQ(mem_.reads, 0u);
+  mem_.accept_reads = true;
+  for (int i = 0; i < 1000; ++i) {
+    ++mem_.now;
+    mem_.deliver(*core_);
+    core_->tick();
+  }
+  EXPECT_GT(mem_.reads, 0u);
+}
+
+TEST_F(CoreTest, RetiredCountsAllInstructionTypes) {
+  build("astar", 1.5, 5);
+  run(50'000);
+  // Retired = gaps + memory instructions; reads+writes present.
+  EXPECT_GT(mem_.reads, 0u);
+  EXPECT_GT(mem_.writes, 0u);
+  EXPECT_GE(core_->retired(), 50'000u);
+}
+
+}  // namespace
+}  // namespace mecc::cpu

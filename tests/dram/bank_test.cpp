@@ -1,0 +1,85 @@
+#include "dram/bank.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc::dram {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  Timing t_;
+  Bank bank_{t_};
+};
+
+TEST_F(BankTest, StartsClosedAndActivatable) {
+  EXPECT_FALSE(bank_.row_open());
+  EXPECT_TRUE(bank_.can_activate(0));
+  EXPECT_FALSE(bank_.can_column(0));
+  EXPECT_FALSE(bank_.can_precharge(0));
+}
+
+TEST_F(BankTest, ActivateOpensRowAfterTrcd) {
+  bank_.activate(10, 42);
+  EXPECT_TRUE(bank_.row_open());
+  EXPECT_EQ(bank_.open_row(), 42);
+  EXPECT_FALSE(bank_.can_column(10 + t_.tRCD - 1));
+  EXPECT_TRUE(bank_.can_column(10 + t_.tRCD));
+}
+
+TEST_F(BankTest, TrasGuardsPrecharge) {
+  bank_.activate(10, 1);
+  EXPECT_FALSE(bank_.can_precharge(10 + t_.tRAS - 1));
+  EXPECT_TRUE(bank_.can_precharge(10 + t_.tRAS));
+}
+
+TEST_F(BankTest, PrechargeClosesRowAndBlocksActivateForTrp) {
+  bank_.activate(0, 1);
+  bank_.precharge(t_.tRAS);
+  EXPECT_FALSE(bank_.row_open());
+  EXPECT_FALSE(bank_.can_activate(t_.tRAS + t_.tRP - 1));
+  EXPECT_TRUE(bank_.can_activate(t_.tRAS + t_.tRP));
+}
+
+TEST_F(BankTest, ReadReturnsDataAfterClPlusBurst) {
+  bank_.activate(0, 1);
+  const MemCycle issue = t_.tRCD;
+  const MemCycle done = bank_.read(issue);
+  EXPECT_EQ(done, issue + t_.tCL + t_.tBURST);
+}
+
+TEST_F(BankTest, ReadExtendsPrechargeWindow) {
+  bank_.activate(0, 1);
+  // A read late in the row's life pushes PRE past tRAS.
+  const MemCycle issue = t_.tRAS;
+  (void)bank_.read(issue);
+  EXPECT_FALSE(bank_.can_precharge(issue + t_.tRTP + t_.tBURST - 1));
+  EXPECT_TRUE(bank_.can_precharge(issue + t_.tRTP + t_.tBURST));
+}
+
+TEST_F(BankTest, WriteRecoveryGuardsPrecharge) {
+  bank_.activate(0, 1);
+  const MemCycle issue = t_.tRCD;
+  const MemCycle done = bank_.write(issue);
+  EXPECT_EQ(done, issue + t_.tCWL + t_.tBURST);
+  EXPECT_FALSE(bank_.can_precharge(done + t_.tWR - 1));
+  EXPECT_TRUE(bank_.can_precharge(done + t_.tWR));
+}
+
+TEST_F(BankTest, BackToBackColumnsSpacedByBurst) {
+  bank_.activate(0, 7);
+  const MemCycle first = t_.tRCD;
+  (void)bank_.read(first);
+  EXPECT_FALSE(bank_.can_column(first + t_.tBURST - 1));
+  EXPECT_TRUE(bank_.can_column(first + t_.tBURST));
+}
+
+TEST_F(BankTest, BlockUntilFreezesAllCommands) {
+  bank_.activate(0, 1);
+  bank_.precharge(t_.tRAS);
+  bank_.block_until(100);
+  EXPECT_FALSE(bank_.can_activate(99));
+  EXPECT_TRUE(bank_.can_activate(100));
+}
+
+}  // namespace
+}  // namespace mecc::dram

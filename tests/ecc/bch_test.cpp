@@ -1,0 +1,174 @@
+#include "ecc/bch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace mecc::ecc {
+namespace {
+
+BitVec random_data(std::size_t n, Rng& rng) {
+  BitVec d(n);
+  for (std::size_t i = 0; i < n; ++i) d.set(i, rng.chance(0.5));
+  return d;
+}
+
+/// Flips `count` distinct random bits of `cw`.
+BitVec corrupt(const BitVec& cw, std::size_t count, Rng& rng) {
+  BitVec bad = cw;
+  std::set<std::size_t> flipped;
+  while (flipped.size() < count) {
+    const std::size_t p = rng.next_below(cw.size());
+    if (flipped.insert(p).second) bad.flip(p);
+  }
+  return bad;
+}
+
+TEST(Bch, Ecc6GeometryMatchesPaper) {
+  // Paper S III-D: ECC-6 over a 64 B line needs 60 parity bits (t*m with
+  // m = 10), fitting the 60 bits left in the (72,64) spare space.
+  const Bch code(10, 6, 512);
+  EXPECT_EQ(code.data_bits(), 512u);
+  EXPECT_EQ(code.parity_bits(), 60u);
+  EXPECT_EQ(code.correct_capability(), 6u);
+}
+
+TEST(Bch, GeneratorDividesXnMinusOne) {
+  // g(x) must divide x^n - 1 for n = 2^m - 1 (defining property of a
+  // cyclic code).
+  const Bch code(6, 2, 20);
+  galois::Gf2Poly xn1 = galois::Gf2Poly::monomial(63) +
+                        galois::Gf2Poly::from_mask(1);
+  EXPECT_TRUE(xn1.mod(code.generator()).is_zero());
+}
+
+TEST(Bch, CleanRoundTrip) {
+  Rng rng(1);
+  const Bch code(10, 6, 512);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVec d = random_data(512, rng);
+    const DecodeResult r = code.decode(code.encode(d));
+    EXPECT_EQ(r.status, DecodeStatus::kClean);
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+class BchCorrectsUpToT : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BchCorrectsUpToT, RandomErrorPatterns) {
+  const std::size_t nerr = GetParam();
+  Rng rng(100 + nerr);
+  const Bch code(10, 6, 512);
+  for (int trial = 0; trial < 15; ++trial) {
+    const BitVec d = random_data(512, rng);
+    const BitVec cw = code.encode(d);
+    const BitVec bad = corrupt(cw, nerr, rng);
+    const DecodeResult r = code.decode(bad);
+    ASSERT_EQ(r.status,
+              nerr == 0 ? DecodeStatus::kClean : DecodeStatus::kCorrected)
+        << "errors=" << nerr;
+    EXPECT_EQ(r.corrected_bits, nerr);
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZeroToSixErrors, BchCorrectsUpToT,
+                         ::testing::Range<std::size_t>(0, 7));
+
+TEST(Bch, ErrorsInParityBitsAreAlsoCorrected) {
+  Rng rng(7);
+  const Bch code(10, 6, 512);
+  const BitVec d = random_data(512, rng);
+  const BitVec cw = code.encode(d);
+  BitVec bad = cw;
+  // Flip bits only inside the parity region [512, 572).
+  bad.flip(512);
+  bad.flip(540);
+  bad.flip(571);
+  const DecodeResult r = code.decode(bad);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(r.corrected_bits, 3u);
+  EXPECT_EQ(r.data, d);
+}
+
+TEST(Bch, SevenErrorsNeverSilentlyCorruptToWrongCount) {
+  // Beyond t errors the decoder must either flag uncorrectable or
+  // miscorrect to some other codeword; it must never return the original
+  // data while claiming a correction of <= t bits that didn't happen.
+  Rng rng(8);
+  const Bch code(10, 6, 512);
+  int uncorrectable = 0;
+  const int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const BitVec d = random_data(512, rng);
+    const BitVec cw = code.encode(d);
+    const BitVec bad = corrupt(cw, 7, rng);
+    const DecodeResult r = code.decode(bad);
+    if (r.status == DecodeStatus::kUncorrectable) {
+      ++uncorrectable;
+    } else {
+      // A miscorrection lands on a *different* codeword.
+      ASSERT_EQ(r.status, DecodeStatus::kCorrected);
+      EXPECT_NE(r.data, d);
+    }
+  }
+  // For random 7-error patterns, detection is the overwhelmingly common
+  // outcome for this (572, 512) code.
+  EXPECT_GT(uncorrectable, kTrials / 2);
+}
+
+TEST(Bch, SmallerTCodesWork) {
+  Rng rng(9);
+  for (std::size_t t = 1; t <= 4; ++t) {
+    const Bch code(10, t, 512);
+    EXPECT_EQ(code.parity_bits(), t * 10) << "t=" << t;
+    const BitVec d = random_data(512, rng);
+    const BitVec bad = corrupt(code.encode(d), t, rng);
+    const DecodeResult r = code.decode(bad);
+    EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+TEST(Bch, UnshortenedSmallCode) {
+  // BCH(15, 5) with t = 3: a classic textbook code (m = 4).
+  Rng rng(10);
+  const Bch code(4, 3, 5);
+  EXPECT_EQ(code.parity_bits(), 10u);
+  const BitVec d = random_data(5, rng);
+  const BitVec bad = corrupt(code.encode(d), 3, rng);
+  const DecodeResult r = code.decode(bad);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(r.data, d);
+}
+
+TEST(Bch, RejectsOversizedData) {
+  // 2^6 - 1 = 63 total bits; t=2 needs 12 parity, so k > 51 must throw.
+  EXPECT_THROW(Bch(6, 2, 52), std::invalid_argument);
+  EXPECT_NO_THROW(Bch(6, 2, 51));
+}
+
+TEST(Bch, BurstOfAdjacentErrorsWithinT) {
+  Rng rng(11);
+  const Bch code(10, 6, 512);
+  const BitVec d = random_data(512, rng);
+  BitVec bad = code.encode(d);
+  for (std::size_t i = 100; i < 106; ++i) bad.flip(i);  // 6 adjacent flips
+  const DecodeResult r = code.decode(bad);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(r.corrected_bits, 6u);
+  EXPECT_EQ(r.data, d);
+}
+
+TEST(Bch, AllZeroDataIsACodeword) {
+  const Bch code(10, 6, 512);
+  BitVec zero(512);
+  const BitVec cw = code.encode(zero);
+  EXPECT_FALSE(cw.any());  // systematic encoding of 0 is the zero word
+  EXPECT_EQ(code.decode(cw).status, DecodeStatus::kClean);
+}
+
+}  // namespace
+}  // namespace mecc::ecc

@@ -1,0 +1,135 @@
+#include "ecc/secded.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mecc::ecc {
+namespace {
+
+BitVec random_data(std::size_t n, Rng& rng) {
+  BitVec d(n);
+  for (std::size_t i = 0; i < n; ++i) d.set(i, rng.chance(0.5));
+  return d;
+}
+
+TEST(Secded, Code7264Geometry) {
+  const Secded code(64);
+  EXPECT_EQ(code.data_bits(), 64u);
+  EXPECT_EQ(code.parity_bits(), 8u);  // the classic (72,64) code
+  EXPECT_EQ(code.codeword_bits(), 72u);
+  EXPECT_EQ(code.correct_capability(), 1u);
+  EXPECT_EQ(code.name(), "SECDED(72,64)");
+}
+
+TEST(Secded, Code512GeometryMatchesPaper) {
+  // Paper S III-D: SECDED over a 64-byte line needs 11 bits.
+  const Secded code(512);
+  EXPECT_EQ(code.parity_bits(), 11u);
+  EXPECT_EQ(code.codeword_bits(), 523u);
+}
+
+TEST(Secded, CleanRoundTrip) {
+  Rng rng(1);
+  const Secded code(64);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BitVec d = random_data(64, rng);
+    const BitVec cw = code.encode(d);
+    const DecodeResult r = code.decode(cw);
+    EXPECT_EQ(r.status, DecodeStatus::kClean);
+    EXPECT_EQ(r.data, d);
+    EXPECT_EQ(r.corrected_bits, 0u);
+  }
+}
+
+class SecdedSingleError : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SecdedSingleError, EverySingleBitFlipIsCorrected) {
+  Rng rng(2);
+  const Secded code(64);
+  const BitVec d = random_data(64, rng);
+  const BitVec cw = code.encode(d);
+  BitVec bad = cw;
+  bad.flip(GetParam());
+  const DecodeResult r = code.decode(bad);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(r.corrected_bits, 1u);
+  EXPECT_EQ(r.data, d) << "flip at " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SecdedSingleError,
+                         ::testing::Range<std::size_t>(0, 72));
+
+TEST(Secded, EveryDoubleErrorIsDetectedNotMiscorrected) {
+  Rng rng(3);
+  const Secded code(64);
+  const BitVec d = random_data(64, rng);
+  const BitVec cw = code.encode(d);
+  for (std::size_t i = 0; i < 72; ++i) {
+    for (std::size_t j = i + 1; j < 72; ++j) {
+      BitVec bad = cw;
+      bad.flip(i);
+      bad.flip(j);
+      const DecodeResult r = code.decode(bad);
+      EXPECT_EQ(r.status, DecodeStatus::kUncorrectable)
+          << "flips at " << i << "," << j;
+    }
+  }
+}
+
+TEST(Secded, SingleErrorCorrectedOn512BitLine) {
+  Rng rng(4);
+  const Secded code(512);
+  const BitVec d = random_data(512, rng);
+  const BitVec cw = code.encode(d);
+  for (std::size_t i = 0; i < code.codeword_bits(); i += 17) {
+    BitVec bad = cw;
+    bad.flip(i);
+    const DecodeResult r = code.decode(bad);
+    EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+TEST(Secded, DoubleErrorDetectedOn512BitLine) {
+  Rng rng(5);
+  const Secded code(512);
+  const BitVec d = random_data(512, rng);
+  const BitVec cw = code.encode(d);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t i = rng.next_below(code.codeword_bits());
+    std::size_t j = rng.next_below(code.codeword_bits());
+    while (j == i) j = rng.next_below(code.codeword_bits());
+    BitVec bad = cw;
+    bad.flip(i);
+    bad.flip(j);
+    EXPECT_EQ(code.decode(bad).status, DecodeStatus::kUncorrectable);
+  }
+}
+
+TEST(Secded, AllZeroAndAllOneWords) {
+  const Secded code(64);
+  BitVec zero(64);
+  EXPECT_EQ(code.decode(code.encode(zero)).status, DecodeStatus::kClean);
+  BitVec ones(64);
+  for (std::size_t i = 0; i < 64; ++i) ones.set(i, true);
+  const DecodeResult r = code.decode(code.encode(ones));
+  EXPECT_EQ(r.status, DecodeStatus::kClean);
+  EXPECT_EQ(r.data, ones);
+}
+
+TEST(Secded, RejectsTooSmallData) {
+  EXPECT_THROW(Secded(3), std::invalid_argument);
+}
+
+TEST(Secded, DistinctDataEncodesToDistinctCodewords) {
+  const Secded code(64);
+  Rng rng(6);
+  const BitVec a = random_data(64, rng);
+  BitVec b = a;
+  b.flip(rng.next_below(64));
+  EXPECT_NE(code.encode(a), code.encode(b));
+}
+
+}  // namespace
+}  // namespace mecc::ecc

@@ -1,0 +1,106 @@
+#include "galois/gf2_poly.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mecc::galois {
+namespace {
+
+TEST(Gf2Poly, ZeroPolynomial) {
+  Gf2Poly z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.degree(), -1);
+  EXPECT_EQ(z.to_string(), "0");
+}
+
+TEST(Gf2Poly, FromMaskAndDegree) {
+  const auto p = Gf2Poly::from_mask(0b1011);  // x^3 + x + 1
+  EXPECT_EQ(p.degree(), 3);
+  EXPECT_TRUE(p.coeff(0));
+  EXPECT_TRUE(p.coeff(1));
+  EXPECT_FALSE(p.coeff(2));
+  EXPECT_TRUE(p.coeff(3));
+  EXPECT_EQ(p.to_string(), "x^3 + x + 1");
+}
+
+TEST(Gf2Poly, AdditionIsXor) {
+  const auto a = Gf2Poly::from_mask(0b1011);
+  const auto b = Gf2Poly::from_mask(0b0110);
+  const auto s = a + b;
+  EXPECT_EQ(s, Gf2Poly::from_mask(0b1101));
+  EXPECT_TRUE((a + a).is_zero());
+}
+
+TEST(Gf2Poly, MultiplicationSmallCases) {
+  // (x + 1)^2 = x^2 + 1 over GF(2).
+  const auto xp1 = Gf2Poly::from_mask(0b11);
+  EXPECT_EQ(xp1 * xp1, Gf2Poly::from_mask(0b101));
+  // (x + 1)(x^2 + x + 1) = x^3 + 1.
+  EXPECT_EQ(xp1 * Gf2Poly::from_mask(0b111), Gf2Poly::from_mask(0b1001));
+}
+
+TEST(Gf2Poly, MulByZeroAndOne) {
+  const auto p = Gf2Poly::from_mask(0b110101);
+  EXPECT_TRUE((p * Gf2Poly{}).is_zero());
+  EXPECT_EQ(p * Gf2Poly::from_mask(1), p);
+}
+
+TEST(Gf2Poly, DivModIdentity) {
+  // For random a, b != 0: a == (a/b)*b + (a mod b), deg(a mod b) < deg(b).
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = Gf2Poly::from_mask(rng.engine()());
+    std::uint64_t bm = rng.engine()() & 0xffff;
+    if (bm == 0) bm = 1;
+    const auto b = Gf2Poly::from_mask(bm);
+    const auto q = a.div(b);
+    const auto r = a.mod(b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.degree(), b.degree() == -1 ? 0 : b.degree());
+  }
+}
+
+TEST(Gf2Poly, ModByHigherDegreeIsIdentity) {
+  const auto a = Gf2Poly::from_mask(0b101);
+  const auto b = Gf2Poly::from_mask(0b10001);
+  EXPECT_EQ(a.mod(b), a);
+  EXPECT_TRUE(a.div(b).is_zero());
+}
+
+TEST(Gf2Poly, MonomialShape) {
+  const auto m = Gf2Poly::monomial(7);
+  EXPECT_EQ(m.degree(), 7);
+  EXPECT_EQ(m.bits().popcount(), 1u);
+}
+
+TEST(Gf2Poly, FromBitsTrimsHighZeros) {
+  BitVec bits(100);
+  bits.set(0, true);
+  bits.set(10, true);
+  const auto p = Gf2Poly::from_bits(bits);
+  EXPECT_EQ(p.degree(), 10);
+}
+
+TEST(Gf2Poly, SetCoeffGrows) {
+  Gf2Poly p;
+  p.set_coeff(90, true);
+  EXPECT_EQ(p.degree(), 90);
+  p.set_coeff(90, false);
+  EXPECT_EQ(p.degree(), -1);
+}
+
+TEST(Gf2Poly, MultiplicationCommutesAndAssociates) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = Gf2Poly::from_mask(rng.engine()() & 0xffffff);
+    const auto b = Gf2Poly::from_mask(rng.engine()() & 0xffffff);
+    const auto c = Gf2Poly::from_mask(rng.engine()() & 0xffff);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+}  // namespace
+}  // namespace mecc::galois

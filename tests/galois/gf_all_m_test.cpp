@@ -1,0 +1,67 @@
+// Property sweep of the field axioms across every supported field size.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "galois/gf.h"
+#include "galois/gf2_poly.h"
+
+namespace mecc::galois {
+namespace {
+
+class GfAllM : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GfAllM, InverseAndFermatHoldOnSamples) {
+  const GaloisField gf(GetParam());
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Elem a = static_cast<Elem>(1 + rng.next_below(gf.order()));
+    EXPECT_EQ(gf.mul(a, gf.inv(a)), 1u);
+    EXPECT_EQ(gf.pow(a, gf.order()), 1u);
+  }
+}
+
+TEST_P(GfAllM, LogAlphaRoundTripOnSamples) {
+  const GaloisField gf(GetParam());
+  Rng rng(100 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t e =
+        static_cast<std::uint32_t>(rng.next_below(gf.order()));
+    EXPECT_EQ(gf.log(gf.alpha_pow(e)), e);
+  }
+}
+
+TEST_P(GfAllM, PrimitivePolyIsIrreducibleOverSmallFactors) {
+  // No root in GF(2) and no degree-1 factor: p(0) = p(1) = 1.
+  const GaloisField gf(GetParam());
+  const auto p = Gf2Poly::from_mask(gf.primitive_poly());
+  EXPECT_TRUE(p.coeff(0));
+  int weight = 0;
+  for (int k = 0; k <= p.degree(); ++k) {
+    weight += p.coeff(static_cast<std::size_t>(k)) ? 1 : 0;
+  }
+  EXPECT_EQ(weight % 2, 1);  // odd weight -> p(1) == 1
+}
+
+TEST_P(GfAllM, MinimalPolyOfAlphaDividesGroupPolynomial) {
+  // m_alpha(x) divides x^(2^m - 1) + 1 for every field (alpha's order
+  // divides the group order). Restrict to small m: the dense polynomial
+  // would be huge beyond that.
+  const unsigned m = GetParam();
+  if (m > 12) GTEST_SKIP() << "x^(2^m-1)+1 too large for the dense rep";
+  const GaloisField gf(m);
+  const auto min_poly = Gf2Poly::from_mask(gf.minimal_poly(1));
+  Gf2Poly group = Gf2Poly::monomial(gf.order()) + Gf2Poly::from_mask(1);
+  EXPECT_TRUE(group.mod(min_poly).is_zero());
+}
+
+TEST_P(GfAllM, MinimalPolyOfAlphaHasDegreeM) {
+  const GaloisField gf(GetParam());
+  const auto p = Gf2Poly::from_mask(gf.minimal_poly(1));
+  EXPECT_EQ(p.degree(), static_cast<int>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFieldSizes, GfAllM,
+                         ::testing::Range(3u, 17u));
+
+}  // namespace
+}  // namespace mecc::galois

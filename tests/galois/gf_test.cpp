@@ -1,0 +1,141 @@
+#include "galois/gf.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mecc::galois {
+namespace {
+
+TEST(GaloisField, RejectsBadM) {
+  EXPECT_THROW(GaloisField(2), std::invalid_argument);
+  EXPECT_THROW(GaloisField(17), std::invalid_argument);
+  EXPECT_NO_THROW(GaloisField(3));
+  EXPECT_NO_THROW(GaloisField(16));
+}
+
+TEST(GaloisField, AlphaGeneratesWholeGroup) {
+  const GaloisField gf(10);
+  std::set<Elem> seen;
+  for (std::uint32_t i = 0; i < gf.order(); ++i) {
+    seen.insert(gf.alpha_pow(i));
+  }
+  EXPECT_EQ(seen.size(), gf.order());  // all non-zero elements hit once
+  EXPECT_EQ(seen.count(0), 0u);
+}
+
+TEST(GaloisField, LogIsInverseOfAlphaPow) {
+  const GaloisField gf(8);
+  for (std::uint32_t i = 0; i < gf.order(); ++i) {
+    EXPECT_EQ(gf.log(gf.alpha_pow(i)), i);
+  }
+}
+
+TEST(GaloisField, MulDivInverse) {
+  const GaloisField gf(6);
+  for (Elem a = 1; a < gf.size(); ++a) {
+    EXPECT_EQ(gf.mul(a, gf.inv(a)), 1u);
+    for (Elem b = 1; b < gf.size(); ++b) {
+      const Elem p = gf.mul(a, b);
+      EXPECT_EQ(gf.div(p, b), a);
+      EXPECT_EQ(gf.div(p, a), b);
+    }
+  }
+}
+
+TEST(GaloisField, MulByZeroIsZero) {
+  const GaloisField gf(5);
+  for (Elem a = 0; a < gf.size(); ++a) {
+    EXPECT_EQ(gf.mul(a, 0), 0u);
+    EXPECT_EQ(gf.mul(0, a), 0u);
+  }
+}
+
+TEST(GaloisField, MulIsCommutativeAndAssociative) {
+  const GaloisField gf(5);
+  for (Elem a = 0; a < gf.size(); ++a) {
+    for (Elem b = 0; b < gf.size(); ++b) {
+      EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+      for (Elem c = 0; c < gf.size(); c += 7) {
+        EXPECT_EQ(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisField, DistributesOverAddition) {
+  const GaloisField gf(6);
+  for (Elem a = 0; a < gf.size(); a += 3) {
+    for (Elem b = 0; b < gf.size(); b += 5) {
+      for (Elem c = 0; c < gf.size(); c += 7) {
+        EXPECT_EQ(gf.mul(a, GaloisField::add(b, c)),
+                  GaloisField::add(gf.mul(a, b), gf.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisField, PowMatchesRepeatedMul) {
+  const GaloisField gf(8);
+  const Elem a = gf.alpha_pow(37);
+  Elem acc = 1;
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(gf.pow(a, e), acc);
+    acc = gf.mul(acc, a);
+  }
+  EXPECT_EQ(gf.pow(0, 0), 1u);
+  EXPECT_EQ(gf.pow(0, 5), 0u);
+}
+
+TEST(GaloisField, FermatLittleTheorem) {
+  // x^(2^m - 1) == 1 for every non-zero x.
+  const GaloisField gf(10);
+  for (Elem x = 1; x < gf.size(); x += 13) {
+    EXPECT_EQ(gf.pow(x, gf.order()), 1u);
+  }
+}
+
+TEST(GaloisField, CyclotomicCosetClosedUnderDoubling) {
+  const GaloisField gf(10);
+  const auto coset = gf.cyclotomic_coset(5);
+  std::set<std::uint32_t> s(coset.begin(), coset.end());
+  for (auto e : coset) {
+    EXPECT_EQ(s.count(static_cast<std::uint32_t>((2ull * e) % gf.order())),
+              1u);
+  }
+}
+
+TEST(GaloisField, MinimalPolyHasAlphaPowerAsRoot) {
+  const GaloisField gf(10);
+  for (std::uint32_t i : {1u, 3u, 5u, 7u, 9u, 11u}) {
+    const std::uint64_t mp = gf.minimal_poly(i);
+    // Evaluate the GF(2)-coefficient polynomial at alpha^i in GF(2^m).
+    Elem acc = 0;
+    for (int k = 63; k >= 0; --k) {
+      acc = gf.mul(acc, gf.alpha_pow(i));
+      if ((mp >> k) & 1u) acc = GaloisField::add(acc, 1);
+    }
+    EXPECT_EQ(acc, 0u) << "alpha^" << i << " must be a root";
+  }
+}
+
+TEST(GaloisField, MinimalPolyDegreeEqualsCosetSize) {
+  const GaloisField gf(10);
+  for (std::uint32_t i : {1u, 3u, 5u}) {
+    const std::uint64_t mp = gf.minimal_poly(i);
+    int deg = 63;
+    while (deg > 0 && !((mp >> deg) & 1u)) --deg;
+    EXPECT_EQ(static_cast<std::size_t>(deg), gf.cyclotomic_coset(i).size());
+  }
+}
+
+TEST(GaloisField, PrimitivePolyMatchesM10Reference) {
+  // x^10 + x^3 + 1, the standard choice for GF(1024).
+  const GaloisField gf(10);
+  EXPECT_EQ(gf.primitive_poly(), 0b10000001001u);
+  EXPECT_EQ(gf.size(), 1024u);
+  EXPECT_EQ(gf.order(), 1023u);
+}
+
+}  // namespace
+}  // namespace mecc::galois

@@ -1,0 +1,91 @@
+#include "galois/gfm_poly.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc::galois {
+namespace {
+
+TEST(GfmPoly, DegreeTracksTrailingZeros) {
+  GfmPoly p(std::vector<Elem>{1, 2, 0, 0});
+  EXPECT_EQ(p.degree(), 1);
+  GfmPoly z(std::vector<Elem>{0, 0});
+  EXPECT_EQ(z.degree(), -1);
+}
+
+TEST(GfmPoly, EvalHorner) {
+  const GaloisField gf(4);
+  // p(x) = 3 x^2 + x + 5 evaluated at x = 2 (all in GF(16)).
+  GfmPoly p(std::vector<Elem>{5, 1, 3});
+  const Elem x = 2;
+  const Elem expect = GaloisField::add(
+      GaloisField::add(gf.mul(3, gf.mul(x, x)), x), 5);
+  EXPECT_EQ(p.eval(gf, x), expect);
+}
+
+TEST(GfmPoly, EvalAtZeroIsConstantTerm) {
+  const GaloisField gf(4);
+  GfmPoly p(std::vector<Elem>{7, 9, 2});
+  EXPECT_EQ(p.eval(gf, 0), 7u);
+}
+
+TEST(GfmPoly, AddIsCoefficientwise) {
+  GfmPoly a(std::vector<Elem>{1, 2, 3});
+  GfmPoly b(std::vector<Elem>{3, 2});
+  const auto s = a.add(b);
+  EXPECT_EQ(s.coeff(0), 2u);  // 1 ^ 3
+  EXPECT_EQ(s.coeff(1), 0u);  // 2 ^ 2
+  EXPECT_EQ(s.coeff(2), 3u);
+  EXPECT_EQ(s.degree(), 2);
+}
+
+TEST(GfmPoly, MulDegreesAdd) {
+  const GaloisField gf(8);
+  GfmPoly a(std::vector<Elem>{1, 1});      // x + 1
+  GfmPoly b(std::vector<Elem>{1, 0, 1});   // x^2 + 1
+  const auto p = a.mul(gf, b);
+  EXPECT_EQ(p.degree(), 3);
+  // (x+1)(x^2+1) = x^3 + x^2 + x + 1 over GF(2) coefficients.
+  EXPECT_EQ(p.coeff(0), 1u);
+  EXPECT_EQ(p.coeff(1), 1u);
+  EXPECT_EQ(p.coeff(2), 1u);
+  EXPECT_EQ(p.coeff(3), 1u);
+}
+
+TEST(GfmPoly, ScaleAndShift) {
+  const GaloisField gf(8);
+  GfmPoly p(std::vector<Elem>{1, 2});
+  const auto s = p.scale(gf, 3);
+  EXPECT_EQ(s.coeff(0), gf.mul(1, 3));
+  EXPECT_EQ(s.coeff(1), gf.mul(2, 3));
+  const auto sh = p.shift(2);
+  EXPECT_EQ(sh.degree(), 3);
+  EXPECT_EQ(sh.coeff(0), 0u);
+  EXPECT_EQ(sh.coeff(2), 1u);
+  EXPECT_EQ(sh.coeff(3), 2u);
+}
+
+TEST(GfmPoly, DerivativeChar2) {
+  // d/dx (a x^3 + b x^2 + c x + d) = a x^2 + c  (even-power terms vanish).
+  GfmPoly p(std::vector<Elem>{4, 3, 2, 1});
+  const auto d = p.derivative();
+  EXPECT_EQ(d.coeff(0), 3u);
+  EXPECT_EQ(d.coeff(1), 0u);
+  EXPECT_EQ(d.coeff(2), 1u);
+  EXPECT_EQ(d.degree(), 2);
+}
+
+TEST(GfmPoly, RootEvaluation) {
+  const GaloisField gf(6);
+  // Build (x - r1)(x - r2) and verify both roots evaluate to zero.
+  const Elem r1 = gf.alpha_pow(5);
+  const Elem r2 = gf.alpha_pow(17);
+  GfmPoly f1(std::vector<Elem>{r1, 1});
+  GfmPoly f2(std::vector<Elem>{r2, 1});
+  const auto prod = f1.mul(gf, f2);
+  EXPECT_EQ(prod.eval(gf, r1), 0u);
+  EXPECT_EQ(prod.eval(gf, r2), 0u);
+  EXPECT_NE(prod.eval(gf, gf.alpha_pow(30)), 0u);
+}
+
+}  // namespace
+}  // namespace mecc::galois

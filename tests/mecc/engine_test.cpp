@@ -1,0 +1,154 @@
+#include "mecc/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc::morph {
+namespace {
+
+EngineConfig small_config() {
+  EngineConfig c;
+  c.memory_lines = 16384;          // 1 MB toy memory
+  c.memory_bytes = 16384 * 64;
+  c.mdt_entries = 16;              // 64 KB regions
+  return c;
+}
+
+TEST(Engine, FirstReadIsStrongThenWeak) {
+  Engine e(small_config());
+  const ReadDecision first = e.on_read(0x1000);
+  EXPECT_EQ(first.decode_mode, LineMode::kStrong);
+  EXPECT_TRUE(first.downgrade);
+  const ReadDecision second = e.on_read(0x1000);
+  EXPECT_EQ(second.decode_mode, LineMode::kWeak);
+  EXPECT_FALSE(second.downgrade);
+  EXPECT_EQ(e.stats().counter("downgrades"), 1u);
+}
+
+TEST(Engine, WritesDowngradeWithoutRead) {
+  Engine e(small_config());
+  e.on_write(0x2000);
+  EXPECT_EQ(e.modes().mode_of(0x2000), LineMode::kWeak);
+  // A later read needs only the weak decoder.
+  EXPECT_EQ(e.on_read(0x2000).decode_mode, LineMode::kWeak);
+}
+
+TEST(Engine, DowngradeMarksMdt) {
+  Engine e(small_config());
+  (void)e.on_read(0);
+  EXPECT_EQ(e.mdt().marked_regions(), 1u);
+  (void)e.on_read(64);  // same region
+  EXPECT_EQ(e.mdt().marked_regions(), 1u);
+  (void)e.on_read(5 * 65536);  // different 64 KB region
+  EXPECT_EQ(e.mdt().marked_regions(), 2u);
+}
+
+TEST(Engine, IdleEntryUpgradesOnlyMdtRegionsWithMdt) {
+  Engine e(small_config());
+  (void)e.on_read(0);
+  (void)e.on_read(5 * 65536);
+  const UpgradeReport r = e.enter_idle();
+  // 2 regions of 64 KB = 2048 lines, not the whole 16384.
+  EXPECT_EQ(r.lines_upgraded, 2048u);
+  EXPECT_EQ(r.upgrade_cycles, 2048u * 40);
+  EXPECT_TRUE(e.modes().all_strong());
+  EXPECT_EQ(e.mdt().marked_regions(), 0u);  // table reset
+}
+
+TEST(Engine, IdleEntryWithoutMdtWalksWholeMemory) {
+  EngineConfig c = small_config();
+  c.use_mdt = false;
+  Engine e(c);
+  (void)e.on_read(0);
+  const UpgradeReport r = e.enter_idle();
+  EXPECT_EQ(r.lines_upgraded, c.memory_lines);
+}
+
+TEST(Engine, PaperUpgradeLatencies) {
+  // S VI-A: full 1 GB walk = 400 ms; with MDT and the average 128 MB
+  // footprint it drops to ~50 ms.
+  EngineConfig c;  // full-size memory
+  c.use_mdt = false;
+  Engine full(c);
+  (void)full.on_read(0);
+  EXPECT_NEAR(full.enter_idle().upgrade_seconds, 0.400, 0.02);
+
+  EngineConfig cm;  // with MDT
+  Engine with_mdt(cm);
+  for (std::uint64_t r = 0; r < 128; ++r) {
+    (void)with_mdt.on_read(r << 20);  // touch 128 x 1 MB regions
+  }
+  EXPECT_NEAR(with_mdt.enter_idle().upgrade_seconds, 0.050, 0.003);
+}
+
+TEST(Engine, AfterIdleLinesAreStrongAgain) {
+  Engine e(small_config());
+  (void)e.on_read(0x3000);
+  ASSERT_EQ(e.modes().mode_of(0x3000), LineMode::kWeak);
+  (void)e.enter_idle();
+  const ReadDecision d = e.on_read(0x3000);
+  EXPECT_EQ(d.decode_mode, LineMode::kStrong);  // pays ECC-6 once more
+  EXPECT_TRUE(d.downgrade);
+}
+
+TEST(Engine, SmdHoldsOffDowngrade) {
+  EngineConfig c = small_config();
+  c.use_smd = true;
+  c.smd_quantum_cycles = 1000;
+  c.smd_mpkc_threshold = 2.0;
+  Engine e(c);
+  e.wake(0);
+  EXPECT_FALSE(e.downgrade_enabled());
+  EXPECT_EQ(e.active_refresh_divider(), 16u);  // still at the 1 s rate
+  // Reads decode strong but do NOT downgrade.
+  const ReadDecision d = e.on_read(0x100);
+  EXPECT_EQ(d.decode_mode, LineMode::kStrong);
+  EXPECT_FALSE(d.downgrade);
+  EXPECT_TRUE(e.modes().all_strong());
+}
+
+TEST(Engine, SmdWritesKeepStrongEncoding) {
+  EngineConfig c = small_config();
+  c.use_smd = true;
+  Engine e(c);
+  e.wake(0);
+  e.on_write(0x200);
+  EXPECT_EQ(e.modes().mode_of(0x200), LineMode::kStrong);
+}
+
+TEST(Engine, SmdEnablesUnderHeavyTraffic) {
+  EngineConfig c = small_config();
+  c.use_smd = true;
+  c.smd_quantum_cycles = 1000;
+  c.smd_mpkc_threshold = 2.0;
+  Engine e(c);
+  e.wake(0);
+  // 10 accesses per kilo-cycle for three quanta.
+  for (Cycle cyc = 1; cyc <= 3000; ++cyc) {
+    if (cyc % 100 == 0) (void)e.on_read(cyc * 64);
+    e.tick(cyc);
+  }
+  EXPECT_TRUE(e.downgrade_enabled());
+  EXPECT_EQ(e.active_refresh_divider(), 1u);  // back to 64 ms refresh
+}
+
+TEST(Engine, WithoutSmdDowngradeAlwaysOn) {
+  Engine e(small_config());
+  EXPECT_TRUE(e.downgrade_enabled());
+  EXPECT_EQ(e.active_refresh_divider(), 1u);
+}
+
+TEST(Engine, StatsAccumulate) {
+  Engine e(small_config());
+  (void)e.on_read(0);
+  (void)e.on_read(64);
+  e.on_write(128);
+  (void)e.enter_idle();
+  e.wake(10);
+  EXPECT_EQ(e.stats().counter("downgrades"), 2u);
+  EXPECT_EQ(e.stats().counter("downgrades_on_write"), 1u);
+  EXPECT_EQ(e.stats().counter("idle_entries"), 1u);
+  EXPECT_EQ(e.stats().counter("wakeups"), 1u);
+}
+
+}  // namespace
+}  // namespace mecc::morph

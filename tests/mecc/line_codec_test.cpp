@@ -1,0 +1,142 @@
+#include "mecc/line_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "reliability/fault_injection.h"
+
+namespace mecc::morph {
+namespace {
+
+BitVec random_line(Rng& rng) {
+  BitVec d(kDataBits);
+  for (std::size_t i = 0; i < kDataBits; ++i) d.set(i, rng.chance(0.5));
+  return d;
+}
+
+class LineCodecTest : public ::testing::Test {
+ protected:
+  LineCodec codec_;
+  Rng rng_{17};
+};
+
+TEST_F(LineCodecTest, StoredWordIs576Bits) {
+  // Paper S III-D: the standard (72,64) provisioning gives exactly 64
+  // spare bits per 64 B line - no extra storage.
+  const BitVec d = random_line(rng_);
+  EXPECT_EQ(codec_.store(d, LineMode::kWeak).size(), 576u);
+  EXPECT_EQ(codec_.store(d, LineMode::kStrong).size(), 576u);
+}
+
+TEST_F(LineCodecTest, CodeBudgetsMatchFig6) {
+  EXPECT_EQ(codec_.weak_code().parity_bits(), 11u);    // SECDED on 64 B
+  EXPECT_EQ(codec_.strong_code().parity_bits(), 60u);  // ECC-6 on 64 B
+  // 4 mode bits + 60 code bits = the 64 spare bits.
+  EXPECT_EQ(kModeReplicas + codec_.strong_code().parity_bits(), kSpareBits);
+}
+
+TEST_F(LineCodecTest, CleanRoundTripBothModes) {
+  for (const LineMode mode : {LineMode::kWeak, LineMode::kStrong}) {
+    const BitVec d = random_line(rng_);
+    const LineDecodeResult r = codec_.load(codec_.store(d, mode));
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.mode, mode);
+    EXPECT_FALSE(r.mode_bits_disagreed);
+    EXPECT_EQ(r.corrected_bits, 0u);
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+TEST_F(LineCodecTest, WeakModeCorrectsSingleDataError) {
+  const BitVec d = random_line(rng_);
+  BitVec stored = codec_.store(d, LineMode::kWeak);
+  stored.flip(100);
+  const LineDecodeResult r = codec_.load(stored);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.mode, LineMode::kWeak);
+  EXPECT_EQ(r.corrected_bits, 1u);
+  EXPECT_EQ(r.data, d);
+}
+
+TEST_F(LineCodecTest, StrongModeCorrectsSixErrors) {
+  const BitVec d = random_line(rng_);
+  BitVec stored = codec_.store(d, LineMode::kStrong);
+  // Five data-bit flips plus one parity-bit flip.
+  for (std::size_t pos : {3u, 77u, 200u, 311u, 500u, 520u}) {
+    stored.flip(pos == 520u ? 516u + 10u : pos);  // one in code space
+  }
+  const LineDecodeResult r = codec_.load(stored);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.mode, LineMode::kStrong);
+  EXPECT_EQ(r.corrected_bits, 6u);
+  EXPECT_EQ(r.data, d);
+}
+
+TEST_F(LineCodecTest, SingleModeBitFlipStillIdentifiesMode) {
+  // One flipped replica: majority would say the right thing, and the
+  // trial-decode fallback must also land on the correct decoder.
+  for (const LineMode mode : {LineMode::kWeak, LineMode::kStrong}) {
+    const BitVec d = random_line(rng_);
+    BitVec stored = codec_.store(d, mode);
+    stored.flip(kDataBits + 2);  // one of the four mode replicas
+    const LineDecodeResult r = codec_.load(stored);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.mode, mode);
+    EXPECT_TRUE(r.mode_bits_disagreed);
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+TEST_F(LineCodecTest, TwoModeBitFlipsResolvedByTrialDecode) {
+  // 2-2 split: majority is useless; only trial decoding disambiguates
+  // (paper S III-D: "we try both SECDED and ECC-6 decoder").
+  const BitVec d = random_line(rng_);
+  BitVec stored = codec_.store(d, LineMode::kStrong);
+  stored.flip(kDataBits + 0);
+  stored.flip(kDataBits + 1);
+  const LineDecodeResult r = codec_.load(stored);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.mode, LineMode::kStrong);
+  EXPECT_EQ(r.data, d);
+}
+
+TEST_F(LineCodecTest, ModeBitFlipPlusDataErrorsStillRecovers) {
+  const BitVec d = random_line(rng_);
+  BitVec stored = codec_.store(d, LineMode::kStrong);
+  stored.flip(kDataBits + 1);  // mode replica
+  stored.flip(10);
+  stored.flip(400);            // two data errors
+  const LineDecodeResult r = codec_.load(stored);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.mode, LineMode::kStrong);
+  EXPECT_EQ(r.data, d);
+}
+
+TEST_F(LineCodecTest, WeakModeDetectsDoubleErrorWithoutMiscorrecting) {
+  const BitVec d = random_line(rng_);
+  BitVec stored = codec_.store(d, LineMode::kWeak);
+  stored.flip(5);
+  stored.flip(6);
+  const LineDecodeResult r = codec_.load(stored);
+  EXPECT_FALSE(r.ok);  // SEC-DED flags, does not corrupt
+}
+
+TEST_F(LineCodecTest, SurvivesIdleModeBerOnStrongLines) {
+  // End-to-end idle-period experiment: store strong, inject the paper's
+  // 1 s raw BER (1e-4.5) over the full 576-bit word, decode. With
+  // E[errors] ~ 0.018 per line, thousands of lines decode without loss.
+  reliability::FaultInjector fi(23);
+  LineCodec codec;
+  int failures = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const BitVec d = random_line(rng_);
+    BitVec stored = codec.store(d, LineMode::kStrong);
+    (void)fi.inject(stored, 3.16e-5);
+    const LineDecodeResult r = codec.load(stored);
+    if (!r.ok || r.data != d) ++failures;
+  }
+  EXPECT_EQ(failures, 0);
+}
+
+}  // namespace
+}  // namespace mecc::morph

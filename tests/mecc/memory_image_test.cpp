@@ -1,0 +1,162 @@
+#include "mecc/memory_image.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "reliability/retention_model.h"
+
+namespace mecc::morph {
+namespace {
+
+BitVec random_line(Rng& rng) {
+  BitVec d(kDataBits);
+  for (std::size_t i = 0; i < kDataBits; ++i) d.set(i, rng.chance(0.5));
+  return d;
+}
+
+TEST(MemoryImage, FreshImageReadsZeroStrong) {
+  MemoryImage img(16);
+  for (std::size_t i = 0; i < img.num_lines(); ++i) {
+    EXPECT_EQ(img.stored_mode(i), LineMode::kStrong);
+    const auto data = img.read_line(i, /*downgrade=*/false);
+    ASSERT_TRUE(data.has_value());
+    EXPECT_FALSE(data->any());
+  }
+}
+
+TEST(MemoryImage, WriteReadRoundTripBothModes) {
+  MemoryImage img(4);
+  Rng rng(1);
+  const BitVec a = random_line(rng);
+  const BitVec b = random_line(rng);
+  img.write_line(0, a, LineMode::kWeak);
+  img.write_line(1, b, LineMode::kStrong);
+  EXPECT_EQ(img.stored_mode(0), LineMode::kWeak);
+  EXPECT_EQ(img.stored_mode(1), LineMode::kStrong);
+  EXPECT_EQ(*img.read_line(0, false), a);
+  EXPECT_EQ(*img.read_line(1, false), b);
+}
+
+TEST(MemoryImage, DowngradeOnReadChangesStoredMode) {
+  MemoryImage img(2);
+  Rng rng(2);
+  const BitVec a = random_line(rng);
+  img.write_line(0, a, LineMode::kStrong);
+  EXPECT_EQ(*img.read_line(0, /*downgrade=*/true), a);
+  EXPECT_EQ(img.stored_mode(0), LineMode::kWeak);
+  EXPECT_EQ(img.stats().downgrades, 1u);
+  // Second read finds it weak; data still intact.
+  EXPECT_EQ(*img.read_line(0, true), a);
+  EXPECT_EQ(img.stats().downgrades, 1u);
+}
+
+TEST(MemoryImage, UpgradeAllRestoresStrong) {
+  MemoryImage img(8);
+  Rng rng(3);
+  std::vector<BitVec> data;
+  for (std::size_t i = 0; i < 8; ++i) {
+    data.push_back(random_line(rng));
+    img.write_line(i, data.back(), LineMode::kWeak);
+  }
+  img.upgrade_all();
+  EXPECT_EQ(img.stats().upgrades, 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(img.stored_mode(i), LineMode::kStrong);
+    EXPECT_EQ(*img.read_line(i, false), data[i]);
+  }
+}
+
+TEST(MemoryImage, FullIdleCycleAtPaperBerPreservesAllData) {
+  // The paper's core reliability claim, end to end at the bit level:
+  // upgrade everything to ECC-6, sleep with 1 s refresh at BER 10^-4.5,
+  // wake and read everything back with demand downgrade - no data loss.
+  const std::size_t kLines = 3000;
+  MemoryImage img(kLines);
+  Rng rng(4);
+  std::vector<BitVec> data;
+  for (std::size_t i = 0; i < kLines; ++i) {
+    data.push_back(random_line(rng));
+    img.write_line(i, data[i], LineMode::kWeak);  // active-period state
+  }
+  img.upgrade_all();  // idle entry
+
+  reliability::FaultInjector injector(5);
+  const std::uint64_t flipped = img.inject_retention_errors(
+      reliability::RetentionModel::kDefaultBerAt1s, injector);
+  EXPECT_GT(flipped, 20u);  // E ~ 55 flips over 3000 * 576 bits
+
+  // Wake: read everything back with downgrade (the active-mode path).
+  for (std::size_t i = 0; i < kLines; ++i) {
+    const auto out = img.read_line(i, /*downgrade=*/true);
+    ASSERT_TRUE(out.has_value()) << "line " << i << " lost";
+    EXPECT_EQ(*out, data[i]) << "line " << i << " corrupted";
+  }
+  EXPECT_EQ(img.stats().uncorrectable, 0u);
+  // Flips inside the four mode-replica bits are repaired by the
+  // trial-decode scrub rather than a code correction, so account for
+  // them separately.
+  EXPECT_GE(img.stats().corrected_bits + 4 * img.stats().mode_bit_repairs,
+            flipped);
+}
+
+TEST(MemoryImage, WeakLinesLoseDataAtIdleBerButStrongDoNot) {
+  // Why upgrading before sleep matters: leave lines weak through an
+  // aggressive (100x) idle period and SEC-DED starts losing lines, while
+  // the upgraded image survives.
+  const std::size_t kLines = 500;
+  const double kBer = 100 * reliability::RetentionModel::kDefaultBerAt1s;
+  Rng rng(6);
+
+  MemoryImage weak_img(kLines);
+  MemoryImage strong_img(kLines);
+  for (std::size_t i = 0; i < kLines; ++i) {
+    const BitVec d = random_line(rng);
+    weak_img.write_line(i, d, LineMode::kWeak);
+    strong_img.write_line(i, d, LineMode::kStrong);
+  }
+  reliability::FaultInjector fi(7);
+  (void)weak_img.inject_retention_errors(kBer, fi);
+  (void)strong_img.inject_retention_errors(kBer, fi);
+
+  std::size_t weak_losses = 0;
+  std::size_t strong_losses = 0;
+  for (std::size_t i = 0; i < kLines; ++i) {
+    if (!weak_img.read_line(i, false).has_value()) ++weak_losses;
+    if (!strong_img.read_line(i, false).has_value()) ++strong_losses;
+  }
+  // E[errors/line] ~ 1.8; SEC-DED fails on >= 2 (P ~ 0.53): many losses.
+  EXPECT_GT(weak_losses, 100u);
+  // ECC-6 fails only on >= 7 (P ~ 1e-3): almost none.
+  EXPECT_LT(strong_losses, 10u);
+}
+
+TEST(MemoryImage, ScrubOnReadClearsAccumulatedErrors) {
+  MemoryImage img(1);
+  Rng rng(8);
+  const BitVec d = random_line(rng);
+  img.write_line(0, d, LineMode::kStrong);
+  reliability::FaultInjector fi(9);
+  (void)img.inject_retention_errors(3e-3, fi);  // E ~ 1.7 flips
+  const auto first = img.read_line(0, false);
+  ASSERT_TRUE(first.has_value());
+  // After the scrub, a second read needs no correction.
+  (void)img.read_line(0, false);
+  const auto before = img.stats().corrected_bits;
+  (void)img.read_line(0, false);
+  EXPECT_EQ(img.stats().corrected_bits, before);
+}
+
+TEST(MemoryImage, StatsCount) {
+  MemoryImage img(2);
+  Rng rng(10);
+  img.write_line(0, random_line(rng), LineMode::kStrong);
+  (void)img.read_line(0, true);
+  img.upgrade_all();
+  EXPECT_EQ(img.stats().writes, 1u);
+  EXPECT_EQ(img.stats().reads, 1u);
+  EXPECT_EQ(img.stats().downgrades, 1u);
+  EXPECT_EQ(img.stats().upgrades, 1u);
+}
+
+}  // namespace
+}  // namespace mecc::morph

@@ -1,0 +1,71 @@
+#include "mecc/mode_store.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc::morph {
+namespace {
+
+TEST(ModeStore, StartsAllStrongAfterIdle) {
+  ModeStore s(1000);
+  EXPECT_TRUE(s.all_strong());
+  EXPECT_EQ(s.weak_lines(), 0u);
+  EXPECT_EQ(s.mode_of(0), LineMode::kStrong);
+  EXPECT_EQ(s.mode_of(999 * 64), LineMode::kStrong);
+}
+
+TEST(ModeStore, DowngradeAndUpgradeSingleLine) {
+  ModeStore s(1000);
+  s.set_mode(64 * 5, LineMode::kWeak);
+  EXPECT_EQ(s.mode_of(64 * 5), LineMode::kWeak);
+  EXPECT_EQ(s.mode_of(64 * 6), LineMode::kStrong);
+  EXPECT_EQ(s.weak_lines(), 1u);
+  s.set_mode(64 * 5, LineMode::kStrong);
+  EXPECT_EQ(s.weak_lines(), 0u);
+}
+
+TEST(ModeStore, RedundantSetsDoNotDoubleCount) {
+  ModeStore s(100);
+  s.set_mode(0, LineMode::kWeak);
+  s.set_mode(0, LineMode::kWeak);
+  EXPECT_EQ(s.weak_lines(), 1u);
+  s.set_mode(0, LineMode::kStrong);
+  s.set_mode(0, LineMode::kStrong);
+  EXPECT_EQ(s.weak_lines(), 0u);
+}
+
+TEST(ModeStore, SetAllFlipsEverything) {
+  ModeStore s(130);  // not a multiple of 64: exercises the tail word
+  s.set_all(LineMode::kWeak);
+  EXPECT_EQ(s.weak_lines(), 130u);
+  for (std::uint64_t i = 0; i < 130; ++i) {
+    EXPECT_EQ(s.mode_of(i * 64), LineMode::kWeak);
+  }
+  s.set_all(LineMode::kStrong);
+  EXPECT_TRUE(s.all_strong());
+}
+
+TEST(ModeStore, SubLineAddressesShareALine) {
+  ModeStore s(100);
+  s.set_mode(64 * 3 + 17, LineMode::kWeak);
+  EXPECT_EQ(s.mode_of(64 * 3), LineMode::kWeak);
+  EXPECT_EQ(s.mode_of(64 * 3 + 63), LineMode::kWeak);
+}
+
+TEST(ModeStore, InitialWeakConstruction) {
+  ModeStore s(50, LineMode::kWeak);
+  EXPECT_EQ(s.weak_lines(), 50u);
+}
+
+TEST(ModeStore, FullMemoryScale) {
+  // The real configuration: 16 M lines in 1 GB - must construct fast and
+  // count correctly.
+  ModeStore s(kMemoryLines);
+  EXPECT_EQ(s.num_lines(), 16u * 1024 * 1024);
+  s.set_mode(kMemoryBytes - 64, LineMode::kWeak);
+  EXPECT_EQ(s.weak_lines(), 1u);
+  s.set_all(LineMode::kStrong);
+  EXPECT_TRUE(s.all_strong());
+}
+
+}  // namespace
+}  // namespace mecc::morph

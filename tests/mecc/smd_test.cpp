@@ -1,0 +1,95 @@
+#include "mecc/smd.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc::morph {
+namespace {
+
+constexpr Cycle kQuantum = 10'000;
+
+/// Runs `cycles` cycles with a constant access rate (accesses per kilo
+/// cycle), ticking the SMD each cycle.
+void run_with_mpkc(Smd& smd, Cycle start, Cycle cycles, double mpkc) {
+  double acc = 0.0;
+  for (Cycle c = start; c < start + cycles; ++c) {
+    acc += mpkc / 1000.0;
+    while (acc >= 1.0) {
+      smd.record_access();
+      acc -= 1.0;
+    }
+    smd.tick(c);
+  }
+}
+
+TEST(Smd, StartsDisabled) {
+  Smd smd(kQuantum, 2.0);
+  EXPECT_FALSE(smd.downgrade_enabled());
+}
+
+TEST(Smd, LowTrafficNeverEnables) {
+  Smd smd(kQuantum, 2.0);
+  smd.reset(0);
+  run_with_mpkc(smd, 0, 20 * kQuantum, /*mpkc=*/1.0);
+  EXPECT_FALSE(smd.downgrade_enabled());
+}
+
+TEST(Smd, HighTrafficEnablesAfterOneQuantum) {
+  Smd smd(kQuantum, 2.0);
+  smd.reset(0);
+  run_with_mpkc(smd, 0, 3 * kQuantum, /*mpkc=*/10.0);
+  EXPECT_TRUE(smd.downgrade_enabled());
+  // Enabled at the first check after a full quantum of traffic.
+  EXPECT_LE(smd.enabled_at(), 2 * kQuantum + 1);
+}
+
+TEST(Smd, ThresholdIsExclusive) {
+  // Exactly at the threshold does not enable (paper: "greater than").
+  Smd smd(kQuantum, 2.0);
+  smd.reset(0);
+  run_with_mpkc(smd, 0, 10 * kQuantum, /*mpkc=*/2.0);
+  EXPECT_FALSE(smd.downgrade_enabled());
+  run_with_mpkc(smd, 10 * kQuantum, 10 * kQuantum, /*mpkc=*/2.5);
+  EXPECT_TRUE(smd.downgrade_enabled());
+}
+
+TEST(Smd, StaysEnabledOnceTriggered) {
+  Smd smd(kQuantum, 2.0);
+  smd.reset(0);
+  run_with_mpkc(smd, 0, 3 * kQuantum, 10.0);
+  ASSERT_TRUE(smd.downgrade_enabled());
+  run_with_mpkc(smd, 3 * kQuantum, 10 * kQuantum, 0.0);
+  EXPECT_TRUE(smd.downgrade_enabled());  // one-way per active period
+}
+
+TEST(Smd, ResetRearmsOnWake) {
+  Smd smd(kQuantum, 2.0);
+  smd.reset(0);
+  run_with_mpkc(smd, 0, 3 * kQuantum, 10.0);
+  ASSERT_TRUE(smd.downgrade_enabled());
+  smd.reset(100 * kQuantum);
+  EXPECT_FALSE(smd.downgrade_enabled());
+  // Low traffic after wake keeps it off.
+  run_with_mpkc(smd, 100 * kQuantum, 5 * kQuantum, 0.5);
+  EXPECT_FALSE(smd.downgrade_enabled());
+}
+
+TEST(Smd, PhaseChangeEnablesMidRun) {
+  // A workload that idles for a while and then turns memory-intensive
+  // flips the switch partway through (the partial bars in Fig. 14).
+  Smd smd(kQuantum, 2.0);
+  smd.reset(0);
+  run_with_mpkc(smd, 0, 10 * kQuantum, 0.5);
+  EXPECT_FALSE(smd.downgrade_enabled());
+  run_with_mpkc(smd, 10 * kQuantum, 5 * kQuantum, 8.0);
+  EXPECT_TRUE(smd.downgrade_enabled());
+  EXPECT_GT(smd.enabled_at(), 10 * kQuantum);
+}
+
+TEST(Smd, ExposesConfig) {
+  Smd smd(12345, 2.5);
+  EXPECT_EQ(smd.quantum_cycles(), 12345u);
+  EXPECT_DOUBLE_EQ(smd.threshold(), 2.5);
+}
+
+}  // namespace
+}  // namespace mecc::morph

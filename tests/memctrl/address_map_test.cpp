@@ -1,0 +1,78 @@
+#include "memctrl/address_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mecc::memctrl {
+namespace {
+
+TEST(AddressMap, RoundTrip) {
+  const dram::Geometry geo;
+  const AddressMap map(geo);
+  for (std::uint64_t line : {0ull, 1ull, 255ull, 256ull, 1023ull, 1024ull,
+                             (1ull << 24) - 1}) {
+    const Address addr = line * kLineBytes;
+    const DramCoord c = map.decode(addr);
+    EXPECT_EQ(map.encode(c), addr);
+  }
+}
+
+TEST(AddressMap, SequentialLinesStayInRowThenRotateBanks) {
+  const dram::Geometry geo;
+  const AddressMap map(geo);
+  // First lines_per_row lines share bank 0 / row 0.
+  for (std::uint32_t i = 0; i < geo.lines_per_row; ++i) {
+    const DramCoord c = map.decode(static_cast<Address>(i) * kLineBytes);
+    EXPECT_EQ(c.bank, 0u);
+    EXPECT_EQ(c.row, 0u);
+    EXPECT_EQ(c.col, i);
+  }
+  // The next line moves to bank 1, same row index.
+  const DramCoord c =
+      map.decode(static_cast<Address>(geo.lines_per_row) * kLineBytes);
+  EXPECT_EQ(c.bank, 1u);
+  EXPECT_EQ(c.row, 0u);
+  EXPECT_EQ(c.col, 0u);
+}
+
+TEST(AddressMap, CoversAllCoordinatesUniquely) {
+  // On a tiny geometry every line maps to a unique (bank,row,col).
+  dram::Geometry geo;
+  geo.banks = 2;
+  geo.rows_per_bank = 4;
+  geo.lines_per_row = 8;
+  const AddressMap map(geo);
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  for (std::uint64_t line = 0; line < geo.total_lines(); ++line) {
+    const DramCoord c = map.decode(line * kLineBytes);
+    EXPECT_LT(c.bank, geo.banks);
+    EXPECT_LT(c.row, geo.rows_per_bank);
+    EXPECT_LT(c.col, geo.lines_per_row);
+    EXPECT_TRUE(seen.insert({c.bank, c.row, c.col}).second);
+  }
+  EXPECT_EQ(seen.size(), geo.total_lines());
+}
+
+TEST(AddressMap, WrapsBeyondCapacity) {
+  const dram::Geometry geo;
+  const AddressMap map(geo);
+  const Address beyond = geo.capacity_bytes() + 128;
+  const DramCoord a = map.decode(beyond);
+  const DramCoord b = map.decode(128);
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.col, b.col);
+}
+
+TEST(AddressMap, SubLineOffsetsShareALine) {
+  const dram::Geometry geo;
+  const AddressMap map(geo);
+  const DramCoord a = map.decode(0x1000);
+  const DramCoord b = map.decode(0x1000 + 63);
+  EXPECT_EQ(a.col, b.col);
+  EXPECT_EQ(a.row, b.row);
+}
+
+}  // namespace
+}  // namespace mecc::memctrl

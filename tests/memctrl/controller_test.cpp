@@ -1,0 +1,180 @@
+#include "memctrl/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "memctrl/address_map.h"
+
+namespace mecc::memctrl {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() : dev_(geo_, t_), ctl_(dev_, cfg_) {}
+
+  /// Runs the controller for `cycles` memory cycles, collecting reads.
+  std::vector<ReadCompletion> run(dram::MemCycle cycles) {
+    std::vector<ReadCompletion> all;
+    for (; now_ < cycles; ++now_) {
+      ctl_.tick(now_);
+      for (auto& c : ctl_.collect_completions(now_)) all.push_back(c);
+    }
+    return all;
+  }
+
+  dram::Geometry geo_;
+  dram::Timing t_;
+  ControllerConfig cfg_;
+  dram::Device dev_;
+  Controller ctl_;
+  dram::MemCycle now_ = 0;
+};
+
+TEST_F(ControllerTest, SingleReadCompletes) {
+  ASSERT_TRUE(ctl_.enqueue_read(0x1000, 7, 0));
+  const auto done = run(100);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, 7u);
+  EXPECT_EQ(done[0].line_addr, 0x1000u);
+  EXPECT_FALSE(done[0].forwarded);
+  // ACT + tRCD + tCL + tBURST lower-bounds the latency.
+  EXPECT_GE(done[0].done, static_cast<dram::MemCycle>(
+                              t_.tRCD + t_.tCL + t_.tBURST));
+  EXPECT_TRUE(ctl_.idle());
+}
+
+TEST_F(ControllerTest, RowHitFasterThanRowMiss) {
+  AddressMap map(geo_);
+  // Two lines in the same row vs a line in a different row of the same
+  // bank.
+  const Address a = map.encode({.bank = 0, .row = 10, .col = 0});
+  const Address b = map.encode({.bank = 0, .row = 10, .col = 1});
+  const Address c = map.encode({.bank = 0, .row = 99, .col = 0});
+
+  ASSERT_TRUE(ctl_.enqueue_read(a, 1, 0));
+  ASSERT_TRUE(ctl_.enqueue_read(b, 2, 0));
+  ASSERT_TRUE(ctl_.enqueue_read(c, 3, 0));
+  const auto done = run(200);
+  ASSERT_EQ(done.size(), 3u);
+  const auto gap_hit = done[1].done - done[0].done;    // row hit
+  const auto gap_miss = done[2].done - done[1].done;   // PRE + ACT + ...
+  EXPECT_LT(gap_hit, gap_miss);
+  EXPECT_GE(ctl_.stats().counter("row_hits"), 1u);
+  EXPECT_GE(ctl_.stats().counter("row_conflicts"), 1u);
+}
+
+TEST_F(ControllerTest, WriteForwardingServesReadImmediately) {
+  ASSERT_TRUE(ctl_.enqueue_write(0x2000, 0));
+  ASSERT_TRUE(ctl_.enqueue_read(0x2000, 5, 0));
+  const auto done = run(50);
+  ASSERT_GE(done.size(), 1u);
+  EXPECT_TRUE(done[0].forwarded);
+  EXPECT_LE(done[0].done, 2u);
+  EXPECT_EQ(ctl_.stats().counter("reads_forwarded"), 1u);
+}
+
+TEST_F(ControllerTest, WritesCoalesce) {
+  ASSERT_TRUE(ctl_.enqueue_write(0x3000, 0));
+  ASSERT_TRUE(ctl_.enqueue_write(0x3000, 0));
+  EXPECT_EQ(ctl_.write_queue_depth(), 1u);
+  EXPECT_EQ(ctl_.stats().counter("writes_coalesced"), 1u);
+}
+
+TEST_F(ControllerTest, ReadQueueBackpressure) {
+  for (std::size_t i = 0; i < cfg_.read_queue_size; ++i) {
+    ASSERT_TRUE(ctl_.enqueue_read(0x100000 + i * 4096, i, 0));
+  }
+  EXPECT_FALSE(ctl_.enqueue_read(0x999000, 99, 0));
+  (void)run(4000);
+  EXPECT_TRUE(ctl_.idle());
+}
+
+TEST_F(ControllerTest, RefreshIssuedAtTrefi) {
+  (void)run(t_.tREFI * 3 + 100);
+  EXPECT_GE(ctl_.stats().counter("refreshes"), 2u);
+  EXPECT_LE(ctl_.stats().counter("refreshes"), 4u);
+}
+
+TEST_F(ControllerTest, RefreshDividerSlowsRefresh) {
+  ctl_.set_refresh_divider(16);
+  (void)run(t_.tREFI * 16 + 100);
+  // With divider 16 only ~1 refresh in 16 tREFI.
+  EXPECT_LE(ctl_.stats().counter("refreshes"), 2u);
+}
+
+TEST_F(ControllerTest, RefreshDisabledIssuesNone) {
+  ctl_.set_refresh_enabled(false);
+  (void)run(t_.tREFI * 4);
+  EXPECT_EQ(ctl_.stats().counter("refreshes"), 0u);
+}
+
+TEST_F(ControllerTest, AggressivePowerDownWhenIdle) {
+  (void)run(200);
+  EXPECT_TRUE(dev_.in_power_down());
+  EXPECT_GE(ctl_.stats().counter("pd_entries"), 1u);
+}
+
+TEST_F(ControllerTest, PowerDownExitsForTraffic) {
+  (void)run(200);
+  ASSERT_TRUE(dev_.in_power_down());
+  ASSERT_TRUE(ctl_.enqueue_read(0x4000, 1, now_));
+  const auto done = run(now_ + 100);
+  EXPECT_EQ(done.size(), 1u);
+  EXPECT_GE(ctl_.stats().counter("pd_exits"), 1u);
+}
+
+TEST_F(ControllerTest, PowerDownExitsForRefresh) {
+  (void)run(t_.tREFI + 50);
+  EXPECT_GE(ctl_.stats().counter("refreshes"), 1u);
+  EXPECT_GE(ctl_.stats().counter("pd_exits_for_refresh"), 1u);
+}
+
+TEST_F(ControllerTest, WritesDrainEventually) {
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ctl_.enqueue_write(0x10000 + i * 64, 0));
+  }
+  (void)run(2000);
+  EXPECT_EQ(ctl_.write_queue_depth(), 0u);
+  EXPECT_TRUE(ctl_.idle());
+}
+
+TEST_F(ControllerTest, ReadsPrioritizedOverWritesBelowWatermark) {
+  // A few writes (below the drain watermark) plus a read: the read's
+  // completion should not wait for all writes.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ctl_.enqueue_write(0x20000 + i * 4096, 0));
+  }
+  ASSERT_TRUE(ctl_.enqueue_read(0x80000, 1, 0));
+  const auto done = run(300);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_LE(done[0].done, 60u);
+}
+
+TEST_F(ControllerTest, BankParallelismOverlapsReads) {
+  AddressMap map(geo_);
+  // Same bank, different rows: serialized by PRE/ACT.
+  const Address same_bank_a = map.encode({.bank = 1, .row = 1, .col = 0});
+  const Address same_bank_b = map.encode({.bank = 1, .row = 2, .col = 0});
+  ASSERT_TRUE(ctl_.enqueue_read(same_bank_a, 1, 0));
+  ASSERT_TRUE(ctl_.enqueue_read(same_bank_b, 2, 0));
+  const auto serial = run(500);
+  ASSERT_EQ(serial.size(), 2u);
+  const auto serial_span = serial[1].done;
+
+  // Fresh controller: different banks overlap.
+  dram::Device dev2(geo_, t_);
+  Controller ctl2(dev2, cfg_);
+  const Address diff_bank_a = map.encode({.bank = 0, .row = 1, .col = 0});
+  const Address diff_bank_b = map.encode({.bank = 2, .row = 2, .col = 0});
+  ASSERT_TRUE(ctl2.enqueue_read(diff_bank_a, 1, 0));
+  ASSERT_TRUE(ctl2.enqueue_read(diff_bank_b, 2, 0));
+  std::vector<ReadCompletion> parallel;
+  for (dram::MemCycle now = 0; now < 500; ++now) {
+    ctl2.tick(now);
+    for (auto& c : ctl2.collect_completions(now)) parallel.push_back(c);
+  }
+  ASSERT_EQ(parallel.size(), 2u);
+  EXPECT_LT(parallel[1].done, serial_span);
+}
+
+}  // namespace
+}  // namespace mecc::memctrl

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dram/timing_checker.h"
+#include "memctrl/controller.h"
+
+namespace mecc::memctrl {
+namespace {
+
+struct Harness {
+  explicit Harness(const ControllerConfig& cfg)
+      : dev(geo, timing), ctl(dev, cfg) {}
+
+  /// Runs with a saturating read stream for `cycles`.
+  void run_saturated(dram::MemCycle cycles, std::uint64_t seed) {
+    Rng rng(seed);
+    std::uint64_t id = 1;
+    for (dram::MemCycle now = 0; now < cycles; ++now) {
+      (void)ctl.enqueue_read(rng.next_below(1 << 14) * kLineBytes, id++,
+                             now);
+      ctl.tick(now);
+      completions += ctl.collect_completions(now).size();
+    }
+  }
+
+  dram::Geometry geo;
+  dram::Timing timing;
+  dram::Device dev;
+  Controller ctl;
+  std::uint64_t completions = 0;
+};
+
+TEST(ElasticRefresh, PostponesUnderLoadButNeverBeyondBudget) {
+  ControllerConfig cfg;
+  cfg.elastic_refresh = true;
+  Harness h(cfg);
+  const dram::MemCycle span = h.timing.tREFI * 40;
+  h.run_saturated(span, 1);
+  const std::uint64_t refreshes = h.ctl.stats().counter("refreshes");
+  // All accrued refreshes minus at most the postpone budget must have
+  // been issued.
+  EXPECT_GE(refreshes + cfg.max_postponed_refreshes, 40u);
+  EXPECT_LE(refreshes, 41u);
+}
+
+TEST(ElasticRefresh, ImprovesThroughputUnderSaturation) {
+  ControllerConfig strict;
+  Harness hs(strict);
+  ControllerConfig elastic;
+  elastic.elastic_refresh = true;
+  Harness he(elastic);
+  const dram::MemCycle span = hs.timing.tREFI * 30;
+  hs.run_saturated(span, 2);
+  he.run_saturated(span, 2);
+  // Elastic refresh batches REF into natural gaps; with a saturating
+  // random stream it should not do measurably worse.
+  EXPECT_GE(he.completions + 50, hs.completions);
+}
+
+TEST(ElasticRefresh, CatchesUpWhenIdle) {
+  ControllerConfig cfg;
+  cfg.elastic_refresh = true;
+  Harness h(cfg);
+  // Busy for 10 intervals, then idle for 2: debt must drain.
+  Rng rng(3);
+  std::uint64_t id = 1;
+  const dram::MemCycle busy = h.timing.tREFI * 10;
+  for (dram::MemCycle now = 0; now < busy + h.timing.tREFI * 2; ++now) {
+    if (now < busy) {
+      (void)h.ctl.enqueue_read(rng.next_below(4096) * kLineBytes, id++, now);
+    }
+    h.ctl.tick(now);
+    (void)h.ctl.collect_completions(now);
+  }
+  EXPECT_GE(h.ctl.stats().counter("refreshes"), 11u);
+}
+
+TEST(ElasticRefresh, ScheduleStaysTimingClean) {
+  ControllerConfig cfg;
+  cfg.elastic_refresh = true;
+  dram::Geometry geo;
+  dram::Timing timing;
+  dram::Device dev(geo, timing);
+  std::vector<dram::Command> log;
+  dev.set_command_log(&log);
+  Controller ctl(dev, cfg);
+  Rng rng(4);
+  std::uint64_t id = 1;
+  for (dram::MemCycle now = 0; now < timing.tREFI * 20; ++now) {
+    if (rng.chance(0.3)) {
+      (void)ctl.enqueue_read(rng.next_below(1 << 14) * kLineBytes, id++,
+                             now);
+    }
+    ctl.tick(now);
+    (void)ctl.collect_completions(now);
+  }
+  const dram::TimingChecker checker(timing);
+  const auto violations = checker.check(log, geo.banks);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().to_string());
+}
+
+TEST(ElasticRefresh, DisabledBehavesStrictly) {
+  ControllerConfig cfg;  // elastic off
+  Harness h(cfg);
+  h.run_saturated(h.timing.tREFI * 20, 5);
+  // Strict mode issues one refresh per interval, immediately.
+  EXPECT_GE(h.ctl.stats().counter("refreshes"), 19u);
+}
+
+}  // namespace
+}  // namespace mecc::memctrl

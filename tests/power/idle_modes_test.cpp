@@ -1,0 +1,74 @@
+#include "power/idle_modes.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc::power {
+namespace {
+
+class IdleModesTest : public ::testing::Test {
+ protected:
+  PowerModel pm_;
+  std::vector<IdleModeOption> options_ = idle_mode_options(pm_, 1024.0);
+
+  const IdleModeOption& find(const std::string& prefix) {
+    for (const auto& o : options_) {
+      if (o.name.rfind(prefix, 0) == 0) return o;
+    }
+    ADD_FAILURE() << "no option named " << prefix;
+    static IdleModeOption dummy;
+    return dummy;
+  }
+};
+
+TEST_F(IdleModesTest, FourOptions) { EXPECT_EQ(options_.size(), 4u); }
+
+TEST_F(IdleModesTest, PowerOrdering) {
+  // DPD < PASR(25%) < MECC < SR(64ms): MECC lands in the PASR class of
+  // power while keeping the whole array alive.
+  EXPECT_LT(find("Deep Power Down").power_mw, find("PASR").power_mw);
+  EXPECT_LT(find("PASR").power_mw, find("MECC").power_mw);
+  EXPECT_LT(find("MECC").power_mw, find("Self Refresh").power_mw);
+  // Within 30% of PASR's power despite retaining 4x the capacity.
+  EXPECT_LT(find("MECC").power_mw / find("PASR").power_mw, 1.3);
+}
+
+TEST_F(IdleModesTest, OnlyFullRefreshModesKeepState) {
+  EXPECT_TRUE(find("Self Refresh").state_preserved);
+  EXPECT_TRUE(find("MECC").state_preserved);
+  EXPECT_FALSE(find("PASR").state_preserved);
+  EXPECT_FALSE(find("Deep Power Down").state_preserved);
+}
+
+TEST_F(IdleModesTest, CapacityFractions) {
+  EXPECT_DOUBLE_EQ(find("Self Refresh").usable_capacity_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(find("MECC").usable_capacity_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(find("PASR").usable_capacity_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(find("Deep Power Down").usable_capacity_fraction, 0.0);
+}
+
+TEST_F(IdleModesTest, DpdWakeupIsSecondsFromFlash) {
+  // 1024 MB at 48 MB/s ~ 21 s (the paper's "several seconds of delay").
+  EXPECT_NEAR(find("Deep Power Down").wakeup_seconds, 1024.0 / 48.0, 0.01);
+  EXPECT_LT(find("MECC").wakeup_seconds, 1e-6);
+}
+
+TEST_F(IdleModesTest, MeccPowerMatchesSlowSelfRefresh) {
+  EXPECT_DOUBLE_EQ(find("MECC").power_mw, pm_.idle_power(1.0).total_mw());
+}
+
+TEST_F(IdleModesTest, PasrFractionParameterized) {
+  IdleModeParams p;
+  p.pasr_retained_fraction = 0.5;
+  const auto opts = idle_mode_options(pm_, 1024.0, p);
+  bool found = false;
+  for (const auto& o : opts) {
+    if (o.name.rfind("PASR", 0) == 0) {
+      EXPECT_DOUBLE_EQ(o.usable_capacity_fraction, 0.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace mecc::power

@@ -1,0 +1,115 @@
+#include "power/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc::power {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  PowerModel pm_;
+};
+
+TEST_F(PowerModelTest, ReadEnergyNearPaper12nJ) {
+  // Paper S IV-C: "reading a line from memory requires 12 nJ". Our burst
+  // energy plus the amortized half of an ACT/PRE pair should land close.
+  const double per_read = pm_.energy_read_nj() + pm_.energy_act_pre_nj() / 2;
+  EXPECT_NEAR(per_read, 12.0, 4.0);
+}
+
+TEST_F(PowerModelTest, EventEnergiesPositiveAndOrdered) {
+  EXPECT_GT(pm_.energy_act_pre_nj(), 0.0);
+  EXPECT_GT(pm_.energy_read_nj(), 0.0);
+  EXPECT_GT(pm_.energy_refresh_cmd_nj(), 0.0);
+  EXPECT_DOUBLE_EQ(pm_.energy_read_nj(), pm_.energy_write_nj());
+}
+
+TEST_F(PowerModelTest, BackgroundPowerOrdering) {
+  using dram::PowerState;
+  // Deeper states burn less: SR < PD(pre) < PD(act) < standby(pre) <
+  // standby(act).
+  const double act = pm_.background_power_mw(PowerState::kActiveStandby);
+  const double pre = pm_.background_power_mw(PowerState::kPrechargeStandby);
+  const double apd = pm_.background_power_mw(PowerState::kActivePowerDown);
+  const double ppd = pm_.background_power_mw(PowerState::kPrechargePowerDown);
+  EXPECT_GT(act, pre);
+  EXPECT_GT(pre, apd);
+  EXPECT_GT(apd, ppd);
+}
+
+TEST_F(PowerModelTest, IdlePowerAnchorIsVddTimesIdd8) {
+  // At the 64 ms period, total idle power equals the Table IV self-
+  // refresh current times VDD.
+  const IdlePower p = pm_.idle_power(0.064);
+  EXPECT_NEAR(p.total_mw(), 1.7 * 1.3, 1e-9);
+}
+
+TEST_F(PowerModelTest, RefreshShareCalibratedToFig8) {
+  // Refresh is just under half the idle power at 64 ms.
+  const IdlePower p = pm_.idle_power(0.064);
+  EXPECT_NEAR(p.refresh_mw / p.total_mw(), 0.46, 1e-9);
+}
+
+TEST_F(PowerModelTest, RefreshPowerScales16xAt1s) {
+  // Fig. 8 (left): refresh power drops 16x when the period goes
+  // 64 ms -> 1 s.
+  const IdlePower base = pm_.idle_power(0.064);
+  const IdlePower slow = pm_.idle_power(1.0);
+  EXPECT_NEAR(base.refresh_mw / slow.refresh_mw, 1.0 / 0.064, 1e-6);
+  EXPECT_DOUBLE_EQ(base.background_mw, slow.background_mw);
+}
+
+TEST_F(PowerModelTest, TotalIdlePowerRoughlyHalvesAt1s) {
+  // Fig. 8 (right) / S V-B: "overall power reduction is about 43%",
+  // i.e. idle power drops to ~0.57x -> "almost 2X" reduction.
+  const IdlePower base = pm_.idle_power(0.064);
+  const IdlePower slow = pm_.idle_power(1.0);
+  const double reduction = 1.0 - slow.total_mw() / base.total_mw();
+  EXPECT_NEAR(reduction, 0.43, 0.01);
+}
+
+TEST_F(PowerModelTest, RefreshOpsScaleWithPeriod) {
+  // Fig. 8 text: refresh operations reduced by 16x in idle mode.
+  const double base_ops = pm_.refresh_ops_per_second(0.064);
+  const double slow_ops = pm_.refresh_ops_per_second(1.0);
+  EXPECT_NEAR(base_ops / slow_ops, 1.0 / 0.064, 1e-9);
+  // 8192 commands per 64 ms window.
+  EXPECT_NEAR(base_ops, 8192.0 / 0.064, 1.0);
+}
+
+TEST_F(PowerModelTest, ActiveEnergyAddsUp) {
+  dram::ActivityCounters c;
+  c.activates = 100;
+  c.reads = 1000;
+  c.writes = 500;
+  c.refreshes = 10;
+  c.state_cycles[static_cast<std::size_t>(
+      dram::PowerState::kPrechargeStandby)] = 200000;  // 1 ms @ 200 MHz
+  const ActiveEnergy e = pm_.active_energy(c);
+  EXPECT_NEAR(e.seconds, 1e-3, 1e-9);
+  EXPECT_NEAR(e.background_mj,
+              pm_.background_power_mw(dram::PowerState::kPrechargeStandby) *
+                  1e-3,
+              1e-9);
+  EXPECT_NEAR(e.read_mj, 1000 * pm_.energy_read_nj() * 1e-6, 1e-9);
+  EXPECT_GT(e.total_mj(), e.background_mj);
+  EXPECT_NEAR(e.average_power_mw(), e.total_mj() / 1e-3, 1e-9);
+}
+
+TEST_F(PowerModelTest, EmptyCountersZeroEnergy) {
+  const ActiveEnergy e = pm_.active_energy(dram::ActivityCounters{});
+  EXPECT_DOUBLE_EQ(e.total_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(e.average_power_mw(), 0.0);
+}
+
+TEST_F(PowerModelTest, IdleVsActivePowerGap) {
+  // Sanity for Fig. 1 / S V-D: even a mostly-precharge-standby active
+  // memory burns an order of magnitude more than self-refresh idle.
+  const double idle = pm_.idle_power(0.064).total_mw();
+  const double standby =
+      pm_.background_power_mw(dram::PowerState::kPrechargeStandby);
+  EXPECT_GT(standby / idle, 5.0);
+}
+
+}  // namespace
+}  // namespace mecc::power

@@ -1,0 +1,134 @@
+#include "reliability/failure_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mecc::reliability {
+namespace {
+
+constexpr double kPaperBer = 3.16227766016838e-5;  // 10^-4.5
+
+TEST(BinomialPmf, SumsToOne) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k <= 20; ++k) sum += binomial_pmf(20, k, 0.3);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(BinomialPmf, EdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 11, 0.5), 0.0);
+}
+
+TEST(BinomialPmf, MatchesClosedFormSmallCase)  {
+  // Binomial(4, 0.5): pmf(2) = 6/16.
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+}
+
+// Paper Table I, line failure column (64 B line + ECC space = 576 bits,
+// BER = 10^-4.5). Values as printed in the paper.
+struct Table1Row {
+  std::size_t t;
+  double line_failure;
+  double system_failure;
+};
+
+class Table1 : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1, LineFailureMatchesPaper) {
+  const auto row = GetParam();
+  const double p =
+      line_failure_probability(kTable1LineBits, row.t, kPaperBer);
+  // Match within 15% relative (the paper prints 2 significant digits).
+  EXPECT_NEAR(p / row.line_failure, 1.0, 0.15)
+      << "ECC-" << row.t << ": got " << p << ", paper " << row.line_failure;
+}
+
+TEST_P(Table1, SystemFailureMatchesPaper) {
+  const auto row = GetParam();
+  const double pl =
+      line_failure_probability(kTable1LineBits, row.t, kPaperBer);
+  const double ps = system_failure_probability(pl, kTable1NumLines);
+  if (row.system_failure >= 1.0) {
+    EXPECT_GT(ps, 0.999);
+  } else {
+    EXPECT_NEAR(ps / row.system_failure, 1.0, 0.20)
+        << "ECC-" << row.t << ": got " << ps << ", paper "
+        << row.system_failure;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperValues, Table1,
+    ::testing::Values(Table1Row{0, 1.8e-2, 1.0}, Table1Row{1, 1.6e-4, 1.0},
+                      Table1Row{2, 9.8e-7, 1.0},
+                      Table1Row{3, 4.5e-9, 7.2e-2},
+                      Table1Row{4, 1.6e-11, 2.7e-4},
+                      Table1Row{5, 4.9e-14, 8.1e-7},
+                      Table1Row{6, 1.2e-16, 1.8e-9}));
+
+TEST(LineFailure, MonotonicInT) {
+  double prev = 1.0;
+  for (std::size_t t = 0; t <= 8; ++t) {
+    const double p = line_failure_probability(576, t, kPaperBer);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(LineFailure, MonotonicInBer) {
+  double prev = 0.0;
+  for (double ber = 1e-7; ber < 1e-2; ber *= 10.0) {
+    const double p = line_failure_probability(576, 3, ber);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(LineFailure, DegenerateBers) {
+  EXPECT_DOUBLE_EQ(line_failure_probability(576, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(line_failure_probability(576, 3, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(line_failure_probability(4, 4, 1.0), 0.0);
+}
+
+TEST(SystemFailure, SmallProbabilityScalesLinearly) {
+  // For tiny p_line, P(system) ~ N * p_line.
+  const double pl = 1e-12;
+  const double ps = system_failure_probability(pl, 1u << 24);
+  EXPECT_NEAR(ps, pl * (1u << 24), ps * 1e-4);
+}
+
+TEST(SystemFailure, Saturates) {
+  EXPECT_DOUBLE_EQ(system_failure_probability(1.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(system_failure_probability(0.0, 10), 0.0);
+  EXPECT_NEAR(system_failure_probability(0.5, 1u << 24), 1.0, 1e-12);
+}
+
+TEST(RequiredEccStrength, PaperConclusion) {
+  // Paper S II-C: "To achieve our target system failure probability of
+  // 1 in a million, we will need to provision the system with ECC-5",
+  // plus one level of soft-error margin -> ECC-6.
+  const std::size_t t = required_ecc_strength(kTable1LineBits,
+                                              kTable1NumLines, kPaperBer,
+                                              1e-6);
+  EXPECT_EQ(t, 5u);
+  EXPECT_EQ(t + 1, 6u);  // the provisioned strength
+}
+
+TEST(RequiredEccStrength, StricterTargetNeedsMore) {
+  const std::size_t loose = required_ecc_strength(576, 1u << 24, kPaperBer,
+                                                  1e-2);
+  const std::size_t tight = required_ecc_strength(576, 1u << 24, kPaperBer,
+                                                  1e-12);
+  EXPECT_LT(loose, tight);
+}
+
+TEST(RequiredEccStrength, RejectsBadTarget) {
+  EXPECT_THROW((void)required_ecc_strength(576, 1, 1e-5, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mecc::reliability

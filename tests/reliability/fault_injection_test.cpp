@@ -1,0 +1,97 @@
+#include "reliability/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "ecc/bch.h"
+#include "ecc/secded.h"
+#include "reliability/failure_analysis.h"
+
+namespace mecc::reliability {
+namespace {
+
+TEST(FaultInjector, ExactCountFlipsExactly) {
+  FaultInjector fi(1);
+  BitVec w(512);
+  fi.inject_exact(w, 7);
+  EXPECT_EQ(w.popcount(), 7u);
+}
+
+TEST(FaultInjector, ZeroBerFlipsNothing) {
+  FaultInjector fi(2);
+  BitVec w(512);
+  EXPECT_EQ(fi.inject(w, 0.0), 0u);
+  EXPECT_FALSE(w.any());
+}
+
+TEST(FaultInjector, InjectionRateMatchesBer) {
+  FaultInjector fi(3);
+  const double ber = 0.01;
+  std::size_t total = 0;
+  const int kTrials = 500;
+  for (int i = 0; i < kTrials; ++i) {
+    BitVec w(1024);
+    total += fi.inject(w, ber);
+  }
+  const double avg = static_cast<double>(total) / kTrials;
+  EXPECT_NEAR(avg, 1024 * ber, 1.0);  // ~10.24 flips expected
+}
+
+TEST(FaultInjector, Deterministic) {
+  FaultInjector a(42);
+  FaultInjector b(42);
+  BitVec wa(256);
+  BitVec wb(256);
+  (void)a.inject(wa, 0.05);
+  (void)b.inject(wb, 0.05);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST(MonteCarlo, SecdedNeverFailsWithAtMostOneError) {
+  // At a BER where multi-bit errors are vanishingly rare, SECDED must
+  // show (almost) no failures.
+  const ecc::Secded code(64);
+  const auto r = measure_line_failures(code, 1e-5, 20000, 7);
+  EXPECT_EQ(r.failures, 0u);
+}
+
+TEST(MonteCarlo, EmpiricalRateMatchesAnalyticAtHighBer) {
+  // Elevated BER makes the failure rate measurable: compare Monte-Carlo
+  // against the binomial tail analytics on the same codeword length.
+  const ecc::Secded code(64);  // 72-bit codeword, corrects 1
+  const double ber = 5e-3;
+  const std::size_t trials = 40000;
+  const auto mc = measure_line_failures(code, ber, trials, 11);
+  const double analytic = line_failure_probability(72, 1, ber);
+  const double empirical = mc.failure_rate();
+  // ~5.8e-2 expected; 3-sigma band for 40 k trials is ~ +-0.35e-2.
+  EXPECT_NEAR(empirical, analytic, 4e-3);
+}
+
+TEST(MonteCarlo, Ecc6EmpiricalRateMatchesAnalytic) {
+  const ecc::Bch code(10, 6, 512);  // 572-bit codeword, corrects 6
+  const double ber = 8e-3;          // E[errors] ~ 4.6, P(>6) ~ 0.17
+  const std::size_t trials = 2000;
+  const auto mc = measure_line_failures(code, ber, trials, 13);
+  const double analytic = line_failure_probability(572, 6, ber);
+  EXPECT_NEAR(mc.failure_rate(), analytic, 0.03);
+}
+
+TEST(MonteCarlo, StrongerCodeFailsLess) {
+  const double ber = 6e-3;
+  const ecc::Bch weak(10, 2, 512);
+  const ecc::Bch strong(10, 6, 512);
+  const auto rw = measure_line_failures(weak, ber, 1500, 17);
+  const auto rs = measure_line_failures(strong, ber, 1500, 17);
+  EXPECT_GT(rw.failure_rate(), rs.failure_rate());
+}
+
+TEST(MonteCarlo, CorrectedBitsTrackInjectedBits) {
+  // Below the correction capability every injected bit gets corrected.
+  const ecc::Bch code(10, 6, 512);
+  const auto r = measure_line_failures(code, 5e-4, 3000, 19);
+  EXPECT_EQ(r.failures, 0u);  // E[errors] ~ 0.29, P(>6) ~ 2e-10
+  EXPECT_EQ(r.total_corrected_bits, r.total_injected_bits);
+}
+
+}  // namespace
+}  // namespace mecc::reliability

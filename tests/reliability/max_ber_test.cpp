@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "reliability/failure_analysis.h"
+#include "reliability/retention_model.h"
+
+namespace mecc::reliability {
+namespace {
+
+TEST(MaxTolerableBer, InverseOfRequiredStrength) {
+  // For every strength t, the BER returned must (a) meet the target at
+  // strength t and (b) exceed what t-1 could handle.
+  for (std::size_t t = 1; t <= 6; ++t) {
+    const double ber =
+        max_tolerable_ber(kTable1LineBits, t, kTable1NumLines, 1e-6);
+    ASSERT_GT(ber, 0.0);
+    const double ps = system_failure_probability(
+        line_failure_probability(kTable1LineBits, t, ber), kTable1NumLines);
+    EXPECT_LT(ps, 1e-6) << "t=" << t;
+    // Slightly above the returned BER the target must be violated
+    // (tightness of the bisection).
+    const double ps_above = system_failure_probability(
+        line_failure_probability(kTable1LineBits, t, ber * 1.01),
+        kTable1NumLines);
+    EXPECT_GT(ps_above, 1e-6) << "t=" << t;
+  }
+}
+
+TEST(MaxTolerableBer, MonotonicInStrength) {
+  double prev = 0.0;
+  for (std::size_t t = 1; t <= 7; ++t) {
+    const double ber =
+        max_tolerable_ber(kTable1LineBits, t, kTable1NumLines, 1e-6);
+    EXPECT_GT(ber, prev);
+    prev = ber;
+  }
+}
+
+TEST(MaxTolerableBer, PaperOperatingPoint) {
+  // ECC-6 with the +1 soft-error margin leaves 5 bits for retention
+  // errors; the tolerable BER must cover the paper's 10^-4.5 and the
+  // implied refresh period must be ~1 s on the Fig. 2 curve.
+  const double ber =
+      max_tolerable_ber(kTable1LineBits, 5, kTable1NumLines, 1e-6);
+  EXPECT_GT(ber, 3.16e-5);
+  const RetentionModel retention;
+  const double period = retention.retention_for_ber(ber);
+  EXPECT_GT(period, 0.9);
+  EXPECT_LT(period, 1.4);
+}
+
+TEST(MaxTolerableBer, ZeroStrengthStillHasATinyBudget) {
+  // Even uncorrected lines meet a loose enough target at some BER.
+  const double ber = max_tolerable_ber(576, 0, 1, 0.5);
+  EXPECT_GT(ber, 0.0);
+}
+
+TEST(MaxTolerableBer, ImpossibleTargetReturnsZero) {
+  // 2^24 lines, no correction, target 1e-6: needs p_line < 6e-14, i.e.
+  // BER below ~1e-16 - under the bisection floor, reported as 0.
+  EXPECT_EQ(max_tolerable_ber(576, 0, kTable1NumLines, 1e-6), 0.0);
+}
+
+TEST(MaxTolerableBer, RejectsBadTarget) {
+  EXPECT_THROW((void)max_tolerable_ber(576, 3, 1, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mecc::reliability

@@ -1,0 +1,82 @@
+#include "reliability/retention_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mecc::reliability {
+namespace {
+
+TEST(RetentionModel, PaperAnchorPoints) {
+  const RetentionModel m;
+  // Fig. 2 anchors: ~1e-9 at 64 ms, 10^-4.5 at 1 s.
+  EXPECT_NEAR(std::log10(m.bit_failure_probability(0.064)), -9.0, 1e-9);
+  EXPECT_NEAR(std::log10(m.bit_failure_probability(1.0)), -4.5, 1e-9);
+}
+
+TEST(RetentionModel, MonotonicInRetentionTime) {
+  const RetentionModel m;
+  double prev = 0.0;
+  for (double t = 0.01; t <= 100.0; t *= 1.5) {
+    const double p = m.bit_failure_probability(t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(RetentionModel, ClampedToProbabilityRange) {
+  const RetentionModel m;
+  EXPECT_EQ(m.bit_failure_probability(0.0), 0.0);
+  EXPECT_EQ(m.bit_failure_probability(-1.0), 0.0);
+  EXPECT_LE(m.bit_failure_probability(1e9), 1.0);
+  EXPECT_GE(m.bit_failure_probability(1e-9), 0.0);
+}
+
+TEST(RetentionModel, InverseRoundTrip) {
+  const RetentionModel m;
+  for (double ber : {1e-8, 1e-6, 3.16e-5, 1e-4}) {
+    const double t = m.retention_for_ber(ber);
+    EXPECT_NEAR(m.bit_failure_probability(t), ber, ber * 1e-6);
+  }
+}
+
+TEST(RetentionModel, DefaultBerMatchesPaperConstant) {
+  // 10^-4.5 as used throughout the paper's evaluation.
+  EXPECT_NEAR(RetentionModel::kDefaultBerAt1s, std::pow(10.0, -4.5), 1e-12);
+}
+
+TEST(RetentionModel, ExpectedFailuresIn1GbAt1s) {
+  // Paper S II-B: "approximately 32K bits to fail in a 1Gb array" at 1 s.
+  const RetentionModel m;
+  const double bits = 1024.0 * 1024.0 * 1024.0;
+  const double expected_failures = bits * m.bit_failure_probability(1.0);
+  EXPECT_NEAR(expected_failures, 32.0 * 1024.0, 2500.0);
+}
+
+TEST(RetentionModel, SamplingMatchesCdf) {
+  const RetentionModel m;
+  Rng rng(123);
+  const int kTrials = 200000;
+  int below_1s = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (m.sample_retention_seconds(rng) < 1.0) ++below_1s;
+  }
+  const double frac = static_cast<double>(below_1s) / kTrials;
+  // P(T < 1 s) = BER(1 s) = 3.16e-5; with 2e5 trials expect ~6 hits.
+  EXPECT_NEAR(frac, 3.16e-5, 5e-5);
+}
+
+TEST(RetentionModel, RejectsInvalidAnchors) {
+  EXPECT_THROW(RetentionModel(1e-4, 1e-9), std::invalid_argument);
+  EXPECT_THROW(RetentionModel(0.0, 1e-4), std::invalid_argument);
+  EXPECT_THROW(RetentionModel(1e-4, 1e-4), std::invalid_argument);
+}
+
+TEST(RetentionModel, CustomAnchorsRespected) {
+  const RetentionModel m(1e-8, 1e-3);
+  EXPECT_NEAR(std::log10(m.bit_failure_probability(0.064)), -8.0, 1e-9);
+  EXPECT_NEAR(std::log10(m.bit_failure_probability(1.0)), -3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mecc::reliability

@@ -1,0 +1,59 @@
+#include "sim/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mecc::sim {
+namespace {
+
+TEST(Csv, WritesHeaderAndRows) {
+  RunResult r;
+  r.benchmark = "astar";
+  r.policy = EccPolicy::kMecc;
+  r.instructions = 1000;
+  r.ipc = 0.75;
+  r.downgrades = 42;
+  const std::string path = ::testing::TempDir() + "mecc_csv_test.csv";
+  write_results_csv(path, {r, r});
+
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, results_csv_header());
+  std::string row;
+  int rows = 0;
+  while (std::getline(in, row)) {
+    EXPECT_NE(row.find("astar,MECC,1000"), std::string::npos);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, HeaderColumnCountMatchesRows) {
+  RunResult r;
+  r.benchmark = "lbm";
+  const std::string path = ::testing::TempDir() + "mecc_csv_test2.csv";
+  write_results_csv(path, {r});
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_results_csv("/nonexistent/dir/out.csv", {}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mecc::sim

@@ -1,0 +1,73 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace mecc::sim {
+namespace {
+
+TEST(Geomean, KnownValues) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Mean, KnownValues) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Normalized, HandlesZeroBase) {
+  EXPECT_DOUBLE_EQ(normalized(5.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(normalized(5.0, 0.0), 0.0);
+}
+
+TEST(AnalyzeIdle, ThreeSchemesWithPaperShape) {
+  const power::PowerModel pm;
+  const auto reports = analyze_idle(pm);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].scheme, "Baseline");
+  EXPECT_EQ(reports[1].scheme, "MECC");
+  EXPECT_EQ(reports[2].scheme, "ECC-6");
+  // Both MECC and ECC-6 cut refresh ops ~16x.
+  EXPECT_NEAR(reports[0].refresh_ops_per_s / reports[1].refresh_ops_per_s,
+              15.6, 0.1);
+  EXPECT_DOUBLE_EQ(reports[1].refresh_ops_per_s,
+                   reports[2].refresh_ops_per_s);
+  // Idle power drops to ~0.57x (the paper's "about 43%" reduction).
+  EXPECT_NEAR(reports[1].power.total_mw() / reports[0].power.total_mw(),
+              0.57, 0.01);
+}
+
+TEST(ComposeEnergy, NinetyFivePercentIdleMix) {
+  // 100 mW active for 1 s + idle at 2 mW, 95% idle -> 19 s idle.
+  const EnergyMix m = compose_energy(100.0, 1.0, 2.0, 0.95);
+  EXPECT_NEAR(m.idle_seconds, 19.0, 1e-9);
+  EXPECT_NEAR(m.active_mj(), 100.0, 1e-9);
+  EXPECT_NEAR(m.idle_mj(), 38.0, 1e-9);
+  EXPECT_NEAR(m.total_mj(), 138.0, 1e-9);
+}
+
+TEST(ComposeEnergy, IdleEnergyIsSignificantShareForTypicalNumbers) {
+  // Fig. 10: idle energy is roughly one-third of total for the baseline.
+  // With active ~ 60 mW (suite average) and idle 2.2 mW at 95% idle:
+  const EnergyMix m = compose_energy(60.0, 1.0, 2.21, 0.95);
+  const double idle_share = m.idle_mj() / m.total_mj();
+  EXPECT_GT(idle_share, 0.25);
+  EXPECT_LT(idle_share, 0.5);
+}
+
+TEST(RunSuite, CoversAll28Benchmarks) {
+  SystemConfig c;
+  c.instructions = 50'000;  // tiny smoke run
+  const auto results = run_suite(EccPolicy::kNoEcc, c);
+  ASSERT_EQ(results.size(), 28u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.ipc, 0.0) << r.benchmark;
+    // The 2-wide core can overshoot the target by one instruction.
+    EXPECT_GE(r.instructions, 50'000u);
+    EXPECT_LE(r.instructions, 50'002u);
+  }
+}
+
+}  // namespace
+}  // namespace mecc::sim

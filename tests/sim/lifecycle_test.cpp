@@ -1,0 +1,113 @@
+// The paper's Fig. 4 lifecycle on a single System: active period ->
+// idle (ECC-Upgrade, 1 s self refresh) -> wake -> active period -> ...
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+namespace mecc::sim {
+namespace {
+
+SystemConfig lifecycle_config() {
+  SystemConfig c;
+  c.policy = EccPolicy::kMecc;
+  c.instructions = 400'000;
+  return c;
+}
+
+TEST(Lifecycle, IdleEntryUpgradesAndSleepsAt1s) {
+  const auto& b = trace::benchmark("astar");
+  System sys(b, lifecycle_config());
+  const RunResult active = sys.run();
+  ASSERT_GT(active.downgrades, 0u);
+
+  const IdleReport idle = sys.idle_period(2.0);
+  EXPECT_GT(idle.lines_upgraded, 0u);
+  EXPECT_GT(idle.upgrade_seconds, 0.0);
+  EXPECT_LT(idle.upgrade_seconds, 0.1);  // MDT keeps the walk short
+  EXPECT_DOUBLE_EQ(idle.refresh_period_s, 1.024);  // 64 ms * 16
+  // Two seconds of internal REF pulses at 16x the 7.8 us interval:
+  // 2 s / (7.8 us * 16) ~ 16.0 K pulses (16x fewer than baseline).
+  EXPECT_NEAR(static_cast<double>(idle.refresh_pulses), 2.0 / (7.8e-6 * 16),
+              200.0);
+  EXPECT_GT(idle.idle_energy_mj, 0.0);
+}
+
+TEST(Lifecycle, SecondActivePeriodPaysFirstTouchAgain) {
+  const auto& b = trace::benchmark("soplex");
+  System sys(b, lifecycle_config());
+  const RunResult first = sys.run();
+  (void)sys.idle_period(1.0);
+  const RunResult second = sys.run_period(400'000);
+
+  // After the upgrade, all lines are strong again: the second period
+  // must pay ECC-6 decodes and downgrade lines anew.
+  EXPECT_GT(second.strong_decodes, 0u);
+  EXPECT_GT(second.downgrades, 0u);
+  // Period accounting is per period, not cumulative.
+  EXPECT_EQ(second.instructions, 400'000u);
+  EXPECT_NEAR(static_cast<double>(second.reads) /
+                  static_cast<double>(first.reads),
+              1.0, 0.5);
+}
+
+TEST(Lifecycle, BaselineSleepsAt64ms) {
+  const auto& b = trace::benchmark("povray");
+  SystemConfig c = lifecycle_config();
+  c.policy = EccPolicy::kNoEcc;
+  System sys(b, c);
+  (void)sys.run();
+  const IdleReport idle = sys.idle_period(1.0);
+  EXPECT_EQ(idle.lines_upgraded, 0u);
+  EXPECT_DOUBLE_EQ(idle.refresh_period_s, 0.064);
+  // One REF pulse per 7.8 us in one second: ~128 K (16x MECC's rate -
+  // the paper's Fig. 8-left refresh-operation reduction).
+  EXPECT_NEAR(static_cast<double>(idle.refresh_pulses), 1.0 / 7.8e-6,
+              1500.0);
+}
+
+TEST(Lifecycle, MeccIdleEnergyHalvesBaselines) {
+  const auto& b = trace::benchmark("gamess");
+  SystemConfig base_cfg = lifecycle_config();
+  base_cfg.policy = EccPolicy::kNoEcc;
+  System base(b, base_cfg);
+  (void)base.run();
+  const IdleReport bi = base.idle_period(10.0);
+
+  System mecc(b, lifecycle_config());
+  (void)mecc.run();
+  const IdleReport mi = mecc.idle_period(10.0);
+
+  EXPECT_NEAR(mi.idle_energy_mj / bi.idle_energy_mj, 0.57, 0.02);
+}
+
+TEST(Lifecycle, ManyCyclesStayConsistent) {
+  const auto& b = trace::benchmark("bzip2");
+  System sys(b, lifecycle_config());
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const RunResult r = sys.run_period(150'000);
+    EXPECT_GE(r.instructions, 150'000u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.energy.total_mj(), 0.0);
+    const IdleReport idle = sys.idle_period(0.5);
+    EXPECT_GT(idle.idle_energy_mj, 0.0);
+  }
+}
+
+TEST(Lifecycle, SmdRearmsAfterEveryWake) {
+  const auto& b = trace::benchmark("lbm");  // heavy: SMD will re-enable
+  SystemConfig c = lifecycle_config();
+  c.mecc_use_smd = true;
+  c.smd_quantum_cycles = 50'000;
+  System sys(b, c);
+  const RunResult first = sys.run_period(300'000);
+  EXPECT_LT(first.frac_downgrade_disabled, 0.5);
+  (void)sys.idle_period(1.0);
+  const RunResult second = sys.run_period(300'000);
+  // Downgrade was re-disabled on wake and re-enabled by traffic again.
+  EXPECT_GT(second.frac_downgrade_disabled, 0.0);
+  EXPECT_LT(second.frac_downgrade_disabled, 0.5);
+}
+
+}  // namespace
+}  // namespace mecc::sim

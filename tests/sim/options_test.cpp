@@ -1,0 +1,71 @@
+#include "sim/options.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mecc::sim {
+namespace {
+
+SimOptions parse(std::vector<const char*> args, InstCount def = 1000) {
+  args.insert(args.begin(), "prog");
+  return parse_options(static_cast<int>(args.size()),
+                       const_cast<char**>(args.data()), def);
+}
+
+class OptionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("MECC_INSTRUCTIONS");
+    unsetenv("MECC_SEED");
+  }
+  void TearDown() override {
+    unsetenv("MECC_INSTRUCTIONS");
+    unsetenv("MECC_SEED");
+  }
+};
+
+TEST_F(OptionsTest, DefaultsApply) {
+  const SimOptions o = parse({}, 12345);
+  EXPECT_EQ(o.instructions, 12345u);
+  EXPECT_EQ(o.seed, 1u);
+}
+
+TEST_F(OptionsTest, ArgvOverrides) {
+  const SimOptions o = parse({"--instructions=777", "--seed=9"});
+  EXPECT_EQ(o.instructions, 777u);
+  EXPECT_EQ(o.seed, 9u);
+}
+
+TEST_F(OptionsTest, EnvOverridesDefault) {
+  setenv("MECC_INSTRUCTIONS", "4242", 1);
+  setenv("MECC_SEED", "7", 1);
+  const SimOptions o = parse({});
+  EXPECT_EQ(o.instructions, 4242u);
+  EXPECT_EQ(o.seed, 7u);
+}
+
+TEST_F(OptionsTest, ArgvBeatsEnv) {
+  setenv("MECC_INSTRUCTIONS", "4242", 1);
+  const SimOptions o = parse({"--instructions=55"});
+  EXPECT_EQ(o.instructions, 55u);
+}
+
+TEST_F(OptionsTest, MalformedValuesIgnored) {
+  const SimOptions o = parse({"--instructions=abc", "--seed=1x"}, 99);
+  EXPECT_EQ(o.instructions, 99u);
+  EXPECT_EQ(o.seed, 1u);
+}
+
+TEST_F(OptionsTest, ZeroInstructionsRejected) {
+  const SimOptions o = parse({"--instructions=0"}, 99);
+  EXPECT_EQ(o.instructions, 99u);
+}
+
+TEST_F(OptionsTest, UnknownFlagsIgnored) {
+  const SimOptions o = parse({"--benchmark_filter=foo", "-v"}, 99);
+  EXPECT_EQ(o.instructions, 99u);
+}
+
+}  // namespace
+}  // namespace mecc::sim

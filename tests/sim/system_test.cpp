@@ -1,0 +1,220 @@
+#include "sim/system.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "trace/file_trace.h"
+
+namespace mecc::sim {
+namespace {
+
+SystemConfig quick_config(InstCount insts = 1'000'000) {
+  SystemConfig c;
+  c.instructions = insts;
+  return c;
+}
+
+TEST(System, BaselineIpcTracksPaperIpc) {
+  for (const char* name : {"gamess", "astar", "milc"}) {
+    const auto& b = trace::benchmark(name);
+    const RunResult r = run_benchmark(b, EccPolicy::kNoEcc,
+                                      quick_config(4'000'000));
+    EXPECT_NEAR(r.ipc / b.paper_ipc, 1.0, 0.15) << name;
+  }
+}
+
+TEST(System, MeasuredMpkiTracksProfile) {
+  const auto& b = trace::benchmark("soplex");
+  const RunResult r = run_benchmark(b, EccPolicy::kNoEcc,
+                                    quick_config(4'000'000));
+  EXPECT_NEAR(r.measured_mpki / b.mpki, 1.0, 0.10);
+}
+
+TEST(System, PolicyOrderingOnMemoryIntensiveWorkload) {
+  // IPC: NoECC >= SECDED >= MECC > ECC-6 for a high-MPKI benchmark.
+  const auto& b = trace::benchmark("libquantum");
+  const SystemConfig c = quick_config(2'000'000);
+  const double base = run_benchmark(b, EccPolicy::kNoEcc, c).ipc;
+  const double sec = run_benchmark(b, EccPolicy::kSecded, c).ipc;
+  const double e6 = run_benchmark(b, EccPolicy::kEcc6, c).ipc;
+  const double mecc = run_benchmark(b, EccPolicy::kMecc, c).ipc;
+  EXPECT_GE(base, sec);
+  EXPECT_GT(sec, e6);
+  EXPECT_GT(mecc, e6);
+  // ECC-6 slowdown is substantial for libquantum (paper: 21%).
+  EXPECT_LT(e6 / base, 0.92);
+  // SECDED is nearly free (paper: ~0.5% average).
+  EXPECT_GT(sec / base, 0.98);
+}
+
+TEST(System, EccLatencyIrrelevantForComputeBoundWorkload) {
+  const auto& b = trace::benchmark("gamess");
+  const SystemConfig c = quick_config(2'000'000);
+  const double base = run_benchmark(b, EccPolicy::kNoEcc, c).ipc;
+  const double e6 = run_benchmark(b, EccPolicy::kEcc6, c).ipc;
+  EXPECT_GT(e6 / base, 0.99);
+}
+
+TEST(System, MeccDowngradesOncePerLine) {
+  const auto& b = trace::benchmark("libquantum");
+  const RunResult r = run_benchmark(b, EccPolicy::kMecc,
+                                    quick_config(2'000'000));
+  EXPECT_GT(r.downgrades, 0u);
+  EXPECT_GT(r.strong_decodes, 0u);
+  EXPECT_GT(r.weak_decodes, r.strong_decodes);  // re-use dominates
+  // Strong decodes happen at most once per line read (plus none after).
+  EXPECT_LE(r.strong_decodes, r.reads);
+}
+
+TEST(System, Ecc6DecodeLatencySweepMonotonic) {
+  const auto& b = trace::benchmark("milc");
+  SystemConfig c = quick_config(1'000'000);
+  double prev_ipc = 1e9;
+  for (Cycle lat : {15u, 30u, 60u}) {
+    c.ecc6_decode_cycles = lat;
+    const double ipc = run_benchmark(b, EccPolicy::kEcc6, c).ipc;
+    EXPECT_LT(ipc, prev_ipc);
+    prev_ipc = ipc;
+  }
+}
+
+TEST(System, MeccInsensitiveToDecodeLatency) {
+  // Fig. 12: MECC barely moves with decode latency while ECC-6 degrades.
+  // libquantum re-uses lines heavily, so the one-time ECC-6 decode
+  // amortizes even in a short slice.
+  const auto& b = trace::benchmark("libquantum");
+  SystemConfig c = quick_config(4'000'000);
+  const double base = run_benchmark(b, EccPolicy::kNoEcc, c).ipc;
+  c.ecc6_decode_cycles = 60;
+  const double mecc60 = run_benchmark(b, EccPolicy::kMecc, c).ipc;
+  const double ecc6_60 = run_benchmark(b, EccPolicy::kEcc6, c).ipc;
+  EXPECT_GT(mecc60 / base, 0.90);
+  EXPECT_LT(ecc6_60 / base, mecc60 / base);
+}
+
+TEST(System, CheckpointsRecordProgress) {
+  const auto& b = trace::benchmark("astar");
+  SystemConfig c = quick_config(1'000'000);
+  c.checkpoint_insts = {250'000, 500'000, 750'000};
+  const RunResult r = run_benchmark(b, EccPolicy::kMecc, c);
+  ASSERT_EQ(r.checkpoints.size(), 3u);
+  EXPECT_LT(r.checkpoints[0].cycles, r.checkpoints[1].cycles);
+  EXPECT_LT(r.checkpoints[1].cycles, r.checkpoints[2].cycles);
+  EXPECT_LE(r.checkpoints[2].cycles, r.cpu_cycles);
+}
+
+TEST(System, MeccEarlySlowdownShrinksOverTime) {
+  // Fig. 13: the ECC-6 first-touch cost concentrates early in the run.
+  const auto& b = trace::benchmark("milc");
+  SystemConfig c = quick_config(4'000'000);
+  c.checkpoint_insts = {500'000, 4'000'000};
+  const RunResult base = run_benchmark(b, EccPolicy::kNoEcc, c);
+  const RunResult mecc = run_benchmark(b, EccPolicy::kMecc, c);
+  ASSERT_EQ(base.checkpoints.size(), 2u);
+  ASSERT_EQ(mecc.checkpoints.size(), 2u);
+  const double early = static_cast<double>(base.checkpoints[0].cycles) /
+                       static_cast<double>(mecc.checkpoints[0].cycles);
+  const double late = static_cast<double>(base.checkpoints[1].cycles) /
+                      static_cast<double>(mecc.checkpoints[1].cycles);
+  EXPECT_LT(early, late);  // normalized IPC improves as the run goes on
+}
+
+TEST(System, SmdKeepsLowMpkiWorkloadFullyStrong) {
+  const auto& b = trace::benchmark("povray");
+  SystemConfig c = quick_config(1'000'000);
+  c.mecc_use_smd = true;
+  c.smd_quantum_cycles = 100'000;
+  const RunResult r = run_benchmark(b, EccPolicy::kMecc, c);
+  EXPECT_EQ(r.downgrades, 0u);
+  EXPECT_DOUBLE_EQ(r.frac_downgrade_disabled, 1.0);
+}
+
+TEST(System, SmdEnablesForHighMpkiWorkload) {
+  const auto& b = trace::benchmark("lbm");
+  SystemConfig c = quick_config(1'000'000);
+  c.mecc_use_smd = true;
+  c.smd_quantum_cycles = 100'000;
+  const RunResult r = run_benchmark(b, EccPolicy::kMecc, c);
+  EXPECT_GT(r.downgrades, 0u);
+  EXPECT_LT(r.frac_downgrade_disabled, 0.2);
+}
+
+TEST(System, MdtTrackedBytesApproximateFootprint) {
+  const auto& b = trace::benchmark("milc");  // 340 MB, scaled to 3.4 MB
+  const RunResult r = run_benchmark(b, EccPolicy::kMecc,
+                                    quick_config(2'000'000));
+  EXPECT_GT(r.mdt_marked_regions, 0u);
+  const double footprint_bytes = b.footprint_mb * 1024 * 1024 * 0.01;
+  // MDT (1 MB regions over 1 GB) overestimates small footprints but must
+  // be within a few regions of it.
+  EXPECT_LE(r.mdt_tracked_bytes, footprint_bytes + 5 * (1 << 20));
+}
+
+TEST(System, EnergyBreakdownIsPositiveAndConsistent) {
+  const auto& b = trace::benchmark("soplex");
+  const RunResult r = run_benchmark(b, EccPolicy::kMecc,
+                                    quick_config(1'000'000));
+  EXPECT_GT(r.energy.background_mj, 0.0);
+  EXPECT_GT(r.energy.read_mj, 0.0);
+  EXPECT_GT(r.energy.write_mj, 0.0);
+  EXPECT_GT(r.energy.activate_mj, 0.0);
+  EXPECT_GT(r.energy.ecc_mj, 0.0);
+  EXPECT_NEAR(r.energy.seconds, r.seconds, r.seconds * 0.01);
+  // avg_power averages over the memory-clock view of the run; it agrees
+  // with energy/cpu-seconds up to the clock-domain rounding.
+  EXPECT_NEAR(r.avg_power_mw, r.energy.total_mj() / r.seconds,
+              r.avg_power_mw * 0.01);
+  EXPECT_NEAR(r.edp_mj_s, r.energy.total_mj() * r.seconds, 1e-9);
+}
+
+TEST(System, DeterministicAcrossRuns) {
+  const auto& b = trace::benchmark("astar");
+  const SystemConfig c = quick_config(500'000);
+  const RunResult a = run_benchmark(b, EccPolicy::kMecc, c);
+  const RunResult b2 = run_benchmark(b, EccPolicy::kMecc, c);
+  EXPECT_EQ(a.cpu_cycles, b2.cpu_cycles);
+  EXPECT_EQ(a.reads, b2.reads);
+  EXPECT_EQ(a.downgrades, b2.downgrades);
+  EXPECT_DOUBLE_EQ(a.energy.total_mj(), b2.energy.total_mj());
+}
+
+TEST(System, RefreshesHappenDuringActiveMode) {
+  const auto& b = trace::benchmark("gamess");
+  const RunResult r = run_benchmark(b, EccPolicy::kNoEcc,
+                                    quick_config(1'000'000));
+  EXPECT_GT(r.stats.counter("memctrl.refreshes"), 0u);
+}
+
+TEST(System, ReplaysTraceFiles) {
+  // Dump a synthetic trace, replay it through the full system, and check
+  // the replay matches the workload's character.
+  const std::string path = ::testing::TempDir() + "mecc_system_replay.trc";
+  // Short phases so even the first 500k replayed instructions average
+  // over the full MPKI phase schedule.
+  trace::GeneratorSource src(
+      trace::benchmark("astar"),
+      trace::GeneratorConfig{.phase_length_insts = 50'000, .seed = 9});
+  trace::write_trace_file(path, trace::capture(src, 20'000));
+
+  SystemConfig c = quick_config(500'000);
+  c.trace_file = path;
+  const RunResult r =
+      run_benchmark(trace::benchmark("astar"), EccPolicy::kMecc, c);
+  std::remove(path.c_str());
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_NEAR(r.measured_mpki / trace::benchmark("astar").mpki, 1.0, 0.25);
+  EXPECT_GT(r.downgrades, 0u);
+}
+
+TEST(System, BaseIpcNeverExceedsWidth) {
+  for (const auto& b : trace::all_benchmarks()) {
+    System s(b, quick_config());
+    EXPECT_LE(s.base_ipc(), 2.0) << b.name;
+    EXPECT_GT(s.base_ipc(), 0.0) << b.name;
+  }
+}
+
+}  // namespace
+}  // namespace mecc::sim

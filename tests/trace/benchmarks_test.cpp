@@ -1,0 +1,142 @@
+#include "trace/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mecc::trace {
+namespace {
+
+TEST(Benchmarks, TwentyEightTotal) {
+  EXPECT_EQ(all_benchmarks().size(), 28u);
+}
+
+TEST(Benchmarks, ClassSizes) {
+  EXPECT_EQ(count_in_class(MpkiClass::kLow), 7u);
+  EXPECT_EQ(count_in_class(MpkiClass::kMed), 10u);
+  EXPECT_EQ(count_in_class(MpkiClass::kHigh), 11u);
+}
+
+TEST(Benchmarks, NamesUnique) {
+  std::set<std::string_view> names;
+  for (const auto& b : all_benchmarks()) {
+    EXPECT_TRUE(names.insert(b.name).second) << b.name;
+  }
+}
+
+TEST(Benchmarks, LookupByName) {
+  EXPECT_EQ(benchmark("libquantum").klass, MpkiClass::kHigh);
+  EXPECT_EQ(benchmark("povray").klass, MpkiClass::kLow);
+  EXPECT_THROW((void)benchmark("mcf"), std::out_of_range);  // excluded (S IV-B)
+}
+
+struct ClassAverages {
+  double ipc = 0.0;
+  double mpki = 0.0;
+  double footprint = 0.0;
+};
+
+ClassAverages averages(MpkiClass c) {
+  ClassAverages a;
+  std::size_t n = 0;
+  for (const auto& b : all_benchmarks()) {
+    if (b.klass != c) continue;
+    a.ipc += b.paper_ipc;
+    a.mpki += b.mpki;
+    a.footprint += b.footprint_mb;
+    ++n;
+  }
+  a.ipc /= static_cast<double>(n);
+  a.mpki /= static_cast<double>(n);
+  a.footprint /= static_cast<double>(n);
+  return a;
+}
+
+TEST(Benchmarks, Table3LowClassAverages) {
+  const auto a = averages(MpkiClass::kLow);
+  EXPECT_NEAR(a.ipc, 1.514, 1e-3);
+  EXPECT_NEAR(a.mpki, 0.3, 1e-3);
+  EXPECT_NEAR(a.footprint, 26.0, 0.05);
+}
+
+TEST(Benchmarks, Table3MedClassAverages) {
+  const auto a = averages(MpkiClass::kMed);
+  EXPECT_NEAR(a.ipc, 0.887, 1e-3);
+  EXPECT_NEAR(a.mpki, 4.7, 1e-3);
+  EXPECT_NEAR(a.footprint, 96.4, 0.05);
+}
+
+TEST(Benchmarks, Table3HighClassAverages) {
+  const auto a = averages(MpkiClass::kHigh);
+  EXPECT_NEAR(a.ipc, 0.359, 1e-3);
+  EXPECT_NEAR(a.mpki, 23.5, 0.05);
+  EXPECT_NEAR(a.footprint, 259.1, 0.05);
+}
+
+TEST(Benchmarks, ClassesAreOrderedByMpki) {
+  // Every High benchmark out-MPKIs every Low benchmark, etc.
+  double low_max = 0.0;
+  double med_min = 1e9;
+  double med_max = 0.0;
+  double high_min = 1e9;
+  for (const auto& b : all_benchmarks()) {
+    switch (b.klass) {
+      case MpkiClass::kLow:
+        low_max = std::max(low_max, b.mpki);
+        break;
+      case MpkiClass::kMed:
+        med_min = std::min(med_min, b.mpki);
+        med_max = std::max(med_max, b.mpki);
+        break;
+      case MpkiClass::kHigh:
+        high_min = std::min(high_min, b.mpki);
+        break;
+    }
+  }
+  EXPECT_LT(low_max, 1.0);    // Table III: Low-MPKI < 1
+  EXPECT_GE(med_min, 1.0);    // Med between 1 and 10
+  EXPECT_LE(med_max, 10.0);
+  EXPECT_GT(high_min, 10.0);  // High > 10
+}
+
+TEST(Benchmarks, ProfilesAreSane) {
+  for (const auto& b : all_benchmarks()) {
+    EXPECT_GT(b.mpki, 0.0) << b.name;
+    EXPECT_GT(b.paper_ipc, 0.0) << b.name;
+    EXPECT_LE(b.paper_ipc, 2.0) << b.name;  // 2-wide core
+    EXPECT_GT(b.footprint_mb, 0.0) << b.name;
+    EXPECT_LT(b.footprint_mb, 1024.0) << b.name;  // fits in 1 GB (S IV-B)
+    EXPECT_GT(b.read_fraction, 0.0) << b.name;
+    EXPECT_LE(b.read_fraction, 1.0) << b.name;
+    EXPECT_GE(b.row_locality, 0.0) << b.name;
+    EXPECT_LT(b.row_locality, 1.0) << b.name;
+  }
+}
+
+TEST(Benchmarks, LibquantumIsTheStreamingOutlier) {
+  // Fig. 7: libquantum shows the worst ECC-6 slowdown (21%) - extreme
+  // read-dominated streaming.
+  const auto& libq = benchmark("libquantum");
+  EXPECT_GE(libq.read_fraction, 0.9);
+  EXPECT_GE(libq.row_locality, 0.8);
+  EXPECT_GT(libq.mpki, 30.0);
+}
+
+TEST(Benchmarks, SmdSevenLowBenchmarksStayUnderThreshold) {
+  // Fig. 14 / S VI-B: povray, tonto, wrf, gamess, hmmer, sjeng, h264ref
+  // never enable ECC-Downgrade at MPKC threshold 2 - their peak traffic
+  // (MPKI * IPC * max phase multiplier 1.6) stays below 2 MPKC.
+  for (const char* name :
+       {"povray", "tonto", "wrf", "gamess", "hmmer", "sjeng", "h264ref"}) {
+    const auto& b = benchmark(name);
+    EXPECT_LT(b.mpki * b.paper_ipc * 1.6, 2.0) << name;
+  }
+  // While the med/high benchmarks can exceed it at peak.
+  for (const char* name : {"namd", "soplex", "libquantum"}) {
+    const auto& b = benchmark(name);
+    EXPECT_GT(b.mpki * b.paper_ipc * 1.6, 2.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mecc::trace

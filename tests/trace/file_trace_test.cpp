@@ -1,0 +1,95 @@
+#include "trace/file_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace mecc::trace {
+namespace {
+
+class FileTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "mecc_trace_test.trc";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write(const std::string& contents) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+
+  std::string path_;
+};
+
+TEST_F(FileTraceTest, ParsesBasicRecords) {
+  write("# a comment\n"
+        "10 R 0x1000\n"
+        "0 W 0x2040\n"
+        "\n"
+        "5 R 0x3000  # trailing comment\n");
+  FileTrace t(path_);
+  EXPECT_EQ(t.size(), 3u);
+  const TraceRecord a = t.next();
+  EXPECT_EQ(a.gap, 10u);
+  EXPECT_FALSE(a.is_write);
+  EXPECT_EQ(a.line_addr, 0x1000u);
+  const TraceRecord b = t.next();
+  EXPECT_TRUE(b.is_write);
+  EXPECT_EQ(b.line_addr, 0x2040u);
+  const TraceRecord c = t.next();
+  EXPECT_EQ(c.gap, 5u);
+}
+
+TEST_F(FileTraceTest, AddressesLineAligned) {
+  write("0 R 0x1023\n");  // unaligned: must snap to 0x1000
+  FileTrace t(path_);
+  EXPECT_EQ(t.next().line_addr, 0x1000u);
+}
+
+TEST_F(FileTraceTest, LoopsWithLapCount) {
+  write("1 R 0x0\n2 W 0x40\n");
+  FileTrace t(path_);
+  for (int i = 0; i < 5; ++i) (void)t.next();
+  EXPECT_EQ(t.laps(), 2u);  // 5 reads over 2 records = 2 full laps
+}
+
+TEST_F(FileTraceTest, RejectsMissingFile) {
+  EXPECT_THROW(FileTrace("/nonexistent/trace.trc"), std::runtime_error);
+}
+
+TEST_F(FileTraceTest, RejectsMalformedType) {
+  write("1 X 0x1000\n");
+  EXPECT_THROW(FileTrace{path_}, std::runtime_error);
+}
+
+TEST_F(FileTraceTest, RejectsEmptyFile) {
+  write("# only comments\n");
+  EXPECT_THROW(FileTrace{path_}, std::runtime_error);
+}
+
+TEST_F(FileTraceTest, RoundTripThroughWriter) {
+  GeneratorSource src(benchmark("astar"), GeneratorConfig{.seed = 5});
+  const auto records = capture(src, 500);
+  write_trace_file(path_, records);
+  FileTrace t(path_);
+  ASSERT_EQ(t.size(), 500u);
+  for (const auto& expect : records) {
+    const TraceRecord got = t.next();
+    EXPECT_EQ(got.gap, expect.gap);
+    EXPECT_EQ(got.is_write, expect.is_write);
+    EXPECT_EQ(got.line_addr, expect.line_addr);
+  }
+}
+
+TEST_F(FileTraceTest, VectorConstructor) {
+  std::vector<TraceRecord> recs = {{.gap = 1, .is_write = false,
+                                    .line_addr = 0x40}};
+  FileTrace t(recs);
+  EXPECT_EQ(t.next().line_addr, 0x40u);
+  EXPECT_THROW(FileTrace(std::vector<TraceRecord>{}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mecc::trace

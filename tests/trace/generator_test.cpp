@@ -1,0 +1,188 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mecc::trace {
+namespace {
+
+GeneratorConfig cfg(std::uint64_t seed = 1) {
+  GeneratorConfig c;
+  c.seed = seed;
+  return c;
+}
+
+TEST(TraceGenerator, Deterministic) {
+  const auto& b = benchmark("milc");
+  TraceGenerator g1(b, cfg(42));
+  TraceGenerator g2(b, cfg(42));
+  for (int i = 0; i < 1000; ++i) {
+    const TraceRecord r1 = g1.next();
+    const TraceRecord r2 = g2.next();
+    EXPECT_EQ(r1.gap, r2.gap);
+    EXPECT_EQ(r1.line_addr, r2.line_addr);
+    EXPECT_EQ(r1.is_write, r2.is_write);
+  }
+}
+
+TEST(TraceGenerator, DifferentSeedsDiffer) {
+  const auto& b = benchmark("milc");
+  TraceGenerator g1(b, cfg(1));
+  TraceGenerator g2(b, cfg(2));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (g1.next().line_addr == g2.next().line_addr) ++same;
+  }
+  EXPECT_LT(same, 20);
+}
+
+class MpkiConvergence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MpkiConvergence, LongRunMpkiMatchesProfile) {
+  const auto& b = benchmark(GetParam());
+  GeneratorConfig c = cfg(7);
+  c.phase_length_insts = 500'000;  // several full schedules in the run
+  TraceGenerator g(b, c);
+  std::uint64_t insts = 0;
+  std::uint64_t accesses = 0;
+  while (insts < 16'000'000) {
+    const TraceRecord r = g.next();
+    insts += r.gap + 1;
+    ++accesses;
+  }
+  const double mpki = static_cast<double>(accesses) * 1000.0 /
+                      static_cast<double>(insts);
+  EXPECT_NEAR(mpki / b.mpki, 1.0, 0.10) << b.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(FourBenchmarks, MpkiConvergence,
+                         ::testing::Values("gamess", "astar", "milc",
+                                           "libquantum"));
+
+TEST(TraceGenerator, ReadFractionMatchesProfile) {
+  const auto& b = benchmark("lbm");  // 0.5 read fraction
+  TraceGenerator g(b, cfg(9));
+  int reads = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (!g.next().is_write) ++reads;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kN, b.read_fraction, 0.02);
+}
+
+TEST(TraceGenerator, AddressesStayInFootprint) {
+  const auto& b = benchmark("gamess");  // 4 MB footprint
+  GeneratorConfig c = cfg(3);
+  c.footprint_scale = 1.0;
+  TraceGenerator g(b, c);
+  const Address limit = g.footprint_lines() * kLineBytes;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(g.next().line_addr, limit);
+  }
+}
+
+TEST(TraceGenerator, FootprintScaleShrinksFootprint) {
+  const auto& b = benchmark("milc");
+  GeneratorConfig full = cfg(1);
+  full.footprint_scale = 1.0;
+  GeneratorConfig scaled = cfg(1);
+  scaled.footprint_scale = 0.01;
+  TraceGenerator gf(b, full);
+  TraceGenerator gs(b, scaled);
+  EXPECT_NEAR(static_cast<double>(gf.footprint_lines()) /
+                  static_cast<double>(gs.footprint_lines()),
+              100.0, 1.0);
+}
+
+TEST(TraceGenerator, FootprintLinesMatchProfile) {
+  const auto& b = benchmark("bwaves");  // 400.1 MB
+  GeneratorConfig c = cfg(1);
+  c.footprint_scale = 1.0;
+  TraceGenerator g(b, c);
+  EXPECT_NEAR(static_cast<double>(g.footprint_lines()),
+              400.1 * 1024 * 1024 / 64, 1.0);
+}
+
+TEST(TraceGenerator, HighLocalityProducesSequentialRuns) {
+  const auto& b = benchmark("libquantum");  // row_locality 0.85
+  TraceGenerator g(b, cfg(5));
+  int sequential = 0;
+  Address prev = g.next().line_addr;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const Address cur = g.next().line_addr;
+    if (cur == prev + kLineBytes) ++sequential;
+    prev = cur;
+  }
+  EXPECT_NEAR(static_cast<double>(sequential) / kN, b.row_locality, 0.03);
+}
+
+TEST(TraceGenerator, LowLocalityJumpsAround) {
+  const auto& b = benchmark("omnetpp");  // row_locality 0.25
+  TraceGenerator g(b, cfg(5));
+  int sequential = 0;
+  Address prev = g.next().line_addr;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const Address cur = g.next().line_addr;
+    if (cur == prev + kLineBytes) ++sequential;
+    prev = cur;
+  }
+  EXPECT_NEAR(static_cast<double>(sequential) / kN, b.row_locality, 0.03);
+}
+
+TEST(TraceGenerator, PhaseMultiplierVariesOverTime) {
+  const auto& b = benchmark("astar");
+  GeneratorConfig c = cfg(11);
+  c.phase_length_insts = 100'000;
+  TraceGenerator g(b, c);
+  std::set<double> seen;
+  std::uint64_t insts = 0;
+  while (insts < 500'000) {
+    seen.insert(g.phase_multiplier());
+    insts += g.next().gap + 1;
+  }
+  EXPECT_GE(seen.size(), 3u);  // walked through several phases
+}
+
+TEST(TraceGenerator, PhaseScheduleAveragesToOne) {
+  // The schedule multipliers must average 1 so long-run MPKI is unbiased.
+  const auto& b = benchmark("astar");
+  GeneratorConfig c = cfg(1);
+  c.phase_length_insts = 1000;
+  TraceGenerator g(b, c);
+  double sum = 0.0;
+  int n = 0;
+  std::uint64_t insts = 0;
+  double last = -1.0;
+  while (n < 4) {
+    const double m = g.phase_multiplier();
+    if (m != last) {
+      sum += m;
+      ++n;
+      last = m;
+    }
+    insts += g.next().gap + 1;
+    ASSERT_LT(insts, 100'000u);
+  }
+  EXPECT_NEAR(sum / 4.0, 1.0, 1e-9);
+}
+
+TEST(TraceGenerator, RegionCoverageApproachesFootprint) {
+  // Even a modest access count touches every 1 MB region of the
+  // footprint (what MDT measures in Fig. 11).
+  const auto& b = benchmark("wrf");  // 78 MB footprint, MPKI 0.55
+  GeneratorConfig c = cfg(13);
+  c.footprint_scale = 1.0;
+  TraceGenerator g(b, c);
+  std::set<Address> regions;
+  for (int i = 0; i < 20000; ++i) {
+    regions.insert(g.next().line_addr >> 20);  // 1 MB regions
+  }
+  EXPECT_GE(regions.size(), 76u);
+  EXPECT_LE(regions.size(), 79u);
+}
+
+}  // namespace
+}  // namespace mecc::trace
