@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_memsys"
+  "../bench/bench_ablation_memsys.pdb"
+  "CMakeFiles/bench_ablation_memsys.dir/bench_ablation_memsys.cpp.o"
+  "CMakeFiles/bench_ablation_memsys.dir/bench_ablation_memsys.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

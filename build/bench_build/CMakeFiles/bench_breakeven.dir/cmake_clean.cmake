@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_breakeven"
+  "../bench/bench_breakeven.pdb"
+  "CMakeFiles/bench_breakeven.dir/bench_breakeven.cpp.o"
+  "CMakeFiles/bench_breakeven.dir/bench_breakeven.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ecc_codec"
+  "../bench/bench_ecc_codec.pdb"
+  "CMakeFiles/bench_ecc_codec.dir/bench_ecc_codec.cpp.o"
+  "CMakeFiles/bench_ecc_codec.dir/bench_ecc_codec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecc_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

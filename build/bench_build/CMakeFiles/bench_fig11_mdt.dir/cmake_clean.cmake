@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_mdt"
+  "../bench/bench_fig11_mdt.pdb"
+  "CMakeFiles/bench_fig11_mdt.dir/bench_fig11_mdt.cpp.o"
+  "CMakeFiles/bench_fig11_mdt.dir/bench_fig11_mdt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

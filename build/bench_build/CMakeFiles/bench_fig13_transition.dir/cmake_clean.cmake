@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_transition"
+  "../bench/bench_fig13_transition.pdb"
+  "CMakeFiles/bench_fig13_transition.dir/bench_fig13_transition.cpp.o"
+  "CMakeFiles/bench_fig13_transition.dir/bench_fig13_transition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_smd.cpp" "bench_build/CMakeFiles/bench_fig14_smd.dir/bench_fig14_smd.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig14_smd.dir/bench_fig14_smd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mecc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mecc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/mecc_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mecc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mecc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/mecc_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mecc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/mecc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mecc/CMakeFiles/mecc_mecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/mecc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/galois/CMakeFiles/mecc_galois.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_smd"
+  "../bench/bench_fig14_smd.pdb"
+  "CMakeFiles/bench_fig14_smd.dir/bench_fig14_smd.cpp.o"
+  "CMakeFiles/bench_fig14_smd.dir/bench_fig14_smd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_smd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_usage_pattern"
+  "../bench/bench_fig1_usage_pattern.pdb"
+  "CMakeFiles/bench_fig1_usage_pattern.dir/bench_fig1_usage_pattern.cpp.o"
+  "CMakeFiles/bench_fig1_usage_pattern.dir/bench_fig1_usage_pattern.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_usage_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_retention"
+  "../bench/bench_fig2_retention.pdb"
+  "CMakeFiles/bench_fig2_retention.dir/bench_fig2_retention.cpp.o"
+  "CMakeFiles/bench_fig2_retention.dir/bench_fig2_retention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_morph_levels"
+  "../bench/bench_morph_levels.pdb"
+  "CMakeFiles/bench_morph_levels.dir/bench_morph_levels.cpp.o"
+  "CMakeFiles/bench_morph_levels.dir/bench_morph_levels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_morph_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

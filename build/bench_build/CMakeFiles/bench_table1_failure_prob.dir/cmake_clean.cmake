@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_failure_prob"
+  "../bench/bench_table1_failure_prob.pdb"
+  "CMakeFiles/bench_table1_failure_prob.dir/bench_table1_failure_prob.cpp.o"
+  "CMakeFiles/bench_table1_failure_prob.dir/bench_table1_failure_prob.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_failure_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

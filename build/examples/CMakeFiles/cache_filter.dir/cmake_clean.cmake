@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_filter.dir/cache_filter.cpp.o"
+  "CMakeFiles/cache_filter.dir/cache_filter.cpp.o.d"
+  "cache_filter"
+  "cache_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

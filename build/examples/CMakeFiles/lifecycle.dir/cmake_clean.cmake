@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifecycle.dir/lifecycle.cpp.o"
+  "CMakeFiles/lifecycle.dir/lifecycle.cpp.o.d"
+  "lifecycle"
+  "lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_sim_cli.dir/mecc_sim_cli.cpp.o"
+  "CMakeFiles/mecc_sim_cli.dir/mecc_sim_cli.cpp.o.d"
+  "mecc_sim_cli"
+  "mecc_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

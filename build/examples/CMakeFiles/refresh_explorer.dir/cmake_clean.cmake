@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refresh_explorer.dir/refresh_explorer.cpp.o"
+  "CMakeFiles/refresh_explorer.dir/refresh_explorer.cpp.o.d"
+  "refresh_explorer"
+  "refresh_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refresh_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartphone_day.dir/smartphone_day.cpp.o"
+  "CMakeFiles/smartphone_day.dir/smartphone_day.cpp.o.d"
+  "smartphone_day"
+  "smartphone_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartphone_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("galois")
+subdirs("ecc")
+subdirs("reliability")
+subdirs("dram")
+subdirs("power")
+subdirs("memctrl")
+subdirs("cache")
+subdirs("cpu")
+subdirs("trace")
+subdirs("mecc")
+subdirs("baselines")
+subdirs("sim")

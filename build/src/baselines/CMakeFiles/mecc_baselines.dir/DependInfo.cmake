@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/raidr.cpp" "src/baselines/CMakeFiles/mecc_baselines.dir/raidr.cpp.o" "gcc" "src/baselines/CMakeFiles/mecc_baselines.dir/raidr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/mecc_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/mecc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/galois/CMakeFiles/mecc_galois.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

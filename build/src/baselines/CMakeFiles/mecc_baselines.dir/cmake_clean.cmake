@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_baselines.dir/raidr.cpp.o"
+  "CMakeFiles/mecc_baselines.dir/raidr.cpp.o.d"
+  "libmecc_baselines.a"
+  "libmecc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_cache.dir/llc.cpp.o"
+  "CMakeFiles/mecc_cache.dir/llc.cpp.o.d"
+  "libmecc_cache.a"
+  "libmecc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_common.dir/bitvec.cpp.o"
+  "CMakeFiles/mecc_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/mecc_common.dir/stats.cpp.o"
+  "CMakeFiles/mecc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mecc_common.dir/table.cpp.o"
+  "CMakeFiles/mecc_common.dir/table.cpp.o.d"
+  "libmecc_common.a"
+  "libmecc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

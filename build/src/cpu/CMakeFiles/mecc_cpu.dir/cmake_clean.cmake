@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_cpu.dir/core.cpp.o"
+  "CMakeFiles/mecc_cpu.dir/core.cpp.o.d"
+  "libmecc_cpu.a"
+  "libmecc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

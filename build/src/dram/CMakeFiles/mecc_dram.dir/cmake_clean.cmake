@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_dram.dir/device.cpp.o"
+  "CMakeFiles/mecc_dram.dir/device.cpp.o.d"
+  "CMakeFiles/mecc_dram.dir/timing_checker.cpp.o"
+  "CMakeFiles/mecc_dram.dir/timing_checker.cpp.o.d"
+  "libmecc_dram.a"
+  "libmecc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

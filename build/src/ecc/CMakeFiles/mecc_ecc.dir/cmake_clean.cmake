@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_ecc.dir/bch.cpp.o"
+  "CMakeFiles/mecc_ecc.dir/bch.cpp.o.d"
+  "CMakeFiles/mecc_ecc.dir/secded.cpp.o"
+  "CMakeFiles/mecc_ecc.dir/secded.cpp.o.d"
+  "libmecc_ecc.a"
+  "libmecc_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_galois.dir/gf.cpp.o"
+  "CMakeFiles/mecc_galois.dir/gf.cpp.o.d"
+  "CMakeFiles/mecc_galois.dir/gf2_poly.cpp.o"
+  "CMakeFiles/mecc_galois.dir/gf2_poly.cpp.o.d"
+  "CMakeFiles/mecc_galois.dir/gfm_poly.cpp.o"
+  "CMakeFiles/mecc_galois.dir/gfm_poly.cpp.o.d"
+  "libmecc_galois.a"
+  "libmecc_galois.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_galois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

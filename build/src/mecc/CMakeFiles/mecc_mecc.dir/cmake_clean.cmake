@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_mecc.dir/line_codec.cpp.o"
+  "CMakeFiles/mecc_mecc.dir/line_codec.cpp.o.d"
+  "CMakeFiles/mecc_mecc.dir/memory_image.cpp.o"
+  "CMakeFiles/mecc_mecc.dir/memory_image.cpp.o.d"
+  "libmecc_mecc.a"
+  "libmecc_mecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_mecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

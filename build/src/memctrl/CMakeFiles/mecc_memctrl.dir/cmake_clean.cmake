@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_memctrl.dir/controller.cpp.o"
+  "CMakeFiles/mecc_memctrl.dir/controller.cpp.o.d"
+  "libmecc_memctrl.a"
+  "libmecc_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

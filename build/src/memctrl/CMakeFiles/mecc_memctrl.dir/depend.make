@@ -1,0 +1,2 @@
+# Empty dependencies file for mecc_memctrl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_power.dir/idle_modes.cpp.o"
+  "CMakeFiles/mecc_power.dir/idle_modes.cpp.o.d"
+  "CMakeFiles/mecc_power.dir/power_model.cpp.o"
+  "CMakeFiles/mecc_power.dir/power_model.cpp.o.d"
+  "libmecc_power.a"
+  "libmecc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/failure_analysis.cpp" "src/reliability/CMakeFiles/mecc_reliability.dir/failure_analysis.cpp.o" "gcc" "src/reliability/CMakeFiles/mecc_reliability.dir/failure_analysis.cpp.o.d"
+  "/root/repo/src/reliability/fault_injection.cpp" "src/reliability/CMakeFiles/mecc_reliability.dir/fault_injection.cpp.o" "gcc" "src/reliability/CMakeFiles/mecc_reliability.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/reliability/retention_model.cpp" "src/reliability/CMakeFiles/mecc_reliability.dir/retention_model.cpp.o" "gcc" "src/reliability/CMakeFiles/mecc_reliability.dir/retention_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/mecc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/galois/CMakeFiles/mecc_galois.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_reliability.dir/failure_analysis.cpp.o"
+  "CMakeFiles/mecc_reliability.dir/failure_analysis.cpp.o.d"
+  "CMakeFiles/mecc_reliability.dir/fault_injection.cpp.o"
+  "CMakeFiles/mecc_reliability.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/mecc_reliability.dir/retention_model.cpp.o"
+  "CMakeFiles/mecc_reliability.dir/retention_model.cpp.o.d"
+  "libmecc_reliability.a"
+  "libmecc_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

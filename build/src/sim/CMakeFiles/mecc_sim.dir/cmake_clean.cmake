@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_sim.dir/csv.cpp.o"
+  "CMakeFiles/mecc_sim.dir/csv.cpp.o.d"
+  "CMakeFiles/mecc_sim.dir/experiment.cpp.o"
+  "CMakeFiles/mecc_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/mecc_sim.dir/options.cpp.o"
+  "CMakeFiles/mecc_sim.dir/options.cpp.o.d"
+  "CMakeFiles/mecc_sim.dir/system.cpp.o"
+  "CMakeFiles/mecc_sim.dir/system.cpp.o.d"
+  "libmecc_sim.a"
+  "libmecc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

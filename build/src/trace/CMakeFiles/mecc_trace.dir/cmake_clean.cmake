@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecc_trace.dir/benchmarks.cpp.o"
+  "CMakeFiles/mecc_trace.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/mecc_trace.dir/file_trace.cpp.o"
+  "CMakeFiles/mecc_trace.dir/file_trace.cpp.o.d"
+  "CMakeFiles/mecc_trace.dir/generator.cpp.o"
+  "CMakeFiles/mecc_trace.dir/generator.cpp.o.d"
+  "libmecc_trace.a"
+  "libmecc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

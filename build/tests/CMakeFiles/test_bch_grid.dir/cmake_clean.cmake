@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bch_grid.dir/ecc/bch_grid_test.cpp.o"
+  "CMakeFiles/test_bch_grid.dir/ecc/bch_grid_test.cpp.o.d"
+  "test_bch_grid"
+  "test_bch_grid.pdb"
+  "test_bch_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bch_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller_fuzz.dir/memctrl/controller_fuzz_test.cpp.o"
+  "CMakeFiles/test_controller_fuzz.dir/memctrl/controller_fuzz_test.cpp.o.d"
+  "test_controller_fuzz"
+  "test_controller_fuzz.pdb"
+  "test_controller_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

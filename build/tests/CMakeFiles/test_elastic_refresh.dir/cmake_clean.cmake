@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elastic_refresh.dir/memctrl/elastic_refresh_test.cpp.o"
+  "CMakeFiles/test_elastic_refresh.dir/memctrl/elastic_refresh_test.cpp.o.d"
+  "test_elastic_refresh"
+  "test_elastic_refresh.pdb"
+  "test_elastic_refresh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elastic_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf2_poly.dir/galois/gf2_poly_test.cpp.o"
+  "CMakeFiles/test_gf2_poly.dir/galois/gf2_poly_test.cpp.o.d"
+  "test_gf2_poly"
+  "test_gf2_poly.pdb"
+  "test_gf2_poly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf2_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf_all_m.dir/galois/gf_all_m_test.cpp.o"
+  "CMakeFiles/test_gf_all_m.dir/galois/gf_all_m_test.cpp.o.d"
+  "test_gf_all_m"
+  "test_gf_all_m.pdb"
+  "test_gf_all_m[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf_all_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

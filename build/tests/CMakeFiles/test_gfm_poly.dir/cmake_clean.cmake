@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfm_poly.dir/galois/gfm_poly_test.cpp.o"
+  "CMakeFiles/test_gfm_poly.dir/galois/gfm_poly_test.cpp.o.d"
+  "test_gfm_poly"
+  "test_gfm_poly.pdb"
+  "test_gfm_poly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfm_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

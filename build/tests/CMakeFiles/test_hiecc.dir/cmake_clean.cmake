@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hiecc.dir/baselines/hiecc_test.cpp.o"
+  "CMakeFiles/test_hiecc.dir/baselines/hiecc_test.cpp.o.d"
+  "test_hiecc"
+  "test_hiecc.pdb"
+  "test_hiecc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hiecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idle_modes.dir/power/idle_modes_test.cpp.o"
+  "CMakeFiles/test_idle_modes.dir/power/idle_modes_test.cpp.o.d"
+  "test_idle_modes"
+  "test_idle_modes.pdb"
+  "test_idle_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idle_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llc_filter.dir/cache/llc_filter_test.cpp.o"
+  "CMakeFiles/test_llc_filter.dir/cache/llc_filter_test.cpp.o.d"
+  "test_llc_filter"
+  "test_llc_filter.pdb"
+  "test_llc_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llc_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

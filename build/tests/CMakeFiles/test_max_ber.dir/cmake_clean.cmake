@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_max_ber.dir/reliability/max_ber_test.cpp.o"
+  "CMakeFiles/test_max_ber.dir/reliability/max_ber_test.cpp.o.d"
+  "test_max_ber"
+  "test_max_ber.pdb"
+  "test_max_ber[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_max_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

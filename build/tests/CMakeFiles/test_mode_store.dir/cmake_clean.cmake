@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mode_store.dir/mecc/mode_store_test.cpp.o"
+  "CMakeFiles/test_mode_store.dir/mecc/mode_store_test.cpp.o.d"
+  "test_mode_store"
+  "test_mode_store.pdb"
+  "test_mode_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mode_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_policy.dir/memctrl/page_policy_test.cpp.o"
+  "CMakeFiles/test_page_policy.dir/memctrl/page_policy_test.cpp.o.d"
+  "test_page_policy"
+  "test_page_policy.pdb"
+  "test_page_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

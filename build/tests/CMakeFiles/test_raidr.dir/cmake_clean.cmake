@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raidr.dir/baselines/raidr_test.cpp.o"
+  "CMakeFiles/test_raidr.dir/baselines/raidr_test.cpp.o.d"
+  "test_raidr"
+  "test_raidr.pdb"
+  "test_raidr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raidr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_checker.dir/dram/timing_checker_test.cpp.o"
+  "CMakeFiles/test_timing_checker.dir/dram/timing_checker_test.cpp.o.d"
+  "test_timing_checker"
+  "test_timing_checker.pdb"
+  "test_timing_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
