@@ -29,11 +29,16 @@ int main(int argc, char** argv) {
                             {"MECC", EccPolicy::kMecc, 1.0},
                             {"ECC-6", EccPolicy::kEcc6, 1.0}};
 
+  // All 3 schemes x 28 benchmarks as one flat parallel sweep.
+  std::vector<bench::SuiteSpec> specs;
+  for (const auto& s : schemes) specs.push_back({s.name, s.policy, cfg});
+  const auto suites = bench::run_suites_parallel(specs, opts.jobs);
+
   double base_total = 0.0;
   TextTable t({"scheme", "active mJ", "idle mJ", "total mJ", "normalized",
                "idle share"});
   for (const auto& s : schemes) {
-    const auto runs = bench::run_suite_map(s.policy, cfg);
+    const auto& runs = suites.at(s.name);
     double active_mw = 0.0;
     double active_s = 0.0;
     for (const auto& [name, r] : runs) {

@@ -20,16 +20,28 @@ int main(int argc, char** argv) {
   std::printf("slice: %llu instructions\n",
               static_cast<unsigned long long>(cfg.instructions));
 
-  const auto base = bench::run_suite_map(EccPolicy::kNoEcc, cfg);
+  // The whole (latency x policy x benchmark) cross product — baseline
+  // plus ECC-6 and MECC at each of the 4 latencies — runs as one flat
+  // parallel sweep: 9 suites, 252 jobs.
+  const Cycle latencies[] = {15, 30, 45, 60};
+  std::vector<bench::SuiteSpec> specs{{"base", EccPolicy::kNoEcc, cfg}};
+  for (Cycle latency : latencies) {
+    cfg.ecc6_decode_cycles = latency;
+    specs.push_back(
+        {"ecc6@" + std::to_string(latency), EccPolicy::kEcc6, cfg});
+    specs.push_back(
+        {"mecc@" + std::to_string(latency), EccPolicy::kMecc, cfg});
+  }
+  const auto suites = bench::run_suites_parallel(specs, opts.jobs);
+  const auto& base = suites.at("base");
 
   TextTable t({"decode latency", "ECC-6 norm IPC", "MECC norm IPC",
                "paper ECC-6", "paper MECC"});
   const char* paper_e6[] = {"~0.95", "~0.90", "~0.86", "~0.82"};
   int row = 0;
-  for (Cycle latency : {15u, 30u, 45u, 60u}) {
-    cfg.ecc6_decode_cycles = latency;
-    const auto e6 = bench::run_suite_map(EccPolicy::kEcc6, cfg);
-    const auto mecc = bench::run_suite_map(EccPolicy::kMecc, cfg);
+  for (Cycle latency : latencies) {
+    const auto& e6 = suites.at("ecc6@" + std::to_string(latency));
+    const auto& mecc = suites.at("mecc@" + std::to_string(latency));
     std::map<std::string, double> n_e6;
     std::map<std::string, double> n_mecc;
     for (const auto& [name, r] : base) {

@@ -25,14 +25,21 @@ int main(int argc, char** argv) {
   std::printf("slice: %llu instructions (corresponds to the paper's 4B)\n",
               static_cast<unsigned long long>(full));
 
-  // Accumulate per-checkpoint cycles across the suite for each policy.
+  // 3 policies x 28 benchmarks as one flat parallel sweep, then
+  // accumulate per-checkpoint cycles across the suite for each policy.
+  const auto suites = bench::run_suites_parallel(
+      {{"base", EccPolicy::kNoEcc, cfg},
+       {"mecc", EccPolicy::kMecc, cfg},
+       {"secded", EccPolicy::kSecded, cfg}},
+      opts.jobs);
   std::vector<double> base_cycles(cfg.checkpoint_insts.size(), 0.0);
   std::vector<double> mecc_cycles(cfg.checkpoint_insts.size(), 0.0);
   std::vector<double> sec_cycles(cfg.checkpoint_insts.size(), 0.0);
   for (const auto& b : trace::all_benchmarks()) {
-    const RunResult rb = run_benchmark(b, EccPolicy::kNoEcc, cfg);
-    const RunResult rm = run_benchmark(b, EccPolicy::kMecc, cfg);
-    const RunResult rs = run_benchmark(b, EccPolicy::kSecded, cfg);
+    const std::string name(b.name);
+    const RunResult& rb = suites.at("base").at(name);
+    const RunResult& rm = suites.at("mecc").at(name);
+    const RunResult& rs = suites.at("secded").at(name);
     for (std::size_t i = 0; i < cfg.checkpoint_insts.size(); ++i) {
       base_cycles[i] += static_cast<double>(rb.checkpoints[i].cycles);
       mecc_cycles[i] += static_cast<double>(rm.checkpoints[i].cycles);

@@ -21,13 +21,19 @@ int main(int argc, char** argv) {
   bench::print_banner("Fig. 14: SMD - time with ECC-Downgrade disabled",
                       "MECC + SMD, MPKC threshold = 2, 64 ms quanta");
 
-  const auto base = bench::run_suite_map(EccPolicy::kNoEcc, cfg);
+  // Both policies x 28 benchmarks as one flat parallel sweep (the
+  // base/MECC IPC ratio needs matching per-benchmark seeds, which the
+  // suite runners derive identically for both policies).
+  const auto suites = bench::run_suites_parallel(
+      {{"base", EccPolicy::kNoEcc, cfg}, {"mecc", EccPolicy::kMecc, cfg}},
+      opts.jobs);
+  const auto& base = suites.at("base");
 
   TextTable t({"benchmark", "class", "% time disabled", "norm IPC", "bar"});
   int never_enabled = 0;
   std::map<std::string, double> n_ipc;
   for (const auto& b : trace::all_benchmarks()) {
-    const RunResult r = run_benchmark(b, EccPolicy::kMecc, cfg);
+    const RunResult& r = suites.at("mecc").at(std::string(b.name));
     if (r.frac_downgrade_disabled >= 1.0) ++never_enabled;
     n_ipc[std::string(b.name)] = r.ipc / base.at(std::string(b.name)).ipc;
     t.add_row({std::string(b.name), trace::mpki_class_name(b.klass),

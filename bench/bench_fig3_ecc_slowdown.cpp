@@ -20,9 +20,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cfg.instructions),
               4e9 / static_cast<double>(cfg.instructions));
 
-  const auto base = bench::run_suite_map(EccPolicy::kNoEcc, cfg);
-  const auto secded = bench::run_suite_map(EccPolicy::kSecded, cfg);
-  const auto ecc6 = bench::run_suite_map(EccPolicy::kEcc6, cfg);
+  // 3 policies x 28 benchmarks as one flat parallel sweep.
+  const auto suites = bench::run_suites_parallel(
+      {{"base", EccPolicy::kNoEcc, cfg},
+       {"secded", EccPolicy::kSecded, cfg},
+       {"ecc6", EccPolicy::kEcc6, cfg}},
+      opts.jobs);
+  const auto& base = suites.at("base");
+  const auto& secded = suites.at("secded");
+  const auto& ecc6 = suites.at("ecc6");
 
   std::map<std::string, double> n_secded;
   std::map<std::string, double> n_ecc6;

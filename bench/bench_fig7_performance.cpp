@@ -16,13 +16,20 @@ int main(int argc, char** argv) {
 
   bench::print_banner("Fig. 7: SECDED / ECC-6 / MECC normalized IPC",
                       "per benchmark + ALL geomean");
-  std::printf("slice: %llu instructions\n",
-              static_cast<unsigned long long>(cfg.instructions));
+  std::printf("slice: %llu instructions, %u jobs\n",
+              static_cast<unsigned long long>(cfg.instructions), opts.jobs);
 
-  const auto base = bench::run_suite_map(EccPolicy::kNoEcc, cfg);
-  const auto secded = bench::run_suite_map(EccPolicy::kSecded, cfg);
-  const auto ecc6 = bench::run_suite_map(EccPolicy::kEcc6, cfg);
-  const auto mecc = bench::run_suite_map(EccPolicy::kMecc, cfg);
+  // All 4 policies x 28 benchmarks as one flat parallel sweep.
+  auto suites = bench::run_suites_parallel(
+      {{"base", EccPolicy::kNoEcc, cfg},
+       {"secded", EccPolicy::kSecded, cfg},
+       {"ecc6", EccPolicy::kEcc6, cfg},
+       {"mecc", EccPolicy::kMecc, cfg}},
+      opts.jobs);
+  const auto& base = suites.at("base");
+  const auto& secded = suites.at("secded");
+  const auto& ecc6 = suites.at("ecc6");
+  const auto& mecc = suites.at("mecc");
 
   std::map<std::string, double> n_sec;
   std::map<std::string, double> n_e6;

@@ -18,9 +18,15 @@ int main(int argc, char** argv) {
   bench::print_banner("Fig. 9: active-mode power / energy / EDP",
                       "suite averages normalized to no-ECC baseline");
 
-  const auto base = bench::run_suite_map(EccPolicy::kNoEcc, cfg);
-  const auto ecc6 = bench::run_suite_map(EccPolicy::kEcc6, cfg);
-  const auto mecc = bench::run_suite_map(EccPolicy::kMecc, cfg);
+  // 3 policies x 28 benchmarks as one flat parallel sweep.
+  const auto suites = bench::run_suites_parallel(
+      {{"base", EccPolicy::kNoEcc, cfg},
+       {"ecc6", EccPolicy::kEcc6, cfg},
+       {"mecc", EccPolicy::kMecc, cfg}},
+      opts.jobs);
+  const auto& base = suites.at("base");
+  const auto& ecc6 = suites.at("ecc6");
+  const auto& mecc = suites.at("mecc");
 
   struct Sums {
     double power = 0, energy = 0, edp = 0;

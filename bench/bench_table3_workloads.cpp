@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   bench::print_banner("Table III: benchmark characterization",
                       "28 SPEC2006-profile workloads, no-ECC baseline");
 
-  const auto base = bench::run_suite_map(EccPolicy::kNoEcc, cfg);
+  const auto base = bench::run_suite_map(EccPolicy::kNoEcc, cfg, opts.jobs);
 
   TextTable t({"benchmark", "class", "IPC", "(paper)", "MPKI", "(paper)",
                "footprint MB"});

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verify (ROADMAP.md): configure, build and run the full test
+# suite, parallel everywhere.
+#
+#   scripts/tier1.sh           # standard RelWithDebInfo verify
+#   scripts/tier1.sh --tsan    # additionally build with -DMECC_TSAN=ON
+#                              # into build-tsan/ and run the thread-pool
+#                              # + parallel-runner tests under TSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$run_tsan" == 1 ]]; then
+  cmake -B build-tsan -S . -DMECC_TSAN=ON
+  cmake --build build-tsan -j --target test_thread_pool test_parallel_runner
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+    -R 'ThreadPool|ParallelRunner'
+fi

@@ -27,9 +27,15 @@ class Rng {
   /// Bernoulli trial with probability `p`.
   [[nodiscard]] bool chance(double p) { return next_double() < p; }
 
-  /// Geometric inter-arrival sample with mean `mean` (>= 1).
+  /// Geometric inter-arrival sample with mean `mean`. Means <= 1 (where
+  /// the success probability p = 1/mean would leave (0, 1], undefined
+  /// behavior for std::geometric_distribution) degenerate to the minimum
+  /// gap of 1 without touching the engine, so callers can sweep the mean
+  /// across 1.0 without losing reproducibility on either side.
   [[nodiscard]] std::uint64_t next_geometric(double mean) {
-    std::geometric_distribution<std::uint64_t> d(1.0 / mean);
+    if (!(mean > 1.0)) return 1;  // also catches NaN
+    const double p = 1.0 / mean;  // mean > 1 => p in (0, 1)
+    std::geometric_distribution<std::uint64_t> d(p);
     return d(engine_) + 1;
   }
 

@@ -1,33 +1,150 @@
 #include "sim/experiment.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <mutex>
 
 #include "ecc/ecc_model.h"
+#include "sim/thread_pool.h"
 
 namespace mecc::sim {
 
 RunResult run_benchmark(const trace::BenchmarkProfile& profile,
                         EccPolicy policy, SystemConfig config) {
   config.policy = policy;
+  const auto t0 = std::chrono::steady_clock::now();
   System system(profile, config);
-  return system.run();
+  RunResult r = system.run();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  r.wall_seconds = elapsed.count();
+  r.wall_mips = r.wall_seconds > 0.0
+                    ? static_cast<double>(r.instructions) /
+                          (r.wall_seconds * 1e6)
+                    : 0.0;
+  return r;
+}
+
+ProgressFn stderr_progress() {
+  return [](const RunResult& r, std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "[%zu/%zu] %s/%s done in %.1fs\n", done, total,
+                 policy_name(r.policy).c_str(), r.benchmark.c_str(),
+                 r.wall_seconds);
+  };
+}
+
+std::vector<RunResult> run_jobs(const std::vector<SuiteJob>& jobs,
+                                unsigned n_threads,
+                                const ProgressFn& progress) {
+  std::vector<RunResult> results(jobs.size());
+  if (n_threads == 0) n_threads = ThreadPool::default_thread_count();
+
+  if (n_threads <= 1 || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] =
+          run_benchmark(*jobs[i].profile, jobs[i].policy, jobs[i].config);
+      if (progress) progress(results[i], i + 1, jobs.size());
+    }
+    return results;
+  }
+
+  // Each task writes only results[i]; the mutex guards nothing but the
+  // progress counter/callback, so the simulated output cannot depend on
+  // scheduling.
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+  ThreadPool pool(n_threads > jobs.size()
+                      ? static_cast<unsigned>(jobs.size())
+                      : n_threads);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool.submit([&, i] {
+      results[i] =
+          run_benchmark(*jobs[i].profile, jobs[i].policy, jobs[i].config);
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        ++completed;
+        progress(results[i], completed, jobs.size());
+      }
+    });
+  }
+  pool.wait_idle();
+  return results;
 }
 
 std::vector<RunResult> run_suite(EccPolicy policy,
                                  const SystemConfig& config) {
   std::vector<RunResult> results;
   results.reserve(trace::all_benchmarks().size());
+  std::size_t index = 0;
   for (const auto& b : trace::all_benchmarks()) {
-    results.push_back(run_benchmark(b, policy, config));
+    SystemConfig per_run = config;
+    per_run.seed = suite_seed(config.seed, index++);
+    results.push_back(run_benchmark(b, policy, per_run));
   }
   return results;
 }
 
+std::vector<RunResult> run_suite_parallel(EccPolicy policy,
+                                          const SystemConfig& config,
+                                          unsigned n_threads,
+                                          const ProgressFn& progress) {
+  const auto benchmarks = trace::all_benchmarks();
+  std::vector<SuiteJob> jobs(benchmarks.size());
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    jobs[i].profile = &benchmarks[i];
+    jobs[i].policy = policy;
+    jobs[i].config = config;
+    jobs[i].config.seed = suite_seed(config.seed, i);
+  }
+  return run_jobs(jobs, n_threads, progress);
+}
+
+bool same_simulated_result(const RunResult& a, const RunResult& b) {
+  if (a.benchmark != b.benchmark || a.policy != b.policy) return false;
+  if (a.instructions != b.instructions || a.cpu_cycles != b.cpu_cycles)
+    return false;
+  if (a.ipc != b.ipc || a.seconds != b.seconds ||
+      a.measured_mpki != b.measured_mpki)
+    return false;
+  if (a.reads != b.reads || a.writes != b.writes ||
+      a.strong_decodes != b.strong_decodes ||
+      a.weak_decodes != b.weak_decodes || a.downgrades != b.downgrades)
+    return false;
+  if (a.energy.background_mj != b.energy.background_mj ||
+      a.energy.activate_mj != b.energy.activate_mj ||
+      a.energy.read_mj != b.energy.read_mj ||
+      a.energy.write_mj != b.energy.write_mj ||
+      a.energy.refresh_mj != b.energy.refresh_mj ||
+      a.energy.ecc_mj != b.energy.ecc_mj ||
+      a.energy.seconds != b.energy.seconds)
+    return false;
+  if (a.avg_power_mw != b.avg_power_mw || a.edp_mj_s != b.edp_mj_s)
+    return false;
+  if (a.mdt_marked_regions != b.mdt_marked_regions ||
+      a.mdt_tracked_bytes != b.mdt_tracked_bytes ||
+      a.frac_downgrade_disabled != b.frac_downgrade_disabled)
+    return false;
+  if (a.checkpoints.size() != b.checkpoints.size()) return false;
+  for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+    if (a.checkpoints[i].instructions != b.checkpoints[i].instructions ||
+        a.checkpoints[i].cycles != b.checkpoints[i].cycles)
+      return false;
+  }
+  return a.stats.counters() == b.stats.counters() &&
+         a.stats.gauges() == b.stats.gauges();
+}
+
 double geomean(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
   double log_sum = 0.0;
-  for (double v : values) log_sum += std::log(v);
-  return std::exp(log_sum / static_cast<double>(values.size()));
+  std::size_t n = 0;
+  for (double v : values) {
+    if (v <= 0.0) continue;  // no information on a log scale; skip
+    log_sum += std::log(v);
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
 }
 
 double mean(const std::vector<double>& values) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -14,16 +15,78 @@
 namespace mecc::sim {
 
 /// Runs one benchmark under one policy with the given base config
-/// (policy/seed fields are overwritten per call).
+/// (the policy field is overwritten per call; the seed is used as-is).
+/// Also stamps the host-side wall_seconds / wall_mips observability
+/// fields of the result.
 [[nodiscard]] RunResult run_benchmark(const trace::BenchmarkProfile& profile,
                                       EccPolicy policy,
                                       SystemConfig config);
 
-/// Runs the whole 28-benchmark suite under one policy.
+// ---- suite runners (serial and parallel) ----
+//
+// Both runners seed every run deterministically from the *suite* seed:
+// benchmark i runs with config.seed replaced by
+// suite_seed(config.seed, i). Each System owns all of its mutable state
+// (its GeneratorSource's Rng included — there is no global RNG or shared
+// mutable static anywhere on the simulation path), so runs are fully
+// independent and the parallel runner is bit-identical to the serial one
+// for every simulated field regardless of thread count or scheduling.
+// Results always come back in canonical trace::all_benchmarks() order.
+
+/// Per-run seed derivation shared by run_suite and run_suite_parallel:
+/// gives every benchmark of a suite its own deterministic RNG stream.
+[[nodiscard]] constexpr std::uint64_t suite_seed(std::uint64_t base_seed,
+                                                 std::size_t benchmark_index) {
+  return base_seed + static_cast<std::uint64_t>(benchmark_index);
+}
+
+/// Invoked (under a lock, in completion order) as parallel runs finish:
+/// (result, completed_so_far, total).
+using ProgressFn =
+    std::function<void(const RunResult&, std::size_t, std::size_t)>;
+
+/// A stderr progress printer: "[12/28] ECC-6/mcf done in 3.1s".
+[[nodiscard]] ProgressFn stderr_progress();
+
+/// One unit of parallel work: one benchmark under one policy/config.
+/// The config's seed is used as-is (callers building suite jobs apply
+/// suite_seed themselves).
+struct SuiteJob {
+  const trace::BenchmarkProfile* profile = nullptr;
+  EccPolicy policy = EccPolicy::kNoEcc;
+  SystemConfig config;
+};
+
+/// Runs an arbitrary job list (e.g. a policy x latency x benchmark cross
+/// product) on `n_threads` workers; results come back indexed exactly
+/// like `jobs`. n_threads == 0 means ThreadPool::default_thread_count();
+/// n_threads == 1 runs inline on the calling thread.
+[[nodiscard]] std::vector<RunResult> run_jobs(const std::vector<SuiteJob>& jobs,
+                                              unsigned n_threads,
+                                              const ProgressFn& progress = {});
+
+/// Runs the whole 28-benchmark suite under one policy, serially.
 [[nodiscard]] std::vector<RunResult> run_suite(EccPolicy policy,
                                                const SystemConfig& config);
 
-/// Geometric mean (for normalized-IPC "ALL" bars; values must be > 0).
+/// Parallel run_suite: shards the 28 benchmarks across `n_threads`
+/// workers (0 = hardware concurrency, 1 = serial) and returns exactly
+/// run_suite(policy, config) — see the determinism note above.
+[[nodiscard]] std::vector<RunResult> run_suite_parallel(
+    EccPolicy policy, const SystemConfig& config, unsigned n_threads,
+    const ProgressFn& progress = {});
+
+/// True when every *simulated* field of the two results is bit-identical
+/// (counters, IPC, energy, checkpoints, merged stats). Host-side
+/// observability (wall_seconds / wall_mips) is deliberately excluded —
+/// it differs run to run by construction.
+[[nodiscard]] bool same_simulated_result(const RunResult& a,
+                                         const RunResult& b);
+
+/// Geometric mean (for normalized-IPC "ALL" bars). Non-positive values
+/// carry no information on a log scale and would poison the whole bar
+/// with NaN/-inf (normalized() legitimately returns 0 for a zero base),
+/// so they are skipped; all-non-positive input yields 0.
 [[nodiscard]] double geomean(const std::vector<double>& values);
 /// Arithmetic mean.
 [[nodiscard]] double mean(const std::vector<double>& values);

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "sim/thread_pool.h"
+
 namespace mecc::sim {
 
 namespace {
@@ -22,6 +24,7 @@ SimOptions parse_options(int argc, char** argv,
                          InstCount default_instructions) {
   SimOptions opts;
   opts.instructions = default_instructions;
+  opts.jobs = ThreadPool::default_thread_count();
 
   if (const char* env = std::getenv("MECC_INSTRUCTIONS")) {
     std::uint64_t v = 0;
@@ -31,10 +34,15 @@ SimOptions parse_options(int argc, char** argv,
     std::uint64_t v = 0;
     if (parse_u64(env, v)) opts.seed = v;
   }
+  if (const char* env = std::getenv("MECC_JOBS")) {
+    std::uint64_t v = 0;
+    if (parse_u64(env, v) && v > 0) opts.jobs = static_cast<unsigned>(v);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string inst_prefix = "--instructions=";
     const std::string seed_prefix = "--seed=";
+    const std::string jobs_prefix = "--jobs=";
     std::uint64_t v = 0;
     if (arg.rfind(inst_prefix, 0) == 0 &&
         parse_u64(arg.substr(inst_prefix.size()), v) && v > 0) {
@@ -42,6 +50,9 @@ SimOptions parse_options(int argc, char** argv,
     } else if (arg.rfind(seed_prefix, 0) == 0 &&
                parse_u64(arg.substr(seed_prefix.size()), v)) {
       opts.seed = v;
+    } else if (arg.rfind(jobs_prefix, 0) == 0 &&
+               parse_u64(arg.substr(jobs_prefix.size()), v) && v > 0) {
+      opts.jobs = static_cast<unsigned>(v);
     }
   }
   return opts;

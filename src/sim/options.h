@@ -4,7 +4,10 @@
 //
 //   --instructions=N   instructions per active period (default per binary)
 //   --seed=N           RNG seed
-//   MECC_INSTRUCTIONS / MECC_SEED environment variables as fallbacks.
+//   --jobs=N           worker threads for suite sweeps (default: hardware
+//                      concurrency; 1 = serial, the pre-parallel behavior)
+//   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS environment variables as
+//   fallbacks.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +19,9 @@ namespace mecc::sim {
 struct SimOptions {
   InstCount instructions = 20'000'000;
   std::uint64_t seed = 1;
+  // Worker threads for run_suite_parallel / run_jobs. parse_options
+  // resolves this to >= 1 (hardware concurrency unless overridden).
+  unsigned jobs = 0;
 };
 
 /// Parses argv/env; unknown arguments are ignored (benches accept the

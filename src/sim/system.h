@@ -125,6 +125,13 @@ struct RunResult {
 
   std::vector<Checkpoint> checkpoints;
   StatSet stats;  // merged controller + engine counters
+
+  // Host-side observability, stamped by sim::run_benchmark: wall-clock
+  // time of the run and retired-instruction throughput (million retired
+  // instructions per wall second). NOT part of the simulated output —
+  // excluded from sim::same_simulated_result and different run to run.
+  double wall_seconds = 0.0;
+  double wall_mips = 0.0;
 };
 
 class System {

@@ -1,0 +1,99 @@
+// Minimal fixed-size worker pool (std::thread + work queue) backing the
+// parallel experiment runner. Deliberately tiny: no futures, no task
+// priorities, no dynamic resizing — submit() enqueues a closure, the
+// workers drain the queue, wait_idle() blocks until everything submitted
+// so far has finished. Determinism is the caller's job: tasks must write
+// disjoint state (e.g. results[i] per task) and derive any randomness
+// from per-task seeds, never from shared RNG state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mecc::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned n_threads) {
+    if (n_threads == 0) n_threads = 1;
+    workers_.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool() {
+    wait_idle();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Never blocks (unbounded queue).
+  void submit(std::function<void()> task) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push(std::move(task));
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// hardware_concurrency with a floor of 1 (the standard allows 0).
+  [[nodiscard]] static unsigned default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ with a drained queue
+        task = std::move(queue_.front());
+        queue_.pop();
+        ++in_flight_;
+      }
+      task();
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --in_flight_;
+        if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: "there may be work"
+  std::condition_variable idle_cv_;  // wait_idle: "everything finished"
+  std::queue<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mecc::sim

@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace mecc {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_below(1'000'000), b.next_below(1'000'000));
+  }
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(13), 13u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextGeometricIsAtLeastOne) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.next_geometric(5.0), 1u);
+  }
+}
+
+// Regression: mean < 1 used to produce p = 1/mean > 1, undefined
+// behavior for std::geometric_distribution. Means <= 1 (and NaN) must
+// degenerate to the minimum gap of 1.
+TEST(Rng, NextGeometricBoundaryMeans) {
+  Rng rng(11);
+  EXPECT_EQ(rng.next_geometric(0.25), 1u);
+  EXPECT_EQ(rng.next_geometric(0.999), 1u);
+  EXPECT_EQ(rng.next_geometric(1.0), 1u);
+  EXPECT_EQ(rng.next_geometric(0.0), 1u);
+  EXPECT_EQ(rng.next_geometric(-3.0), 1u);
+  EXPECT_EQ(rng.next_geometric(std::numeric_limits<double>::quiet_NaN()),
+            1u);
+}
+
+// Degenerate means must not advance the engine, so a sweep crossing 1.0
+// stays reproducible on the > 1 side.
+TEST(Rng, DegenerateMeanDoesNotPerturbStream) {
+  Rng with_degenerate(5);
+  Rng without(5);
+  (void)with_degenerate.next_geometric(0.5);  // no engine draw
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(with_degenerate.next_geometric(20.0),
+              without.next_geometric(20.0));
+  }
+}
+
+TEST(Rng, GeometricMeanRoughlyMatches) {
+  Rng rng(1);
+  const double mean = 50.0;
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.next_geometric(mean));
+  }
+  // X ~ Geometric(1/mean) has E[X] = mean - 1; we return X + 1.
+  EXPECT_NEAR(sum / n, mean, mean * 0.1);
+}
+
+}  // namespace
+}  // namespace mecc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace mecc::sim {
 namespace {
 
@@ -9,6 +11,17 @@ TEST(Geomean, KnownValues) {
   EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
   EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-12);
   EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+// Regression: log(0) = -inf / log(<0) = NaN used to poison the whole
+// "ALL/class" bar when normalized() fed a 0 through (zero base).
+TEST(Geomean, SkipsNonPositiveValues) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 0.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geomean({4.0, -3.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({0.0, -1.0}), 0.0);
+  EXPECT_FALSE(std::isnan(geomean({normalized(5.0, 0.0), 2.0})));
+  EXPECT_DOUBLE_EQ(geomean({normalized(5.0, 0.0), 2.0}), 2.0);
 }
 
 TEST(Mean, KnownValues) {

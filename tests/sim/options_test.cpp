@@ -18,10 +18,12 @@ class OptionsTest : public ::testing::Test {
   void SetUp() override {
     unsetenv("MECC_INSTRUCTIONS");
     unsetenv("MECC_SEED");
+    unsetenv("MECC_JOBS");
   }
   void TearDown() override {
     unsetenv("MECC_INSTRUCTIONS");
     unsetenv("MECC_SEED");
+    unsetenv("MECC_JOBS");
   }
 };
 
@@ -65,6 +67,36 @@ TEST_F(OptionsTest, ZeroInstructionsRejected) {
 TEST_F(OptionsTest, UnknownFlagsIgnored) {
   const SimOptions o = parse({"--benchmark_filter=foo", "-v"}, 99);
   EXPECT_EQ(o.instructions, 99u);
+}
+
+TEST_F(OptionsTest, JobsDefaultsToHardwareConcurrency) {
+  const SimOptions o = parse({});
+  EXPECT_GE(o.jobs, 1u);  // hardware_concurrency, floored at 1
+}
+
+TEST_F(OptionsTest, JobsArgvOverride) {
+  const SimOptions o = parse({"--jobs=3"});
+  EXPECT_EQ(o.jobs, 3u);
+}
+
+TEST_F(OptionsTest, JobsEnvOverride) {
+  setenv("MECC_JOBS", "5", 1);
+  const SimOptions o = parse({});
+  EXPECT_EQ(o.jobs, 5u);
+}
+
+TEST_F(OptionsTest, JobsArgvBeatsEnv) {
+  setenv("MECC_JOBS", "5", 1);
+  const SimOptions o = parse({"--jobs=2"});
+  EXPECT_EQ(o.jobs, 2u);
+}
+
+TEST_F(OptionsTest, JobsZeroAndMalformedRejected) {
+  const SimOptions a = parse({"--jobs=0"});
+  EXPECT_GE(a.jobs, 1u);
+  setenv("MECC_JOBS", "junk", 1);
+  const SimOptions b = parse({});
+  EXPECT_GE(b.jobs, 1u);
 }
 
 }  // namespace

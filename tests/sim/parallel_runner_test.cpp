@@ -1,0 +1,133 @@
+// Determinism guarantees of the parallel suite runner: sharding the
+// 28-benchmark sweep across N workers must be invisible in the simulated
+// output (see the seeding/independence note in sim/experiment.h).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace mecc::sim {
+namespace {
+
+[[nodiscard]] SystemConfig tiny_config() {
+  SystemConfig c;
+  c.instructions = 50'000;  // keep the 28x-per-policy sweeps fast
+  c.seed = 7;
+  return c;
+}
+
+void expect_same_results(const std::vector<RunResult>& a,
+                         const std::vector<RunResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(same_simulated_result(a[i], b[i]))
+        << a[i].benchmark << " differs between runs";
+    // Spot-check the headline fields bitwise too, so a bug in
+    // same_simulated_result cannot silently pass the suite comparison.
+    EXPECT_EQ(a[i].benchmark, b[i].benchmark);
+    EXPECT_EQ(a[i].cpu_cycles, b[i].cpu_cycles);
+    EXPECT_EQ(a[i].ipc, b[i].ipc);
+    EXPECT_EQ(a[i].energy.total_mj(), b[i].energy.total_mj());
+    EXPECT_EQ(a[i].stats.counters(), b[i].stats.counters());
+  }
+}
+
+TEST(ParallelRunner, BitIdenticalToSerialForBaseline) {
+  const SystemConfig cfg = tiny_config();
+  expect_same_results(run_suite(EccPolicy::kNoEcc, cfg),
+                      run_suite_parallel(EccPolicy::kNoEcc, cfg, 8));
+}
+
+TEST(ParallelRunner, BitIdenticalToSerialForMecc) {
+  const SystemConfig cfg = tiny_config();
+  expect_same_results(run_suite(EccPolicy::kMecc, cfg),
+                      run_suite_parallel(EccPolicy::kMecc, cfg, 8));
+}
+
+TEST(ParallelRunner, TwoParallelRunsWithSameSeedAgree) {
+  const SystemConfig cfg = tiny_config();
+  expect_same_results(run_suite_parallel(EccPolicy::kEcc6, cfg, 8),
+                      run_suite_parallel(EccPolicy::kEcc6, cfg, 3));
+}
+
+TEST(ParallelRunner, ResultsComeBackInCanonicalOrder) {
+  const SystemConfig cfg = tiny_config();
+  const auto results = run_suite_parallel(EccPolicy::kNoEcc, cfg, 8);
+  const auto benchmarks = trace::all_benchmarks();
+  ASSERT_EQ(results.size(), benchmarks.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].benchmark, std::string(benchmarks[i].name));
+  }
+}
+
+TEST(ParallelRunner, DifferentSeedsChangeTheOutput) {
+  SystemConfig cfg = tiny_config();
+  const auto a = run_suite_parallel(EccPolicy::kNoEcc, cfg, 4);
+  cfg.seed = 12345;
+  const auto b = run_suite_parallel(EccPolicy::kNoEcc, cfg, 4);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!same_simulated_result(a[i], b[i])) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ParallelRunner, RunJobsPreservesJobOrderAcrossPolicies) {
+  const SystemConfig cfg = tiny_config();
+  const auto benchmarks = trace::all_benchmarks();
+  // A small cross product: 2 policies x first 6 benchmarks.
+  std::vector<SuiteJob> jobs;
+  for (EccPolicy p : {EccPolicy::kNoEcc, EccPolicy::kSecded}) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      SuiteJob j;
+      j.profile = &benchmarks[i];
+      j.policy = p;
+      j.config = cfg;
+      j.config.seed = suite_seed(cfg.seed, i);
+      jobs.push_back(j);
+    }
+  }
+  const auto par = run_jobs(jobs, 8);
+  const auto ser = run_jobs(jobs, 1);
+  ASSERT_EQ(par.size(), jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    EXPECT_EQ(par[k].benchmark, std::string(jobs[k].profile->name));
+    EXPECT_EQ(par[k].policy, jobs[k].policy);
+    EXPECT_TRUE(same_simulated_result(par[k], ser[k]));
+  }
+}
+
+TEST(ParallelRunner, ProgressReportsEveryCompletion) {
+  const SystemConfig cfg = tiny_config();
+  std::mutex mu;
+  std::size_t calls = 0;
+  std::size_t max_total = 0;
+  const auto results = run_suite_parallel(
+      EccPolicy::kNoEcc, cfg, 4,
+      [&](const RunResult& r, std::size_t done, std::size_t total) {
+        // The runner already serializes progress callbacks; the lock
+        // here just keeps the test's own bookkeeping well-defined.
+        const std::lock_guard<std::mutex> lock(mu);
+        ++calls;
+        EXPECT_EQ(done, calls);
+        EXPECT_GT(r.wall_seconds, 0.0);
+        max_total = total;
+      });
+  EXPECT_EQ(calls, results.size());
+  EXPECT_EQ(max_total, results.size());
+}
+
+TEST(ParallelRunner, WallClockFieldsAreStamped) {
+  const SystemConfig cfg = tiny_config();
+  for (const auto& r : run_suite_parallel(EccPolicy::kNoEcc, cfg, 4)) {
+    EXPECT_GT(r.wall_seconds, 0.0) << r.benchmark;
+    EXPECT_GT(r.wall_mips, 0.0) << r.benchmark;
+  }
+}
+
+}  // namespace
+}  // namespace mecc::sim

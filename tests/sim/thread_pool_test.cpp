@@ -1,0 +1,94 @@
+#include "sim/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace mecc::sim {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  constexpr int kTasks = 500;
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(8);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), kTasks);
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, DisjointSlotWritesNeedNoLocking) {
+  // The runner's usage pattern: task i writes only results[i].
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::uint64_t> results(kTasks, 0);
+  ThreadPool pool(4);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    pool.submit([&results, i] { results[i] = i * i; });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  std::atomic<int> done{0};
+  ThreadPool pool(3);
+  pool.wait_idle();  // idle pool: returns immediately
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, ZeroThreadRequestClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, TasksCanSubmitFromWorkerThreads) {
+  std::atomic<int> done{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&pool, &done] {
+      done.fetch_add(1, std::memory_order_relaxed);
+      pool.submit(
+          [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 40);
+}
+
+}  // namespace
+}  // namespace mecc::sim
