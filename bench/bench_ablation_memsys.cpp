@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace mecc::sim;
 
   const SimOptions opts = parse_options(argc, argv, 5'000'000);
+  bench::BenchOutput out("ablation_memsys", opts);
 
   // Two representative workloads: latency-sensitive high-MPKI and
   // power-down-friendly low-MPKI.
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
         t.add_row({std::to_string(banks), name, TextTable::num(r.ipc),
                    TextTable::num(hits / (hits + misses), 2),
                    TextTable::num(r.avg_power_mw, 1)});
+        out.add_run("banks" + std::to_string(banks) + "." + name, r);
       }
     }
     t.print("Bank count sweep (Table II default: 4)");
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
         t.add_row({std::to_string(thr), name, TextTable::num(r.ipc),
                    std::to_string(r.stats.counter("memctrl.pd_entries")),
                    TextTable::num(r.avg_power_mw, 1)});
+        out.add_run("pdthr" + std::to_string(thr) + "." + name, r);
       }
     }
     t.print("Power-down threshold sweep (default: 4, 'aggressive')");
@@ -79,9 +82,12 @@ int main(int argc, char** argv) {
         t.add_row({std::to_string(m.high) + "/" + std::to_string(m.low),
                    name, TextTable::num(r.ipc),
                    TextTable::num(r.avg_power_mw, 1)});
+        out.add_run("drain" + std::to_string(m.high) + "_" +
+                        std::to_string(m.low) + "." + name,
+                    r);
       }
     }
     t.print("Write-drain hysteresis sweep (default: 24/8)");
   }
-  return 0;
+  return out.write();
 }

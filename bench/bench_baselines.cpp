@@ -17,9 +17,12 @@
 #include "mecc/memory_image.h"
 #include "reliability/retention_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mecc;
   using namespace mecc::baselines;
+
+  const sim::SimOptions opts = sim::parse_options(argc, argv, 0);
+  bench::BenchOutput out("baselines", opts);
 
   bench::print_banner("Related-work comparison: MECC vs RAIDR vs Flikker",
                       "refresh reduction in idle mode + VRT robustness");
@@ -43,6 +46,9 @@ int main() {
   t.add_row({"MECC (idle)", "ECC-6 + 1 s self-refresh", "15.6x", "no",
              "yes"});
   t.print("Idle-mode refresh reduction");
+  out.add_scalar("flikker_refresh_reduction",
+                 1.0 / flikker_effective_refresh_rate(0.25, 16.0));
+  out.add_scalar("raidr_refresh_reduction", profile.refresh_reduction(rc));
 
   std::printf("\nRAIDR bin occupancy (64 ms / 256 ms / 1 s): "
               "%llu / %llu / %llu rows\n",
@@ -79,10 +85,12 @@ int main() {
   reliability::FaultInjector fi(4);
   (void)img.inject_retention_errors(3.16e-5, fi);  // idle period at 1 s
   img.flip_stored_bit(7, 123);  // the VRT cell: one extra surprise bit
-  const auto out = img.read_line(7, true);
+  const auto decoded = img.read_line(7, true);
+  const bool vrt_intact = decoded.has_value() && *decoded == data;
   std::printf("\nBit-level check: strong line with idle-period errors + a"
               " VRT surprise decodes %s.\n",
-              (out.has_value() && *out == data) ? "intact" : "CORRUPTED");
+              vrt_intact ? "intact" : "CORRUPTED");
+  out.add_scalar("vrt_line_intact", vrt_intact ? 1.0 : 0.0);
 
   // Hi-ECC (S VII-C): coarse-granularity strong ECC trades storage for
   // overfetch and read-modify-write traffic.
@@ -104,5 +112,5 @@ int main() {
               " 1 KB blocks save parity but move 16-32x the data per"
               " access, and its line-disable trick would punch holes in"
               " main memory.\n");
-  return 0;
+  return out.write();
 }

@@ -11,9 +11,12 @@
 #include "bench_util.h"
 #include "power/power_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mecc;
   using namespace mecc::sim;
+
+  const SimOptions opts = parse_options(argc, argv, 0);
+  bench::BenchOutput out("breakeven", opts);
 
   bench::print_banner("Extension: idle-duration break-even for MECC",
                       "ECC-Upgrade energy vs slow-refresh savings");
@@ -31,17 +34,21 @@ int main() {
                TextTable::num(b.upgrade_energy_mj, 1),
                TextTable::num(b.upgrade_seconds * 1e3, 0),
                TextTable::num(b.break_even_seconds, 0) + " s"});
+    out.add_scalar("break_even_s_at_" +
+                       std::to_string(static_cast<int>(mb)) + "mb",
+                   b.break_even_seconds);
   }
   t.print("Break-even idle duration by upgraded footprint");
 
   const BreakEven avg = mecc_break_even(pm, 128ull << 14);  // 128 MB
   std::printf("\nIdle power saving while asleep: %.2f mW\n",
               avg.idle_saving_mw);
+  out.add_scalar("idle_saving_mw", avg.idle_saving_mw);
   std::printf("\nReading: with MDT bounding the walk to the ~128 MB average"
               " footprint, MECC wins for idle periods longer than ~a"
               " minute - comfortably inside the paper's 'idle periods are"
               " several minutes' regime (S III). Without MDT, the full-"
               "memory walk also costs 8x the energy, stretching the"
               " break-even correspondingly (S VI-A's energy argument).\n");
-  return 0;
+  return out.write();
 }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
 
   const SimOptions opts = parse_options(argc, argv, 20'000'000);
   const SystemConfig cfg = bench::scaled_config(opts);
+  bench::BenchOutput out("fig10_total_energy", opts);
 
   bench::print_banner("Fig. 10: total energy (95% idle usage mix)",
                       "active + idle energy, normalized to baseline");
@@ -55,10 +56,14 @@ int main(int argc, char** argv) {
                TextTable::num(mix.total_mj(), 3),
                TextTable::num(mix.total_mj() / base_total),
                TextTable::pct(mix.idle_mj() / mix.total_mj(), 0)});
+    out.add_suite(s.name, runs);
+    out.add_scalar(std::string(s.name) + "_total_mj", mix.total_mj());
+    out.add_scalar(std::string(s.name) + "_norm_total",
+                   mix.total_mj() / base_total);
   }
   t.print("Total memory energy, average workload, 95% idle time");
 
   std::printf("\nPaper: idle ~1/3 of baseline energy; MECC reduces total"
               " memory energy by ~15%%.\n");
-  return 0;
+  return out.write();
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
 
   const sim::SimOptions opts =
       sim::parse_options(argc, argv, /*accesses default stands in*/ 400'000);
+  bench::BenchOutput out("fig11_mdt", opts);
 
   bench::print_banner("Fig. 11: memory tracked by MDT (1K regions)",
                       "full footprints, functional MDT pass");
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
     const double tracked_mb =
         static_cast<double>(mdt.tracked_bytes()) / (1 << 20);
     total_tracked += tracked_mb;
+    out.add_scalar(std::string(b.name) + "_tracked_mb", tracked_mb);
     t.add_row({std::string(b.name), TextTable::num(b.footprint_mb, 1),
                TextTable::num(tracked_mb, 1),
                std::to_string(mdt.marked_regions()),
@@ -52,5 +54,7 @@ int main(int argc, char** argv) {
   std::printf("\nAverage tracked: %.1f MB of 1024 MB -> %.1fx upgrade-work"
               " reduction (paper: ~128 MB, ~8x)\n",
               avg, 1024.0 / avg);
-  return 0;
+
+  out.add_scalar("avg_tracked_mb", avg);
+  return out.write();
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   SystemConfig cfg = bench::scaled_config(opts);
   cfg.mecc_use_smd = true;
   cfg.smd_mpkc_threshold = 2.0;
+  bench::BenchOutput out("fig14_smd", opts);
 
   bench::print_banner("Fig. 14: SMD - time with ECC-Downgrade disabled",
                       "MECC + SMD, MPKC threshold = 2, 64 ms quanta");
@@ -51,5 +52,11 @@ int main(int argc, char** argv) {
               " (paper: within 2%%)\n",
               TextTable::pct(bench::summarize_by_class(n_ipc).all - 1.0)
                   .c_str());
-  return 0;
+
+  out.add_suite("base", base);
+  out.add_suite("mecc", suites.at("mecc"));
+  out.add_scalar("never_enabled_benchmarks",
+                 static_cast<double>(never_enabled));
+  out.add_scalar("smd_norm_ipc_all", bench::summarize_by_class(n_ipc).all);
+  return out.write();
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
 
   const SimOptions opts = parse_options(argc, argv, 5'000'000);
   const SystemConfig cfg = bench::scaled_config(opts);
+  bench::BenchOutput out("fig1_usage_pattern", opts);
 
   bench::print_banner("Fig. 1: bursty usage and memory power breakdown",
                       "active bursts vs long idle periods");
@@ -67,5 +68,12 @@ int main(int argc, char** argv) {
   }
   day.print("Two-hour usage window (95% idle)");
   std::printf("\nTotal memory energy over the window: %.0f mJ\n", total_mj);
-  return 0;
+
+  out.add_run("active", active);
+  out.add_scalar("active_power_mw", active.avg_power_mw);
+  out.add_scalar("idle_power_mw", idle.total_mw());
+  out.add_scalar("active_idle_power_ratio",
+                 active.avg_power_mw / idle.total_mw());
+  out.add_scalar("window_total_mj", total_mj);
+  return out.write();
 }

@@ -7,9 +7,12 @@
 #include "bench_util.h"
 #include "reliability/retention_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mecc;
   using namespace mecc::reliability;
+
+  const sim::SimOptions opts = sim::parse_options(argc, argv, 0);
+  bench::BenchOutput out("fig2_retention", opts);
 
   bench::print_banner("Fig. 2: DRAM retention-time distribution",
                       "bit failure probability vs retention time (log-log)");
@@ -35,5 +38,10 @@ int main() {
               bits_1gb * model.bit_failure_probability(1.0));
   std::printf("  Expected failing bits/1GB: %.0f  (paper: ~256K)\n",
               8.0 * bits_1gb * model.bit_failure_probability(1.0));
-  return 0;
+
+  out.add_scalar("ber_64ms", model.bit_failure_probability(0.064));
+  out.add_scalar("ber_1s", model.bit_failure_probability(1.0));
+  out.add_scalar("failing_bits_per_gb",
+                 8.0 * bits_1gb * model.bit_failure_probability(1.0));
+  return out.write();
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
 
   const SimOptions opts = parse_options(argc, argv, 20'000'000);
   const SystemConfig cfg = bench::scaled_config(opts);
+  bench::BenchOutput out("fig3_ecc_slowdown", opts);
 
   bench::print_banner("Fig. 3: performance impact of ECC decode latency",
                       "normalized IPC by MPKI class, SECDED vs ECC-6");
@@ -64,5 +65,12 @@ int main(int argc, char** argv) {
   }
   std::printf("ECC-6  worst slowdown  : %s (%s)\n",
               TextTable::pct(worst - 1.0).c_str(), worst_name.c_str());
-  return 0;
+
+  out.add_suite("base", base);
+  out.add_suite("secded", secded);
+  out.add_suite("ecc6", ecc6);
+  out.add_scalar("secded_norm_ipc_all", s_sec.all);
+  out.add_scalar("ecc6_norm_ipc_all", s_e6.all);
+  out.add_scalar("ecc6_norm_ipc_worst", worst);
+  return out.write();
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
 
   const SimOptions opts = parse_options(argc, argv, 20'000'000);
   const SystemConfig cfg = bench::scaled_config(opts);
+  bench::BenchOutput out("fig7_performance", opts);
 
   bench::print_banner("Fig. 7: SECDED / ECC-6 / MECC normalized IPC",
                       "per benchmark + ALL geomean");
@@ -62,5 +63,13 @@ int main(int argc, char** argv) {
               TextTable::pct(s_mecc.all - 1.0).c_str());
   std::printf("MECC within %s of SECDED (paper: within 1%%)\n",
               TextTable::pct(s_mecc.all / s_sec.all - 1.0).c_str());
-  return 0;
+
+  out.add_suite("base", base);
+  out.add_suite("secded", secded);
+  out.add_suite("ecc6", ecc6);
+  out.add_suite("mecc", mecc);
+  out.add_scalar("secded_norm_ipc_all", s_sec.all);
+  out.add_scalar("ecc6_norm_ipc_all", s_e6.all);
+  out.add_scalar("mecc_norm_ipc_all", s_mecc.all);
+  return out.write();
 }

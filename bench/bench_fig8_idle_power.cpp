@@ -9,9 +9,12 @@
 #include "bench_util.h"
 #include "power/power_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mecc;
   using namespace mecc::sim;
+
+  const SimOptions opts = parse_options(argc, argv, 0);
+  bench::BenchOutput out("fig8_idle_power", opts);
 
   bench::print_banner("Fig. 8: idle-mode refresh and total power",
                       "self-refresh at 64 ms vs 1 s");
@@ -48,5 +51,14 @@ int main() {
               baseline.refresh_ops_per_s / reports[1].refresh_ops_per_s);
   std::printf("Idle power reduced %s, i.e. %.2fx (paper: ~43%%, ~2X)\n",
               TextTable::pct(-reduction).c_str(), 1.0 / (1.0 - reduction));
-  return 0;
+
+  for (const auto& r : reports) {
+    const std::string tag(r.scheme);
+    out.add_scalar(tag + "_refresh_mw", r.power.refresh_mw);
+    out.add_scalar(tag + "_background_mw", r.power.background_mw);
+    out.add_scalar(tag + "_total_mw", r.power.total_mw());
+    out.add_scalar(tag + "_refresh_ops_per_s", r.refresh_ops_per_s);
+  }
+  out.add_scalar("idle_power_reduction", reduction);
+  return out.write();
 }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
 
   const SimOptions opts = parse_options(argc, argv, 20'000'000);
   const SystemConfig cfg = bench::scaled_config(opts);
+  bench::BenchOutput out("fig9_active_energy", opts);
 
   bench::print_banner("Fig. 9: active-mode power / energy / EDP",
                       "suite averages normalized to no-ECC baseline");
@@ -64,5 +65,15 @@ int main(int argc, char** argv) {
               TextTable::pct(s_mecc.power - 1.0).c_str());
   std::printf("ECC-6 EDP penalty: %s (paper: ~10%%)\n",
               TextTable::pct(s_e6.edp - 1.0).c_str());
-  return 0;
+
+  out.add_suite("base", base);
+  out.add_suite("ecc6", ecc6);
+  out.add_suite("mecc", mecc);
+  out.add_scalar("ecc6_norm_power", s_e6.power);
+  out.add_scalar("ecc6_norm_energy", s_e6.energy);
+  out.add_scalar("ecc6_norm_edp", s_e6.edp);
+  out.add_scalar("mecc_norm_power", s_mecc.power);
+  out.add_scalar("mecc_norm_energy", s_mecc.energy);
+  out.add_scalar("mecc_norm_edp", s_mecc.edp);
+  return out.write();
 }

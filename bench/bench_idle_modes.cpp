@@ -8,8 +8,11 @@
 #include "bench_util.h"
 #include "power/idle_modes.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mecc;
+
+  const sim::SimOptions opts = sim::parse_options(argc, argv, 0);
+  bench::BenchOutput out("idle_modes", opts);
 
   bench::print_banner("S II-A: idle-mode options for a 1 GB mobile memory",
                       "power vs usable capacity vs wake-up cost");
@@ -32,6 +35,7 @@ int main() {
                TextTable::pct(o.usable_capacity_fraction, 0).substr(1),
                o.state_preserved ? "yes" : "NO",
                wake});
+    out.add_scalar(std::string(o.name) + "_power_mw", o.power_mw);
   }
   t.print("Idle-mode comparison");
 
@@ -40,5 +44,5 @@ int main() {
               " tens of seconds, ruining responsiveness.\n");
   std::printf("MECC keeps the full state resident at PASR-class power with"
               " nanosecond-class wake-up.\n");
-  return 0;
+  return out.write();
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace mecc;
 
   const sim::SimOptions opts = sim::parse_options(argc, argv, 2000);
+  bench::BenchOutput out("idle_reliability", opts);
   const std::size_t kLines = opts.instructions;  // lines per population
 
   bench::print_banner("Idle-period reliability: SEC-DED vs MECC (real bits)",
@@ -55,11 +56,16 @@ int main(int argc, char** argv) {
     t.add_row({TextTable::num(period, 3) + " s", TextTable::sci(ber),
                std::to_string(weak_lost), std::to_string(strong_lost),
                std::to_string(strong.stats().corrected_bits)});
+    const std::string ms = std::to_string(static_cast<int>(period * 1000));
+    out.add_scalar("secded_lost_at_" + ms + "ms",
+                   static_cast<double>(weak_lost));
+    out.add_scalar("mecc_lost_at_" + ms + "ms",
+                   static_cast<double>(strong_lost));
   }
   t.print("Lines lost out of the population (0 = data fully preserved)");
 
   std::printf("\nAt the paper's 1 s operating point MECC loses nothing;"
               " SEC-DED alone starts losing lines as E[errors/line]"
               " approaches 1.\n");
-  return 0;
+  return out.write();
 }

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   using namespace mecc::reliability;
 
   const SimOptions opts = parse_options(argc, argv, 10'000'000);
+  bench::BenchOutput out("morph_levels", opts);
 
   bench::print_banner("Extension: morphing between arbitrary ECC levels",
                       "strength -> refresh period -> idle power -> perf");
@@ -66,6 +67,10 @@ int main(int argc, char** argv) {
                TextTable::num(period, 3) + " s",
                TextTable::num(idle_mw / base_idle, 2) + "x",
                TextTable::num(norm)});
+    const std::string k = std::to_string(strength);
+    out.add_scalar("refresh_period_t" + k, period);
+    out.add_scalar("norm_idle_power_t" + k, idle_mw / base_idle);
+    out.add_scalar("mecc_norm_ipc_t" + k, norm);
   }
   t.print("The robustness / power / performance morphing space");
 
@@ -75,5 +80,5 @@ int main(int argc, char** argv) {
   std::printf("MECC's performance is nearly flat across strengths - the"
               " decode cost is paid once per line - while an always-strong"
               " design would degrade linearly.\n");
-  return 0;
+  return out.write();
 }

@@ -10,9 +10,12 @@
 #include "reliability/fault_injection.h"
 #include "reliability/retention_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mecc;
   using namespace mecc::reliability;
+
+  const sim::SimOptions opts = sim::parse_options(argc, argv, 0);
+  bench::BenchOutput out("table1_failure_prob", opts);
 
   bench::print_banner(
       "Table I: Line / System (1GB) failure probability vs ECC strength",
@@ -33,6 +36,8 @@ int main() {
     t.add_row({k == 0 ? "No ECC" : "ECC-" + std::to_string(k),
                TextTable::sci(pl), TextTable::sci(paper_line[k]),
                TextTable::sci(ps), TextTable::sci(paper_sys[k])});
+    out.add_scalar("line_failure_ecc" + std::to_string(k), pl);
+    out.add_scalar("system_failure_ecc" + std::to_string(k), ps);
   }
   t.print("Analytic (binomial tail)");
 
@@ -64,7 +69,9 @@ int main() {
     mc.add_row({"BCH t=" + std::to_string(c.t), TextTable::sci(c.ber),
                 std::to_string(c.trials), TextTable::sci(r.failure_rate()),
                 TextTable::sci(analytic)});
+    out.add_scalar("mc_line_failure_t" + std::to_string(c.t),
+                   r.failure_rate());
   }
   mc.print("Empirical vs analytic");
-  return 0;
+  return out.write();
 }

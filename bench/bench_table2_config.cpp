@@ -7,8 +7,11 @@
 #include "ecc/ecc_model.h"
 #include "power/power_params.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mecc;
+
+  const sim::SimOptions opts = sim::parse_options(argc, argv, 0);
+  bench::BenchOutput out("table2_config", opts);
 
   bench::print_banner("Table II: baseline system configuration",
                       "in-order 1.6 GHz core, 1 MB LLC, 1 GB LPDDR-200");
@@ -33,6 +36,8 @@ int main() {
                                      std::to_string(t.tRFC)});
     tt.add_row({"tREFI", std::to_string(t.tREFI) + " cycles (7.8 us)"});
     tt.print("System configuration");
+    out.add_scalar("total_lines", static_cast<double>(g.total_lines()));
+    out.add_scalar("tREFI_cycles", static_cast<double>(t.tREFI));
   }
 
   bench::print_banner("Table IV: power parameters", "Micron LPDDR values");
@@ -69,8 +74,10 @@ int main() {
                   std::to_string(c.encode_cycles),
                   TextTable::num(c.decode_energy_pj, 0),
                   std::to_string(c.gate_count)});
+      out.add_scalar(std::string(ecc::scheme_name(s)) + "_decode_cycles",
+                     static_cast<double>(c.decode_cycles));
     }
     tt.print("Modeled codec costs");
   }
-  return 0;
+  return out.write();
 }

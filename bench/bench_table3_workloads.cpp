@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
 
   const SimOptions opts = parse_options(argc, argv, 20'000'000);
   const SystemConfig cfg = bench::scaled_config(opts);
+  bench::BenchOutput out("table3_workloads", opts);
 
   bench::print_banner("Table III: benchmark characterization",
                       "28 SPEC2006-profile workloads, no-ECC baseline");
@@ -54,5 +55,7 @@ int main(int argc, char** argv) {
     ++i;
   }
   s.print("Class averages (measured vs Table III)");
-  return 0;
+
+  out.add_suite("base", base);
+  return out.write();
 }

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Diff two --out=FILE.json bench emissions with tolerances.
+
+Usage:
+    scripts/compare_stats.py REF.json NEW.json [--rtol=1e-9] [--atol=1e-12]
+
+Comparison rules (docs/STATS.md):
+  * schema_version must match exactly (exit 2 on mismatch: the files are
+    not comparable, not merely different).
+  * The structure must match: same bench name, same suite tags in the
+    same order, same benchmarks per suite, same stat/scalar keys.
+  * Integer fields (counters, instructions, cycles, distribution counts)
+    compare exactly.
+  * Floating-point fields (gauges, scalars, IPC, energies, distribution
+    sum/min/max) compare with |a - b| <= atol + rtol * max(|a|, |b|);
+    null (serialized non-finite) only equals null.
+
+Exit codes: 0 = match, 1 = differences found, 2 = usage/schema error.
+"""
+
+import json
+import sys
+
+EXACT_RUN_FIELDS = (
+    "benchmark",
+    "instructions",
+    "cpu_cycles",
+    "mem_cycles",
+    "reads",
+    "writes",
+    "downgrades",
+    "strong_decodes",
+    "weak_decodes",
+    "mdt_tracked_bytes",
+    "mdt_marked_regions",
+)
+
+
+class Comparator:
+    def __init__(self, rtol, atol):
+        self.rtol = rtol
+        self.atol = atol
+        self.diffs = []
+
+    def diff(self, path, ref, new):
+        self.diffs.append(f"{path}: ref={ref!r} new={new!r}")
+
+    def close(self, a, b):
+        return abs(a - b) <= self.atol + self.rtol * max(abs(a), abs(b))
+
+    def num(self, path, ref, new):
+        """Tolerant float comparison; None (JSON null) only equals None."""
+        if ref is None or new is None:
+            if ref is not new:
+                self.diff(path, ref, new)
+            return
+        if not self.close(float(ref), float(new)):
+            self.diff(path, ref, new)
+
+    def exact(self, path, ref, new):
+        if ref != new:
+            self.diff(path, ref, new)
+
+    def mapping(self, path, ref, new, cmp):
+        if sorted(ref) != sorted(new):
+            self.diff(f"{path} keys", sorted(ref), sorted(new))
+            return
+        for key in ref:
+            cmp(f"{path}.{key}", ref[key], new[key])
+
+    def dist(self, path, ref, new):
+        self.exact(f"{path}.count", ref.get("count"), new.get("count"))
+        for field in ("sum", "min", "max"):
+            self.num(f"{path}.{field}", ref.get(field), new.get(field))
+
+    def stats(self, path, ref, new):
+        self.mapping(f"{path}.counters", ref.get("counters", {}),
+                     new.get("counters", {}), self.exact)
+        self.mapping(f"{path}.gauges", ref.get("gauges", {}),
+                     new.get("gauges", {}), self.num)
+        self.mapping(f"{path}.dists", ref.get("dists", {}),
+                     new.get("dists", {}), self.dist)
+
+    def run(self, path, ref, new):
+        for field in EXACT_RUN_FIELDS:
+            if field in ref or field in new:
+                self.exact(f"{path}.{field}", ref.get(field), new.get(field))
+        for field, value in ref.items():
+            if field in EXACT_RUN_FIELDS or field not in new:
+                continue
+            p = f"{path}.{field}"
+            if field == "stats":
+                self.stats(p, value, new[field])
+            elif field == "energy":
+                self.mapping(p, value, new[field], self.num)
+            elif field == "checkpoints":
+                if len(value) != len(new[field]):
+                    self.diff(f"{p} length", len(value), len(new[field]))
+                else:
+                    for i, (r, n) in enumerate(zip(value, new[field])):
+                        self.mapping(f"{p}[{i}]", r, n, self.num)
+            elif isinstance(value, (int, float)) or value is None:
+                self.num(p, value, new[field])
+            else:
+                self.exact(p, value, new[field])
+        missing = sorted(set(ref) ^ set(new))
+        if missing:
+            self.diff(f"{path} fields", sorted(ref), sorted(new))
+
+    def report(self, ref, new):
+        self.exact("bench", ref.get("bench"), new.get("bench"))
+        self.mapping("options", ref.get("options", {}),
+                     new.get("options", {}), self.exact)
+        self.mapping("scalars", ref.get("scalars", {}),
+                     new.get("scalars", {}), self.num)
+        ref_suites = ref.get("suites", [])
+        new_suites = new.get("suites", [])
+        ref_tags = [s.get("tag") for s in ref_suites]
+        new_tags = [s.get("tag") for s in new_suites]
+        if ref_tags != new_tags:
+            self.diff("suite tags", ref_tags, new_tags)
+            return
+        for rs, ns in zip(ref_suites, new_suites):
+            tag = rs.get("tag", "?")
+            rruns, nruns = rs.get("runs", []), ns.get("runs", [])
+            if len(rruns) != len(nruns):
+                self.diff(f"suites[{tag}] run count", len(rruns), len(nruns))
+                continue
+            for i, (rr, nr) in enumerate(zip(rruns, nruns)):
+                name = rr.get("benchmark", str(i))
+                self.run(f"suites[{tag}].runs[{name}]", rr, nr)
+
+
+def main(argv):
+    rtol, atol = 1e-9, 1e-12
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--rtol="):
+            rtol = float(arg.split("=", 1)[1])
+        elif arg.startswith("--atol="):
+            atol = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    docs = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"compare_stats: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+    ref, new = docs
+
+    ref_ver = ref.get("schema_version")
+    new_ver = new.get("schema_version")
+    if ref_ver is None or ref_ver != new_ver:
+        print(f"compare_stats: schema_version mismatch: "
+              f"{ref_ver} vs {new_ver}", file=sys.stderr)
+        return 2
+
+    cmp = Comparator(rtol, atol)
+    cmp.report(ref, new)
+    if cmp.diffs:
+        print(f"compare_stats: {len(cmp.diffs)} difference(s) between "
+              f"{paths[0]} and {paths[1]}:")
+        for d in cmp.diffs[:50]:
+            print(f"  {d}")
+        if len(cmp.diffs) > 50:
+            print(f"  ... and {len(cmp.diffs) - 50} more")
+        return 1
+    print(f"compare_stats: {paths[0]} and {paths[1]} match "
+          f"(rtol={rtol}, atol={atol})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

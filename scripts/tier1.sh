@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verify (ROADMAP.md): configure, build and run the full test
-# suite, parallel everywhere.
+# suite, parallel everywhere, then smoke the machine-readable bench
+# output (--out=) against the committed reference emission.
 #
 #   scripts/tier1.sh           # standard RelWithDebInfo verify
 #   scripts/tier1.sh --tsan    # additionally build with -DMECC_TSAN=ON
 #                              # into build-tsan/ and run the thread-pool
-#                              # + parallel-runner tests under TSan
+#                              # + parallel-runner + stats/JSON tests
+#                              # under TSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,9 +24,22 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+# JSON emission smoke (docs/STATS.md): one small pinned suite bench with
+# --out=, validate the JSON parses, then tolerance-diff it against the
+# committed reference. The pinned knobs MUST match how the reference in
+# tests/data/ was generated.
+out_json="build/tier1_table3_out.json"
+build/bench/bench_table3_workloads --instructions=50000 --seed=1 --jobs=4 \
+  --out="$out_json" > /dev/null
+python3 -m json.tool "$out_json" > /dev/null
+python3 scripts/compare_stats.py \
+  tests/data/table3_workloads_small_ref.json "$out_json"
+
 if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DMECC_TSAN=ON
-  cmake --build build-tsan -j --target test_thread_pool test_parallel_runner
+  cmake --build build-tsan -j --target test_thread_pool \
+    test_parallel_runner test_run_json test_stats \
+    test_golden_vectors test_codec_property
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|ParallelRunner'
+    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty'
 fi

@@ -44,6 +44,7 @@ AccessOutcome Llc::access(Address addr, bool is_write) {
   AccessOutcome out;
   if (victim->valid && victim->dirty) {
     out.writeback = addr_of(set, victim->tag);
+    ++writebacks_;
   }
   victim->valid = true;
   victim->dirty = is_write;
@@ -57,7 +58,10 @@ std::vector<Address> Llc::flush() {
   for (std::uint32_t set = 0; set < num_sets_; ++set) {
     for (std::uint32_t w = 0; w < assoc_; ++w) {
       Way& way = ways_[static_cast<std::size_t>(set) * assoc_ + w];
-      if (way.valid && way.dirty) dirty.push_back(addr_of(set, way.tag));
+      if (way.valid && way.dirty) {
+        dirty.push_back(addr_of(set, way.tag));
+        ++writebacks_;
+      }
       way.valid = false;
       way.dirty = false;
     }

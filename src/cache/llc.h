@@ -37,6 +37,8 @@ class Llc {
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  /// Dirty lines written back (evictions + flushes).
+  [[nodiscard]] std::uint64_t writebacks() const { return writebacks_; }
   [[nodiscard]] double miss_rate() const {
     const std::uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0
@@ -45,6 +47,14 @@ class Llc {
   }
   [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
   [[nodiscard]] std::uint32_t associativity() const { return assoc_; }
+
+  /// Exports hits/misses/writebacks; surfaces in the System registry
+  /// under "trace.llc." when an LlcFilteredSource drives the run.
+  void export_stats(StatSet& out) const {
+    out.add("hits", hits_);
+    out.add("misses", misses_);
+    out.add("writebacks", writebacks_);
+  }
 
  private:
   struct Way {
@@ -70,6 +80,7 @@ class Llc {
   std::uint64_t stamp_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
 };
 
 }  // namespace mecc::cache

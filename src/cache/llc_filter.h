@@ -69,6 +69,15 @@ class LlcFilteredSource final : public trace::TraceSource {
   [[nodiscard]] const Llc& llc() const { return llc_; }
   [[nodiscard]] std::uint64_t cpu_accesses() const { return cpu_accesses_; }
 
+  /// Surfaces the filter LLC under "llc." ("trace.llc." in the System
+  /// registry snapshot).
+  void export_stats(StatSet& out) const override {
+    StatSet llc_stats;
+    llc_.export_stats(llc_stats);
+    out.merge("llc.", llc_stats);
+    out.add("cpu_accesses", cpu_accesses_);
+  }
+
  private:
   static constexpr std::uint64_t kMaxGap = 1'000'000;
 

@@ -1,0 +1,128 @@
+#include "common/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace mecc {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::newline_indent() {
+  out_.push_back('\n');
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_width_), ' ');
+}
+
+void JsonWriter::begin_element() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key": directly
+  }
+  if (stack_.empty()) return;  // document root
+  Frame& top = stack_.back();
+  if (top.members > 0) out_.push_back(',');
+  ++top.members;
+  newline_indent();
+}
+
+void JsonWriter::write_scalar(const std::string& token) {
+  begin_element();
+  out_ += token;
+}
+
+void JsonWriter::begin_object() {
+  begin_element();
+  out_.push_back('{');
+  stack_.push_back({.is_array = false});
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && !stack_.back().is_array);
+  const bool had_members = stack_.back().members > 0;
+  stack_.pop_back();
+  if (had_members) newline_indent();
+  out_.push_back('}');
+}
+
+void JsonWriter::begin_array() {
+  begin_element();
+  out_.push_back('[');
+  stack_.push_back({.is_array = true});
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().is_array);
+  const bool had_members = stack_.back().members > 0;
+  stack_.pop_back();
+  if (had_members) newline_indent();
+  out_.push_back(']');
+}
+
+void JsonWriter::key(const std::string& k) {
+  assert(!stack_.empty() && !stack_.back().is_array && !pending_key_);
+  Frame& top = stack_.back();
+  if (top.members > 0) out_.push_back(',');
+  ++top.members;
+  newline_indent();
+  out_ += json_escape(k);
+  out_ += ": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) { write_scalar(json_escape(v)); }
+
+void JsonWriter::value(double v) { write_scalar(json_double(v)); }
+
+void JsonWriter::value(std::uint64_t v) { write_scalar(std::to_string(v)); }
+
+void JsonWriter::value(std::int64_t v) { write_scalar(std::to_string(v)); }
+
+void JsonWriter::value(bool v) { write_scalar(v ? "true" : "false"); }
+
+}  // namespace mecc

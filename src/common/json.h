@@ -1,0 +1,66 @@
+// Minimal streaming JSON writer with stable, deterministic output.
+//
+// Built for the machine-readable bench emissions (docs/STATS.md): the
+// same data always serializes to the same bytes — keys are written in
+// the order the caller provides (callers iterate sorted std::maps),
+// doubles print with %.17g (round-trip exact), and indentation is
+// fixed — so `diff` and scripts/compare_stats.py both work on the
+// output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mecc {
+
+/// Escapes and quotes `s` as a JSON string literal.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Formats a double as a JSON number token. %.17g guarantees the bits
+/// round-trip; non-finite values (not representable in JSON) become
+/// null.
+[[nodiscard]] std::string json_double(double v);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent_width = 2) : indent_width_(indent_width) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by a value or container.
+  void key(const std::string& k);
+
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v);
+
+  /// The serialized document (valid once every container is closed).
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  struct Frame {
+    bool is_array = false;
+    std::size_t members = 0;
+  };
+
+  /// Comma/newline/indent bookkeeping before an element or key.
+  void begin_element();
+  void write_scalar(const std::string& token);
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  int indent_width_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mecc

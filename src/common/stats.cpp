@@ -1,6 +1,20 @@
 #include "common/stats.h"
 
+#include <cassert>
+
 namespace mecc {
+
+void Distribution::merge(const Distribution& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  if (other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  sum += other.sum;
+  count += other.count;
+}
 
 void StatSet::merge(const std::string& prefix, const StatSet& other) {
   for (const auto& [name, value] : other.counters_) {
@@ -9,6 +23,35 @@ void StatSet::merge(const std::string& prefix, const StatSet& other) {
   for (const auto& [name, value] : other.gauges_) {
     gauges_[prefix + name] = value;
   }
+  for (const auto& [name, value] : other.dists_) {
+    dists_[prefix + name].merge(value);
+  }
+}
+
+void StatRegistry::register_component(std::string component,
+                                      Provider provider) {
+  assert(provider);
+  for ([[maybe_unused]] const auto& [name, _] : providers_) {
+    assert(name != component && "duplicate stats component");
+  }
+  providers_.emplace_back(std::move(component), std::move(provider));
+}
+
+StatSet StatRegistry::snapshot() const {
+  StatSet merged;
+  for (const auto& [name, provider] : providers_) {
+    StatSet local;
+    provider(local);
+    merged.merge(name + ".", local);
+  }
+  return merged;
+}
+
+std::vector<std::string> StatRegistry::components() const {
+  std::vector<std::string> names;
+  names.reserve(providers_.size());
+  for (const auto& [name, _] : providers_) names.push_back(name);
+  return names;
 }
 
 }  // namespace mecc

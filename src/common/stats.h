@@ -1,16 +1,52 @@
-// Lightweight named-counter / gauge registry used by every simulator
-// component to expose its activity to the experiment runner.
+// Lightweight named-counter / gauge / distribution registry used by
+// every simulator component to expose its activity to the experiment
+// runner and the machine-readable bench output (docs/STATS.md).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace mecc {
 
+/// Running summary of a sampled quantity (queue depths, latencies).
+/// Stores only the moments, never the samples, so recording is O(1) and
+/// the summary is bit-deterministic for a deterministic sample stream.
+struct Distribution {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void record(double sample) {
+    if (count == 0) {
+      min = sample;
+      max = sample;
+    } else {
+      if (sample < min) min = sample;
+      if (sample > max) max = sample;
+    }
+    sum += sample;
+    ++count;
+  }
+
+  /// Pools another summary into this one.
+  void merge(const Distribution& other);
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  [[nodiscard]] bool operator==(const Distribution&) const = default;
+};
+
 /// A flat bag of named statistics. Components own a StatSet each; the
 /// System merges them for reporting. Deliberately simple: counters are
-/// monotonically increasing uint64, gauges are doubles set at will.
+/// monotonically increasing uint64, gauges are doubles set at will,
+/// distributions are moment summaries (see Distribution).
 class StatSet {
  public:
   void add(const std::string& name, std::uint64_t delta = 1) {
@@ -18,6 +54,14 @@ class StatSet {
   }
   void set_gauge(const std::string& name, double value) {
     gauges_[name] = value;
+  }
+  void record(const std::string& name, double sample) {
+    dists_[name].record(sample);
+  }
+  /// Installs a ready-made summary (components that keep a Distribution
+  /// member for hot-path recording export it through here).
+  void put_dist(const std::string& name, const Distribution& dist) {
+    dists_[name] = dist;
   }
 
   [[nodiscard]] std::uint64_t counter(const std::string& name) const {
@@ -28,6 +72,10 @@ class StatSet {
     auto it = gauges_.find(name);
     return it == gauges_.end() ? 0.0 : it->second;
   }
+  [[nodiscard]] Distribution dist(const std::string& name) const {
+    auto it = dists_.find(name);
+    return it == dists_.end() ? Distribution{} : it->second;
+  }
 
   [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
@@ -35,18 +83,56 @@ class StatSet {
   [[nodiscard]] const std::map<std::string, double>& gauges() const {
     return gauges_;
   }
+  [[nodiscard]] const std::map<std::string, Distribution>& dists() const {
+    return dists_;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && dists_.empty();
+  }
 
   /// Adds all entries of `other` into this set, prefixing names.
+  /// Counters add, gauges overwrite, distributions pool.
   void merge(const std::string& prefix, const StatSet& other);
 
   void reset() {
     counters_.clear();
     gauges_.clear();
+    dists_.clear();
   }
+
+  [[nodiscard]] bool operator==(const StatSet&) const = default;
 
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, Distribution> dists_;
+};
+
+/// Hierarchical stats registry (ISSUE 2 tentpole). The System owns one;
+/// each subsystem registers a named provider at construction and
+/// snapshot() pulls every provider into one StatSet whose keys follow
+/// the `component.stat` convention (docs/STATS.md). Providers run in
+/// registration order and components must be distinct, so a snapshot of
+/// a deterministic simulation is itself deterministic.
+class StatRegistry {
+ public:
+  /// Fills the component's current statistics (names WITHOUT the
+  /// component prefix; the registry prepends "<component>.").
+  using Provider = std::function<void(StatSet&)>;
+
+  void register_component(std::string component, Provider provider);
+
+  /// One merged view of every component, `component.stat`-keyed.
+  [[nodiscard]] StatSet snapshot() const;
+
+  /// Component names in registration order.
+  [[nodiscard]] std::vector<std::string> components() const;
+
+  void clear() { providers_.clear(); }
+
+ private:
+  std::vector<std::pair<std::string, Provider>> providers_;
 };
 
 }  // namespace mecc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 #include <sstream>
 
 namespace mecc {
@@ -50,10 +51,32 @@ std::string TextTable::render() const {
   return out.str();
 }
 
+namespace {
+
+std::mutex& console_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void console_write(const std::string& text) {
+  const std::lock_guard<std::mutex> lock(console_mutex());
+  std::fflush(stderr);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+void console_write_err(const std::string& text) {
+  const std::lock_guard<std::mutex> lock(console_mutex());
+  std::fflush(stdout);
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
+}
+
 void TextTable::print(const std::string& title) const {
-  std::string banner(title.size(), '=');
-  std::printf("\n%s\n%s\n%s", title.c_str(), banner.c_str(), "\n");
-  std::fputs(render().c_str(), stdout);
+  const std::string banner(title.size(), '=');
+  console_write("\n" + title + "\n" + banner + "\n\n" + render());
 }
 
 std::string ascii_bar(double value, double max_value, std::size_t width) {

@@ -41,4 +41,19 @@ class TextTable {
 [[nodiscard]] std::string ascii_bar(double value, double max_value,
                                     std::size_t width = 40);
 
+// ---- single console writer ----
+//
+// Every human-readable block (tables, banners) and the parallel
+// runner's stderr progress lines serialize through one process-wide
+// lock, with the *other* stream flushed first and the written stream
+// flushed after, so stdout tables and --jobs>1 stderr progress cannot
+// tear into each other when both are redirected to one file. The
+// --out= JSON emission writes through a separate ofstream and is never
+// touched by either.
+
+/// Writes a block to stdout under the console lock.
+void console_write(const std::string& text);
+/// Writes a block to stderr under the console lock.
+void console_write_err(const std::string& text);
+
 }  // namespace mecc

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "trace/trace_source.h"
 
@@ -49,6 +50,16 @@ class InOrderCore {
   [[nodiscard]] std::uint64_t reads_issued() const { return reads_issued_; }
   [[nodiscard]] std::uint64_t writes_issued() const { return writes_issued_; }
   [[nodiscard]] bool stalled_on_read() const { return waiting_for_data_; }
+
+  /// Exports retire/stall/issue counters; the System registers this as
+  /// the "cpu" StatRegistry component.
+  void export_stats(StatSet& out) const {
+    out.add("retired_insts", retired_);
+    out.add("cycles", cycles_);
+    out.add("stall_cycles", stall_cycles_);
+    out.add("reads_issued", reads_issued_);
+    out.add("writes_issued", writes_issued_);
+  }
 
  private:
   void fetch_next_record();

@@ -1,8 +1,39 @@
 #include "dram/device.h"
 
 #include <cassert>
+#include <string>
 
 namespace mecc::dram {
+
+const char* power_state_name(PowerState s) {
+  switch (s) {
+    case PowerState::kPrechargeStandby:
+      return "precharge_standby";
+    case PowerState::kActiveStandby:
+      return "active_standby";
+    case PowerState::kPrechargePowerDown:
+      return "precharge_power_down";
+    case PowerState::kActivePowerDown:
+      return "active_power_down";
+    case PowerState::kSelfRefresh:
+      return "self_refresh";
+  }
+  return "?";
+}
+
+void Device::export_stats(StatSet& out) const {
+  out.add("activates", counters_.activates);
+  out.add("precharges", counters_.precharges);
+  out.add("reads", counters_.reads);
+  out.add("writes", counters_.writes);
+  out.add("refreshes", counters_.refreshes);
+  out.add("self_refresh_pulses", counters_.self_refresh_pulses);
+  for (std::size_t i = 0; i < kNumPowerStates; ++i) {
+    out.add(std::string("state_cycles.") +
+                power_state_name(static_cast<PowerState>(i)),
+            counters_.state_cycles[i]);
+  }
+}
 
 Device::Device(const Geometry& geo, const Timing& timing)
     : geo_(geo), timing_(timing) {

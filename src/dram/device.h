@@ -24,6 +24,9 @@ enum class PowerState : std::uint8_t {
 };
 inline constexpr std::size_t kNumPowerStates = 5;
 
+/// Short snake_case name for a power state (stats keys, docs/STATS.md).
+[[nodiscard]] const char* power_state_name(PowerState s);
+
 /// Event counters the power model turns into energy.
 struct ActivityCounters {
   std::uint64_t activates = 0;
@@ -102,6 +105,12 @@ class Device {
   /// Finalizes state-residency accounting up to `now` and returns the
   /// counters. Safe to call repeatedly.
   [[nodiscard]] const ActivityCounters& counters(MemCycle now);
+
+  /// Exports the activity counters into `out` (the System registers
+  /// this as the "dram" component of its StatRegistry). Counters are as
+  /// of the last counters(now) call — call that first to finalize
+  /// state-residency accounting.
+  void export_stats(StatSet& out) const;
 
   /// Attaches a command log; every subsequent command is appended (for
   /// the TimingChecker and debugging). Pass nullptr to detach.

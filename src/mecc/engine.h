@@ -67,6 +67,8 @@ class Engine {
     if (config_.use_smd) smd_.record_access();
     ReadDecision d;
     d.decode_mode = modes_.mode_of(line_addr);
+    stats_.add(d.decode_mode == LineMode::kStrong ? "reads_strong"
+                                                  : "reads_weak");
     if (d.decode_mode == LineMode::kStrong && downgrade_enabled()) {
       d.downgrade = true;
       modes_.set_mode(line_addr, LineMode::kWeak);

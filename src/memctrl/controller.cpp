@@ -244,6 +244,10 @@ bool Controller::try_close_unneeded_row(dram::MemCycle now) {
 }
 
 void Controller::tick(dram::MemCycle now) {
+  // Per-cycle queue-occupancy integral (members, not StatSet lookups:
+  // this runs every memory cycle).
+  read_q_depth_.record(static_cast<double>(read_q_.size()));
+  write_q_depth_.record(static_cast<double>(write_q_.size()));
   manage_refresh(now);
   if ((read_q_.empty() && write_q_.empty())) {
     const bool closed = try_close_unneeded_row(now);

@@ -93,6 +93,15 @@ class Controller {
   [[nodiscard]] const StatSet& stats() const { return stats_; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
 
+  /// Exports counters (FR-FCFS decisions, refresh activity, queue
+  /// events) plus the per-tick queue-occupancy distributions; the
+  /// System registers this as the "memctrl" StatRegistry component.
+  void export_stats(StatSet& out) const {
+    out.merge("", stats_);
+    out.put_dist("read_queue_depth", read_q_depth_);
+    out.put_dist("write_queue_depth", write_q_depth_);
+  }
+
  private:
   struct InFlight {
     ReadCompletion completion;
@@ -124,6 +133,8 @@ class Controller {
   bool refresh_urgent_ = false;  // block new ACTs until the REF goes out
   dram::MemCycle last_activity_ = 0;
   StatSet stats_;
+  Distribution read_q_depth_;   // sampled every tick
+  Distribution write_q_depth_;
 };
 
 }  // namespace mecc::memctrl

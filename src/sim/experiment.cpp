@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/table.h"
 #include "ecc/ecc_model.h"
 #include "sim/thread_pool.h"
 
@@ -28,9 +29,13 @@ RunResult run_benchmark(const trace::BenchmarkProfile& profile,
 
 ProgressFn stderr_progress() {
   return [](const RunResult& r, std::size_t done, std::size_t total) {
-    std::fprintf(stderr, "[%zu/%zu] %s/%s done in %.1fs\n", done, total,
-                 policy_name(r.policy).c_str(), r.benchmark.c_str(),
-                 r.wall_seconds);
+    // Through the single console writer (common/table.h) so --jobs>1
+    // progress lines never tear into stdout tables.
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "[%zu/%zu] %s/%s done in %.1fs\n", done,
+                  total, policy_name(r.policy).c_str(), r.benchmark.c_str(),
+                  r.wall_seconds);
+    console_write_err(buf);
   };
 }
 
@@ -131,8 +136,8 @@ bool same_simulated_result(const RunResult& a, const RunResult& b) {
         a.checkpoints[i].cycles != b.checkpoints[i].cycles)
       return false;
   }
-  return a.stats.counters() == b.stats.counters() &&
-         a.stats.gauges() == b.stats.gauges();
+  // Covers counters, gauges AND distribution summaries.
+  return a.stats == b.stats;
 }
 
 double geomean(const std::vector<double>& values) {

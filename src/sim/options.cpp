@@ -38,11 +38,15 @@ SimOptions parse_options(int argc, char** argv,
     std::uint64_t v = 0;
     if (parse_u64(env, v) && v > 0) opts.jobs = static_cast<unsigned>(v);
   }
+  if (const char* env = std::getenv("MECC_OUT")) {
+    opts.out = env;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string inst_prefix = "--instructions=";
     const std::string seed_prefix = "--seed=";
     const std::string jobs_prefix = "--jobs=";
+    const std::string out_prefix = "--out=";
     std::uint64_t v = 0;
     if (arg.rfind(inst_prefix, 0) == 0 &&
         parse_u64(arg.substr(inst_prefix.size()), v) && v > 0) {
@@ -53,6 +57,8 @@ SimOptions parse_options(int argc, char** argv,
     } else if (arg.rfind(jobs_prefix, 0) == 0 &&
                parse_u64(arg.substr(jobs_prefix.size()), v) && v > 0) {
       opts.jobs = static_cast<unsigned>(v);
+    } else if (arg.rfind(out_prefix, 0) == 0) {
+      opts.out = arg.substr(out_prefix.size());
     }
   }
   return opts;

@@ -6,11 +6,14 @@
 //   --seed=N           RNG seed
 //   --jobs=N           worker threads for suite sweeps (default: hardware
 //                      concurrency; 1 = serial, the pre-parallel behavior)
-//   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS environment variables as
-//   fallbacks.
+//   --out=FILE.json    machine-readable report (docs/STATS.md); "-" for
+//                      stdout. Empty (default) = no JSON emission.
+//   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS / MECC_OUT environment
+//   variables as fallbacks.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.h"
 
@@ -22,6 +25,8 @@ struct SimOptions {
   // Worker threads for run_suite_parallel / run_jobs. parse_options
   // resolves this to >= 1 (hardware concurrency unless overridden).
   unsigned jobs = 0;
+  // Destination for the schema-versioned JSON report ("" = off).
+  std::string out;
 };
 
 /// Parses argv/env; unknown arguments are ignored (benches accept the

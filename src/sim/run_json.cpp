@@ -1,0 +1,173 @@
+#include "sim/run_json.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mecc::sim {
+
+void stat_set_json(JsonWriter& w, const StatSet& s) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : s.counters()) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : s.gauges()) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("dists");
+  w.begin_object();
+  for (const auto& [name, d] : s.dists()) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(d.count);
+    w.key("sum");
+    w.value(d.sum);
+    w.key("min");
+    w.value(d.min);
+    w.key("max");
+    w.value(d.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void run_result_json(JsonWriter& w, const RunResult& r) {
+  w.begin_object();
+  w.key("benchmark");
+  w.value(r.benchmark);
+  w.key("policy");
+  w.value(policy_name(r.policy));
+  w.key("instructions");
+  w.value(static_cast<std::uint64_t>(r.instructions));
+  w.key("cpu_cycles");
+  w.value(static_cast<std::uint64_t>(r.cpu_cycles));
+  w.key("ipc");
+  w.value(r.ipc);
+  w.key("seconds");
+  w.value(r.seconds);
+  w.key("measured_mpki");
+  w.value(r.measured_mpki);
+  w.key("reads");
+  w.value(r.reads);
+  w.key("writes");
+  w.value(r.writes);
+  w.key("strong_decodes");
+  w.value(r.strong_decodes);
+  w.key("weak_decodes");
+  w.value(r.weak_decodes);
+  w.key("downgrades");
+  w.value(r.downgrades);
+  w.key("energy");
+  w.begin_object();
+  w.key("background_mj");
+  w.value(r.energy.background_mj);
+  w.key("activate_mj");
+  w.value(r.energy.activate_mj);
+  w.key("read_mj");
+  w.value(r.energy.read_mj);
+  w.key("write_mj");
+  w.value(r.energy.write_mj);
+  w.key("refresh_mj");
+  w.value(r.energy.refresh_mj);
+  w.key("ecc_mj");
+  w.value(r.energy.ecc_mj);
+  w.key("total_mj");
+  w.value(r.energy.total_mj());
+  w.key("seconds");
+  w.value(r.energy.seconds);
+  w.end_object();
+  w.key("avg_power_mw");
+  w.value(r.avg_power_mw);
+  w.key("edp_mj_s");
+  w.value(r.edp_mj_s);
+  w.key("mdt_marked_regions");
+  w.value(r.mdt_marked_regions);
+  w.key("mdt_tracked_bytes");
+  w.value(r.mdt_tracked_bytes);
+  w.key("frac_downgrade_disabled");
+  w.value(r.frac_downgrade_disabled);
+  w.key("checkpoints");
+  w.begin_array();
+  for (const auto& cp : r.checkpoints) {
+    w.begin_object();
+    w.key("instructions");
+    w.value(static_cast<std::uint64_t>(cp.instructions));
+    w.key("cycles");
+    w.value(static_cast<std::uint64_t>(cp.cycles));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("stats");
+  stat_set_json(w, r.stats);
+  w.end_object();
+}
+
+std::string bench_report_json(const BenchReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version");
+  w.value(kStatsSchemaVersion);
+  w.key("bench");
+  w.value(report.bench);
+  w.key("options");
+  w.begin_object();
+  w.key("instructions");
+  w.value(static_cast<std::uint64_t>(report.instructions));
+  w.key("seed");
+  w.value(report.seed);
+  w.end_object();
+  w.key("scalars");
+  w.begin_object();
+  for (const auto& [name, value] : report.scalars) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("suites");
+  w.begin_array();
+  for (const auto& [tag, runs] : report.suites) {
+    w.begin_object();
+    w.key("tag");
+    w.value(tag);
+    w.key("runs");
+    w.begin_array();
+    for (const auto& r : runs) run_result_json(w, r);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+bool write_bench_report(const BenchReport& report, const std::string& path) {
+  const std::string doc = bench_report_json(report);
+  if (path == "-") {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return std::fflush(stdout) == 0;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open --out file '%s'\n", path.c_str());
+    return false;
+  }
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: short write to --out file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mecc::sim

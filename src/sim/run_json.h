@@ -1,0 +1,60 @@
+// Machine-readable bench output (ISSUE 2): every bench binary can
+// serialize its RunResults plus the full StatRegistry snapshot as
+// stable, schema-versioned JSON via --out=FILE.json, and
+// scripts/compare_stats.py diffs two emissions with tolerances.
+//
+// Determinism contract: the JSON for a run contains only *simulated*
+// fields — host-side wall-clock observability (wall_seconds/wall_mips)
+// is deliberately excluded — so for a fixed seed the emission is
+// byte-identical run to run and across --jobs settings (the property
+// tests/sim/run_json_test.cpp and the tier-1 compare enforce).
+//
+// Schema (docs/STATS.md documents it in full):
+//   { "schema_version": N, "bench": "...",
+//     "options": {"instructions": N, "seed": N},
+//     "scalars": {...}, "suites": [{"tag": "...", "runs": [RunResult...]}] }
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "sim/system.h"
+
+namespace mecc::sim {
+
+/// Bumped whenever the JSON layout changes shape; compare_stats.py
+/// refuses to diff mismatched versions.
+inline constexpr int kStatsSchemaVersion = 1;
+
+/// Serializes a StatSet as {"counters": {...}, "gauges": {...},
+/// "dists": {name: {count, sum, min, max}}} (keys sorted — StatSet is
+/// map-backed).
+void stat_set_json(JsonWriter& w, const StatSet& s);
+
+/// Serializes every simulated field of a RunResult, including the full
+/// registry snapshot under "stats". Excludes wall_seconds / wall_mips
+/// (see the determinism contract above).
+void run_result_json(JsonWriter& w, const RunResult& r);
+
+/// Everything one bench binary emits: suite sweeps (tag -> runs) plus
+/// free-form named scalars for analytic benches.
+struct BenchReport {
+  std::string bench;             // e.g. "fig7_performance"
+  InstCount instructions = 0;    // slice length the sweeps used (0: n/a)
+  std::uint64_t seed = 0;
+  std::vector<std::pair<std::string, std::vector<RunResult>>> suites;
+  std::vector<std::pair<std::string, double>> scalars;
+};
+
+/// The full schema-versioned document, stable byte-for-byte for equal
+/// inputs.
+[[nodiscard]] std::string bench_report_json(const BenchReport& report);
+
+/// Writes bench_report_json to `path` ("-" = stdout). Returns false
+/// (with a stderr diagnostic) when the file cannot be written.
+[[nodiscard]] bool write_bench_report(const BenchReport& report,
+                                      const std::string& path);
+
+}  // namespace mecc::sim

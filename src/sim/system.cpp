@@ -112,6 +112,35 @@ void System::init_engine_and_core() {
         if (engine_) engine_->on_write(line);
         return true;
       });
+  register_stats();
+}
+
+void System::register_stats() {
+  // Every subsystem registers into the System's registry (ISSUE 2
+  // tentpole); snapshot() keys follow docs/STATS.md. Registration order
+  // is fixed so snapshots are deterministic.
+  registry_.register_component(
+      "dram", [this](StatSet& s) { device_.export_stats(s); });
+  registry_.register_component(
+      "memctrl", [this](StatSet& s) { controller_.export_stats(s); });
+  registry_.register_component("cpu",
+                               [this](StatSet& s) { core_->export_stats(s); });
+  registry_.register_component(
+      "trace", [this](StatSet& s) { source_->export_stats(s); });
+  if (engine_) {
+    registry_.register_component(
+        "mecc", [this](StatSet& s) { s.merge("", engine_->stats()); });
+  }
+  registry_.register_component("power", [this](StatSet& s) {
+    s.set_gauge("background_mj", cumulative_energy_.background_mj);
+    s.set_gauge("activate_mj", cumulative_energy_.activate_mj);
+    s.set_gauge("read_mj", cumulative_energy_.read_mj);
+    s.set_gauge("write_mj", cumulative_energy_.write_mj);
+    s.set_gauge("refresh_mj", cumulative_energy_.refresh_mj);
+    s.set_gauge("ecc_mj", cumulative_energy_.ecc_mj);
+    s.set_gauge("total_mj", cumulative_energy_.total_mj());
+    s.set_gauge("seconds", cumulative_energy_.seconds);
+  });
 }
 
 System::~System() = default;
@@ -273,9 +302,18 @@ RunResult System::run_period(InstCount instructions) {
                               static_cast<double>(period_cycles));
       }
     }
-    r.stats.merge("mecc.", engine_->stats());
   }
-  r.stats.merge("memctrl.", controller_.stats());
+
+  // Fold this period's energy into the lifetime totals the "power"
+  // registry component reports, then snapshot the whole registry.
+  cumulative_energy_.background_mj += r.energy.background_mj;
+  cumulative_energy_.activate_mj += r.energy.activate_mj;
+  cumulative_energy_.read_mj += r.energy.read_mj;
+  cumulative_energy_.write_mj += r.energy.write_mj;
+  cumulative_energy_.refresh_mj += r.energy.refresh_mj;
+  cumulative_energy_.ecc_mj += r.energy.ecc_mj;
+  cumulative_energy_.seconds += r.energy.seconds;
+  r.stats = registry_.snapshot();
   return r;
 }
 

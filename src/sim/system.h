@@ -124,7 +124,11 @@ struct RunResult {
   double frac_downgrade_disabled = 0.0;  // SMD: share of run disabled
 
   std::vector<Checkpoint> checkpoints;
-  StatSet stats;  // merged controller + engine counters
+  // Snapshot of the System's StatRegistry: every component's counters /
+  // gauges / distributions under hierarchical `component.stat` keys
+  // (dram., memctrl., cpu., mecc., power., trace. — docs/STATS.md).
+  // Cumulative over the System's lifetime, like the registry itself.
+  StatSet stats;
 
   // Host-side observability, stamped by sim::run_benchmark: wall-clock
   // time of the run and retired-instruction throughput (million retired
@@ -170,6 +174,11 @@ class System {
   /// tests / Table III reporting).
   [[nodiscard]] double base_ipc() const { return base_ipc_; }
 
+  /// The unified stats registry every subsystem registers into at
+  /// construction (docs/STATS.md). RunResult.stats carries snapshot();
+  /// tests and embedders can also snapshot mid-run.
+  [[nodiscard]] const StatRegistry& registry() const { return registry_; }
+
  private:
   struct PendingData {
     Cycle ready = 0;
@@ -177,6 +186,7 @@ class System {
   };
 
   void init_engine_and_core();
+  void register_stats();
   void handle_completion(const memctrl::ReadCompletion& c, Cycle now);
   [[nodiscard]] Cycle decode_latency(Address line_addr, bool forwarded);
 
@@ -191,6 +201,9 @@ class System {
   std::unique_ptr<morph::Engine> engine_;
   ecc::EccModel ecc_model_;
   power::PowerModel power_model_;
+
+  StatRegistry registry_;
+  power::ActiveEnergy cumulative_energy_;  // across all active periods
 
   std::vector<PendingData> pending_data_;
   std::vector<Address> pending_downgrade_writes_;

@@ -6,6 +6,7 @@
 // captured traces through the full system.
 #pragma once
 
+#include "common/stats.h"
 #include "trace/generator.h"
 
 namespace mecc::trace {
@@ -15,6 +16,11 @@ class TraceSource {
   virtual ~TraceSource() = default;
   /// Next access; sources are infinite (file readers loop).
   virtual TraceRecord next() = 0;
+
+  /// Source-side observability (e.g. the LLC filter's hit/miss/writeback
+  /// counters); the System registers this as the "trace" component of
+  /// its StatRegistry. Default: nothing to report.
+  virtual void export_stats(StatSet& out) const { (void)out; }
 };
 
 /// Adapter exposing TraceGenerator through the TraceSource interface.

@@ -36,10 +36,95 @@ TEST(StatSet, ResetClears) {
   StatSet s;
   s.add("x", 3);
   s.set_gauge("g", 1.0);
+  s.record("d", 2.0);
   s.reset();
   EXPECT_EQ(s.counter("x"), 0u);
   EXPECT_DOUBLE_EQ(s.gauge("g"), 0.0);
   EXPECT_TRUE(s.counters().empty());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Distribution, RecordTracksMoments) {
+  Distribution d;
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  d.record(4.0);
+  d.record(-2.0);
+  d.record(10.0);
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_DOUBLE_EQ(d.sum, 12.0);
+  EXPECT_DOUBLE_EQ(d.min, -2.0);
+  EXPECT_DOUBLE_EQ(d.max, 10.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+}
+
+TEST(Distribution, MergePoolsSummaries) {
+  Distribution a;
+  a.record(1.0);
+  a.record(3.0);
+  Distribution b;
+  b.record(-5.0);
+  Distribution empty;
+
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.min, -5.0);
+  EXPECT_DOUBLE_EQ(a.max, 3.0);
+  EXPECT_DOUBLE_EQ(a.sum, -1.0);
+
+  // Merging an empty summary is the identity, in both directions.
+  Distribution before = a;
+  a.merge(empty);
+  EXPECT_EQ(a, before);
+  empty.merge(a);
+  EXPECT_EQ(empty, a);
+}
+
+TEST(StatSet, DistributionsMergeWithPrefix) {
+  StatSet child;
+  child.record("queue_depth", 2.0);
+  child.record("queue_depth", 6.0);
+  StatSet parent;
+  parent.record("memctrl.queue_depth", 1.0);
+  parent.merge("memctrl.", child);
+  const Distribution d = parent.dist("memctrl.queue_depth");
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_DOUBLE_EQ(d.min, 1.0);
+  EXPECT_DOUBLE_EQ(d.max, 6.0);
+}
+
+TEST(StatRegistry, SnapshotMergesProvidersUnderComponentPrefix) {
+  StatRegistry reg;
+  std::uint64_t reads = 3;
+  reg.register_component("dram", [&](StatSet& s) { s.add("acts", reads); });
+  reg.register_component("cpu", [](StatSet& s) {
+    s.set_gauge("ipc", 0.75);
+    s.record("stall", 4.0);
+  });
+
+  const StatSet snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("dram.acts"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauge("cpu.ipc"), 0.75);
+  EXPECT_EQ(snap.dist("cpu.stall").count, 1u);
+
+  // Providers are pull-based: a later snapshot sees updated state.
+  reads = 10;
+  EXPECT_EQ(reg.snapshot().counter("dram.acts"), 10u);
+
+  const auto names = reg.components();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "dram");
+  EXPECT_EQ(names[1], "cpu");
+}
+
+TEST(StatRegistry, SnapshotsAreRepeatable) {
+  StatRegistry reg;
+  reg.register_component("a", [](StatSet& s) { s.add("n", 2); });
+  reg.register_component("b", [](StatSet& s) { s.set_gauge("g", 1.5); });
+  EXPECT_EQ(reg.snapshot(), reg.snapshot());
+  reg.clear();
+  EXPECT_TRUE(reg.snapshot().empty());
+  EXPECT_TRUE(reg.components().empty());
 }
 
 }  // namespace

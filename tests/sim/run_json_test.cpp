@@ -1,0 +1,136 @@
+// Tests for the machine-readable bench output (sim/run_json.h): snapshot
+// stability (byte-identical JSON for identical runs), the serial-vs-
+// parallel registry equality the --out= contract promises, and the
+// schema versioning compare_stats.py keys on.
+#include "sim/run_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+#include "trace/benchmarks.h"
+
+namespace mecc::sim {
+namespace {
+
+SystemConfig small_config() {
+  SystemConfig cfg;
+  cfg.instructions = 60'000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(RunJson, IdenticalRunsSerializeByteIdentically) {
+  const auto& b = trace::benchmark("milc");
+  const RunResult r1 = run_benchmark(b, EccPolicy::kMecc, small_config());
+  const RunResult r2 = run_benchmark(b, EccPolicy::kMecc, small_config());
+
+  JsonWriter w1;
+  run_result_json(w1, r1);
+  JsonWriter w2;
+  run_result_json(w2, r2);
+  EXPECT_EQ(w1.str(), w2.str());
+  EXPECT_FALSE(w1.str().empty());
+}
+
+TEST(RunJson, WallClockFieldsAreExcluded) {
+  // wall_seconds / wall_mips are host-dependent; the determinism
+  // contract keeps them out of the serialized form.
+  const auto& b = trace::benchmark("libquantum");
+  RunResult r = run_benchmark(b, EccPolicy::kSecded, small_config());
+  JsonWriter w;
+  run_result_json(w, r);
+  const std::string json = w.str();
+  EXPECT_EQ(json.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(json.find("wall_mips"), std::string::npos);
+  // ...while the simulated payload is present.
+  EXPECT_NE(json.find("\"ipc\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("memctrl.refreshes"), std::string::npos);
+}
+
+TEST(RunJson, SerialAndParallelSuitesEmitIdenticalJson) {
+  // The ISSUE acceptance case: a registry snapshot must be bit-identical
+  // between --jobs=1 and --jobs=8, enforced at the serialized-JSON level
+  // (which covers every simulated field, stats included).
+  SystemConfig cfg = small_config();
+  cfg.instructions = 25'000;
+  const auto serial = run_suite_parallel(EccPolicy::kMecc, cfg, 1);
+  const auto parallel = run_suite_parallel(EccPolicy::kMecc, cfg, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(same_simulated_result(serial[i], parallel[i]))
+        << serial[i].benchmark;
+    JsonWriter ws;
+    run_result_json(ws, serial[i]);
+    JsonWriter wp;
+    run_result_json(wp, parallel[i]);
+    EXPECT_EQ(ws.str(), wp.str()) << serial[i].benchmark;
+  }
+}
+
+TEST(RunJson, BenchReportCarriesSchemaVersion) {
+  BenchReport report;
+  report.bench = "unit_test";
+  report.instructions = 1234;
+  report.seed = 5;
+  report.scalars.emplace_back("alpha", 1.5);
+  const std::string json = bench_report_json(report);
+  EXPECT_NE(
+      json.find("\"schema_version\": " + std::to_string(kStatsSchemaVersion)),
+      std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\": 1.5"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(RunJson, BenchReportIsStableAcrossCalls) {
+  const auto& b = trace::benchmark("astar");
+  BenchReport report;
+  report.bench = "stability";
+  report.seed = 7;
+  report.suites.emplace_back(
+      "one", std::vector<RunResult>{
+                 run_benchmark(b, EccPolicy::kEcc6, small_config())});
+  const std::string a = bench_report_json(report);
+  const std::string c = bench_report_json(report);
+  EXPECT_EQ(a, c);
+}
+
+TEST(RunJson, WriteBenchReportRoundTripsThroughAFile) {
+  BenchReport report;
+  report.bench = "file_round_trip";
+  report.scalars.emplace_back("x", 2.0);
+  const std::string path = ::testing::TempDir() + "run_json_test_out.json";
+  ASSERT_TRUE(write_bench_report(report, path));
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), bench_report_json(report));
+  std::remove(path.c_str());
+}
+
+TEST(RunJson, WriteBenchReportFailsOnUnwritablePath) {
+  BenchReport report;
+  report.bench = "nope";
+  EXPECT_FALSE(
+      write_bench_report(report, "/nonexistent-dir-xyz/out.json"));
+}
+
+TEST(RunJson, NonFiniteGaugesSerializeAsNull) {
+  RunResult r;
+  r.benchmark = "synthetic";
+  r.stats.set_gauge("bad_gauge", std::numeric_limits<double>::quiet_NaN());
+  JsonWriter w;
+  run_result_json(w, r);
+  EXPECT_NE(w.str().find("\"bad_gauge\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mecc::sim
