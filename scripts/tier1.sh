@@ -8,14 +8,19 @@
 #                              # into build-tsan/ and run the thread-pool
 #                              # + parallel-runner + stats/JSON tests
 #                              # under TSan
+#   scripts/tier1.sh --asan    # additionally build with -DMECC_ASAN=ON
+#                              # into build-asan/ and run the reliability
+#                              # + fault-campaign tests under ASan+UBSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=0
+run_asan=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
+    --asan) run_asan=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -42,4 +47,13 @@ if [[ "$run_tsan" == 1 ]]; then
     test_golden_vectors test_codec_property
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
     -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty'
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  cmake -B build-asan -S . -DMECC_ASAN=ON
+  cmake --build build-asan -j --target test_fault_injection \
+    test_memory_image test_shadow_memory test_due_policy \
+    test_fault_campaign test_line_codec test_bitvec
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec'
 fi

@@ -117,6 +117,32 @@ class Engine {
     stats_.add("wakeups");
   }
 
+  /// DUE ladder rung 2 (memctrl/due_policy.h): immediately re-protect
+  /// every line with strong ECC and clear the MDT, exactly like an idle
+  /// entry but driven by the error handler rather than the lifecycle.
+  void force_upgrade() {
+    modes_.set_all(LineMode::kStrong);
+    mdt_.reset();
+    stats_.add("forced_upgrades");
+  }
+
+  /// DUE ladder rung 3: latch (or clear) the refresh fallback. While
+  /// degraded both the active and the idle refresh divider pin to 1
+  /// (the JEDEC 64 ms rate) — the paper's refresh savings are abandoned
+  /// so reliability never depends on ECC strength again. Downgrade
+  /// itself may continue: weak ECC at 64 ms is the safe baseline.
+  void set_degraded(bool degraded) {
+    if (degraded && !degraded_) stats_.add("degraded_latches");
+    degraded_ = degraded;
+  }
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+  /// Refresh divider to use while asleep: the configured idle divider,
+  /// unless the DUE ladder latched the 64 ms fallback.
+  [[nodiscard]] std::uint32_t idle_refresh_divider() const {
+    return degraded_ ? 1 : config_.idle_refresh_divider;
+  }
+
   /// ECC-Downgrade is active (always, unless SMD is holding it off).
   [[nodiscard]] bool downgrade_enabled() const {
     return !config_.use_smd || smd_.downgrade_enabled();
@@ -126,6 +152,7 @@ class Engine {
   /// 1 (64 ms) in normal active mode, the idle divider while SMD keeps
   /// the memory fully ECC-6 protected.
   [[nodiscard]] std::uint32_t active_refresh_divider() const {
+    if (degraded_) return 1;
     return downgrade_enabled() ? 1 : config_.idle_refresh_divider;
   }
 
@@ -141,6 +168,7 @@ class Engine {
   Mdt mdt_;
   Smd smd_;
   StatSet stats_;
+  bool degraded_ = false;  // DUE ladder refresh fallback latch
 };
 
 }  // namespace mecc::morph

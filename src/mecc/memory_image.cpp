@@ -55,6 +55,27 @@ void MemoryImage::upgrade_all() {
   }
 }
 
+ScrubReport MemoryImage::scrub_all() {
+  ScrubReport rep;
+  for (auto& line : lines_) {
+    ++rep.lines;
+    const LineDecodeResult r = codec_.load(line);
+    if (!r.ok) {
+      ++rep.uncorrectable;
+      ++stats_.uncorrectable;
+      continue;
+    }
+    rep.corrected_bits += r.corrected_bits;
+    stats_.corrected_bits += r.corrected_bits;
+    if (r.mode_bits_disagreed) ++stats_.mode_bit_repairs;
+    if (r.corrected_bits > 0 || r.mode_bits_disagreed) {
+      line = codec_.store(r.data, r.mode);
+      ++rep.repaired_lines;
+    }
+  }
+  return rep;
+}
+
 std::uint64_t MemoryImage::inject_retention_errors(
     double ber, reliability::FaultInjector& injector) {
   std::uint64_t flipped = 0;

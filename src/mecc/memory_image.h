@@ -31,6 +31,15 @@ struct ImageStats {
   std::uint64_t uncorrectable = 0;      // data loss events
 };
 
+/// Outcome of one MemoryImage::scrub_all pass (the DUE ladder's second
+/// rung: decode every line and rewrite the ones that needed repair).
+struct ScrubReport {
+  std::uint64_t lines = 0;            // lines visited
+  std::uint64_t repaired_lines = 0;   // rewritten after a correction
+  std::uint64_t corrected_bits = 0;
+  std::uint64_t uncorrectable = 0;    // lines the scrub could not recover
+};
+
 class MemoryImage {
  public:
   /// A small memory of `num_lines` 64 B lines, all initialized to zero
@@ -53,6 +62,11 @@ class MemoryImage {
   /// first, so accumulated correctable errors are scrubbed).
   void upgrade_all();
 
+  /// Scrub pass: decodes every line in place and rewrites the ones that
+  /// accumulated correctable errors (mode preserved). Uncorrectable
+  /// lines are left untouched and reported.
+  ScrubReport scrub_all();
+
   /// Injects uniform random bit flips at `ber` over every stored line
   /// (one idle period's worth of retention errors at a slowed refresh).
   /// Returns the number of bits flipped.
@@ -67,6 +81,12 @@ class MemoryImage {
 
   /// The current protection mode a line's stored replicas indicate.
   [[nodiscard]] LineMode stored_mode(std::size_t index) const;
+
+  /// The raw 576 stored bits of a line (codeword inspection / targeted
+  /// corruption in tests and the fault-campaign shadow).
+  [[nodiscard]] const BitVec& stored_bits(std::size_t index) const {
+    return lines_[index];
+  }
 
   [[nodiscard]] const ImageStats& stats() const { return stats_; }
 

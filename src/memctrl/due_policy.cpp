@@ -1,0 +1,45 @@
+#include "memctrl/due_policy.h"
+
+namespace mecc::memctrl {
+
+const char* due_action_name(DueAction a) {
+  switch (a) {
+    case DueAction::kNone:
+      return "none";
+    case DueAction::kScrub:
+      return "scrub";
+    case DueAction::kForceUpgrade:
+      return "force_upgrade";
+    case DueAction::kRefreshFallback:
+      return "refresh_fallback";
+  }
+  return "?";
+}
+
+DueAction DuePolicy::escalate() {
+  if (level_ < 1) {
+    level_ = 1;
+    if (config_.scrub_enabled) {
+      stats_.add("scrubs");
+      return DueAction::kScrub;
+    }
+  }
+  if (level_ < 2) {
+    level_ = 2;
+    if (config_.upgrade_enabled) {
+      stats_.add("forced_upgrades");
+      return DueAction::kForceUpgrade;
+    }
+  }
+  if (level_ < 3) {
+    level_ = 3;
+    if (config_.fallback_enabled) {
+      degraded_ = true;
+      stats_.add("refresh_fallbacks");
+      return DueAction::kRefreshFallback;
+    }
+  }
+  return DueAction::kNone;
+}
+
+}  // namespace mecc::memctrl

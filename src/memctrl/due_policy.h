@@ -1,0 +1,97 @@
+// Detected-uncorrectable-error (DUE) handling policy: the graceful
+// degradation ladder a controller climbs when ECC gives up on a line.
+//
+//   rung 0  retry the read (cures transient read-path glitches)
+//   rung 1  scrub pass over the protected region (clears CE buildup
+//           before it turns into more DUEs)
+//   rung 2  force ECC-Upgrade of the region (re-encode everything
+//           strong; unrecoverable lines are reconstructed upstream)
+//   rung 3  fall back to the 64 ms refresh divider and latch `degraded`
+//           (give up on refresh savings, never on data)
+//
+// The ladder is monotone and latching: every *unrecovered* DUE climbs
+// one rung, disabled rungs are skipped, and once `degraded` is latched
+// the memory stays at the JEDEC refresh rate until the host intervenes.
+// The policy itself is a pure state machine — the System wires each
+// action to the shadow memory / MECC engine / controller — so it is
+// unit-testable and reusable by other memory-side agents.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace mecc::memctrl {
+
+struct DuePolicyConfig {
+  /// Read retries attempted before escalating (rung 0).
+  unsigned max_retries = 1;
+  /// Individual rungs can be disabled to study partial ladders.
+  bool scrub_enabled = true;
+  bool upgrade_enabled = true;
+  bool fallback_enabled = true;
+};
+
+/// What the controller must do next for an unrecovered DUE.
+enum class DueAction : std::uint8_t {
+  kNone,             // ladder exhausted (already degraded)
+  kScrub,            // run a scrub pass
+  kForceUpgrade,     // force ECC-Upgrade of the region
+  kRefreshFallback,  // drop to the 64 ms divider, latch degraded
+};
+
+[[nodiscard]] const char* due_action_name(DueAction a);
+
+class DuePolicy {
+ public:
+  explicit DuePolicy(const DuePolicyConfig& config) : config_(config) {}
+
+  [[nodiscard]] const DuePolicyConfig& config() const { return config_; }
+
+  /// A decode corrected `bits` flipped bits (CE bookkeeping).
+  void on_ce(std::size_t bits) {
+    stats_.add("ce");
+    stats_.add("ce_bits", bits);
+  }
+
+  /// A decode returned data that failed an integrity check (shadow
+  /// campaigns only; real hardware cannot see these).
+  void on_silent_corruption() { stats_.add("silent"); }
+
+  /// A decode reported uncorrectable.
+  void on_due() { stats_.add("due"); }
+
+  /// One retry finished. Returns through to the caller's loop.
+  void on_retry(bool success) {
+    stats_.add("retries");
+    if (success) stats_.add("retry_success");
+  }
+
+  /// Retries are exhausted and the DUE stands: climb the ladder one
+  /// rung and return the escalation action to execute.
+  [[nodiscard]] DueAction escalate();
+
+  /// True once the refresh fallback latched; the memory must run at the
+  /// 64 ms divider from here on.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+  /// Current rung (0 = nothing escalated yet), for observability.
+  [[nodiscard]] unsigned level() const { return level_; }
+
+  /// Counters (due, retries, retry_success, scrubs, forced_upgrades,
+  /// refresh_fallbacks, ce, ce_bits, silent) plus the `degraded` and
+  /// `escalation_level` gauges.
+  void export_stats(StatSet& out) const {
+    out.merge("", stats_);
+    out.set_gauge("degraded", degraded_ ? 1.0 : 0.0);
+    out.set_gauge("escalation_level", static_cast<double>(level_));
+  }
+
+ private:
+  DuePolicyConfig config_;
+  unsigned level_ = 0;  // 0 none, 1 scrubbed, 2 upgraded, 3 degraded
+  bool degraded_ = false;
+  StatSet stats_;
+};
+
+}  // namespace mecc::memctrl

@@ -7,6 +7,10 @@ namespace mecc::reliability {
 
 std::size_t FaultInjector::inject(BitVec& word, double ber) {
   if (ber <= 0.0 || word.empty()) return 0;
+  if (ber >= 1.0) {
+    inject_exact(word, word.size());
+    return word.size();
+  }
   std::binomial_distribution<std::size_t> dist(word.size(), ber);
   const std::size_t count = dist(rng_.engine());
   inject_exact(word, count);
@@ -14,6 +18,12 @@ std::size_t FaultInjector::inject(BitVec& word, double ber) {
 }
 
 void FaultInjector::inject_exact(BitVec& word, std::size_t count) {
+  if (count >= word.size()) {
+    // Saturate: every bit flips exactly once. Rejection sampling below
+    // would never terminate past the word length (and crawl near it).
+    for (std::size_t i = 0; i < word.size(); ++i) word.flip(i);
+    return;
+  }
   std::set<std::size_t> flipped;
   while (flipped.size() < count) {
     const std::size_t pos = rng_.next_below(word.size());

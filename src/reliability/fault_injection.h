@@ -18,10 +18,13 @@ class FaultInjector {
 
   /// Flips each bit of `word` independently with probability `ber`.
   /// Returns the number of bits flipped. Uses binomial count + positions
-  /// so it stays O(flips) even for long words at low BER.
+  /// so it stays O(flips) even for long words at low BER. `ber >= 1`
+  /// deterministically flips every bit; `ber <= 0` flips none.
   std::size_t inject(BitVec& word, double ber);
 
-  /// Flips exactly `count` distinct random bits.
+  /// Flips exactly `count` distinct random bits. A `count` exceeding the
+  /// word length saturates to flipping every bit (deterministically,
+  /// without consuming RNG state for the full-word case).
   void inject_exact(BitVec& word, std::size_t count);
 
   [[nodiscard]] Rng& rng() { return rng_; }

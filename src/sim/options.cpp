@@ -1,6 +1,9 @@
 #include "sim/options.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 #include "sim/thread_pool.h"
@@ -12,56 +15,149 @@ namespace {
 [[nodiscard]] bool parse_u64(const std::string& s, std::uint64_t& out) {
   if (s.empty()) return false;
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') return false;
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  // strtoull silently wraps an explicit minus sign; reject it.
+  if (s.front() == '-') return false;
   out = v;
   return true;
 }
 
+[[nodiscard]] bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+/// One recognized numeric knob, applied identically to the flag and the
+/// environment spelling. Returns false with `*error` set on a malformed
+/// or out-of-range value.
+struct Setter {
+  const char* what;  // e.g. "--jobs / MECC_JOBS"
+  bool (*apply)(const std::string& value, SimOptions& opts);
+  const char* constraint;  // e.g. "a positive integer"
+};
+
+[[nodiscard]] bool apply_or_error(const Setter& setter,
+                                  const std::string& value, SimOptions& opts,
+                                  std::string* error) {
+  if (setter.apply(value, opts)) return true;
+  if (error) {
+    *error = std::string("invalid value '") + value + "' for " + setter.what +
+             ": expected " + setter.constraint;
+  }
+  return false;
+}
+
+constexpr Setter kInstructions{
+    "--instructions / MECC_INSTRUCTIONS",
+    [](const std::string& v, SimOptions& o) {
+      std::uint64_t x = 0;
+      if (!parse_u64(v, x) || x == 0) return false;
+      o.instructions = x;
+      return true;
+    },
+    "a positive integer"};
+
+constexpr Setter kSeed{"--seed / MECC_SEED",
+                       [](const std::string& v, SimOptions& o) {
+                         std::uint64_t x = 0;
+                         if (!parse_u64(v, x)) return false;
+                         o.seed = x;
+                         return true;
+                       },
+                       "an unsigned integer"};
+
+constexpr Setter kJobs{
+    "--jobs / MECC_JOBS",
+    [](const std::string& v, SimOptions& o) {
+      std::uint64_t x = 0;
+      if (!parse_u64(v, x) || x == 0 ||
+          x > std::numeric_limits<unsigned>::max()) {
+        return false;
+      }
+      o.jobs = static_cast<unsigned>(x);
+      return true;
+    },
+    "a positive integer"};
+
+constexpr Setter kBer{"--ber / MECC_BER",
+                      [](const std::string& v, SimOptions& o) {
+                        double x = 0.0;
+                        if (!parse_double(v, x) || !(x >= 0.0) || x > 1.0) {
+                          return false;
+                        }
+                        o.ber = x;
+                        return true;
+                      },
+                      "a bit error rate in [0, 1]"};
+
+constexpr Setter kOut{"--out / MECC_OUT",
+                      [](const std::string& v, SimOptions& o) {
+                        if (v.empty()) return false;
+                        o.out = v;
+                        return true;
+                      },
+                      "a file path (or '-' for stdout)"};
+
 }  // namespace
 
-SimOptions parse_options(int argc, char** argv,
-                         InstCount default_instructions) {
+std::optional<SimOptions> parse_options_checked(int argc, char** argv,
+                                                InstCount default_instructions,
+                                                std::string* error) {
   SimOptions opts;
   opts.instructions = default_instructions;
   opts.jobs = ThreadPool::default_thread_count();
 
-  if (const char* env = std::getenv("MECC_INSTRUCTIONS")) {
-    std::uint64_t v = 0;
-    if (parse_u64(env, v) && v > 0) opts.instructions = v;
-  }
-  if (const char* env = std::getenv("MECC_SEED")) {
-    std::uint64_t v = 0;
-    if (parse_u64(env, v)) opts.seed = v;
-  }
-  if (const char* env = std::getenv("MECC_JOBS")) {
-    std::uint64_t v = 0;
-    if (parse_u64(env, v) && v > 0) opts.jobs = static_cast<unsigned>(v);
-  }
-  if (const char* env = std::getenv("MECC_OUT")) {
-    opts.out = env;
+  const struct {
+    const char* env;
+    const char* flag;  // including the trailing '='
+    const Setter& setter;
+  } knobs[] = {
+      {"MECC_INSTRUCTIONS", "--instructions=", kInstructions},
+      {"MECC_SEED", "--seed=", kSeed},
+      {"MECC_JOBS", "--jobs=", kJobs},
+      {"MECC_BER", "--ber=", kBer},
+      {"MECC_OUT", "--out=", kOut},
+  };
+
+  for (const auto& knob : knobs) {
+    if (const char* env = std::getenv(knob.env)) {
+      if (!apply_or_error(knob.setter, env, opts, error)) return std::nullopt;
+    }
   }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    const std::string inst_prefix = "--instructions=";
-    const std::string seed_prefix = "--seed=";
-    const std::string jobs_prefix = "--jobs=";
-    const std::string out_prefix = "--out=";
-    std::uint64_t v = 0;
-    if (arg.rfind(inst_prefix, 0) == 0 &&
-        parse_u64(arg.substr(inst_prefix.size()), v) && v > 0) {
-      opts.instructions = v;
-    } else if (arg.rfind(seed_prefix, 0) == 0 &&
-               parse_u64(arg.substr(seed_prefix.size()), v)) {
-      opts.seed = v;
-    } else if (arg.rfind(jobs_prefix, 0) == 0 &&
-               parse_u64(arg.substr(jobs_prefix.size()), v) && v > 0) {
-      opts.jobs = static_cast<unsigned>(v);
-    } else if (arg.rfind(out_prefix, 0) == 0) {
-      opts.out = arg.substr(out_prefix.size());
+    for (const auto& knob : knobs) {
+      const std::string prefix = knob.flag;
+      if (arg.rfind(prefix, 0) != 0) continue;
+      if (!apply_or_error(knob.setter, arg.substr(prefix.size()), opts,
+                          error)) {
+        return std::nullopt;
+      }
+      break;
     }
+    // Anything else: ignored (google-benchmark flags etc.).
   }
   return opts;
+}
+
+SimOptions parse_options(int argc, char** argv,
+                         InstCount default_instructions) {
+  std::string error;
+  const std::optional<SimOptions> opts =
+      parse_options_checked(argc, argv, default_instructions, &error);
+  if (!opts.has_value()) {
+    std::fprintf(stderr, "%s: error: %s\n", argc > 0 ? argv[0] : "mecc",
+                 error.c_str());
+    std::exit(2);
+  }
+  return *opts;
 }
 
 }  // namespace mecc::sim

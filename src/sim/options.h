@@ -6,13 +6,22 @@
 //   --seed=N           RNG seed
 //   --jobs=N           worker threads for suite sweeps (default: hardware
 //                      concurrency; 1 = serial, the pre-parallel behavior)
+//   --ber=X            raw bit error rate override in [0, 1] for the
+//                      fault-campaign benches (default: bench-specific)
 //   --out=FILE.json    machine-readable report (docs/STATS.md); "-" for
-//                      stdout. Empty (default) = no JSON emission.
-//   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS / MECC_OUT environment
-//   variables as fallbacks.
+//                      stdout. Omitted (default) = no JSON emission.
+//   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS / MECC_BER / MECC_OUT
+//   environment variables as fallbacks.
+//
+// Unknown flags are ignored (benches accept the google-benchmark flags
+// too), but a *recognized* flag with a malformed or out-of-range value
+// (--jobs=abc, --instructions=0, --ber=-1, an empty --out=) is a hard
+// error: parse_options prints a diagnostic and exits non-zero rather
+// than silently running with a default the user did not ask for.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/types.h"
@@ -25,12 +34,20 @@ struct SimOptions {
   // Worker threads for run_suite_parallel / run_jobs. parse_options
   // resolves this to >= 1 (hardware concurrency unless overridden).
   unsigned jobs = 0;
+  // Raw BER override for fault-campaign benches; < 0 = not set.
+  double ber = -1.0;
   // Destination for the schema-versioned JSON report ("" = off).
   std::string out;
 };
 
-/// Parses argv/env; unknown arguments are ignored (benches accept the
-/// google-benchmark flags too).
+/// Parses argv/env without exiting: returns the options, or nullopt
+/// with `*error` describing the first malformed recognized value.
+[[nodiscard]] std::optional<SimOptions> parse_options_checked(
+    int argc, char** argv, InstCount default_instructions,
+    std::string* error);
+
+/// parse_options_checked, with the standard bench-binary error policy:
+/// on a malformed value, print the diagnostic to stderr and exit(2).
 [[nodiscard]] SimOptions parse_options(int argc, char** argv,
                                        InstCount default_instructions);
 

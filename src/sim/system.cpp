@@ -100,6 +100,18 @@ void System::init_engine_and_core() {
     engine_ = std::make_unique<morph::Engine>(ec);
   }
 
+  if (config.fault.enabled && config.policy != EccPolicy::kNoEcc) {
+    morph::ShadowConfig sc;
+    sc.capacity_lines = config.fault.shadow_lines;
+    sc.sample_stride = config.fault.sample_stride;
+    sc.transient_read_ber = config.fault.transient_read_ber;
+    // Decorrelated from the trace generator's stream but still fully
+    // determined by the run seed.
+    sc.seed = config.seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+    shadow_ = std::make_unique<morph::ShadowMemory>(sc);
+    due_policy_ = std::make_unique<memctrl::DuePolicy>(config.fault.due);
+  }
+
   core_ = std::make_unique<cpu::InOrderCore>(
       cpu::CoreConfig{.base_ipc = base_ipc_, .width = 2}, *source_,
       [this](Address line, std::uint64_t tag) {
@@ -110,6 +122,7 @@ void System::init_engine_and_core() {
         const dram::MemCycle now = core_->cycles() / kCpuCyclesPerMemCycle;
         if (!controller_.enqueue_write(line, now)) return false;
         if (engine_) engine_->on_write(line);
+        shadow_write(line);
         return true;
       });
   register_stats();
@@ -131,6 +144,12 @@ void System::register_stats() {
     registry_.register_component(
         "mecc", [this](StatSet& s) { s.merge("", engine_->stats()); });
   }
+  if (shadow_) {
+    registry_.register_component("errors", [this](StatSet& s) {
+      due_policy_->export_stats(s);
+      shadow_->export_stats(s);
+    });
+  }
   registry_.register_component("power", [this](StatSet& s) {
     s.set_gauge("background_mj", cumulative_energy_.background_mj);
     s.set_gauge("activate_mj", cumulative_energy_.activate_mj);
@@ -145,7 +164,9 @@ void System::register_stats() {
 
 System::~System() = default;
 
-Cycle System::decode_latency(Address line_addr, bool forwarded) {
+Cycle System::decode_latency(Address line_addr, bool forwarded,
+                             bool& downgraded) {
+  downgraded = false;
   // Forwarded reads were served from the controller's write queue: the
   // data never traversed an ECC decoder.
   if (forwarded) return 0;
@@ -160,7 +181,10 @@ Cycle System::decode_latency(Address line_addr, bool forwarded) {
       return ecc_model_.decode_cycles(ecc::Scheme::kEcc6);
     case EccPolicy::kMecc: {
       const morph::ReadDecision d = engine_->on_read(line_addr);
-      if (d.downgrade) pending_downgrade_writes_.push_back(line_addr);
+      if (d.downgrade) {
+        pending_downgrade_writes_.push_back(line_addr);
+        downgraded = true;
+      }
       if (d.decode_mode == morph::LineMode::kStrong) {
         ++strong_decodes_;
         return ecc_model_.decode_cycles(ecc::Scheme::kEcc6);
@@ -172,10 +196,72 @@ Cycle System::decode_latency(Address line_addr, bool forwarded) {
   return 0;
 }
 
+void System::shadow_write(Address line_addr) {
+  if (!shadow_) return;
+  morph::LineMode mode = morph::LineMode::kWeak;
+  switch (config_.policy) {
+    case EccPolicy::kNoEcc:  // shadow never built for kNoEcc
+    case EccPolicy::kSecded:
+      mode = morph::LineMode::kWeak;
+      break;
+    case EccPolicy::kEcc6:
+      mode = morph::LineMode::kStrong;
+      break;
+    case EccPolicy::kMecc:
+      // engine_->on_write already ran: the mode store holds the mode the
+      // write was actually encoded with.
+      mode = engine_->modes().mode_of(line_addr);
+      break;
+  }
+  shadow_->on_write(line_addr, mode);
+}
+
+void System::shadow_read(Address line_addr, bool downgraded) {
+  if (!shadow_) return;
+  const morph::ShadowReadOutcome o = shadow_->on_read(line_addr, downgraded);
+  if (!o.shadowed) return;
+  if (o.corrected_bits > 0 || o.mode_repaired) {
+    due_policy_->on_ce(o.corrected_bits);
+  }
+  if (o.silent_corruption) due_policy_->on_silent_corruption();
+  if (!o.due) return;
+
+  // DUE: retry the read (rung 0 — cures transient read-path glitches),
+  // then climb the degradation ladder.
+  due_policy_->on_due();
+  bool recovered = false;
+  for (unsigned i = 0;
+       i < due_policy_->config().max_retries && !recovered; ++i) {
+    const morph::ShadowReadOutcome r = shadow_->retry_read(line_addr);
+    recovered = !r.due;
+    due_policy_->on_retry(recovered);
+  }
+  if (recovered) return;
+  switch (due_policy_->escalate()) {
+    case memctrl::DueAction::kScrub:
+      (void)shadow_->scrub();
+      break;
+    case memctrl::DueAction::kForceUpgrade:
+      (void)shadow_->force_upgrade();
+      if (engine_) engine_->force_upgrade();
+      break;
+    case memctrl::DueAction::kRefreshFallback:
+      if (engine_) engine_->set_degraded(true);
+      controller_.set_refresh_divider(1);
+      break;
+    case memctrl::DueAction::kNone:
+      break;  // ladder exhausted; the DUE was reported upstream
+  }
+}
+
 void System::handle_completion(const memctrl::ReadCompletion& c, Cycle now) {
   const Cycle data_at_cpu = c.done * kCpuCyclesPerMemCycle;
-  const Cycle ready =
-      std::max(now, data_at_cpu) + decode_latency(c.line_addr, c.forwarded);
+  bool downgraded = false;
+  const Cycle ready = std::max(now, data_at_cpu) +
+                      decode_latency(c.line_addr, c.forwarded, downgraded);
+  // Forwarded reads never left the controller, so the stored codeword
+  // was not decoded and the shadow stays out of the loop.
+  if (!c.forwarded) shadow_read(c.line_addr, downgraded);
   pending_data_.push_back({.ready = ready, .tag = c.id});
 }
 
@@ -313,6 +399,20 @@ RunResult System::run_period(InstCount instructions) {
   cumulative_energy_.refresh_mj += r.energy.refresh_mj;
   cumulative_energy_.ecc_mj += r.energy.ecc_mj;
   cumulative_energy_.seconds += r.energy.seconds;
+
+  // Fault campaign, SMD scenario: an active period that ended with the
+  // refresh divider slowed (downgrade held off, memory kept all-strong
+  // at the idle rate) accumulates retention errors while awake too —
+  // modeled as one injection at that divider's BER per period.
+  if (shadow_ && engine_ && engine_->active_refresh_divider() > 1) {
+    const double ber =
+        config_.fault.ber_override >= 0.0
+            ? config_.fault.ber_override
+            : retention_.bit_failure_probability(
+                  0.064 * engine_->active_refresh_divider());
+    (void)shadow_->inject_retention_errors(ber);
+  }
+
   r.stats = registry_.snapshot();
   return r;
 }
@@ -342,9 +442,12 @@ IdleReport System::idle_period(double seconds) {
     rep.lines_upgraded = up.lines_upgraded;
     rep.upgrade_seconds = up.upgrade_seconds;
     now_ += up.upgrade_cycles;
-    divider = engine_->config().idle_refresh_divider;
+    if (shadow_) shadow_->upgrade_all();  // functional ECC-Upgrade mirror
+    divider = engine_->idle_refresh_divider();  // 1 once degraded
   } else if (config_.policy == EccPolicy::kEcc6) {
-    divider = 16;  // always-strong systems also sleep at 1 s
+    // Always-strong systems also sleep at 1 s — unless the DUE ladder
+    // latched the 64 ms fallback.
+    divider = (due_policy_ && due_policy_->degraded()) ? 1 : 16;
   }
   rep.refresh_period_s = 0.064 * divider;
 
@@ -371,6 +474,21 @@ IdleReport System::idle_period(double seconds) {
       device_.counters(mem_now).self_refresh_pulses - pulses_before;
   rep.idle_energy_mj =
       power_model_.idle_power(rep.refresh_period_s).total_mw() * seconds;
+
+  // Fault campaign: one idle period's worth of retention errors lands in
+  // the stored codewords, at the BER the retention model assigns to the
+  // refresh period this sleep actually used (or the configured override).
+  // At the nominal 64 ms period — including after the DUE ladder's
+  // refresh fallback latched — cells hold their charge and nothing is
+  // injected: degradation trades the refresh savings for correctness.
+  if (shadow_ && rep.refresh_period_s > 0.064) {
+    const double ber =
+        config_.fault.ber_override >= 0.0
+            ? config_.fault.ber_override
+            : retention_.bit_failure_probability(rep.refresh_period_s);
+    rep.injected_ber = ber;
+    rep.injected_bits = shadow_->inject_retention_errors(ber);
+  }
 
   // Wake up: refresh schedule restarts, SMD re-arms.
   controller_.resync_refresh(mem_now);

@@ -19,8 +19,11 @@
 #include "dram/device.h"
 #include "ecc/ecc_model.h"
 #include "mecc/engine.h"
+#include "mecc/shadow_memory.h"
 #include "memctrl/controller.h"
+#include "memctrl/due_policy.h"
 #include "power/power_model.h"
+#include "reliability/retention_model.h"
 #include "trace/benchmarks.h"
 #include "trace/trace_source.h"
 
@@ -29,6 +32,26 @@ namespace mecc::sim {
 enum class EccPolicy : std::uint8_t { kNoEcc, kSecded, kEcc6, kMecc };
 
 [[nodiscard]] std::string policy_name(EccPolicy p);
+
+/// Fault-campaign knobs: attach a sampled-set functional shadow memory
+/// (morph::ShadowMemory) to the System so idle periods at a slowed
+/// refresh inject real retention errors into stored codewords, every
+/// shadowed access runs through the real LineCodec, and DUEs climb the
+/// memctrl::DuePolicy degradation ladder. docs/RELIABILITY.md.
+struct FaultCampaignConfig {
+  bool enabled = false;  // requires an ECC policy (not kNoEcc)
+  /// Shadowed-line capacity and address sampling (see ShadowConfig).
+  std::size_t shadow_lines = 4096;
+  Address sample_stride = 1;
+  /// Idle-period BER override; < 0 derives the BER from the
+  /// RetentionModel at the effective idle refresh period.
+  double ber_override = -1.0;
+  /// Per-read transient bit error rate (read-path glitches a controller
+  /// retry can cure). 0 = persistent retention errors only.
+  double transient_read_ber = 0.0;
+  /// DUE escalation ladder configuration.
+  memctrl::DuePolicyConfig due{};
+};
 
 struct SystemConfig {
   EccPolicy policy = EccPolicy::kNoEcc;
@@ -73,6 +96,7 @@ struct SystemConfig {
   dram::Timing timing{};
   memctrl::ControllerConfig controller{};
   power::PowerParams power{};
+  FaultCampaignConfig fault{};
 
   // Nominal read latency used to back out each benchmark's non-memory
   // retire rate from its Table III IPC.
@@ -97,6 +121,11 @@ struct IdleReport {
   double idle_energy_mj = 0.0;        // refresh + background while asleep
   std::uint64_t refresh_pulses = 0;   // internal SR refreshes performed
   double refresh_period_s = 0.064;    // effective period while asleep
+
+  // Fault campaign (when SystemConfig::fault.enabled): retention errors
+  // injected into the shadow memory during this idle period.
+  std::uint64_t injected_bits = 0;
+  double injected_ber = 0.0;
 };
 
 struct RunResult {
@@ -170,6 +199,11 @@ class System {
   /// The MECC engine (valid only for EccPolicy::kMecc; null otherwise).
   [[nodiscard]] morph::Engine* engine() { return engine_.get(); }
 
+  /// The fault-campaign shadow memory and DUE policy (valid only when
+  /// SystemConfig::fault.enabled with an ECC policy; null otherwise).
+  [[nodiscard]] morph::ShadowMemory* shadow() { return shadow_.get(); }
+  [[nodiscard]] memctrl::DuePolicy* due_policy() { return due_policy_.get(); }
+
   /// Non-memory retire rate backed out of the paper IPC (exposed for
   /// tests / Table III reporting).
   [[nodiscard]] double base_ipc() const { return base_ipc_; }
@@ -188,7 +222,11 @@ class System {
   void init_engine_and_core();
   void register_stats();
   void handle_completion(const memctrl::ReadCompletion& c, Cycle now);
-  [[nodiscard]] Cycle decode_latency(Address line_addr, bool forwarded);
+  [[nodiscard]] Cycle decode_latency(Address line_addr, bool forwarded,
+                                     bool& downgraded);
+  // Fault-campaign hooks (no-ops when the shadow is disabled).
+  void shadow_write(Address line_addr);
+  void shadow_read(Address line_addr, bool downgraded);
 
   trace::BenchmarkProfile profile_;
   SystemConfig config_;
@@ -201,6 +239,13 @@ class System {
   std::unique_ptr<morph::Engine> engine_;
   ecc::EccModel ecc_model_;
   power::PowerModel power_model_;
+
+  // Fault campaign (SystemConfig::fault.enabled): functional shadow +
+  // DUE degradation ladder + the retention model the idle-period BER is
+  // drawn from.
+  std::unique_ptr<morph::ShadowMemory> shadow_;
+  std::unique_ptr<memctrl::DuePolicy> due_policy_;
+  reliability::RetentionModel retention_;
 
   StatRegistry registry_;
   power::ActiveEnergy cumulative_energy_;  // across all active periods

@@ -146,6 +146,80 @@ TEST(MemoryImage, ScrubOnReadClearsAccumulatedErrors) {
   EXPECT_EQ(img.stats().corrected_bits, before);
 }
 
+TEST(MemoryImage, ModeReplicaFlipsRepairedByTrialDecode) {
+  // Flipping 1..3 of the 4 replicated mode bits leaves the replicas in
+  // disagreement; trial decoding recovers the data and the read-scrub
+  // rewrites the line with clean replicas.
+  Rng rng(11);
+  for (std::size_t flips = 1; flips <= 3; ++flips) {
+    for (const LineMode mode : {LineMode::kWeak, LineMode::kStrong}) {
+      MemoryImage img(1);
+      const BitVec d = random_line(rng);
+      img.write_line(0, d, mode);
+      for (std::size_t r = 0; r < flips; ++r) {
+        img.flip_stored_bit(0, kDataBits + r);
+      }
+      const auto out = img.read_line(0, /*downgrade=*/false);
+      ASSERT_TRUE(out.has_value()) << "flips=" << flips;
+      EXPECT_EQ(*out, d);
+      EXPECT_EQ(img.stats().mode_bit_repairs, 1u);
+      EXPECT_EQ(img.stats().uncorrectable, 0u);
+      // The scrub restored unanimous replicas: a second read needs no
+      // trial decode.
+      EXPECT_EQ(img.stored_mode(0), mode);
+      (void)img.read_line(0, false);
+      EXPECT_EQ(img.stats().mode_bit_repairs, 1u);
+    }
+  }
+}
+
+TEST(MemoryImage, AllFourModeReplicasFlippedOnWeakLineIsUncorrectable) {
+  // All four replicas flipping in the same idle period makes a weak line
+  // claim unanimously to be strong; the BCH decoder then runs over
+  // SEC-DED check bits and (with overwhelming probability) reports the
+  // line uncorrectable — the replication limit the paper accepts.
+  MemoryImage img(1);
+  Rng rng(12);
+  const BitVec d = random_line(rng);
+  img.write_line(0, d, LineMode::kWeak);
+  for (std::size_t r = 0; r < kModeReplicas; ++r) {
+    img.flip_stored_bit(0, kDataBits + r);
+  }
+  EXPECT_EQ(img.stored_mode(0), LineMode::kStrong);  // unanimous lie
+  EXPECT_FALSE(img.read_line(0, false).has_value());
+  EXPECT_EQ(img.stats().uncorrectable, 1u);
+  // Uncorrectable lines are left untouched, so the DUE repeats.
+  EXPECT_FALSE(img.read_line(0, false).has_value());
+  EXPECT_EQ(img.stats().uncorrectable, 2u);
+}
+
+TEST(MemoryImage, ScrubAllRepairsAndReportsUncorrectable) {
+  MemoryImage img(4);
+  Rng rng(13);
+  std::vector<BitVec> data;
+  for (std::size_t i = 0; i < 4; ++i) {
+    data.push_back(random_line(rng));
+    img.write_line(i, data[i], LineMode::kStrong);
+  }
+  img.flip_stored_bit(1, 100);               // correctable data flip
+  img.flip_stored_bit(2, kDataBits);         // mode-replica flip
+  for (std::size_t b = 0; b < 8; ++b) {      // beyond t=6: uncorrectable
+    img.flip_stored_bit(3, 50 + 7 * b);
+  }
+  const ScrubReport rep = img.scrub_all();
+  EXPECT_EQ(rep.lines, 4u);
+  EXPECT_EQ(rep.repaired_lines, 2u);
+  EXPECT_EQ(rep.corrected_bits, 1u);
+  EXPECT_EQ(rep.uncorrectable, 1u);
+  // A second pass finds the repaired lines clean.
+  const ScrubReport again = img.scrub_all();
+  EXPECT_EQ(again.repaired_lines, 0u);
+  EXPECT_EQ(again.uncorrectable, 1u);
+  EXPECT_EQ(*img.read_line(0, false), data[0]);
+  EXPECT_EQ(*img.read_line(1, false), data[1]);
+  EXPECT_EQ(*img.read_line(2, false), data[2]);
+}
+
 TEST(MemoryImage, StatsCount) {
   MemoryImage img(2);
   Rng rng(10);

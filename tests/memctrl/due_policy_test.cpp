@@ -1,0 +1,87 @@
+#include "memctrl/due_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mecc::memctrl {
+namespace {
+
+TEST(DuePolicy, LadderClimbsOneRungPerEscalation) {
+  DuePolicy p{DuePolicyConfig{}};
+  EXPECT_EQ(p.level(), 0u);
+  EXPECT_FALSE(p.degraded());
+  EXPECT_EQ(p.escalate(), DueAction::kScrub);
+  EXPECT_EQ(p.level(), 1u);
+  EXPECT_EQ(p.escalate(), DueAction::kForceUpgrade);
+  EXPECT_EQ(p.level(), 2u);
+  EXPECT_EQ(p.escalate(), DueAction::kRefreshFallback);
+  EXPECT_EQ(p.level(), 3u);
+  EXPECT_TRUE(p.degraded());
+  // Ladder exhausted: further DUEs have nothing left to try.
+  EXPECT_EQ(p.escalate(), DueAction::kNone);
+  EXPECT_EQ(p.level(), 3u);
+  EXPECT_TRUE(p.degraded());
+}
+
+TEST(DuePolicy, DisabledRungsAreSkippedWithinOneEscalation) {
+  DuePolicyConfig cfg;
+  cfg.scrub_enabled = false;
+  cfg.upgrade_enabled = false;
+  DuePolicy p{cfg};
+  // First escalation jumps straight to the refresh fallback.
+  EXPECT_EQ(p.escalate(), DueAction::kRefreshFallback);
+  EXPECT_TRUE(p.degraded());
+  EXPECT_EQ(p.level(), 3u);
+}
+
+TEST(DuePolicy, FullyDisabledLadderNeverDegrades) {
+  DuePolicyConfig cfg;
+  cfg.scrub_enabled = false;
+  cfg.upgrade_enabled = false;
+  cfg.fallback_enabled = false;
+  DuePolicy p{cfg};
+  EXPECT_EQ(p.escalate(), DueAction::kNone);
+  EXPECT_EQ(p.escalate(), DueAction::kNone);
+  EXPECT_FALSE(p.degraded());
+  EXPECT_EQ(p.level(), 3u);  // rungs burned, but nothing acted
+}
+
+TEST(DuePolicy, StatsCountEveryEvent) {
+  DuePolicy p{DuePolicyConfig{}};
+  p.on_ce(3);
+  p.on_ce(2);
+  p.on_silent_corruption();
+  p.on_due();
+  p.on_retry(false);
+  p.on_retry(true);
+  (void)p.escalate();  // scrub
+  (void)p.escalate();  // upgrade
+  (void)p.escalate();  // fallback
+
+  StatSet s;
+  p.export_stats(s);
+  EXPECT_EQ(s.counter("ce"), 2u);
+  EXPECT_EQ(s.counter("ce_bits"), 5u);
+  EXPECT_EQ(s.counter("silent"), 1u);
+  EXPECT_EQ(s.counter("due"), 1u);
+  EXPECT_EQ(s.counter("retries"), 2u);
+  EXPECT_EQ(s.counter("retry_success"), 1u);
+  EXPECT_EQ(s.counter("scrubs"), 1u);
+  EXPECT_EQ(s.counter("forced_upgrades"), 1u);
+  EXPECT_EQ(s.counter("refresh_fallbacks"), 1u);
+  EXPECT_DOUBLE_EQ(s.gauge("degraded"), 1.0);
+  EXPECT_DOUBLE_EQ(s.gauge("escalation_level"), 3.0);
+}
+
+TEST(DuePolicy, ActionNames) {
+  EXPECT_EQ(std::string(due_action_name(DueAction::kNone)), "none");
+  EXPECT_EQ(std::string(due_action_name(DueAction::kScrub)), "scrub");
+  EXPECT_EQ(std::string(due_action_name(DueAction::kForceUpgrade)),
+            "force_upgrade");
+  EXPECT_EQ(std::string(due_action_name(DueAction::kRefreshFallback)),
+            "refresh_fallback");
+}
+
+}  // namespace
+}  // namespace mecc::memctrl

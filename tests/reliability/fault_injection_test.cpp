@@ -23,6 +23,47 @@ TEST(FaultInjector, ZeroBerFlipsNothing) {
   EXPECT_FALSE(w.any());
 }
 
+TEST(FaultInjector, BerOneFlipsEveryBit) {
+  FaultInjector fi(11);
+  BitVec w(523);
+  EXPECT_EQ(fi.inject(w, 1.0), w.size());
+  EXPECT_EQ(w.popcount(), w.size());
+  // And back again: a second full-rate pass returns to all-clean.
+  EXPECT_EQ(fi.inject(w, 1.0), w.size());
+  EXPECT_FALSE(w.any());
+}
+
+TEST(FaultInjector, ExactCountSaturatesAtWordSize) {
+  // Asking for more flips than the word has bits cannot be satisfied by
+  // rejection sampling; the injector saturates by flipping every bit
+  // exactly once instead of spinning forever.
+  for (const std::size_t count : {std::size_t{512}, std::size_t{513},
+                                  std::size_t{100'000}}) {
+    FaultInjector fi(13);
+    BitVec w(512);
+    fi.inject_exact(w, count);
+    EXPECT_EQ(w.popcount(), w.size()) << "count=" << count;
+  }
+}
+
+TEST(FaultInjector, SaturatedExactCountIsSeedIndependent) {
+  // The saturation path consumes no randomness: any two injectors agree.
+  FaultInjector a(1);
+  FaultInjector b(999);
+  BitVec wa(64);
+  BitVec wb(64);
+  a.inject_exact(wa, 1000);
+  b.inject_exact(wb, 1000);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST(FaultInjector, ExactZeroFlipsNothing) {
+  FaultInjector fi(17);
+  BitVec w(128);
+  fi.inject_exact(w, 0);
+  EXPECT_FALSE(w.any());
+}
+
 TEST(FaultInjector, InjectionRateMatchesBer) {
   FaultInjector fi(3);
   const double ber = 0.01;

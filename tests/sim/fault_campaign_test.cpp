@@ -1,0 +1,154 @@
+// End-to-end tests of the fault-injection campaign plumbing in
+// sim::System: shadow attachment, errors.* stats, the DUE degradation
+// ladder, and the campaign's determinism / timing-neutrality contracts.
+#include <gtest/gtest.h>
+
+#include "reliability/retention_model.h"
+#include "sim/system.h"
+#include "trace/benchmarks.h"
+
+namespace mecc::sim {
+namespace {
+
+SystemConfig campaign_config(EccPolicy policy = EccPolicy::kMecc) {
+  SystemConfig cfg;
+  cfg.policy = policy;
+  // Long enough for the synthetic traces to re-read lines they wrote —
+  // shadow classification only happens on read-after-write addresses.
+  cfg.instructions = 200'000;
+  cfg.seed = 1;
+  cfg.fault.enabled = true;
+  cfg.fault.shadow_lines = 1024;
+  return cfg;
+}
+
+const trace::BenchmarkProfile& profile() {
+  return trace::all_benchmarks()[0];
+}
+
+TEST(FaultCampaign, ShadowAttachesAndErrorsStatsAppear) {
+  System system(profile(), campaign_config());
+  ASSERT_NE(system.shadow(), nullptr);
+  ASSERT_NE(system.due_policy(), nullptr);
+  const RunResult r = system.run();
+  EXPECT_GT(r.stats.counter("errors.shadow_writes"), 0u);
+  EXPECT_GT(r.stats.counter("errors.shadow_reads"), 0u);
+  // Nothing was injected: the campaign must be error-free.
+  EXPECT_EQ(r.stats.counter("errors.due"), 0u);
+  EXPECT_EQ(r.stats.counter("errors.silent"), 0u);
+  EXPECT_DOUBLE_EQ(r.stats.gauge("errors.degraded"), 0.0);
+}
+
+TEST(FaultCampaign, DisabledByDefaultAndForNoEcc) {
+  SystemConfig off;
+  off.policy = EccPolicy::kMecc;
+  off.instructions = 10'000;
+  System plain(profile(), off);
+  EXPECT_EQ(plain.shadow(), nullptr);
+  EXPECT_EQ(plain.due_policy(), nullptr);
+
+  System noecc(profile(), campaign_config(EccPolicy::kNoEcc));
+  EXPECT_EQ(noecc.shadow(), nullptr);  // nothing to decode, ever
+}
+
+TEST(FaultCampaign, ShadowIsTimingNeutral) {
+  // The shadow is purely functional: enabling the campaign must not move
+  // a single simulated cycle.
+  SystemConfig with = campaign_config();
+  SystemConfig without = with;
+  without.fault.enabled = false;
+  System a(profile(), with);
+  System b(profile(), without);
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  EXPECT_EQ(ra.cpu_cycles, rb.cpu_cycles);
+  EXPECT_EQ(ra.reads, rb.reads);
+  EXPECT_EQ(ra.downgrades, rb.downgrades);
+}
+
+TEST(FaultCampaign, IdleInjectionUsesRetentionModelBer) {
+  SystemConfig cfg = campaign_config();
+  System system(profile(), cfg);
+  (void)system.run();
+  const IdleReport rep = system.idle_period(5.0);
+  // MECC idles at the slowed refresh; the injected BER must match the
+  // RetentionModel at the effective refresh period.
+  ASSERT_GT(rep.refresh_period_s, 0.064);
+  const reliability::RetentionModel retention;
+  EXPECT_DOUBLE_EQ(rep.injected_ber,
+                   retention.bit_failure_probability(rep.refresh_period_s));
+}
+
+TEST(FaultCampaign, BerOverrideWins) {
+  SystemConfig cfg = campaign_config();
+  cfg.fault.ber_override = 3e-3;
+  System system(profile(), cfg);
+  (void)system.run();
+  const IdleReport rep = system.idle_period(5.0);
+  EXPECT_DOUBLE_EQ(rep.injected_ber, 3e-3);
+  EXPECT_GT(rep.injected_bits, 0u);
+}
+
+TEST(FaultCampaign, DueLadderClimbsToDegradedUnderHeavyInjection) {
+  SystemConfig cfg = campaign_config();
+  cfg.fault.ber_override = 8e-3;  // far beyond ECC-6 at wake-up
+  System system(profile(), cfg);
+  // Three poisoned sleeps: at this slice length each wake-up sees only a
+  // few shadowed reads, so roughly one unrecovered DUE escalates per
+  // period — scrub, then forced upgrade, then the refresh fallback.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    (void)system.run_period(cfg.instructions);
+    (void)system.idle_period(10.0);
+  }
+  const RunResult r = system.run_period(cfg.instructions);
+
+  EXPECT_GT(r.stats.counter("errors.due"), 0u);
+  EXPECT_GT(r.stats.counter("errors.retries"), 0u);
+  EXPECT_EQ(r.stats.counter("errors.scrubs"), 1u);
+  EXPECT_EQ(r.stats.counter("errors.forced_upgrades"), 1u);
+  EXPECT_EQ(r.stats.counter("errors.refresh_fallbacks"), 1u);
+  EXPECT_DOUBLE_EQ(r.stats.gauge("errors.degraded"), 1.0);
+  EXPECT_TRUE(system.due_policy()->degraded());
+  // Degraded memory refreshes at the JEDEC 64 ms period from here on,
+  // even through MECC idle entry.
+  const IdleReport rep = system.idle_period(1.0);
+  EXPECT_DOUBLE_EQ(rep.refresh_period_s, 0.064);
+  EXPECT_EQ(rep.injected_bits, 0u);  // no slowed refresh, no injection
+}
+
+TEST(FaultCampaign, LifecycleIsDeterministic) {
+  auto run_once = [] {
+    SystemConfig cfg = campaign_config();
+    cfg.fault.ber_override = 8e-3;
+    cfg.fault.transient_read_ber = 1e-3;
+    System system(profile(), cfg);
+    (void)system.run_period(cfg.instructions);
+    (void)system.idle_period(10.0);
+    const RunResult r = system.run_period(cfg.instructions);
+    return r.stats;
+  };
+  const StatSet a = run_once();
+  const StatSet b = run_once();
+  EXPECT_EQ(a.counter("errors.due"), b.counter("errors.due"));
+  EXPECT_EQ(a.counter("errors.ce_bits"), b.counter("errors.ce_bits"));
+  EXPECT_EQ(a.counter("errors.retries"), b.counter("errors.retries"));
+  EXPECT_EQ(a.counter("errors.injected_bits"),
+            b.counter("errors.injected_bits"));
+}
+
+TEST(FaultCampaign, WorksForStaticEccPoliciesToo) {
+  // SECDED and ECC-6 have no engine, but the shadow still mirrors their
+  // fixed protection mode and counts decode outcomes.
+  for (const EccPolicy policy : {EccPolicy::kSecded, EccPolicy::kEcc6}) {
+    SystemConfig cfg = campaign_config(policy);
+    System system(profile(), cfg);
+    ASSERT_NE(system.shadow(), nullptr) << policy_name(policy);
+    const RunResult r = system.run();
+    EXPECT_GT(r.stats.counter("errors.shadow_reads"), 0u)
+        << policy_name(policy);
+    EXPECT_EQ(r.stats.counter("errors.due"), 0u) << policy_name(policy);
+  }
+}
+
+}  // namespace
+}  // namespace mecc::sim

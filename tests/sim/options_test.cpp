@@ -3,27 +3,39 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
 
 namespace mecc::sim {
 namespace {
 
-SimOptions parse(std::vector<const char*> args, InstCount def = 1000) {
+std::optional<SimOptions> parse_checked(std::vector<const char*> args,
+                                        std::string* error = nullptr,
+                                        InstCount def = 1000) {
   args.insert(args.begin(), "prog");
-  return parse_options(static_cast<int>(args.size()),
-                       const_cast<char**>(args.data()), def);
+  return parse_options_checked(static_cast<int>(args.size()),
+                               const_cast<char**>(args.data()), def, error);
+}
+
+SimOptions parse(std::vector<const char*> args, InstCount def = 1000) {
+  const auto o = parse_checked(std::move(args), nullptr, def);
+  EXPECT_TRUE(o.has_value());
+  return o.value_or(SimOptions{});
 }
 
 class OptionsTest : public ::testing::Test {
  protected:
-  void SetUp() override {
+  void SetUp() override { clear_env(); }
+  void TearDown() override { clear_env(); }
+
+ private:
+  static void clear_env() {
     unsetenv("MECC_INSTRUCTIONS");
     unsetenv("MECC_SEED");
     unsetenv("MECC_JOBS");
-  }
-  void TearDown() override {
-    unsetenv("MECC_INSTRUCTIONS");
-    unsetenv("MECC_SEED");
-    unsetenv("MECC_JOBS");
+    unsetenv("MECC_BER");
+    unsetenv("MECC_OUT");
   }
 };
 
@@ -31,6 +43,8 @@ TEST_F(OptionsTest, DefaultsApply) {
   const SimOptions o = parse({}, 12345);
   EXPECT_EQ(o.instructions, 12345u);
   EXPECT_EQ(o.seed, 1u);
+  EXPECT_LT(o.ber, 0.0);  // "not set"
+  EXPECT_TRUE(o.out.empty());
 }
 
 TEST_F(OptionsTest, ArgvOverrides) {
@@ -53,15 +67,27 @@ TEST_F(OptionsTest, ArgvBeatsEnv) {
   EXPECT_EQ(o.instructions, 55u);
 }
 
-TEST_F(OptionsTest, MalformedValuesIgnored) {
-  const SimOptions o = parse({"--instructions=abc", "--seed=1x"}, 99);
-  EXPECT_EQ(o.instructions, 99u);
-  EXPECT_EQ(o.seed, 1u);
+// A *recognized* flag with a malformed value is a hard parse error — the
+// run must not continue silently on a default the user did not ask for.
+TEST_F(OptionsTest, MalformedValuesRejected) {
+  std::string error;
+  EXPECT_FALSE(parse_checked({"--instructions=abc"}, &error).has_value());
+  EXPECT_NE(error.find("--instructions"), std::string::npos);
+  EXPECT_FALSE(parse_checked({"--seed=1x"}, &error).has_value());
+  EXPECT_NE(error.find("--seed"), std::string::npos);
+  EXPECT_FALSE(parse_checked({"--seed=-3"}).has_value());
+  EXPECT_FALSE(parse_checked({"--instructions="}).has_value());
 }
 
 TEST_F(OptionsTest, ZeroInstructionsRejected) {
-  const SimOptions o = parse({"--instructions=0"}, 99);
-  EXPECT_EQ(o.instructions, 99u);
+  EXPECT_FALSE(parse_checked({"--instructions=0"}).has_value());
+}
+
+TEST_F(OptionsTest, MalformedEnvRejected) {
+  setenv("MECC_INSTRUCTIONS", "12cats", 1);
+  std::string error;
+  EXPECT_FALSE(parse_checked({}, &error).has_value());
+  EXPECT_NE(error.find("MECC_INSTRUCTIONS"), std::string::npos);
 }
 
 TEST_F(OptionsTest, UnknownFlagsIgnored) {
@@ -92,11 +118,33 @@ TEST_F(OptionsTest, JobsArgvBeatsEnv) {
 }
 
 TEST_F(OptionsTest, JobsZeroAndMalformedRejected) {
-  const SimOptions a = parse({"--jobs=0"});
-  EXPECT_GE(a.jobs, 1u);
+  std::string error;
+  EXPECT_FALSE(parse_checked({"--jobs=0"}, &error).has_value());
+  EXPECT_NE(error.find("--jobs"), std::string::npos);
+  EXPECT_FALSE(parse_checked({"--jobs=abc"}).has_value());
   setenv("MECC_JOBS", "junk", 1);
-  const SimOptions b = parse({});
-  EXPECT_GE(b.jobs, 1u);
+  EXPECT_FALSE(parse_checked({}).has_value());
+}
+
+TEST_F(OptionsTest, BerParsedAndRangeChecked) {
+  const SimOptions o = parse({"--ber=1e-3"});
+  EXPECT_DOUBLE_EQ(o.ber, 1e-3);
+  EXPECT_DOUBLE_EQ(parse({"--ber=0"}).ber, 0.0);
+  EXPECT_DOUBLE_EQ(parse({"--ber=1"}).ber, 1.0);
+  std::string error;
+  EXPECT_FALSE(parse_checked({"--ber=-0.5"}, &error).has_value());
+  EXPECT_NE(error.find("--ber"), std::string::npos);
+  EXPECT_FALSE(parse_checked({"--ber=1.5"}).has_value());
+  EXPECT_FALSE(parse_checked({"--ber=nanobots"}).has_value());
+}
+
+TEST_F(OptionsTest, OutParsedAndEmptyRejected) {
+  const SimOptions o = parse({"--out=report.json"});
+  EXPECT_EQ(o.out, "report.json");
+  EXPECT_EQ(parse({"--out=-"}).out, "-");
+  std::string error;
+  EXPECT_FALSE(parse_checked({"--out="}, &error).has_value());
+  EXPECT_NE(error.find("--out"), std::string::npos);
 }
 
 }  // namespace
