@@ -221,6 +221,7 @@ int main(int argc, char** argv) {
     cfg.policy = sim::EccPolicy::kMecc;
     cfg.instructions = 200'000;
     cfg.seed = opts.seed;
+    cfg.fast_forward = opts.fast_forward;
     cfg.fault.enabled = true;
     cfg.fault.shadow_lines = 2048;
     cfg.fault.ber_override = demo_ber;

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Fast-forward performance smoke (docs/PERFORMANCE.md): runs the small
+# 28-benchmark sweep with --fast-forward=on and =off at --jobs=1, takes
+# the best of N repeats of each, and writes a merged report with the
+# wall_mips speedup ratio. The committed snapshot lives at BENCH_perf.json
+# (regenerate with: scripts/perf_smoke.sh --out=BENCH_perf.json).
+#
+# Numbers are host-dependent observability, never a correctness gate:
+# tier1.sh runs this non-gating (`|| true`) and ignores the ratio.
+#
+#   scripts/perf_smoke.sh [--out=FILE] [--instructions=N] [--repeats=N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="build/BENCH_perf.json"
+instructions=2000000
+repeats=3
+for arg in "$@"; do
+  case "$arg" in
+    --out=*) out="${arg#--out=}" ;;
+    --instructions=*) instructions="${arg#--instructions=}" ;;
+    --repeats=*) repeats="${arg#--repeats=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+bench="build/bench/bench_table3_workloads"
+if [[ ! -x "$bench" ]]; then
+  echo "perf_smoke: $bench not built (run cmake --build build first)" >&2
+  exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for mode in on off; do
+  for ((i = 0; i < repeats; ++i)); do
+    "$bench" --instructions="$instructions" --seed=1 --jobs=1 \
+      --fast-forward="$mode" --out="$tmpdir/out_${mode}_${i}.json" \
+      --perf-out="$tmpdir/perf_${mode}_${i}.json" > /dev/null 2>&1
+  done
+done
+
+# Correctness side-check while we are here: on/off must agree on every
+# simulated byte (the perf files differ, the --out files must not).
+if ! cmp -s "$tmpdir/out_on_0.json" "$tmpdir/out_off_0.json"; then
+  echo "perf_smoke: fast-forward on/off outputs differ" >&2
+  exit 1
+fi
+
+python3 - "$out" "$instructions" "$repeats" "$tmpdir" <<'EOF'
+import json
+import sys
+
+out_path, instructions, repeats, tmpdir = sys.argv[1:5]
+instructions = int(instructions)
+repeats = int(repeats)
+
+def best(mode):
+    picks = []
+    for i in range(repeats):
+        with open(f"{tmpdir}/perf_{mode}_{i}.json") as f:
+            suite = json.load(f)["suites"][0]
+        picks.append((suite["wall_seconds"], suite["wall_mips"]))
+    picks.sort()
+    return {"wall_seconds": picks[0][0], "wall_mips": picks[0][1]}
+
+on = best("on")
+off = best("off")
+report = {
+    "schema": "mecc-perf-smoke-v1",
+    "generated_by": "scripts/perf_smoke.sh",
+    "bench": "table3_workloads",
+    "instructions": instructions,
+    "seed": 1,
+    "jobs": 1,
+    "repeats": repeats,
+    "fast_forward_on": on,
+    "fast_forward_off": off,
+    "speedup_wall_mips": round(on["wall_mips"] / off["wall_mips"], 3),
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"perf_smoke: ff=on {on['wall_seconds']:.3f}s, "
+      f"ff=off {off['wall_seconds']:.3f}s, "
+      f"speedup {report['speedup_wall_mips']:.2f}x -> {out_path}")
+EOF

@@ -40,20 +40,32 @@ python3 -m json.tool "$out_json" > /dev/null
 python3 scripts/compare_stats.py \
   tests/data/table3_workloads_small_ref.json "$out_json"
 
+# Fast-forward equivalence smoke (docs/PERFORMANCE.md): the event-driven
+# skip engine must reproduce the committed per-cycle reference exactly.
+ff_json="build/tier1_table3_ff_out.json"
+build/bench/bench_table3_workloads --instructions=50000 --seed=1 --jobs=4 \
+  --fast-forward=on --out="$ff_json" > /dev/null
+python3 scripts/compare_stats.py \
+  tests/data/table3_workloads_small_ref.json "$ff_json"
+
+# Wall-clock report (non-gating: host-dependent numbers, never a
+# pass/fail signal; the committed snapshot is BENCH_perf.json).
+scripts/perf_smoke.sh --repeats=1 --instructions=500000 || true
+
 if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DMECC_TSAN=ON
   cmake --build build-tsan -j --target test_thread_pool \
     test_parallel_runner test_run_json test_stats \
-    test_golden_vectors test_codec_property
+    test_golden_vectors test_codec_property test_fast_forward
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty'
+    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty|FastForward'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DMECC_ASAN=ON
   cmake --build build-asan -j --target test_fault_injection \
     test_memory_image test_shadow_memory test_due_policy \
-    test_fault_campaign test_line_codec test_bitvec
+    test_fault_campaign test_line_codec test_bitvec test_fast_forward
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec'
+    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward'
 fi

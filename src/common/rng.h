@@ -32,17 +32,30 @@ class Rng {
   /// behavior for std::geometric_distribution) degenerate to the minimum
   /// gap of 1 without touching the engine, so callers can sweep the mean
   /// across 1.0 without losing reproducibility on either side.
+  ///
+  /// The distribution object is cached across calls with the same mean:
+  /// its param_type computes log(1 - p) at construction, which would
+  /// otherwise cost a libm log() per sample on top of the one the draw
+  /// itself needs. Callers cycle through a handful of means (MPKI phase
+  /// multipliers), so caching the last one removes nearly all of them.
+  /// Sampling math and engine consumption are unchanged, so the stream
+  /// is bit-identical to the uncached version.
   [[nodiscard]] std::uint64_t next_geometric(double mean) {
     if (!(mean > 1.0)) return 1;  // also catches NaN
-    const double p = 1.0 / mean;  // mean > 1 => p in (0, 1)
-    std::geometric_distribution<std::uint64_t> d(p);
-    return d(engine_) + 1;
+    if (mean != geom_mean_) {
+      geom_mean_ = mean;
+      // mean > 1 => p = 1/mean in (0, 1)
+      geom_ = std::geometric_distribution<std::uint64_t>(1.0 / mean);
+    }
+    return geom_(engine_) + 1;
   }
 
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+  std::geometric_distribution<std::uint64_t> geom_;
+  double geom_mean_ = 0.0;
 };
 
 }  // namespace mecc

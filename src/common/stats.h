@@ -33,6 +33,24 @@ struct Distribution {
     ++count;
   }
 
+  /// Records the same sample `n` times in O(1). Bit-identical to calling
+  /// record(sample) n times as long as every partial sum is exactly
+  /// representable (integer-valued samples with sums below 2^53 — queue
+  /// depths, per-state cycle counts), which is what the fast-forward
+  /// bulk updates feed it.
+  void record_n(double sample, std::uint64_t n) {
+    if (n == 0) return;
+    if (count == 0) {
+      min = sample;
+      max = sample;
+    } else {
+      if (sample < min) min = sample;
+      if (sample > max) max = sample;
+    }
+    sum += sample * static_cast<double>(n);
+    count += n;
+  }
+
   /// Pools another summary into this one.
   void merge(const Distribution& other);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 namespace mecc::cpu {
@@ -14,6 +15,10 @@ InOrderCore::InOrderCore(const CoreConfig& config, trace::TraceSource& gen,
       issue_write_(std::move(issue_write)) {
   assert(config_.base_ipc > 0.0 &&
          config_.base_ipc <= static_cast<double>(config_.width));
+  credit_rate_ = static_cast<std::uint64_t>(
+      std::llround(config_.base_ipc * static_cast<double>(kCreditOne)));
+  credit_rate_ = std::min(credit_rate_, kCreditOne * config_.width);
+  assert(credit_rate_ > 0);
 }
 
 void InOrderCore::fetch_next_record() {
@@ -64,18 +69,17 @@ void InOrderCore::tick() {
   }
 
   // Retire non-memory instructions at base_ipc, at most `width` per cycle.
-  retire_credit_ += config_.base_ipc;
+  credit_ += credit_rate_;
   std::uint32_t retired_this_cycle = 0;
-  while (retire_credit_ >= 1.0 && gap_remaining_ > 0 &&
+  while (credit_ >= kCreditOne && gap_remaining_ > 0 &&
          retired_this_cycle < config_.width) {
-    retire_credit_ -= 1.0;
+    credit_ -= kCreditOne;
     --gap_remaining_;
     ++retired_;
     ++retired_this_cycle;
   }
   // Credit does not bank beyond one cycle's retire width.
-  retire_credit_ =
-      std::min(retire_credit_, static_cast<double>(config_.width));
+  credit_ = std::min(credit_, kCreditOne * config_.width);
   if (gap_remaining_ > 0) return;
 
   // The memory instruction is at the head: issue it.
@@ -96,6 +100,80 @@ void InOrderCore::tick() {
       read_pending_issue_ = true;
     }
   }
+}
+
+Cycle InOrderCore::advance_gap(Cycle max_cycles, InstCount inst_budget) {
+  assert(in_pure_gap());
+  Cycle advanced = 0;
+
+  while (advanced < max_cycles) {
+    if (credit_ < kCreditOne) {
+      // Closed form: with less than one banked instruction the width
+      // cap cannot bind mid-gap (per cycle n = (credit + rate) >> 32
+      // <= width because rate <= width), so k cycles accumulate exactly
+      //   retired(k) = (credit + k*rate) >> 32,
+      //   credit(k)  = (credit + k*rate) mod 2^32,
+      // bit-identical to k per-cycle retire loops (each loop subtracts
+      // whole kCreditOne units — exact integer arithmetic throughout).
+      // Stop with cumulative retire <= min(gap, budget) - 1: the cycle
+      // that closes the gap issues the memory access and must run under
+      // tick(); the one that reaches the budget stays with run_period.
+      std::uint64_t cap = std::min<std::uint64_t>(gap_remaining_ - 1,
+                                                  inst_budget - 1);
+      cap = std::min<std::uint64_t>(cap, 1ull << 30);  // overflow guard
+      std::uint64_t k = ((cap + 1) << kCreditFracBits) - credit_ - 1;
+      k /= credit_rate_;
+      k = std::min<std::uint64_t>(k, max_cycles - advanced);
+      if (k == 0) break;
+      const std::uint64_t total = credit_ + k * credit_rate_;
+      const std::uint64_t insts = total >> kCreditFracBits;
+      credit_ = total & (kCreditOne - 1);
+      cycles_ += k;
+      advanced += k;
+      retired_ += insts;
+      gap_remaining_ -= static_cast<std::uint32_t>(insts);
+      inst_budget -= insts;
+      continue;  // k was capacity-limited; the recompute yields k == 0
+    }
+
+    // Banked-credit spill (credit >= 1.0 right after an issue cycle's
+    // width clamp, where the cap can bind): replicate tick()'s retire
+    // loop op for op, committing a cycle only when it neither closes
+    // the gap nor crosses the budget. Each spill cycle either drops the
+    // credit (rate < width: toward the closed form above) or leaves it
+    // fixed (rate == width), which bulk-repeats below.
+    const std::uint64_t before = credit_;
+    std::uint64_t c = credit_ + credit_rate_;
+    std::uint32_t n = 0;
+    std::uint32_t g = gap_remaining_;
+    while (c >= kCreditOne && g > 0 && n < config_.width) {
+      c -= kCreditOne;
+      --g;
+      ++n;
+    }
+    if (g == 0) break;  // this cycle would issue the memory access
+    if (static_cast<InstCount>(n) >= inst_budget) break;
+    credit_ = std::min(c, kCreditOne * config_.width);
+    gap_remaining_ = g;
+    retired_ += n;
+    inst_budget -= n;
+    ++cycles_;
+    ++advanced;
+    if (credit_ == before && n > 0) {
+      // Fixed point: every further cycle is identical. Bulk-repeat.
+      std::uint64_t k = max_cycles - advanced;
+      k = std::min<std::uint64_t>(
+          k, (static_cast<std::uint64_t>(gap_remaining_) - 1) / n);
+      k = std::min<std::uint64_t>(k, (inst_budget - 1) / n);
+      const std::uint64_t insts = k * n;
+      cycles_ += k;
+      advanced += k;
+      retired_ += insts;
+      gap_remaining_ -= static_cast<std::uint32_t>(insts);
+      inst_budget -= insts;
+    }
+  }
+  return advanced;
 }
 
 }  // namespace mecc::cpu

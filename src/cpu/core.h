@@ -5,8 +5,15 @@
 // including any ECC decode latency — returns, and issues writes into the
 // memory controller's write queue without stalling (a store buffer),
 // stalling only when that queue is full.
+//
+// The retire credit is Q32 fixed point (base_ipc quantized to 1/2^32
+// instructions per cycle at construction). Integer credit arithmetic
+// makes every mid-gap cycle an exact linear recurrence, which is what
+// lets advance_gap() collapse whole gaps into a closed form while
+// staying bit-identical to the per-cycle loop (docs/PERFORMANCE.md).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 
@@ -39,6 +46,37 @@ class InOrderCore {
   /// decode already accounted by the caller's timing).
   void on_read_data(std::uint64_t tag);
 
+  // ---- fast-forward (docs/PERFORMANCE.md) ----
+  // While the core is in one of its two "pure" states — stalled on read
+  // data, or retiring non-memory gap instructions — tick() touches
+  // nothing outside the core, so the System may advance it in bulk
+  // instead of cycle by cycle. Both helpers are bit-identical to the
+  // equivalent sequence of tick() calls.
+
+  /// The next `n` tick() calls would each just count a stall cycle
+  /// (requires stalled_on_read()). Applies all n at once.
+  void skip_stalled(Cycle n) {
+    assert(waiting_for_data_);
+    cycles_ += n;
+    stall_cycles_ += n;
+  }
+
+  /// True when the next tick() only runs the gap-retire arithmetic: a
+  /// record is loaded, its gap is not exhausted, and no memory issue is
+  /// pending or outstanding.
+  [[nodiscard]] bool in_pure_gap() const {
+    return !waiting_for_data_ && !read_pending_issue_ &&
+           !write_pending_issue_ && have_record_ && gap_remaining_ > 0;
+  }
+
+  /// Advances up to `max_cycles` pure-gap cycles (requires in_pure_gap()),
+  /// stopping *before* any cycle that would exhaust the gap (that cycle
+  /// issues the memory access and must run through the full loop) or
+  /// retire `inst_budget` or more instructions (so run_period's
+  /// checkpoint / target crossings still happen under per-cycle control).
+  /// Returns the number of cycles advanced.
+  Cycle advance_gap(Cycle max_cycles, InstCount inst_budget);
+
   [[nodiscard]] InstCount retired() const { return retired_; }
   [[nodiscard]] Cycle cycles() const { return cycles_; }
   [[nodiscard]] double ipc() const {
@@ -62,6 +100,11 @@ class InOrderCore {
   }
 
  private:
+  // Q32 retire-credit fixed point: one instruction of credit is
+  // kCreditOne; base_ipc is quantized once at construction.
+  static constexpr std::uint32_t kCreditFracBits = 32;
+  static constexpr std::uint64_t kCreditOne = 1ull << kCreditFracBits;
+
   void fetch_next_record();
 
   CoreConfig config_;
@@ -72,7 +115,8 @@ class InOrderCore {
   trace::TraceRecord current_{};
   bool have_record_ = false;
   std::uint32_t gap_remaining_ = 0;
-  double retire_credit_ = 0.0;
+  std::uint64_t credit_ = 0;       // Q32 banked retire credit
+  std::uint64_t credit_rate_ = 0;  // Q32 base_ipc, in (0, width]
 
   bool waiting_for_data_ = false;   // read issued, data not yet back
   bool read_pending_issue_ = false; // read ready but queue was full

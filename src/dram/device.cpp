@@ -41,13 +41,6 @@ Device::Device(const Geometry& geo, const Timing& timing)
   for (std::uint32_t i = 0; i < geo_.banks; ++i) banks_.emplace_back(timing_);
 }
 
-bool Device::all_banks_precharged() const {
-  for (const auto& b : banks_) {
-    if (b.row_open()) return false;
-  }
-  return true;
-}
-
 PowerState Device::compute_state() const {
   if (in_self_refresh_) return PowerState::kSelfRefresh;
   if (powered_down_) {
@@ -84,6 +77,7 @@ void Device::activate(std::uint32_t bank, std::uint32_t row, MemCycle now) {
   assert(can_activate(bank, now));
   record(CmdType::kActivate, bank, row, now);
   banks_[bank].activate(now, row);
+  open_mask_ |= 1u << bank;
   next_act_allowed_ = now + timing_.tRRD;
   act_window_[act_window_idx_] = now;
   act_window_idx_ = (act_window_idx_ + 1) % act_window_.size();
@@ -143,6 +137,7 @@ void Device::precharge(std::uint32_t bank, MemCycle now) {
   assert(can_precharge(bank, now));
   record(CmdType::kPrecharge, bank, 0, now);
   banks_[bank].precharge(now);
+  open_mask_ &= ~(1u << bank);
   ++counters_.precharges;
   refresh_state(now);
 }
@@ -201,6 +196,23 @@ void Device::exit_self_refresh(MemCycle now) {
   in_self_refresh_ = false;
   wakeup_ready_ = now + timing_.tXSR;
   refresh_state(now);
+}
+
+MemCycle Device::next_event(MemCycle now) const {
+  // Min over every per-bank ready time that is still in the future, plus
+  // the rank-global wake-up bound. A lower bound only: whether anything
+  // actually happens then depends on what the controller has queued.
+  MemCycle e = static_cast<MemCycle>(-1);
+  auto consider = [&](MemCycle t) {
+    if (t > now && t < e) e = t;
+  };
+  for (const auto& b : banks_) {
+    consider(b.ready_act());
+    consider(b.ready_col());
+    consider(b.ready_pre());
+  }
+  consider(wakeup_ready_);
+  return e <= now ? now + 1 : e;
 }
 
 const ActivityCounters& Device::counters(MemCycle now) {

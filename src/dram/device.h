@@ -99,8 +99,38 @@ class Device {
   [[nodiscard]] bool in_self_refresh() const { return in_self_refresh_; }
 
   [[nodiscard]] const Bank& bank(std::uint32_t i) const { return banks_[i]; }
-  [[nodiscard]] bool all_banks_precharged() const;
+  /// Bit i set iff bank i has an open row. Lets the controller's
+  /// bank-scan loops (row close, refresh drain, next_event bounds) visit
+  /// only open banks instead of iterating the whole rank.
+  [[nodiscard]] std::uint32_t open_banks() const { return open_mask_; }
+  [[nodiscard]] bool all_banks_precharged() const { return open_mask_ == 0; }
   [[nodiscard]] PowerState power_state() const { return state_; }
+
+  // ---- timing-constraint observers (fast-forward next_event bounds) ----
+  // Read-only views of the rank-global constraints, so the memory
+  // controller can compute a conservative lower bound on the first cycle
+  // any queued command could legally issue (docs/PERFORMANCE.md). None
+  // of these have side effects.
+  /// Earliest cycle the data bus accepts another column command.
+  [[nodiscard]] MemCycle bus_ready() const { return bus_ready_; }
+  /// Whether the last column command was a write (tWTR applies to reads).
+  [[nodiscard]] bool last_col_was_write() const { return last_col_was_write_; }
+  /// Earliest cycle tRRD allows another ACT.
+  [[nodiscard]] MemCycle next_act_allowed() const { return next_act_allowed_; }
+  /// Earliest cycle tFAW allows another ACT (0 until four ACTs occurred).
+  [[nodiscard]] MemCycle act_faw_bound() const {
+    if (act_count_ < act_window_.size()) return 0;
+    return act_window_[act_window_idx_] + timing_.tFAW;
+  }
+  /// Earliest cycle any command is legal after a power-down / self-refresh
+  /// exit (tXP / tXSR).
+  [[nodiscard]] MemCycle wakeup_ready() const { return wakeup_ready_; }
+
+  /// Fast-forward contract: conservative lower bound, strictly greater
+  /// than `now`, on the first cycle any bank-level timing constraint
+  /// relevant to a queued command could expire. Pure; the controller
+  /// refines it per request with the observers above.
+  [[nodiscard]] MemCycle next_event(MemCycle now) const;
 
   /// Finalizes state-residency accounting up to `now` and returns the
   /// counters. Safe to call repeatedly.
@@ -124,6 +154,7 @@ class Device {
   Geometry geo_;
   Timing timing_;
   std::vector<Bank> banks_;
+  std::uint32_t open_mask_ = 0;  // bit per bank: row open
 
   MemCycle bus_ready_ = 0;        // next legal column command (data bus)
   MemCycle next_act_allowed_ = 0; // tRRD

@@ -6,6 +6,7 @@
 // switch to the 1 s self-refresh interval.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 
@@ -61,19 +62,29 @@ class Engine {
     if (config_.use_smd) smd_.tick(now);
   }
 
+  /// Fast-forward contract (docs/PERFORMANCE.md): a conservative lower
+  /// bound, strictly greater than `now`, on the first cycle at which
+  /// tick() could do anything. No side effects. Cycle(-1) = never: the
+  /// engine only acts again in response to accesses or lifecycle calls.
+  [[nodiscard]] Cycle next_event(Cycle now) const {
+    if (!config_.use_smd || smd_.downgrade_enabled()) {
+      return static_cast<Cycle>(-1);
+    }
+    return std::max(now + 1, smd_.next_check());
+  }
+
   /// A read's data arrived from DRAM: which decoder does it need, and
   /// does the line get downgraded?
   [[nodiscard]] ReadDecision on_read(Address line_addr) {
     if (config_.use_smd) smd_.record_access();
     ReadDecision d;
     d.decode_mode = modes_.mode_of(line_addr);
-    stats_.add(d.decode_mode == LineMode::kStrong ? "reads_strong"
-                                                  : "reads_weak");
+    ++(d.decode_mode == LineMode::kStrong ? reads_strong_ : reads_weak_);
     if (d.decode_mode == LineMode::kStrong && downgrade_enabled()) {
       d.downgrade = true;
       modes_.set_mode(line_addr, LineMode::kWeak);
       mdt_.mark(line_addr);
-      stats_.add("downgrades");
+      ++downgrades_;
     }
     return d;
   }
@@ -86,7 +97,7 @@ class Engine {
     if (downgrade_enabled()) {
       if (modes_.mode_of(line_addr) == LineMode::kStrong) {
         mdt_.mark(line_addr);
-        stats_.add("downgrades_on_write");
+        ++downgrades_on_write_;
       }
       modes_.set_mode(line_addr, LineMode::kWeak);
     } else {
@@ -105,8 +116,8 @@ class Engine {
     r.upgrade_seconds = cycles_to_seconds(r.upgrade_cycles);
     modes_.set_all(LineMode::kStrong);
     mdt_.reset();
-    stats_.add("idle_entries");
-    stats_.add("lines_upgraded", r.lines_upgraded);
+    ++idle_entries_;
+    lines_upgraded_ += r.lines_upgraded;
     return r;
   }
 
@@ -114,7 +125,7 @@ class Engine {
   /// its way on via the traffic check.
   void wake(Cycle now) {
     if (config_.use_smd) smd_.reset(now);
-    stats_.add("wakeups");
+    ++wakeups_;
   }
 
   /// DUE ladder rung 2 (memctrl/due_policy.h): immediately re-protect
@@ -123,7 +134,7 @@ class Engine {
   void force_upgrade() {
     modes_.set_all(LineMode::kStrong);
     mdt_.reset();
-    stats_.add("forced_upgrades");
+    ++forced_upgrades_;
   }
 
   /// DUE ladder rung 3: latch (or clear) the refresh fallback. While
@@ -132,7 +143,7 @@ class Engine {
   /// so reliability never depends on ECC strength again. Downgrade
   /// itself may continue: weak ECC at 64 ms is the safe baseline.
   void set_degraded(bool degraded) {
-    if (degraded && !degraded_) stats_.add("degraded_latches");
+    if (degraded && !degraded_) ++degraded_latches_;
     degraded_ = degraded;
   }
   [[nodiscard]] bool degraded() const { return degraded_; }
@@ -159,7 +170,37 @@ class Engine {
   [[nodiscard]] const ModeStore& modes() const { return modes_; }
   [[nodiscard]] const Mdt& mdt() const { return mdt_; }
   [[nodiscard]] const Smd& smd() const { return smd_; }
-  [[nodiscard]] const StatSet& stats() const { return stats_; }
+  /// Counter view (tests). Rebuilt on demand: the counters live in
+  /// plain members because the per-access string-keyed map lookups were
+  /// hot under fast-forward (on_read/on_write run once per memory
+  /// access).
+  [[nodiscard]] const StatSet& stats() const {
+    stats_cache_.reset();
+    export_stats(stats_cache_);
+    return stats_cache_;
+  }
+
+  /// Folds the member counters into `out` under the historical StatSet
+  /// names; a key exists iff its event ever happened, exactly as
+  /// first-increment insertion behaved (lines_upgraded is emitted with
+  /// every idle entry, even when the MDT had nothing to upgrade).
+  void export_stats(StatSet& out) const {
+    const auto put = [&out](const char* name, std::uint64_t v) {
+      if (v != 0) out.add(name, v);
+    };
+    put("reads_strong", reads_strong_);
+    put("reads_weak", reads_weak_);
+    put("downgrades", downgrades_);
+    put("downgrades_on_write", downgrades_on_write_);
+    if (idle_entries_ != 0) {
+      out.add("idle_entries", idle_entries_);
+      out.add("lines_upgraded", lines_upgraded_);
+    }
+    put("wakeups", wakeups_);
+    put("forced_upgrades", forced_upgrades_);
+    put("degraded_latches", degraded_latches_);
+  }
+
   [[nodiscard]] const EngineConfig& config() const { return config_; }
 
  private:
@@ -167,7 +208,16 @@ class Engine {
   ModeStore modes_;
   Mdt mdt_;
   Smd smd_;
-  StatSet stats_;
+  std::uint64_t reads_strong_ = 0;
+  std::uint64_t reads_weak_ = 0;
+  std::uint64_t downgrades_ = 0;
+  std::uint64_t downgrades_on_write_ = 0;
+  std::uint64_t idle_entries_ = 0;
+  std::uint64_t lines_upgraded_ = 0;
+  std::uint64_t wakeups_ = 0;
+  std::uint64_t forced_upgrades_ = 0;
+  std::uint64_t degraded_latches_ = 0;
+  mutable StatSet stats_cache_;  // materialized by stats()
   bool degraded_ = false;  // DUE ladder refresh fallback latch
 };
 

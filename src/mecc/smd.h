@@ -50,6 +50,9 @@ class Smd {
   [[nodiscard]] bool downgrade_enabled() const { return enabled_; }
   /// Cycle at which downgrade switched on (0 when still disabled).
   [[nodiscard]] Cycle enabled_at() const { return enabled_at_; }
+  /// Cycle of the next quantum check: tick(now) is a no-op for every
+  /// now < next_check() (the fast-forward next_event contract).
+  [[nodiscard]] Cycle next_check() const { return next_check_; }
   [[nodiscard]] double threshold() const { return threshold_; }
   [[nodiscard]] Cycle quantum_cycles() const { return quantum_cycles_; }
 

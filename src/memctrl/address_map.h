@@ -21,11 +21,34 @@ struct DramCoord {
 
 class AddressMap {
  public:
-  explicit AddressMap(const dram::Geometry& geo) : geo_(geo) {}
+  explicit AddressMap(const dram::Geometry& geo) : geo_(geo) {
+    // decode() runs on every enqueue; with power-of-two geometry (the
+    // Table II device and every stock config) the five 64-bit divisions
+    // reduce to shifts and masks. Non-power-of-two geometries (exercised
+    // by some unit tests) keep the generic path.
+    const auto pow2 = [](std::uint64_t v) { return (v & (v - 1)) == 0; };
+    if (pow2(geo_.total_lines()) && pow2(geo_.lines_per_row) &&
+        pow2(geo_.banks)) {
+      shifts_valid_ = true;
+      line_mask_ = geo_.total_lines() - 1;
+      col_mask_ = geo_.lines_per_row - 1;
+      bank_mask_ = geo_.banks - 1;
+      lpr_shift_ = log2u(geo_.lines_per_row);
+      row_shift_ = lpr_shift_ + log2u(geo_.banks);
+    }
+  }
 
   [[nodiscard]] DramCoord decode(Address byte_addr) const {
-    const std::uint64_t line = (byte_addr / kLineBytes) % geo_.total_lines();
     DramCoord c;
+    if (shifts_valid_) {
+      const std::uint64_t line = (byte_addr / kLineBytes) & line_mask_;
+      c.col = static_cast<std::uint32_t>(line & col_mask_);
+      c.bank = static_cast<std::uint32_t>((line >> lpr_shift_) & bank_mask_);
+      c.row = static_cast<std::uint32_t>(line >> row_shift_);
+      assert(c.row < geo_.rows_per_bank);
+      return c;
+    }
+    const std::uint64_t line = (byte_addr / kLineBytes) % geo_.total_lines();
     c.col = static_cast<std::uint32_t>(line % geo_.lines_per_row);
     c.bank = static_cast<std::uint32_t>((line / geo_.lines_per_row) %
                                         geo_.banks);
@@ -46,7 +69,19 @@ class AddressMap {
   }
 
  private:
+  [[nodiscard]] static std::uint32_t log2u(std::uint64_t v) {
+    std::uint32_t s = 0;
+    while ((1ull << s) < v) ++s;
+    return s;
+  }
+
   dram::Geometry geo_;
+  bool shifts_valid_ = false;
+  std::uint64_t line_mask_ = 0;
+  std::uint64_t col_mask_ = 0;
+  std::uint64_t bank_mask_ = 0;
+  std::uint32_t lpr_shift_ = 0;
+  std::uint32_t row_shift_ = 0;
 };
 
 }  // namespace mecc::memctrl

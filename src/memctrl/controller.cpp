@@ -1,27 +1,56 @@
 #include "memctrl/controller.h"
 
+#include <cassert>
 #include <algorithm>
+#include <bit>
+
+namespace {
+// Ascending-bank-order iteration over the open-row bitmask: same visit
+// order as the plain 0..banks loop it replaces, but only open banks.
+inline std::uint32_t lowest_bank(std::uint32_t mask) {
+  return static_cast<std::uint32_t>(std::countr_zero(mask));
+}
+}  // namespace
 
 namespace mecc::memctrl {
 
 Controller::Controller(dram::Device& device, const ControllerConfig& config)
     : device_(device), config_(config), map_(device.geometry()) {
   next_refresh_ = device_.timing().tREFI;
+  // Bounded queues: reserve once so the hot path never reallocates.
+  read_q_.reserve(config_.read_queue_size);
+  write_q_.reserve(config_.write_queue_size);
+  bank_queued_.assign(device_.geometry().banks, 0);
+  open_row_demand_.assign(device_.geometry().banks, 0);
+  open_row_demand_reads_.assign(device_.geometry().banks, 0);
+}
+
+void Controller::recount_open_row_demand(std::uint32_t bank,
+                                         std::uint32_t row) {
+  std::uint32_t reads = 0;
+  std::uint32_t writes = 0;
+  for (const auto& r : read_q_) {
+    reads += static_cast<std::uint32_t>(r.bank == bank && r.row == row);
+  }
+  for (const auto& r : write_q_) {
+    writes += static_cast<std::uint32_t>(r.bank == bank && r.row == row);
+  }
+  matched_total_ += reads + writes - open_row_demand_[bank];
+  open_row_demand_[bank] = reads + writes;
+  open_row_demand_reads_[bank] = reads;
 }
 
 bool Controller::enqueue_read(Address line_addr, std::uint64_t id,
                               dram::MemCycle now) {
   if (read_q_.size() >= config_.read_queue_size) return false;
   // Write-to-read forwarding: a pending write to the same line can serve
-  // the read directly from the queue.
-  for (const auto& w : write_q_) {
-    if (w.line_addr == line_addr) {
-      in_flight_.push_back({ReadCompletion{
-          .id = id, .line_addr = line_addr, .done = now + 1,
-          .forwarded = true}});
-      stats_.add("reads_forwarded");
-      return true;
-    }
+  // the read directly from the queue (via the write-line index).
+  if (write_line_pending(line_addr)) {
+    in_flight_.push_back({ReadCompletion{
+        .id = id, .line_addr = line_addr, .done = now + 1,
+        .forwarded = true}});
+    ++reads_forwarded_;
+    return true;
   }
   MemRequest r;
   r.type = ReqType::kRead;
@@ -33,18 +62,17 @@ bool Controller::enqueue_read(Address line_addr, std::uint64_t id,
   r.row = c.row;
   r.col = c.col;
   read_q_.push_back(r);
-  stats_.add("reads_enqueued");
+  index_insert(r);
+  ++reads_enqueued_;
   return true;
 }
 
 bool Controller::enqueue_write(Address line_addr, dram::MemCycle now) {
   if (write_q_.size() >= config_.write_queue_size) return false;
   // Coalesce with an existing pending write to the same line.
-  for (const auto& w : write_q_) {
-    if (w.line_addr == line_addr) {
-      stats_.add("writes_coalesced");
-      return true;
-    }
+  if (write_line_pending(line_addr)) {
+    ++writes_coalesced_;
+    return true;
   }
   MemRequest r;
   r.type = ReqType::kWrite;
@@ -55,12 +83,19 @@ bool Controller::enqueue_write(Address line_addr, dram::MemCycle now) {
   r.row = c.row;
   r.col = c.col;
   write_q_.push_back(r);
-  stats_.add("writes_enqueued");
+  index_insert(r);
+  ++writes_enqueued_;
   return true;
 }
 
 void Controller::manage_refresh(dram::MemCycle now) {
   if (!config_.refresh_enabled) return;
+  if (now < next_refresh_ && refresh_debt_ == 0) {
+    // Common case (no boundary crossed, no debt): skip the interval
+    // arithmetic entirely — this runs on every memory tick.
+    refresh_urgent_ = false;
+    return;
+  }
   const dram::MemCycle interval =
       static_cast<dram::MemCycle>(device_.timing().tREFI) *
       config_.refresh_divider;
@@ -90,35 +125,36 @@ void Controller::manage_refresh(dram::MemCycle now) {
   // issue the REF command with priority over regular traffic.
   if (device_.in_power_down()) {
     device_.exit_power_down(now);
-    stats_.add("pd_exits_for_refresh");
+    ++pd_exits_for_refresh_;
     return;
   }
   if (device_.can_refresh(now)) {
     device_.refresh(now);
-    stats_.add("refreshes");
+    ++refreshes_;
     --refresh_debt_;
     refresh_urgent_ = refresh_debt_ > 0;
     return;
   }
-  for (std::uint32_t b = 0; b < device_.geometry().banks; ++b) {
-    if (device_.bank(b).row_open() && device_.can_precharge(b, now)) {
+  for (std::uint32_t m = device_.open_banks(); m != 0; m &= m - 1) {
+    const std::uint32_t b = lowest_bank(m);
+    if (device_.can_precharge(b, now)) {
       device_.precharge(b, now);
-      stats_.add("precharges_for_refresh");
+      clear_open_row_demand(b);
+      ++precharges_for_refresh_;
       return;
     }
   }
 }
 
 bool Controller::row_still_needed(std::uint32_t bank, std::int64_t row) const {
-  auto needs = [&](const std::deque<MemRequest>& q) {
-    return std::any_of(q.begin(), q.end(), [&](const MemRequest& r) {
-      return r.bank == bank && static_cast<std::int64_t>(r.row) == row;
-    });
-  };
-  return needs(read_q_) || needs(write_q_);
+  if (row < 0) return false;
+  // Callers only ever ask about the bank's currently open row, which is
+  // exactly what open_row_demand_ tracks.
+  assert(row == device_.bank(bank).open_row());
+  return open_row_demand_[bank] != 0;
 }
 
-bool Controller::try_issue_column(std::deque<MemRequest>& q,
+bool Controller::try_issue_column(std::vector<MemRequest>& q,
                                   dram::MemCycle now) {
   // FR-FCFS stage 1: oldest request whose row is open and can issue now.
   for (auto it = q.begin(); it != q.end(); ++it) {
@@ -128,15 +164,17 @@ bool Controller::try_issue_column(std::deque<MemRequest>& q,
         in_flight_.push_back({ReadCompletion{
             .id = it->id, .line_addr = it->line_addr, .done = done,
             .forwarded = false}});
-        stats_.add("row_hits");
-        stats_.add("read_latency_mem_cycles", done - it->arrive);
+        ++row_hits_;
+        read_latency_mem_cycles_ += done - it->arrive;
+        index_erase(*it);
         q.erase(it);
         return true;
       }
     } else {
       if (device_.can_write(it->bank, it->row, now)) {
         device_.write(it->bank, now);
-        stats_.add("row_hits");
+        ++row_hits_;
+        index_erase(*it);
         q.erase(it);
         return true;
       }
@@ -145,7 +183,7 @@ bool Controller::try_issue_column(std::deque<MemRequest>& q,
   return false;
 }
 
-bool Controller::try_prepare_row(std::deque<MemRequest>& q,
+bool Controller::try_prepare_row(std::vector<MemRequest>& q,
                                  dram::MemCycle now) {
   // FR-FCFS stage 2: for the oldest request whose row is not open,
   // precharge a conflicting row or activate the needed one.
@@ -159,7 +197,8 @@ bool Controller::try_prepare_row(std::deque<MemRequest>& q,
       if (!row_still_needed(r.bank, bank.open_row()) &&
           device_.can_precharge(r.bank, now)) {
         device_.precharge(r.bank, now);
-        stats_.add("row_conflicts");
+        clear_open_row_demand(r.bank);
+        ++row_conflicts_;
         return true;
       }
       continue;  // bank busy or row still wanted; look at other requests
@@ -167,7 +206,8 @@ bool Controller::try_prepare_row(std::deque<MemRequest>& q,
     if (!bank.row_open() && !refresh_urgent_ &&
         device_.can_activate(r.bank, now)) {
       device_.activate(r.bank, r.row, now);
-      stats_.add("row_misses");
+      recount_open_row_demand(r.bank, r.row);
+      ++row_misses_;
       return true;
     }
   }
@@ -179,7 +219,7 @@ void Controller::manage_power_down(dram::MemCycle now, bool did_work) {
     last_activity_ = now;
     if (device_.in_power_down()) {
       device_.exit_power_down(now);
-      stats_.add("pd_exits");
+      ++pd_exits_;
     }
     return;
   }
@@ -187,13 +227,13 @@ void Controller::manage_power_down(dram::MemCycle now, bool did_work) {
   if (now - last_activity_ < config_.power_down_idle_threshold) return;
   // Aggressive power-down: close open rows first so we land in the deeper
   // precharge power-down state.
-  for (std::uint32_t b = 0; b < device_.geometry().banks; ++b) {
-    if (device_.bank(b).row_open()) {
-      if (device_.can_precharge(b, now)) {
-        device_.precharge(b, now);
-      }
-      return;  // try again next cycle
+  if (const std::uint32_t m = device_.open_banks(); m != 0) {
+    const std::uint32_t b = lowest_bank(m);
+    if (device_.can_precharge(b, now)) {
+      device_.precharge(b, now);
+      clear_open_row_demand(b);
     }
+    return;  // try again next cycle
   }
   // Leave headroom for pending or imminent refresh so we don't thrash.
   if (config_.refresh_enabled &&
@@ -202,7 +242,7 @@ void Controller::manage_power_down(dram::MemCycle now, bool did_work) {
     return;
   }
   device_.enter_power_down(now);
-  stats_.add("pd_entries");
+  ++pd_entries_;
 }
 
 void Controller::schedule(dram::MemCycle now) {
@@ -210,17 +250,21 @@ void Controller::schedule(dram::MemCycle now) {
   if (write_q_.size() >= config_.write_drain_high) draining_writes_ = true;
   if (write_q_.size() <= config_.write_drain_low) draining_writes_ = false;
 
+  // No queued request targets any open row: stage 1 cannot issue a
+  // column, so skip its queue scans outright (common while rows are
+  // closed after power-down or a conflict chain).
+  const bool col_possible = matched_total_ != 0;
   const bool prefer_writes = draining_writes_ || read_q_.empty();
   bool did_work = false;
   if (prefer_writes) {
-    did_work = try_issue_column(write_q_, now) ||
-               try_issue_column(read_q_, now) ||
+    did_work = (col_possible && (try_issue_column(write_q_, now) ||
+                                 try_issue_column(read_q_, now))) ||
                try_prepare_row(write_q_, now) ||
                try_prepare_row(read_q_, now);
   } else {
-    did_work = try_issue_column(read_q_, now) ||
+    did_work = (col_possible && try_issue_column(read_q_, now)) ||
                try_prepare_row(read_q_, now) ||
-               try_issue_column(write_q_, now);
+               (col_possible && try_issue_column(write_q_, now));
   }
   if (!did_work) did_work = try_close_unneeded_row(now);
   manage_power_down(now, did_work);
@@ -231,12 +275,14 @@ bool Controller::try_close_unneeded_row(dram::MemCycle now) {
   // miss to the bank skips the conflict precharge.
   if (config_.page_policy != PagePolicy::kClosed) return false;
   if (device_.in_power_down() || device_.in_self_refresh()) return false;
-  for (std::uint32_t b = 0; b < device_.geometry().banks; ++b) {
+  for (std::uint32_t m = device_.open_banks(); m != 0; m &= m - 1) {
+    const std::uint32_t b = lowest_bank(m);
     const dram::Bank& bank = device_.bank(b);
-    if (bank.row_open() && !row_still_needed(b, bank.open_row()) &&
+    if (!row_still_needed(b, bank.open_row()) &&
         device_.can_precharge(b, now)) {
       device_.precharge(b, now);
-      stats_.add("closed_page_precharges");
+      clear_open_row_demand(b);
+      ++closed_page_precharges_;
       return true;
     }
   }
@@ -256,29 +302,159 @@ void Controller::tick(dram::MemCycle now) {
   }
   if (device_.in_power_down()) {
     device_.exit_power_down(now);
-    stats_.add("pd_exits");
+    ++pd_exits_;
     return;
   }
   schedule(now);
 }
 
-std::vector<ReadCompletion> Controller::collect_completions(
+dram::MemCycle Controller::earliest_issue_bound() const {
+  // For every queued request, the earliest cycle its next-step command
+  // (column, conflict precharge, or activate) could clear the DRAM
+  // timing constraints. Scheduling order, refresh urgency, and
+  // row_still_needed holds can only push the real issue *later*, so the
+  // minimum over requests is a valid lower bound.
+  //
+  // A request's bound depends only on its bank's state, whether its row
+  // matches that bank's open row, and read-vs-write (tWTR) — all of
+  // which the per-bank demand counters track — so the minimum is taken
+  // bankwise in O(banks) instead of rescanning both queues. This runs
+  // on nearly every fast-forward attempt (docs/PERFORMANCE.md).
+  dram::MemCycle e = kNoMemEvent;
+  const dram::Timing& t = device_.timing();
+  const dram::MemCycle wake = device_.wakeup_ready();
+  const dram::MemCycle act_bound =
+      std::max(device_.next_act_allowed(), device_.act_faw_bound());
+  const dram::MemCycle bus = device_.bus_ready();
+  const dram::MemCycle read_bus =
+      device_.last_col_was_write() ? bus + t.tWTR : bus;
+  const std::uint32_t banks = device_.geometry().banks;
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    if (bank_queued_[b] == 0) continue;
+    const dram::Bank& bank = device_.bank(b);
+    dram::MemCycle c;
+    if (bank.row_open()) {
+      const std::uint32_t matched = open_row_demand_[b];
+      const std::uint32_t matched_reads = open_row_demand_reads_[b];
+      c = kNoMemEvent;
+      if (matched_reads != 0) {
+        c = std::max(bank.ready_col(), read_bus);
+      }
+      if (matched != matched_reads) {  // matched writes
+        c = std::min(c, std::max(bank.ready_col(), bus));
+      }
+      if (matched != bank_queued_[b]) {  // conflicts: precharge next
+        c = std::min(c, bank.ready_pre());
+      }
+    } else {
+      c = std::max(bank.ready_act(), act_bound);
+    }
+    c = std::max(c, wake);
+    if (c < e) e = c;
+  }
+  if (config_.page_policy == PagePolicy::kClosed) {
+    // Closed-page also proactively precharges rows nobody queued for.
+    for (std::uint32_t m = device_.open_banks(); m != 0; m &= m - 1) {
+      const dram::Bank& bank = device_.bank(lowest_bank(m));
+      e = std::min(e, std::max(bank.ready_pre(), wake));
+    }
+  }
+  return e;
+}
+
+dram::MemCycle Controller::next_event(dram::MemCycle now) const {
+  dram::MemCycle e = kNoMemEvent;
+  const bool queues_empty = read_q_.empty() && write_q_.empty();
+  if (config_.refresh_enabled) {
+    if (refresh_debt_ > 0) {
+      const bool postponed = config_.elastic_refresh &&
+                             refresh_debt_ < config_.max_postponed_refreshes &&
+                             !queues_empty;
+      // Unpostponed refresh debt drives work (power-down exits,
+      // precharges, the REF itself) tick by tick until it clears.
+      if (!postponed) return now + 1;
+    }
+    e = std::min(e, next_refresh_);  // next debt accrual boundary
+  }
+  if (!queues_empty) {
+    if (device_.in_power_down()) return now + 1;  // tick exits immediately
+    e = std::min(e, earliest_issue_bound());
+  } else if (!device_.in_power_down() && !device_.in_self_refresh()) {
+    // Idle machinery: close open rows, then enter power-down.
+    const std::uint32_t open = device_.open_banks();
+    for (std::uint32_t m = open; m != 0; m &= m - 1) {
+      const dram::Bank& bank = device_.bank(lowest_bank(m));
+      e = std::min(e, std::max(bank.ready_pre(), device_.wakeup_ready()));
+    }
+    if (open == 0) {
+      const dram::MemCycle entry = std::max(
+          now + 1, last_activity_ + config_.power_down_idle_threshold);
+      if (!config_.refresh_enabled) {
+        e = std::min(e, entry);
+      } else {
+        // Power-down entry leaves headroom for an imminent refresh:
+        // blocked at cycle t when next_refresh_ <= t + tXP. (Zero debt
+        // here, or we returned above.)
+        const dram::MemCycle xp = device_.timing().tXP;
+        const dram::MemCycle cutoff = next_refresh_ > xp ? next_refresh_ - xp : 0;
+        if (entry < cutoff) e = std::min(e, entry);
+        // Otherwise entry stays blocked until after the refresh, whose
+        // boundary is already in e.
+      }
+    }
+  }
+  return e == kNoMemEvent ? e : std::max(e, now + 1);
+}
+
+dram::MemCycle Controller::next_completion_ready() const {
+  dram::MemCycle e = kNoMemEvent;
+  for (const auto& f : in_flight_) e = std::min(e, f.completion.done);
+  return e;
+}
+
+const std::vector<ReadCompletion>& Controller::collect_completions(
     dram::MemCycle now) {
-  std::vector<ReadCompletion> done;
+  completed_.clear();
   auto it = in_flight_.begin();
   while (it != in_flight_.end()) {
     if (it->completion.done <= now) {
-      done.push_back(it->completion);
+      completed_.push_back(it->completion);
       it = in_flight_.erase(it);
     } else {
       ++it;
     }
   }
-  std::sort(done.begin(), done.end(),
-            [](const ReadCompletion& a, const ReadCompletion& b) {
-              return a.done < b.done;
-            });
-  return done;
+  if (completed_.size() > 1) {
+    std::sort(completed_.begin(), completed_.end(),
+              [](const ReadCompletion& a, const ReadCompletion& b) {
+                return a.done < b.done;
+              });
+  }
+  return completed_;
+}
+
+void Controller::export_counters(StatSet& out) const {
+  // Each key appears only when its event happened at least once — the
+  // same presence the old first-increment StatSet insertion produced
+  // (every site incremented by a nonzero delta: read_latency_mem_cycles
+  // accrues alongside a row_hit with done > arrive).
+  const auto put = [&out](const char* name, std::uint64_t v) {
+    if (v != 0) out.add(name, v);
+  };
+  put("reads_enqueued", reads_enqueued_);
+  put("reads_forwarded", reads_forwarded_);
+  put("writes_enqueued", writes_enqueued_);
+  put("writes_coalesced", writes_coalesced_);
+  put("row_hits", row_hits_);
+  put("row_misses", row_misses_);
+  put("row_conflicts", row_conflicts_);
+  put("read_latency_mem_cycles", read_latency_mem_cycles_);
+  put("refreshes", refreshes_);
+  put("precharges_for_refresh", precharges_for_refresh_);
+  put("closed_page_precharges", closed_page_precharges_);
+  put("pd_entries", pd_entries_);
+  put("pd_exits", pd_exits_);
+  put("pd_exits_for_refresh", pd_exits_for_refresh_);
 }
 
 }  // namespace mecc::memctrl

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -16,6 +15,9 @@
 #include "memctrl/request.h"
 
 namespace mecc::memctrl {
+
+/// "No event pending" sentinel for the fast-forward next_event bounds.
+inline constexpr dram::MemCycle kNoMemEvent = static_cast<dram::MemCycle>(-1);
 
 /// Row-buffer management policy.
 enum class PagePolicy : std::uint8_t {
@@ -59,8 +61,38 @@ class Controller {
   /// Advances the controller by one memory cycle.
   void tick(dram::MemCycle now);
 
-  /// Drains and returns reads completed up to now.
-  [[nodiscard]] std::vector<ReadCompletion> collect_completions(
+  // ---- fast-forward (docs/PERFORMANCE.md) ----
+
+  /// Conservative lower bound, strictly greater than `now`, on the first
+  /// memory cycle at which tick() could do anything beyond the per-tick
+  /// queue-depth sampling (which skip_ticks() bulk-applies). kNoMemEvent
+  /// when the controller is fully quiescent (empty queues, no refresh).
+  /// No side effects; landing on a cycle where nothing issues after all
+  /// is harmless — the caller just recomputes the bound.
+  [[nodiscard]] dram::MemCycle next_event(dram::MemCycle now) const;
+
+  /// Earliest `done` cycle among in-flight reads (kNoMemEvent if none):
+  /// the System must not skip past it, or completions would be collected
+  /// — and their ECC decode timed — later than in the per-cycle loop.
+  [[nodiscard]] dram::MemCycle next_completion_ready() const;
+
+  /// Bulk-applies the only per-tick side effect of `n` skipped no-op
+  /// ticks: the queue-depth occupancy samples (queue sizes cannot change
+  /// during a skip, so all n samples equal the current depths).
+  void skip_ticks(dram::MemCycle n) {
+    read_q_depth_.record_n(static_cast<double>(read_q_.size()), n);
+    write_q_depth_.record_n(static_cast<double>(write_q_.size()), n);
+  }
+
+  /// Whether any issued read is still in flight; callers use this to
+  /// skip collect_completions() on the (common) ticks with nothing to
+  /// drain.
+  [[nodiscard]] bool has_in_flight() const { return !in_flight_.empty(); }
+
+  /// Drains and returns reads completed up to now. The returned
+  /// reference stays valid until the next call (reused buffer: this runs
+  /// on every executed memory tick).
+  [[nodiscard]] const std::vector<ReadCompletion>& collect_completions(
       dram::MemCycle now);
 
   [[nodiscard]] std::size_t read_queue_depth() const {
@@ -90,14 +122,21 @@ class Controller {
     refresh_urgent_ = false;
   }
 
-  [[nodiscard]] const StatSet& stats() const { return stats_; }
+  /// Counter view (tests). Rebuilt on demand: the counters themselves
+  /// live in plain members because a string-keyed map lookup per DRAM
+  /// command dominated the scheduler hot path.
+  [[nodiscard]] const StatSet& stats() const {
+    stats_cache_.reset();
+    export_counters(stats_cache_);
+    return stats_cache_;
+  }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
 
   /// Exports counters (FR-FCFS decisions, refresh activity, queue
   /// events) plus the per-tick queue-occupancy distributions; the
   /// System registers this as the "memctrl" StatRegistry component.
   void export_stats(StatSet& out) const {
-    out.merge("", stats_);
+    export_counters(out);
     out.put_dist("read_queue_depth", read_q_depth_);
     out.put_dist("write_queue_depth", write_q_depth_);
   }
@@ -109,9 +148,9 @@ class Controller {
 
   /// True if any queued request targets this bank's open row.
   void schedule(dram::MemCycle now);
-  [[nodiscard]] bool try_issue_column(std::deque<MemRequest>& q,
+  [[nodiscard]] bool try_issue_column(std::vector<MemRequest>& q,
                                       dram::MemCycle now);
-  [[nodiscard]] bool try_prepare_row(std::deque<MemRequest>& q,
+  [[nodiscard]] bool try_prepare_row(std::vector<MemRequest>& q,
                                      dram::MemCycle now);
   void manage_power_down(dram::MemCycle now, bool did_work);
   void manage_refresh(dram::MemCycle now);
@@ -119,20 +158,113 @@ class Controller {
   [[nodiscard]] bool row_still_needed(std::uint32_t bank,
                                       std::int64_t row) const;
 
+  /// Conservative earliest cycle any queued request could issue a
+  /// column, precharge, or activate (see next_event).
+  [[nodiscard]] dram::MemCycle earliest_issue_bound() const;
+
+  /// Folds the member counters into `out` under the historical StatSet
+  /// names, preserving key presence (a key exists iff its event ever
+  /// happened, exactly as first-increment insertion behaved).
+  void export_counters(StatSet& out) const;
+
+  // Demand index so row_still_needed is O(1) instead of re-scanning both
+  // queues per scheduling decision, and earliest_issue_bound is O(banks)
+  // instead of O(queued requests). The scheduler only ever asks about a
+  // bank's *currently open* row, so per-bank counters suffice: they are
+  // kept exact by the enqueue/dequeue hooks below plus a recount on ACT
+  // (recount_open_row_demand) and a reset on every PRE
+  // (clear_open_row_demand). Reads are counted separately because their
+  // issue bound differs from writes' (tWTR after a write burst).
+  void index_insert(const MemRequest& r) {
+    ++bank_queued_[r.bank];
+    const dram::Bank& b = device_.bank(r.bank);
+    if (b.open_row() == static_cast<std::int64_t>(r.row)) {
+      ++open_row_demand_[r.bank];
+      ++matched_total_;
+      if (r.type == ReqType::kRead) ++open_row_demand_reads_[r.bank];
+    }
+    if (r.type == ReqType::kWrite) write_lines_.push_back(r.line_addr);
+  }
+  void index_erase(const MemRequest& r) {
+    --bank_queued_[r.bank];
+    const dram::Bank& b = device_.bank(r.bank);
+    if (b.open_row() == static_cast<std::int64_t>(r.row)) {
+      --open_row_demand_[r.bank];
+      --matched_total_;
+      if (r.type == ReqType::kRead) --open_row_demand_reads_[r.bank];
+    }
+    if (r.type == ReqType::kWrite) {
+      for (auto& a : write_lines_) {
+        if (a == r.line_addr) {
+          a = write_lines_.back();
+          write_lines_.pop_back();
+          break;
+        }
+      }
+    }
+  }
+  [[nodiscard]] bool write_line_pending(Address line_addr) const {
+    for (const Address a : write_lines_) {
+      if (a == line_addr) return true;
+    }
+    return false;
+  }
+  /// Rebuilds the open-row demand counters for `bank` after an ACT
+  /// opened `row` (O(queued requests), and ACTs are far rarer than
+  /// lookups).
+  void recount_open_row_demand(std::uint32_t bank, std::uint32_t row);
+  /// Drops `bank`'s open-row demand after a PRE closed its row.
+  void clear_open_row_demand(std::uint32_t bank) {
+    matched_total_ -= open_row_demand_[bank];
+    open_row_demand_[bank] = 0;
+    open_row_demand_reads_[bank] = 0;
+  }
+
   dram::Device& device_;
   ControllerConfig config_;
   AddressMap map_;
 
-  std::deque<MemRequest> read_q_;
-  std::deque<MemRequest> write_q_;
+  std::vector<MemRequest> read_q_;
+  std::vector<MemRequest> write_q_;
   std::vector<InFlight> in_flight_;
+  // Queue indexes (only ever used for point lookups, so their layout
+  // cannot perturb determinism). write_lines_ mirrors the write queue's
+  // line addresses (coalescing keeps it duplicate-free) for the
+  // forwarding/coalescing lookups; it is a flat unsorted vector rather
+  // than a hash set because the queue is bounded at ~32 entries — a
+  // contiguous scan beats hashing plus a node malloc/free per write.
+  // open_row_demand_ counts queued requests per bank targeting that
+  // bank's open row, for O(1) row_still_needed without any scan.
+  std::vector<Address> write_lines_;
+  std::vector<std::uint32_t> bank_queued_;           // queued reqs per bank
+  std::vector<std::uint32_t> open_row_demand_;       // ...targeting open row
+  std::vector<std::uint32_t> open_row_demand_reads_; // ...that are reads
+  std::uint32_t matched_total_ = 0;  // sum of open_row_demand_
 
   bool draining_writes_ = false;
   dram::MemCycle next_refresh_ = 0;
   std::uint32_t refresh_debt_ = 0;
   bool refresh_urgent_ = false;  // block new ACTs until the REF goes out
   dram::MemCycle last_activity_ = 0;
-  StatSet stats_;
+
+  // Hot-path event counters (see stats()/export_counters).
+  std::uint64_t reads_enqueued_ = 0;
+  std::uint64_t reads_forwarded_ = 0;
+  std::uint64_t writes_enqueued_ = 0;
+  std::uint64_t writes_coalesced_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+  std::uint64_t row_conflicts_ = 0;
+  std::uint64_t read_latency_mem_cycles_ = 0;
+  std::uint64_t refreshes_ = 0;
+  std::uint64_t precharges_for_refresh_ = 0;
+  std::uint64_t closed_page_precharges_ = 0;
+  std::uint64_t pd_entries_ = 0;
+  std::uint64_t pd_exits_ = 0;
+  std::uint64_t pd_exits_for_refresh_ = 0;
+
+  mutable StatSet stats_cache_;  // materialized by stats()
+  std::vector<ReadCompletion> completed_;  // collect_completions buffer
   Distribution read_q_depth_;   // sampled every tick
   Distribution write_q_depth_;
 };

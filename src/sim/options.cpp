@@ -97,6 +97,21 @@ constexpr Setter kBer{"--ber / MECC_BER",
                       },
                       "a bit error rate in [0, 1]"};
 
+constexpr Setter kFastForward{
+    "--fast-forward / MECC_FAST_FORWARD",
+    [](const std::string& v, SimOptions& o) {
+      if (v == "on" || v == "1" || v == "true") {
+        o.fast_forward = true;
+        return true;
+      }
+      if (v == "off" || v == "0" || v == "false") {
+        o.fast_forward = false;
+        return true;
+      }
+      return false;
+    },
+    "on|off (also 1|0, true|false)"};
+
 constexpr Setter kOut{"--out / MECC_OUT",
                       [](const std::string& v, SimOptions& o) {
                         if (v.empty()) return false;
@@ -104,6 +119,14 @@ constexpr Setter kOut{"--out / MECC_OUT",
                         return true;
                       },
                       "a file path (or '-' for stdout)"};
+
+constexpr Setter kPerfOut{"--perf-out / MECC_PERF_OUT",
+                          [](const std::string& v, SimOptions& o) {
+                            if (v.empty()) return false;
+                            o.perf_out = v;
+                            return true;
+                          },
+                          "a file path"};
 
 }  // namespace
 
@@ -124,6 +147,8 @@ std::optional<SimOptions> parse_options_checked(int argc, char** argv,
       {"MECC_JOBS", "--jobs=", kJobs},
       {"MECC_BER", "--ber=", kBer},
       {"MECC_OUT", "--out=", kOut},
+      {"MECC_PERF_OUT", "--perf-out=", kPerfOut},
+      {"MECC_FAST_FORWARD", "--fast-forward=", kFastForward},
   };
 
   for (const auto& knob : knobs) {

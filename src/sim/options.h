@@ -10,8 +10,19 @@
 //                      fault-campaign benches (default: bench-specific)
 //   --out=FILE.json    machine-readable report (docs/STATS.md); "-" for
 //                      stdout. Omitted (default) = no JSON emission.
-//   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS / MECC_BER / MECC_OUT
-//   environment variables as fallbacks.
+//   --perf-out=FILE.json
+//                      host-side wall-clock report (wall_seconds /
+//                      wall_mips per run and per suite) — the
+//                      observability deliberately excluded from --out
+//                      so that file stays bit-identical across hosts
+//                      (docs/PERFORMANCE.md). Omitted = no emission.
+//   --fast-forward=on|off
+//                      event-driven cycle skipping (docs/PERFORMANCE.md).
+//                      Default on; off selects the bit-identical
+//                      per-cycle reference loop.
+//   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS / MECC_BER / MECC_OUT /
+//   MECC_PERF_OUT / MECC_FAST_FORWARD environment variables as
+//   fallbacks.
 //
 // Unknown flags are ignored (benches accept the google-benchmark flags
 // too), but a *recognized* flag with a malformed or out-of-range value
@@ -38,6 +49,10 @@ struct SimOptions {
   double ber = -1.0;
   // Destination for the schema-versioned JSON report ("" = off).
   std::string out;
+  // Destination for the wall-clock perf report ("" = off).
+  std::string perf_out;
+  // Event-driven fast-forward; off = per-cycle reference loop.
+  bool fast_forward = true;
 };
 
 /// Parses argv/env without exiting: returns the options, or nullopt

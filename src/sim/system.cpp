@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iostream>
 
 #include "trace/file_trace.h"
 
@@ -142,7 +143,7 @@ void System::register_stats() {
       "trace", [this](StatSet& s) { source_->export_stats(s); });
   if (engine_) {
     registry_.register_component(
-        "mecc", [this](StatSet& s) { s.merge("", engine_->stats()); });
+        "mecc", [this](StatSet& s) { engine_->export_stats(s); });
   }
   if (shadow_) {
     registry_.register_component("errors", [this](StatSet& s) {
@@ -150,6 +151,13 @@ void System::register_stats() {
       shadow_->export_stats(s);
     });
   }
+  registry_.register_component("sim", [this](StatSet& s) {
+    // Only materialized on failure, so healthy snapshots keep the key
+    // set the committed reference JSONs were built with.
+    if (drain_guard_exhausted_ > 0) {
+      s.add("drain_guard_exhausted", drain_guard_exhausted_);
+    }
+  });
   registry_.register_component("power", [this](StatSet& s) {
     s.set_gauge("background_mj", cumulative_energy_.background_mj);
     s.set_gauge("activate_mj", cumulative_energy_.activate_mj);
@@ -261,11 +269,77 @@ void System::handle_completion(const memctrl::ReadCompletion& c, Cycle now) {
                       decode_latency(c.line_addr, c.forwarded, downgraded);
   // Forwarded reads never left the controller, so the stored codeword
   // was not decoded and the shadow stays out of the loop.
-  if (!c.forwarded) shadow_read(c.line_addr, downgraded);
-  pending_data_.push_back({.ready = ready, .tag = c.id});
+  if (shadow_ && !c.forwarded) shadow_read(c.line_addr, downgraded);
+  pending_data_.push_back({.ready = ready, .tag = c.id, .seq = pending_seq_++});
+  std::push_heap(pending_data_.begin(), pending_data_.end(), PendingAfter{});
 }
 
 RunResult System::run() { return run_period(config_.instructions); }
+
+void System::fast_forward_active(InstCount inst_boundary) {
+  // A crossing is already pending (duplicate checkpoint thresholds):
+  // leave this iteration fully to the per-cycle loop.
+  if (inst_boundary <= core_->retired()) return;
+  const bool stalled = core_->stalled_on_read();
+  if (!stalled && !core_->in_pure_gap()) return;
+
+  const Cycle cur = now_;
+  constexpr Cycle kNoEvent = static_cast<Cycle>(-1);
+  Cycle limit = kNoEvent;  // first cycle > cur where anything could act
+  // Bounds are folded in cheapest-first: once any of them pins the limit
+  // to the very next cycle no skip is possible, so bail before paying
+  // for the more expensive scans (notably controller next_event).
+  if (!pending_data_.empty()) {
+    limit = pending_data_.front().ready;
+    if (limit <= cur + 1) return;
+  }
+
+  // Memory-side events, converted from memory ticks back to the CPU
+  // cycle at which run_period services them (cycle % 8 == 0).
+  const dram::MemCycle mem_cur = cur / kCpuCyclesPerMemCycle;
+  if (!pending_downgrade_writes_.empty()) {
+    // The drain retries at every memory tick until the queue has room.
+    limit = std::min(limit, (mem_cur + 1) * kCpuCyclesPerMemCycle);
+    if (limit <= cur + 1) return;
+  }
+  const dram::MemCycle done = controller_.next_completion_ready();
+  if (done != memctrl::kNoMemEvent) {
+    limit = std::min(limit,
+                     std::max(done, mem_cur + 1) * kCpuCyclesPerMemCycle);
+    if (limit <= cur + 1) return;
+  }
+  if (engine_) {
+    limit = std::min(limit, engine_->next_event(cur));
+    if (limit <= cur + 1) return;
+  }
+  const dram::MemCycle mem_event = controller_.next_event(mem_cur);
+  if (mem_event != memctrl::kNoMemEvent) {
+    limit = std::min(limit, mem_event * kCpuCyclesPerMemCycle);
+  }
+
+  Cycle max_skip;
+  if (limit == kNoEvent) {
+    if (stalled) return;  // nothing can ever wake the core (unreachable)
+    // Fully quiescent memory system; the core retires autonomously.
+    // Advance in large slabs and recompute.
+    max_skip = 1'000'000;
+  } else {
+    if (limit <= cur + 1) return;  // something may act next cycle
+    max_skip = limit - cur - 1;
+  }
+
+  Cycle advanced;
+  if (stalled) {
+    advanced = max_skip;
+    core_->skip_stalled(advanced);
+  } else {
+    advanced = core_->advance_gap(max_skip, inst_boundary - core_->retired());
+    if (advanced == 0) return;
+  }
+  now_ = cur + advanced;
+  // Bulk-apply the skipped memory ticks' queue-depth samples.
+  controller_.skip_ticks(now_ / kCpuCyclesPerMemCycle - mem_cur);
+}
 
 RunResult System::run_period(InstCount instructions) {
   RunResult r;
@@ -291,6 +365,15 @@ RunResult System::run_period(InstCount instructions) {
 
   const InstCount target = snap.retired + instructions;
   while (core_->retired() < target) {
+    if (config_.fast_forward) {
+      // Absolute retired count the skip must stay strictly below: the
+      // period target, or the next checkpoint crossing if one is nearer.
+      InstCount boundary = target;
+      if (next_cp < checkpoints.size()) {
+        boundary = std::min(boundary, snap.retired + checkpoints[next_cp]);
+      }
+      fast_forward_active(boundary);
+    }
     ++now_;
     const Cycle cycle = now_;
     if (engine_) engine_->tick(cycle);
@@ -309,20 +392,22 @@ RunResult System::run_period(InstCount instructions) {
         controller_.set_refresh_divider(engine_->active_refresh_divider());
       }
       controller_.tick(mem_now);
-      for (const auto& c : controller_.collect_completions(mem_now)) {
-        handle_completion(c, cycle);
+      if (controller_.has_in_flight()) {
+        for (const auto& c : controller_.collect_completions(mem_now)) {
+          handle_completion(c, cycle);
+        }
       }
     }
 
     // Deliver data whose (transfer + ECC decode) time has elapsed.
-    for (std::size_t i = 0; i < pending_data_.size();) {
-      if (pending_data_[i].ready <= cycle) {
-        core_->on_read_data(pending_data_[i].tag);
-        pending_data_.erase(pending_data_.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-      } else {
-        ++i;
-      }
+    // (ready, seq)-ordered heap pops; the in-order core has at most one
+    // read outstanding, so this matches the old insertion-order scan.
+    while (!pending_data_.empty() && pending_data_.front().ready <= cycle) {
+      const std::uint64_t tag = pending_data_.front().tag;
+      std::pop_heap(pending_data_.begin(), pending_data_.end(),
+                    PendingAfter{});
+      pending_data_.pop_back();
+      core_->on_read_data(tag);
     }
 
     core_->tick();
@@ -424,16 +509,46 @@ IdleReport System::idle_period(double seconds) {
   // Drain outstanding memory work (writes, in-flight reads) before the
   // transition; cap the drain generously.
   dram::MemCycle mem_now = now_ / kCpuCyclesPerMemCycle;
-  for (int guard = 0; guard < 200'000 && !controller_.idle(); ++guard) {
+  const dram::MemCycle drain_deadline = mem_now + 200'000;
+  while (!controller_.idle() && mem_now < drain_deadline) {
     ++mem_now;
     controller_.tick(mem_now);
     for (const auto& c : controller_.collect_completions(mem_now)) {
       handle_completion(c, mem_now * kCpuCyclesPerMemCycle);
     }
+    if (!config_.fast_forward || controller_.idle()) continue;
+    // Event-driven drain: jump to the next tick where the controller
+    // could issue, refresh, or complete a read (same bounds as
+    // fast_forward_active; the core is out of the picture here).
+    dram::MemCycle nxt = controller_.next_event(mem_now);
+    const dram::MemCycle done = controller_.next_completion_ready();
+    if (done != memctrl::kNoMemEvent) {
+      nxt = std::min(nxt, std::max(done, mem_now + 1));
+    }
+    if (nxt > drain_deadline) nxt = drain_deadline;  // covers kNoMemEvent
+    if (nxt > mem_now + 1) {
+      controller_.skip_ticks(nxt - 1 - mem_now);
+      mem_now = nxt - 1;
+    }
+  }
+  if (!controller_.idle()) {
+    // The memory system failed to drain within the cap. Fail loudly —
+    // a silent force-clear here masks scheduler livelocks — but still
+    // complete the transition so long campaigns degrade gracefully.
+    ++drain_guard_exhausted_;
+    std::cerr << "mecc: idle_period drain guard exhausted after 200000 "
+                 "memory cycles (" << controller_.read_queue_depth()
+              << " reads / " << controller_.write_queue_depth()
+              << " writes still queued or in flight); forcing the idle "
+                 "transition\n";
   }
   now_ = mem_now * kCpuCyclesPerMemCycle;
-  for (const auto& pd : pending_data_) core_->on_read_data(pd.tag);
-  pending_data_.clear();
+  while (!pending_data_.empty()) {
+    const std::uint64_t tag = pending_data_.front().tag;
+    std::pop_heap(pending_data_.begin(), pending_data_.end(), PendingAfter{});
+    pending_data_.pop_back();
+    core_->on_read_data(tag);
+  }
 
   // ECC-Upgrade (MECC) and the idle refresh rate.
   std::uint32_t divider = 1;

@@ -68,6 +68,13 @@ struct SystemConfig {
 
   Cycle ecc6_decode_cycles = 30;   // Fig. 12 sweeps 15..60
 
+  // Event-driven fast-forward (docs/PERFORMANCE.md): when every
+  // component is provably quiescent, run_period jumps straight to the
+  // next event instead of ticking cycle by cycle. Bit-identical to the
+  // per-cycle reference loop (--fast-forward=off keeps that loop as an
+  // escape hatch and for the equivalence tests).
+  bool fast_forward = true;
+
   // Strong-ECC correction strength for MECC / always-strong runs. 6 is
   // the paper's choice; other values exercise the closing claim that
   // MECC morphs between arbitrary ECC levels (decode latency then follows
@@ -217,11 +224,31 @@ class System {
   struct PendingData {
     Cycle ready = 0;
     std::uint64_t tag = 0;
+    std::uint64_t seq = 0;  // arrival order, ties broken FIFO
+  };
+  // Heap comparator: pending_data_ is a min-heap on (ready, seq), so
+  // delivery pops the earliest-ready (then oldest) entry in O(log n)
+  // instead of the old erase-from-the-middle linear scan.
+  struct PendingAfter {
+    [[nodiscard]] bool operator()(const PendingData& a,
+                                  const PendingData& b) const {
+      return a.ready != b.ready ? a.ready > b.ready : a.seq > b.seq;
+    }
   };
 
   void init_engine_and_core();
   void register_stats();
   void handle_completion(const memctrl::ReadCompletion& c, Cycle now);
+  /// Fast-forward step (docs/PERFORMANCE.md): called at the top of the
+  /// run_period loop. When the core is in a pure state (stalled on read
+  /// data or retiring gap instructions) this computes the minimum of
+  /// every component's next_event bound and advances now_ — with the
+  /// bulk-equivalent counter updates — to just before it. No-op when any
+  /// component might act on the very next cycle. `inst_boundary` is the
+  /// absolute retired-instruction count (period target or next
+  /// checkpoint crossing) the skip must stay strictly below, so those
+  /// crossings still happen under per-cycle control.
+  void fast_forward_active(InstCount inst_boundary);
   [[nodiscard]] Cycle decode_latency(Address line_addr, bool forwarded,
                                      bool& downgraded);
   // Fault-campaign hooks (no-ops when the shadow is disabled).
@@ -250,8 +277,12 @@ class System {
   StatRegistry registry_;
   power::ActiveEnergy cumulative_energy_;  // across all active periods
 
-  std::vector<PendingData> pending_data_;
+  std::vector<PendingData> pending_data_;  // min-heap, see PendingAfter
+  std::uint64_t pending_seq_ = 0;
   std::vector<Address> pending_downgrade_writes_;
+  // idle_period drain-guard trips (exported as sim.drain_guard_exhausted
+  // only when nonzero, so healthy snapshots keep their key set).
+  std::uint64_t drain_guard_exhausted_ = 0;
   std::uint64_t strong_decodes_ = 0;
   std::uint64_t weak_decodes_ = 0;
   std::uint64_t downgrades_issued_ = 0;

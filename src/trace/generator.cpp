@@ -26,10 +26,16 @@ TraceRecord TraceGenerator::next() {
 
   // Gap targeting the phase-adjusted MPKI: one access per
   // (1000 / effective_mpki) instructions on average, including the memory
-  // instruction itself.
-  const double effective_mpki =
-      std::max(0.01, profile_.mpki * phase_multiplier());
-  const double mean_insts_per_access = 1000.0 / effective_mpki;
+  // instruction itself. The mean only changes at phase-segment
+  // boundaries, so it is recomputed per segment, not per access.
+  const std::uint64_t segment = insts_generated_ / config_.phase_length_insts;
+  if (segment != cached_segment_ || cached_mean_ == 0.0) {
+    cached_segment_ = segment;
+    const double effective_mpki =
+        std::max(0.01, profile_.mpki * phase_multiplier());
+    cached_mean_ = 1000.0 / effective_mpki;
+  }
+  const double mean_insts_per_access = cached_mean_;
   const std::uint64_t total =
       std::max<std::uint64_t>(1, rng_.next_geometric(mean_insts_per_access));
   rec.gap = static_cast<std::uint32_t>(std::min<std::uint64_t>(

@@ -64,6 +64,8 @@ class TraceGenerator {
   std::uint64_t insts_generated_ = 0;
   std::uint64_t stream_line_ = 0;  // current sequential-stream position
   std::size_t phase_offset_;
+  std::uint64_t cached_segment_ = 0;  // phase segment cached_mean_ is for
+  double cached_mean_ = 0.0;          // 0 = not yet computed
 };
 
 }  // namespace mecc::trace
