@@ -227,6 +227,12 @@ int main(int argc, char** argv) {
     cfg.fault.ber_override = demo_ber;
     cfg.fault.transient_read_ber = 1e-3;
     cfg.fault.due = v.due;
+    // One trace/metrics file per ladder variant (tag-derived names, so
+    // the file set is independent of variant order and --jobs).
+    cfg.trace = sim::trace_config_from(opts);
+    cfg.metrics = sim::metrics_config_from(opts);
+    cfg.trace.path = sim::per_run_path(cfg.trace.path, v.tag);
+    cfg.metrics.path = sim::per_run_path(cfg.metrics.path, v.tag);
 
     const trace::BenchmarkProfile profile = trace::all_benchmarks()[0];
     sim::System system(profile, cfg);

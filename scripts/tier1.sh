@@ -48,6 +48,24 @@ build/bench/bench_table3_workloads --instructions=50000 --seed=1 --jobs=4 \
 python3 scripts/compare_stats.py \
   tests/data/table3_workloads_small_ref.json "$ff_json"
 
+# Observability smoke (docs/OBSERVABILITY.md): a small traced+metered
+# fault-campaign run, then Perfetto-format validation + summary and the
+# metrics JSONL schema check. Per-variant files derive from the base
+# paths (trace.ladder_full.json etc.).
+trace_base="build/tier1_trace.json"
+metrics_base="build/tier1_metrics.jsonl"
+build/bench/bench_fault_campaign --instructions=500 --seed=1 \
+  --trace="$trace_base" --metrics-out="$metrics_base" \
+  --metrics-interval=100000 > /dev/null
+python3 scripts/trace_summary.py \
+  build/tier1_trace.ladder_full.json \
+  build/tier1_trace.ladder_retry_only.json \
+  build/tier1_trace.ladder_no_scrub.json
+python3 scripts/trace_summary.py --metrics \
+  build/tier1_metrics.ladder_full.jsonl \
+  build/tier1_metrics.ladder_retry_only.jsonl \
+  build/tier1_metrics.ladder_no_scrub.jsonl
+
 # Wall-clock report (non-gating: host-dependent numbers, never a
 # pass/fail signal; the committed snapshot is BENCH_perf.json).
 scripts/perf_smoke.sh --repeats=1 --instructions=500000 || true
@@ -56,16 +74,18 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DMECC_TSAN=ON
   cmake --build build-tsan -j --target test_thread_pool \
     test_parallel_runner test_run_json test_stats \
-    test_golden_vectors test_codec_property test_fast_forward
+    test_golden_vectors test_codec_property test_fast_forward \
+    test_trace test_observability
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty|FastForward'
+    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty|FastForward|Tracer|MetricsSampler|Observability'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DMECC_ASAN=ON
   cmake --build build-asan -j --target test_fault_injection \
     test_memory_image test_shadow_memory test_due_policy \
-    test_fault_campaign test_line_codec test_bitvec test_fast_forward
+    test_fault_campaign test_line_codec test_bitvec test_fast_forward \
+    test_json test_trace test_observability
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward'
+    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward|JsonEscape|JsonWriter|Tracer|MetricsSampler|Observability'
 fi

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Summarize and validate --trace / --metrics-out emissions.
+
+Usage:
+    scripts/trace_summary.py TRACE.json [TRACE2.json ...]
+    scripts/trace_summary.py --metrics METRICS.jsonl [...]
+
+Trace mode (Chrome/Perfetto trace-event JSON, docs/OBSERVABILITY.md):
+  * validates the format Perfetto needs: every event carries name/ph/ts,
+    non-metadata events carry cat, 'X' events carry dur, 'i' events a
+    scope, 'C' events args.value, and timestamps are monotone per track
+    (pid, tid) in file order;
+  * prints per-category event counts;
+  * prints residency tables for the span tracks: power-state residency
+    (dram.power), morph activity (mecc.morph) and epoch composition
+    (sim.epoch), as total cycles and share of the traced span.
+
+Metrics mode (--metrics): validates the mecc-metrics-v1 JSONL schema —
+a header line with schema/interval/keys, then sample lines with
+cycle/window/phase/counters/gauges/dists, cycles non-decreasing,
+counters non-negative integers, dists carrying count/sum/min/max — and
+prints one summary line per file.
+
+Exit codes: 0 = all files valid, 1 = validation failure, 2 = usage.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(path, msg):
+    print(f"trace_summary: {path}: {msg}", file=sys.stderr)
+    return False
+
+
+def validate_event(path, i, ev):
+    if not isinstance(ev, dict):
+        return fail(path, f"traceEvents[{i}] is not an object")
+    for field in ("name", "ph"):
+        if field not in ev:
+            return fail(path, f"traceEvents[{i}] missing '{field}'")
+    ph = ev["ph"]
+    if ph == "M":  # metadata (track names): no ts/cat required
+        return True
+    for field in ("ts", "pid", "tid"):
+        if field not in ev:
+            return fail(path, f"traceEvents[{i}] ({ev['name']}) missing "
+                              f"'{field}'")
+    if "cat" not in ev:
+        return fail(path, f"traceEvents[{i}] ({ev['name']}) missing 'cat'")
+    if not isinstance(ev["ts"], int) or ev["ts"] < 0:
+        return fail(path, f"traceEvents[{i}] has bad ts {ev['ts']!r}")
+    if ph == "X":
+        if "dur" not in ev or not isinstance(ev["dur"], int):
+            return fail(path, f"traceEvents[{i}] 'X' event missing int dur")
+    elif ph == "i":
+        if ev.get("s") not in ("t", "p", "g"):
+            return fail(path, f"traceEvents[{i}] 'i' event missing scope")
+    elif ph == "C":
+        if "value" not in ev.get("args", {}):
+            return fail(path, f"traceEvents[{i}] 'C' event missing "
+                              "args.value")
+    else:
+        return fail(path, f"traceEvents[{i}] unknown phase {ph!r}")
+    return True
+
+
+def summarize_trace(path):
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(path, f"unreadable: {e}")
+    if "traceEvents" not in doc or not isinstance(doc["traceEvents"], list):
+        return fail(path, "no traceEvents array")
+    events = doc["traceEvents"]
+
+    track_names = {}
+    last_ts = {}
+    by_category = defaultdict(int)
+    residency = defaultdict(lambda: defaultdict(int))  # track -> name -> dur
+    lo, hi = None, 0
+    for i, ev in enumerate(events):
+        if not validate_event(path, i, ev):
+            return False
+        if ev["ph"] == "M":
+            if ev["name"] == "thread_name":
+                track_names[(ev.get("pid", 0), ev["tid"])] = \
+                    ev["args"]["name"]
+            continue
+        key = (ev["pid"], ev["tid"])
+        if ev["ts"] < last_ts.get(key, 0):
+            return fail(path, f"traceEvents[{i}] ts {ev['ts']} goes "
+                              f"backwards on track {key}")
+        last_ts[key] = ev["ts"]
+        by_category[ev["cat"]] += 1
+        end = ev["ts"] + ev.get("dur", 0)
+        lo = ev["ts"] if lo is None else min(lo, ev["ts"])
+        hi = max(hi, end)
+        if ev["ph"] == "X":
+            residency[track_names.get(key, str(key))][ev["name"]] += \
+                ev["dur"]
+
+    span = max(1, hi - (lo or 0))
+    n_events = sum(by_category.values())
+    dropped = doc.get("otherData", {}).get("dropped_events", 0)
+    print(f"{path}: {n_events} events on {len(last_ts)} tracks, "
+          f"span {span} cycles, {dropped} dropped")
+    for cat in sorted(by_category):
+        print(f"  category {cat:<8} {by_category[cat]:>8}")
+    for track in sorted(residency):
+        print(f"  residency [{track}]")
+        for name, dur in sorted(residency[track].items(),
+                                key=lambda kv: -kv[1]):
+            print(f"    {name:<24} {dur:>12} cycles  "
+                  f"{100.0 * dur / span:6.2f}%")
+    return True
+
+
+def summarize_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln]
+    except OSError as e:
+        return fail(path, f"unreadable: {e}")
+    if not lines:
+        return fail(path, "empty metrics file")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as e:
+        return fail(path, f"bad header line: {e}")
+    if header.get("schema") != "mecc-metrics-v1":
+        return fail(path, f"unexpected schema {header.get('schema')!r}")
+    if not isinstance(header.get("interval"), int) or header["interval"] < 1:
+        return fail(path, "header missing positive 'interval'")
+    if not isinstance(header.get("keys"), list):
+        return fail(path, "header missing 'keys' list")
+
+    prev_cycle = -1
+    phases = defaultdict(int)
+    for n, line in enumerate(lines[1:], start=2):
+        try:
+            rec = json.loads(line)
+        except ValueError as e:
+            return fail(path, f"line {n}: bad JSON: {e}")
+        for field in ("cycle", "window", "phase", "counters", "gauges",
+                      "dists"):
+            if field not in rec:
+                return fail(path, f"line {n}: missing '{field}'")
+        if rec["cycle"] < prev_cycle:
+            return fail(path, f"line {n}: cycle {rec['cycle']} goes "
+                              "backwards")
+        if rec["window"] != rec["cycle"] // header["interval"]:
+            return fail(path, f"line {n}: window {rec['window']} does not "
+                              f"match cycle/interval")
+        prev_cycle = rec["cycle"]
+        phases[rec["phase"]] += 1
+        for key, v in rec["counters"].items():
+            if not isinstance(v, int) or v < 0:
+                return fail(path, f"line {n}: counter {key} = {v!r}")
+        for key, d in rec["dists"].items():
+            for field in ("count", "sum", "min", "max"):
+                if field not in d:
+                    return fail(path, f"line {n}: dist {key} missing "
+                                      f"'{field}'")
+    phase_list = ", ".join(f"{k}={v}" for k, v in sorted(phases.items()))
+    print(f"{path}: {len(lines) - 1} samples to cycle {prev_cycle}, "
+          f"interval {header['interval']} ({phase_list})")
+    return True
+
+
+def main(argv):
+    args = argv[1:]
+    metrics_mode = False
+    if args and args[0] == "--metrics":
+        metrics_mode = True
+        args = args[1:]
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ok = True
+    for path in args:
+        if metrics_mode:
+            ok = summarize_metrics(path) and ok
+        else:
+            ok = summarize_trace(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,41 +6,93 @@
 
 namespace mecc {
 
+namespace {
+
+// Length of the valid UTF-8 sequence starting at s[i], or 0 if the bytes
+// at s[i] are not a valid sequence (bad lead byte, truncated or invalid
+// continuation, overlong encoding, surrogate, > U+10FFFF).
+std::size_t utf8_sequence_length(const std::string& s, std::size_t i) {
+  const auto b = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char lead = b(i);
+  std::size_t len;
+  if (lead < 0x80) {
+    return 1;
+  } else if (lead >= 0xC2 && lead <= 0xDF) {
+    len = 2;
+  } else if (lead >= 0xE0 && lead <= 0xEF) {
+    len = 3;
+  } else if (lead >= 0xF0 && lead <= 0xF4) {
+    len = 4;
+  } else {
+    return 0;  // continuation byte, overlong lead C0/C1, or > F4
+  }
+  if (i + len > s.size()) return 0;
+  for (std::size_t k = 1; k < len; ++k) {
+    if ((b(i + k) & 0xC0) != 0x80) return 0;
+  }
+  const unsigned char second = b(i + 1);
+  if (lead == 0xE0 && second < 0xA0) return 0;  // overlong 3-byte
+  if (lead == 0xED && second > 0x9F) return 0;  // UTF-16 surrogate
+  if (lead == 0xF0 && second < 0x90) return 0;  // overlong 4-byte
+  if (lead == 0xF4 && second > 0x8F) return 0;  // > U+10FFFF
+  return len;
+}
+
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
   out.push_back('"');
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
     switch (c) {
       case '"':
         out += "\\\"";
-        break;
+        continue;
       case '\\':
         out += "\\\\";
-        break;
+        continue;
       case '\b':
         out += "\\b";
-        break;
+        continue;
       case '\f':
         out += "\\f";
-        break;
+        continue;
       case '\n':
         out += "\\n";
-        break;
+        continue;
       case '\r':
         out += "\\r";
-        break;
+        continue;
       case '\t':
         out += "\\t";
-        break;
+        continue;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+        break;
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else if (u < 0x80) {
+      out.push_back(c);
+    } else {
+      // Non-ASCII: pass valid UTF-8 through unchanged; a byte that is
+      // not part of a valid sequence would make the whole document
+      // unparseable, so escape it as its Latin-1 code point instead.
+      const std::size_t len = utf8_sequence_length(s, i);
+      if (len == 0) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+        out += buf;
+      } else {
+        out.append(s, i, len);
+        i += len - 1;
+      }
     }
   }
   out.push_back('"');
@@ -55,6 +107,7 @@ std::string json_double(double v) {
 }
 
 void JsonWriter::newline_indent() {
+  if (indent_width_ < 0) return;  // compact mode: no layout whitespace
   out_.push_back('\n');
   out_.append(stack_.size() * static_cast<std::size_t>(indent_width_), ' ');
 }
@@ -111,7 +164,7 @@ void JsonWriter::key(const std::string& k) {
   ++top.members;
   newline_indent();
   out_ += json_escape(k);
-  out_ += ": ";
+  out_ += indent_width_ < 0 ? ":" : ": ";
   pending_key_ = true;
 }
 

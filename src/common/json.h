@@ -14,7 +14,11 @@
 
 namespace mecc {
 
-/// Escapes and quotes `s` as a JSON string literal.
+/// Escapes and quotes `s` as a JSON string literal. Control characters
+/// use the \uXXXX form; valid UTF-8 multi-byte sequences pass through
+/// unchanged; bytes that are NOT part of a valid UTF-8 sequence are
+/// escaped as \u00XX (their Latin-1 interpretation) so the output is
+/// always valid JSON even for arbitrary byte strings.
 [[nodiscard]] std::string json_escape(const std::string& s);
 
 /// Formats a double as a JSON number token. %.17g guarantees the bits
@@ -24,6 +28,10 @@ namespace mecc {
 
 class JsonWriter {
  public:
+  /// indent_width >= 0: pretty-printed, one member per line. A negative
+  /// indent_width selects compact mode — no newlines or indentation —
+  /// which is what the JSONL metrics timeline and the trace emitter use
+  /// (one record per line).
   explicit JsonWriter(int indent_width = 2) : indent_width_(indent_width) {}
 
   void begin_object();

@@ -1,6 +1,7 @@
 #include "common/stats.h"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace mecc {
 
@@ -31,8 +32,15 @@ void StatSet::merge(const std::string& prefix, const StatSet& other) {
 void StatRegistry::register_component(std::string component,
                                       Provider provider) {
   assert(provider);
-  for ([[maybe_unused]] const auto& [name, _] : providers_) {
-    assert(name != component && "duplicate stats component");
+  for (const auto& [name, _] : providers_) {
+    if (name == component) {
+      // A duplicate would silently shadow the earlier provider's keys in
+      // snapshot() merges — reject loudly in every build type, not just
+      // with an assert that vanishes under NDEBUG.
+      throw std::logic_error(
+          "StatRegistry: duplicate stats component registration: '" +
+          component + "'");
+    }
   }
   providers_.emplace_back(std::move(component), std::move(provider));
 }

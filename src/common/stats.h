@@ -139,6 +139,8 @@ class StatRegistry {
   /// component prefix; the registry prepends "<component>.").
   using Provider = std::function<void(StatSet&)>;
 
+  /// Throws std::logic_error on a duplicate component name: a duplicate
+  /// would silently shadow the earlier provider in snapshot().
   void register_component(std::string component, Provider provider);
 
   /// One merged view of every component, `component.stat`-keyed.

@@ -1,0 +1,313 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/json.h"
+
+namespace mecc::tracing {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kDram:
+      return "dram";
+    case Category::kBank:
+      return "bank";
+    case Category::kPower:
+      return "power";
+    case Category::kRefresh:
+      return "refresh";
+    case Category::kQueue:
+      return "queue";
+    case Category::kMorph:
+      return "morph";
+    case Category::kSmd:
+      return "smd";
+    case Category::kDue:
+      return "due";
+    case Category::kInject:
+      return "inject";
+    case Category::kEpoch:
+      return "epoch";
+  }
+  return "?";
+}
+
+std::optional<std::uint32_t> parse_categories(const std::string& csv) {
+  if (csv.empty() || csv == "all") return kAllCategories;
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = std::min(csv.find(',', pos), csv.size());
+    const std::string name = csv.substr(pos, comma - pos);
+    bool found = false;
+    for (std::size_t i = 0; i < kNumCategories; ++i) {
+      const auto c = static_cast<Category>(i);
+      if (name == category_name(c)) {
+        mask |= category_bit(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+    pos = comma + 1;
+    if (comma == csv.size()) break;
+  }
+  return mask;
+}
+
+std::string track_name(std::uint8_t track) {
+  switch (track) {
+    case kTrackEpoch:
+      return "sim.epoch";
+    case kTrackDramCmd:
+      return "dram.cmd";
+    case kTrackPower:
+      return "dram.power";
+    case kTrackRefresh:
+      return "memctrl.refresh";
+    case kTrackQueues:
+      return "memctrl.queues";
+    case kTrackMorph:
+      return "mecc.morph";
+    case kTrackSmd:
+      return "mecc.smd";
+    case kTrackErrors:
+      return "errors";
+    default:
+      return "dram.bank" + std::to_string(track - kTrackBankBase);
+  }
+}
+
+Tracer::Tracer(const TraceConfig& config) : config_(config) {
+  if (config_.limit == 0) config_.limit = 1;
+  // Preallocate up to a modest cap; bigger rings grow on demand so a
+  // huge --trace-limit does not commit memory it may never use.
+  ring_.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(config_.limit, 1u << 16)));
+}
+
+void Tracer::push(const TraceEvent& e) {
+  if (ring_.size() < config_.limit) {
+    ring_.push_back(e);
+    return;
+  }
+  // Ring full: overwrite the oldest retained event.
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+  ++dropped_;
+}
+
+std::string Tracer::json() const {
+  // Chronological append order (ring start at head_), then a stable sort
+  // by timestamp: 'X' complete events are recorded at span *end* with an
+  // earlier ts, and Perfetto expects per-track monotone timestamps.
+  std::vector<const TraceEvent*> events;
+  events.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(&ring_[(head_ + i) % ring_.size()]);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->ts < b->ts;
+                   });
+
+  bool track_used[256] = {};
+  for (const TraceEvent* e : events) track_used[e->track] = true;
+
+  JsonWriter w(/*indent_width=*/-1);
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ns");
+  w.key("otherData");
+  w.begin_object();
+  w.key("clock");
+  w.value("cpu-cycles");  // 1 trace time unit == 1 CPU cycle (1.6 GHz)
+  w.key("dropped_events");
+  w.value(dropped_);
+  w.end_object();
+  w.key("traceEvents");
+  w.begin_array();
+  // Track-name metadata first (Perfetto renders these as thread names).
+  for (int t = 0; t < 256; ++t) {
+    if (!track_used[t]) continue;
+    w.begin_object();
+    w.key("name");
+    w.value("thread_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(std::uint64_t{0});
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(t));
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(track_name(static_cast<std::uint8_t>(t)));
+    w.end_object();
+    w.end_object();
+  }
+  for (const TraceEvent* e : events) {
+    w.begin_object();
+    w.key("name");
+    w.value(e->name);
+    w.key("cat");
+    w.value(category_name(e->cat));
+    w.key("ph");
+    w.value(std::string(1, e->ph));
+    w.key("ts");
+    w.value(static_cast<std::uint64_t>(e->ts));
+    if (e->ph == 'X') {
+      w.key("dur");
+      w.value(static_cast<std::uint64_t>(e->dur));
+    }
+    w.key("pid");
+    w.value(std::uint64_t{0});
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(e->track));
+    if (e->ph == 'i') {
+      w.key("s");
+      w.value("t");
+    }
+    if (e->ph == 'C' || e->arg_name[0] != nullptr) {
+      w.key("args");
+      w.begin_object();
+      if (e->ph == 'C') {
+        w.key("value");
+        w.value(e->value);
+      }
+      for (int a = 0; a < 2; ++a) {
+        if (e->arg_name[a] == nullptr) continue;
+        w.key(e->arg_name[a]);
+        w.value(e->arg_val[a]);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string out = w.str();
+  out.push_back('\n');
+  return out;
+}
+
+bool Tracer::write(const std::string& path) const {
+  const std::string doc = json();
+  if (path == "-") {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return true;
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open --trace file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  f << doc;
+  return f.good();
+}
+
+MetricsSampler::MetricsSampler(const MetricsConfig& config,
+                               const StatRegistry* registry)
+    : config_(config), registry_(registry) {
+  if (config_.interval == 0) config_.interval = 1;
+  next_ = config_.interval;  // first window boundary
+  // Header line: lets consumers validate the schema and recover the
+  // window length without out-of-band context.
+  JsonWriter w(/*indent_width=*/-1);
+  w.begin_object();
+  w.key("schema");
+  w.value("mecc-metrics-v1");
+  w.key("interval");
+  w.value(static_cast<std::uint64_t>(config_.interval));
+  w.key("keys");
+  w.begin_array();
+  for (const auto& k : config_.keys) w.value(k);
+  w.end_array();
+  w.end_object();
+  out_ = w.str();
+  out_.push_back('\n');
+}
+
+bool MetricsSampler::selected(const std::string& key) const {
+  if (config_.keys.empty()) return true;
+  for (const auto& sel : config_.keys) {
+    if (key == sel) return true;
+    // Component selector: "dram" matches "dram.reads".
+    if (key.size() > sel.size() && key[sel.size()] == '.' &&
+        key.compare(0, sel.size(), sel) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MetricsSampler::sample(Cycle now, const char* phase) {
+  const StatSet snap = registry_->snapshot();
+  JsonWriter w(/*indent_width=*/-1);
+  w.begin_object();
+  w.key("cycle");
+  w.value(static_cast<std::uint64_t>(now));
+  w.key("window");
+  w.value(static_cast<std::uint64_t>(now / config_.interval));
+  w.key("phase");
+  w.value(phase);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snap.counters()) {
+    if (!selected(name)) continue;
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : snap.gauges()) {
+    if (!selected(name)) continue;
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("dists");
+  w.begin_object();
+  for (const auto& [name, d] : snap.dists()) {
+    if (!selected(name)) continue;
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(d.count);
+    w.key("sum");
+    w.value(d.sum);
+    w.key("min");
+    w.value(d.min);
+    w.key("max");
+    w.value(d.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  out_ += w.str();
+  out_.push_back('\n');
+  ++samples_;
+  next_ = (now / config_.interval + 1) * config_.interval;
+}
+
+bool MetricsSampler::write(const std::string& path) const {
+  if (path == "-") {
+    std::fwrite(out_.data(), 1, out_.size(), stdout);
+    return true;
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open --metrics-out file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  f << out_;
+  return f.good();
+}
+
+}  // namespace mecc::tracing

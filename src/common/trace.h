@@ -1,0 +1,216 @@
+// Simulator-wide observability (docs/OBSERVABILITY.md): a zero-cost-
+// when-disabled, ring-buffered, cycle-stamped structured event tracer
+// emitting Chrome/Perfetto trace-event JSON, plus a windowed metrics
+// sampler that snapshots StatRegistry keys on a fixed cycle grid into a
+// JSONL timeline.
+//
+// Determinism contract: every emitted byte is a function of simulated
+// state only (cycle stamps, counters, static names) — no wall clock, no
+// pointers — so traces and timelines are byte-identical across
+// --jobs settings and --fast-forward modes (the observability tests
+// enforce this).
+//
+// Cost contract: components hold a `Tracer*` that is null unless the
+// run was started with --trace; every hook is a single null-pointer
+// check when tracing is off. With tracing on, per-event cost is one
+// bounds check and a POD store into a preallocated ring.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mecc::tracing {
+
+/// Per-component event categories (--trace-categories=LIST filters on
+/// these names; docs/OBSERVABILITY.md lists the taxonomy).
+enum class Category : std::uint8_t {
+  kDram,     // DRAM command stream: ACT/RD/WR/PRE/REF, PD/SR entry+exit
+  kBank,     // per-bank row-open spans
+  kPower,    // device power-state residency spans
+  kRefresh,  // refresh-rate (divider) transitions
+  kQueue,    // controller queue-occupancy counters
+  kMorph,    // MECC morphs: downgrades, ECC-Upgrade walks, forced upgrades
+  kSmd,      // SMD quantum checks and downgrade-enable transitions
+  kDue,      // DUE-ladder events: DUEs, retries, escalations
+  kInject,   // fault-campaign injections and shadow CE/DUE classifications
+  kEpoch,    // lifecycle boundaries: active periods, idle stays, samples
+};
+inline constexpr std::size_t kNumCategories = 10;
+inline constexpr std::uint32_t kAllCategories =
+    (1u << kNumCategories) - 1;
+
+[[nodiscard]] const char* category_name(Category c);
+
+[[nodiscard]] constexpr std::uint32_t category_bit(Category c) {
+  return 1u << static_cast<std::uint32_t>(c);
+}
+
+/// Parses a comma-separated category list ("dram,power,epoch"); "all"
+/// or "" selects every category. nullopt on an unknown name.
+[[nodiscard]] std::optional<std::uint32_t> parse_categories(
+    const std::string& csv);
+
+// Fixed Perfetto track (tid) assignments. Banks get their own tracks at
+// kTrackBankBase + bank so row-open spans do not overlap.
+inline constexpr std::uint8_t kTrackEpoch = 0;
+inline constexpr std::uint8_t kTrackDramCmd = 1;
+inline constexpr std::uint8_t kTrackPower = 2;
+inline constexpr std::uint8_t kTrackRefresh = 3;
+inline constexpr std::uint8_t kTrackQueues = 4;
+inline constexpr std::uint8_t kTrackMorph = 5;
+inline constexpr std::uint8_t kTrackSmd = 6;
+inline constexpr std::uint8_t kTrackErrors = 7;
+inline constexpr std::uint8_t kTrackBankBase = 8;
+
+[[nodiscard]] std::string track_name(std::uint8_t track);
+
+struct TraceConfig {
+  /// Master switch; a System only constructs a Tracer when set.
+  bool enabled = false;
+  /// Destination file ("" = in-memory only, e.g. tests via
+  /// System::tracer()->json()).
+  std::string path;
+  /// Bitmask of enabled categories (category_bit / parse_categories).
+  std::uint32_t categories = kAllCategories;
+  /// Ring capacity in events; the OLDEST events are overwritten once the
+  /// ring is full and surface as the dropped() count
+  /// (errors.trace_dropped).
+  std::uint64_t limit = 1u << 20;
+};
+
+/// One recorded event. POD with static-string names only: the hot path
+/// never allocates, and the ring is a flat vector.
+struct TraceEvent {
+  Cycle ts = 0;         // CPU cycles (1 trace "us" == 1 cycle)
+  Cycle dur = 0;        // 'X' complete events only
+  const char* name = "";
+  const char* arg_name[2] = {nullptr, nullptr};
+  std::uint64_t arg_val[2] = {0, 0};
+  double value = 0.0;   // 'C' counter events only
+  Category cat = Category::kEpoch;
+  char ph = 'i';        // 'i' instant, 'X' complete, 'C' counter
+  std::uint8_t track = kTrackEpoch;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TraceConfig& config);
+
+  [[nodiscard]] bool enabled(Category c) const {
+    return (config_.categories & category_bit(c)) != 0;
+  }
+
+  /// Simulation clock for emitters without a cycle argument of their own
+  /// (DuePolicy, ShadowMemory, the MECC engine's access hooks). The
+  /// System keeps it current.
+  void set_now(Cycle now) { now_ = now; }
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  void instant(Category cat, std::uint8_t track, const char* name, Cycle ts,
+               const char* a0 = nullptr, std::uint64_t v0 = 0,
+               const char* a1 = nullptr, std::uint64_t v1 = 0) {
+    if (!enabled(cat)) return;
+    push({.ts = ts, .name = name, .arg_name = {a0, a1},
+          .arg_val = {v0, v1}, .cat = cat, .ph = 'i', .track = track});
+  }
+
+  void complete(Category cat, std::uint8_t track, const char* name, Cycle ts,
+                Cycle dur, const char* a0 = nullptr, std::uint64_t v0 = 0) {
+    if (!enabled(cat)) return;
+    push({.ts = ts, .dur = dur, .name = name, .arg_name = {a0, nullptr},
+          .arg_val = {v0, 0}, .cat = cat, .ph = 'X', .track = track});
+  }
+
+  void counter(Category cat, std::uint8_t track, const char* name, Cycle ts,
+               double value) {
+    if (!enabled(cat)) return;
+    push({.ts = ts, .name = name, .value = value, .cat = cat, .ph = 'C',
+          .track = track});
+  }
+
+  /// Events overwritten by the ring (--trace-limit); surfaced by the
+  /// System as errors.trace_dropped.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Events currently retained in the ring.
+  [[nodiscard]] std::size_t recorded() const { return ring_.size(); }
+
+  /// The full Chrome trace-event document ({"traceEvents": [...]}),
+  /// events in chronological order plus track-name metadata. Stable:
+  /// equal event streams serialize to equal bytes.
+  [[nodiscard]] std::string json() const;
+
+  /// Writes json() to `path` ("-" = stdout). False with a stderr
+  /// diagnostic when the file cannot be written.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+  [[nodiscard]] const TraceConfig& config() const { return config_; }
+
+ private:
+  void push(const TraceEvent& e);
+
+  TraceConfig config_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // oldest retained event once the ring wrapped
+  std::uint64_t dropped_ = 0;
+  Cycle now_ = 0;
+};
+
+// ---- windowed metrics timeline (--metrics-out / --metrics-interval) ----
+
+struct MetricsConfig {
+  bool enabled = false;
+  /// Destination file ("" = in-memory only, e.g. tests via
+  /// System::metrics()->jsonl()).
+  std::string path;
+  /// Window length in CPU cycles; samples land on exact multiples.
+  Cycle interval = 1'000'000;
+  /// Key selectors: a selector matches a `component.stat` key exactly or
+  /// selects a whole component ("dram" matches every dram.*). Empty =
+  /// every registered key. --list-stats enumerates the candidates.
+  std::vector<std::string> keys;
+};
+
+/// Snapshots selected StatRegistry keys into one JSONL line per sample.
+/// Fired by the System at every window boundary reached while active
+/// (the fast-forward skip bound includes next_sample(), so boundaries
+/// are hit exactly in both --fast-forward modes) plus the idle-entry /
+/// wake / end-of-run edges. docs/OBSERVABILITY.md documents the window
+/// semantics.
+class MetricsSampler {
+ public:
+  MetricsSampler(const MetricsConfig& config, const StatRegistry* registry);
+
+  /// The next window boundary (absolute cycle). run_period samples when
+  /// now_ reaches it; fast_forward_active never skips past it.
+  [[nodiscard]] Cycle next_sample() const { return next_; }
+
+  /// Takes one snapshot stamped `now`, labeled `phase` ("active",
+  /// "idle_enter", "wake", "final"), and advances next_sample() to the
+  /// first window boundary strictly after `now`.
+  void sample(Cycle now, const char* phase);
+
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] const std::string& jsonl() const { return out_; }
+
+  /// Writes jsonl() to `path` ("-" = stdout). False with a stderr
+  /// diagnostic on failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+  [[nodiscard]] const MetricsConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] bool selected(const std::string& key) const;
+
+  MetricsConfig config_;
+  const StatRegistry* registry_;
+  Cycle next_;
+  std::uint64_t samples_ = 0;
+  std::string out_;
+};
+
+}  // namespace mecc::tracing

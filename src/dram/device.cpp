@@ -1,5 +1,6 @@
 #include "dram/device.h"
 
+#include <bit>
 #include <cassert>
 #include <string>
 
@@ -39,6 +40,75 @@ Device::Device(const Geometry& geo, const Timing& timing)
     : geo_(geo), timing_(timing) {
   banks_.reserve(geo_.banks);
   for (std::uint32_t i = 0; i < geo_.banks; ++i) banks_.emplace_back(timing_);
+  bank_act_cycle_.assign(geo_.banks, 0);
+}
+
+namespace {
+
+// Static-lifetime command names (TraceEvent stores const char*; the
+// cmd_name() helper returns std::string and cannot back a POD event).
+const char* trace_cmd_name(CmdType t) {
+  switch (t) {
+    case CmdType::kActivate:
+      return "ACT";
+    case CmdType::kRead:
+      return "RD";
+    case CmdType::kWrite:
+      return "WR";
+    case CmdType::kPrecharge:
+      return "PRE";
+    case CmdType::kRefresh:
+      return "REF";
+    case CmdType::kPowerDownEnter:
+      return "PDE";
+    case CmdType::kPowerDownExit:
+      return "PDX";
+    case CmdType::kSelfRefreshEnter:
+      return "SRE";
+    case CmdType::kSelfRefreshExit:
+      return "SRX";
+  }
+  return "?";
+}
+
+// Static-lifetime power-state names for span events.
+const char* trace_state_name(PowerState s) { return power_state_name(s); }
+
+constexpr Cycle to_cpu(MemCycle m) {
+  return static_cast<Cycle>(m) * kCpuCyclesPerMemCycle;
+}
+
+}  // namespace
+
+void Device::trace_command(CmdType type, std::uint32_t bank,
+                           std::uint32_t row, MemCycle now) {
+  tracer_->instant(tracing::Category::kDram, tracing::kTrackDramCmd,
+                   trace_cmd_name(type), to_cpu(now), "bank", bank, "row",
+                   row);
+}
+
+void Device::flush_trace(MemCycle now) {
+  if (tracer_ == nullptr) return;
+  // Close row-open spans for banks still open at end of run.
+  std::uint32_t open = open_mask_;
+  while (open != 0) {
+    const std::uint32_t bank =
+        static_cast<std::uint32_t>(std::countr_zero(open));
+    open &= open - 1;
+    const MemCycle opened = bank_act_cycle_[bank];
+    tracer_->complete(
+        tracing::Category::kBank,
+        static_cast<std::uint8_t>(tracing::kTrackBankBase + bank), "row_open",
+        to_cpu(opened), to_cpu(now - opened), "row",
+        static_cast<std::uint64_t>(banks_[bank].open_row()));
+  }
+  // Close the in-flight power-state residency span.
+  if (now > trace_state_entered_) {
+    tracer_->complete(tracing::Category::kPower, tracing::kTrackPower,
+                      trace_state_name(state_), to_cpu(trace_state_entered_),
+                      to_cpu(now - trace_state_entered_));
+    trace_state_entered_ = now;
+  }
 }
 
 PowerState Device::compute_state() const {
@@ -60,7 +130,19 @@ void Device::account_to(MemCycle now) {
 
 void Device::refresh_state(MemCycle now) {
   account_to(now);
-  state_ = compute_state();
+  const PowerState next = compute_state();
+  if (tracer_ != nullptr && next != state_) {
+    // Residency span for the state being left (zero-length stays are
+    // elided: several commands in one cycle can bounce the state).
+    if (now > trace_state_entered_) {
+      tracer_->complete(tracing::Category::kPower, tracing::kTrackPower,
+                        trace_state_name(state_),
+                        to_cpu(trace_state_entered_),
+                        to_cpu(now - trace_state_entered_));
+    }
+    trace_state_entered_ = now;
+  }
+  state_ = next;
 }
 
 bool Device::can_activate(std::uint32_t bank, MemCycle now) const {
@@ -78,6 +160,7 @@ void Device::activate(std::uint32_t bank, std::uint32_t row, MemCycle now) {
   record(CmdType::kActivate, bank, row, now);
   banks_[bank].activate(now, row);
   open_mask_ |= 1u << bank;
+  if (tracer_ != nullptr) bank_act_cycle_[bank] = now;
   next_act_allowed_ = now + timing_.tRRD;
   act_window_[act_window_idx_] = now;
   act_window_idx_ = (act_window_idx_ + 1) % act_window_.size();
@@ -136,6 +219,14 @@ bool Device::can_precharge(std::uint32_t bank, MemCycle now) const {
 void Device::precharge(std::uint32_t bank, MemCycle now) {
   assert(can_precharge(bank, now));
   record(CmdType::kPrecharge, bank, 0, now);
+  if (tracer_ != nullptr && (open_mask_ & (1u << bank)) != 0) {
+    const MemCycle opened = bank_act_cycle_[bank];
+    tracer_->complete(
+        tracing::Category::kBank,
+        static_cast<std::uint8_t>(tracing::kTrackBankBase + bank), "row_open",
+        to_cpu(opened), to_cpu(now - opened), "row",
+        static_cast<std::uint64_t>(banks_[bank].open_row()));
+  }
   banks_[bank].precharge(now);
   open_mask_ &= ~(1u << bank);
   ++counters_.precharges;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "dram/bank.h"
 #include "dram/dram_params.h"
 #include "dram/timing_checker.h"
@@ -146,6 +147,15 @@ class Device {
   /// the TimingChecker and debugging). Pass nullptr to detach.
   void set_command_log(std::vector<Command>* log) { cmd_log_ = log; }
 
+  /// Attaches the observability tracer (docs/OBSERVABILITY.md): command
+  /// instants (dram), power-state residency spans (power), per-bank
+  /// row-open spans (bank). Pass nullptr to detach.
+  void set_tracer(tracing::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Closes the in-flight power-state and row-open trace spans at `now`
+  /// (end of run). No-op without a tracer.
+  void flush_trace(MemCycle now);
+
  private:
   void account_to(MemCycle now);
   void refresh_state(MemCycle now);
@@ -174,13 +184,21 @@ class Device {
   ActivityCounters counters_;
   std::vector<Command>* cmd_log_ = nullptr;
 
+  tracing::Tracer* tracer_ = nullptr;
+  MemCycle trace_state_entered_ = 0;      // start of current power span
+  std::vector<MemCycle> bank_act_cycle_;  // row-open span starts
+
   void record(CmdType type, std::uint32_t bank, std::uint32_t row,
               MemCycle now) {
     if (cmd_log_ != nullptr) {
       cmd_log_->push_back(
           {.type = type, .bank = bank, .row = row, .cycle = now});
     }
+    if (tracer_ != nullptr) trace_command(type, bank, row, now);
   }
+
+  void trace_command(CmdType type, std::uint32_t bank, std::uint32_t row,
+                     MemCycle now);
 };
 
 }  // namespace mecc::dram

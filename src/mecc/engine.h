@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "mecc/mdt.h"
 #include "mecc/mode_store.h"
@@ -59,7 +60,23 @@ class Engine {
 
   /// Per-CPU-cycle housekeeping (SMD quantum checks).
   void tick(Cycle now) {
-    if (config_.use_smd) smd_.tick(now);
+    if (!config_.use_smd) return;
+    if (tracer_ == nullptr) {
+      smd_.tick(now);
+      return;
+    }
+    // A quantum check runs exactly when downgrade is off and the check
+    // boundary arrives (smd.h); bracket it to trace the decision. The
+    // fast-forward bound (next_event) guarantees the boundary cycle is
+    // executed in both modes, so the event lands identically.
+    const bool check_due = !smd_.downgrade_enabled() && now >= smd_.next_check();
+    smd_.tick(now);
+    if (check_due) {
+      tracer_->instant(tracing::Category::kSmd, tracing::kTrackSmd,
+                       smd_.downgrade_enabled() ? "smd_downgrade_on"
+                                                : "smd_quantum",
+                       now);
+    }
   }
 
   /// Fast-forward contract (docs/PERFORMANCE.md): a conservative lower
@@ -85,6 +102,10 @@ class Engine {
       modes_.set_mode(line_addr, LineMode::kWeak);
       mdt_.mark(line_addr);
       ++downgrades_;
+      if (tracer_ != nullptr) {
+        tracer_->instant(tracing::Category::kMorph, tracing::kTrackMorph,
+                         "downgrade", tracer_->now(), "line", line_addr);
+      }
     }
     return d;
   }
@@ -98,6 +119,11 @@ class Engine {
       if (modes_.mode_of(line_addr) == LineMode::kStrong) {
         mdt_.mark(line_addr);
         ++downgrades_on_write_;
+        if (tracer_ != nullptr) {
+          tracer_->instant(tracing::Category::kMorph, tracing::kTrackMorph,
+                           "downgrade_on_write", tracer_->now(), "line",
+                           line_addr);
+        }
       }
       modes_.set_mode(line_addr, LineMode::kWeak);
     } else {
@@ -118,6 +144,12 @@ class Engine {
     mdt_.reset();
     ++idle_entries_;
     lines_upgraded_ += r.lines_upgraded;
+    if (tracer_ != nullptr) {
+      // The upgrade walk as a span starting at idle entry.
+      tracer_->complete(tracing::Category::kMorph, tracing::kTrackMorph,
+                        "ecc_upgrade", tracer_->now(), r.upgrade_cycles,
+                        "lines", r.lines_upgraded);
+    }
     return r;
   }
 
@@ -126,6 +158,10 @@ class Engine {
   void wake(Cycle now) {
     if (config_.use_smd) smd_.reset(now);
     ++wakeups_;
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::kMorph, tracing::kTrackMorph,
+                       "wake", now);
+    }
   }
 
   /// DUE ladder rung 2 (memctrl/due_policy.h): immediately re-protect
@@ -135,6 +171,10 @@ class Engine {
     modes_.set_all(LineMode::kStrong);
     mdt_.reset();
     ++forced_upgrades_;
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::kMorph, tracing::kTrackMorph,
+                       "force_upgrade", tracer_->now());
+    }
   }
 
   /// DUE ladder rung 3: latch (or clear) the refresh fallback. While
@@ -143,7 +183,13 @@ class Engine {
   /// so reliability never depends on ECC strength again. Downgrade
   /// itself may continue: weak ECC at 64 ms is the safe baseline.
   void set_degraded(bool degraded) {
-    if (degraded && !degraded_) ++degraded_latches_;
+    if (degraded && !degraded_) {
+      ++degraded_latches_;
+      if (tracer_ != nullptr) {
+        tracer_->instant(tracing::Category::kMorph, tracing::kTrackMorph,
+                         "degraded_latch", tracer_->now());
+      }
+    }
     degraded_ = degraded;
   }
   [[nodiscard]] bool degraded() const { return degraded_; }
@@ -203,8 +249,14 @@ class Engine {
 
   [[nodiscard]] const EngineConfig& config() const { return config_; }
 
+  /// Attaches the observability tracer (docs/OBSERVABILITY.md): morph
+  /// events (downgrades, upgrade walks, forced upgrades, degraded latch)
+  /// and SMD quantum decisions. Pass nullptr to detach.
+  void set_tracer(tracing::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   EngineConfig config_;
+  tracing::Tracer* tracer_ = nullptr;
   ModeStore modes_;
   Mdt mdt_;
   Smd smd_;

@@ -74,6 +74,10 @@ ShadowReadOutcome ShadowMemory::on_read(Address line_addr, bool downgrade) {
     if (!r.ok) {
       o.due = true;
       stats_.add("due");
+      if (tracer_ != nullptr) {
+        tracer_->instant(tracing::Category::kInject, tracing::kTrackErrors,
+                         "shadow_due", tracer_->now(), "line", line_addr);
+      }
       return o;
     }
     o.corrected_bits = r.corrected_bits;
@@ -82,10 +86,20 @@ ShadowReadOutcome ShadowMemory::on_read(Address line_addr, bool downgrade) {
       stats_.add("ce");
       stats_.add("ce_bits", r.corrected_bits);
       if (r.mode_bits_disagreed) stats_.add("mode_repairs");
+      if (tracer_ != nullptr) {
+        tracer_->instant(tracing::Category::kInject, tracing::kTrackErrors,
+                         "shadow_ce", tracer_->now(), "line", line_addr,
+                         "bits", r.corrected_bits);
+      }
     }
     if (r.data != expected_data(line_addr)) {
       o.silent_corruption = true;
       stats_.add("silent");
+      if (tracer_ != nullptr) {
+        tracer_->instant(tracing::Category::kInject, tracing::kTrackErrors,
+                         "silent_corruption", tracer_->now(), "line",
+                         line_addr);
+      }
     }
     // Demand scrub of the *array* content (noise-free): persistent
     // correctable errors are cleaned up exactly as on a noiseless read.
@@ -105,16 +119,30 @@ ShadowReadOutcome ShadowMemory::on_read(Address line_addr, bool downgrade) {
   if (!data.has_value()) {
     o.due = true;
     stats_.add("due");
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::kInject, tracing::kTrackErrors,
+                       "shadow_due", tracer_->now(), "line", line_addr);
+    }
     return o;
   }
   if (o.corrected_bits > 0 || o.mode_repaired) {
     stats_.add("ce");
     stats_.add("ce_bits", o.corrected_bits);
     if (o.mode_repaired) stats_.add("mode_repairs");
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::kInject, tracing::kTrackErrors,
+                       "shadow_ce", tracer_->now(), "line", line_addr,
+                       "bits", o.corrected_bits);
+    }
   }
   if (*data != expected_data(line_addr)) {
     o.silent_corruption = true;
     stats_.add("silent");
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::kInject, tracing::kTrackErrors,
+                       "silent_corruption", tracer_->now(), "line",
+                       line_addr);
+    }
   }
   return o;
 }
@@ -123,6 +151,10 @@ std::uint64_t ShadowMemory::inject_retention_errors(double ber) {
   const std::uint64_t flipped = image_.inject_retention_errors(ber, injector_);
   stats_.add("injections");
   stats_.add("injected_bits", flipped);
+  if (tracer_ != nullptr) {
+    tracer_->instant(tracing::Category::kInject, tracing::kTrackErrors,
+                     "inject_retention", tracer_->now(), "bits", flipped);
+  }
   return flipped;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "mecc/memory_image.h"
 #include "reliability/fault_injection.h"
@@ -105,6 +106,11 @@ class ShadowMemory {
   /// The deterministic data pattern `line_addr` is expected to hold.
   [[nodiscard]] BitVec expected_data(Address line_addr) const;
 
+  /// Attaches the observability tracer (docs/OBSERVABILITY.md):
+  /// retention-error injections and CE/DUE/silent read classifications
+  /// on the inject category. Pass nullptr to detach.
+  void set_tracer(tracing::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   /// Slot for `line_addr`, or npos when unsampled / out of capacity.
   [[nodiscard]] std::size_t slot_of(Address line_addr) const;
@@ -116,6 +122,7 @@ class ShadowMemory {
   std::vector<Address> slot_addr_;  // slot -> address (scrub accounting)
   reliability::FaultInjector injector_;
   StatSet stats_;
+  tracing::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mecc::morph

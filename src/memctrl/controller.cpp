@@ -10,9 +10,34 @@ namespace {
 inline std::uint32_t lowest_bank(std::uint32_t mask) {
   return static_cast<std::uint32_t>(std::countr_zero(mask));
 }
+
+inline mecc::Cycle to_cpu(mecc::dram::MemCycle m) {
+  return static_cast<mecc::Cycle>(m) * mecc::kCpuCyclesPerMemCycle;
+}
 }  // namespace
 
 namespace mecc::memctrl {
+
+void Controller::trace_queue_depths(dram::MemCycle now) {
+  tracer_->counter(tracing::Category::kQueue, tracing::kTrackQueues,
+                   "read_q", to_cpu(now),
+                   static_cast<double>(read_q_.size()));
+  tracer_->counter(tracing::Category::kQueue, tracing::kTrackQueues,
+                   "write_q", to_cpu(now),
+                   static_cast<double>(write_q_.size()));
+}
+
+void Controller::trace_power_event(const char* name, dram::MemCycle now) {
+  tracer_->instant(tracing::Category::kPower, tracing::kTrackPower, name,
+                   to_cpu(now));
+}
+
+void Controller::trace_divider_change(std::uint32_t from, std::uint32_t to) {
+  tracer_->instant(tracing::Category::kRefresh, tracing::kTrackRefresh,
+                   "refresh_divider", tracer_->now(), "from", from, "to", to);
+  tracer_->counter(tracing::Category::kRefresh, tracing::kTrackRefresh,
+                   "divider", tracer_->now(), static_cast<double>(to));
+}
 
 Controller::Controller(dram::Device& device, const ControllerConfig& config)
     : device_(device), config_(config), map_(device.geometry()) {
@@ -64,6 +89,7 @@ bool Controller::enqueue_read(Address line_addr, std::uint64_t id,
   read_q_.push_back(r);
   index_insert(r);
   ++reads_enqueued_;
+  if (tracer_ != nullptr) trace_queue_depths(now);
   return true;
 }
 
@@ -85,6 +111,7 @@ bool Controller::enqueue_write(Address line_addr, dram::MemCycle now) {
   write_q_.push_back(r);
   index_insert(r);
   ++writes_enqueued_;
+  if (tracer_ != nullptr) trace_queue_depths(now);
   return true;
 }
 
@@ -126,6 +153,7 @@ void Controller::manage_refresh(dram::MemCycle now) {
   if (device_.in_power_down()) {
     device_.exit_power_down(now);
     ++pd_exits_for_refresh_;
+    if (tracer_ != nullptr) trace_power_event("pd_exit_refresh", now);
     return;
   }
   if (device_.can_refresh(now)) {
@@ -168,6 +196,7 @@ bool Controller::try_issue_column(std::vector<MemRequest>& q,
         read_latency_mem_cycles_ += done - it->arrive;
         index_erase(*it);
         q.erase(it);
+        if (tracer_ != nullptr) trace_queue_depths(now);
         return true;
       }
     } else {
@@ -176,6 +205,7 @@ bool Controller::try_issue_column(std::vector<MemRequest>& q,
         ++row_hits_;
         index_erase(*it);
         q.erase(it);
+        if (tracer_ != nullptr) trace_queue_depths(now);
         return true;
       }
     }
@@ -220,6 +250,7 @@ void Controller::manage_power_down(dram::MemCycle now, bool did_work) {
     if (device_.in_power_down()) {
       device_.exit_power_down(now);
       ++pd_exits_;
+      if (tracer_ != nullptr) trace_power_event("pd_exit", now);
     }
     return;
   }
@@ -243,6 +274,7 @@ void Controller::manage_power_down(dram::MemCycle now, bool did_work) {
   }
   device_.enter_power_down(now);
   ++pd_entries_;
+  if (tracer_ != nullptr) trace_power_event("pd_enter", now);
 }
 
 void Controller::schedule(dram::MemCycle now) {
@@ -303,6 +335,7 @@ void Controller::tick(dram::MemCycle now) {
   if (device_.in_power_down()) {
     device_.exit_power_down(now);
     ++pd_exits_;
+    if (tracer_ != nullptr) trace_power_event("pd_exit", now);
     return;
   }
   schedule(now);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "dram/device.h"
 #include "memctrl/address_map.h"
 #include "memctrl/request.h"
@@ -105,12 +106,30 @@ class Controller {
     return read_q_.empty() && write_q_.empty() && in_flight_.empty();
   }
 
+  /// Called from the System's per-cycle loop: the no-change early-out
+  /// keeps it a compare per cycle, and the trace emission stays
+  /// out-of-line so the hot loop body does not grow.
   void set_refresh_divider(std::uint32_t divider) {
+    if (divider == config_.refresh_divider) return;
+    if (tracer_ != nullptr) {
+      trace_divider_change(config_.refresh_divider, divider);
+    }
     config_.refresh_divider = divider;
   }
   void set_refresh_enabled(bool enabled) {
+    if (tracer_ != nullptr && enabled != config_.refresh_enabled) {
+      tracer_->instant(tracing::Category::kRefresh, tracing::kTrackRefresh,
+                       enabled ? "refresh_enabled" : "refresh_disabled",
+                       tracer_->now());
+    }
     config_.refresh_enabled = enabled;
   }
+
+  /// Attaches the observability tracer (docs/OBSERVABILITY.md):
+  /// refresh-rate transitions (refresh), power-down entry/exit instants
+  /// (power), queue-occupancy counters on every enqueue/issue edge
+  /// (queue). Pass nullptr to detach.
+  void set_tracer(tracing::Tracer* tracer) { tracer_ = tracer; }
 
   /// Re-aligns the refresh schedule after a self-refresh stay (the
   /// device refreshed itself; accumulated debt does not apply).
@@ -154,6 +173,9 @@ class Controller {
                                      dram::MemCycle now);
   void manage_power_down(dram::MemCycle now, bool did_work);
   void manage_refresh(dram::MemCycle now);
+  /// Out-of-line trace emission for refresh-divider moves (cold path;
+  /// see set_refresh_divider).
+  void trace_divider_change(std::uint32_t from, std::uint32_t to);
   [[nodiscard]] bool try_close_unneeded_row(dram::MemCycle now);
   [[nodiscard]] bool row_still_needed(std::uint32_t bank,
                                       std::int64_t row) const;
@@ -267,6 +289,13 @@ class Controller {
   std::vector<ReadCompletion> completed_;  // collect_completions buffer
   Distribution read_q_depth_;   // sampled every tick
   Distribution write_q_depth_;
+
+  tracing::Tracer* tracer_ = nullptr;
+  /// Queue-depth counter samples on enqueue/issue edges (depths only
+  /// change on those events, so edge sampling loses nothing and stays
+  /// identical across fast-forward modes).
+  void trace_queue_depths(dram::MemCycle now);
+  void trace_power_event(const char* name, dram::MemCycle now);
 };
 
 }  // namespace mecc::memctrl

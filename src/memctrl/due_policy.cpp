@@ -17,6 +17,16 @@ const char* due_action_name(DueAction a) {
 }
 
 DueAction DuePolicy::escalate() {
+  const DueAction action = escalate_impl();
+  if (tracer_ != nullptr) {
+    tracer_->instant(tracing::Category::kDue, tracing::kTrackErrors,
+                     due_action_name(action), tracer_->now(), "level",
+                     level_);
+  }
+  return action;
+}
+
+DueAction DuePolicy::escalate_impl() {
   if (level_ < 1) {
     level_ = 1;
     if (config_.scrub_enabled) {

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "common/stats.h"
+#include "common/trace.h"
 
 namespace mecc::memctrl {
 
@@ -59,7 +60,13 @@ class DuePolicy {
   void on_silent_corruption() { stats_.add("silent"); }
 
   /// A decode reported uncorrectable.
-  void on_due() { stats_.add("due"); }
+  void on_due() {
+    stats_.add("due");
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::kDue, tracing::kTrackErrors, "due",
+                       tracer_->now(), "level", level_);
+    }
+  }
 
   /// One retry finished. Returns through to the caller's loop.
   void on_retry(bool success) {
@@ -87,11 +94,19 @@ class DuePolicy {
     out.set_gauge("escalation_level", static_cast<double>(level_));
   }
 
+  /// Attaches the observability tracer (docs/OBSERVABILITY.md): DUE
+  /// instants and ladder escalations on the errors track. Pass nullptr
+  /// to detach.
+  void set_tracer(tracing::Tracer* tracer) { tracer_ = tracer; }
+
  private:
+  [[nodiscard]] DueAction escalate_impl();
+
   DuePolicyConfig config_;
   unsigned level_ = 0;  // 0 none, 1 scrubbed, 2 upgraded, 3 degraded
   bool degraded_ = false;
   StatSet stats_;
+  tracing::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mecc::memctrl

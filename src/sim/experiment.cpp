@@ -39,16 +39,41 @@ ProgressFn stderr_progress() {
   };
 }
 
+std::string per_run_path(const std::string& base, const std::string& tag) {
+  if (base.empty() || base == "-") return base;
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + "." + tag;
+  }
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
+}
+
 std::vector<RunResult> run_jobs(const std::vector<SuiteJob>& jobs,
                                 unsigned n_threads,
                                 const ProgressFn& progress) {
   std::vector<RunResult> results(jobs.size());
   if (n_threads == 0) n_threads = ThreadPool::default_thread_count();
 
+  // Multi-run job sets with observability enabled get one trace/metrics
+  // file per run ("i<index>-<benchmark>" tag); the derivation depends
+  // only on the job list, so jobs=1 and jobs=8 write identical files.
+  const auto job_config = [&jobs](std::size_t i) {
+    SystemConfig c = jobs[i].config;
+    if (jobs.size() > 1 && (c.trace.enabled || c.metrics.enabled)) {
+      const std::string tag = "i" + std::to_string(i) + "-" +
+                              std::string(jobs[i].profile->name);
+      c.trace.path = per_run_path(c.trace.path, tag);
+      c.metrics.path = per_run_path(c.metrics.path, tag);
+    }
+    return c;
+  };
+
   if (n_threads <= 1 || jobs.size() <= 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       results[i] =
-          run_benchmark(*jobs[i].profile, jobs[i].policy, jobs[i].config);
+          run_benchmark(*jobs[i].profile, jobs[i].policy, job_config(i));
       if (progress) progress(results[i], i + 1, jobs.size());
     }
     return results;
@@ -65,7 +90,7 @@ std::vector<RunResult> run_jobs(const std::vector<SuiteJob>& jobs,
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     pool.submit([&, i] {
       results[i] =
-          run_benchmark(*jobs[i].profile, jobs[i].policy, jobs[i].config);
+          run_benchmark(*jobs[i].profile, jobs[i].policy, job_config(i));
       if (progress) {
         const std::lock_guard<std::mutex> lock(progress_mutex);
         ++completed;
@@ -79,15 +104,9 @@ std::vector<RunResult> run_jobs(const std::vector<SuiteJob>& jobs,
 
 std::vector<RunResult> run_suite(EccPolicy policy,
                                  const SystemConfig& config) {
-  std::vector<RunResult> results;
-  results.reserve(trace::all_benchmarks().size());
-  std::size_t index = 0;
-  for (const auto& b : trace::all_benchmarks()) {
-    SystemConfig per_run = config;
-    per_run.seed = suite_seed(config.seed, index++);
-    results.push_back(run_benchmark(b, policy, per_run));
-  }
-  return results;
+  // Through run_jobs at n_threads=1 so the serial suite shares the
+  // per-run trace/metrics path derivation with the parallel runner.
+  return run_suite_parallel(policy, config, 1);
 }
 
 std::vector<RunResult> run_suite_parallel(EccPolicy policy,

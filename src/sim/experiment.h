@@ -40,6 +40,16 @@ namespace mecc::sim {
   return base_seed + static_cast<std::uint64_t>(benchmark_index);
 }
 
+/// Derives a per-run output path from a base path by inserting ".tag"
+/// before the extension ("trace.json" + "i3-mcf" -> "trace.i3-mcf.json";
+/// no extension -> appended). "" and "-" pass through unchanged. Used by
+/// run_jobs so multi-run sweeps with --trace/--metrics-out enabled write
+/// one file per run instead of clobbering a single path; the tag depends
+/// only on the job index and benchmark name, never on thread count or
+/// scheduling, so the file set is identical at any --jobs value.
+[[nodiscard]] std::string per_run_path(const std::string& base,
+                                       const std::string& tag);
+
 /// Invoked (under a lock, in completion order) as parallel runs finish:
 /// (result, completed_so_far, total).
 using ProgressFn =

@@ -1,12 +1,17 @@
 #include "sim/options.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <map>
 #include <string>
+#include <vector>
 
+#include "sim/system.h"
 #include "sim/thread_pool.h"
+#include "trace/benchmarks.h"
 
 namespace mecc::sim {
 
@@ -128,7 +133,127 @@ constexpr Setter kPerfOut{"--perf-out / MECC_PERF_OUT",
                           },
                           "a file path"};
 
+constexpr Setter kTrace{"--trace / MECC_TRACE",
+                        [](const std::string& v, SimOptions& o) {
+                          if (v.empty()) return false;
+                          o.trace = v;
+                          return true;
+                        },
+                        "a file path (or '-' for stdout)"};
+
+constexpr Setter kTraceCategories{
+    "--trace-categories / MECC_TRACE_CATEGORIES",
+    [](const std::string& v, SimOptions& o) {
+      if (!tracing::parse_categories(v).has_value()) return false;
+      o.trace_categories = v;
+      return true;
+    },
+    "a comma-separated category list "
+    "(dram,bank,power,refresh,queue,morph,smd,due,inject,epoch; or 'all')"};
+
+constexpr Setter kTraceLimit{"--trace-limit / MECC_TRACE_LIMIT",
+                             [](const std::string& v, SimOptions& o) {
+                               std::uint64_t x = 0;
+                               if (!parse_u64(v, x) || x == 0) return false;
+                               o.trace_limit = x;
+                               return true;
+                             },
+                             "a positive event count"};
+
+constexpr Setter kMetricsOut{"--metrics-out / MECC_METRICS_OUT",
+                             [](const std::string& v, SimOptions& o) {
+                               if (v.empty()) return false;
+                               o.metrics_out = v;
+                               return true;
+                             },
+                             "a file path (or '-' for stdout)"};
+
+constexpr Setter kMetricsInterval{
+    "--metrics-interval / MECC_METRICS_INTERVAL",
+    [](const std::string& v, SimOptions& o) {
+      std::uint64_t x = 0;
+      if (!parse_u64(v, x) || x == 0) return false;
+      o.metrics_interval = x;
+      return true;
+    },
+    "a positive cycle count"};
+
+constexpr Setter kMetricsKeys{"--metrics-keys / MECC_METRICS_KEYS",
+                              [](const std::string& v, SimOptions& o) {
+                                if (v.empty()) return false;
+                                o.metrics_keys = v;
+                                return true;
+                              },
+                              "a comma-separated stat-key list "
+                              "(see --list-stats)"};
+
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = std::min(csv.find(',', pos), csv.size());
+    if (comma > pos) out.push_back(csv.substr(pos, comma - pos));
+    if (comma == csv.size()) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
+
+tracing::TraceConfig trace_config_from(const SimOptions& opts) {
+  tracing::TraceConfig c;
+  c.enabled = !opts.trace.empty();
+  c.path = opts.trace;
+  // parse_options validated the list; an embedder-supplied bad list
+  // falls back to all categories rather than silently tracing nothing.
+  c.categories = tracing::parse_categories(opts.trace_categories)
+                     .value_or(tracing::kAllCategories);
+  c.limit = opts.trace_limit;
+  return c;
+}
+
+tracing::MetricsConfig metrics_config_from(const SimOptions& opts) {
+  tracing::MetricsConfig c;
+  c.enabled = !opts.metrics_out.empty();
+  c.path = opts.metrics_out;
+  c.interval = opts.metrics_interval;
+  c.keys = split_csv(opts.metrics_keys);
+  return c;
+}
+
+void print_registered_stats() {
+  // Build the most fully-featured System shape (MECC + SMD + fault
+  // campaign + tracer) and run a tiny active/idle/active lifecycle so
+  // that event-gated counters materialize (the exporters only emit keys
+  // whose events happened; docs/STATS.md).
+  SystemConfig cfg;
+  cfg.policy = EccPolicy::kMecc;
+  cfg.instructions = 20'000;
+  cfg.mecc_use_smd = true;
+  cfg.smd_quantum_cycles = 4'000;
+  cfg.fault.enabled = true;
+  cfg.fault.ber_override = 1e-4;
+  cfg.fault.transient_read_ber = 1e-4;
+  cfg.trace.enabled = true;
+  cfg.trace.limit = 16;  // tiny ring: errors.trace_dropped materializes
+  const trace::BenchmarkProfile& profile = trace::all_benchmarks()[0];
+  System sys(profile, cfg);
+  (void)sys.run_period(10'000);
+  (void)sys.idle_period(1.0);
+  (void)sys.run_period(10'000);
+  const StatSet snap = sys.registry().snapshot();
+
+  std::map<std::string, const char*> keys;
+  for (const auto& [name, _] : snap.counters()) keys[name] = "counter";
+  for (const auto& [name, _] : snap.gauges()) keys[name] = "gauge";
+  for (const auto& [name, _] : snap.dists()) keys[name] = "dist";
+  std::printf("# registered stat keys (component.stat), by kind; pass\n");
+  std::printf("# these (or bare component names) to --metrics-keys\n");
+  for (const auto& [name, kind] : keys) {
+    std::printf("%-7s %s\n", kind, name.c_str());
+  }
+}
 
 std::optional<SimOptions> parse_options_checked(int argc, char** argv,
                                                 InstCount default_instructions,
@@ -149,6 +274,12 @@ std::optional<SimOptions> parse_options_checked(int argc, char** argv,
       {"MECC_OUT", "--out=", kOut},
       {"MECC_PERF_OUT", "--perf-out=", kPerfOut},
       {"MECC_FAST_FORWARD", "--fast-forward=", kFastForward},
+      {"MECC_TRACE", "--trace=", kTrace},
+      {"MECC_TRACE_CATEGORIES", "--trace-categories=", kTraceCategories},
+      {"MECC_TRACE_LIMIT", "--trace-limit=", kTraceLimit},
+      {"MECC_METRICS_OUT", "--metrics-out=", kMetricsOut},
+      {"MECC_METRICS_INTERVAL", "--metrics-interval=", kMetricsInterval},
+      {"MECC_METRICS_KEYS", "--metrics-keys=", kMetricsKeys},
   };
 
   for (const auto& knob : knobs) {
@@ -158,6 +289,10 @@ std::optional<SimOptions> parse_options_checked(int argc, char** argv,
   }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--list-stats") {
+      opts.list_stats = true;
+      continue;
+    }
     for (const auto& knob : knobs) {
       const std::string prefix = knob.flag;
       if (arg.rfind(prefix, 0) != 0) continue;
@@ -181,6 +316,10 @@ SimOptions parse_options(int argc, char** argv,
     std::fprintf(stderr, "%s: error: %s\n", argc > 0 ? argv[0] : "mecc",
                  error.c_str());
     std::exit(2);
+  }
+  if (opts->list_stats) {
+    print_registered_stats();
+    std::exit(0);
   }
   return *opts;
 }

@@ -20,8 +20,29 @@
 //                      event-driven cycle skipping (docs/PERFORMANCE.md).
 //                      Default on; off selects the bit-identical
 //                      per-cycle reference loop.
+//   --trace=FILE.json  Chrome/Perfetto trace-event output
+//                      (docs/OBSERVABILITY.md); "-" for stdout.
+//                      Omitted (default) = tracing off.
+//   --trace-categories=LIST
+//                      comma-separated category filter (dram,bank,power,
+//                      refresh,queue,morph,smd,due,inject,epoch; "all").
+//   --trace-limit=N    trace ring capacity in events; the oldest events
+//                      are dropped once full (errors.trace_dropped).
+//   --metrics-out=FILE.jsonl
+//                      windowed StatRegistry timeline
+//                      (docs/OBSERVABILITY.md); "-" for stdout. Omitted
+//                      (default) = metrics off.
+//   --metrics-interval=CYCLES
+//                      metrics window length in CPU cycles.
+//   --metrics-keys=LIST
+//                      comma-separated stat-key selectors (exact
+//                      `component.stat` keys or whole components);
+//                      default all keys. See --list-stats.
+//   --list-stats       dump every registered stat key and exit.
 //   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS / MECC_BER / MECC_OUT /
-//   MECC_PERF_OUT / MECC_FAST_FORWARD environment variables as
+//   MECC_PERF_OUT / MECC_FAST_FORWARD / MECC_TRACE /
+//   MECC_TRACE_CATEGORIES / MECC_TRACE_LIMIT / MECC_METRICS_OUT /
+//   MECC_METRICS_INTERVAL / MECC_METRICS_KEYS environment variables as
 //   fallbacks.
 //
 // Unknown flags are ignored (benches accept the google-benchmark flags
@@ -35,6 +56,7 @@
 #include <optional>
 #include <string>
 
+#include "common/trace.h"
 #include "common/types.h"
 
 namespace mecc::sim {
@@ -53,7 +75,28 @@ struct SimOptions {
   std::string perf_out;
   // Event-driven fast-forward; off = per-cycle reference loop.
   bool fast_forward = true;
+
+  // Observability (docs/OBSERVABILITY.md).
+  std::string trace;             // trace destination ("" = tracing off)
+  std::string trace_categories;  // category filter csv ("" = all)
+  std::uint64_t trace_limit = 1u << 20;  // ring capacity in events
+  std::string metrics_out;       // metrics JSONL destination ("" = off)
+  Cycle metrics_interval = 1'000'000;    // window length in CPU cycles
+  std::string metrics_keys;      // stat-key selector csv ("" = all)
+  bool list_stats = false;       // dump registered stat keys and exit
 };
+
+/// The SystemConfig::trace block the options select (parse_options
+/// already validated the category list).
+[[nodiscard]] tracing::TraceConfig trace_config_from(const SimOptions& opts);
+
+/// The SystemConfig::metrics block the options select.
+[[nodiscard]] tracing::MetricsConfig metrics_config_from(
+    const SimOptions& opts);
+
+/// Prints every stat key a representative System registers (the
+/// --list-stats introspection behind choosing --metrics-keys).
+void print_registered_stats();
 
 /// Parses argv/env without exiting: returns the options, or nullopt
 /// with `*error` describing the first malformed recognized value.

@@ -84,6 +84,11 @@ System::System(const trace::BenchmarkProfile& profile,
 
 void System::init_engine_and_core() {
   const SystemConfig& config = config_;
+  if (config.trace.enabled) {
+    tracer_ = std::make_unique<tracing::Tracer>(config.trace);
+    device_.set_tracer(tracer_.get());
+    controller_.set_tracer(tracer_.get());
+  }
   ecc_model_.set_ecc6_decode_cycles(
       config.strong_ecc_t == 6
           ? config.ecc6_decode_cycles
@@ -99,6 +104,7 @@ void System::init_engine_and_core() {
     ec.smd_mpkc_threshold = config.smd_mpkc_threshold;
     ec.smd_quantum_cycles = config.smd_quantum_cycles;
     engine_ = std::make_unique<morph::Engine>(ec);
+    engine_->set_tracer(tracer_.get());
   }
 
   if (config.fault.enabled && config.policy != EccPolicy::kNoEcc) {
@@ -111,6 +117,8 @@ void System::init_engine_and_core() {
     sc.seed = config.seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
     shadow_ = std::make_unique<morph::ShadowMemory>(sc);
     due_policy_ = std::make_unique<memctrl::DuePolicy>(config.fault.due);
+    shadow_->set_tracer(tracer_.get());
+    due_policy_->set_tracer(tracer_.get());
   }
 
   core_ = std::make_unique<cpu::InOrderCore>(
@@ -127,6 +135,10 @@ void System::init_engine_and_core() {
         return true;
       });
   register_stats();
+  if (config.metrics.enabled) {
+    metrics_ =
+        std::make_unique<tracing::MetricsSampler>(config.metrics, &registry_);
+  }
 }
 
 void System::register_stats() {
@@ -145,12 +157,16 @@ void System::register_stats() {
     registry_.register_component(
         "mecc", [this](StatSet& s) { engine_->export_stats(s); });
   }
-  if (shadow_) {
-    registry_.register_component("errors", [this](StatSet& s) {
-      due_policy_->export_stats(s);
-      shadow_->export_stats(s);
-    });
-  }
+  // "errors" is registered unconditionally: without a fault campaign or
+  // trace drops the provider emits nothing, so healthy snapshots keep
+  // the key set the committed reference JSONs were built with.
+  registry_.register_component("errors", [this](StatSet& s) {
+    if (due_policy_) due_policy_->export_stats(s);
+    if (shadow_) shadow_->export_stats(s);
+    if (tracer_ && tracer_->dropped() > 0) {
+      s.add("trace_dropped", tracer_->dropped());
+    }
+  });
   registry_.register_component("sim", [this](StatSet& s) {
     // Only materialized on failure, so healthy snapshots keep the key
     // set the committed reference JSONs were built with.
@@ -170,7 +186,21 @@ void System::register_stats() {
   });
 }
 
-System::~System() = default;
+System::~System() {
+  if (!tracer_ && !metrics_) return;
+  // Close the in-flight device spans first so the final metrics sample
+  // sees any resulting ring drops, then take the end-of-run edge sample
+  // and write the output files.
+  device_.flush_trace(now_ / kCpuCyclesPerMemCycle);
+  if (tracer_) tracer_->set_now(now_);
+  if (metrics_) metrics_->sample(now_, "final");
+  if (tracer_ && !config_.trace.path.empty()) {
+    (void)tracer_->write(config_.trace.path);
+  }
+  if (metrics_ && !config_.metrics.path.empty()) {
+    (void)metrics_->write(config_.metrics.path);
+  }
+}
 
 Cycle System::decode_latency(Address line_addr, bool forwarded,
                              bool& downgraded) {
@@ -276,6 +306,7 @@ void System::handle_completion(const memctrl::ReadCompletion& c, Cycle now) {
 
 RunResult System::run() { return run_period(config_.instructions); }
 
+template <bool kObserved>
 void System::fast_forward_active(InstCount inst_boundary) {
   // A crossing is already pending (duplicate checkpoint thresholds):
   // leave this iteration fully to the per-cycle loop.
@@ -289,8 +320,16 @@ void System::fast_forward_active(InstCount inst_boundary) {
   // Bounds are folded in cheapest-first: once any of them pins the limit
   // to the very next cycle no skip is possible, so bail before paying
   // for the more expensive scans (notably controller next_event).
+  if constexpr (kObserved) {
+    if (metrics_) {
+      // The sampler fires at exact window boundaries even mid-skip
+      // (docs/OBSERVABILITY.md): never jump past the next one.
+      limit = metrics_->next_sample();
+      if (limit <= cur + 1) return;
+    }
+  }
   if (!pending_data_.empty()) {
-    limit = pending_data_.front().ready;
+    limit = std::min(limit, pending_data_.front().ready);
     if (limit <= cur + 1) return;
   }
 
@@ -341,42 +380,42 @@ void System::fast_forward_active(InstCount inst_boundary) {
   controller_.skip_ticks(now_ / kCpuCyclesPerMemCycle - mem_cur);
 }
 
-RunResult System::run_period(InstCount instructions) {
-  RunResult r;
-  r.benchmark = std::string(profile_.name);
-  r.policy = config_.policy;
-
-  // Snapshot for per-period deltas (Fig. 4 lifecycle: a System may run
-  // several active periods separated by idle_period calls).
-  PeriodSnapshot snap;
-  snap.retired = core_->retired();
-  snap.core_cycles = core_->cycles();
-  snap.reads = core_->reads_issued();
-  snap.writes = core_->writes_issued();
-  snap.strong_decodes = strong_decodes_;
-  snap.weak_decodes = weak_decodes_;
-  snap.downgrades = downgrades_issued_;
-  snap.counters = device_.counters(now_ / kCpuCyclesPerMemCycle);
-  const Cycle period_begin = now_;
-
-  std::vector<InstCount> checkpoints = config_.checkpoint_insts;
-  std::sort(checkpoints.begin(), checkpoints.end());
-  std::size_t next_cp = 0;
-
-  const InstCount target = snap.retired + instructions;
+template <bool kObserved>
+void System::active_loop(InstCount target,
+                         const std::vector<InstCount>& checkpoints,
+                         std::size_t& next_cp, InstCount snap_retired,
+                         RunResult& r, Cycle period_begin) {
   while (core_->retired() < target) {
     if (config_.fast_forward) {
       // Absolute retired count the skip must stay strictly below: the
       // period target, or the next checkpoint crossing if one is nearer.
       InstCount boundary = target;
       if (next_cp < checkpoints.size()) {
-        boundary = std::min(boundary, snap.retired + checkpoints[next_cp]);
+        boundary = std::min(boundary, snap_retired + checkpoints[next_cp]);
       }
-      fast_forward_active(boundary);
+      fast_forward_active<kObserved>(boundary);
     }
     ++now_;
     const Cycle cycle = now_;
-    if (engine_) engine_->tick(cycle);
+    if constexpr (kObserved) {
+      if (tracer_) tracer_->set_now(cycle);
+      // Window-boundary metrics sample, taken before this cycle's
+      // component ticks: identical registry contents in per-cycle and
+      // fast-forward modes (the skip bound above lands execution on the
+      // boundary cycle exactly).
+      if (metrics_ && cycle >= metrics_->next_sample()) {
+        metrics_->sample(cycle, "active");
+      }
+    }
+    if (engine_) {
+      engine_->tick(cycle);
+      if constexpr (kObserved) {
+        // Divider transitions (SMD enable, degraded latch) land on the
+        // cycle the engine changed state — executed in both fast-forward
+        // modes — not on the next mode-dependent memory-cycle boundary.
+        controller_.set_refresh_divider(engine_->active_refresh_divider());
+      }
+    }
 
     if (cycle % kCpuCyclesPerMemCycle == 0) {
       const dram::MemCycle mem_now = cycle / kCpuCyclesPerMemCycle;
@@ -388,8 +427,13 @@ RunResult System::run_period(InstCount instructions) {
         pending_downgrade_writes_.pop_back();
         ++downgrades_issued_;
       }
-      if (engine_) {
-        controller_.set_refresh_divider(engine_->active_refresh_divider());
+      if constexpr (!kObserved) {
+        // Without a tracer the divider sync point is unobservable, and
+        // the controller only reads it inside tick(): the memory-cycle
+        // boundary is the cheapest equivalent spot.
+        if (engine_) {
+          controller_.set_refresh_divider(engine_->active_refresh_divider());
+        }
       }
       controller_.tick(mem_now);
       if (controller_.has_in_flight()) {
@@ -413,15 +457,60 @@ RunResult System::run_period(InstCount instructions) {
     core_->tick();
 
     if (next_cp < checkpoints.size() &&
-        core_->retired() - snap.retired >= checkpoints[next_cp]) {
+        core_->retired() - snap_retired >= checkpoints[next_cp]) {
       r.checkpoints.push_back(
           {.instructions = checkpoints[next_cp],
            .cycles = cycle - period_begin});
       ++next_cp;
     }
   }
+}
+
+RunResult System::run_period(InstCount instructions) {
+  RunResult r;
+  r.benchmark = std::string(profile_.name);
+  r.policy = config_.policy;
+
+  // Snapshot for per-period deltas (Fig. 4 lifecycle: a System may run
+  // several active periods separated by idle_period calls).
+  PeriodSnapshot snap;
+  snap.retired = core_->retired();
+  snap.core_cycles = core_->cycles();
+  snap.reads = core_->reads_issued();
+  snap.writes = core_->writes_issued();
+  snap.strong_decodes = strong_decodes_;
+  snap.weak_decodes = weak_decodes_;
+  snap.downgrades = downgrades_issued_;
+  snap.counters = device_.counters(now_ / kCpuCyclesPerMemCycle);
+  const Cycle period_begin = now_;
+  // Sync the engine's refresh divider at the period boundary (and after
+  // every engine tick below) rather than at memory-cycle boundaries:
+  // engine transitions happen at cycles both --fast-forward modes
+  // execute, so divider trace events carry mode-independent stamps.
+  if (tracer_) tracer_->set_now(period_begin);
+  if (engine_) {
+    controller_.set_refresh_divider(engine_->active_refresh_divider());
+  }
+
+  std::vector<InstCount> checkpoints = config_.checkpoint_insts;
+  std::sort(checkpoints.begin(), checkpoints.end());
+  std::size_t next_cp = 0;
+
+  const InstCount target = snap.retired + instructions;
+  if (tracer_ || metrics_) {
+    active_loop<true>(target, checkpoints, next_cp, snap.retired, r,
+                      period_begin);
+  } else {
+    active_loop<false>(target, checkpoints, next_cp, snap.retired, r,
+                       period_begin);
+  }
 
   const Cycle period_cycles = now_ - period_begin;
+  if (tracer_) {
+    tracer_->complete(tracing::Category::kEpoch, tracing::kTrackEpoch,
+                      "active", period_begin, period_cycles, "instructions",
+                      core_->retired() - snap.retired);
+  }
   r.instructions = core_->retired() - snap.retired;
   r.cpu_cycles = period_cycles;
   r.ipc = static_cast<double>(r.instructions) /
@@ -512,6 +601,7 @@ IdleReport System::idle_period(double seconds) {
   const dram::MemCycle drain_deadline = mem_now + 200'000;
   while (!controller_.idle() && mem_now < drain_deadline) {
     ++mem_now;
+    if (tracer_) tracer_->set_now(mem_now * kCpuCyclesPerMemCycle);
     controller_.tick(mem_now);
     for (const auto& c : controller_.collect_completions(mem_now)) {
       handle_completion(c, mem_now * kCpuCyclesPerMemCycle);
@@ -549,6 +639,8 @@ IdleReport System::idle_period(double seconds) {
     pending_data_.pop_back();
     core_->on_read_data(tag);
   }
+  if (tracer_) tracer_->set_now(now_);
+  if (metrics_) metrics_->sample(now_, "idle_enter");
 
   // ECC-Upgrade (MECC) and the idle refresh rate.
   std::uint32_t divider = 1;
@@ -582,9 +674,16 @@ IdleReport System::idle_period(double seconds) {
   const std::uint64_t pulses_before =
       device_.counters(mem_now).self_refresh_pulses;
   device_.enter_self_refresh(mem_now, divider);
+  const Cycle sleep_begin = mem_now * kCpuCyclesPerMemCycle;
   now_ = mem_now * kCpuCyclesPerMemCycle + seconds_to_cycles(seconds);
   mem_now = now_ / kCpuCyclesPerMemCycle;
+  if (tracer_) tracer_->set_now(now_);
   device_.exit_self_refresh(mem_now);
+  if (tracer_) {
+    tracer_->complete(tracing::Category::kEpoch, tracing::kTrackEpoch,
+                      "idle", sleep_begin, now_ - sleep_begin,
+                      "refresh_divider", divider);
+  }
   rep.refresh_pulses =
       device_.counters(mem_now).self_refresh_pulses - pulses_before;
   rep.idle_energy_mj =
@@ -608,6 +707,7 @@ IdleReport System::idle_period(double seconds) {
   // Wake up: refresh schedule restarts, SMD re-arms.
   controller_.resync_refresh(mem_now);
   if (engine_) engine_->wake(now_);
+  if (metrics_) metrics_->sample(now_, "wake");
   return rep;
 }
 

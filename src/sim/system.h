@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "cpu/core.h"
 #include "dram/device.h"
@@ -104,6 +105,12 @@ struct SystemConfig {
   memctrl::ControllerConfig controller{};
   power::PowerParams power{};
   FaultCampaignConfig fault{};
+
+  // Observability (docs/OBSERVABILITY.md): event tracing and the
+  // windowed metrics timeline. Both default-disabled; when disabled the
+  // hooks cost one null check each.
+  tracing::TraceConfig trace{};
+  tracing::MetricsConfig metrics{};
 
   // Nominal read latency used to back out each benchmark's non-memory
   // retire rate from its Table III IPC.
@@ -220,6 +227,16 @@ class System {
   /// tests and embedders can also snapshot mid-run.
   [[nodiscard]] const StatRegistry& registry() const { return registry_; }
 
+  /// The event tracer (null unless SystemConfig::trace.enabled). The
+  /// trace file is written at destruction; tests can read json() any
+  /// time.
+  [[nodiscard]] tracing::Tracer* tracer() { return tracer_.get(); }
+
+  /// The windowed metrics sampler (null unless
+  /// SystemConfig::metrics.enabled). The JSONL file is written at
+  /// destruction; tests can read jsonl() any time.
+  [[nodiscard]] tracing::MetricsSampler* metrics() { return metrics_.get(); }
+
  private:
   struct PendingData {
     Cycle ready = 0;
@@ -247,8 +264,21 @@ class System {
   /// component might act on the very next cycle. `inst_boundary` is the
   /// absolute retired-instruction count (period target or next
   /// checkpoint crossing) the skip must stay strictly below, so those
-  /// crossings still happen under per-cycle control.
+  /// crossings still happen under per-cycle control. kObserved mirrors
+  /// active_loop's: only the observed instantiation folds the metrics
+  /// window boundary into the skip bound.
+  template <bool kObserved>
   void fast_forward_active(InstCount inst_boundary);
+  /// The run_period inner loop, compiled twice: kObserved=true carries
+  /// the tracer clock, windowed metrics samples and the per-cycle
+  /// refresh-divider sync (mode-independent trace stamps); the
+  /// kObserved=false instantiation is statically free of all of it —
+  /// the zero-cost-when-off contract in docs/OBSERVABILITY.md is held
+  /// by the compiler, not by per-cycle null checks.
+  template <bool kObserved>
+  void active_loop(InstCount target, const std::vector<InstCount>& checkpoints,
+                   std::size_t& next_cp, InstCount snap_retired, RunResult& r,
+                   Cycle period_begin);
   [[nodiscard]] Cycle decode_latency(Address line_addr, bool forwarded,
                                      bool& downgraded);
   // Fault-campaign hooks (no-ops when the shadow is disabled).
@@ -276,6 +306,11 @@ class System {
 
   StatRegistry registry_;
   power::ActiveEnergy cumulative_energy_;  // across all active periods
+
+  // Observability (created in init_engine_and_core when enabled; every
+  // component holds a raw Tracer* that stays null otherwise).
+  std::unique_ptr<tracing::Tracer> tracer_;
+  std::unique_ptr<tracing::MetricsSampler> metrics_;
 
   std::vector<PendingData> pending_data_;  // min-heap, see PendingAfter
   std::uint64_t pending_seq_ = 0;

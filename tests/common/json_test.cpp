@@ -1,0 +1,127 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace mecc {
+namespace {
+
+TEST(JsonEscape, PlainStringsPassThroughQuoted) {
+  EXPECT_EQ(json_escape(""), "\"\"");
+  EXPECT_EQ(json_escape("dram.acts"), "\"dram.acts\"");
+  EXPECT_EQ(json_escape("a b c 0-9 _~!"), "\"a b c 0-9 _~!\"");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(json_escape("C:\\path\\file"), "\"C:\\\\path\\\\file\"");
+  EXPECT_EQ(json_escape("\\\""), "\"\\\\\\\"\"");
+}
+
+TEST(JsonEscape, NamedControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(json_escape("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(json_escape("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(json_escape("a\bb"), "\"a\\bb\"");
+  EXPECT_EQ(json_escape("a\fb"), "\"a\\fb\"");
+}
+
+TEST(JsonEscape, EveryRemainingControlCharacterUsesUForm) {
+  // All of 0x00..0x1F must be escaped — a raw control byte inside a
+  // string literal is invalid JSON. The five named ones are covered
+  // above; everything else gets \u00XX.
+  for (int c = 0; c < 0x20; ++c) {
+    if (c == 0x08 || c == 0x09 || c == 0x0A || c == 0x0C || c == 0x0D)
+      continue;
+    const std::string out = json_escape(std::string(1, static_cast<char>(c)));
+    char expect[8];
+    std::snprintf(expect, sizeof expect, "\\u%04x", c);
+    EXPECT_EQ(out, std::string("\"") + expect + "\"")
+        << "control byte " << c;
+  }
+}
+
+TEST(JsonEscape, ValidUtf8PassesThroughUnchanged) {
+  // 2-, 3- and 4-byte sequences: é, €, 𝄞.
+  EXPECT_EQ(json_escape("caf\xC3\xA9"), "\"caf\xC3\xA9\"");
+  EXPECT_EQ(json_escape("\xE2\x82\xAC"), "\"\xE2\x82\xAC\"");
+  EXPECT_EQ(json_escape("\xF0\x9D\x84\x9E"), "\"\xF0\x9D\x84\x9E\"");
+}
+
+TEST(JsonEscape, InvalidBytesAreEscapedNotLeaked) {
+  // Lone continuation byte.
+  EXPECT_EQ(json_escape("\x80"), "\"\\u0080\"");
+  // Invalid lead bytes (0xC0/0xC1 are always-overlong; 0xFF is not a
+  // lead at all).
+  EXPECT_EQ(json_escape("\xC0\xAF"), "\"\\u00c0\\u00af\"");
+  EXPECT_EQ(json_escape("\xFF"), "\"\\u00ff\"");
+  // Truncated sequence at end of string.
+  EXPECT_EQ(json_escape("a\xE2\x82"), "\"a\\u00e2\\u0082\"");
+  // Lead followed by a non-continuation byte.
+  EXPECT_EQ(json_escape("\xC3(x"), "\"\\u00c3(x\"");
+}
+
+TEST(JsonEscape, OverlongSurrogateAndOutOfRangeAreRejected) {
+  // Overlong 3-byte encoding of '/' (E0 80 AF).
+  EXPECT_EQ(json_escape("\xE0\x80\xAF"), "\"\\u00e0\\u0080\\u00af\"");
+  // UTF-16 surrogate half U+D800 (ED A0 80) — not a Unicode scalar.
+  EXPECT_EQ(json_escape("\xED\xA0\x80"), "\"\\u00ed\\u00a0\\u0080\"");
+  // Above U+10FFFF (F4 90 80 80).
+  EXPECT_EQ(json_escape("\xF4\x90\x80\x80"),
+            "\"\\u00f4\\u0090\\u0080\\u0080\"");
+}
+
+TEST(JsonEscape, MixedValidAndInvalidBytes) {
+  EXPECT_EQ(json_escape("ok\xC3\xA9\xFF\"end\n"),
+            "\"ok\xC3\xA9\\u00ff\\\"end\\n\"");
+}
+
+TEST(JsonWriter, PrettyModeMatchesExistingEmissions) {
+  JsonWriter w(2);
+  w.begin_object();
+  w.key("a");
+  w.value(std::uint64_t{1});
+  w.key("b");
+  w.begin_array();
+  w.value(2.5);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2.5\n  ]\n}");
+}
+
+TEST(JsonWriter, CompactModeHasNoWhitespace) {
+  JsonWriter w(-1);
+  w.begin_object();
+  w.key("cycle");
+  w.value(std::uint64_t{100});
+  w.key("phase");
+  w.value("active");
+  w.key("counters");
+  w.begin_object();
+  w.key("dram.acts");
+  w.value(std::uint64_t{7});
+  w.end_object();
+  w.key("list");
+  w.begin_array();
+  w.value(true);
+  w.value(false);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"cycle\":100,\"phase\":\"active\","
+            "\"counters\":{\"dram.acts\":7},\"list\":[true,false]}");
+}
+
+TEST(JsonWriter, CompactStringsStillEscape) {
+  JsonWriter w(-1);
+  w.begin_object();
+  w.key("k\n");
+  w.value("v\"");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"k\\n\":\"v\\\"\"}");
+}
+
+}  // namespace
+}  // namespace mecc

@@ -117,6 +117,24 @@ TEST(StatRegistry, SnapshotMergesProvidersUnderComponentPrefix) {
   EXPECT_EQ(names[1], "cpu");
 }
 
+TEST(StatRegistry, DuplicateComponentRegistrationThrows) {
+  StatRegistry reg;
+  reg.register_component("dram", [](StatSet& s) { s.add("acts", 1); });
+  // A second provider under the same prefix would silently double every
+  // key it emits; it must be rejected loudly (and not only in debug
+  // builds — release builds throw too).
+  try {
+    reg.register_component("dram", [](StatSet& s) { s.add("acts", 9); });
+    FAIL() << "duplicate registration was accepted";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("dram"), std::string::npos)
+        << "error should name the offending component: " << e.what();
+  }
+  // The registry is untouched by the rejected registration.
+  EXPECT_EQ(reg.components().size(), 1u);
+  EXPECT_EQ(reg.snapshot().counter("dram.acts"), 1u);
+}
+
 TEST(StatRegistry, SnapshotsAreRepeatable) {
   StatRegistry reg;
   reg.register_component("a", [](StatSet& s) { s.add("n", 2); });

@@ -1,0 +1,196 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mecc::tracing {
+namespace {
+
+TraceConfig small_config(std::uint64_t limit,
+                         std::uint32_t categories = kAllCategories) {
+  TraceConfig c;
+  c.enabled = true;
+  c.categories = categories;
+  c.limit = limit;
+  return c;
+}
+
+TEST(ParseCategories, EmptyAndAllSelectEverything) {
+  EXPECT_EQ(parse_categories(""), kAllCategories);
+  EXPECT_EQ(parse_categories("all"), kAllCategories);
+}
+
+TEST(ParseCategories, SingleAndCsvLists) {
+  EXPECT_EQ(parse_categories("dram"), category_bit(Category::kDram));
+  EXPECT_EQ(parse_categories("dram,power,epoch"),
+            category_bit(Category::kDram) | category_bit(Category::kPower) |
+                category_bit(Category::kEpoch));
+}
+
+TEST(ParseCategories, EveryNameRoundTrips) {
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    const Category c = static_cast<Category>(i);
+    const auto mask = parse_categories(category_name(c));
+    ASSERT_TRUE(mask.has_value()) << category_name(c);
+    EXPECT_EQ(*mask, category_bit(c));
+  }
+}
+
+TEST(ParseCategories, UnknownNameIsAnError) {
+  EXPECT_FALSE(parse_categories("dram,banana").has_value());
+  EXPECT_FALSE(parse_categories("DRAM").has_value());  // case-sensitive
+}
+
+TEST(Tracer, CategoryFilterDropsDisabledEvents) {
+  Tracer t(small_config(64, category_bit(Category::kDram)));
+  t.instant(Category::kDram, kTrackDramCmd, "ACT", 10);
+  t.instant(Category::kMorph, kTrackMorph, "downgrade", 11);
+  t.counter(Category::kQueue, kTrackQueues, "read_q", 12, 1.0);
+  EXPECT_EQ(t.recorded(), 1u);
+  EXPECT_EQ(t.dropped(), 0u);  // filtered != dropped
+  const std::string j = t.json();
+  EXPECT_NE(j.find("\"ACT\""), std::string::npos);
+  EXPECT_EQ(j.find("downgrade"), std::string::npos);
+  EXPECT_EQ(j.find("read_q"), std::string::npos);
+}
+
+TEST(Tracer, RingKeepsTheNewestEventsAndCountsDrops) {
+  Tracer t(small_config(4));
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.instant(Category::kDram, kTrackDramCmd, "RD", i, "n", i);
+  }
+  EXPECT_EQ(t.recorded(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const std::string j = t.json();
+  // Newest four (ts 6..9) survive; oldest six are gone.
+  EXPECT_EQ(j.find("\"ts\":5"), std::string::npos);
+  EXPECT_NE(j.find("\"ts\":6"), std::string::npos);
+  EXPECT_NE(j.find("\"ts\":9"), std::string::npos);
+  EXPECT_NE(j.find("\"dropped_events\":6"), std::string::npos);
+}
+
+TEST(Tracer, JsonIsChronologicalPerTrack) {
+  Tracer t(small_config(8));
+  t.instant(Category::kDram, kTrackDramCmd, "b", 20);
+  t.instant(Category::kDram, kTrackDramCmd, "a", 5);
+  t.instant(Category::kDram, kTrackDramCmd, "c", 20);
+  const std::string j = t.json();
+  const std::size_t a = j.find("\"a\"");
+  const std::size_t b = j.find("\"b\"");
+  const std::size_t c = j.find("\"c\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);  // sorted by ts
+  EXPECT_LT(b, c);  // equal ts keeps emission order (stable sort)
+}
+
+TEST(Tracer, EventShapesMatchTheTraceEventFormat) {
+  Tracer t(small_config(16));
+  t.instant(Category::kDue, kTrackErrors, "due", 100, "level", 2);
+  t.complete(Category::kEpoch, kTrackEpoch, "active", 50, 75,
+             "instructions", 1234);
+  t.counter(Category::kQueue, kTrackQueues, "read_q", 60, 3.0);
+  const std::string j = t.json();
+  // Instant: phase 'i', explicit thread scope, args present.
+  EXPECT_NE(j.find("\"name\":\"due\",\"cat\":\"due\",\"ph\":\"i\",\"ts\":100"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(j.find("\"level\":2"), std::string::npos);
+  // Complete: phase 'X' with dur.
+  EXPECT_NE(j.find("\"ph\":\"X\",\"ts\":50,\"dur\":75"), std::string::npos);
+  EXPECT_NE(j.find("\"instructions\":1234"), std::string::npos);
+  // Counter: phase 'C' with args.value.
+  EXPECT_NE(j.find("\"ph\":\"C\",\"ts\":60"), std::string::npos);
+  EXPECT_NE(j.find("\"value\":3"), std::string::npos);
+  // Track-name metadata only for tracks actually used.
+  EXPECT_NE(j.find("\"sim.epoch\""), std::string::npos);
+  EXPECT_NE(j.find("\"errors\""), std::string::npos);
+  EXPECT_EQ(j.find("\"dram.cmd\""), std::string::npos);
+}
+
+TEST(Tracer, EqualStreamsSerializeToEqualBytes) {
+  const auto emit = [](Tracer& t) {
+    t.instant(Category::kDram, kTrackDramCmd, "ACT", 1, "bank", 3);
+    t.counter(Category::kQueue, kTrackQueues, "read_q", 2, 1.0);
+    t.complete(Category::kPower, kTrackPower, "precharge_standby", 0, 7);
+  };
+  Tracer a(small_config(16));
+  Tracer b(small_config(16));
+  emit(a);
+  emit(b);
+  EXPECT_EQ(a.json(), b.json());
+}
+
+TEST(MetricsSampler, SamplesOnTheWindowGridAndAtEdges) {
+  StatRegistry reg;
+  std::uint64_t reads = 0;
+  reg.register_component("dram", [&](StatSet& s) { s.add("reads", reads); });
+
+  MetricsConfig cfg;
+  cfg.enabled = true;
+  cfg.interval = 100;
+  MetricsSampler m(cfg, &reg);
+  EXPECT_EQ(m.next_sample(), 100u);
+
+  reads = 7;
+  m.sample(100, "active");
+  EXPECT_EQ(m.next_sample(), 200u);
+  reads = 9;
+  m.sample(250, "idle_enter");  // off-grid edge sample
+  EXPECT_EQ(m.next_sample(), 300u);
+  EXPECT_EQ(m.samples(), 2u);
+
+  const std::string& out = m.jsonl();
+  EXPECT_NE(out.find("\"schema\":\"mecc-metrics-v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"interval\":100"), std::string::npos);
+  EXPECT_NE(out.find("\"cycle\":100,\"window\":1,\"phase\":\"active\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"cycle\":250,\"window\":2,\"phase\":\"idle_enter\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"dram.reads\":7"), std::string::npos);
+  EXPECT_NE(out.find("\"dram.reads\":9"), std::string::npos);
+}
+
+TEST(MetricsSampler, KeySelectorsFilterExactAndByComponent) {
+  StatRegistry reg;
+  reg.register_component("dram", [](StatSet& s) {
+    s.add("reads", 1);
+    s.add("writes", 2);
+  });
+  reg.register_component("cpu", [](StatSet& s) {
+    s.add("cycles", 3);
+    s.set_gauge("ipc", 0.5);
+  });
+
+  MetricsConfig cfg;
+  cfg.enabled = true;
+  cfg.interval = 10;
+  cfg.keys = {"dram.reads", "cpu"};  // one exact key + a whole component
+  MetricsSampler m(cfg, &reg);
+  m.sample(10, "active");
+  const std::string& out = m.jsonl();
+  EXPECT_NE(out.find("\"dram.reads\":1"), std::string::npos);
+  EXPECT_EQ(out.find("dram.writes"), std::string::npos);
+  EXPECT_NE(out.find("\"cpu.cycles\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"cpu.ipc\":0.5"), std::string::npos);
+}
+
+TEST(MetricsSampler, WindowIndexAdvancesAcrossSkippedWindows) {
+  StatRegistry reg;
+  reg.register_component("x", [](StatSet& s) { s.add("n", 1); });
+  MetricsConfig cfg;
+  cfg.enabled = true;
+  cfg.interval = 100;
+  MetricsSampler m(cfg, &reg);
+  m.sample(100, "active");
+  // A long idle jump lands the next sample several windows later; the
+  // window index reflects the cycle, not the sample count.
+  m.sample(700, "wake");
+  EXPECT_NE(m.jsonl().find("\"cycle\":700,\"window\":7"), std::string::npos);
+  EXPECT_EQ(m.next_sample(), 800u);
+}
+
+}  // namespace
+}  // namespace mecc::tracing

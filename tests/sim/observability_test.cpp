@@ -1,0 +1,174 @@
+// End-to-end observability determinism (docs/OBSERVABILITY.md): traces
+// and metrics timelines are byte-identical across --fast-forward modes
+// and --jobs counts, the trace ring honors its limit, and dropped
+// events surface as errors.trace_dropped.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+#include "trace/benchmarks.h"
+
+namespace mecc::sim {
+namespace {
+
+[[nodiscard]] std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// A MECC config exercising every instrumented layer: SMD quanta, fault
+/// injection (CE/DUE/ladder), power-downs, refresh-divider moves.
+[[nodiscard]] SystemConfig observed_config(bool fast_forward) {
+  SystemConfig cfg;
+  cfg.policy = EccPolicy::kMecc;
+  cfg.instructions = 60'000;
+  cfg.fast_forward = fast_forward;
+  cfg.mecc_use_smd = true;
+  cfg.smd_quantum_cycles = 4'000;
+  cfg.fault.enabled = true;
+  cfg.fault.shadow_lines = 512;
+  cfg.fault.ber_override = 4e-3;
+  cfg.fault.transient_read_ber = 1e-3;
+  cfg.trace.enabled = true;
+  cfg.metrics.enabled = true;
+  cfg.metrics.interval = 10'000;
+  return cfg;
+}
+
+/// Fig. 4 lifecycle (active / poisoned idle / active) capturing the
+/// trace and metrics bytes after the System flushed its open spans.
+struct ObservedRun {
+  std::string trace;
+  std::string metrics;
+  RunResult result;
+};
+
+[[nodiscard]] ObservedRun run_lifecycle(SystemConfig cfg,
+                                        const std::string& tag) {
+  cfg.trace.path = ::testing::TempDir() + "mecc_obs_" + tag + ".json";
+  cfg.metrics.path = ::testing::TempDir() + "mecc_obs_" + tag + ".jsonl";
+  ObservedRun out;
+  {
+    System system(trace::all_benchmarks()[0], cfg);
+    (void)system.run_period(cfg.instructions);
+    (void)system.idle_period(2.0);
+    out.result = system.run_period(cfg.instructions);
+  }  // destructor flushes open spans and writes both files
+  out.trace = slurp(cfg.trace.path);
+  out.metrics = slurp(cfg.metrics.path);
+  std::remove(cfg.trace.path.c_str());
+  std::remove(cfg.metrics.path.c_str());
+  return out;
+}
+
+TEST(Observability, TraceAndMetricsIdenticalAcrossFastForwardModes) {
+  const ObservedRun on = run_lifecycle(observed_config(true), "ff_on");
+  const ObservedRun off = run_lifecycle(observed_config(false), "ff_off");
+  ASSERT_FALSE(on.trace.empty());
+  ASSERT_FALSE(on.metrics.empty());
+  EXPECT_TRUE(same_simulated_result(on.result, off.result));
+  EXPECT_EQ(on.trace, off.trace);
+  EXPECT_EQ(on.metrics, off.metrics);
+  // The trace actually covers every instrumented layer.
+  for (const char* name :
+       {"\"ACT\"", "\"RD\"", "\"REF\"", "\"row_open\"", "\"pd_enter\"",
+        "\"idle\"", "\"active\"", "\"smd_quantum\"", "\"shadow_ce\"",
+        "\"inject_retention\""}) {
+    EXPECT_NE(on.trace.find(name), std::string::npos) << name;
+  }
+  // The metrics timeline has interior window samples plus the edges.
+  EXPECT_NE(on.metrics.find("\"phase\":\"active\""), std::string::npos);
+  EXPECT_NE(on.metrics.find("\"phase\":\"idle_enter\""), std::string::npos);
+  EXPECT_NE(on.metrics.find("\"phase\":\"wake\""), std::string::npos);
+  EXPECT_NE(on.metrics.find("\"phase\":\"final\""), std::string::npos);
+}
+
+TEST(Observability, FaultCampaignLadderTraceIdenticalAcrossModes) {
+  auto make = [](bool ff) {
+    SystemConfig cfg = observed_config(ff);
+    cfg.fault.ber_override = 2e-2;  // hot enough to climb the DUE ladder
+    return run_lifecycle(cfg, ff ? "ladder_on" : "ladder_off");
+  };
+  const ObservedRun on = make(true);
+  const ObservedRun off = make(false);
+  EXPECT_EQ(on.trace, off.trace);
+  EXPECT_EQ(on.metrics, off.metrics);
+  EXPECT_NE(on.trace.find("\"due\""), std::string::npos);
+}
+
+TEST(Observability, MetricsIdenticalAtAnyJobCount) {
+  // Three-job sweep written through run_jobs' per-run path derivation:
+  // the derived file set and every byte in it must not depend on the
+  // worker count.
+  auto sweep = [](unsigned n_threads, const std::string& tag) {
+    SystemConfig cfg;
+    cfg.instructions = 30'000;
+    cfg.policy = EccPolicy::kMecc;
+    cfg.metrics.enabled = true;
+    cfg.metrics.interval = 10'000;
+    cfg.metrics.path = ::testing::TempDir() + "mecc_obs_jobs_" + tag +
+                       ".jsonl";
+    const auto benchmarks = trace::all_benchmarks();
+    std::vector<SuiteJob> jobs(3);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].profile = &benchmarks[i];
+      jobs[i].policy = cfg.policy;
+      jobs[i].config = cfg;
+      jobs[i].config.seed = suite_seed(1, i);
+    }
+    (void)run_jobs(jobs, n_threads);
+    std::vector<std::string> files;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const std::string path = per_run_path(
+          cfg.metrics.path,
+          "i" + std::to_string(i) + "-" + std::string(benchmarks[i].name));
+      files.push_back(slurp(path));
+      std::remove(path.c_str());
+    }
+    return files;
+  };
+  const auto serial = sweep(1, "serial");
+  const auto parallel = sweep(8, "parallel");
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_FALSE(serial[i].empty()) << "missing metrics file " << i;
+    EXPECT_EQ(serial[i], parallel[i]) << "metrics differ for job " << i;
+  }
+}
+
+TEST(Observability, TraceLimitKeepsNewestAndSurfacesDroppedCounter) {
+  SystemConfig cfg = observed_config(true);
+  cfg.trace.limit = 64;  // far fewer than the lifecycle emits
+  cfg.metrics.enabled = false;
+  System system(trace::all_benchmarks()[0], cfg);
+  const RunResult r = system.run_period(cfg.instructions);
+  ASSERT_NE(system.tracer(), nullptr);
+  EXPECT_EQ(system.tracer()->recorded(), 64u);
+  EXPECT_GT(system.tracer()->dropped(), 0u);
+  EXPECT_EQ(r.stats.counter("errors.trace_dropped"),
+            system.tracer()->dropped());
+  const std::string j = system.tracer()->json();
+  EXPECT_NE(j.find("\"dropped_events\":" +
+                   std::to_string(system.tracer()->dropped())),
+            std::string::npos);
+}
+
+TEST(Observability, DisabledRunCarriesNoObservabilityState) {
+  SystemConfig cfg;
+  cfg.instructions = 5'000;
+  System system(trace::all_benchmarks()[0], cfg);
+  const RunResult r = system.run();
+  EXPECT_EQ(system.tracer(), nullptr);
+  EXPECT_EQ(system.metrics(), nullptr);
+  EXPECT_EQ(r.stats.counter("errors.trace_dropped"), 0u);
+}
+
+}  // namespace
+}  // namespace mecc::sim
