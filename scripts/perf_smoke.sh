@@ -42,6 +42,19 @@ for mode in on off; do
   done
 done
 
+# Codec throughput leg (docs/PERFORMANCE.md): lines/sec of the
+# word-parallel ECC codecs vs the retained scalar references. Like the
+# wall-clock sweep above, purely observational — the numbers land in the
+# report, the differential *correctness* gate is test_codec_equivalence.
+codec_bench="build/bench/bench_ecc_codec"
+codec_json="$tmpdir/codec_throughput.json"
+if [[ -x "$codec_bench" ]]; then
+  "$codec_bench" --throughput --seed=1 --perf-out="$codec_json" > /dev/null
+else
+  echo "perf_smoke: $codec_bench not built; skipping codec leg" >&2
+  codec_json=""
+fi
+
 # Correctness side-check while we are here: on/off must agree on every
 # simulated byte (the perf files differ, the --out files must not).
 if ! cmp -s "$tmpdir/out_on_0.json" "$tmpdir/out_off_0.json"; then
@@ -49,11 +62,11 @@ if ! cmp -s "$tmpdir/out_on_0.json" "$tmpdir/out_off_0.json"; then
   exit 1
 fi
 
-python3 - "$out" "$instructions" "$repeats" "$tmpdir" <<'EOF'
+python3 - "$out" "$instructions" "$repeats" "$tmpdir" "$codec_json" <<'EOF'
 import json
 import sys
 
-out_path, instructions, repeats, tmpdir = sys.argv[1:5]
+out_path, instructions, repeats, tmpdir, codec_json = sys.argv[1:6]
 instructions = int(instructions)
 repeats = int(repeats)
 
@@ -80,10 +93,24 @@ report = {
     "fast_forward_off": off,
     "speedup_wall_mips": round(on["wall_mips"] / off["wall_mips"], 3),
 }
+
+if codec_json:
+    with open(codec_json) as f:
+        codec = json.load(f)
+    report["ecc_codec"] = {
+        "schema": codec["schema"],
+        "entries": codec["entries"],
+    }
+
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print(f"perf_smoke: ff=on {on['wall_seconds']:.3f}s, "
       f"ff=off {off['wall_seconds']:.3f}s, "
       f"speedup {report['speedup_wall_mips']:.2f}x -> {out_path}")
+for e in report.get("ecc_codec", {}).get("entries", []):
+    if "speedup" in e:
+        print(f"perf_smoke: codec {e['name']}: "
+              f"{e['lines_per_sec']:.0f} lines/s "
+              f"({e['speedup']:.2f}x over scalar)")
 EOF

@@ -66,6 +66,31 @@ python3 scripts/trace_summary.py --metrics \
   build/tier1_metrics.ladder_retry_only.jsonl \
   build/tier1_metrics.ladder_no_scrub.jsonl
 
+# Shared-flag strip smoke (regression for the bench_ecc_codec leak):
+# every SimOptions flag must pass through the bench without reaching
+# benchmark::Initialize, which exits non-zero on flags it does not
+# recognize. The bench main derives its strip set from parse_options'
+# consumed report, so this invocation fails the instant a newly added
+# shared flag is not reported consumed.
+build/bench/bench_ecc_codec \
+  --instructions=1000 --seed=1 --jobs=1 --ber=0.001 \
+  --fast-forward=on --trace=build/tier1_codec_trace.json \
+  --trace-categories=dram --trace-limit=1000 \
+  --metrics-out=build/tier1_codec_metrics.jsonl \
+  --metrics-interval=100000 --metrics-keys=power \
+  --out=build/tier1_codec_out.json \
+  --perf-out=build/tier1_codec_perf.json \
+  --benchmark_filter=BM_SecdedEncode64 > /dev/null
+python3 -m json.tool build/tier1_codec_out.json > /dev/null
+# --list-stats short-circuits before the benchmark suite; it must exit 0.
+build/bench/bench_ecc_codec --list-stats > /dev/null
+
+# Codec differential gate: the word-parallel SECDED/BCH hot paths must
+# be bit-identical to the retained scalar references (already covered by
+# ctest above via test_codec_equivalence; re-run standalone so a filtered
+# ctest invocation can never silently skip it).
+build/tests/test_codec_equivalence --gtest_brief=1 > /dev/null
+
 # Wall-clock report (non-gating: host-dependent numbers, never a
 # pass/fail signal; the committed snapshot is BENCH_perf.json).
 scripts/perf_smoke.sh --repeats=1 --instructions=500000 || true
@@ -75,9 +100,9 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --build build-tsan -j --target test_thread_pool \
     test_parallel_runner test_run_json test_stats \
     test_golden_vectors test_codec_property test_fast_forward \
-    test_trace test_observability
+    test_trace test_observability test_codec_equivalence
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty|FastForward|Tracer|MetricsSampler|Observability'
+    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty|FastForward|Tracer|MetricsSampler|Observability|CodecEquivalence'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -85,7 +110,7 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j --target test_fault_injection \
     test_memory_image test_shadow_memory test_due_policy \
     test_fault_campaign test_line_codec test_bitvec test_fast_forward \
-    test_json test_trace test_observability
+    test_json test_trace test_observability test_codec_equivalence
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward|JsonEscape|JsonWriter|Tracer|MetricsSampler|Observability'
+    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward|JsonEscape|JsonWriter|Tracer|MetricsSampler|Observability|CodecEquivalence'
 fi

@@ -2,21 +2,43 @@
 
 #include <bit>
 #include <cassert>
+#include <cstring>
 
 namespace mecc {
 
 BitVec BitVec::from_bytes(std::span<const std::uint8_t> bytes) {
   BitVec v(bytes.size() * 8);
-  for (std::size_t i = 0; i < bytes.size(); ++i) {
-    v.words_[i >> 3] |= static_cast<std::uint64_t>(bytes[i]) << ((i & 7) * 8);
+  if (bytes.empty()) return v;
+  if constexpr (std::endian::native == std::endian::little) {
+    // LSB-first within each byte and byte i at bits [8i, 8i+8) is exactly
+    // the little-endian in-memory layout of the word array.
+    std::memcpy(v.words_.data(), bytes.data(), bytes.size());
+  } else {
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      v.words_[i >> 3] |= static_cast<std::uint64_t>(bytes[i]) << ((i & 7) * 8);
+    }
   }
+  return v;
+}
+
+BitVec BitVec::from_u64(std::uint64_t value, std::size_t nbits) {
+  assert(nbits <= 64);
+  BitVec v(nbits);
+  if (nbits == 0) return v;
+  v.words_[0] = value;
+  v.mask_tail();
   return v;
 }
 
 std::vector<std::uint8_t> BitVec::to_bytes() const {
   std::vector<std::uint8_t> out((nbits_ + 7) / 8, 0);
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = static_cast<std::uint8_t>(words_[i >> 3] >> ((i & 7) * 8));
+  if (out.empty()) return out;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), words_.data(), out.size());
+  } else {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<std::uint8_t>(words_[i >> 3] >> ((i & 7) * 8));
+    }
   }
   return out;
 }
@@ -29,6 +51,19 @@ std::size_t BitVec::popcount() const {
   std::size_t n = 0;
   for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
   return n;
+}
+
+bool BitVec::parity() const {
+  std::uint64_t acc = 0;
+  for (auto w : words_) acc ^= w;
+  return (std::popcount(acc) & 1) != 0;
+}
+
+bool BitVec::masked_parity(std::span<const std::uint64_t> mask) const {
+  std::uint64_t acc = 0;
+  const std::size_t n = std::min(mask.size(), words_.size());
+  for (std::size_t i = 0; i < n; ++i) acc ^= words_[i] & mask[i];
+  return (std::popcount(acc) & 1) != 0;
 }
 
 bool BitVec::any() const {
@@ -47,13 +82,45 @@ BitVec& BitVec::operator^=(const BitVec& other) {
 BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
   assert(pos + len <= nbits_);
   BitVec out(len);
-  for (std::size_t i = 0; i < len; ++i) out.set(i, get(pos + i));
+  if (len == 0) return out;
+  const std::size_t w0 = pos >> 6;
+  const unsigned off = pos & 63;
+  if (off == 0) {
+    for (std::size_t i = 0; i < out.words_.size(); ++i) {
+      out.words_[i] = words_[w0 + i];
+    }
+  } else {
+    for (std::size_t i = 0; i < out.words_.size(); ++i) {
+      std::uint64_t w = words_[w0 + i] >> off;
+      if (w0 + i + 1 < words_.size()) w |= words_[w0 + i + 1] << (64 - off);
+      out.words_[i] = w;
+    }
+  }
+  out.mask_tail();
   return out;
+}
+
+void BitVec::write_bits(std::size_t pos, std::uint64_t chunk, unsigned nbits) {
+  assert(nbits >= 1 && nbits <= 64 && pos + nbits <= nbits_);
+  const std::uint64_t mask = nbits == 64 ? ~0ull : (1ull << nbits) - 1;
+  chunk &= mask;
+  const std::size_t w = pos >> 6;
+  const unsigned off = pos & 63;
+  words_[w] = (words_[w] & ~(mask << off)) | (chunk << off);
+  if (off + nbits > 64) {
+    const std::uint64_t hi_mask = mask >> (64 - off);
+    words_[w + 1] = (words_[w + 1] & ~hi_mask) | (chunk >> (64 - off));
+  }
 }
 
 void BitVec::splice(std::size_t pos, const BitVec& src) {
   assert(pos + src.size() <= nbits_);
-  for (std::size_t i = 0; i < src.size(); ++i) set(pos + i, src.get(i));
+  const std::size_t len = src.nbits_;
+  for (std::size_t i = 0; i < src.words_.size(); ++i) {
+    const unsigned nb =
+        static_cast<unsigned>(std::min<std::size_t>(64, len - i * 64));
+    write_bits(pos + i * 64, src.words_[i], nb);
+  }
 }
 
 std::size_t BitVec::hamming_distance(const BitVec& other) const {
@@ -83,6 +150,11 @@ std::string BitVec::to_string() const {
   s.reserve(nbits_);
   for (std::size_t i = 0; i < nbits_; ++i) s.push_back(get(i) ? '1' : '0');
   return s;
+}
+
+void BitVec::mask_tail() {
+  const unsigned r = nbits_ & 63;
+  if (r != 0) words_.back() &= ~0ull >> (64 - r);
 }
 
 }  // namespace mecc

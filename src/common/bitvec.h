@@ -25,6 +25,10 @@ class BitVec {
   /// Builds a vector from raw bytes, LSB-first within each byte.
   static BitVec from_bytes(std::span<const std::uint8_t> bytes);
 
+  /// Builds a vector of `nbits` bits (nbits <= 64) from the low bits of
+  /// `value`.
+  static BitVec from_u64(std::uint64_t value, std::size_t nbits);
+
   /// Serializes back to bytes (LSB-first within each byte). Size is
   /// rounded up to whole bytes; trailing pad bits are zero.
   [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
@@ -50,6 +54,14 @@ class BitVec {
 
   /// Number of set bits.
   [[nodiscard]] std::size_t popcount() const;
+
+  /// XOR of all bits (word-level fold; the ECC overall-parity hot path).
+  [[nodiscard]] bool parity() const;
+
+  /// XOR of all bits of (this AND mask), where `mask` is a word span laid
+  /// out like words(); missing trailing mask words are treated as zero.
+  /// This is one H-matrix row product in the word-parallel SECDED codec.
+  [[nodiscard]] bool masked_parity(std::span<const std::uint64_t> mask) const;
 
   /// True if any bit is set.
   [[nodiscard]] bool any() const;
@@ -82,6 +94,15 @@ class BitVec {
   [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
 
  private:
+  /// Overwrites bits [pos, pos+nbits) with the low `nbits` of `chunk`
+  /// (nbits in [1, 64]), preserving the surrounding bits.
+  void write_bits(std::size_t pos, std::uint64_t chunk, unsigned nbits);
+
+  /// Zeroes the pad bits above nbits_ in the last word. Every public
+  /// operation maintains the all-pad-bits-zero invariant (operator== and
+  /// the word-level scans rely on it).
+  void mask_tail();
+
   std::size_t nbits_ = 0;
   std::vector<std::uint64_t> words_;
 };

@@ -1,6 +1,6 @@
 #include "ecc/bch.h"
 
-#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <set>
 #include <stdexcept>
@@ -11,6 +11,25 @@ namespace mecc::ecc {
 using galois::Elem;
 using galois::Gf2Poly;
 using galois::GfmPoly;
+
+namespace {
+
+/// Per-thread decode scratch: the campaign hot loop decodes millions of
+/// lines, so the per-call vectors are reused instead of reallocated.
+struct DecodeScratch {
+  std::vector<Elem> syn_odd;
+  std::vector<Elem> syn;
+  std::vector<Elem> chien_terms;
+  std::vector<Elem> chien_steps;
+  std::vector<std::size_t> error_positions;
+};
+
+DecodeScratch& scratch() {
+  thread_local DecodeScratch s;
+  return s;
+}
+
+}  // namespace
 
 Bch::Bch(unsigned m, std::size_t t, std::size_t data_bits)
     : gf_(m), t_(t), k_(data_bits) {
@@ -31,27 +50,67 @@ Bch::Bch(unsigned m, std::size_t t, std::size_t data_bits)
   if (k_ + p_ > gf_.order()) {
     throw std::invalid_argument("Bch: data does not fit in 2^m - 1 bits");
   }
-}
+  n_ = k_ + p_;
 
-BitVec Bch::to_poly_coeffs(const BitVec& codeword) const {
-  // Polynomial layout: coefficients [0, p) = parity, [p, p + k) = data.
-  BitVec poly(p_ + k_);
-  for (std::size_t i = 0; i < k_; ++i) poly.set(p_ + i, codeword.get(i));
-  for (std::size_t j = 0; j < p_; ++j) poly.set(j, codeword.get(k_ + j));
-  return poly;
+  if (p_ <= 63) {
+    for (std::size_t j = 0; j <= p_; ++j) {
+      if (gen_.coeff(j)) gen_mask_ |= 1ull << j;
+    }
+  }
+
+  // Syndrome byte tables. polypos maps external codeword bit positions
+  // (data first) to polynomial coefficient positions (parity low).
+  const auto polypos = [this](std::size_t cwpos) {
+    return cwpos < k_ ? p_ + cwpos : cwpos - k_;
+  };
+  const std::size_t n_bytes = (n_ + 7) / 8;
+  syn_tables_.assign(n_bytes * t_ * 256, 0);
+  for (std::size_t byte = 0; byte < n_bytes; ++byte) {
+    for (std::size_t oi = 0; oi < t_; ++oi) {
+      const std::size_t j = 2 * oi + 1;
+      Elem basis[8] = {};
+      for (unsigned b = 0; b < 8; ++b) {
+        const std::size_t cwpos = byte * 8 + b;
+        if (cwpos >= n_) break;  // pad bits never contribute
+        basis[b] = gf_.alpha_pow(
+            static_cast<std::uint32_t>((polypos(cwpos) * j) % gf_.order()));
+      }
+      // Subset-XOR dynamic program: each value extends the one with its
+      // lowest set bit cleared.
+      Elem* tbl = &syn_tables_[(byte * t_ + oi) * 256];
+      for (unsigned v = 1; v < 256; ++v) {
+        tbl[v] = tbl[v & (v - 1)] ^
+                 basis[static_cast<unsigned>(std::countr_zero(v))];
+      }
+    }
+  }
 }
 
 BitVec Bch::encode(const BitVec& data) const {
   assert(data.size() == k_);
   // Systematic encoding: parity(x) = (data(x) * x^p) mod g(x).
-  BitVec shifted(p_ + k_);
-  shifted.splice(p_, data);
-  const Gf2Poly rem = Gf2Poly::from_bits(shifted).mod(gen_);
-
-  BitVec cw(k_ + p_);
+  BitVec cw(n_);
   cw.splice(0, data);
-  for (std::size_t j = 0; j < p_; ++j) {
-    cw.set(k_ + j, rem.coeff(j));
+  if (p_ <= 63) {
+    // Single-word LFSR division: stream the k + p coefficients of
+    // data(x) * x^p, highest first, through the register.
+    std::uint64_t rem = 0;
+    for (std::size_t i = k_; i-- > 0;) {
+      rem = (rem << 1) | static_cast<std::uint64_t>(data.get(i));
+      if ((rem >> p_) & 1u) rem ^= gen_mask_;
+    }
+    for (std::size_t i = 0; i < p_; ++i) {
+      rem <<= 1;
+      if ((rem >> p_) & 1u) rem ^= gen_mask_;
+    }
+    cw.splice(k_, BitVec::from_u64(rem, p_));
+  } else {
+    BitVec shifted(n_);
+    shifted.splice(p_, data);
+    const Gf2Poly rem = Gf2Poly::from_bits(shifted).mod(gen_);
+    for (std::size_t j = 0; j < p_; ++j) {
+      cw.set(k_ + j, rem.coeff(j));
+    }
   }
   return cw;
 }
@@ -59,23 +118,36 @@ BitVec Bch::encode(const BitVec& data) const {
 DecodeResult Bch::decode(const BitVec& codeword) const {
   assert(codeword.size() == codeword_bits());
   DecodeResult res;
-  const BitVec poly = to_poly_coeffs(codeword);
-  const std::size_t n = poly.size();
+  DecodeScratch& sc = scratch();
 
-  // Syndromes S_j = r(alpha^j), j = 1 .. 2t. Only the set coefficient
-  // positions contribute (r has GF(2) coefficients).
-  const auto error_positions_hint = poly.set_positions();
-  std::vector<Elem> syn(2 * t_ + 1, 0);
+  // Odd syndromes S_j = r(alpha^j) by table scan of the set bytes; even
+  // ones by squaring (S_2j = S_j^2 for GF(2) coefficient polynomials).
+  sc.syn_odd.assign(t_, 0);
+  const auto words = codeword.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t word = words[w];
+    while (word != 0) {
+      const unsigned byte_in_word =
+          static_cast<unsigned>(std::countr_zero(word)) >> 3;
+      const unsigned v =
+          static_cast<unsigned>((word >> (byte_in_word * 8)) & 0xff);
+      const Elem* tbl =
+          &syn_tables_[((w * 8 + byte_in_word) * t_) * 256];
+      for (std::size_t oi = 0; oi < t_; ++oi) {
+        sc.syn_odd[oi] ^= tbl[oi * 256 + v];
+      }
+      word &= ~(0xffull << (byte_in_word * 8));
+    }
+  }
+  sc.syn.assign(2 * t_ + 1, 0);
   bool any_syndrome = false;
   for (std::size_t j = 1; j <= 2 * t_; ++j) {
-    Elem s = 0;
-    for (auto pos : error_positions_hint) {
-      s = galois::GaloisField::add(
-          s, gf_.alpha_pow(static_cast<std::uint32_t>((pos * j) % gf_.order())));
-    }
-    syn[j] = s;
+    const Elem s = (j & 1) != 0 ? sc.syn_odd[j >> 1]
+                                : gf_.mul(sc.syn[j >> 1], sc.syn[j >> 1]);
+    sc.syn[j] = s;
     any_syndrome |= (s != 0);
   }
+  const std::vector<Elem>& syn = sc.syn;
 
   if (!any_syndrome) {
     res.status = DecodeStatus::kClean;
@@ -118,29 +190,44 @@ DecodeResult Bch::decode(const BitVec& codeword) const {
   }
 
   // Chien search: position i is in error iff lambda(alpha^-i) == 0.
-  // Roots landing at i >= n would be inside the shortened (always-zero)
-  // prefix, which cannot be in error -> decode failure.
-  std::vector<std::size_t> error_positions;
-  std::size_t roots_found = 0;
-  for (std::uint32_t i = 0; i < gf_.order(); ++i) {
-    const Elem x = gf_.alpha_pow((gf_.order() - i) % gf_.order());
-    if (lambda.eval(gf_, x) == 0) {
-      ++roots_found;
-      if (i < n) error_positions.push_back(i);
+  // Only positions < n can be in error (roots beyond n would land in the
+  // shortened always-zero prefix), and lambda of degree L has at most L
+  // roots in the whole field — so scanning [0, n) and demanding exactly
+  // L roots is equivalent to the full-field scan, and the scan can stop
+  // as soon as the L-th root appears. Terms update incrementally:
+  // term_k(i+1) = term_k(i) * alpha^-k.
+  sc.chien_terms.assign(L + 1, 0);
+  sc.chien_steps.assign(L + 1, 1);
+  for (std::size_t c = 0; c <= L; ++c) {
+    sc.chien_terms[c] = lambda.coeff(c);
+    sc.chien_steps[c] = gf_.alpha_pow(
+        gf_.order() - static_cast<std::uint32_t>(c % gf_.order()));
+  }
+  sc.error_positions.clear();
+  for (std::size_t i = 0; i < n_; ++i) {
+    Elem sum = 0;
+    for (std::size_t c = 0; c <= L; ++c) sum ^= sc.chien_terms[c];
+    if (sum == 0) {
+      sc.error_positions.push_back(i);
+      if (sc.error_positions.size() == L) break;
+    }
+    for (std::size_t c = 1; c <= L; ++c) {
+      sc.chien_terms[c] = gf_.mul(sc.chien_terms[c], sc.chien_steps[c]);
     }
   }
-  if (roots_found != L || error_positions.size() != L) {
+  if (sc.error_positions.size() != L) {
     res.status = DecodeStatus::kUncorrectable;
     return res;
   }
 
-  BitVec fixed = poly;
-  for (auto pos : error_positions) fixed.flip(pos);
-
+  // Error positions are polynomial positions: [0, p) hit parity bits
+  // only; [p, n) map back to data bit pos - p.
   res.status = DecodeStatus::kCorrected;
-  res.corrected_bits = error_positions.size();
-  res.data = BitVec(k_);
-  for (std::size_t i = 0; i < k_; ++i) res.data.set(i, fixed.get(p_ + i));
+  res.corrected_bits = sc.error_positions.size();
+  res.data = codeword.slice(0, k_);
+  for (auto pos : sc.error_positions) {
+    if (pos >= p_) res.data.flip(pos - p_);
+  }
   return res;
 }
 

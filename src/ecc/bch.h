@@ -8,6 +8,19 @@
 // Encoding is systematic polynomial division by the generator g(x) (the
 // LCM of the minimal polynomials of alpha^1 .. alpha^2t). Decoding runs
 // syndrome computation, Berlekamp-Massey, and Chien search.
+//
+// The hot paths are word-parallel (docs/PERFORMANCE.md):
+//   * encode runs the division as a <= 63-bit LFSR in one machine word
+//     (generic Gf2Poly division only when deg g > 63, e.g. t=7 at m=10);
+//   * syndromes come from per-(byte position, odd j) contribution tables
+//     precomputed at construction — GF(2) linearity lets one 256-entry
+//     lookup replace eight alpha_pow multiplies — with even syndromes
+//     squared from odd ones (S_2j = S_j^2 in characteristic 2), so the
+//     clean-codeword fast path is a table-scan of the set bytes only;
+//   * Chien search strides only positions < n with incremental term
+//     updates instead of evaluating lambda over the whole field.
+// The retained bit-at-a-time oracle lives in ecc/scalar_reference.h; the
+// differential suite keeps the two bit-identical.
 #pragma once
 
 #include <cstddef>
@@ -40,15 +53,24 @@ class Bch final : public Code {
   [[nodiscard]] const galois::Gf2Poly& generator() const { return gen_; }
 
  private:
-  // Maps external codeword layout (data first) to polynomial coefficients
-  // (parity = low-order coefficients, data above them) and back.
-  [[nodiscard]] BitVec to_poly_coeffs(const BitVec& codeword) const;
-
   galois::GaloisField gf_;
   std::size_t t_;   // correction capability
   std::size_t k_;   // data bits
   std::size_t p_;   // parity bits = deg(g)
+  std::size_t n_;   // codeword bits = k + p
   galois::Gf2Poly gen_;
+
+  // g(x) as a single word for the LFSR encoder; only valid when
+  // p_ <= 63 (encode falls back to Gf2Poly division otherwise).
+  std::uint64_t gen_mask_ = 0;
+
+  // Syndrome contribution tables, codeword byte layout. For byte
+  // position B and odd syndrome index oi (j = 2*oi + 1), entry
+  // [(B * t + oi) * 256 + v] is sum over set bits b of v of
+  // alpha^(polypos(8B + b) * j), where polypos maps the external
+  // codeword layout to polynomial coefficient positions (parity bits
+  // are the low-order coefficients, data above them).
+  std::vector<galois::Elem> syn_tables_;
 };
 
 }  // namespace mecc::ecc

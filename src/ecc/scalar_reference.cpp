@@ -1,0 +1,241 @@
+// Verbatim copies of the pre-vectorization codec hot paths; see the
+// header for why these stay bit-at-a-time.
+#include "ecc/scalar_reference.h"
+
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "galois/gfm_poly.h"
+
+namespace mecc::ecc::reference {
+
+namespace {
+
+[[nodiscard]] bool is_power_of_two(std::uint32_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace
+
+ScalarSecded::ScalarSecded(std::size_t data_bits) : k_(data_bits) {
+  if (data_bits < 4) {
+    throw std::invalid_argument("ScalarSecded: data_bits must be >= 4");
+  }
+  r_ = 1;
+  while ((1ull << r_) < k_ + r_ + 1) ++r_;
+  if (r_ >= 32) {
+    throw std::invalid_argument("ScalarSecded: data_bits too large");
+  }
+
+  tags_.resize(k_ + r_);
+  tag_to_pos_.assign(1ull << r_, static_cast<std::size_t>(-1));
+  std::uint32_t next_tag = 3;
+  for (std::size_t i = 0; i < k_; ++i) {
+    while (is_power_of_two(next_tag)) ++next_tag;
+    tags_[i] = next_tag;
+    tag_to_pos_[next_tag] = i;
+    ++next_tag;
+  }
+  for (std::size_t i = 0; i < r_; ++i) {
+    tags_[k_ + i] = 1u << i;
+    tag_to_pos_[1u << i] = k_ + i;
+  }
+}
+
+BitVec ScalarSecded::encode(const BitVec& data) const {
+  assert(data.size() == k_);
+  BitVec cw(k_ + r_ + 1);
+  cw.splice(0, data);
+  for (std::size_t i = 0; i < r_; ++i) {
+    bool p = false;
+    for (std::size_t d = 0; d < k_; ++d) {
+      if ((tags_[d] >> i) & 1u) p ^= data.get(d);
+    }
+    cw.set(k_ + i, p);
+  }
+  bool overall = false;
+  for (std::size_t i = 0; i < k_ + r_; ++i) overall ^= cw.get(i);
+  cw.set(k_ + r_, overall);
+  return cw;
+}
+
+std::uint32_t ScalarSecded::syndrome_of(const BitVec& codeword) const {
+  std::uint32_t s = 0;
+  for (std::size_t i = 0; i < k_ + r_; ++i) {
+    if (codeword.get(i)) s ^= tags_[i];
+  }
+  return s;
+}
+
+DecodeResult ScalarSecded::decode(const BitVec& codeword) const {
+  assert(codeword.size() == codeword_bits());
+  DecodeResult res;
+  const std::uint32_t s = syndrome_of(codeword);
+  bool parity = false;
+  for (std::size_t i = 0; i < codeword.size(); ++i) parity ^= codeword.get(i);
+
+  if (s == 0 && !parity) {
+    res.status = DecodeStatus::kClean;
+    res.data = codeword.slice(0, k_);
+    return res;
+  }
+  if (s == 0 && parity) {
+    res.status = DecodeStatus::kCorrected;
+    res.corrected_bits = 1;
+    res.data = codeword.slice(0, k_);
+    return res;
+  }
+  if (parity) {
+    const std::size_t pos = s < tag_to_pos_.size()
+                                ? tag_to_pos_[s]
+                                : static_cast<std::size_t>(-1);
+    if (pos == static_cast<std::size_t>(-1)) {
+      res.status = DecodeStatus::kUncorrectable;
+      return res;
+    }
+    BitVec fixed = codeword;
+    fixed.flip(pos);
+    res.status = DecodeStatus::kCorrected;
+    res.corrected_bits = 1;
+    res.data = fixed.slice(0, k_);
+    return res;
+  }
+  res.status = DecodeStatus::kUncorrectable;
+  return res;
+}
+
+std::string ScalarSecded::name() const {
+  return "ScalarSECDED(" + std::to_string(codeword_bits()) + "," +
+         std::to_string(k_) + ")";
+}
+
+using galois::Elem;
+using galois::Gf2Poly;
+using galois::GfmPoly;
+
+ScalarBch::ScalarBch(unsigned m, std::size_t t, std::size_t data_bits)
+    : gf_(m), t_(t), k_(data_bits) {
+  if (t == 0) throw std::invalid_argument("ScalarBch: t must be >= 1");
+
+  std::set<std::uint64_t> distinct;
+  gen_ = Gf2Poly::from_mask(1);
+  for (std::uint32_t i = 1; i <= 2 * t; ++i) {
+    const std::uint64_t mp = gf_.minimal_poly(i);
+    if (distinct.insert(mp).second) {
+      gen_ = gen_ * Gf2Poly::from_mask(mp);
+    }
+  }
+  p_ = static_cast<std::size_t>(gen_.degree());
+  if (k_ + p_ > gf_.order()) {
+    throw std::invalid_argument("ScalarBch: data does not fit in 2^m - 1 bits");
+  }
+}
+
+BitVec ScalarBch::to_poly_coeffs(const BitVec& codeword) const {
+  BitVec poly(p_ + k_);
+  for (std::size_t i = 0; i < k_; ++i) poly.set(p_ + i, codeword.get(i));
+  for (std::size_t j = 0; j < p_; ++j) poly.set(j, codeword.get(k_ + j));
+  return poly;
+}
+
+BitVec ScalarBch::encode(const BitVec& data) const {
+  assert(data.size() == k_);
+  BitVec shifted(p_ + k_);
+  shifted.splice(p_, data);
+  const Gf2Poly rem = Gf2Poly::from_bits(shifted).mod(gen_);
+
+  BitVec cw(k_ + p_);
+  cw.splice(0, data);
+  for (std::size_t j = 0; j < p_; ++j) {
+    cw.set(k_ + j, rem.coeff(j));
+  }
+  return cw;
+}
+
+DecodeResult ScalarBch::decode(const BitVec& codeword) const {
+  assert(codeword.size() == codeword_bits());
+  DecodeResult res;
+  const BitVec poly = to_poly_coeffs(codeword);
+  const std::size_t n = poly.size();
+
+  const auto error_positions_hint = poly.set_positions();
+  std::vector<Elem> syn(2 * t_ + 1, 0);
+  bool any_syndrome = false;
+  for (std::size_t j = 1; j <= 2 * t_; ++j) {
+    Elem s = 0;
+    for (auto pos : error_positions_hint) {
+      s = galois::GaloisField::add(
+          s, gf_.alpha_pow(static_cast<std::uint32_t>((pos * j) % gf_.order())));
+    }
+    syn[j] = s;
+    any_syndrome |= (s != 0);
+  }
+
+  if (!any_syndrome) {
+    res.status = DecodeStatus::kClean;
+    res.data = codeword.slice(0, k_);
+    return res;
+  }
+
+  GfmPoly lambda(std::vector<Elem>{1});
+  GfmPoly prev(std::vector<Elem>{1});
+  std::size_t L = 0;
+  std::size_t shift = 1;
+  Elem prev_disc = 1;
+  for (std::size_t it = 0; it < 2 * t_; ++it) {
+    Elem d = syn[it + 1];
+    for (std::size_t i = 1; i <= L; ++i) {
+      d = galois::GaloisField::add(
+          d, gf_.mul(lambda.coeff(i), syn[it + 1 - i]));
+    }
+    if (d == 0) {
+      ++shift;
+    } else if (2 * L <= it) {
+      const GfmPoly tmp = lambda;
+      lambda = lambda.add(prev.scale(gf_, gf_.div(d, prev_disc)).shift(shift));
+      L = it + 1 - L;
+      prev = tmp;
+      prev_disc = d;
+      shift = 1;
+    } else {
+      lambda = lambda.add(prev.scale(gf_, gf_.div(d, prev_disc)).shift(shift));
+      ++shift;
+    }
+  }
+
+  if (L > t_ || static_cast<std::size_t>(lambda.degree()) != L) {
+    res.status = DecodeStatus::kUncorrectable;
+    return res;
+  }
+
+  std::vector<std::size_t> error_positions;
+  std::size_t roots_found = 0;
+  for (std::uint32_t i = 0; i < gf_.order(); ++i) {
+    const Elem x = gf_.alpha_pow((gf_.order() - i) % gf_.order());
+    if (lambda.eval(gf_, x) == 0) {
+      ++roots_found;
+      if (i < n) error_positions.push_back(i);
+    }
+  }
+  if (roots_found != L || error_positions.size() != L) {
+    res.status = DecodeStatus::kUncorrectable;
+    return res;
+  }
+
+  BitVec fixed = poly;
+  for (auto pos : error_positions) fixed.flip(pos);
+
+  res.status = DecodeStatus::kCorrected;
+  res.corrected_bits = error_positions.size();
+  res.data = BitVec(k_);
+  for (std::size_t i = 0; i < k_; ++i) res.data.set(i, fixed.get(p_ + i));
+  return res;
+}
+
+std::string ScalarBch::name() const {
+  return "ScalarBCH(t=" + std::to_string(t_) + ",k=" + std::to_string(k_) +
+         ",p=" + std::to_string(p_) + ")";
+}
+
+}  // namespace mecc::ecc::reference

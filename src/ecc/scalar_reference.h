@@ -1,0 +1,71 @@
+// Retained scalar (bit-at-a-time) reference codecs.
+//
+// These are the pre-vectorization SECDED and BCH implementations, kept
+// verbatim as the behavioral oracle: the word-parallel codecs in
+// secded.cpp / bch.cpp must reproduce their DecodeResult bit for bit.
+// The randomized differential suite (tests/ecc/codec_equivalence_test.cpp)
+// cross-checks them on every status / corrected_bits / data field, and
+// the bench_ecc_codec --throughput mode measures the vectorized speedup
+// against them (the "pre-PR scalar baseline" in BENCH_perf.json).
+//
+// Deliberately unoptimized — do not touch these when tuning the hot
+// paths; their only job is to stay what the codecs used to be.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ecc/code.h"
+#include "galois/gf.h"
+#include "galois/gf2_poly.h"
+
+namespace mecc::ecc::reference {
+
+/// Bit-at-a-time extended Hamming SEC-DED (the pre-vectorization Secded).
+class ScalarSecded final : public Code {
+ public:
+  explicit ScalarSecded(std::size_t data_bits);
+
+  [[nodiscard]] std::size_t data_bits() const override { return k_; }
+  [[nodiscard]] std::size_t parity_bits() const override { return r_ + 1; }
+  [[nodiscard]] std::size_t correct_capability() const override { return 1; }
+
+  [[nodiscard]] BitVec encode(const BitVec& data) const override;
+  [[nodiscard]] DecodeResult decode(const BitVec& codeword) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  [[nodiscard]] std::uint32_t syndrome_of(const BitVec& codeword) const;
+
+  std::size_t k_;
+  std::size_t r_;
+  std::vector<std::uint32_t> tags_;
+  std::vector<std::size_t> tag_to_pos_;
+};
+
+/// Bit-at-a-time binary BCH (the pre-vectorization Bch).
+class ScalarBch final : public Code {
+ public:
+  ScalarBch(unsigned m, std::size_t t, std::size_t data_bits);
+
+  [[nodiscard]] std::size_t data_bits() const override { return k_; }
+  [[nodiscard]] std::size_t parity_bits() const override { return p_; }
+  [[nodiscard]] std::size_t correct_capability() const override { return t_; }
+
+  [[nodiscard]] BitVec encode(const BitVec& data) const override;
+  [[nodiscard]] DecodeResult decode(const BitVec& codeword) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  [[nodiscard]] BitVec to_poly_coeffs(const BitVec& codeword) const;
+
+  galois::GaloisField gf_;
+  std::size_t t_;
+  std::size_t k_;
+  std::size_t p_;
+  galois::Gf2Poly gen_;
+};
+
+}  // namespace mecc::ecc::reference

@@ -1,7 +1,7 @@
 #include "ecc/secded.h"
 
-#include <bit>
 #include <cassert>
+#include <span>
 #include <stdexcept>
 
 namespace mecc::ecc {
@@ -18,15 +18,25 @@ Secded::Secded(std::size_t data_bits) : k_(data_bits) {
   if (data_bits < 4) {
     throw std::invalid_argument("Secded: data_bits must be >= 4");
   }
-  // Smallest r with 2^r >= k + r + 1 (classic Hamming bound).
+  // Smallest r with 2^r >= k + r + 1 (classic Hamming bound). The loop
+  // is capped at 32: beyond that the constructor throws anyway, and an
+  // uncapped loop would shift past 63 bits for astronomically large k.
   r_ = 1;
-  while ((1ull << r_) < k_ + r_ + 1) ++r_;
+  while (r_ < 32 && (1ull << r_) < k_ + r_ + 1) ++r_;
+  // Tags are 32-bit and tag_to_pos_ has 2^r entries, so r must stay
+  // below 32 — reject before any allocation rather than overflow the
+  // tag space on a large-codeword instantiation.
+  if (r_ >= 32) {
+    throw std::invalid_argument(
+        "Secded: data_bits too large (needs >= 32 Hamming bits; the "
+        "32-bit tag space supports at most 31)");
+  }
 
   // Tags: data bits get the non-power-of-two non-zero values in ascending
   // order; Hamming check bit i gets tag 2^i. The syndrome of a clean word
   // is zero, and a single flipped bit yields exactly its tag.
   tags_.resize(k_ + r_);
-  tag_to_pos_.assign(1ull << r_, static_cast<std::size_t>(-1));
+  tag_to_pos_.assign(std::size_t{1} << r_, static_cast<std::size_t>(-1));
   std::uint32_t next_tag = 3;
   for (std::size_t i = 0; i < k_; ++i) {
     while (is_power_of_two(next_tag)) ++next_tag;
@@ -35,8 +45,23 @@ Secded::Secded(std::size_t data_bits) : k_(data_bits) {
     ++next_tag;
   }
   for (std::size_t i = 0; i < r_; ++i) {
-    tags_[k_ + i] = 1u << i;
-    tag_to_pos_[1u << i] = k_ + i;
+    tags_[k_ + i] = std::uint32_t{1} << i;
+    tag_to_pos_[std::uint32_t{1} << i] = k_ + i;
+  }
+
+  // H-matrix as per-word column masks (one row per tag bit).
+  data_words_ = (k_ + 63) / 64;
+  cw_words_ = (k_ + r_ + 1 + 63) / 64;
+  data_masks_.assign(r_ * data_words_, 0);
+  col_masks_.assign(r_ * cw_words_, 0);
+  for (std::size_t pos = 0; pos < k_ + r_; ++pos) {
+    const std::uint64_t bit = 1ull << (pos & 63);
+    for (std::size_t i = 0; i < r_; ++i) {
+      if ((tags_[pos] >> i) & 1u) {
+        col_masks_[i * cw_words_ + (pos >> 6)] |= bit;
+        if (pos < k_) data_masks_[i * data_words_ + (pos >> 6)] |= bit;
+      }
+    }
   }
 }
 
@@ -44,25 +69,25 @@ BitVec Secded::encode(const BitVec& data) const {
   assert(data.size() == k_);
   BitVec cw(k_ + r_ + 1);
   cw.splice(0, data);
-  // Hamming check bit i = XOR of data bits whose tag has bit i set.
+  // Hamming check bit i = parity of the data bits selected by mask row i.
   for (std::size_t i = 0; i < r_; ++i) {
-    bool p = false;
-    for (std::size_t d = 0; d < k_; ++d) {
-      if ((tags_[d] >> i) & 1u) p ^= data.get(d);
-    }
-    cw.set(k_ + i, p);
+    cw.set(k_ + i, data.masked_parity(std::span(
+                       data_masks_.data() + i * data_words_, data_words_)));
   }
-  // Overall parity: make the whole codeword even-weight.
-  bool overall = false;
-  for (std::size_t i = 0; i < k_ + r_; ++i) overall ^= cw.get(i);
-  cw.set(k_ + r_, overall);
+  // Overall parity: make the whole codeword even-weight. The overall bit
+  // itself is still zero here, so cw.parity() covers exactly bits
+  // [0, k+r).
+  cw.set(k_ + r_, cw.parity());
   return cw;
 }
 
 std::uint32_t Secded::syndrome_of(const BitVec& codeword) const {
   std::uint32_t s = 0;
-  for (std::size_t i = 0; i < k_ + r_; ++i) {
-    if (codeword.get(i)) s ^= tags_[i];
+  for (std::size_t i = 0; i < r_; ++i) {
+    if (codeword.masked_parity(
+            std::span(col_masks_.data() + i * cw_words_, cw_words_))) {
+      s |= std::uint32_t{1} << i;
+    }
   }
   return s;
 }
@@ -71,8 +96,7 @@ DecodeResult Secded::decode(const BitVec& codeword) const {
   assert(codeword.size() == codeword_bits());
   DecodeResult res;
   const std::uint32_t s = syndrome_of(codeword);
-  bool parity = false;
-  for (std::size_t i = 0; i < codeword.size(); ++i) parity ^= codeword.get(i);
+  const bool parity = codeword.parity();
 
   if (s == 0 && !parity) {
     res.status = DecodeStatus::kClean;
@@ -95,11 +119,10 @@ DecodeResult Secded::decode(const BitVec& codeword) const {
       res.status = DecodeStatus::kUncorrectable;  // >= 3 errors aliasing
       return res;
     }
-    BitVec fixed = codeword;
-    fixed.flip(pos);
     res.status = DecodeStatus::kCorrected;
     res.corrected_bits = 1;
-    res.data = fixed.slice(0, k_);
+    res.data = codeword.slice(0, k_);
+    if (pos < k_) res.data.flip(pos);  // check-bit errors leave data intact
     return res;
   }
   // Non-zero syndrome, even parity: double-bit error detected.

@@ -5,6 +5,13 @@
 //     parity = 8 check bits per 64 data bits (S III-C).
 //   * Secded(512) -> SECDED at cache-line granularity: 10 Hamming bits +
 //     1 overall parity = 11 check bits per 64 B line (S III-D).
+//
+// The hot paths are word-parallel: the H-matrix is precomputed as 64-bit
+// column masks, so each parity/syndrome bit is an AND + XOR-fold +
+// popcount-parity over BitVec::words() instead of a bit-at-a-time walk
+// (docs/PERFORMANCE.md "Word-parallel codec hot paths"). The retained
+// bit-at-a-time oracle lives in ecc/scalar_reference.h; the differential
+// suite keeps the two bit-identical.
 #pragma once
 
 #include <cstddef>
@@ -16,7 +23,9 @@ namespace mecc::ecc {
 
 class Secded final : public Code {
  public:
-  /// Builds a SEC-DED code protecting `data_bits` bits (data_bits >= 4).
+  /// Builds a SEC-DED code protecting `data_bits` bits. Throws
+  /// std::invalid_argument outside [4, ~2^31): the 32-bit tag space
+  /// supports at most 31 Hamming bits (see the constructor's bound).
   explicit Secded(std::size_t data_bits);
 
   [[nodiscard]] std::size_t data_bits() const override { return k_; }
@@ -38,6 +47,17 @@ class Secded final : public Code {
   std::size_t r_;                     // hamming check bits
   std::vector<std::uint32_t> tags_;   // tag per codeword bit (ex. parity bit)
   std::vector<std::size_t> tag_to_pos_;  // inverse map: tag -> bit position
+
+  // Word-parallel H-matrix. Row i of data_masks_ (data_words_ words) has
+  // bit b of word w set iff tag bit i of data bit 64w+b is set; encode's
+  // check bit i is then masked_parity over the data words. col_masks_
+  // (cw_words_ words per row) is the same over the first k+r codeword
+  // bits for decode's syndrome. The overall-parity bit has no tag and
+  // stays zero in every mask.
+  std::size_t data_words_;
+  std::size_t cw_words_;
+  std::vector<std::uint64_t> data_masks_;  // r_ rows * data_words_
+  std::vector<std::uint64_t> col_masks_;   // r_ rows * cw_words_
 };
 
 }  // namespace mecc::ecc

@@ -46,9 +46,7 @@ LineDecodeResult LineCodec::try_mode(const BitVec& stored,
                               : static_cast<const ecc::Code&>(secded_);
   BitVec cw(code.codeword_bits());
   cw.splice(0, stored.slice(0, kDataBits));
-  for (std::size_t j = 0; j < code.parity_bits(); ++j) {
-    cw.set(kDataBits + j, stored.get(kCodeOffset + j));
-  }
+  cw.splice(kDataBits, stored.slice(kCodeOffset, code.parity_bits()));
   const ecc::DecodeResult d = code.decode(cw);
   if (d.status == ecc::DecodeStatus::kUncorrectable) return res;
   res.ok = true;
@@ -80,6 +78,14 @@ LineDecodeResult LineCodec::load(const BitVec& stored) const {
   LineDecodeResult weak = try_mode(stored, LineMode::kWeak);
   weak.mode_bits_disagreed = true;
   return weak;
+}
+
+std::vector<LineDecodeResult> LineCodec::load_batch(
+    std::span<const BitVec> stored) const {
+  std::vector<LineDecodeResult> out;
+  out.reserve(stored.size());
+  for (const BitVec& line : stored) out.push_back(load(line));
+  return out;
 }
 
 }  // namespace mecc::morph

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/bitvec.h"
 #include "ecc/bch.h"
@@ -46,6 +48,13 @@ class LineCodec {
 
   /// Decodes a (possibly corrupted) 576-bit stored word.
   [[nodiscard]] LineDecodeResult load(const BitVec& stored) const;
+
+  /// Batch decode for whole-region walks (shadow-memory scrub passes and
+  /// ECC-Upgrade sweeps): decodes every stored word in order. One entry
+  /// point lets the walks amortize codec scratch reuse and gives future
+  /// cross-line SIMD a single seam; results match per-line load exactly.
+  [[nodiscard]] std::vector<LineDecodeResult> load_batch(
+      std::span<const BitVec> stored) const;
 
   [[nodiscard]] const ecc::Secded& weak_code() const { return secded_; }
   [[nodiscard]] const ecc::Bch& strong_code() const { return bch_; }

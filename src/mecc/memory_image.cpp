@@ -39,17 +39,18 @@ std::optional<BitVec> MemoryImage::read_line(std::size_t index,
 }
 
 void MemoryImage::upgrade_all() {
-  for (auto& line : lines_) {
-    const LineDecodeResult r = codec_.load(line);
+  const std::vector<LineDecodeResult> decoded = codec_.load_batch(lines_);
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    const LineDecodeResult& r = decoded[i];
     if (!r.ok) {
       ++stats_.uncorrectable;
       continue;
     }
     if (r.mode == LineMode::kWeak) {
-      line = codec_.store(r.data, LineMode::kStrong);
+      lines_[i] = codec_.store(r.data, LineMode::kStrong);
       ++stats_.upgrades;
     } else if (r.corrected_bits > 0) {
-      line = codec_.store(r.data, LineMode::kStrong);  // scrub
+      lines_[i] = codec_.store(r.data, LineMode::kStrong);  // scrub
     }
     stats_.corrected_bits += r.corrected_bits;
   }
@@ -57,9 +58,10 @@ void MemoryImage::upgrade_all() {
 
 ScrubReport MemoryImage::scrub_all() {
   ScrubReport rep;
-  for (auto& line : lines_) {
+  const std::vector<LineDecodeResult> decoded = codec_.load_batch(lines_);
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    const LineDecodeResult& r = decoded[i];
     ++rep.lines;
-    const LineDecodeResult r = codec_.load(line);
     if (!r.ok) {
       ++rep.uncorrectable;
       ++stats_.uncorrectable;
@@ -69,7 +71,7 @@ ScrubReport MemoryImage::scrub_all() {
     stats_.corrected_bits += r.corrected_bits;
     if (r.mode_bits_disagreed) ++stats_.mode_bit_repairs;
     if (r.corrected_bits > 0 || r.mode_bits_disagreed) {
-      line = codec_.store(r.data, r.mode);
+      lines_[i] = codec_.store(r.data, r.mode);
       ++rep.repaired_lines;
     }
   }

@@ -257,10 +257,12 @@ void print_registered_stats() {
 
 std::optional<SimOptions> parse_options_checked(int argc, char** argv,
                                                 InstCount default_instructions,
-                                                std::string* error) {
+                                                std::string* error,
+                                                std::vector<bool>* consumed) {
   SimOptions opts;
   opts.instructions = default_instructions;
   opts.jobs = ThreadPool::default_thread_count();
+  if (consumed) consumed->assign(static_cast<std::size_t>(argc), false);
 
   const struct {
     const char* env;
@@ -291,11 +293,15 @@ std::optional<SimOptions> parse_options_checked(int argc, char** argv,
     const std::string arg = argv[i];
     if (arg == "--list-stats") {
       opts.list_stats = true;
+      if (consumed) (*consumed)[static_cast<std::size_t>(i)] = true;
       continue;
     }
     for (const auto& knob : knobs) {
       const std::string prefix = knob.flag;
       if (arg.rfind(prefix, 0) != 0) continue;
+      // Mark before validating: a recognized-but-malformed value is
+      // still ours (the caller fails anyway), never a leftover flag.
+      if (consumed) (*consumed)[static_cast<std::size_t>(i)] = true;
       if (!apply_or_error(knob.setter, arg.substr(prefix.size()), opts,
                           error)) {
         return std::nullopt;
@@ -308,10 +314,12 @@ std::optional<SimOptions> parse_options_checked(int argc, char** argv,
 }
 
 SimOptions parse_options(int argc, char** argv,
-                         InstCount default_instructions) {
+                         InstCount default_instructions,
+                         std::vector<bool>* consumed) {
   std::string error;
   const std::optional<SimOptions> opts =
-      parse_options_checked(argc, argv, default_instructions, &error);
+      parse_options_checked(argc, argv, default_instructions, &error,
+                            consumed);
   if (!opts.has_value()) {
     std::fprintf(stderr, "%s: error: %s\n", argc > 0 ? argv[0] : "mecc",
                  error.c_str());

@@ -55,6 +55,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/trace.h"
 #include "common/types.h"
@@ -100,13 +101,22 @@ void print_registered_stats();
 
 /// Parses argv/env without exiting: returns the options, or nullopt
 /// with `*error` describing the first malformed recognized value.
+///
+/// When `consumed` is non-null it is resized to argc and consumed[i] is
+/// set iff argv[i] was a recognized SimOptions flag. Binaries that pass
+/// leftover argv to another parser (bench_ecc_codec hands it to
+/// google-benchmark) must derive their strip set from this instead of
+/// hard-coding a flag list — a hard-coded list silently desynchronizes
+/// the next time a shared flag is added, and the downstream parser then
+/// rejects the leaked flag and exits non-zero.
 [[nodiscard]] std::optional<SimOptions> parse_options_checked(
     int argc, char** argv, InstCount default_instructions,
-    std::string* error);
+    std::string* error, std::vector<bool>* consumed = nullptr);
 
 /// parse_options_checked, with the standard bench-binary error policy:
 /// on a malformed value, print the diagnostic to stderr and exit(2).
 [[nodiscard]] SimOptions parse_options(int argc, char** argv,
-                                       InstCount default_instructions);
+                                       InstCount default_instructions,
+                                       std::vector<bool>* consumed = nullptr);
 
 }  // namespace mecc::sim

@@ -130,5 +130,103 @@ TEST(BitVec, ToStringLsbFirst) {
   EXPECT_EQ(v.to_string(), "1001");
 }
 
+// --- word-level fast paths, cross-checked against per-bit loops -------
+
+BitVec random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.chance(0.5));
+  return v;
+}
+
+TEST(BitVec, SliceMatchesBitLoopAtEveryOffset) {
+  const BitVec v = random_vec(260, 21);
+  for (std::size_t pos = 0; pos < 140; ++pos) {
+    for (std::size_t len : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                            std::size_t{65}, std::size_t{120}}) {
+      const BitVec s = v.slice(pos, len);
+      ASSERT_EQ(s.size(), len);
+      for (std::size_t i = 0; i < len; ++i) {
+        ASSERT_EQ(s.get(i), v.get(pos + i)) << "pos=" << pos << " len=" << len
+                                            << " i=" << i;
+      }
+      // Pad bits must be zero or operator== / word scans break.
+      BitVec copy = s;
+      copy.clear();
+      for (std::size_t i = 0; i < len; ++i) copy.set(i, s.get(i));
+      ASSERT_EQ(copy, s);
+    }
+  }
+}
+
+TEST(BitVec, SpliceMatchesBitLoopAtEveryOffset) {
+  const BitVec src = random_vec(130, 22);
+  for (std::size_t pos = 0; pos < 120; ++pos) {
+    BitVec a = random_vec(260, 23);
+    BitVec b = a;
+    a.splice(pos, src);
+    for (std::size_t i = 0; i < src.size(); ++i) b.set(pos + i, src.get(i));
+    ASSERT_EQ(a, b) << "pos=" << pos;
+  }
+}
+
+TEST(BitVec, ParityMatchesPopcount) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const BitVec v = random_vec(127 + seed, 100 + seed);
+    EXPECT_EQ(v.parity(), (v.popcount() & 1u) != 0);
+  }
+}
+
+TEST(BitVec, MaskedParityMatchesBitLoop) {
+  Rng rng(31);
+  const BitVec v = random_vec(200, 32);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> mask(4);
+    for (auto& w : mask) {
+      w = rng.engine()();
+    }
+    bool expect = false;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const bool mbit = (mask[i >> 6] >> (i & 63)) & 1u;
+      expect ^= mbit && v.get(i);
+    }
+    EXPECT_EQ(v.masked_parity(mask), expect);
+  }
+}
+
+TEST(BitVec, MaskedParityIgnoresMaskBeyondSize) {
+  BitVec v(65);
+  v.set(64, true);
+  // Mask longer than the vector: the tail words contribute nothing.
+  std::vector<std::uint64_t> mask = {0, ~0ull, ~0ull, ~0ull};
+  EXPECT_TRUE(v.masked_parity(mask));
+  std::vector<std::uint64_t> shorter = {~0ull};  // shorter than the vector
+  EXPECT_FALSE(v.masked_parity(shorter));
+}
+
+TEST(BitVec, FromU64KeepsLowBits) {
+  const BitVec v = BitVec::from_u64(0xdeadbeefcafe1234ull, 48);
+  EXPECT_EQ(v.size(), 48u);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_EQ(v.get(i), ((0xdeadbeefcafe1234ull >> i) & 1u) != 0);
+  }
+  // Bits at and above nbits are dropped, keeping the pad invariant.
+  BitVec copy(48);
+  for (std::size_t i = 0; i < 48; ++i) copy.set(i, v.get(i));
+  EXPECT_EQ(copy, v);
+}
+
+TEST(BitVec, BytesRoundTripWide) {
+  Rng rng(44);
+  std::vector<std::uint8_t> bytes(72);  // 576 bits, the MECC line size
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const BitVec v = BitVec::from_bytes(bytes);
+  EXPECT_EQ(v.size(), 576u);
+  for (std::size_t i = 0; i < 576; ++i) {
+    EXPECT_EQ(v.get(i), ((bytes[i / 8] >> (i % 8)) & 1u) != 0);
+  }
+  EXPECT_EQ(v.to_bytes(), bytes);
+}
+
 }  // namespace
 }  // namespace mecc

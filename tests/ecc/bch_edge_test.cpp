@@ -1,0 +1,153 @@
+// Edge-of-capability behavior locks for Bch::decode at t = 1..6.
+//
+// Past t errors a bounded-distance BCH decoder has exactly three legal
+// outcomes, and these tests pin which one the implementation picks:
+//   1. kUncorrectable via the Berlekamp-Massey guard (L > t or
+//      deg(lambda) != L) or a Chien root-count mismatch — the common
+//      case for t+1 random errors;
+//   2. kCorrected with wrong data (aliasing onto another codeword within
+//      distance t) — rare but valid, never silently kClean;
+//   3. kClean ONLY when the error pattern is itself a codeword (zero
+//      syndrome), in which case the decoder cannot know anything
+//      happened and returns the wrong data as "clean".
+// The vectorized decode must classify exactly like the scalar reference
+// (codec_equivalence_test.cpp); here the classifications themselves are
+// locked so a future decoder change cannot quietly weaken DUE detection
+// (the fault-campaign DUE accounting depends on outcome 1/2 vs 3).
+#include "ecc/bch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ecc/scalar_reference.h"
+
+namespace mecc::ecc {
+namespace {
+
+BitVec random_data(std::size_t n, Rng& rng) {
+  BitVec d(n);
+  for (std::size_t i = 0; i < n; ++i) d.set(i, rng.chance(0.5));
+  return d;
+}
+
+void inject_distinct(BitVec& cw, std::size_t weight, Rng& rng) {
+  std::vector<std::size_t> touched;
+  while (touched.size() < weight) {
+    const std::size_t pos = rng.next_below(cw.size());
+    bool fresh = true;
+    for (const std::size_t p : touched) fresh &= (p != pos);
+    if (!fresh) continue;
+    touched.push_back(pos);
+    cw.flip(pos);
+  }
+}
+
+class BchEdge : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BchEdge, TPlusOneErrorsNeverReportClean) {
+  // t+1 random errors always produce a non-zero syndrome unless the
+  // error pattern is a codeword — impossible here because the designed
+  // minimum distance 2t+1 exceeds t+1 for every t >= 1. So kClean is
+  // forbidden; the decoder must answer kUncorrectable or (aliasing)
+  // kCorrected.
+  const std::size_t t = GetParam();
+  const Bch code(10, t, 512);
+  Rng rng(0xED6E + t);
+  std::size_t uncorrectable = 0;
+  std::size_t aliased = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const BitVec d = random_data(512, rng);
+    BitVec bad = code.encode(d);
+    inject_distinct(bad, t + 1, rng);
+    const DecodeResult r = code.decode(bad);
+    ASSERT_NE(r.status, DecodeStatus::kClean)
+        << "t=" << t << " trial " << trial;
+    if (r.status == DecodeStatus::kUncorrectable) {
+      ++uncorrectable;
+    } else {
+      // Aliasing: decoded onto a different nearby codeword. The result
+      // must self-describe as a correction of <= t bits and must NOT
+      // have recovered the original data (that would mean t+1 errors
+      // were corrected, beyond bounded-distance capability).
+      ++aliased;
+      EXPECT_LE(r.corrected_bits, t);
+      EXPECT_NE(r.data, d);
+    }
+  }
+  // The BM/Chien guards must be doing real work: miscorrection is the
+  // rare outcome, detection the common one.
+  EXPECT_GT(uncorrectable, aliased) << "t=" << t;
+}
+
+TEST_P(BchEdge, ErrorPatternEqualToCodewordDecodesCleanWithWrongData) {
+  // If the injected error pattern is itself a codeword, the syndrome is
+  // zero and the decoder sees a perfectly valid (different) codeword.
+  // This is information-theoretically undetectable; lock the current
+  // behavior: kClean, zero corrected_bits, and data = original XOR the
+  // error pattern's data half.
+  const std::size_t t = GetParam();
+  const Bch code(10, t, 512);
+  Rng rng(0xC0DE + t);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVec d = random_data(512, rng);
+    // Any nonzero codeword works as the undetectable pattern; encode a
+    // random nonzero data word.
+    BitVec pattern_data = random_data(512, rng);
+    if (!pattern_data.any()) pattern_data.set(0, true);
+    const BitVec pattern = code.encode(pattern_data);
+    const BitVec bad = code.encode(d) ^ pattern;
+    const DecodeResult r = code.decode(bad);
+    EXPECT_EQ(r.status, DecodeStatus::kClean) << "t=" << t;
+    EXPECT_EQ(r.corrected_bits, 0u);
+    EXPECT_EQ(r.data, d ^ pattern_data) << "t=" << t;
+    EXPECT_NE(r.data, d) << "t=" << t;
+  }
+}
+
+TEST_P(BchEdge, ExactlyTErrorsAlwaysCorrected) {
+  // The boundary from the other side: weight exactly t must always come
+  // back kCorrected with the original data.
+  const std::size_t t = GetParam();
+  const Bch code(10, t, 512);
+  Rng rng(0xACED + t);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BitVec d = random_data(512, rng);
+    BitVec bad = code.encode(d);
+    inject_distinct(bad, t, rng);
+    const DecodeResult r = code.decode(bad);
+    ASSERT_EQ(r.status, DecodeStatus::kCorrected)
+        << "t=" << t << " trial " << trial;
+    EXPECT_EQ(r.corrected_bits, t);
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllT, BchEdge,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 6));
+
+TEST(BchEdge, ClassificationMatchesScalarReferenceAtBoundary) {
+  // Belt and suspenders on top of the differential suite: the exact
+  // boundary weights t and t+1 are where a vectorized-decoder bug would
+  // change DUE accounting, so compare classifications here directly.
+  for (const std::size_t t : {std::size_t{1}, std::size_t{3}, std::size_t{6}}) {
+    const Bch vec(10, t, 512);
+    const reference::ScalarBch ref(10, t, 512);
+    Rng rng(0xB0B0 + t);
+    for (int trial = 0; trial < 150; ++trial) {
+      const BitVec d = random_data(512, rng);
+      BitVec bad = vec.encode(d);
+      inject_distinct(bad, t + (trial % 2), rng);
+      const DecodeResult got = vec.decode(bad);
+      const DecodeResult want = ref.decode(bad);
+      ASSERT_EQ(got.status, want.status) << "t=" << t << " trial " << trial;
+      ASSERT_EQ(got.corrected_bits, want.corrected_bits)
+          << "t=" << t << " trial " << trial;
+      ASSERT_EQ(got.data, want.data) << "t=" << t << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mecc::ecc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 
 namespace mecc::ecc {
@@ -120,6 +122,36 @@ TEST(Secded, AllZeroAndAllOneWords) {
 
 TEST(Secded, RejectsTooSmallData) {
   EXPECT_THROW(Secded(3), std::invalid_argument);
+}
+
+TEST(Secded, RejectsDataNeedingThirtyTwoOrMoreCheckBits) {
+  // k = 2^31 would need r = 32 Hamming check bits; the tag arithmetic is
+  // 32-bit (1u << i), so the constructor must refuse *before* trying to
+  // allocate the 2^32-entry tag table. This must throw fast, not OOM.
+  EXPECT_THROW(Secded(std::size_t{1} << 31), std::invalid_argument);
+  EXPECT_THROW(Secded(std::numeric_limits<std::size_t>::max() / 2),
+               std::invalid_argument);
+}
+
+TEST(Secded, LargestPracticalCodeRoundTrips) {
+  // A comfortably-large k (r = 16) exercising the upper range that the
+  // r < 32 bound is meant to keep sound: encode/decode round trip plus
+  // single-error correction at both ends of the codeword.
+  const std::size_t k = 1 << 15;  // 32768 data bits -> r = 16
+  const Secded code(k);
+  EXPECT_EQ(code.parity_bits(), 17u);  // 16 Hamming + overall parity
+  Rng rng(7);
+  const BitVec d = random_data(k, rng);
+  const BitVec cw = code.encode(d);
+  EXPECT_EQ(code.decode(cw).status, DecodeStatus::kClean);
+  for (const std::size_t flip :
+       {std::size_t{0}, k - 1, k, code.codeword_bits() - 1}) {
+    BitVec bad = cw;
+    bad.flip(flip);
+    const DecodeResult r = code.decode(bad);
+    EXPECT_EQ(r.status, DecodeStatus::kCorrected) << "flip at " << flip;
+    EXPECT_EQ(r.data, d) << "flip at " << flip;
+  }
 }
 
 TEST(Secded, DistinctDataEncodesToDistinctCodewords) {

@@ -12,10 +12,12 @@ namespace {
 
 std::optional<SimOptions> parse_checked(std::vector<const char*> args,
                                         std::string* error = nullptr,
-                                        InstCount def = 1000) {
+                                        InstCount def = 1000,
+                                        std::vector<bool>* consumed = nullptr) {
   args.insert(args.begin(), "prog");
   return parse_options_checked(static_cast<int>(args.size()),
-                               const_cast<char**>(args.data()), def, error);
+                               const_cast<char**>(args.data()), def, error,
+                               consumed);
 }
 
 SimOptions parse(std::vector<const char*> args, InstCount def = 1000) {
@@ -145,6 +147,70 @@ TEST_F(OptionsTest, OutParsedAndEmptyRejected) {
   std::string error;
   EXPECT_FALSE(parse_checked({"--out="}, &error).has_value());
   EXPECT_NE(error.find("--out"), std::string::npos);
+}
+
+// --- consumed-argv reporting (the bench shared-flag strip contract) ---
+
+TEST_F(OptionsTest, EveryRecognizedFlagIsReportedConsumed) {
+  // The complete shared-flag surface. A flag missing from `consumed`
+  // here is exactly the bug that leaked --fast-forward= etc. into
+  // benchmark::Initialize in bench_ecc_codec.
+  const std::vector<const char*> shared = {
+      "--instructions=10",  "--seed=2",
+      "--jobs=1",           "--ber=0.001",
+      "--out=-",            "--perf-out=p.json",
+      "--fast-forward=off", "--trace=-",
+      "--trace-categories=dram", "--trace-limit=4",
+      "--metrics-out=-",    "--metrics-interval=100",
+      "--metrics-keys=power", "--list-stats",
+  };
+  std::vector<bool> consumed;
+  const auto o = parse_checked(shared, nullptr, 1000, &consumed);
+  ASSERT_TRUE(o.has_value());
+  ASSERT_EQ(consumed.size(), shared.size() + 1);  // + argv[0]
+  EXPECT_FALSE(consumed[0]);  // the program name is never consumed
+  for (std::size_t i = 1; i < consumed.size(); ++i) {
+    EXPECT_TRUE(consumed[i]) << "flag not reported consumed: "
+                             << shared[i - 1];
+  }
+}
+
+TEST_F(OptionsTest, ForeignFlagsAreReportedUnconsumed) {
+  std::vector<bool> consumed;
+  const auto o = parse_checked({"--benchmark_filter=BM_Bch", "--seed=4",
+                                "--benchmark_out=x.json", "-v", "positional"},
+                               nullptr, 1000, &consumed);
+  ASSERT_TRUE(o.has_value());
+  ASSERT_EQ(consumed.size(), 6u);
+  EXPECT_FALSE(consumed[1]);  // --benchmark_filter=
+  EXPECT_TRUE(consumed[2]);   // --seed=
+  EXPECT_FALSE(consumed[3]);  // --benchmark_out=
+  EXPECT_FALSE(consumed[4]);  // -v
+  EXPECT_FALSE(consumed[5]);  // positional
+}
+
+TEST_F(OptionsTest, PrefixLookalikesAreNotConsumed) {
+  // A flag must match "--name=" as a prefix; bare "--seed" (no '=') and
+  // "--seeds=1" are somebody else's flags.
+  std::vector<bool> consumed;
+  const auto o =
+      parse_checked({"--seed", "--seeds=1"}, nullptr, 1000, &consumed);
+  ASSERT_TRUE(o.has_value());
+  EXPECT_FALSE(consumed[1]);
+  EXPECT_FALSE(consumed[2]);
+  EXPECT_EQ(o->seed, 1u);  // untouched default
+}
+
+TEST_F(OptionsTest, MalformedRecognizedFlagStillConsumedOnFailure) {
+  // Even when the parse fails, the offending argv slot was recognized —
+  // callers exit on the error, but the report must never claim a
+  // recognized flag belongs to a downstream parser.
+  std::vector<bool> consumed;
+  std::string error;
+  EXPECT_FALSE(
+      parse_checked({"--jobs=zero"}, &error, 1000, &consumed).has_value());
+  ASSERT_EQ(consumed.size(), 2u);
+  EXPECT_TRUE(consumed[1]);
 }
 
 }  // namespace
