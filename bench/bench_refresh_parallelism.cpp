@@ -1,0 +1,140 @@
+// Refresh-parallelism sweep (docs/SCHEDULING.md): all-bank REF vs
+// per-bank REFpb vs DARP-style dynamic scheduling vs DARP+SARP subarray
+// overlap, each at the 64 ms base rate and under MECC's SMD divider,
+// plus the 2x-rate stress point where refresh interference is large
+// enough for the scheduling policy to matter.
+//
+// Paper context: Morphable ECC lowers the *refresh rate*; DARP/SARP
+// (Chang et al., HPCA'14) attack the same refresh tax from the
+// *scheduling* side. This bench quantifies how much of the interference
+// the scheduler can hide so the two levers can be compared.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace mecc;
+using namespace mecc::sim;
+
+[[nodiscard]] SystemConfig with_refresh(SystemConfig c,
+                                        memctrl::RefreshGranularity g,
+                                        bool darp, bool sarp) {
+  c.controller.refresh_granularity = g;
+  c.controller.darp = darp;
+  c.controller.sarp = sarp;
+  c.controller.elastic_refresh = false;
+  return c;
+}
+
+struct SuiteSummary {
+  double mean_read_lat = 0.0;  // mem cycles, queueing included
+  double refresh_mj = 0.0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t refreshes_pb = 0;
+  std::uint64_t pull_ins = 0;
+  std::uint64_t postpones = 0;
+  std::uint64_t sarp_overlaps = 0;
+};
+
+[[nodiscard]] SuiteSummary summarize(const bench::SuiteMap& runs) {
+  SuiteSummary s;
+  std::uint64_t lat = 0;
+  std::uint64_t reads = 0;
+  for (const auto& [_, r] : runs) {
+    lat += r.stats.counter("memctrl.read_latency_mem_cycles");
+    reads += r.stats.counter("memctrl.reads_enqueued");
+    s.refreshes += r.stats.counter("memctrl.refreshes");
+    s.refreshes_pb += r.stats.counter("memctrl.refreshes_pb");
+    s.pull_ins += r.stats.counter("memctrl.refresh_pull_ins");
+    s.postpones += r.stats.counter("memctrl.refresh_postpones");
+    s.sarp_overlaps += r.stats.counter("memctrl.sarp_overlap_refreshes");
+    s.refresh_mj += r.energy.refresh_mj;
+  }
+  s.mean_read_lat =
+      reads > 0 ? static_cast<double>(lat) / static_cast<double>(reads) : 0.0;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using memctrl::RefreshGranularity;
+
+  const SimOptions opts = parse_options(argc, argv, 2'000'000);
+  const SystemConfig cfg = bench::scaled_config(opts);
+  bench::BenchOutput out("refresh_parallelism", opts);
+
+  bench::print_banner(
+      "Refresh parallelism: all-bank / per-bank / DARP / DARP+SARP",
+      "refresh scheduling baselines (Chang et al., HPCA'14 shape)");
+  std::printf("slice: %llu instructions, %u jobs\n",
+              static_cast<unsigned long long>(cfg.instructions), opts.jobs);
+
+  // MECC's SMD mode holds the refresh divider at 16 while active; the
+  // 2x point halves tREFI instead (the refresh-tax stress direction
+  // both DARP and SARP were designed for).
+  SystemConfig smd = cfg;
+  smd.mecc_use_smd = true;
+  SystemConfig cfg2x = cfg;
+  cfg2x.timing.tREFI /= 2;
+
+  const auto g_ab = RefreshGranularity::kAllBank;
+  const auto g_pb = RefreshGranularity::kPerBank;
+  auto suites = bench::run_suites_parallel(
+      {{"all_bank", EccPolicy::kNoEcc, with_refresh(cfg, g_ab, false, false)},
+       {"per_bank", EccPolicy::kNoEcc, with_refresh(cfg, g_pb, false, false)},
+       {"darp", EccPolicy::kNoEcc, with_refresh(cfg, g_pb, true, false)},
+       {"darp_sarp", EccPolicy::kNoEcc, with_refresh(cfg, g_pb, true, true)},
+       {"all_bank_smd", EccPolicy::kMecc,
+        with_refresh(smd, g_ab, false, false)},
+       {"per_bank_smd", EccPolicy::kMecc,
+        with_refresh(smd, g_pb, false, false)},
+       {"darp_smd", EccPolicy::kMecc, with_refresh(smd, g_pb, true, false)},
+       {"darp_sarp_smd", EccPolicy::kMecc,
+        with_refresh(smd, g_pb, true, true)},
+       {"all_bank_2x", EccPolicy::kNoEcc,
+        with_refresh(cfg2x, g_ab, false, false)},
+       {"darp_2x", EccPolicy::kNoEcc, with_refresh(cfg2x, g_pb, true, false)}},
+      opts.jobs);
+
+  TextTable t({"suite", "read lat", "REF", "REFpb", "pull-in", "postpone",
+               "SARP ovl", "refresh mJ"});
+  std::map<std::string, SuiteSummary> sums;
+  for (const auto& [tag, runs] : suites) {
+    sums[tag] = summarize(runs);
+  }
+  // Fixed presentation order (the map iterates alphabetically).
+  const char* order[] = {"all_bank",     "per_bank",      "darp",
+                         "darp_sarp",    "all_bank_smd",  "per_bank_smd",
+                         "darp_smd",     "darp_sarp_smd", "all_bank_2x",
+                         "darp_2x"};
+  for (const char* tag : order) {
+    const SuiteSummary& s = sums.at(tag);
+    t.add_row({tag, TextTable::num(s.mean_read_lat),
+               std::to_string(s.refreshes), std::to_string(s.refreshes_pb),
+               std::to_string(s.pull_ins), std::to_string(s.postpones),
+               std::to_string(s.sarp_overlaps),
+               TextTable::num(s.refresh_mj)});
+  }
+  t.print("Suite totals over 28 benchmarks (read lat in mem cycles)");
+
+  const double lat_ab2x = sums.at("all_bank_2x").mean_read_lat;
+  const double lat_darp2x = sums.at("darp_2x").mean_read_lat;
+  const double reduction_2x =
+      lat_ab2x > 0.0 ? 1.0 - lat_darp2x / lat_ab2x : 0.0;
+  std::printf("\nDARP vs all-bank at 2x refresh rate: mean read latency "
+              "%.3f -> %.3f mem cycles (%.2f%% lower)\n",
+              lat_ab2x, lat_darp2x, reduction_2x * 100.0);
+  std::printf("Per-bank vs all-bank refresh energy at 64 ms: %.6f vs "
+              "%.6f mJ (should match closely)\n",
+              sums.at("per_bank").refresh_mj, sums.at("all_bank").refresh_mj);
+
+  for (const char* tag : order) out.add_suite(tag, suites.at(tag));
+  for (const char* tag : order) {
+    out.add_scalar(std::string(tag) + "_mean_read_lat",
+                   sums.at(tag).mean_read_lat);
+  }
+  out.add_scalar("darp_read_latency_reduction_2x", reduction_2x);
+  return out.write();
+}

@@ -55,6 +55,20 @@ else
   codec_json=""
 fi
 
+# Refresh-scheduling leg (docs/SCHEDULING.md): the per-bank / DARP /
+# SARP sweep's latency scalars. Deterministic w.r.t. --jobs, so run
+# parallel; observational like the rest of this report (the correctness
+# gate is the pinned-reference diff in tier1.sh).
+refresh_bench="build/bench/bench_refresh_parallelism"
+refresh_json="$tmpdir/refresh_parallelism.json"
+if [[ -x "$refresh_bench" ]]; then
+  "$refresh_bench" --instructions="$instructions" --seed=1 --jobs=4 \
+    --out="$refresh_json" > /dev/null
+else
+  echo "perf_smoke: $refresh_bench not built; skipping refresh leg" >&2
+  refresh_json=""
+fi
+
 # Correctness side-check while we are here: on/off must agree on every
 # simulated byte (the perf files differ, the --out files must not).
 if ! cmp -s "$tmpdir/out_on_0.json" "$tmpdir/out_off_0.json"; then
@@ -62,11 +76,13 @@ if ! cmp -s "$tmpdir/out_on_0.json" "$tmpdir/out_off_0.json"; then
   exit 1
 fi
 
-python3 - "$out" "$instructions" "$repeats" "$tmpdir" "$codec_json" <<'EOF'
+python3 - "$out" "$instructions" "$repeats" "$tmpdir" "$codec_json" \
+  "$refresh_json" <<'EOF'
 import json
 import sys
 
-out_path, instructions, repeats, tmpdir, codec_json = sys.argv[1:6]
+out_path, instructions, repeats, tmpdir, codec_json, refresh_json = \
+    sys.argv[1:7]
 instructions = int(instructions)
 repeats = int(repeats)
 
@@ -102,6 +118,11 @@ if codec_json:
         "entries": codec["entries"],
     }
 
+if refresh_json:
+    with open(refresh_json) as f:
+        refresh = json.load(f)
+    report["refresh_scheduling"] = refresh.get("scalars", {})
+
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
@@ -113,4 +134,9 @@ for e in report.get("ecc_codec", {}).get("entries", []):
         print(f"perf_smoke: codec {e['name']}: "
               f"{e['lines_per_sec']:.0f} lines/s "
               f"({e['speedup']:.2f}x over scalar)")
+darp_2x = report.get("refresh_scheduling", {}).get(
+    "darp_read_latency_reduction_2x")
+if darp_2x is not None:
+    print(f"perf_smoke: darp read-latency reduction at 2x refresh "
+          f"rate: {100 * darp_2x:.2f}%")
 EOF

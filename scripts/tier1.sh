@@ -48,6 +48,21 @@ build/bench/bench_table3_workloads --instructions=50000 --seed=1 --jobs=4 \
 python3 scripts/compare_stats.py \
   tests/data/table3_workloads_small_ref.json "$ff_json"
 
+# Refresh-scheduling smoke (docs/SCHEDULING.md): the per-bank / DARP /
+# SARP sweep must match its committed reference, and the event-driven
+# core must reproduce the per-cycle schedule byte-for-byte under every
+# refresh policy. The pinned knobs MUST match how the reference in
+# tests/data/ was generated.
+refresh_json="build/tier1_refresh_out.json"
+build/bench/bench_refresh_parallelism --instructions=20000 --seed=1 \
+  --jobs=4 --fast-forward=off --out="$refresh_json" > /dev/null
+python3 scripts/compare_stats.py \
+  tests/data/refresh_parallelism_small_ref.json "$refresh_json"
+refresh_ff_json="build/tier1_refresh_ff_out.json"
+build/bench/bench_refresh_parallelism --instructions=20000 --seed=1 \
+  --jobs=4 --fast-forward=on --out="$refresh_ff_json" > /dev/null
+cmp "$refresh_json" "$refresh_ff_json"
+
 # Observability smoke (docs/OBSERVABILITY.md): a small traced+metered
 # fault-campaign run, then Perfetto-format validation + summary and the
 # metrics JSONL schema check. Per-variant files derive from the base
@@ -100,9 +115,10 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --build build-tsan -j --target test_thread_pool \
     test_parallel_runner test_run_json test_stats \
     test_golden_vectors test_codec_property test_fast_forward \
-    test_trace test_observability test_codec_equivalence
+    test_trace test_observability test_codec_equivalence \
+    test_refresh_policy
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty|FastForward|Tracer|MetricsSampler|Observability|CodecEquivalence'
+    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty|FastForward|Tracer|MetricsSampler|Observability|CodecEquivalence|PerBankRefresh|DarpRefresh|SarpRefresh'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -110,7 +126,8 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j --target test_fault_injection \
     test_memory_image test_shadow_memory test_due_policy \
     test_fault_campaign test_line_codec test_bitvec test_fast_forward \
-    test_json test_trace test_observability test_codec_equivalence
+    test_json test_trace test_observability test_codec_equivalence \
+    test_refresh_policy test_controller_fuzz test_elastic_refresh
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward|JsonEscape|JsonWriter|Tracer|MetricsSampler|Observability|CodecEquivalence'
+    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward|JsonEscape|JsonWriter|Tracer|MetricsSampler|Observability|CodecEquivalence|PerBankRefresh|DarpRefresh|SarpRefresh|ElasticRefresh|ControllerFuzz|ControllerStress'
 fi

@@ -70,12 +70,26 @@ class Bank {
     ready_pre_ = std::max(ready_pre_, until);
   }
 
+  // ---- per-bank refresh window (REFpb, docs/SCHEDULING.md) ----
+  // While now < ref_until() a per-bank refresh occupies `ref_subarray()`.
+  // Without SARP the whole bank is additionally block_until()-ed; with
+  // SARP only activates into the refreshing subarray are held off (the
+  // Device's row-aware can_activate checks this window).
+  void set_refresh_window(MemCycle until, std::uint32_t subarray) {
+    ref_until_ = until;
+    ref_subarray_ = subarray;
+  }
+  [[nodiscard]] MemCycle ref_until() const { return ref_until_; }
+  [[nodiscard]] std::uint32_t ref_subarray() const { return ref_subarray_; }
+
  private:
   const Timing* t_;
   std::int64_t open_row_ = -1;
   MemCycle ready_act_ = 0;
   MemCycle ready_col_ = 0;
   MemCycle ready_pre_ = 0;
+  MemCycle ref_until_ = 0;
+  std::uint32_t ref_subarray_ = 0;
 };
 
 }  // namespace mecc::dram

@@ -28,6 +28,11 @@ void Device::export_stats(StatSet& out) const {
   out.add("reads", counters_.reads);
   out.add("writes", counters_.writes);
   out.add("refreshes", counters_.refreshes);
+  // Emitted only when per-bank refresh ran: all-bank configurations keep
+  // their historical key set (and committed reference JSONs) unchanged.
+  if (counters_.refreshes_pb != 0) {
+    out.add("refreshes_pb", counters_.refreshes_pb);
+  }
   out.add("self_refresh_pulses", counters_.self_refresh_pulses);
   for (std::size_t i = 0; i < kNumPowerStates; ++i) {
     out.add(std::string("state_cycles.") +
@@ -41,6 +46,7 @@ Device::Device(const Geometry& geo, const Timing& timing)
   banks_.reserve(geo_.banks);
   for (std::uint32_t i = 0; i < geo_.banks; ++i) banks_.emplace_back(timing_);
   bank_act_cycle_.assign(geo_.banks, 0);
+  ref_row_.assign(geo_.banks, 0);
 }
 
 namespace {
@@ -67,6 +73,8 @@ const char* trace_cmd_name(CmdType t) {
       return "SRE";
     case CmdType::kSelfRefreshExit:
       return "SRX";
+    case CmdType::kRefreshBank:
+      return "REFB";
   }
   return "?";
 }
@@ -155,8 +163,18 @@ bool Device::can_activate(std::uint32_t bank, MemCycle now) const {
   return now >= oldest + timing_.tFAW;
 }
 
+bool Device::can_activate(std::uint32_t bank, std::uint32_t row,
+                          MemCycle now) const {
+  if (!can_activate(bank, now)) return false;
+  // SARP overlap: the refreshing subarray stays off-limits until the
+  // per-bank refresh window closes. (Without SARP block_until already
+  // blocks the whole bank, so this check never fires.)
+  const Bank& b = banks_[bank];
+  return now >= b.ref_until() || subarray_of_row(row) != b.ref_subarray();
+}
+
 void Device::activate(std::uint32_t bank, std::uint32_t row, MemCycle now) {
-  assert(can_activate(bank, now));
+  assert(can_activate(bank, row, now));
   record(CmdType::kActivate, bank, row, now);
   banks_[bank].activate(now, row);
   open_mask_ |= 1u << bank;
@@ -238,6 +256,7 @@ bool Device::can_refresh(MemCycle now) const {
   if (!all_banks_precharged()) return false;
   for (const auto& b : banks_) {
     if (now < b.ready_act()) return false;
+    if (now < b.ref_until()) return false;  // REFpb window (SARP) open
   }
   return true;
 }
@@ -247,6 +266,34 @@ void Device::refresh(MemCycle now) {
   record(CmdType::kRefresh, 0, 0, now);
   for (auto& b : banks_) b.block_until(now + timing_.tRFC);
   ++counters_.refreshes;
+  refresh_state(now);
+}
+
+bool Device::can_refresh_bank(std::uint32_t bank, MemCycle now) const {
+  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  const Bank& b = banks_[bank];
+  if (now < b.ref_until()) return false;  // previous REFpb still running
+  if (!b.row_open()) return now >= b.ready_act();  // precharged, past tRP
+  // Row open: legal only under SARP, into a different subarray than the
+  // one the open row occupies.
+  if (!sarp_overlap_) return false;
+  return refresh_subarray(bank) !=
+         subarray_of_row(static_cast<std::uint32_t>(b.open_row()));
+}
+
+void Device::refresh_bank(std::uint32_t bank, MemCycle now) {
+  assert(can_refresh_bank(bank, now));
+  record(CmdType::kRefreshBank, bank, ref_row_[bank], now);
+  Bank& b = banks_[bank];
+  const MemCycle until = now + timing_.tRFCpb;
+  b.set_refresh_window(until, refresh_subarray(bank));
+  // SARP keeps the rest of the bank usable (the window above holds off
+  // activates into the refreshing subarray); otherwise the whole bank is
+  // busy for tRFCpb, exactly like the all-bank REF.
+  if (!sarp_overlap_) b.block_until(until);
+  ref_row_[bank] = (ref_row_[bank] + kRowsPerRefreshCommand) %
+                   geo_.rows_per_bank;
+  ++counters_.refreshes_pb;
   refresh_state(now);
 }
 

@@ -34,7 +34,8 @@ struct ActivityCounters {
   std::uint64_t precharges = 0;
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
-  std::uint64_t refreshes = 0;           // auto-refresh commands issued
+  std::uint64_t refreshes = 0;           // all-bank auto-refresh commands
+  std::uint64_t refreshes_pb = 0;        // per-bank refresh (REFpb) commands
   std::uint64_t self_refresh_pulses = 0; // internal refreshes while in SR
   std::array<std::uint64_t, kNumPowerStates> state_cycles{};  // mem cycles
 
@@ -47,6 +48,7 @@ struct ActivityCounters {
     d.reads = reads - earlier.reads;
     d.writes = writes - earlier.writes;
     d.refreshes = refreshes - earlier.refreshes;
+    d.refreshes_pb = refreshes_pb - earlier.refreshes_pb;
     d.self_refresh_pulses = self_refresh_pulses - earlier.self_refresh_pulses;
     for (std::size_t i = 0; i < kNumPowerStates; ++i) {
       d.state_cycles[i] = state_cycles[i] - earlier.state_cycles[i];
@@ -64,6 +66,12 @@ class Device {
 
   // ---- command interface (active operation) ----
   [[nodiscard]] bool can_activate(std::uint32_t bank, MemCycle now) const;
+  /// Row-aware variant: additionally holds off activates into the
+  /// subarray a per-bank refresh currently occupies (SARP overlap mode;
+  /// identical to the row-blind check otherwise). The scheduler knows
+  /// the target row, so it uses this one.
+  [[nodiscard]] bool can_activate(std::uint32_t bank, std::uint32_t row,
+                                  MemCycle now) const;
   void activate(std::uint32_t bank, std::uint32_t row, MemCycle now);
 
   [[nodiscard]] bool can_read(std::uint32_t bank, std::uint32_t row,
@@ -82,6 +90,27 @@ class Device {
   /// blocked for tRFC.
   [[nodiscard]] bool can_refresh(MemCycle now) const;
   void refresh(MemCycle now);
+
+  // ---- per-bank refresh (REFpb, docs/SCHEDULING.md) ----
+  /// Whether a per-bank refresh can issue to `bank` now. Without the
+  /// SARP overlap the bank must be precharged and past its timing
+  /// blocks; with it the bank may also have a row open, provided the
+  /// open row's subarray differs from the next refresh target.
+  [[nodiscard]] bool can_refresh_bank(std::uint32_t bank, MemCycle now) const;
+  /// Issues a per-bank refresh: the device-internal per-bank row counter
+  /// advances by kRowsPerRefreshCommand and the bank is busy for tRFCpb
+  /// (whole bank without SARP; just the refreshing subarray with it).
+  void refresh_bank(std::uint32_t bank, MemCycle now);
+  /// Enables the SARP-style subarray access/refresh overlap for REFpb.
+  void set_sarp_overlap(bool on) { sarp_overlap_ = on; }
+  [[nodiscard]] bool sarp_overlap() const { return sarp_overlap_; }
+  /// Subarray the *next* REFpb to `bank` will occupy.
+  [[nodiscard]] std::uint32_t refresh_subarray(std::uint32_t bank) const {
+    return subarray_of_row(ref_row_[bank]);
+  }
+  [[nodiscard]] std::uint32_t subarray_of_row(std::uint32_t row) const {
+    return row / geo_.rows_per_subarray();
+  }
 
   // ---- power modes ----
   /// Precharge/active power-down entry (CKE low). No commands until exit.
@@ -178,6 +207,11 @@ class Device {
   bool in_self_refresh_ = false;
   std::uint32_t sr_divider_ = 1;
   MemCycle sr_entry_time_ = 0;
+
+  // Per-bank refresh state: next row each bank's REFpb pointer covers
+  // (wraps mod rows_per_bank), and whether SARP overlap is in effect.
+  std::vector<std::uint32_t> ref_row_;
+  bool sarp_overlap_ = false;
 
   PowerState state_ = PowerState::kPrechargeStandby;
   MemCycle state_since_ = 0;

@@ -21,6 +21,15 @@ struct Geometry {
   // 16 KB, i.e. 256 cache lines of 64 B. With 4 banks x 16K rows x 16 KB
   // this is exactly the 1 GB capacity of Table II.
   std::uint32_t lines_per_row = 256;
+  // Subarrays per bank, for the SARP-style access/refresh overlap
+  // (docs/SCHEDULING.md): a per-bank refresh occupies one subarray;
+  // demand to the others may proceed. Mobile DRAM mats group into a
+  // handful of independently sensed subarray blocks per bank.
+  std::uint32_t subarrays_per_bank = 8;
+
+  [[nodiscard]] std::uint32_t rows_per_subarray() const {
+    return rows_per_bank / subarrays_per_bank;
+  }
 
   [[nodiscard]] std::uint64_t total_lines() const {
     return static_cast<std::uint64_t>(channels) * ranks * banks *
@@ -45,6 +54,9 @@ struct Timing {
   std::uint32_t tRRD = 2;   // ACT-to-ACT, different banks
   std::uint32_t tFAW = 10;  // four-activate window
   std::uint32_t tRFC = 13;  // refresh command duration, 65 ns
+  std::uint32_t tRFCpb = 6; // per-bank refresh duration, 30 ns (LPDDR
+                            // tRFCpb is roughly half tRFCab: one bank's
+                            // rows instead of all banks' in parallel)
   std::uint32_t tREFI = 1560;  // refresh interval, 7.8 us (distributed AR)
   std::uint32_t tXP = 2;    // power-down exit
   std::uint32_t tCKE = 2;   // power-down entry

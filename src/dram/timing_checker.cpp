@@ -26,6 +26,8 @@ std::string cmd_name(CmdType t) {
       return "SRE";
     case CmdType::kSelfRefreshExit:
       return "SRX";
+    case CmdType::kRefreshBank:
+      return "REFB";
   }
   return "?";
 }
@@ -44,13 +46,15 @@ struct BankState {
   std::optional<std::size_t> last_rd;
   std::optional<std::size_t> last_wr;
   std::optional<std::size_t> last_pre;
+  std::optional<std::size_t> last_refb;  // per-bank refresh (tRFCpb)
   bool row_open = false;
 };
 
 }  // namespace
 
 std::vector<TimingViolation> TimingChecker::check(
-    const std::vector<Command>& log, std::uint32_t num_banks) const {
+    const std::vector<Command>& log, std::uint32_t num_banks,
+    bool sarp_overlap) const {
   std::vector<TimingViolation> out;
   std::vector<BankState> banks(num_banks);
   std::optional<std::size_t> last_rank_act;       // tRRD
@@ -82,10 +86,19 @@ std::vector<TimingViolation> TimingChecker::check(
     const bool is_array_cmd =
         c.type == CmdType::kActivate || c.type == CmdType::kRead ||
         c.type == CmdType::kWrite || c.type == CmdType::kPrecharge ||
-        c.type == CmdType::kRefresh;
+        c.type == CmdType::kRefresh || c.type == CmdType::kRefreshBank;
     if (is_array_cmd) {
       require(last_wakeup, i, wakeup_gap, "tXP/tXSR (wake-up)");
       require(last_ref, i, t_.tRFC, "tRFC");
+    }
+    // Without the SARP overlap a per-bank refresh occupies its whole
+    // bank for tRFCpb; with it, same-bank demand to other subarrays is
+    // legal during the window (the subarray-conflict check needs the
+    // geometry and lives in Device::can_activate).
+    if (!sarp_overlap && b != nullptr &&
+        (c.type == CmdType::kActivate || c.type == CmdType::kRead ||
+         c.type == CmdType::kWrite || c.type == CmdType::kPrecharge)) {
+      require(b->last_refb, i, t_.tRFCpb, "tRFCpb (bank busy after REFB)");
     }
 
     switch (c.type) {
@@ -129,7 +142,8 @@ std::vector<TimingViolation> TimingChecker::check(
         break;
       }
       case CmdType::kRefresh: {
-        // All banks must be precharged and past tRP.
+        // All banks must be precharged, past tRP, and past any per-bank
+        // refresh still in flight.
         for (std::uint32_t bk = 0; bk < num_banks; ++bk) {
           if (banks[bk].row_open) {
             out.push_back({.first_index = banks[bk].last_act.value_or(0),
@@ -140,8 +154,27 @@ std::vector<TimingViolation> TimingChecker::check(
                            .actual_gap = 0});
           }
           require(banks[bk].last_pre, i, t_.tRP, "tRP before REF");
+          require(banks[bk].last_refb, i, t_.tRFCpb, "tRFCpb before REF");
         }
         last_ref = i;
+        break;
+      }
+      case CmdType::kRefreshBank: {
+        // Back-to-back REFpb to the same bank must be tRFCpb apart.
+        require(b->last_refb, i, t_.tRFCpb, "tRFCpb (REFB to REFB)");
+        if (!sarp_overlap) {
+          // Without SARP the target bank must be precharged and past tRP.
+          if (b->row_open) {
+            out.push_back({.first_index = b->last_act.value_or(0),
+                           .second_index = i,
+                           .rule = "REFB with open row (bank " +
+                                   std::to_string(c.bank) + ")",
+                           .required_gap = 0,
+                           .actual_gap = 0});
+          }
+          require(b->last_pre, i, t_.tRP, "tRP before REFB");
+        }
+        b->last_refb = i;
         break;
       }
       case CmdType::kPowerDownExit:

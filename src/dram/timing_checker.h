@@ -27,6 +27,7 @@ enum class CmdType : std::uint8_t {
   kPowerDownExit,
   kSelfRefreshEnter,
   kSelfRefreshExit,
+  kRefreshBank,  // per-bank refresh (REFpb, docs/SCHEDULING.md)
 };
 
 [[nodiscard]] std::string cmd_name(CmdType t);
@@ -53,9 +54,15 @@ class TimingChecker {
   explicit TimingChecker(const Timing& timing) : t_(timing) {}
 
   /// Replays a command log; returns every violation found (empty = the
-  /// schedule is timing-clean).
+  /// schedule is timing-clean). `sarp_overlap` relaxes the per-bank
+  /// refresh rules to the SARP contract (docs/SCHEDULING.md): a REFpb
+  /// may be issued with a row open in a different subarray and same-bank
+  /// commands may proceed during tRFCpb, so the checker only enforces
+  /// the REFpb-to-REFpb same-bank gap there. Pass the same value the
+  /// controller ran with (ControllerConfig::sarp).
   [[nodiscard]] std::vector<TimingViolation> check(
-      const std::vector<Command>& log, std::uint32_t num_banks) const;
+      const std::vector<Command>& log, std::uint32_t num_banks,
+      bool sarp_overlap = false) const;
 
  private:
   Timing t_;

@@ -41,13 +41,59 @@ void Controller::trace_divider_change(std::uint32_t from, std::uint32_t to) {
 
 Controller::Controller(dram::Device& device, const ControllerConfig& config)
     : device_(device), config_(config), map_(device.geometry()) {
+  // DARP/SARP are per-bank refinements; they mean nothing under the
+  // rank-wide REF command.
+  if (config_.refresh_granularity == RefreshGranularity::kAllBank) {
+    config_.darp = false;
+    config_.sarp = false;
+  }
+  device_.set_sarp_overlap(config_.sarp);
+  const std::uint32_t banks = device_.geometry().banks;
   next_refresh_ = device_.timing().tREFI;
+  if (config_.refresh_granularity == RefreshGranularity::kPerBank) {
+    // Stagger the first due times across the first tREFI so the rank
+    // sees an even REFpb cadence from the start (same convention as the
+    // all-bank schedule above: the divider applies from the first
+    // accrual on).
+    bank_next_refresh_.resize(banks);
+    bank_refresh_debt_.assign(banks, 0);
+    const dram::MemCycle interval = device_.timing().tREFI;
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      bank_next_refresh_[b] =
+          static_cast<dram::MemCycle>(b + 1) * interval / banks;
+    }
+    next_refresh_ = bank_next_refresh_[0];
+  }
   // Bounded queues: reserve once so the hot path never reallocates.
   read_q_.reserve(config_.read_queue_size);
   write_q_.reserve(config_.write_queue_size);
-  bank_queued_.assign(device_.geometry().banks, 0);
-  open_row_demand_.assign(device_.geometry().banks, 0);
-  open_row_demand_reads_.assign(device_.geometry().banks, 0);
+  bank_queued_.assign(banks, 0);
+  open_row_demand_.assign(banks, 0);
+  open_row_demand_reads_.assign(banks, 0);
+}
+
+void Controller::resync_refresh(dram::MemCycle now) {
+  refresh_debt_ = 0;
+  refresh_urgent_ = false;
+  const dram::MemCycle interval = refresh_interval();
+  if (config_.refresh_granularity == RefreshGranularity::kPerBank) {
+    // The device refreshed itself during the self-refresh stay: clear
+    // every bank's debt and restart the stagger from `now` (leaving the
+    // old due times in place replayed the whole pre-SR schedule as an
+    // immediate REFpb burst on exit).
+    const std::uint32_t banks = device_.geometry().banks;
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      bank_refresh_debt_[b] = 0;
+      bank_next_refresh_[b] =
+          now + static_cast<dram::MemCycle>(b + 1) * interval / banks;
+    }
+    total_refresh_debt_ = 0;
+    refresh_rr_ = 0;
+    refresh_block_mask_ = 0;
+    next_refresh_ = bank_next_refresh_[0];
+    return;
+  }
+  next_refresh_ = now + interval;
 }
 
 void Controller::recount_open_row_demand(std::uint32_t bank,
@@ -117,6 +163,10 @@ bool Controller::enqueue_write(Address line_addr, dram::MemCycle now) {
 
 void Controller::manage_refresh(dram::MemCycle now) {
   if (!config_.refresh_enabled) return;
+  if (config_.refresh_granularity == RefreshGranularity::kPerBank) {
+    manage_refresh_per_bank(now);
+    return;
+  }
   if (now < next_refresh_ && refresh_debt_ == 0) {
     // Common case (no boundary crossed, no debt): skip the interval
     // arithmetic entirely — this runs on every memory tick.
@@ -171,6 +221,142 @@ void Controller::manage_refresh(dram::MemCycle now) {
       ++precharges_for_refresh_;
       return;
     }
+  }
+}
+
+int Controller::pull_in_candidate(dram::MemCycle now) const {
+  // A pull-in spends future budget, so it is only legal with zero debt
+  // outstanding anywhere (otherwise it would reorder past due work).
+  if (!config_.darp || total_refresh_debt_ != 0) return -1;
+  if (device_.in_power_down() || device_.in_self_refresh()) return -1;
+  const dram::MemCycle horizon =
+      now + static_cast<dram::MemCycle>(config_.max_postponed_refreshes) *
+                refresh_interval();
+  const std::uint32_t banks = device_.geometry().banks;
+  for (std::uint32_t i = 0; i < banks; ++i) {
+    const std::uint32_t b = (refresh_rr_ + i) % banks;
+    if (bank_queued_[b] != 0) continue;        // demand wants this bank
+    if (bank_next_refresh_[b] > horizon) continue;  // budget exhausted
+    if (!device_.can_refresh_bank(b, now)) continue;
+    return static_cast<int>(b);
+  }
+  return -1;
+}
+
+void Controller::issue_bank_refresh(std::uint32_t bank, dram::MemCycle now,
+                                    bool pull_in) {
+  const bool row_was_open = device_.bank(bank).row_open();
+  device_.refresh_bank(bank, now);
+  ++refreshes_pb_;
+  if (row_was_open) ++sarp_overlap_refreshes_;
+  if (pull_in) {
+    // Ahead-of-schedule refresh: no debt to settle; the bank's next due
+    // time simply moves out one period.
+    ++refresh_pull_ins_;
+    bank_next_refresh_[bank] += refresh_interval();
+    recompute_next_refresh();
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::kRefresh, tracing::kTrackRefresh,
+                       "refresh_pull_in", to_cpu(now), "bank", bank);
+    }
+    return;
+  }
+  --bank_refresh_debt_[bank];
+  --total_refresh_debt_;
+  refresh_rr_ = (bank + 1) % device_.geometry().banks;
+}
+
+void Controller::manage_refresh_per_bank(dram::MemCycle now) {
+  refresh_block_mask_ = 0;
+  if (now < next_refresh_ && total_refresh_debt_ == 0) {
+    // Nothing due. DARP may still pull a refresh into an idle bank
+    // ahead of schedule (one per cycle), banking budget for later.
+    if (config_.darp && !device_.in_power_down() &&
+        !device_.in_self_refresh()) {
+      const int b = pull_in_candidate(now);
+      if (b >= 0) {
+        issue_bank_refresh(static_cast<std::uint32_t>(b), now,
+                           /*pull_in=*/true);
+      }
+    }
+    return;
+  }
+
+  // Accrue per-bank debt for every per-bank period boundary passed. A
+  // boundary crossed while the bank still owes a refresh is a postpone
+  // (DARP and elastic deliberately let these happen, bounded below).
+  const std::uint32_t banks = device_.geometry().banks;
+  const dram::MemCycle interval = refresh_interval();
+  if (now >= next_refresh_) {
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      while (now >= bank_next_refresh_[b]) {
+        if (bank_refresh_debt_[b] > 0) ++refresh_postpones_;
+        ++bank_refresh_debt_[b];
+        ++total_refresh_debt_;
+        bank_next_refresh_[b] += interval;
+      }
+    }
+    recompute_next_refresh();
+  }
+
+  // Pick the target bank under the configured policy.
+  const bool demand_pending = !read_q_.empty() || !write_q_.empty();
+  int target = -1;
+  if (config_.darp) {
+    // DARP: a bank at the postpone cap must refresh first (its budget
+    // is gone); otherwise refresh out of round-robin order into a bank
+    // demand is not waiting on.
+    for (std::uint32_t i = 0; i < banks && target < 0; ++i) {
+      const std::uint32_t b = (refresh_rr_ + i) % banks;
+      if (bank_refresh_debt_[b] >= config_.max_postponed_refreshes) {
+        target = static_cast<int>(b);
+      }
+    }
+    for (std::uint32_t i = 0; i < banks && target < 0; ++i) {
+      const std::uint32_t b = (refresh_rr_ + i) % banks;
+      if (bank_refresh_debt_[b] > 0 && bank_queued_[b] == 0) {
+        target = static_cast<int>(b);
+      }
+    }
+  } else if (config_.elastic_refresh && demand_pending) {
+    // Elastic x per-bank: postpone everything while demand is pending,
+    // unless some bank has exhausted its postpone budget.
+    for (std::uint32_t i = 0; i < banks && target < 0; ++i) {
+      const std::uint32_t b = (refresh_rr_ + i) % banks;
+      if (bank_refresh_debt_[b] >= config_.max_postponed_refreshes) {
+        target = static_cast<int>(b);
+      }
+    }
+  } else {
+    // Strict: oldest-due bank in round-robin order.
+    for (std::uint32_t i = 0; i < banks && target < 0; ++i) {
+      const std::uint32_t b = (refresh_rr_ + i) % banks;
+      if (bank_refresh_debt_[b] > 0) target = static_cast<int>(b);
+    }
+  }
+  if (target < 0) return;  // every debt is postponable right now
+  const std::uint32_t b = static_cast<std::uint32_t>(target);
+
+  // The target's REFpb outranks demand to that bank (only): hold off
+  // new ACTs into it, wake the device, drain its row, issue.
+  refresh_block_mask_ = 1u << b;
+  if (device_.in_power_down()) {
+    device_.exit_power_down(now);
+    ++pd_exits_for_refresh_;
+    if (tracer_ != nullptr) trace_power_event("pd_exit_refresh", now);
+    return;
+  }
+  if (device_.can_refresh_bank(b, now)) {
+    issue_bank_refresh(b, now, /*pull_in=*/false);
+    refresh_block_mask_ = 0;
+    return;
+  }
+  const dram::Bank& bank = device_.bank(b);
+  if (bank.row_open() && now >= bank.ref_until() &&
+      device_.can_precharge(b, now)) {
+    device_.precharge(b, now);
+    clear_open_row_demand(b);
+    ++precharges_for_refresh_;
   }
 }
 
@@ -234,7 +420,8 @@ bool Controller::try_prepare_row(std::vector<MemRequest>& q,
       continue;  // bank busy or row still wanted; look at other requests
     }
     if (!bank.row_open() && !refresh_urgent_ &&
-        device_.can_activate(r.bank, now)) {
+        (refresh_block_mask_ & (1u << r.bank)) == 0 &&
+        device_.can_activate(r.bank, r.row, now)) {
       device_.activate(r.bank, r.row, now);
       recount_open_row_demand(r.bank, r.row);
       ++row_misses_;
@@ -267,11 +454,15 @@ void Controller::manage_power_down(dram::MemCycle now, bool did_work) {
     return;  // try again next cycle
   }
   // Leave headroom for pending or imminent refresh so we don't thrash.
+  // (next_refresh_ is the earliest per-bank due time in per-bank mode.)
   if (config_.refresh_enabled &&
-      (refresh_debt_ > 0 ||
+      (pending_refresh_debt() > 0 ||
        next_refresh_ <= now + device_.timing().tXP)) {
     return;
   }
+  // DARP banks refresh budget while idle: stay awake while a pull-in is
+  // still possible, then power down for the periods just covered.
+  if (config_.darp && pull_in_candidate(now) >= 0) return;
   device_.enter_power_down(now);
   ++pd_entries_;
   if (tracer_ != nullptr) trace_power_event("pd_enter", now);
@@ -398,7 +589,50 @@ dram::MemCycle Controller::earliest_issue_bound() const {
 dram::MemCycle Controller::next_event(dram::MemCycle now) const {
   dram::MemCycle e = kNoMemEvent;
   const bool queues_empty = read_q_.empty() && write_q_.empty();
-  if (config_.refresh_enabled) {
+  if (config_.refresh_enabled &&
+      config_.refresh_granularity == RefreshGranularity::kPerBank) {
+    const std::uint32_t banks = device_.geometry().banks;
+    if (total_refresh_debt_ > 0) {
+      // Actionable iff manage_refresh_per_bank would pick a target (the
+      // conditions below are exactly its selection criteria); then it
+      // drives work tick by tick until the debt postpones or clears.
+      bool actionable;
+      if (config_.darp) {
+        actionable = false;
+        for (std::uint32_t b = 0; b < banks && !actionable; ++b) {
+          actionable = bank_refresh_debt_[b] > 0 &&
+                       (bank_queued_[b] == 0 ||
+                        bank_refresh_debt_[b] >=
+                            config_.max_postponed_refreshes);
+        }
+      } else if (config_.elastic_refresh && !queues_empty) {
+        actionable = false;
+        for (std::uint32_t b = 0; b < banks && !actionable; ++b) {
+          actionable =
+              bank_refresh_debt_[b] >= config_.max_postponed_refreshes;
+        }
+      } else {
+        actionable = true;
+      }
+      if (actionable) return now + 1;
+    }
+    e = std::min(e, next_refresh_);  // earliest per-bank accrual boundary
+    if (config_.darp && total_refresh_debt_ == 0 &&
+        !device_.in_power_down() && !device_.in_self_refresh()) {
+      // Pull-in eligibility: idle bank b enters the pull-in horizon at
+      // due_b - cap*interval; from then on the pass may act any cycle
+      // (device acceptance can only delay it, so this stays a valid
+      // conservative bound).
+      const dram::MemCycle span =
+          static_cast<dram::MemCycle>(config_.max_postponed_refreshes) *
+          refresh_interval();
+      for (std::uint32_t b = 0; b < banks; ++b) {
+        if (bank_queued_[b] != 0) continue;
+        const dram::MemCycle due = bank_next_refresh_[b];
+        e = std::min(e, due > now + span ? due - span : now + 1);
+      }
+    }
+  } else if (config_.refresh_enabled) {
     if (refresh_debt_ > 0) {
       const bool postponed = config_.elastic_refresh &&
                              refresh_debt_ < config_.max_postponed_refreshes &&
@@ -483,6 +717,10 @@ void Controller::export_counters(StatSet& out) const {
   put("row_conflicts", row_conflicts_);
   put("read_latency_mem_cycles", read_latency_mem_cycles_);
   put("refreshes", refreshes_);
+  put("refreshes_pb", refreshes_pb_);
+  put("refresh_pull_ins", refresh_pull_ins_);
+  put("refresh_postpones", refresh_postpones_);
+  put("sarp_overlap_refreshes", sarp_overlap_refreshes_);
   put("precharges_for_refresh", precharges_for_refresh_);
   put("closed_page_precharges", closed_page_precharges_);
   put("pd_entries", pd_entries_);

@@ -4,6 +4,7 @@
 // issues a power-down command whenever it is possible", S IV-A).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -26,6 +27,15 @@ enum class PagePolicy : std::uint8_t {
   kClosed,  // precharge as soon as no queued request wants the row
 };
 
+/// Refresh command granularity (docs/SCHEDULING.md). All-bank is the
+/// paper's baseline (one REF blocks the whole rank for tRFC); per-bank
+/// issues staggered REFpb commands, one bank at a time, each blocking
+/// only that bank for tRFCpb.
+enum class RefreshGranularity : std::uint8_t {
+  kAllBank,
+  kPerBank,
+};
+
 struct ControllerConfig {
   PagePolicy page_policy = PagePolicy::kOpen;
   std::size_t read_queue_size = 32;
@@ -46,6 +56,17 @@ struct ControllerConfig {
   // strictly on schedule).
   bool elastic_refresh = false;
   std::uint32_t max_postponed_refreshes = 8;
+  // Per-bank refresh and its scheduling refinements (docs/SCHEDULING.md).
+  // DARP-style dynamic scheduling refreshes banks out of round-robin
+  // order into banks with no queued demand, postpones a busy bank's
+  // refresh up to max_postponed_refreshes periods, and pulls refreshes
+  // in ahead of schedule (same budget) while a bank idles. SARP-style
+  // overlap additionally lets demand to the non-refreshing subarrays of
+  // a bank proceed during tRFCpb. Both imply per-bank granularity; the
+  // constructor drops them when refresh_granularity is all-bank.
+  RefreshGranularity refresh_granularity = RefreshGranularity::kAllBank;
+  bool darp = false;
+  bool sarp = false;
 };
 
 class Controller {
@@ -132,13 +153,24 @@ class Controller {
   void set_tracer(tracing::Tracer* tracer) { tracer_ = tracer; }
 
   /// Re-aligns the refresh schedule after a self-refresh stay (the
-  /// device refreshed itself; accumulated debt does not apply).
-  void resync_refresh(dram::MemCycle now) {
-    next_refresh_ =
-        now + static_cast<dram::MemCycle>(device_.timing().tREFI) *
-                  config_.refresh_divider;
-    refresh_debt_ = 0;
-    refresh_urgent_ = false;
+  /// device refreshed itself; accumulated debt — all-bank *and*
+  /// per-bank — does not apply, and the per-bank stagger restarts from
+  /// `now`).
+  void resync_refresh(dram::MemCycle now);
+
+  // ---- refresh-schedule observers (tests/memctrl) ----
+  /// Outstanding refresh debt across the rank: per-bank total in
+  /// per-bank mode, the all-bank debt counter otherwise.
+  [[nodiscard]] std::uint32_t pending_refresh_debt() const {
+    return config_.refresh_granularity == RefreshGranularity::kPerBank
+               ? total_refresh_debt_
+               : refresh_debt_;
+  }
+  [[nodiscard]] std::uint32_t refresh_debt(std::uint32_t bank) const {
+    return bank_refresh_debt_[bank];
+  }
+  [[nodiscard]] dram::MemCycle bank_next_refresh(std::uint32_t bank) const {
+    return bank_next_refresh_[bank];
   }
 
   /// Counter view (tests). Rebuilt on demand: the counters themselves
@@ -173,6 +205,31 @@ class Controller {
                                      dram::MemCycle now);
   void manage_power_down(dram::MemCycle now, bool did_work);
   void manage_refresh(dram::MemCycle now);
+  /// Per-bank refresh pass: accrues per-bank debt at each bank's own
+  /// period boundary, picks a target bank per the configured policy
+  /// (strict round-robin / elastic / DARP), and issues REFpb with
+  /// priority over demand to that bank. Also drives DARP pull-ins.
+  void manage_refresh_per_bank(dram::MemCycle now);
+  /// Bank a DARP pull-in could refresh right now (-1 if none): no
+  /// outstanding debt anywhere, the bank has no queued demand, its next
+  /// due time is within max_postponed_refreshes periods, and the device
+  /// accepts a REFpb to it.
+  [[nodiscard]] int pull_in_candidate(dram::MemCycle now) const;
+  /// Issues the REFpb to `bank` and settles the schedule: debt-- (or,
+  /// for a pull-in, due time += one period) and counters.
+  void issue_bank_refresh(std::uint32_t bank, dram::MemCycle now,
+                          bool pull_in);
+  [[nodiscard]] dram::MemCycle refresh_interval() const {
+    return static_cast<dram::MemCycle>(device_.timing().tREFI) *
+           config_.refresh_divider;
+  }
+  /// next_refresh_ caches the earliest per-bank due time in per-bank
+  /// mode; recompute after any due-time move.
+  void recompute_next_refresh() {
+    dram::MemCycle m = bank_next_refresh_[0];
+    for (const dram::MemCycle d : bank_next_refresh_) m = std::min(m, d);
+    next_refresh_ = m;
+  }
   /// Out-of-line trace emission for refresh-divider moves (cold path;
   /// see set_refresh_divider).
   void trace_divider_change(std::uint32_t from, std::uint32_t to);
@@ -267,6 +324,18 @@ class Controller {
   dram::MemCycle next_refresh_ = 0;
   std::uint32_t refresh_debt_ = 0;
   bool refresh_urgent_ = false;  // block new ACTs until the REF goes out
+  // Per-bank refresh schedule (refresh_granularity == kPerBank): each
+  // bank's next due time (staggered by tREFI*divider/banks so the rank
+  // sees one REFpb per tREFI/banks on average), its outstanding debt,
+  // and the round-robin cursor. next_refresh_ doubles as the cached
+  // minimum due time. refresh_block_mask_ plays refresh_urgent_'s role
+  // bankwise: while the pass is draining one bank for its REFpb, only
+  // ACTs into *that* bank are held off.
+  std::vector<dram::MemCycle> bank_next_refresh_;
+  std::vector<std::uint32_t> bank_refresh_debt_;
+  std::uint32_t total_refresh_debt_ = 0;  // sum of bank_refresh_debt_
+  std::uint32_t refresh_rr_ = 0;          // round-robin start bank
+  std::uint32_t refresh_block_mask_ = 0;  // bit per bank: ACT held off
   dram::MemCycle last_activity_ = 0;
 
   // Hot-path event counters (see stats()/export_counters).
@@ -279,6 +348,10 @@ class Controller {
   std::uint64_t row_conflicts_ = 0;
   std::uint64_t read_latency_mem_cycles_ = 0;
   std::uint64_t refreshes_ = 0;
+  std::uint64_t refreshes_pb_ = 0;
+  std::uint64_t refresh_pull_ins_ = 0;
+  std::uint64_t refresh_postpones_ = 0;
+  std::uint64_t sarp_overlap_refreshes_ = 0;
   std::uint64_t precharges_for_refresh_ = 0;
   std::uint64_t closed_page_precharges_ = 0;
   std::uint64_t pd_entries_ = 0;

@@ -4,8 +4,12 @@
 
 namespace mecc::power {
 
-PowerModel::PowerModel(const PowerParams& params, const dram::Timing& timing)
-    : params_(params), timing_(timing), tck_s_(1.0 / kMemFreqHz) {}
+PowerModel::PowerModel(const PowerParams& params, const dram::Timing& timing,
+                       std::uint32_t banks)
+    : params_(params), timing_(timing), banks_(banks),
+      tck_s_(1.0 / kMemFreqHz) {
+  assert(banks_ >= 1);
+}
 
 double PowerModel::energy_act_pre_nj() const {
   // Energy of an ACT/PRE pair above the background current, spread over
@@ -33,6 +37,10 @@ double PowerModel::energy_refresh_cmd_nj() const {
   const double trfc_s = timing_.tRFC * tck_s_;
   return params_.vdd * (params_.idd5_ma - params_.idd2n_ma) * 1e-3 * trfc_s *
          1e9;
+}
+
+double PowerModel::energy_refresh_pb_cmd_nj() const {
+  return energy_refresh_cmd_nj() / static_cast<double>(banks_);
 }
 
 double PowerModel::background_power_mw(dram::PowerState state) const {
@@ -70,7 +78,9 @@ ActiveEnergy PowerModel::active_energy(
   e.read_mj = static_cast<double>(counters.reads) * energy_read_nj() * 1e-6;
   e.write_mj = static_cast<double>(counters.writes) * energy_write_nj() * 1e-6;
   e.refresh_mj = static_cast<double>(counters.refreshes) *
-                 energy_refresh_cmd_nj() * 1e-6;
+                     energy_refresh_cmd_nj() * 1e-6 +
+                 static_cast<double>(counters.refreshes_pb) *
+                     energy_refresh_pb_cmd_nj() * 1e-6;
   return e;
 }
 

@@ -43,14 +43,22 @@ struct ActiveEnergy {
 
 class PowerModel {
  public:
+  /// `banks` sizes the per-bank refresh command energy (a REFpb covers
+  /// 1/banks of the cells an all-bank REF does).
   explicit PowerModel(const PowerParams& params = PowerParams{},
-                      const dram::Timing& timing = dram::Timing{});
+                      const dram::Timing& timing = dram::Timing{},
+                      std::uint32_t banks = dram::Geometry{}.banks);
 
   // ---- event energies (nanojoules) ----
   [[nodiscard]] double energy_act_pre_nj() const;
   [[nodiscard]] double energy_read_nj() const;
   [[nodiscard]] double energy_write_nj() const;
   [[nodiscard]] double energy_refresh_cmd_nj() const;
+  /// Per-bank refresh (REFpb): same rows-per-command charge in one bank
+  /// instead of all of them, so 1/banks of the all-bank command energy —
+  /// `banks` REFpb per tREFI costs what one REF does, keeping per-bank
+  /// refresh energy equal to all-bank at the same rate.
+  [[nodiscard]] double energy_refresh_pb_cmd_nj() const;
 
   /// Background power for a device state (milliwatts).
   [[nodiscard]] double background_power_mw(dram::PowerState state) const;
@@ -73,6 +81,7 @@ class PowerModel {
  private:
   PowerParams params_;
   dram::Timing timing_;
+  std::uint32_t banks_;
   double tck_s_;  // memory-cycle duration in seconds
 };
 

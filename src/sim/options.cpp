@@ -117,6 +117,38 @@ constexpr Setter kFastForward{
     },
     "on|off (also 1|0, true|false)"};
 
+constexpr Setter kRefreshPolicy{
+    "--refresh-policy / MECC_REFRESH_POLICY",
+    [](const std::string& v, SimOptions& o) {
+      if (v == "strict") {
+        o.refresh_policy = RefreshPolicyOption::kStrict;
+      } else if (v == "elastic") {
+        o.refresh_policy = RefreshPolicyOption::kElastic;
+      } else if (v == "darp") {
+        o.refresh_policy = RefreshPolicyOption::kDarp;
+      } else if (v == "darp-sarp") {
+        o.refresh_policy = RefreshPolicyOption::kDarpSarp;
+      } else {
+        return false;
+      }
+      return true;
+    },
+    "strict|elastic|darp|darp-sarp"};
+
+constexpr Setter kRefreshGranularity{
+    "--refresh-granularity / MECC_REFRESH_GRANULARITY",
+    [](const std::string& v, SimOptions& o) {
+      if (v == "all-bank") {
+        o.refresh_granularity = RefreshGranularityOption::kAllBank;
+      } else if (v == "per-bank") {
+        o.refresh_granularity = RefreshGranularityOption::kPerBank;
+      } else {
+        return false;
+      }
+      return true;
+    },
+    "all-bank|per-bank"};
+
 constexpr Setter kOut{"--out / MECC_OUT",
                       [](const std::string& v, SimOptions& o) {
                         if (v.empty()) return false;
@@ -201,6 +233,22 @@ constexpr Setter kMetricsKeys{"--metrics-keys / MECC_METRICS_KEYS",
 
 }  // namespace
 
+void apply_refresh_options(const SimOptions& opts,
+                           memctrl::ControllerConfig& cfg) {
+  using memctrl::RefreshGranularity;
+  cfg.refresh_granularity =
+      opts.refresh_granularity == RefreshGranularityOption::kPerBank
+          ? RefreshGranularity::kPerBank
+          : RefreshGranularity::kAllBank;
+  cfg.elastic_refresh = opts.refresh_policy == RefreshPolicyOption::kElastic;
+  cfg.darp = opts.refresh_policy == RefreshPolicyOption::kDarp ||
+             opts.refresh_policy == RefreshPolicyOption::kDarpSarp;
+  cfg.sarp = opts.refresh_policy == RefreshPolicyOption::kDarpSarp;
+  // DARP schedules REFpb commands; it cannot run under the rank-wide
+  // REF, so the policy pulls the granularity along with it.
+  if (cfg.darp) cfg.refresh_granularity = RefreshGranularity::kPerBank;
+}
+
 tracing::TraceConfig trace_config_from(const SimOptions& opts) {
   tracing::TraceConfig c;
   c.enabled = !opts.trace.empty();
@@ -276,6 +324,9 @@ std::optional<SimOptions> parse_options_checked(int argc, char** argv,
       {"MECC_OUT", "--out=", kOut},
       {"MECC_PERF_OUT", "--perf-out=", kPerfOut},
       {"MECC_FAST_FORWARD", "--fast-forward=", kFastForward},
+      {"MECC_REFRESH_POLICY", "--refresh-policy=", kRefreshPolicy},
+      {"MECC_REFRESH_GRANULARITY", "--refresh-granularity=",
+       kRefreshGranularity},
       {"MECC_TRACE", "--trace=", kTrace},
       {"MECC_TRACE_CATEGORIES", "--trace-categories=", kTraceCategories},
       {"MECC_TRACE_LIMIT", "--trace-limit=", kTraceLimit},

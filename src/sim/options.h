@@ -20,6 +20,13 @@
 //                      event-driven cycle skipping (docs/PERFORMANCE.md).
 //                      Default on; off selects the bit-identical
 //                      per-cycle reference loop.
+//   --refresh-policy=strict|elastic|darp|darp-sarp
+//                      refresh scheduling policy (docs/SCHEDULING.md).
+//                      Default strict (refresh exactly on schedule);
+//                      darp and darp-sarp imply per-bank granularity.
+//   --refresh-granularity=all-bank|per-bank
+//                      refresh command granularity (docs/SCHEDULING.md).
+//                      Default all-bank (the paper's baseline REF).
 //   --trace=FILE.json  Chrome/Perfetto trace-event output
 //                      (docs/OBSERVABILITY.md); "-" for stdout.
 //                      Omitted (default) = tracing off.
@@ -40,7 +47,8 @@
 //                      default all keys. See --list-stats.
 //   --list-stats       dump every registered stat key and exit.
 //   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS / MECC_BER / MECC_OUT /
-//   MECC_PERF_OUT / MECC_FAST_FORWARD / MECC_TRACE /
+//   MECC_PERF_OUT / MECC_FAST_FORWARD / MECC_REFRESH_POLICY /
+//   MECC_REFRESH_GRANULARITY / MECC_TRACE /
 //   MECC_TRACE_CATEGORIES / MECC_TRACE_LIMIT / MECC_METRICS_OUT /
 //   MECC_METRICS_INTERVAL / MECC_METRICS_KEYS environment variables as
 //   fallbacks.
@@ -60,7 +68,26 @@
 #include "common/trace.h"
 #include "common/types.h"
 
+namespace mecc::memctrl {
+struct ControllerConfig;
+}
+
 namespace mecc::sim {
+
+/// --refresh-policy= values (docs/SCHEDULING.md). Strict is the paper's
+/// baseline: refresh exactly on schedule, demand waits.
+enum class RefreshPolicyOption : std::uint8_t {
+  kStrict,
+  kElastic,
+  kDarp,
+  kDarpSarp,
+};
+
+/// --refresh-granularity= values: rank-wide REF vs staggered REFpb.
+enum class RefreshGranularityOption : std::uint8_t {
+  kAllBank,
+  kPerBank,
+};
 
 struct SimOptions {
   InstCount instructions = 20'000'000;
@@ -76,6 +103,12 @@ struct SimOptions {
   std::string perf_out;
   // Event-driven fast-forward; off = per-cycle reference loop.
   bool fast_forward = true;
+  // Refresh scheduling policy and command granularity
+  // (docs/SCHEDULING.md); apply_refresh_options maps these onto a
+  // ControllerConfig.
+  RefreshPolicyOption refresh_policy = RefreshPolicyOption::kStrict;
+  RefreshGranularityOption refresh_granularity =
+      RefreshGranularityOption::kAllBank;
 
   // Observability (docs/OBSERVABILITY.md).
   std::string trace;             // trace destination ("" = tracing off)
@@ -86,6 +119,12 @@ struct SimOptions {
   std::string metrics_keys;      // stat-key selector csv ("" = all)
   bool list_stats = false;       // dump registered stat keys and exit
 };
+
+/// Maps the refresh knobs onto a ControllerConfig: granularity first,
+/// then the policy (elastic_refresh / darp / sarp flags; darp and
+/// darp-sarp force per-bank granularity, which they require).
+void apply_refresh_options(const SimOptions& opts,
+                           memctrl::ControllerConfig& cfg);
 
 /// The SystemConfig::trace block the options select (parse_options
 /// already validated the category list).

@@ -46,7 +46,7 @@ System::System(const trace::BenchmarkProfile& profile,
                                    config.calibration_read_latency_cycles)),
       device_(config.geometry, config.timing),
       controller_(device_, config.controller),
-      power_model_(config.power, config.timing) {
+      power_model_(config.power, config.timing, config.geometry.banks) {
   if (config.trace_file.empty()) {
     source_ = std::make_unique<trace::GeneratorSource>(
         profile,
@@ -78,7 +78,7 @@ System::System(const trace::BenchmarkProfile& profile,
       device_(config.geometry, config.timing),
       controller_(device_, config.controller),
       source_(std::move(source)),
-      power_model_(config.power, config.timing) {
+      power_model_(config.power, config.timing, config.geometry.banks) {
   init_engine_and_core();
 }
 

@@ -1,12 +1,18 @@
 // Fuzz / property test of the memory controller: random mixed traffic
 // must never lose or duplicate a read, reads must complete in bounded
-// time, and the controller must drain to idle.
+// time, and the controller must drain to idle. The per-bank fuzzes
+// additionally pin the refresh invariants (docs/SCHEDULING.md): every
+// bank keeps its retention-window coverage, postponement never exceeds
+// max_postponed_refreshes, and refresh debt is conserved across
+// refresh-divider moves and power-down entries/exits.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
+#include <vector>
 
 #include "common/rng.h"
+#include "dram/timing_checker.h"
 #include "memctrl/controller.h"
 
 namespace mecc::memctrl {
@@ -97,6 +103,130 @@ TEST(ControllerStress, SaturatingReadStreamDrains) {
   // Sustained random-access throughput: every read needs ACT+RD+PRE; the
   // device must stay well above 1 read per 100 cycles.
   EXPECT_GT(done, 2000u);
+}
+
+// Per-bank refresh fuzz: random mixed traffic with quiet stretches
+// (power-down entries/exits) under each per-bank policy. Invariants,
+// sampled every cycle:
+//   * no bank's debt ever exceeds max_postponed_refreshes (the tREFW
+//     guarantee: a bank is never more than the postpone budget behind
+//     its schedule);
+//   * the total debt is exactly the sum of the per-bank debts.
+// And from the command log at the end: every bank received at least
+// (elapsed/tREFI - budget - 1) REFpb commands — the per-bank coverage
+// an all-bank REF per tREFI would have provided, minus the allowed
+// postponement.
+struct PerBankFuzzParam {
+  const char* name;
+  bool darp;
+  bool sarp;
+};
+
+class PerBankRefreshFuzz : public ::testing::TestWithParam<PerBankFuzzParam> {
+};
+
+TEST_P(PerBankRefreshFuzz, CoverageAndDebtInvariantsHold) {
+  const dram::Geometry geo;
+  const dram::Timing timing;
+  dram::Device dev(geo, timing);
+  std::vector<dram::Command> log;
+  dev.set_command_log(&log);
+  ControllerConfig cfg;
+  cfg.refresh_granularity = RefreshGranularity::kPerBank;
+  cfg.darp = GetParam().darp;
+  cfg.sarp = GetParam().sarp;
+  Controller ctl(dev, cfg);
+  Rng rng(123);
+
+  std::uint64_t id = 1;
+  const dram::MemCycle span = timing.tREFI * 30;
+  for (dram::MemCycle now = 0; now < span; ++now) {
+    // Alternate busy and quiet stretches so power-down entries and
+    // refresh-while-sleeping wakeups both happen.
+    const bool quiet = (now / (timing.tREFI / 2)) % 3 == 2;
+    if (!quiet && rng.chance(0.25)) {
+      // Whole-device traffic so SARP's subarray-overlap rules fire (a
+      // small hot region keeps every row in the refresh pointer's own
+      // subarray, where overlap is never legal).
+      (void)ctl.enqueue_read(rng.next_below(geo.total_lines()) * kLineBytes,
+                             id++, now);
+    }
+    ctl.tick(now);
+    (void)ctl.collect_completions(now);
+
+    std::uint32_t total = 0;
+    for (std::uint32_t b = 0; b < geo.banks; ++b) {
+      ASSERT_LE(ctl.refresh_debt(b), cfg.max_postponed_refreshes)
+          << "bank " << b << " over-postponed at cycle " << now;
+      total += ctl.refresh_debt(b);
+    }
+    ASSERT_EQ(total, ctl.pending_refresh_debt())
+        << "debt not conserved at cycle " << now;
+  }
+
+  std::vector<std::uint64_t> refb_per_bank(geo.banks, 0);
+  for (const auto& c : log) {
+    if (c.type == dram::CmdType::kRefreshBank) ++refb_per_bank[c.bank];
+  }
+  const std::uint64_t required =
+      span / timing.tREFI - cfg.max_postponed_refreshes - 1;
+  for (std::uint32_t b = 0; b < geo.banks; ++b) {
+    EXPECT_GE(refb_per_bank[b], required)
+        << "bank " << b << " lost retention-window coverage";
+  }
+  const dram::TimingChecker checker(timing);
+  const auto violations = checker.check(log, geo.banks, cfg.sarp);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PerBankRefreshFuzz,
+    ::testing::Values(PerBankFuzzParam{"strict", false, false},
+                      PerBankFuzzParam{"darp", true, false},
+                      PerBankFuzzParam{"darp_sarp", true, true}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(PerBankRefreshFuzz, DebtConservedAcrossDividerMoves) {
+  // Flip the refresh divider between 1 and 2 at random points while
+  // traffic runs: debt must stay the sum of the per-bank debts, never
+  // exceed the cap, and drain to zero once traffic stops (no debt is
+  // created or lost by a divider move).
+  const dram::Geometry geo;
+  const dram::Timing timing;
+  dram::Device dev(geo, timing);
+  ControllerConfig cfg;
+  cfg.refresh_granularity = RefreshGranularity::kPerBank;
+  Controller ctl(dev, cfg);
+  Rng rng(321);
+
+  std::uint64_t id = 1;
+  const dram::MemCycle busy = timing.tREFI * 24;
+  for (dram::MemCycle now = 0; now < busy; ++now) {
+    if (rng.chance(0.001)) {
+      ctl.set_refresh_divider(rng.chance(0.5) ? 1 : 2);
+    }
+    if (rng.chance(0.2)) {
+      (void)ctl.enqueue_read(rng.next_below(1 << 14) * kLineBytes, id++,
+                             now);
+    }
+    ctl.tick(now);
+    (void)ctl.collect_completions(now);
+    std::uint32_t total = 0;
+    for (std::uint32_t b = 0; b < geo.banks; ++b) {
+      ASSERT_LE(ctl.refresh_debt(b), cfg.max_postponed_refreshes);
+      total += ctl.refresh_debt(b);
+    }
+    ASSERT_EQ(total, ctl.pending_refresh_debt());
+  }
+  // Quiesce: strict per-bank refresh drains all debt promptly (well
+  // within half an interval even at the worst-case tRFCpb cadence).
+  for (dram::MemCycle now = busy; now < busy + timing.tREFI / 2; ++now) {
+    ctl.tick(now);
+    (void)ctl.collect_completions(now);
+  }
+  EXPECT_EQ(ctl.pending_refresh_debt(), 0u);
+  EXPECT_GT(ctl.stats().counter("refreshes_pb"), 0u);
 }
 
 }  // namespace

@@ -108,5 +108,73 @@ TEST(ElasticRefresh, DisabledBehavesStrictly) {
   EXPECT_GE(h.ctl.stats().counter("refreshes"), 19u);
 }
 
+// Elastic composes with per-bank granularity (docs/SCHEDULING.md): all
+// banks postpone while demand is pending, each within the same
+// per-bank budget, and the debt drains once the bus quiets down.
+TEST(ElasticRefresh, PerBankPostponesWithinBudgetUnderLoad) {
+  ControllerConfig cfg;
+  cfg.refresh_granularity = RefreshGranularity::kPerBank;
+  cfg.elastic_refresh = true;
+  Harness h(cfg);
+  const dram::MemCycle span = h.timing.tREFI * 40;
+  h.run_saturated(span, 6);
+  const std::uint64_t refs_pb = h.ctl.stats().counter("refreshes_pb");
+  const std::uint64_t banks = h.geo.banks;
+  // Every bank accrued ~40 refreshes; at most the postpone budget per
+  // bank may still be outstanding.
+  EXPECT_GE(refs_pb + banks * cfg.max_postponed_refreshes, 40u * banks);
+  EXPECT_LE(refs_pb, 41u * banks);
+  for (std::uint32_t b = 0; b < h.geo.banks; ++b) {
+    EXPECT_LE(h.ctl.refresh_debt(b), cfg.max_postponed_refreshes)
+        << "bank " << b;
+  }
+}
+
+TEST(ElasticRefresh, PerBankCatchesUpWhenIdle) {
+  ControllerConfig cfg;
+  cfg.refresh_granularity = RefreshGranularity::kPerBank;
+  cfg.elastic_refresh = true;
+  Harness h(cfg);
+  Rng rng(8);
+  std::uint64_t id = 1;
+  const dram::MemCycle busy = h.timing.tREFI * 10;
+  for (dram::MemCycle now = 0; now < busy + h.timing.tREFI * 2; ++now) {
+    if (now < busy) {
+      (void)h.ctl.enqueue_read(rng.next_below(4096) * kLineBytes, id++, now);
+    }
+    h.ctl.tick(now);
+    (void)h.ctl.collect_completions(now);
+  }
+  EXPECT_GE(h.ctl.stats().counter("refreshes_pb"),
+            11u * h.geo.banks);
+  EXPECT_EQ(h.ctl.pending_refresh_debt(), 0u);
+}
+
+TEST(ElasticRefresh, PerBankScheduleStaysTimingClean) {
+  ControllerConfig cfg;
+  cfg.refresh_granularity = RefreshGranularity::kPerBank;
+  cfg.elastic_refresh = true;
+  dram::Geometry geo;
+  dram::Timing timing;
+  dram::Device dev(geo, timing);
+  std::vector<dram::Command> log;
+  dev.set_command_log(&log);
+  Controller ctl(dev, cfg);
+  Rng rng(9);
+  std::uint64_t id = 1;
+  for (dram::MemCycle now = 0; now < timing.tREFI * 20; ++now) {
+    if (rng.chance(0.3)) {
+      (void)ctl.enqueue_read(rng.next_below(1 << 14) * kLineBytes, id++,
+                             now);
+    }
+    ctl.tick(now);
+    (void)ctl.collect_completions(now);
+  }
+  const dram::TimingChecker checker(timing);
+  const auto violations = checker.check(log, geo.banks);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().to_string());
+}
+
 }  // namespace
 }  // namespace mecc::memctrl

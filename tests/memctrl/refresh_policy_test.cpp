@@ -1,0 +1,262 @@
+// Refresh-invariant test layer for the per-bank refresh policies
+// (docs/SCHEDULING.md): per-bank coverage and energy equivalence with
+// the all-bank baseline, the post-self-refresh resync contract, DARP's
+// bounded postpone/pull-in behavior, SARP's subarray overlap, and
+// TimingChecker-clean command schedules for every policy.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dram/timing_checker.h"
+#include "memctrl/controller.h"
+#include "power/power_model.h"
+
+namespace mecc::memctrl {
+namespace {
+
+struct Harness {
+  explicit Harness(const ControllerConfig& cfg)
+      : dev(geo, timing), ctl(dev, cfg) {}
+
+  void run_saturated(dram::MemCycle cycles, std::uint64_t seed,
+                     dram::MemCycle start = 0, std::uint64_t lines = 1 << 14) {
+    Rng rng(seed);
+    std::uint64_t id = 1;
+    for (dram::MemCycle now = start; now < start + cycles; ++now) {
+      (void)ctl.enqueue_read(rng.next_below(lines) * kLineBytes, id++,
+                             now);
+      ctl.tick(now);
+      (void)ctl.collect_completions(now);
+    }
+  }
+
+  void run_idle(dram::MemCycle cycles, dram::MemCycle start = 0) {
+    for (dram::MemCycle now = start; now < start + cycles; ++now) {
+      ctl.tick(now);
+      (void)ctl.collect_completions(now);
+    }
+  }
+
+  dram::Geometry geo;
+  dram::Timing timing;
+  dram::Device dev;
+  Controller ctl;
+};
+
+[[nodiscard]] ControllerConfig per_bank_config(bool darp = false,
+                                               bool sarp = false) {
+  ControllerConfig cfg;
+  cfg.refresh_granularity = RefreshGranularity::kPerBank;
+  cfg.darp = darp;
+  cfg.sarp = sarp;
+  return cfg;
+}
+
+TEST(PerBankRefresh, MatchesAllBankCoverage) {
+  // `banks` REFpb per tREFI carry the same rows-per-window coverage as
+  // one all-bank REF per tREFI, so over the same idle span the per-bank
+  // controller must issue ~banks x the all-bank command count.
+  Harness ab{ControllerConfig{}};
+  Harness pb{per_bank_config()};
+  const dram::MemCycle span = ab.timing.tREFI * 40;
+  ab.run_idle(span);
+  pb.run_idle(span);
+  const std::uint64_t refs = ab.ctl.stats().counter("refreshes");
+  const std::uint64_t refs_pb = pb.ctl.stats().counter("refreshes_pb");
+  EXPECT_GE(refs, 39u);
+  // Stagger rounding shifts the count by at most one bank sweep.
+  EXPECT_NEAR(static_cast<double>(refs_pb),
+              static_cast<double>(refs * ab.geo.banks),
+              static_cast<double>(ab.geo.banks));
+  EXPECT_EQ(pb.ctl.stats().counter("refreshes"), 0u);
+}
+
+TEST(PerBankRefresh, EnergyMatchesAllBankAtSameRate) {
+  // A REFpb is charged 1/banks of the all-bank command energy, so the
+  // two granularities must dissipate the same refresh energy at the
+  // same rate (divider 1, no DARP pull-ins).
+  Harness ab{ControllerConfig{}};
+  Harness pb{per_bank_config()};
+  const dram::MemCycle span = ab.timing.tREFI * 60;
+  ab.run_saturated(span, 7);
+  pb.run_saturated(span, 7);
+  const power::PowerModel pm({}, ab.timing, ab.geo.banks);
+  const double ab_mj = pm.active_energy(ab.dev.counters(span)).refresh_mj;
+  const double pb_mj = pm.active_energy(pb.dev.counters(span)).refresh_mj;
+  ASSERT_GT(ab_mj, 0.0);
+  EXPECT_NEAR(pb_mj, ab_mj, ab_mj * 0.05);
+}
+
+TEST(PerBankRefresh, ResyncRestartsScheduleWithoutBurst) {
+  // Satellite regression: resync_refresh after a self-refresh stay must
+  // clear every bank's debt and push every due time past `now` —
+  // leaving the old per-bank due times in place replayed the whole
+  // missed schedule as an immediate REFpb burst on wake.
+  Harness h{per_bank_config()};
+  h.run_idle(h.timing.tREFI * 10);
+  // A long self-refresh stay the controller did not tick through.
+  const dram::MemCycle wake = h.timing.tREFI * 1000;
+  h.ctl.resync_refresh(wake);
+  EXPECT_EQ(h.ctl.pending_refresh_debt(), 0u);
+  for (std::uint32_t b = 0; b < h.geo.banks; ++b) {
+    EXPECT_GT(h.ctl.bank_next_refresh(b), wake) << "bank " << b;
+    EXPECT_EQ(h.ctl.refresh_debt(b), 0u) << "bank " << b;
+  }
+  const std::uint64_t before = h.ctl.stats().counter("refreshes_pb");
+  // The first post-resync due time is wake + tREFI/banks; no REFpb may
+  // issue before it.
+  h.run_idle(h.timing.tREFI / h.geo.banks - 1, wake);
+  EXPECT_EQ(h.ctl.stats().counter("refreshes_pb"), before);
+}
+
+TEST(PerBankRefresh, AllBankResyncStillClearsDebt) {
+  Harness h{ControllerConfig{}};
+  h.run_idle(h.timing.tREFI * 5);
+  const dram::MemCycle wake = h.timing.tREFI * 500;
+  h.ctl.resync_refresh(wake);
+  EXPECT_EQ(h.ctl.pending_refresh_debt(), 0u);
+  const std::uint64_t before = h.ctl.stats().counter("refreshes");
+  h.run_idle(h.timing.tREFI - 1, wake);
+  EXPECT_EQ(h.ctl.stats().counter("refreshes"), before);
+}
+
+TEST(DarpRefresh, PostponeBoundedBySaturatedTraffic) {
+  // DARP postpones a busy bank's refresh, but never beyond
+  // max_postponed_refreshes periods of debt.
+  Harness h{per_bank_config(/*darp=*/true)};
+  Rng rng(11);
+  std::uint64_t id = 1;
+  const dram::MemCycle span = h.timing.tREFI * 40;
+  for (dram::MemCycle now = 0; now < span; ++now) {
+    (void)h.ctl.enqueue_read(rng.next_below(1 << 14) * kLineBytes, id++,
+                             now);
+    h.ctl.tick(now);
+    (void)h.ctl.collect_completions(now);
+    for (std::uint32_t b = 0; b < h.geo.banks; ++b) {
+      ASSERT_LE(h.ctl.refresh_debt(b),
+                h.ctl.config().max_postponed_refreshes)
+          << "bank " << b << " at cycle " << now;
+    }
+  }
+  // Coverage still holds: each bank owes one REFpb per tREFI minus the
+  // postpone budget.
+  const std::uint64_t refs_pb = h.ctl.stats().counter("refreshes_pb");
+  EXPECT_GE(refs_pb + static_cast<std::uint64_t>(
+                          h.geo.banks *
+                          h.ctl.config().max_postponed_refreshes),
+            40u * h.geo.banks);
+}
+
+TEST(DarpRefresh, PullsInAheadOfScheduleWhenBankIdle) {
+  Harness h{per_bank_config(/*darp=*/true)};
+  // Traffic then a long quiet stretch: the pull-in machinery should
+  // refresh ahead of schedule during the quiet part.
+  h.run_saturated(h.timing.tREFI * 4, 13);
+  h.run_idle(h.timing.tREFI * 4, h.timing.tREFI * 4);
+  EXPECT_GT(h.ctl.stats().counter("refresh_pull_ins"), 0u);
+  // Pull-ins spend future budget: due times moved out, debts stayed 0.
+  EXPECT_EQ(h.ctl.pending_refresh_debt(), 0u);
+}
+
+TEST(DarpRefresh, ScheduleStaysTimingClean) {
+  dram::Geometry geo;
+  dram::Timing timing;
+  dram::Device dev(geo, timing);
+  std::vector<dram::Command> log;
+  dev.set_command_log(&log);
+  Controller ctl(dev, per_bank_config(/*darp=*/true));
+  Rng rng(17);
+  std::uint64_t id = 1;
+  for (dram::MemCycle now = 0; now < timing.tREFI * 20; ++now) {
+    if (rng.chance(0.3)) {
+      (void)ctl.enqueue_read(rng.next_below(1 << 14) * kLineBytes, id++,
+                             now);
+    }
+    ctl.tick(now);
+    (void)ctl.collect_completions(now);
+  }
+  const dram::TimingChecker checker(timing);
+  const auto violations = checker.check(log, geo.banks);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().to_string());
+}
+
+TEST(SarpRefresh, OverlapsDemandWithRefresh) {
+  // With SARP, a REFpb may issue while the bank holds a row open in a
+  // different subarray, and reads keep completing during the refresh.
+  // Traffic must span the whole device: a small hot region decodes to
+  // the low rows only — all inside the subarray the refresh pointer
+  // starts in, where overlap is (correctly) never legal.
+  Harness h{per_bank_config(/*darp=*/true, /*sarp=*/true)};
+  h.run_saturated(h.timing.tREFI * 40, 19, 0, h.geo.total_lines());
+  EXPECT_GT(h.ctl.stats().counter("sarp_overlap_refreshes"), 0u);
+  EXPECT_GT(h.ctl.stats().counter("refreshes_pb"), 0u);
+}
+
+TEST(SarpRefresh, ScheduleStaysTimingCleanUnderOverlapRules) {
+  dram::Geometry geo;
+  dram::Timing timing;
+  dram::Device dev(geo, timing);
+  std::vector<dram::Command> log;
+  dev.set_command_log(&log);
+  Controller ctl(dev, per_bank_config(/*darp=*/true, /*sarp=*/true));
+  Rng rng(23);
+  std::uint64_t id = 1;
+  for (dram::MemCycle now = 0; now < timing.tREFI * 20; ++now) {
+    if (rng.chance(0.4)) {
+      // Whole-device traffic so rows land in every subarray and the
+      // overlap rules actually fire (see OverlapsDemandWithRefresh).
+      (void)ctl.enqueue_read(rng.next_below(geo.total_lines()) * kLineBytes,
+                             id++, now);
+    }
+    ctl.tick(now);
+    (void)ctl.collect_completions(now);
+  }
+  const dram::TimingChecker checker(timing);
+  // sarp_overlap relaxes exactly the open-row / tRP-before-REFB rules;
+  // everything else (tRFCpb gaps, tRC, bus) must still hold.
+  const auto violations = checker.check(log, geo.banks, /*sarp_overlap=*/true);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().to_string());
+}
+
+TEST(PerBankRefresh, AllBankConfigDropsDarpSarp) {
+  // The constructor normalizes: DARP/SARP mean nothing under the
+  // rank-wide REF command.
+  ControllerConfig cfg;
+  cfg.refresh_granularity = RefreshGranularity::kAllBank;
+  cfg.darp = true;
+  cfg.sarp = true;
+  dram::Geometry geo;
+  dram::Timing timing;
+  dram::Device dev(geo, timing);
+  Controller ctl(dev, cfg);
+  EXPECT_FALSE(ctl.config().darp);
+  EXPECT_FALSE(ctl.config().sarp);
+  EXPECT_FALSE(dev.sarp_overlap());
+}
+
+TEST(PerBankRefresh, StrictScheduleStaysTimingClean) {
+  dram::Geometry geo;
+  dram::Timing timing;
+  dram::Device dev(geo, timing);
+  std::vector<dram::Command> log;
+  dev.set_command_log(&log);
+  Controller ctl(dev, per_bank_config());
+  Rng rng(29);
+  std::uint64_t id = 1;
+  for (dram::MemCycle now = 0; now < timing.tREFI * 20; ++now) {
+    if (rng.chance(0.3)) {
+      (void)ctl.enqueue_read(rng.next_below(1 << 14) * kLineBytes, id++,
+                             now);
+    }
+    ctl.tick(now);
+    (void)ctl.collect_completions(now);
+  }
+  const dram::TimingChecker checker(timing);
+  const auto violations = checker.check(log, geo.banks);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().to_string());
+}
+
+}  // namespace
+}  // namespace mecc::memctrl

@@ -78,6 +78,76 @@ INSTANTIATE_TEST_SUITE_P(Policies, FastForwardPolicy,
                            return "Unknown";
                          });
 
+// Refresh scheduling policies (docs/SCHEDULING.md): the skip engine
+// must stay bit-identical under per-bank refresh, DARP's out-of-order
+// pull-in/postpone machinery, and SARP's subarray overlap — their
+// per-bank due times and pull-in horizons are new next_event sources.
+struct RefreshPolicyCase {
+  const char* name;
+  memctrl::RefreshGranularity granularity;
+  bool darp;
+  bool sarp;
+  bool elastic;
+};
+
+class FastForwardRefreshPolicy
+    : public ::testing::TestWithParam<RefreshPolicyCase> {};
+
+TEST_P(FastForwardRefreshPolicy, BitIdenticalToPerCycleLoop) {
+  for (const char* name : {"povray", "lbm"}) {
+    const auto& b = trace::benchmark(name);
+    SystemConfig cfg = base_config(EccPolicy::kNoEcc);
+    cfg.controller.refresh_granularity = GetParam().granularity;
+    cfg.controller.darp = GetParam().darp;
+    cfg.controller.sarp = GetParam().sarp;
+    cfg.controller.elastic_refresh = GetParam().elastic;
+    const RunResult on = run_once(b, cfg, true);
+    const RunResult off = run_once(b, cfg, false);
+    EXPECT_TRUE(same_simulated_result(on, off)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, FastForwardRefreshPolicy,
+    ::testing::Values(
+        RefreshPolicyCase{"AllBank", memctrl::RefreshGranularity::kAllBank,
+                          false, false, false},
+        RefreshPolicyCase{"PerBank", memctrl::RefreshGranularity::kPerBank,
+                          false, false, false},
+        RefreshPolicyCase{"PerBankElastic",
+                          memctrl::RefreshGranularity::kPerBank, false, false,
+                          true},
+        RefreshPolicyCase{"Darp", memctrl::RefreshGranularity::kPerBank, true,
+                          false, false},
+        RefreshPolicyCase{"DarpSarp", memctrl::RefreshGranularity::kPerBank,
+                          true, true, false}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(FastForward, PerBankLifecycleBitIdentical) {
+  // Active -> self-refresh idle -> active under DARP+SARP: the idle
+  // transition exercises resync_refresh's per-bank reset, and the warm
+  // re-entry the per-bank due-time bounds.
+  const auto& b = trace::benchmark("astar");
+  SystemConfig cfg = base_config(EccPolicy::kMecc);
+  cfg.controller.refresh_granularity = memctrl::RefreshGranularity::kPerBank;
+  cfg.controller.darp = true;
+  cfg.controller.sarp = true;
+  cfg.fast_forward = true;
+  System on(b, cfg);
+  cfg.fast_forward = false;
+  System off(b, cfg);
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const RunResult a = on.run_period(150'000);
+    const RunResult r = off.run_period(150'000);
+    EXPECT_TRUE(same_simulated_result(a, r)) << "period " << cycle;
+    if (cycle == 2) break;
+    const IdleReport ia = on.idle_period(0.5);
+    const IdleReport ib = off.idle_period(0.5);
+    expect_idle_reports_equal(ia, ib);
+  }
+}
+
 TEST(FastForward, LifecycleBitIdentical) {
   // Fig. 4 lifecycle: active -> idle -> active -> idle -> active, on two
   // Systems differing only in the fast_forward flag. Every period and
@@ -141,16 +211,24 @@ TEST(FastForward, SmdBitIdentical) {
   EXPECT_GT(on.frac_downgrade_disabled, 0.0);  // SMD actually engaged
 }
 
-TEST(FastForward, ControllerNextEventNeverOvershoots) {
+class ControllerNextEventProperty
+    : public ::testing::TestWithParam<RefreshPolicyCase> {};
+
+TEST_P(ControllerNextEventProperty, NeverOvershoots) {
   // Property: whenever next_event(now) returns a bound b, every tick in
   // (now, b) is a pure no-op — no counter moves — and no completion
   // becomes ready before next_completion_ready(). The bound is only
   // valid until the next external input, so it is recomputed after every
-  // enqueue.
+  // enqueue. Runs once per refresh policy: the per-bank due times and
+  // DARP pull-in horizon are each their own bound source.
   const dram::Geometry geo;
   const dram::Timing timing;
   dram::Device dev(geo, timing);
   memctrl::ControllerConfig cfg;
+  cfg.refresh_granularity = GetParam().granularity;
+  cfg.darp = GetParam().darp;
+  cfg.sarp = GetParam().sarp;
+  cfg.elastic_refresh = GetParam().elastic;
   memctrl::Controller ctl(dev, cfg);
   Rng rng(42);
 
@@ -197,6 +275,22 @@ TEST(FastForward, ControllerNextEventNeverOvershoots) {
   // The property actually bit on a meaningful share of the run.
   EXPECT_GT(checked_noop_ticks, 10'000u);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ControllerNextEventProperty,
+    ::testing::Values(
+        RefreshPolicyCase{"AllBank", memctrl::RefreshGranularity::kAllBank,
+                          false, false, false},
+        RefreshPolicyCase{"PerBank", memctrl::RefreshGranularity::kPerBank,
+                          false, false, false},
+        RefreshPolicyCase{"PerBankElastic",
+                          memctrl::RefreshGranularity::kPerBank, false, false,
+                          true},
+        RefreshPolicyCase{"Darp", memctrl::RefreshGranularity::kPerBank, true,
+                          false, false},
+        RefreshPolicyCase{"DarpSarp", memctrl::RefreshGranularity::kPerBank,
+                          true, true, false}),
+    [](const auto& info) { return std::string(info.param.name); });
 
 TEST(FastForward, AdvanceGapMatchesPerCycleTicks) {
   // Two cores over identical trace streams and always-accepting memory

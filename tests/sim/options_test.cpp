@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "memctrl/controller.h"
+
 #include <cstdlib>
 #include <optional>
 #include <string>
@@ -38,6 +40,8 @@ class OptionsTest : public ::testing::Test {
     unsetenv("MECC_JOBS");
     unsetenv("MECC_BER");
     unsetenv("MECC_OUT");
+    unsetenv("MECC_REFRESH_POLICY");
+    unsetenv("MECC_REFRESH_GRANULARITY");
   }
 };
 
@@ -149,6 +153,88 @@ TEST_F(OptionsTest, OutParsedAndEmptyRejected) {
   EXPECT_NE(error.find("--out"), std::string::npos);
 }
 
+// --- refresh scheduling knobs (docs/SCHEDULING.md) ---
+
+TEST_F(OptionsTest, RefreshPolicyParsed) {
+  EXPECT_EQ(parse({}).refresh_policy, RefreshPolicyOption::kStrict);
+  EXPECT_EQ(parse({"--refresh-policy=strict"}).refresh_policy,
+            RefreshPolicyOption::kStrict);
+  EXPECT_EQ(parse({"--refresh-policy=elastic"}).refresh_policy,
+            RefreshPolicyOption::kElastic);
+  EXPECT_EQ(parse({"--refresh-policy=darp"}).refresh_policy,
+            RefreshPolicyOption::kDarp);
+  EXPECT_EQ(parse({"--refresh-policy=darp-sarp"}).refresh_policy,
+            RefreshPolicyOption::kDarpSarp);
+}
+
+TEST_F(OptionsTest, RefreshGranularityParsed) {
+  EXPECT_EQ(parse({}).refresh_granularity,
+            RefreshGranularityOption::kAllBank);
+  EXPECT_EQ(parse({"--refresh-granularity=all-bank"}).refresh_granularity,
+            RefreshGranularityOption::kAllBank);
+  EXPECT_EQ(parse({"--refresh-granularity=per-bank"}).refresh_granularity,
+            RefreshGranularityOption::kPerBank);
+}
+
+TEST_F(OptionsTest, RefreshKnobsFromEnv) {
+  setenv("MECC_REFRESH_POLICY", "darp", 1);
+  setenv("MECC_REFRESH_GRANULARITY", "per-bank", 1);
+  const SimOptions o = parse({});
+  EXPECT_EQ(o.refresh_policy, RefreshPolicyOption::kDarp);
+  EXPECT_EQ(o.refresh_granularity, RefreshGranularityOption::kPerBank);
+}
+
+TEST_F(OptionsTest, MalformedRefreshKnobsRejected) {
+  std::string error;
+  EXPECT_FALSE(parse_checked({"--refresh-policy=bogus"}, &error).has_value());
+  EXPECT_NE(error.find("--refresh-policy"), std::string::npos);
+  // Spellings from the literature that we deliberately do not accept.
+  EXPECT_FALSE(parse_checked({"--refresh-policy=sarp"}).has_value());
+  EXPECT_FALSE(parse_checked({"--refresh-policy=STRICT"}).has_value());
+  EXPECT_FALSE(parse_checked({"--refresh-policy="}).has_value());
+  EXPECT_FALSE(
+      parse_checked({"--refresh-granularity=bank"}, &error).has_value());
+  EXPECT_NE(error.find("--refresh-granularity"), std::string::npos);
+  EXPECT_FALSE(parse_checked({"--refresh-granularity=rank"}).has_value());
+  setenv("MECC_REFRESH_POLICY", "junk", 1);
+  EXPECT_FALSE(parse_checked({}, &error).has_value());
+  EXPECT_NE(error.find("MECC_REFRESH_POLICY"), std::string::npos);
+}
+
+TEST_F(OptionsTest, ApplyRefreshOptionsMapsOntoControllerConfig) {
+  // The mapping the benches rely on (bench/bench_util.h): granularity
+  // first, then the policy; darp implies per-bank regardless of the
+  // granularity flag.
+  memctrl::ControllerConfig cc;
+  apply_refresh_options(parse({}), cc);
+  EXPECT_EQ(cc.refresh_granularity, memctrl::RefreshGranularity::kAllBank);
+  EXPECT_FALSE(cc.elastic_refresh);
+  EXPECT_FALSE(cc.darp);
+  EXPECT_FALSE(cc.sarp);
+
+  cc = {};
+  apply_refresh_options(parse({"--refresh-policy=elastic"}), cc);
+  EXPECT_TRUE(cc.elastic_refresh);
+  EXPECT_EQ(cc.refresh_granularity, memctrl::RefreshGranularity::kAllBank);
+
+  cc = {};
+  apply_refresh_options(parse({"--refresh-granularity=per-bank"}), cc);
+  EXPECT_EQ(cc.refresh_granularity, memctrl::RefreshGranularity::kPerBank);
+  EXPECT_FALSE(cc.darp);
+
+  cc = {};
+  apply_refresh_options(parse({"--refresh-policy=darp"}), cc);
+  EXPECT_EQ(cc.refresh_granularity, memctrl::RefreshGranularity::kPerBank);
+  EXPECT_TRUE(cc.darp);
+  EXPECT_FALSE(cc.sarp);
+
+  cc = {};
+  apply_refresh_options(parse({"--refresh-policy=darp-sarp"}), cc);
+  EXPECT_EQ(cc.refresh_granularity, memctrl::RefreshGranularity::kPerBank);
+  EXPECT_TRUE(cc.darp);
+  EXPECT_TRUE(cc.sarp);
+}
+
 // --- consumed-argv reporting (the bench shared-flag strip contract) ---
 
 TEST_F(OptionsTest, EveryRecognizedFlagIsReportedConsumed) {
@@ -159,7 +245,8 @@ TEST_F(OptionsTest, EveryRecognizedFlagIsReportedConsumed) {
       "--instructions=10",  "--seed=2",
       "--jobs=1",           "--ber=0.001",
       "--out=-",            "--perf-out=p.json",
-      "--fast-forward=off", "--trace=-",
+      "--fast-forward=off", "--refresh-policy=darp",
+      "--refresh-granularity=per-bank", "--trace=-",
       "--trace-categories=dram", "--trace-limit=4",
       "--metrics-out=-",    "--metrics-interval=100",
       "--metrics-keys=power", "--list-stats",
