@@ -1,0 +1,250 @@
+// Fleet-scale campaign bench (ROADMAP item 2, docs/FLEET.md): samples a
+// device fleet — per-device workload class (Table III shares), Fig. 1
+// active/idle duty cycle, temperature/retention variation — and runs the
+// per-device reliability/energy model sharded across supervised worker
+// *processes* via the sim/fleet Orchestrator: crash/hang detection,
+// bounded retries with exponential backoff, graceful degradation, and a
+// durable checkpoint after every shard so `kill -9` at any instant
+// (worker or orchestrator) is survivable with --resume.
+//
+// This same binary is its own worker: the orchestrator re-execs
+// /proc/self/exe with --fleet-worker, so one executable carries the
+// whole campaign.
+//
+// Fleet-specific flags (on top of the shared --seed/--jobs/--out/
+// --perf-out):
+//   --fleet-devices=N            fleet size (default 20000)
+//   --fleet-devices-per-shard=N  shard granularity (default 2500)
+//   --fleet-state-dir=DIR        checkpoint directory (default fleet_state)
+//   --resume=DIR                 resume the campaign checkpointed in DIR
+//   --fleet-retries=R            re-queue budget per shard (default 2)
+//   --fleet-deadline-s=X         per-attempt hard wall limit
+//   --fleet-heartbeat-timeout-s=X  hung-worker detection threshold
+//   --fleet-backoff-s=X          base retry delay (doubles per attempt)
+//   --fleet-selftest=SPEC        failure injection (docs/FLEET.md)
+//   --fleet-aggregate-out=FILE   aggregate JSONL copy (default
+//                                STATE_DIR/aggregate.jsonl only)
+//
+// The aggregate JSONL is byte-identical for a given (config, seed)
+// regardless of --jobs, retries, or interruptions; the supervision
+// observability (retries, kills, backoff) lives in the --out report's
+// fleet.* scalars instead.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "common/fsio.h"
+#include "common/json.h"
+#include "sim/fleet.h"
+
+namespace {
+
+using namespace mecc;
+namespace fleet = sim::fleet;
+
+[[nodiscard]] bool eat_prefix(const char* arg, const char* prefix,
+                              const char** rest) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  *rest = arg + n;
+  return true;
+}
+
+[[nodiscard]] bool parse_u64(const char* s, std::uint64_t* out) {
+  char* endp = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &endp, 10);
+  if (errno != 0 || endp == s || *endp != '\0') return false;
+  *out = v;
+  return true;
+}
+
+[[nodiscard]] bool parse_pos_double(const char* s, double* out) {
+  char* endp = nullptr;
+  const double v = std::strtod(s, &endp);
+  if (endp == s || *endp != '\0' || !(v > 0.0)) return false;
+  *out = v;
+  return true;
+}
+
+[[noreturn]] void flag_error(const char* arg) {
+  std::fprintf(stderr, "error: malformed fleet flag '%s'\n", arg);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Worker mode first: the orchestrator re-execs this binary with
+  // --fleet-worker to compute exactly one shard.
+  if (fleet::is_fleet_worker_invocation(argc, argv)) {
+    return fleet::worker_main(argc, argv);
+  }
+
+  const sim::SimOptions opts = sim::parse_options(argc, argv, 20'000);
+
+  fleet::FleetConfig cfg;
+  cfg.devices = 20'000;
+  cfg.devices_per_shard = 2'500;
+  cfg.seed = opts.seed;
+  cfg.jobs = opts.jobs;
+  cfg.state_dir = "fleet_state";
+  cfg.interrupt = &bench::g_interrupt_signal;
+  std::string aggregate_out;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (eat_prefix(arg, "--fleet-devices=", &v)) {
+      if (!parse_u64(v, &cfg.devices) || cfg.devices == 0) flag_error(arg);
+    } else if (eat_prefix(arg, "--fleet-devices-per-shard=", &v)) {
+      if (!parse_u64(v, &cfg.devices_per_shard) || cfg.devices_per_shard == 0) {
+        flag_error(arg);
+      }
+    } else if (eat_prefix(arg, "--fleet-state-dir=", &v)) {
+      if (*v == '\0') flag_error(arg);
+      cfg.state_dir = v;
+    } else if (eat_prefix(arg, "--resume=", &v)) {
+      if (*v == '\0') flag_error(arg);
+      cfg.state_dir = v;
+      cfg.resume = true;
+    } else if (eat_prefix(arg, "--fleet-retries=", &v)) {
+      std::uint64_t r = 0;
+      if (!parse_u64(v, &r)) flag_error(arg);
+      cfg.max_retries = static_cast<unsigned>(r);
+    } else if (eat_prefix(arg, "--fleet-deadline-s=", &v)) {
+      if (!parse_pos_double(v, &cfg.shard_deadline_s)) flag_error(arg);
+    } else if (eat_prefix(arg, "--fleet-heartbeat-timeout-s=", &v)) {
+      if (!parse_pos_double(v, &cfg.heartbeat_timeout_s)) flag_error(arg);
+    } else if (eat_prefix(arg, "--fleet-heartbeat-interval-s=", &v)) {
+      if (!parse_pos_double(v, &cfg.heartbeat_interval_s)) flag_error(arg);
+    } else if (eat_prefix(arg, "--fleet-backoff-s=", &v)) {
+      if (!parse_pos_double(v, &cfg.backoff_base_s)) flag_error(arg);
+    } else if (eat_prefix(arg, "--fleet-lines-per-device=", &v)) {
+      if (!parse_u64(v, &cfg.model.lines_per_device)) flag_error(arg);
+    } else if (eat_prefix(arg, "--fleet-selftest=", &v)) {
+      cfg.selftest = v;
+    } else if (eat_prefix(arg, "--fleet-aggregate-out=", &v)) {
+      if (*v == '\0') flag_error(arg);
+      aggregate_out = v;
+    } else if (eat_prefix(arg, "--fleet-", &v)) {
+      flag_error(arg);  // unknown --fleet-* flag: refuse loudly
+    }
+  }
+
+  // BenchOutput gets a perf-less copy of the options: the fleet perf
+  // report (devices/sec, not instructions/sec) is written below.
+  sim::SimOptions bench_opts = opts;
+  bench_opts.perf_out.clear();
+  bench::BenchOutput out("fleet_campaign", bench_opts);
+
+  bench::print_banner(
+      "Fleet campaign: device population percentiles under supervision",
+      "Fig. 1 usage + Fig. 2 retention + Eq. 1 idle power, fleet-scaled");
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  fleet::Orchestrator orchestrator(cfg);
+  fleet::CampaignOutcome outcome = orchestrator.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  if (!outcome.completed) {
+    if (!outcome.error.empty()) {
+      std::fprintf(stderr, "%s\n", outcome.error.c_str());
+    }
+    if (outcome.exit_code > 128) {
+      // Interrupted: flush the partial report through the shared
+      // bench_util path (scalars collected so far + interrupted tag).
+      StatSet stats;
+      outcome.to_stats(stats);
+      for (const auto& [name, value] : stats.counters()) {
+        out.add_scalar("fleet." + name, static_cast<double>(value));
+      }
+      out.exit_interrupted(outcome.exit_code - 128);
+    }
+    return outcome.exit_code;
+  }
+
+  // Aggregate JSONL: always into the state dir (that copy is what the
+  // resume-equivalence gate byte-compares), optionally mirrored.
+  const std::string aggregate_path = cfg.state_dir + "/aggregate.jsonl";
+  if (!orchestrator.write_aggregate(aggregate_path)) return 1;
+  if (!aggregate_out.empty() && !orchestrator.write_aggregate(aggregate_out)) {
+    return 1;
+  }
+
+  // fleet.* stats component -> report scalars, StatRegistry-keyed.
+  StatRegistry registry;
+  registry.register_component(
+      "fleet", [&outcome](StatSet& s) { outcome.to_stats(s); });
+  const StatSet stats = registry.snapshot();
+  for (const auto& [name, value] : stats.counters()) {
+    out.add_scalar(name, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : stats.gauges()) {
+    out.add_scalar(name, value);
+  }
+  for (const auto& [name, dist] : stats.dists()) {
+    out.add_scalar(name + "_mean", dist.mean());
+    out.add_scalar(name + "_min", dist.min);
+    out.add_scalar(name + "_max", dist.max);
+  }
+
+  TextTable t({"metric", "value"});
+  auto row = [&t](const std::string& k, const std::string& v) {
+    t.add_row({k, v});
+  };
+  row("devices simulated", std::to_string(outcome.devices_simulated));
+  row("shards done / degraded / total",
+      std::to_string(outcome.shards_done) + " / " +
+          std::to_string(outcome.shards_degraded) + " / " +
+          std::to_string(outcome.shards_total));
+  row("coverage", TextTable::num(outcome.coverage(), 4));
+  row("worker retries (crash/dirty/hung/deadline)",
+      std::to_string(outcome.retries) + " (" +
+          std::to_string(outcome.workers_crashed) + "/" +
+          std::to_string(outcome.workers_dirty) + "/" +
+          std::to_string(outcome.workers_hung_killed) + "/" +
+          std::to_string(outcome.workers_deadline_killed) + ")");
+  row("DUE/year per device p50", TextTable::sci(outcome.due_rate.quantile(0.5)));
+  row("DUE/year per device p99", TextTable::sci(outcome.due_rate.quantile(0.99)));
+  row("DUE/year per device p99.9",
+      TextTable::sci(outcome.due_rate.quantile(0.999)));
+  row("energy mJ/day per device mean", TextTable::num(outcome.energy.mean(), 1));
+  row("energy mJ/day per device p99.9",
+      TextTable::num(outcome.energy.quantile(0.999), 1));
+  t.print("Campaign summary (" + std::to_string(cfg.jobs) +
+          " worker processes; aggregate: " + aggregate_path + ")");
+
+  // Host-side perf observability: campaign throughput in devices/sec
+  // (perf_smoke.sh lifts fleet_devices_per_sec into BENCH_perf.json).
+  if (!opts.perf_out.empty()) {
+    const double rate =
+        wall_s > 0.0 ? static_cast<double>(outcome.devices_simulated) / wall_s
+                     : 0.0;
+    JsonWriter w(2);
+    w.begin_object();
+    w.key("schema");
+    w.value("mecc-bench-perf-v1");
+    w.key("bench");
+    w.value("fleet_campaign");
+    w.key("devices");
+    w.value(outcome.devices_simulated);
+    w.key("jobs");
+    w.value(cfg.jobs);
+    w.key("wall_seconds");
+    w.value(wall_s);
+    w.key("fleet_devices_per_sec");
+    w.value(rate);
+    w.end_object();
+    if (!atomic_write_file(opts.perf_out, w.str() + "\n", "--perf-out")) {
+      return 1;
+    }
+  }
+
+  return out.write();
+}

@@ -69,6 +69,22 @@ else
   refresh_json=""
 fi
 
+# Fleet campaign leg (docs/FLEET.md): devices/sec throughput of the
+# multi-process orchestrator on a small fleet. Observational like the
+# rest of this report (the crash-safety correctness gate is the
+# kill-resume byte comparison in tier1.sh).
+fleet_bench="build/bench/bench_fleet_campaign"
+fleet_json="$tmpdir/fleet_perf.json"
+if [[ -x "$fleet_bench" ]]; then
+  "$fleet_bench" --fleet-devices=2000 --fleet-devices-per-shard=250 \
+    --fleet-lines-per-device=4096 --seed=1 --jobs=4 \
+    --fleet-state-dir="$tmpdir/fleet_state" \
+    --perf-out="$fleet_json" > /dev/null
+else
+  echo "perf_smoke: $fleet_bench not built; skipping fleet leg" >&2
+  fleet_json=""
+fi
+
 # Correctness side-check while we are here: on/off must agree on every
 # simulated byte (the perf files differ, the --out files must not).
 if ! cmp -s "$tmpdir/out_on_0.json" "$tmpdir/out_off_0.json"; then
@@ -77,12 +93,12 @@ if ! cmp -s "$tmpdir/out_on_0.json" "$tmpdir/out_off_0.json"; then
 fi
 
 python3 - "$out" "$instructions" "$repeats" "$tmpdir" "$codec_json" \
-  "$refresh_json" <<'EOF'
+  "$refresh_json" "$fleet_json" <<'EOF'
 import json
 import sys
 
-out_path, instructions, repeats, tmpdir, codec_json, refresh_json = \
-    sys.argv[1:7]
+out_path, instructions, repeats, tmpdir, codec_json, refresh_json, \
+    fleet_json = sys.argv[1:8]
 instructions = int(instructions)
 repeats = int(repeats)
 
@@ -123,6 +139,16 @@ if refresh_json:
         refresh = json.load(f)
     report["refresh_scheduling"] = refresh.get("scalars", {})
 
+if fleet_json:
+    with open(fleet_json) as f:
+        fleet = json.load(f)
+    report["fleet_campaign"] = {
+        "devices": fleet["devices"],
+        "jobs": fleet["jobs"],
+        "wall_seconds": fleet["wall_seconds"],
+        "fleet_devices_per_sec": fleet["fleet_devices_per_sec"],
+    }
+
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
@@ -134,6 +160,10 @@ for e in report.get("ecc_codec", {}).get("entries", []):
         print(f"perf_smoke: codec {e['name']}: "
               f"{e['lines_per_sec']:.0f} lines/s "
               f"({e['speedup']:.2f}x over scalar)")
+fleet = report.get("fleet_campaign")
+if fleet is not None:
+    print(f"perf_smoke: fleet campaign {fleet['fleet_devices_per_sec']:.0f} "
+          f"devices/s across {fleet['jobs']} worker processes")
 darp_2x = report.get("refresh_scheduling", {}).get(
     "darp_read_latency_reduction_2x")
 if darp_2x is not None:

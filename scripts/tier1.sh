@@ -106,6 +106,31 @@ build/bench/bench_ecc_codec --list-stats > /dev/null
 # ctest invocation can never silently skip it).
 build/tests/test_codec_equivalence --gtest_brief=1 > /dev/null
 
+# Fleet orchestrator crash-safety smoke (docs/FLEET.md): run an
+# uninterrupted reference campaign, then a campaign whose orchestrator
+# hard-exits mid-run (orch-exit selftest: _exit(137) with no cleanup,
+# the moral equivalent of kill -9) with a worker-crash injection on top,
+# then --resume it at different parallelism. The resumed aggregate must
+# match the reference byte for byte.
+fleet_flags=(--fleet-devices=2000 --fleet-devices-per-shard=250
+  --fleet-lines-per-device=4096 --seed=1 --fleet-backoff-s=0.01)
+rm -rf build/tier1_fleet_ref build/tier1_fleet_kill
+build/bench/bench_fleet_campaign "${fleet_flags[@]}" --jobs=3 \
+  --fleet-state-dir=build/tier1_fleet_ref \
+  --out=build/tier1_fleet_out.json > /dev/null
+python3 -m json.tool build/tier1_fleet_out.json > /dev/null
+fleet_rc=0
+build/bench/bench_fleet_campaign "${fleet_flags[@]}" --jobs=2 \
+  --fleet-state-dir=build/tier1_fleet_kill \
+  --fleet-selftest=orch-exit@3,crash@1:1 > /dev/null || fleet_rc=$?
+if [[ "$fleet_rc" != 137 ]]; then
+  echo "tier1: fleet orch-exit selftest exited $fleet_rc, expected 137" >&2
+  exit 1
+fi
+build/bench/bench_fleet_campaign "${fleet_flags[@]}" --jobs=4 \
+  --resume=build/tier1_fleet_kill > /dev/null
+cmp build/tier1_fleet_ref/aggregate.jsonl build/tier1_fleet_kill/aggregate.jsonl
+
 # Wall-clock report (non-gating: host-dependent numbers, never a
 # pass/fail signal; the committed snapshot is BENCH_perf.json).
 scripts/perf_smoke.sh --repeats=1 --instructions=500000 || true
@@ -116,9 +141,9 @@ if [[ "$run_tsan" == 1 ]]; then
     test_parallel_runner test_run_json test_stats \
     test_golden_vectors test_codec_property test_fast_forward \
     test_trace test_observability test_codec_equivalence \
-    test_refresh_policy
+    test_refresh_policy test_fleet_orchestrator
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|GoldenVectors|CodecProperty|FastForward|Tracer|MetricsSampler|Observability|CodecEquivalence|PerBankRefresh|DarpRefresh|SarpRefresh'
+    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|QuantileSketch|GoldenVectors|CodecProperty|FastForward|Tracer|MetricsSampler|Observability|CodecEquivalence|PerBankRefresh|DarpRefresh|SarpRefresh|Fleet'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -127,7 +152,8 @@ if [[ "$run_asan" == 1 ]]; then
     test_memory_image test_shadow_memory test_due_policy \
     test_fault_campaign test_line_codec test_bitvec test_fast_forward \
     test_json test_trace test_observability test_codec_equivalence \
-    test_refresh_policy test_controller_fuzz test_elastic_refresh
+    test_refresh_policy test_controller_fuzz test_elastic_refresh \
+    test_fleet_orchestrator
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward|JsonEscape|JsonWriter|Tracer|MetricsSampler|Observability|CodecEquivalence|PerBankRefresh|DarpRefresh|SarpRefresh|ElasticRefresh|ControllerFuzz|ControllerStress'
+    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward|JsonEscape|JsonWriter|Tracer|MetricsSampler|Observability|CodecEquivalence|PerBankRefresh|DarpRefresh|SarpRefresh|ElasticRefresh|ControllerFuzz|ControllerStress|Fleet'
 fi

@@ -1,0 +1,108 @@
+#include "common/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace mecc {
+
+namespace {
+
+/// Directory part of `path` ("." when there is none), for the
+/// post-rename directory fsync.
+[[nodiscard]] std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+[[nodiscard]] bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, const std::string& contents,
+                       const char* what) {
+  if (path == "-") {
+    std::fwrite(contents.data(), 1, contents.size(), stdout);
+    return std::fflush(stdout) == 0;
+  }
+  // Fixed temp name: only one writer per final path exists at a time
+  // (workers own distinct shard files, the orchestrator owns the
+  // manifest), and a stale temp from a killed writer is simply
+  // overwritten by the next attempt.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot open %s temp file '%s': %s\n", what,
+                 tmp.c_str(), std::strerror(errno));
+    return false;
+  }
+  const bool wrote = write_all(fd, contents.data(), contents.size());
+  const bool synced = wrote && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    std::fprintf(stderr, "error: short write to %s file '%s': %s\n", what,
+                 tmp.c_str(), std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "error: cannot rename %s file '%s' -> '%s': %s\n",
+                 what, tmp.c_str(), path.c_str(), std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable: fsync the containing directory.
+  // Failure here (exotic filesystems refuse O_RDONLY dir fsync) is not
+  // fatal — the data file is complete either way.
+  const int dfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, contents.data(), contents.size());
+  ::close(fd);
+  return ok;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace mecc

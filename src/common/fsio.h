@@ -1,0 +1,34 @@
+// Durable file output (docs/FLEET.md): every machine-readable artifact
+// the simulator leaves behind — bench reports, trace/metrics emissions,
+// fleet-campaign checkpoints and shard results — goes through
+// atomic_write_file so a crash (including SIGKILL) at any instant leaves
+// either the previous complete file or the new complete file on disk,
+// never a truncated half-written one that a resume would mis-parse.
+#pragma once
+
+#include <string>
+
+namespace mecc {
+
+/// Writes `contents` to `path` via write-to-temp + fsync + atomic
+/// rename (+ fsync of the containing directory, so the rename itself is
+/// durable). `path` == "-" streams to stdout instead. Returns false
+/// with a stderr diagnostic (mentioning `what`, e.g. "--out") on any
+/// I/O failure; a failed attempt removes its temp file.
+[[nodiscard]] bool atomic_write_file(const std::string& path,
+                                     const std::string& contents,
+                                     const char* what = "output");
+
+/// Non-durable convenience: truncate-write `contents` to `path` with a
+/// plain open/write/close (one mtime bump, no fsync). Used for
+/// heartbeat touch files where durability is irrelevant but the
+/// write must still be a single syscall-level operation.
+[[nodiscard]] bool write_file(const std::string& path,
+                              const std::string& contents);
+
+/// Reads the whole file into `out`. Returns false (without a
+/// diagnostic — callers decide whether a missing file is an error) when
+/// the file cannot be opened or read.
+[[nodiscard]] bool read_file(const std::string& path, std::string* out);
+
+}  // namespace mecc

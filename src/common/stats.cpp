@@ -1,9 +1,92 @@
 #include "common/stats.h"
 
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace mecc {
+
+// ---- QuantileSketch ----
+
+std::int32_t QuantileSketch::bucket_index(double sample) {
+  // Underflow bucket for everything without a positive log: negatives,
+  // zeros, NaN. INT32_MIN sorts first in the map, so quantile() walks
+  // it before any positive bucket.
+  if (!(sample > 0.0)) return std::numeric_limits<std::int32_t>::min();
+  int exp = 0;
+  const double mantissa = std::frexp(sample, &exp);  // in [0.5, 1)
+  // Sub-bucket within the octave: log2(mantissa) in [-1, 0).
+  const double frac = std::log2(mantissa) + 1.0;  // in [0, 1)
+  int sub = static_cast<int>(frac * kBucketsPerOctave);
+  if (sub >= kBucketsPerOctave) sub = kBucketsPerOctave - 1;
+  return static_cast<std::int32_t>(exp) * kBucketsPerOctave + sub;
+}
+
+double QuantileSketch::bucket_value(std::int32_t index) {
+  if (index == std::numeric_limits<std::int32_t>::min()) return 0.0;
+  // Geometric midpoint of [2^(i/32 - 1), 2^((i+1)/32 - 1)) scaled into
+  // the bucket's octave: exp2 of the bucket's center log2.
+  const double center =
+      (static_cast<double>(index) + 0.5) / kBucketsPerOctave - 1.0;
+  return std::exp2(center);
+}
+
+void QuantileSketch::record(double sample, std::uint64_t n) {
+  if (n == 0) return;
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    if (sample < min_) min_ = sample;
+    if (sample > max_) max_ = sample;
+  }
+  sum_ += sample * static_cast<double>(n);
+  count_ += n;
+  buckets_[bucket_index(sample)] += n;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (!(q > 0.0)) return min();
+  if (q >= 1.0) return max();
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) {
+      // Clamp the representative into the observed range so a
+      // single-bucket tail never reports beyond the exact extrema.
+      const double v = bucket_value(index);
+      return v < min_ ? min_ : (v > max_ ? max_ : v);
+    }
+  }
+  return max();  // unreachable: ranks are <= count_
+}
+
+void QuantileSketch::restore(
+    const std::map<std::int32_t, std::uint64_t>& buckets, std::uint64_t count,
+    double sum, double min, double max) {
+  buckets_ = buckets;
+  count_ = count;
+  sum_ = sum;
+  min_ = min;
+  max_ = max;
+}
 
 void Distribution::merge(const Distribution& other) {
   if (other.count == 0) return;

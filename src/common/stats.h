@@ -61,6 +61,63 @@ struct Distribution {
   [[nodiscard]] bool operator==(const Distribution&) const = default;
 };
 
+/// Bounded-memory quantile summary for population percentiles (the
+/// fleet campaign's "P99.9 device exceeds X DUEs/year" claims,
+/// docs/FLEET.md). Log-spaced histogram: every positive sample lands in
+/// one of 32 sub-buckets per octave (relative bucket width ~2.2%), so
+/// quantile() is exact to that relative error. Non-positive samples
+/// share a dedicated underflow bucket reported as 0. Deterministic and
+/// mergeable: buckets are a sorted map of counts, so merge order never
+/// changes the result and equal sample multisets serialize identically
+/// — which is what lets a resumed campaign reproduce an uninterrupted
+/// aggregate byte for byte.
+class QuantileSketch {
+ public:
+  /// Sub-buckets per power of two. 32 keeps the whole double range in
+  /// ~2^16 distinct bucket indices while bounding relative error below
+  /// 2^(1/32)-1 ~ 2.2%.
+  static constexpr int kBucketsPerOctave = 32;
+
+  void record(double sample, std::uint64_t n = 1);
+  void merge(const QuantileSketch& other);
+
+  /// Value at cumulative fraction q in [0, 1]: the representative value
+  /// (geometric bucket midpoint) of the bucket containing the
+  /// ceil(q * count)-th smallest sample. 0 on an empty sketch; q <= 0
+  /// returns min(), q >= 1 returns max() (both exact, not bucketed).
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Sorted (bucket index, count) view for serialization; paired with
+  /// restore() this round-trips the sketch exactly (plus the exact
+  /// min/max/sum carried separately).
+  [[nodiscard]] const std::map<std::int32_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  /// Rebuilds a sketch from serialized state (fleet checkpoint resume).
+  void restore(const std::map<std::int32_t, std::uint64_t>& buckets,
+               std::uint64_t count, double sum, double min, double max);
+
+  [[nodiscard]] bool operator==(const QuantileSketch&) const = default;
+
+ private:
+  [[nodiscard]] static std::int32_t bucket_index(double sample);
+  [[nodiscard]] static double bucket_value(std::int32_t index);
+
+  std::map<std::int32_t, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// A flat bag of named statistics. Components own a StatSet each; the
 /// System merges them for reporting. Deliberately simple: counters are
 /// monotonically increasing uint64, gauges are doubles set at will,

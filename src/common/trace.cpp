@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
-#include <iostream>
 
+#include "common/fsio.h"
 #include "common/json.h"
 
 namespace mecc::tracing {
@@ -195,19 +194,9 @@ std::string Tracer::json() const {
 }
 
 bool Tracer::write(const std::string& path) const {
-  const std::string doc = json();
-  if (path == "-") {
-    std::fwrite(doc.data(), 1, doc.size(), stdout);
-    return true;
-  }
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) {
-    std::fprintf(stderr, "error: cannot open --trace file '%s'\n",
-                 path.c_str());
-    return false;
-  }
-  f << doc;
-  return f.good();
+  // Durable emission (docs/FLEET.md): a crash mid-write leaves either
+  // no trace file or a complete one, never a truncated JSON document.
+  return atomic_write_file(path, json(), "--trace");
 }
 
 MetricsSampler::MetricsSampler(const MetricsConfig& config,
@@ -296,18 +285,8 @@ void MetricsSampler::sample(Cycle now, const char* phase) {
 }
 
 bool MetricsSampler::write(const std::string& path) const {
-  if (path == "-") {
-    std::fwrite(out_.data(), 1, out_.size(), stdout);
-    return true;
-  }
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) {
-    std::fprintf(stderr, "error: cannot open --metrics-out file '%s'\n",
-                 path.c_str());
-    return false;
-  }
-  f << out_;
-  return f.good();
+  // Durable emission, same contract as Tracer::write.
+  return atomic_write_file(path, out_, "--metrics-out");
 }
 
 }  // namespace mecc::tracing

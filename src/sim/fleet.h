@@ -1,0 +1,300 @@
+// Fleet-scale Monte-Carlo campaign orchestrator (ROADMAP item 2,
+// docs/FLEET.md): turns the per-device reliability/energy numbers into
+// population-level claims ("P99.9 device exceeds X DUEs/year") by
+// sampling a device fleet — per-device workload mix (Table III class
+// shares), Fig. 1 active/idle duty cycle, temperature/retention
+// variation, BER — and sharding the device list across supervised
+// worker *processes*.
+//
+// This extends the sim/thread_pool.h work model one level up: where the
+// ThreadPool shards independent System runs across threads in one
+// process, the fleet Orchestrator shards independent device ranges
+// across child processes sharing one ready-queue (idle worker slots
+// pull the next pending shard; retried shards re-enter the queue with
+// exponential backoff), and supervises them: per-shard deadline
+// timeouts with SIGKILL, a heartbeat watchdog that distinguishes hung
+// workers from merely slow ones, crash/nonzero-exit detection with
+// bounded retries, and — when a shard exhausts its retry budget —
+// graceful degradation (the campaign completes with an explicit
+// coverage stat instead of dying).
+//
+// Crash safety: campaign state (completed shard ids + per-shard result
+// digests + supervision counters) is checkpointed to state_dir via
+// write-temp + fsync + atomic-rename (common/fsio.h) on every shard
+// completion, and every per-device draw comes from a counter-based RNG
+// substream keyed by (seed, device id) — independent of shard
+// assignment, retry count, or scheduling — so a campaign resumed after
+// a kill -9 of any worker or of the orchestrator itself emits an
+// aggregate JSONL byte-identical to an uninterrupted run.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "trace/benchmarks.h"
+
+namespace mecc::sim::fleet {
+
+/// Counter-based RNG: a stateless splitmix64-style mix of
+/// (seed, stream, counter). Device i draws from stream i, so its values
+/// depend only on (seed, i, counter) — never on which shard or worker
+/// process evaluates it, which is the property the byte-identical
+/// resume contract rests on.
+class CounterRng {
+ public:
+  CounterRng(std::uint64_t seed, std::uint64_t stream);
+
+  [[nodiscard]] std::uint64_t bits(std::uint64_t counter) const;
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform(std::uint64_t counter) const;
+  /// Standard normal via Box-Muller over counters (counter, counter+1).
+  [[nodiscard]] double normal(std::uint64_t counter) const;
+  /// Poisson(lambda) sample. Consumes a variable number of counters
+  /// starting at `counter`; each device owns its whole stream, so
+  /// counter-space collisions across devices cannot happen.
+  [[nodiscard]] std::uint64_t poisson(double lambda,
+                                      std::uint64_t counter) const;
+
+ private:
+  std::uint64_t key_;
+};
+
+/// Population-model knobs. Part of the checkpoint fingerprint: a resume
+/// with any of these changed is rejected rather than silently mixing
+/// two different populations in one aggregate.
+struct FleetModel {
+  /// Sampled-set lines per device the DUE/CE math is scaled by
+  /// (a full device is kMemoryLines; sampling keeps shards cheap).
+  std::uint64_t lines_per_device = 1u << 20;
+  /// Campaign horizon the event draws cover.
+  double horizon_days = 365.0;
+  /// Mean Fig. 1 active duty cycle (paper S V-D: 95% idle).
+  double mean_active_share = 0.05;
+  /// Lognormal sigma of the per-device duty-cycle draw.
+  double active_share_sigma = 0.35;
+  /// Mean active-burst length (Fig. 1: ~2 min bursts); sets how many
+  /// idle->active wake-ups (and thus wake-up read sweeps) a day holds.
+  double burst_seconds = 120.0;
+  /// Device temperature range, uniform across the fleet.
+  double temp_min_c = 25.0;
+  double temp_max_c = 55.0;
+  /// Retention halves per +10 C above this reference temperature.
+  double temp_ref_c = 45.0;
+  /// MECC strong-mode idle self-refresh period (paper: 1 s).
+  double strong_refresh_s = 1.0;
+};
+
+/// Worker self-test failure injection (docs/FLEET.md), parsed from a
+/// comma-separated spec: "crash@S:N" (shard S kills itself with SIGKILL
+/// on attempts < N), "dirty@S:N" (exits 3), "hang@S:N" (stops
+/// heartbeating forever), "slow@S:MS" (sleeps MS milliseconds while
+/// heartbeating — must NOT be killed before the deadline), and
+/// "orch-exit@K" (the orchestrator hard-exits — _exit(137), no cleanup,
+/// simulating kill -9 — right after its K-th shard completion in this
+/// process). Injection never touches shard *results*, only process
+/// behavior, so retried/resumed campaigns stay byte-identical.
+struct SelftestSpec {
+  std::map<std::uint64_t, unsigned> crash;  // shard -> attempts affected
+  std::map<std::uint64_t, unsigned> dirty;
+  std::map<std::uint64_t, unsigned> hang;
+  std::map<std::uint64_t, unsigned> slow_ms;  // shard -> sleep millis
+  std::uint64_t orch_exit_after = 0;          // 0 = off
+};
+
+/// Parses the selftest spec; returns false with *error on a malformed
+/// entry. An empty spec parses to the all-off default.
+[[nodiscard]] bool parse_selftest(const std::string& spec, SelftestSpec* out,
+                                  std::string* error);
+
+struct FleetConfig {
+  std::uint64_t devices = 100'000;
+  std::uint64_t devices_per_shard = 10'000;
+  std::uint64_t seed = 1;
+  FleetModel model{};
+
+  // ---- orchestration-only knobs (not fingerprinted; a resume may
+  // change them without affecting the aggregate) ----
+  unsigned jobs = 2;             // concurrent worker processes
+  unsigned max_retries = 2;      // R: re-queue budget per shard
+  double shard_deadline_s = 300.0;     // hard per-attempt wall limit
+  double heartbeat_timeout_s = 30.0;   // hung-worker detection
+  double heartbeat_interval_s = 1.0;   // worker heartbeat cadence
+  double backoff_base_s = 0.05;        // retry delay = base * 2^attempt
+  std::string state_dir;         // checkpoint directory (required)
+  std::string worker_exe;        // "" = /proc/self/exe
+  std::string selftest;          // failure-injection spec ("" = off)
+  bool resume = false;           // require an existing manifest
+  /// When set, the orchestrator polls this flag (a signal handler's
+  /// sig_atomic_t) between supervision steps: nonzero -> kill workers,
+  /// checkpoint, and return with exit_code = 128 + value.
+  const volatile std::sig_atomic_t* interrupt = nullptr;
+};
+
+/// ceil(devices / devices_per_shard).
+[[nodiscard]] std::uint64_t shard_count(const FleetConfig& cfg);
+
+/// One sampled device: everything the per-device simulation depends on.
+struct DeviceSample {
+  std::uint64_t device = 0;
+  trace::MpkiClass klass = trace::MpkiClass::kLow;  // workload mix
+  double active_share = 0.05;    // Fig. 1 duty cycle
+  double wakeups_per_day = 36.0; // idle->active transitions (wake sweeps)
+  double temperature_c = 45.0;
+  double ber = 0.0;              // raw BER at the strong idle refresh
+};
+
+[[nodiscard]] DeviceSample sample_device(const FleetConfig& cfg,
+                                         std::uint64_t device);
+
+/// Per-device Monte-Carlo outcome over the campaign horizon.
+struct DeviceResult {
+  double energy_mj_per_day = 0.0;
+  double due_per_year = 0.0;     // expected DUEs/year (analytic rate)
+  std::uint64_t due_events = 0;  // sampled events over horizon_days
+  std::uint64_t ce_events = 0;
+};
+
+[[nodiscard]] DeviceResult simulate_device(const FleetConfig& cfg,
+                                           const DeviceSample& sample);
+
+/// Aggregate of one shard's device range. digest is an FNV-1a hash over
+/// every per-device outcome, so two evaluations of the same shard can
+/// be compared cheaply and a resumed campaign can verify checkpointed
+/// results came from the same (config, shard).
+struct ShardResult {
+  std::uint64_t shard = 0;
+  std::uint64_t devices = 0;
+  std::uint64_t due_events = 0;
+  std::uint64_t ce_events = 0;
+  double energy_mj_per_day_sum = 0.0;
+  QuantileSketch due_rate;  // per-device expected DUEs/year
+  QuantileSketch energy;    // per-device energy mJ/day
+  std::uint64_t digest = 0;
+};
+
+/// Computes shard `shard` in-process. `progress` (may be empty) is
+/// invoked every few hundred devices — the worker's heartbeat hook.
+[[nodiscard]] ShardResult run_shard(
+    const FleetConfig& cfg, std::uint64_t shard,
+    const std::function<void(std::uint64_t devices_done)>& progress = {});
+
+/// Single-line compact JSON for a shard result / its exact inverse.
+/// parse_shard_result accepts exactly the serializer's output; anything
+/// else returns false and the orchestrator simply re-runs the shard.
+[[nodiscard]] std::string shard_result_json(const ShardResult& r);
+[[nodiscard]] bool parse_shard_result(const std::string& doc, ShardResult* r);
+
+/// Everything the supervision run produced. Split in two: the
+/// *population aggregate* (deterministic, lands in the aggregate JSONL)
+/// and the *supervision/ops counters* (wall-clock dependent — retries,
+/// kills, backoff — reported via fleet.* stats but never part of the
+/// byte-compared aggregate).
+struct CampaignOutcome {
+  bool completed = false;  // every shard reached done or degraded
+  int exit_code = 0;       // 0 done; 128+sig interrupted; 1/2 errors
+  std::string error;       // non-empty on config/manifest errors
+
+  // Population aggregate (shard-order merge of completed shards).
+  std::uint64_t shards_total = 0;
+  std::uint64_t shards_done = 0;
+  std::uint64_t shards_degraded = 0;
+  std::uint64_t devices_simulated = 0;
+  std::uint64_t due_events = 0;
+  std::uint64_t ce_events = 0;
+  double energy_mj_per_day_sum = 0.0;
+  QuantileSketch due_rate;
+  QuantileSketch energy;
+
+  // Supervision/ops (cumulative across resumes via the manifest).
+  std::uint64_t retries = 0;          // re-queues after any failure
+  std::uint64_t workers_crashed = 0;  // killed by a signal
+  std::uint64_t workers_dirty = 0;    // nonzero exit status
+  std::uint64_t workers_hung_killed = 0;      // heartbeat watchdog
+  std::uint64_t workers_deadline_killed = 0;  // hard deadline
+  std::vector<double> backoff_s;  // scheduled retry delays, issue order
+
+  [[nodiscard]] double coverage() const {
+    return shards_total == 0
+               ? 0.0
+               : static_cast<double>(shards_done) /
+                     static_cast<double>(shards_total);
+  }
+  /// Fills the `fleet` stats component (register via
+  /// StatRegistry::register_component("fleet", ...) or merge directly).
+  void to_stats(StatSet& s) const;
+};
+
+/// The campaign driver. Construct with a validated config, call run().
+class Orchestrator {
+ public:
+  explicit Orchestrator(FleetConfig cfg);
+  ~Orchestrator();  // out of line: members hold nested incomplete types
+  Orchestrator(const Orchestrator&) = delete;
+  Orchestrator& operator=(const Orchestrator&) = delete;
+
+  /// Runs (or resumes) the campaign to completion, interruption, or
+  /// error. Safe to call once per instance.
+  [[nodiscard]] CampaignOutcome run();
+
+  /// The aggregate JSONL document for the finished campaign: header
+  /// line, one line per shard in shard-id order, fleet footer line.
+  /// Byte-identical for equal (fingerprinted config, completed-shard
+  /// results) regardless of --jobs, retries, or interruptions.
+  [[nodiscard]] std::string aggregate_jsonl() const;
+
+  /// Durably writes aggregate_jsonl() to `path` ("-" = stdout).
+  [[nodiscard]] bool write_aggregate(const std::string& path) const;
+
+ private:
+  struct Running;
+  struct PendingShard;
+
+  [[nodiscard]] bool load_manifest(std::string* error);
+  [[nodiscard]] bool save_manifest();
+  [[nodiscard]] std::string manifest_json() const;
+  [[nodiscard]] std::string shard_file(std::uint64_t shard) const;
+  [[nodiscard]] std::string heartbeat_file(std::uint64_t shard) const;
+  [[nodiscard]] bool spawn_worker(const PendingShard& p, Running* out);
+  void record_failure(std::uint64_t shard, unsigned attempt,
+                      const char* reason);
+  void finish_interrupted(int sig, CampaignOutcome* out);
+  void fill_outcome(CampaignOutcome* out) const;
+
+  FleetConfig cfg_;
+  SelftestSpec selftest_;
+  std::uint64_t shards_ = 0;
+
+  // Campaign state (mirrors the manifest).
+  std::map<std::uint64_t, ShardResult> done_;
+  std::map<std::uint64_t, unsigned> attempts_;  // per-shard attempts used
+  std::vector<std::uint64_t> degraded_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t crashed_ = 0;
+  std::uint64_t dirty_ = 0;
+  std::uint64_t hung_killed_ = 0;
+  std::uint64_t deadline_killed_ = 0;
+  std::vector<double> backoff_s_;
+
+  std::vector<PendingShard> pending_;
+  std::vector<Running> running_;
+  std::uint64_t completions_this_process_ = 0;
+};
+
+/// True when argv contains --fleet-worker: the process was spawned by
+/// an Orchestrator (or a test) to compute exactly one shard.
+[[nodiscard]] bool is_fleet_worker_invocation(int argc, char** argv);
+
+/// Worker-process entry point: parses the --fleet-* argv the
+/// orchestrator passed, applies any selftest injection, computes the
+/// shard (heartbeating throughout), durably writes the result file, and
+/// returns the process exit code. Binaries that can host fleet workers
+/// (bench_fleet_campaign, test_fleet_orchestrator) call this from
+/// main() before anything else when is_fleet_worker_invocation().
+[[nodiscard]] int worker_main(int argc, char** argv);
+
+}  // namespace mecc::sim::fleet

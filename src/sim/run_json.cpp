@@ -1,7 +1,8 @@
 #include "sim/run_json.h"
 
 #include <cstdio>
-#include <fstream>
+
+#include "common/fsio.h"
 
 namespace mecc::sim {
 
@@ -150,24 +151,10 @@ std::string bench_report_json(const BenchReport& report) {
 }
 
 bool write_bench_report(const BenchReport& report, const std::string& path) {
-  const std::string doc = bench_report_json(report);
-  if (path == "-") {
-    std::fwrite(doc.data(), 1, doc.size(), stdout);
-    return std::fflush(stdout) == 0;
-  }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "error: cannot open --out file '%s'\n", path.c_str());
-    return false;
-  }
-  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "error: short write to --out file '%s'\n",
-                 path.c_str());
-    return false;
-  }
-  return true;
+  // Durable emission (docs/FLEET.md): temp + fsync + atomic rename, so
+  // an interrupted bench never leaves a truncated report behind that a
+  // resume or a downstream diff would mis-parse.
+  return atomic_write_file(path, bench_report_json(report), "--out");
 }
 
 }  // namespace mecc::sim

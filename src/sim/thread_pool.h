@@ -5,10 +5,22 @@
 // so far has finished. Determinism is the caller's job: tasks must write
 // disjoint state (e.g. results[i] per task) and derive any randomness
 // from per-task seeds, never from shared RNG state.
+//
+// Exception contract: a task that throws no longer kills the process
+// (the old behavior: the exception escaped worker_loop and hit
+// std::terminate) and is never silently lost — the pool captures the
+// FIRST exception thrown by any task, keeps draining the remaining
+// work, and wait_idle() rethrows it to the caller once everything
+// submitted so far has finished. Later exceptions are counted
+// (task_failures()) but not retained. cancel() is the matching
+// cancellation token: it discards tasks still queued (checked between
+// jobs; the task currently executing always finishes) so a caller that
+// has seen one failure can stop paying for the rest of the batch.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -29,9 +41,11 @@ class ThreadPool {
     }
   }
 
-  /// Drains the queue, then joins all workers.
+  /// Drains the queue, then joins all workers. Never throws: a pending
+  /// captured exception dies with the pool (callers that care call
+  /// wait_idle() first, which is where the rethrow contract lives).
   ~ThreadPool() {
-    wait_idle();
+    wait_drained();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       stopping_ = true;
@@ -43,19 +57,55 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues one task. Never blocks (unbounded queue).
+  /// Enqueues one task. Never blocks (unbounded queue). Tasks submitted
+  /// after cancel() are discarded like already-queued ones.
   void submit(std::function<void()> task) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (cancelled_) return;
       queue_.push(std::move(task));
     }
     work_cv_.notify_one();
   }
 
-  /// Blocks until the queue is empty and no task is executing.
+  /// Blocks until the queue is empty and no task is executing, then
+  /// rethrows the first exception any task threw since the last
+  /// wait_idle() (clearing it, so the pool is reusable afterwards).
   void wait_idle() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    wait_drained();
+    std::exception_ptr first;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      std::swap(first, first_exception_);
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
+  /// Cancellation token: discards every task still queued and makes
+  /// further submit() calls no-ops. The task currently executing on
+  /// each worker finishes normally — cancellation is checked *between*
+  /// jobs, never mid-job. Captured exceptions are unaffected.
+  void cancel() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      cancelled_ = true;
+      std::queue<std::function<void()>> drop;
+      queue_.swap(drop);
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+    work_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return cancelled_;
+  }
+
+  /// Tasks that exited via an exception since construction (the first
+  /// one is also retained for wait_idle() to rethrow).
+  [[nodiscard]] std::size_t task_failures() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return task_failures_;
   }
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
@@ -67,6 +117,12 @@ class ThreadPool {
   }
 
  private:
+  /// wait_idle without the rethrow — the destructor's noexcept drain.
+  void wait_drained() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+
   void worker_loop() {
     for (;;) {
       std::function<void()> task;
@@ -78,21 +134,33 @@ class ThreadPool {
         queue_.pop();
         ++in_flight_;
       }
-      task();
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
       {
         const std::lock_guard<std::mutex> lock(mutex_);
+        if (error) {
+          ++task_failures_;
+          if (!first_exception_) first_exception_ = error;
+        }
         --in_flight_;
         if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
       }
     }
   }
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;  // workers: "there may be work"
   std::condition_variable idle_cv_;  // wait_idle: "everything finished"
   std::queue<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  bool cancelled_ = false;
+  std::size_t task_failures_ = 0;
+  std::exception_ptr first_exception_;
   std::vector<std::thread> workers_;
 };
 

@@ -145,5 +145,77 @@ TEST(StatRegistry, SnapshotsAreRepeatable) {
   EXPECT_TRUE(reg.components().empty());
 }
 
+
+TEST(QuantileSketch, EmptySketchReportsZeros) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(QuantileSketch, QuantilesWithinRelativeBucketError) {
+  // 1..10000 uniformly: every quantile must land within the 2^(1/32)-1
+  // (~2.2%) relative bucket width of the exact order statistic.
+  QuantileSketch s;
+  for (int i = 1; i <= 10000; ++i) s.record(static_cast<double>(i));
+  const double tol = 0.023;
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    const double exact = q * 10000.0;
+    const double got = s.quantile(q);
+    EXPECT_NEAR(got / exact, 1.0, tol) << "q=" << q;
+  }
+  // Extremes are exact, not bucketed.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10000.0);
+}
+
+TEST(QuantileSketch, NonPositiveSamplesShareTheUnderflowBucket) {
+  QuantileSketch s;
+  s.record(-3.0);
+  s.record(0.0);
+  s.record(8.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  // Rank 1 and 2 fall in the underflow bucket, reported as its
+  // representative 0 clamped to the observed min.
+  EXPECT_LE(s.quantile(0.3), 0.0);
+  EXPECT_GT(s.quantile(0.999), 1.0);
+}
+
+TEST(QuantileSketch, MergeIsOrderInvariant) {
+  QuantileSketch a;
+  QuantileSketch b;
+  QuantileSketch all;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 0.5 + static_cast<double>((i * 37) % 97);
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  QuantileSketch ab = a;
+  ab.merge(b);
+  QuantileSketch ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab, all);  // equal sample multisets => identical sketches
+}
+
+TEST(QuantileSketch, RecordNMatchesRepeatedRecord) {
+  QuantileSketch bulk;
+  bulk.record(3.25, 5);
+  QuantileSketch loop;
+  for (int i = 0; i < 5; ++i) loop.record(3.25);
+  EXPECT_EQ(bulk, loop);
+}
+
+TEST(QuantileSketch, RestoreRoundTripsExactly) {
+  QuantileSketch s;
+  for (int i = 1; i <= 257; ++i) s.record(static_cast<double>(i) * 0.37);
+  QuantileSketch restored;
+  restored.restore(s.buckets(), s.count(), s.sum(), s.min(), s.max());
+  EXPECT_EQ(s, restored);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), restored.quantile(0.99));
+}
+
 }  // namespace
 }  // namespace mecc

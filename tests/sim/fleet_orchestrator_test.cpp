@@ -1,0 +1,350 @@
+// Fleet campaign orchestrator suite (docs/FLEET.md).
+//
+// This binary is its own fleet worker: main() dispatches to
+// fleet::worker_main() when spawned with --fleet-worker, so every
+// Orchestrator test below supervises real child processes of this very
+// executable — real fork/exec, real SIGKILL, real heartbeat files —
+// with failure injection driven by the selftest spec (crash@S:N,
+// dirty@S:N, hang@S:N, slow@S:MS, orch-exit@K).
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+
+#include "common/fsio.h"
+
+namespace mecc::sim::fleet {
+namespace {
+
+/// Fresh per-test checkpoint directory under the test tmpdir.
+[[nodiscard]] std::string fresh_state_dir() {
+  std::string templ = ::testing::TempDir() + "fleetXXXXXX";
+  const char* dir = ::mkdtemp(templ.data());
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+/// Small, fast campaign: 8 shards x 50 devices, tight supervision
+/// clocks so watchdog tests finish in tenths of a second.
+[[nodiscard]] FleetConfig small_config(const std::string& state_dir) {
+  FleetConfig cfg;
+  cfg.devices = 400;
+  cfg.devices_per_shard = 50;
+  cfg.seed = 11;
+  cfg.model.lines_per_device = 1u << 12;
+  cfg.jobs = 3;
+  cfg.max_retries = 2;
+  cfg.shard_deadline_s = 60.0;
+  cfg.heartbeat_timeout_s = 5.0;
+  cfg.heartbeat_interval_s = 0.05;
+  cfg.backoff_base_s = 0.01;
+  cfg.state_dir = state_dir;
+  return cfg;
+}
+
+TEST(FleetRng, DrawsAreIndependentOfShardAssignment) {
+  // A device's sample and simulation depend only on (seed, device id):
+  // re-sharding the same fleet must not move a single draw.
+  auto a = small_config(::testing::TempDir());
+  auto b = a;
+  b.devices_per_shard = 7;   // radically different sharding
+  b.jobs = 1;                // and orchestration
+  b.max_retries = 9;
+  for (std::uint64_t device : {0ull, 123ull, 399ull}) {
+    const DeviceSample sa = sample_device(a, device);
+    const DeviceSample sb = sample_device(b, device);
+    EXPECT_EQ(sa.klass, sb.klass);
+    EXPECT_EQ(sa.active_share, sb.active_share);
+    EXPECT_EQ(sa.temperature_c, sb.temperature_c);
+    EXPECT_EQ(sa.ber, sb.ber);
+    const DeviceResult ra = simulate_device(a, sa);
+    const DeviceResult rb = simulate_device(b, sb);
+    EXPECT_EQ(ra.due_events, rb.due_events);
+    EXPECT_EQ(ra.ce_events, rb.ce_events);
+    EXPECT_EQ(ra.energy_mj_per_day, rb.energy_mj_per_day);
+  }
+}
+
+TEST(FleetRng, CounterRngIsStatelessAndSeedSensitive) {
+  const CounterRng r1(1, 5);
+  const CounterRng r1b(1, 5);
+  const CounterRng r2(2, 5);
+  const CounterRng r3(1, 6);
+  EXPECT_EQ(r1.bits(42), r1b.bits(42));
+  EXPECT_NE(r1.bits(42), r2.bits(42));
+  EXPECT_NE(r1.bits(42), r3.bits(42));
+  const double u = r1.uniform(7);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+  EXPECT_EQ(r1.poisson(3.5, 100), r1b.poisson(3.5, 100));
+}
+
+TEST(FleetShard, RunShardIsDeterministic) {
+  const auto cfg = small_config(::testing::TempDir());
+  const ShardResult a = run_shard(cfg, 3);
+  const ShardResult b = run_shard(cfg, 3);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.devices, 50u);
+  EXPECT_EQ(a.due_events, b.due_events);
+  EXPECT_EQ(a.due_rate, b.due_rate);
+  EXPECT_EQ(a.energy, b.energy);
+}
+
+TEST(FleetShard, ResultJsonRoundTripsExactly) {
+  const auto cfg = small_config(::testing::TempDir());
+  const ShardResult r = run_shard(cfg, 1);
+  const std::string doc = shard_result_json(r);
+  ShardResult parsed;
+  ASSERT_TRUE(parse_shard_result(doc, &parsed));
+  EXPECT_EQ(parsed.shard, r.shard);
+  EXPECT_EQ(parsed.devices, r.devices);
+  EXPECT_EQ(parsed.due_events, r.due_events);
+  EXPECT_EQ(parsed.ce_events, r.ce_events);
+  EXPECT_EQ(parsed.digest, r.digest);
+  EXPECT_EQ(parsed.energy_mj_per_day_sum, r.energy_mj_per_day_sum);
+  EXPECT_EQ(parsed.due_rate, r.due_rate);   // bit-exact, via *_bits fields
+  EXPECT_EQ(parsed.energy, r.energy);
+  // A truncated document must be rejected, never half-parsed.
+  EXPECT_FALSE(
+      parse_shard_result(doc.substr(0, doc.size() / 2), &parsed));
+  EXPECT_FALSE(parse_shard_result("{}", &parsed));
+}
+
+TEST(FleetSelftest, SpecParsing) {
+  SelftestSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_selftest("crash@2:3,dirty@5,hang@1:1,slow@4:250,orch-exit@7",
+                             &spec, &error));
+  EXPECT_EQ(spec.crash.at(2), 3u);
+  EXPECT_EQ(spec.dirty.at(5), 1u);  // count defaults to 1
+  EXPECT_EQ(spec.hang.at(1), 1u);
+  EXPECT_EQ(spec.slow_ms.at(4), 250u);
+  EXPECT_EQ(spec.orch_exit_after, 7u);
+  EXPECT_TRUE(parse_selftest("", &spec, &error));
+  EXPECT_FALSE(parse_selftest("crash", &spec, &error));
+  EXPECT_FALSE(parse_selftest("crash@x", &spec, &error));
+  EXPECT_FALSE(parse_selftest("slow@3", &spec, &error));
+  EXPECT_FALSE(parse_selftest("orch-exit@0", &spec, &error));
+  EXPECT_FALSE(parse_selftest("explode@1", &spec, &error));
+}
+
+TEST(FleetOrchestrator, HappyPathCompletesEveryShard) {
+  const std::string dir = fresh_state_dir();
+  Orchestrator orch(small_config(dir));
+  const CampaignOutcome out = orch.run();
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_EQ(out.shards_total, 8u);
+  EXPECT_EQ(out.shards_done, 8u);
+  EXPECT_EQ(out.shards_degraded, 0u);
+  EXPECT_EQ(out.devices_simulated, 400u);
+  EXPECT_EQ(out.due_rate.count(), 400u);
+  EXPECT_DOUBLE_EQ(out.coverage(), 1.0);
+  // Aggregate: header + 8 shard lines + fleet footer.
+  const std::string agg = orch.aggregate_jsonl();
+  EXPECT_EQ(std::count(agg.begin(), agg.end(), '\n'), 10);
+  EXPECT_NE(agg.find("mecc-fleet-aggregate-v1"), std::string::npos);
+  EXPECT_NE(agg.find("\"coverage\":1"), std::string::npos);
+}
+
+TEST(FleetOrchestrator, CrashedWorkerIsRetriedWithBoundedBackoff) {
+  const std::string dir = fresh_state_dir();
+  auto cfg = small_config(dir);
+  cfg.selftest = "crash@1:2";  // shard 1 SIGKILLs itself on attempts 0, 1
+  Orchestrator orch(cfg);
+  const CampaignOutcome out = orch.run();
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.shards_done, 8u);
+  EXPECT_EQ(out.shards_degraded, 0u);
+  EXPECT_EQ(out.workers_crashed, 2u);
+  EXPECT_EQ(out.retries, 2u);
+  // Exponential backoff: delays double per attempt of the same shard.
+  ASSERT_EQ(out.backoff_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.backoff_s[0], cfg.backoff_base_s);
+  EXPECT_DOUBLE_EQ(out.backoff_s[1], 2.0 * cfg.backoff_base_s);
+}
+
+TEST(FleetOrchestrator, ExhaustedRetriesDegradeNotAbort) {
+  const std::string dir = fresh_state_dir();
+  auto cfg = small_config(dir);
+  cfg.max_retries = 1;
+  cfg.selftest = "dirty@2:99";  // shard 2 always exits 3
+  Orchestrator orch(cfg);
+  const CampaignOutcome out = orch.run();
+  EXPECT_TRUE(out.completed);  // graceful degradation, not failure
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_EQ(out.shards_done, 7u);
+  EXPECT_EQ(out.shards_degraded, 1u);
+  EXPECT_EQ(out.workers_dirty, 2u);  // attempts 0 and 1
+  EXPECT_EQ(out.retries, 1u);
+  EXPECT_EQ(out.devices_simulated, 350u);
+  EXPECT_DOUBLE_EQ(out.coverage(), 7.0 / 8.0);
+  EXPECT_NE(orch.aggregate_jsonl().find("{\"shard\":2,\"degraded\":true}"),
+            std::string::npos);
+}
+
+TEST(FleetOrchestrator, WatchdogKillsHungWorkersButSparesSlowOnes) {
+  const std::string dir = fresh_state_dir();
+  auto cfg = small_config(dir);
+  // Shard 0 stops heartbeating forever; shard 1 sleeps 0.6 s but keeps
+  // heartbeating. Only the former may be killed before the deadline.
+  cfg.selftest = "hang@0:1,slow@1:600";
+  cfg.heartbeat_timeout_s = 0.3;
+  cfg.heartbeat_interval_s = 0.05;
+  cfg.shard_deadline_s = 60.0;
+  Orchestrator orch(cfg);
+  const CampaignOutcome out = orch.run();
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.shards_done, 8u);
+  EXPECT_EQ(out.workers_hung_killed, 1u);
+  EXPECT_EQ(out.workers_deadline_killed, 0u);
+  EXPECT_EQ(out.retries, 1u);
+}
+
+TEST(FleetOrchestrator, ResumeRejectsMismatchedFingerprint) {
+  const std::string dir = fresh_state_dir();
+  {
+    Orchestrator orch(small_config(dir));
+    EXPECT_TRUE(orch.run().completed);
+  }
+  auto cfg = small_config(dir);
+  cfg.seed = 12;  // different population
+  cfg.resume = true;
+  Orchestrator orch(cfg);
+  const CampaignOutcome out = orch.run();
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.exit_code, 2);
+  EXPECT_NE(out.error.find("fingerprint"), std::string::npos);
+}
+
+TEST(FleetOrchestrator, InterruptCheckpointsAndResumeCompletes) {
+  const std::string dir = fresh_state_dir();
+  static volatile std::sig_atomic_t interrupt = SIGTERM;
+  auto cfg = small_config(dir);
+  cfg.interrupt = &interrupt;
+  {
+    Orchestrator orch(cfg);
+    const CampaignOutcome out = orch.run();
+    EXPECT_FALSE(out.completed);
+    EXPECT_EQ(out.exit_code, 128 + SIGTERM);
+  }
+  interrupt = 0;
+  cfg.resume = true;
+  Orchestrator orch(cfg);
+  const CampaignOutcome out = orch.run();
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.shards_done, 8u);
+}
+
+TEST(FleetOrchestrator, ResumeAfterOrchestratorKillIsByteIdentical) {
+  // Reference: one uninterrupted campaign.
+  const std::string ref_dir = fresh_state_dir();
+  std::string reference;
+  {
+    Orchestrator orch(small_config(ref_dir));
+    ASSERT_TRUE(orch.run().completed);
+    reference = orch.aggregate_jsonl();
+    ASSERT_TRUE(orch.write_aggregate(ref_dir + "/aggregate.jsonl"));
+  }
+  // Interrupted: the orchestrator hard-exits (_Exit(137), the moral
+  // equivalent of kill -9: no cleanup, no flush) after its 3rd shard
+  // completion — run it in a fork so the test process survives.
+  const std::string dir = fresh_state_dir();
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto cfg = small_config(dir);
+    cfg.jobs = 2;  // different schedule than the reference on purpose
+    cfg.selftest = "orch-exit@3";
+    Orchestrator orch(cfg);
+    const CampaignOutcome out = orch.run();
+    ::_exit(out.exit_code);  // not reached: the selftest _Exits first
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 137);
+  // Resume from the durable checkpoint, with different parallelism.
+  auto cfg = small_config(dir);
+  cfg.jobs = 5;
+  cfg.resume = true;
+  Orchestrator orch(cfg);
+  const CampaignOutcome out = orch.run();
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.shards_done, 8u);
+  EXPECT_EQ(orch.aggregate_jsonl(), reference);
+  // And the durable file path produces the same bytes.
+  ASSERT_TRUE(orch.write_aggregate(dir + "/aggregate.jsonl"));
+  std::string a;
+  std::string b;
+  ASSERT_TRUE(read_file(ref_dir + "/aggregate.jsonl", &a));
+  ASSERT_TRUE(read_file(dir + "/aggregate.jsonl", &b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(FleetOrchestrator, ResumeWithNoCheckpointFails) {
+  auto cfg = small_config(fresh_state_dir());
+  cfg.resume = true;
+  Orchestrator orch(cfg);
+  const CampaignOutcome out = orch.run();
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.exit_code, 2);
+}
+
+TEST(FleetOrchestrator, InvalidConfigIsRejected) {
+  {
+    auto cfg = small_config(fresh_state_dir());
+    cfg.state_dir.clear();
+    EXPECT_EQ(Orchestrator(cfg).run().exit_code, 2);
+  }
+  {
+    auto cfg = small_config(fresh_state_dir());
+    cfg.devices_per_shard = 0;
+    EXPECT_EQ(Orchestrator(cfg).run().exit_code, 2);
+  }
+  {
+    auto cfg = small_config(fresh_state_dir());
+    cfg.selftest = "bogus@1";
+    EXPECT_EQ(Orchestrator(cfg).run().exit_code, 2);
+  }
+}
+
+TEST(FleetOrchestrator, StatsComponentCountsSupervisionEvents) {
+  const std::string dir = fresh_state_dir();
+  auto cfg = small_config(dir);
+  cfg.max_retries = 1;
+  cfg.selftest = "crash@0:99,dirty@4:1";
+  Orchestrator orch(cfg);
+  const CampaignOutcome out = orch.run();
+  EXPECT_TRUE(out.completed);
+  StatSet s;
+  out.to_stats(s);
+  EXPECT_EQ(s.counter("shards_total"), 8u);
+  EXPECT_EQ(s.counter("shards_done"), 7u);
+  EXPECT_EQ(s.counter("shards_degraded"), 1u);
+  EXPECT_EQ(s.counter("workers_crashed"), 2u);
+  EXPECT_EQ(s.counter("workers_dirty"), 1u);
+  EXPECT_EQ(s.counter("devices_simulated"), 350u);
+  EXPECT_DOUBLE_EQ(s.gauge("coverage"), 7.0 / 8.0);
+  EXPECT_EQ(s.dist("due_per_year").count, 350u);
+  EXPECT_GT(s.gauge("energy_mj_per_day_p99"), 0.0);
+}
+
+}  // namespace
+}  // namespace mecc::sim::fleet
+
+// Custom main: this test binary hosts its own fleet workers (the
+// orchestrator re-execs /proc/self/exe with --fleet-worker), so worker
+// dispatch must run before gtest ever sees argv.
+int main(int argc, char** argv) {
+  if (mecc::sim::fleet::is_fleet_worker_invocation(argc, argv)) {
+    return mecc::sim::fleet::worker_main(argc, argv);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

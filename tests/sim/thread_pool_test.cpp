@@ -5,6 +5,9 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace mecc::sim {
@@ -88,6 +91,84 @@ TEST(ThreadPool, TasksCanSubmitFromWorkerThreads) {
   }
   pool.wait_idle();
   EXPECT_EQ(done.load(), 40);
+}
+
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.submit([] { throw std::runtime_error("task 0 failed"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // The remaining work still drains (no cancellation requested)...
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(done.load(), 50);
+  EXPECT_EQ(pool.task_failures(), 1u);
+  // ...and the rethrow cleared the slot: the pool is reusable.
+  pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 51);
+}
+
+TEST(ThreadPool, LaterExceptionsAreCountedNotRetained) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([i] { throw std::runtime_error("task " + std::to_string(i)); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() must rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(pool.task_failures(), 8u);
+  // First exception was consumed; the other seven were only counted.
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, DestructorSwallowsPendingException) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("never observed"); });
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    // No wait_idle(): the destructor must drain without throwing.
+  }
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, CancelDiscardsQueuedTasksButFinishesRunningOnes) {
+  std::atomic<int> started{0};
+  std::atomic<int> release{0};
+  std::atomic<int> done{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&] {
+      started.fetch_add(1);
+      while (release.load() == 0) std::this_thread::yield();
+      done.fetch_add(1);
+    });
+  }
+  while (started.load() < 2) std::this_thread::yield();
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_FALSE(pool.cancelled());
+  pool.cancel();
+  EXPECT_TRUE(pool.cancelled());
+  pool.submit([&done] { done.fetch_add(1); });  // no-op after cancel()
+  release.store(1);
+  pool.wait_idle();
+  // Only the two in-flight tasks ran; every queued/late task was dropped.
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPool, CancelAfterExceptionStillRethrows) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  while (pool.task_failures() == 0) std::this_thread::yield();
+  pool.cancel();  // cancel() discards queued work, never captured errors
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
 }
 
 }  // namespace
