@@ -42,6 +42,28 @@ for mode in on off; do
   done
 done
 
+# Channel-scaling leg (docs/SCALING.md): the per-channel fast-forward
+# speedup at 2/4/8 channels. The PR gate is >= 3x at 4 channels; like
+# the single-channel numbers above, the recorded values are
+# host-dependent observability.
+for ch in 2 4 8; do
+  for mode in on off; do
+    for ((i = 0; i < repeats; ++i)); do
+      "$bench" --instructions="$instructions" --seed=1 --jobs=1 \
+        --channels="$ch" --ranks=2 --fast-forward="$mode" \
+        --out="$tmpdir/out_ch${ch}_${mode}_${i}.json" \
+        --perf-out="$tmpdir/perf_ch${ch}_${mode}_${i}.json" \
+        > /dev/null 2>&1
+    done
+  done
+  # ff on/off must agree on every simulated byte at every geometry.
+  if ! cmp -s "$tmpdir/out_ch${ch}_on_0.json" \
+       "$tmpdir/out_ch${ch}_off_0.json"; then
+    echo "perf_smoke: fast-forward on/off outputs differ at ${ch}ch" >&2
+    exit 1
+  fi
+done
+
 # Codec throughput leg (docs/PERFORMANCE.md): lines/sec of the
 # word-parallel ECC codecs vs the retained scalar references. Like the
 # wall-clock sweep above, purely observational — the numbers land in the
@@ -102,10 +124,10 @@ out_path, instructions, repeats, tmpdir, codec_json, refresh_json, \
 instructions = int(instructions)
 repeats = int(repeats)
 
-def best(mode):
+def best(mode, prefix="perf"):
     picks = []
     for i in range(repeats):
-        with open(f"{tmpdir}/perf_{mode}_{i}.json") as f:
+        with open(f"{tmpdir}/{prefix}_{mode}_{i}.json") as f:
             suite = json.load(f)["suites"][0]
         picks.append((suite["wall_seconds"], suite["wall_mips"]))
     picks.sort()
@@ -125,6 +147,21 @@ report = {
     "fast_forward_off": off,
     "speedup_wall_mips": round(on["wall_mips"] / off["wall_mips"], 3),
 }
+
+# Per-channel fast-forward scaling (docs/SCALING.md): the event-driven
+# skip must keep its advantage as the channel count (and so the fold
+# over per-channel next_event bounds) grows. Gate: >= 3x at 4 channels.
+report["channel_scaling"] = {}
+for ch in (2, 4, 8):
+    ch_on = best("on", prefix=f"perf_ch{ch}")
+    ch_off = best("off", prefix=f"perf_ch{ch}")
+    report["channel_scaling"][f"{ch}ch"] = {
+        "ranks": 2,
+        "fast_forward_on": ch_on,
+        "fast_forward_off": ch_off,
+        "speedup_wall_mips": round(ch_on["wall_mips"] / ch_off["wall_mips"],
+                                   3),
+    }
 
 if codec_json:
     with open(codec_json) as f:
@@ -155,6 +192,9 @@ with open(out_path, "w") as f:
 print(f"perf_smoke: ff=on {on['wall_seconds']:.3f}s, "
       f"ff=off {off['wall_seconds']:.3f}s, "
       f"speedup {report['speedup_wall_mips']:.2f}x -> {out_path}")
+for ch, entry in report["channel_scaling"].items():
+    print(f"perf_smoke: {ch} x 2r fast-forward speedup "
+          f"{entry['speedup_wall_mips']:.2f}x")
 for e in report.get("ecc_codec", {}).get("entries", []):
     if "speedup" in e:
         print(f"perf_smoke: codec {e['name']}: "

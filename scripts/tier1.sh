@@ -63,6 +63,26 @@ build/bench/bench_refresh_parallelism --instructions=20000 --seed=1 \
   --jobs=4 --fast-forward=on --out="$refresh_ff_json" > /dev/null
 cmp "$refresh_json" "$refresh_ff_json"
 
+# Geometry smoke (docs/SCALING.md): the {1,2,4,8}-channel x {1,2}-rank
+# sweep must match its committed reference, and the report must be
+# byte-identical across --jobs, --fast-forward and --channel-parallel
+# (worker count, event skipping and channel-parallel epoch ticking are
+# pure implementation details). The pinned knobs MUST match how the
+# reference in tests/data/ was generated.
+geo_json="build/tier1_geometry_out.json"
+build/bench/bench_memsys_geometry --instructions=20000 --seed=1 \
+  --jobs=4 --out="$geo_json" > /dev/null
+python3 -m json.tool "$geo_json" > /dev/null
+python3 scripts/compare_stats.py \
+  tests/data/memsys_geometry_small_ref.json "$geo_json"
+geo_alt_json="build/tier1_geometry_alt_out.json"
+build/bench/bench_memsys_geometry --instructions=20000 --seed=1 \
+  --jobs=1 --fast-forward=off --out="$geo_alt_json" > /dev/null
+cmp "$geo_json" "$geo_alt_json"
+build/bench/bench_memsys_geometry --instructions=20000 --seed=1 \
+  --jobs=4 --channel-parallel=4 --out="$geo_alt_json" > /dev/null
+cmp "$geo_json" "$geo_alt_json"
+
 # Observability smoke (docs/OBSERVABILITY.md): a small traced+metered
 # fault-campaign run, then Perfetto-format validation + summary and the
 # metrics JSONL schema check. Per-variant files derive from the base
@@ -89,6 +109,8 @@ python3 scripts/trace_summary.py --metrics \
 # shared flag is not reported consumed.
 build/bench/bench_ecc_codec \
   --instructions=1000 --seed=1 --jobs=1 --ber=0.001 \
+  --channels=2 --ranks=2 --interleave=line --streams=1 \
+  --channel-parallel=0 \
   --fast-forward=on --trace=build/tier1_codec_trace.json \
   --trace-categories=dram --trace-limit=1000 \
   --metrics-out=build/tier1_codec_metrics.jsonl \

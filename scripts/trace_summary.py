@@ -19,14 +19,27 @@ Metrics mode (--metrics): validates the mecc-metrics-v1 JSONL schema —
 a header line with schema/interval/keys, then sample lines with
 cycle/window/phase/counters/gauges/dists, cycles non-decreasing,
 counters non-negative integers, dists carrying count/sum/min/max — and
-prints one summary line per file.
+prints one summary line per file. Multi-instance keys (docs/SCALING.md:
+memctrl.ch0.*, dram.ch1.*, cpu.c0.*, ...) are additionally aggregated
+across instances: the final sample's counters are re-grouped with the
+instance segment collapsed to '*' and printed as per-component totals.
 
 Exit codes: 0 = all files valid, 1 = validation failure, 2 = usage.
 """
 
 import json
+import re
 import sys
 from collections import defaultdict
+
+# Instance segment in a namespaced stat key: memctrl.ch0.refreshes,
+# dram.ch1.r2.reads, cpu.c3.insts (docs/SCALING.md). Collapsing it to
+# '*' groups the same stat across replicated components.
+INSTANCE_SEG = re.compile(r"\.(?:ch|r|c)\d+(?=\.)")
+
+
+def collapse_instances(key):
+    return INSTANCE_SEG.sub(".*", key)
 
 
 def fail(path, msg):
@@ -139,6 +152,7 @@ def summarize_metrics(path):
 
     prev_cycle = -1
     phases = defaultdict(int)
+    last_counters = {}
     for n, line in enumerate(lines[1:], start=2):
         try:
             rec = json.loads(line)
@@ -159,6 +173,7 @@ def summarize_metrics(path):
         for key, v in rec["counters"].items():
             if not isinstance(v, int) or v < 0:
                 return fail(path, f"line {n}: counter {key} = {v!r}")
+        last_counters = rec["counters"]
         for key, d in rec["dists"].items():
             for field in ("count", "sum", "min", "max"):
                 if field not in d:
@@ -167,6 +182,18 @@ def summarize_metrics(path):
     phase_list = ", ".join(f"{k}={v}" for k, v in sorted(phases.items()))
     print(f"{path}: {len(lines) - 1} samples to cycle {prev_cycle}, "
           f"interval {header['interval']} ({phase_list})")
+    # Cross-instance aggregation over the final (cumulative) sample:
+    # only groups that actually span replicated components are printed.
+    agg = defaultdict(int)
+    members = defaultdict(int)
+    for key, v in last_counters.items():
+        star = collapse_instances(key)
+        if star != key:
+            agg[star] += v
+            members[star] += 1
+    for star in sorted(agg):
+        print(f"  aggregate {star:<36} {agg[star]:>14}  "
+              f"({members[star]} instances)")
     return True
 
 

@@ -35,12 +35,8 @@ void InOrderCore::on_read_data(std::uint64_t /*tag*/) {
   have_record_ = false;
 }
 
-void InOrderCore::tick() {
+void InOrderCore::tick_active() {
   ++cycles_;
-  if (waiting_for_data_) {
-    ++stall_cycles_;
-    return;
-  }
   if (!have_record_) fetch_next_record();
 
   // Retry memory issues that found the controller queues full.
@@ -102,12 +98,12 @@ void InOrderCore::tick() {
   }
 }
 
-Cycle InOrderCore::advance_gap(Cycle max_cycles, InstCount inst_budget) {
-  assert(in_pure_gap());
-  Cycle advanced = 0;
+InOrderCore::GapSim InOrderCore::simulate_gap(Cycle max_cycles,
+                                              InstCount inst_budget) const {
+  GapSim s{.credit = credit_, .gap_remaining = gap_remaining_};
 
-  while (advanced < max_cycles) {
-    if (credit_ < kCreditOne) {
+  while (s.advanced < max_cycles) {
+    if (s.credit < kCreditOne) {
       // Closed form: with less than one banked instruction the width
       // cap cannot bind mid-gap (per cycle n = (credit + rate) >> 32
       // <= width because rate <= width), so k cycles accumulate exactly
@@ -118,20 +114,19 @@ Cycle InOrderCore::advance_gap(Cycle max_cycles, InstCount inst_budget) {
       // Stop with cumulative retire <= min(gap, budget) - 1: the cycle
       // that closes the gap issues the memory access and must run under
       // tick(); the one that reaches the budget stays with run_period.
-      std::uint64_t cap = std::min<std::uint64_t>(gap_remaining_ - 1,
+      std::uint64_t cap = std::min<std::uint64_t>(s.gap_remaining - 1,
                                                   inst_budget - 1);
       cap = std::min<std::uint64_t>(cap, 1ull << 30);  // overflow guard
-      std::uint64_t k = ((cap + 1) << kCreditFracBits) - credit_ - 1;
+      std::uint64_t k = ((cap + 1) << kCreditFracBits) - s.credit - 1;
       k /= credit_rate_;
-      k = std::min<std::uint64_t>(k, max_cycles - advanced);
+      k = std::min<std::uint64_t>(k, max_cycles - s.advanced);
       if (k == 0) break;
-      const std::uint64_t total = credit_ + k * credit_rate_;
+      const std::uint64_t total = s.credit + k * credit_rate_;
       const std::uint64_t insts = total >> kCreditFracBits;
-      credit_ = total & (kCreditOne - 1);
-      cycles_ += k;
-      advanced += k;
-      retired_ += insts;
-      gap_remaining_ -= static_cast<std::uint32_t>(insts);
+      s.credit = total & (kCreditOne - 1);
+      s.advanced += k;
+      s.retired += insts;
+      s.gap_remaining -= static_cast<std::uint32_t>(insts);
       inst_budget -= insts;
       continue;  // k was capacity-limited; the recompute yields k == 0
     }
@@ -142,10 +137,10 @@ Cycle InOrderCore::advance_gap(Cycle max_cycles, InstCount inst_budget) {
     // the gap nor crosses the budget. Each spill cycle either drops the
     // credit (rate < width: toward the closed form above) or leaves it
     // fixed (rate == width), which bulk-repeats below.
-    const std::uint64_t before = credit_;
-    std::uint64_t c = credit_ + credit_rate_;
+    const std::uint64_t before = s.credit;
+    std::uint64_t c = s.credit + credit_rate_;
     std::uint32_t n = 0;
-    std::uint32_t g = gap_remaining_;
+    std::uint32_t g = s.gap_remaining;
     while (c >= kCreditOne && g > 0 && n < config_.width) {
       c -= kCreditOne;
       --g;
@@ -153,27 +148,41 @@ Cycle InOrderCore::advance_gap(Cycle max_cycles, InstCount inst_budget) {
     }
     if (g == 0) break;  // this cycle would issue the memory access
     if (static_cast<InstCount>(n) >= inst_budget) break;
-    credit_ = std::min(c, kCreditOne * config_.width);
-    gap_remaining_ = g;
-    retired_ += n;
+    s.credit = std::min(c, kCreditOne * config_.width);
+    s.gap_remaining = g;
+    s.retired += n;
     inst_budget -= n;
-    ++cycles_;
-    ++advanced;
-    if (credit_ == before && n > 0) {
+    ++s.advanced;
+    if (s.credit == before && n > 0) {
       // Fixed point: every further cycle is identical. Bulk-repeat.
-      std::uint64_t k = max_cycles - advanced;
+      std::uint64_t k = max_cycles - s.advanced;
       k = std::min<std::uint64_t>(
-          k, (static_cast<std::uint64_t>(gap_remaining_) - 1) / n);
+          k, (static_cast<std::uint64_t>(s.gap_remaining) - 1) / n);
       k = std::min<std::uint64_t>(k, (inst_budget - 1) / n);
       const std::uint64_t insts = k * n;
-      cycles_ += k;
-      advanced += k;
-      retired_ += insts;
-      gap_remaining_ -= static_cast<std::uint32_t>(insts);
+      s.advanced += k;
+      s.retired += insts;
+      s.gap_remaining -= static_cast<std::uint32_t>(insts);
       inst_budget -= insts;
     }
   }
-  return advanced;
+  return s;
+}
+
+Cycle InOrderCore::advance_gap(Cycle max_cycles, InstCount inst_budget) {
+  assert(in_pure_gap());
+  const GapSim s = simulate_gap(max_cycles, inst_budget);
+  credit_ = s.credit;
+  gap_remaining_ = s.gap_remaining;
+  cycles_ += s.advanced;
+  retired_ += s.retired;
+  return s.advanced;
+}
+
+Cycle InOrderCore::gap_cycles_bound(Cycle max_cycles,
+                                    InstCount inst_budget) const {
+  assert(in_pure_gap());
+  return simulate_gap(max_cycles, inst_budget).advanced;
 }
 
 }  // namespace mecc::cpu

@@ -39,8 +39,17 @@ class InOrderCore {
   InOrderCore(const CoreConfig& config, trace::TraceSource& gen,
               IssueRead issue_read, IssueWrite issue_write);
 
-  /// Advances one CPU cycle.
-  void tick();
+  /// Advances one CPU cycle. The stalled-on-read case is inline: the
+  /// System's executed-cycle loop ticks every core every cycle, and a
+  /// stalled core's tick is just the two stall counters.
+  void tick() {
+    if (waiting_for_data_) {
+      ++cycles_;
+      ++stall_cycles_;
+      return;
+    }
+    tick_active();
+  }
 
   /// Memory system callback: the read tagged `tag` has its data (ECC
   /// decode already accounted by the caller's timing).
@@ -77,6 +86,14 @@ class InOrderCore {
   /// Returns the number of cycles advanced.
   Cycle advance_gap(Cycle max_cycles, InstCount inst_budget);
 
+  /// How far advance_gap(max_cycles, inst_budget) would go, without
+  /// moving the core. Multi-stream fast-forward folds this over every
+  /// gap core to find the largest advance all cores can take together,
+  /// then applies it with advance_gap (docs/SCALING.md): for any
+  /// m <= gap_cycles_bound(max, b), advance_gap(m, b) advances exactly m.
+  [[nodiscard]] Cycle gap_cycles_bound(Cycle max_cycles,
+                                       InstCount inst_budget) const;
+
   [[nodiscard]] InstCount retired() const { return retired_; }
   [[nodiscard]] Cycle cycles() const { return cycles_; }
   [[nodiscard]] double ipc() const {
@@ -100,10 +117,26 @@ class InOrderCore {
   }
 
  private:
+  /// The non-stalled remainder of tick(): issue retries, fetch, and the
+  /// gap-retire arithmetic.
+  void tick_active();
+
   // Q32 retire-credit fixed point: one instruction of credit is
   // kCreditOne; base_ipc is quantized once at construction.
   static constexpr std::uint32_t kCreditFracBits = 32;
   static constexpr std::uint64_t kCreditOne = 1ull << kCreditFracBits;
+
+  /// Pure-gap bulk advance, computed on copies of the retire state so
+  /// that advance_gap (applies it) and gap_cycles_bound (just reports
+  /// it) share one arithmetic path and cannot drift apart.
+  struct GapSim {
+    std::uint64_t credit = 0;
+    std::uint32_t gap_remaining = 0;
+    Cycle advanced = 0;
+    InstCount retired = 0;
+  };
+  [[nodiscard]] GapSim simulate_gap(Cycle max_cycles,
+                                    InstCount inst_budget) const;
 
   void fetch_next_record();
 

@@ -22,31 +22,57 @@ const char* power_state_name(PowerState s) {
   return "?";
 }
 
-void Device::export_stats(StatSet& out) const {
-  out.add("activates", counters_.activates);
-  out.add("precharges", counters_.precharges);
-  out.add("reads", counters_.reads);
-  out.add("writes", counters_.writes);
-  out.add("refreshes", counters_.refreshes);
+namespace {
+
+void export_counters(const ActivityCounters& c, const std::string& prefix,
+                     StatSet& out) {
+  out.add(prefix + "activates", c.activates);
+  out.add(prefix + "precharges", c.precharges);
+  out.add(prefix + "reads", c.reads);
+  out.add(prefix + "writes", c.writes);
+  out.add(prefix + "refreshes", c.refreshes);
   // Emitted only when per-bank refresh ran: all-bank configurations keep
   // their historical key set (and committed reference JSONs) unchanged.
-  if (counters_.refreshes_pb != 0) {
-    out.add("refreshes_pb", counters_.refreshes_pb);
+  if (c.refreshes_pb != 0) {
+    out.add(prefix + "refreshes_pb", c.refreshes_pb);
   }
-  out.add("self_refresh_pulses", counters_.self_refresh_pulses);
+  out.add(prefix + "self_refresh_pulses", c.self_refresh_pulses);
   for (std::size_t i = 0; i < kNumPowerStates; ++i) {
-    out.add(std::string("state_cycles.") +
+    out.add(prefix + "state_cycles." +
                 power_state_name(static_cast<PowerState>(i)),
-            counters_.state_cycles[i]);
+            c.state_cycles[i]);
+  }
+}
+
+}  // namespace
+
+void Device::export_stats(StatSet& out) const {
+  export_counters(counters_, "", out);
+  if (geo_.ranks > 1) {
+    for (std::uint32_t r = 0; r < geo_.ranks; ++r) {
+      export_counters(rank_counters_[r], "r" + std::to_string(r) + ".", out);
+    }
   }
 }
 
 Device::Device(const Geometry& geo, const Timing& timing)
     : geo_(geo), timing_(timing) {
-  banks_.reserve(geo_.banks);
-  for (std::uint32_t i = 0; i < geo_.banks; ++i) banks_.emplace_back(timing_);
-  bank_act_cycle_.assign(geo_.banks, 0);
-  ref_row_.assign(geo_.banks, 0);
+  // The flattened bank array is addressed through 32-bit open/refresh
+  // masks throughout the controller; the rank power-down mask likewise.
+  assert(geo_.ranks >= 1 && geo_.banks >= 1);
+  assert(geo_.ranks * geo_.banks <= 32);
+  const std::uint32_t total = total_banks();
+  banks_.reserve(total);
+  for (std::uint32_t i = 0; i < total; ++i) banks_.emplace_back(timing_);
+  bank_act_cycle_.assign(total, 0);
+  ref_row_.assign(total, 0);
+  rank_next_act_allowed_.assign(geo_.ranks, 0);
+  rank_act_.assign(static_cast<std::size_t>(geo_.ranks) * kFawWindow, 0);
+  act_idx_.assign(geo_.ranks, 0);
+  act_count_.assign(geo_.ranks, 0);
+  rank_wakeup_ready_.assign(geo_.ranks, 0);
+  rank_state_.assign(geo_.ranks, PowerState::kPrechargeStandby);
+  rank_counters_.assign(geo_.ranks, ActivityCounters{});
 }
 
 namespace {
@@ -119,9 +145,23 @@ void Device::flush_trace(MemCycle now) {
   }
 }
 
-PowerState Device::compute_state() const {
+PowerState Device::compute_rank_state(std::uint32_t rank) const {
   if (in_self_refresh_) return PowerState::kSelfRefresh;
-  if (powered_down_) {
+  const bool precharged = rank_open_mask(rank) == 0;
+  if (rank_powered_down(rank)) {
+    return precharged ? PowerState::kPrechargePowerDown
+                      : PowerState::kActivePowerDown;
+  }
+  return precharged ? PowerState::kPrechargeStandby
+                    : PowerState::kActiveStandby;
+}
+
+PowerState Device::compute_state() const {
+  // Channel-level view for the trace span: powered-down only when every
+  // rank is (at ranks=1 this is exactly the rank's own state).
+  if (in_self_refresh_) return PowerState::kSelfRefresh;
+  const std::uint32_t all = (1u << geo_.ranks) - 1u;
+  if (pd_mask_ == all) {
     return all_banks_precharged() ? PowerState::kPrechargePowerDown
                                   : PowerState::kActivePowerDown;
   }
@@ -131,13 +171,22 @@ PowerState Device::compute_state() const {
 
 void Device::account_to(MemCycle now) {
   assert(now >= state_since_);
-  counters_.state_cycles[static_cast<std::size_t>(state_)] +=
-      now - state_since_;
+  const MemCycle d = now - state_since_;
+  if (d != 0) {
+    for (std::uint32_t r = 0; r < geo_.ranks; ++r) {
+      const auto s = static_cast<std::size_t>(rank_state_[r]);
+      counters_.state_cycles[s] += d;
+      rank_counters_[r].state_cycles[s] += d;
+    }
+  }
   state_since_ = now;
 }
 
 void Device::refresh_state(MemCycle now) {
   account_to(now);
+  for (std::uint32_t r = 0; r < geo_.ranks; ++r) {
+    rank_state_[r] = compute_rank_state(r);
+  }
   const PowerState next = compute_state();
   if (tracer_ != nullptr && next != state_) {
     // Residency span for the state being left (zero-length stays are
@@ -154,12 +203,16 @@ void Device::refresh_state(MemCycle now) {
 }
 
 bool Device::can_activate(std::uint32_t bank, MemCycle now) const {
-  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  const std::uint32_t rank = rank_of(bank);
+  if (rank_powered_down(rank) || in_self_refresh_ ||
+      now < rank_wakeup_ready_[rank]) {
+    return false;
+  }
   if (!banks_[bank].can_activate(now)) return false;
-  if (now < next_act_allowed_) return false;
-  // tFAW: this would be the fifth ACT within the window.
-  if (act_count_ < act_window_.size()) return true;
-  const MemCycle oldest = act_window_[act_window_idx_];
+  if (now < rank_next_act_allowed_[rank]) return false;
+  // tFAW: this would be the fifth ACT within the rank's window.
+  if (act_count_[rank] < kFawWindow) return true;
+  const MemCycle oldest = rank_act_[rank * kFawWindow + act_idx_[rank]];
   return now >= oldest + timing_.tFAW;
 }
 
@@ -175,21 +228,27 @@ bool Device::can_activate(std::uint32_t bank, std::uint32_t row,
 
 void Device::activate(std::uint32_t bank, std::uint32_t row, MemCycle now) {
   assert(can_activate(bank, row, now));
+  const std::uint32_t rank = rank_of(bank);
   record(CmdType::kActivate, bank, row, now);
   banks_[bank].activate(now, row);
   open_mask_ |= 1u << bank;
   if (tracer_ != nullptr) bank_act_cycle_[bank] = now;
-  next_act_allowed_ = now + timing_.tRRD;
-  act_window_[act_window_idx_] = now;
-  act_window_idx_ = (act_window_idx_ + 1) % act_window_.size();
-  ++act_count_;
+  rank_next_act_allowed_[rank] = now + timing_.tRRD;
+  rank_act_[rank * kFawWindow + act_idx_[rank]] = now;
+  act_idx_[rank] = (act_idx_[rank] + 1) % kFawWindow;
+  ++act_count_[rank];
   ++counters_.activates;
+  ++rank_counters_[rank].activates;
   refresh_state(now);
 }
 
 bool Device::can_read(std::uint32_t bank, std::uint32_t row,
                       MemCycle now) const {
-  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  const std::uint32_t rank = rank_of(bank);
+  if (rank_powered_down(rank) || in_self_refresh_ ||
+      now < rank_wakeup_ready_[rank]) {
+    return false;
+  }
   const Bank& b = banks_[bank];
   if (!b.can_column(now) || b.open_row() != static_cast<std::int64_t>(row)) {
     return false;
@@ -205,13 +264,18 @@ MemCycle Device::read(std::uint32_t bank, MemCycle now) {
   bus_ready_ = now + timing_.tBURST;
   last_col_was_write_ = false;
   ++counters_.reads;
+  ++rank_counters_[rank_of(bank)].reads;
   refresh_state(now);
   return done;
 }
 
 bool Device::can_write(std::uint32_t bank, std::uint32_t row,
                        MemCycle now) const {
-  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  const std::uint32_t rank = rank_of(bank);
+  if (rank_powered_down(rank) || in_self_refresh_ ||
+      now < rank_wakeup_ready_[rank]) {
+    return false;
+  }
   const Bank& b = banks_[bank];
   if (!b.can_column(now) || b.open_row() != static_cast<std::int64_t>(row)) {
     return false;
@@ -225,12 +289,17 @@ MemCycle Device::write(std::uint32_t bank, MemCycle now) {
   bus_ready_ = now + timing_.tBURST;
   last_col_was_write_ = true;
   ++counters_.writes;
+  ++rank_counters_[rank_of(bank)].writes;
   refresh_state(now);
   return done;
 }
 
 bool Device::can_precharge(std::uint32_t bank, MemCycle now) const {
-  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  const std::uint32_t rank = rank_of(bank);
+  if (rank_powered_down(rank) || in_self_refresh_ ||
+      now < rank_wakeup_ready_[rank]) {
+    return false;
+  }
   return banks_[bank].can_precharge(now);
 }
 
@@ -248,29 +317,43 @@ void Device::precharge(std::uint32_t bank, MemCycle now) {
   banks_[bank].precharge(now);
   open_mask_ &= ~(1u << bank);
   ++counters_.precharges;
+  ++rank_counters_[rank_of(bank)].precharges;
   refresh_state(now);
 }
 
-bool Device::can_refresh(MemCycle now) const {
-  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
-  if (!all_banks_precharged()) return false;
-  for (const auto& b : banks_) {
+bool Device::can_refresh(MemCycle now, std::uint32_t rank) const {
+  if (rank_powered_down(rank) || in_self_refresh_ ||
+      now < rank_wakeup_ready_[rank]) {
+    return false;
+  }
+  if (rank_open_mask(rank) != 0) return false;
+  const std::uint32_t base = rank * geo_.banks;
+  for (std::uint32_t i = 0; i < geo_.banks; ++i) {
+    const Bank& b = banks_[base + i];
     if (now < b.ready_act()) return false;
     if (now < b.ref_until()) return false;  // REFpb window (SARP) open
   }
   return true;
 }
 
-void Device::refresh(MemCycle now) {
-  assert(can_refresh(now));
-  record(CmdType::kRefresh, 0, 0, now);
-  for (auto& b : banks_) b.block_until(now + timing_.tRFC);
+void Device::refresh(MemCycle now, std::uint32_t rank) {
+  assert(can_refresh(now, rank));
+  record(CmdType::kRefresh, rank * geo_.banks, 0, now);
+  const std::uint32_t base = rank * geo_.banks;
+  for (std::uint32_t i = 0; i < geo_.banks; ++i) {
+    banks_[base + i].block_until(now + timing_.tRFC);
+  }
   ++counters_.refreshes;
+  ++rank_counters_[rank].refreshes;
   refresh_state(now);
 }
 
 bool Device::can_refresh_bank(std::uint32_t bank, MemCycle now) const {
-  if (powered_down_ || in_self_refresh_ || now < wakeup_ready_) return false;
+  const std::uint32_t rank = rank_of(bank);
+  if (rank_powered_down(rank) || in_self_refresh_ ||
+      now < rank_wakeup_ready_[rank]) {
+    return false;
+  }
   const Bank& b = banks_[bank];
   if (now < b.ref_until()) return false;  // previous REFpb still running
   if (!b.row_open()) return now >= b.ready_act();  // precharged, past tRP
@@ -294,26 +377,27 @@ void Device::refresh_bank(std::uint32_t bank, MemCycle now) {
   ref_row_[bank] = (ref_row_[bank] + kRowsPerRefreshCommand) %
                    geo_.rows_per_bank;
   ++counters_.refreshes_pb;
+  ++rank_counters_[rank_of(bank)].refreshes_pb;
   refresh_state(now);
 }
 
-void Device::enter_power_down(MemCycle now) {
-  assert(!powered_down_ && !in_self_refresh_);
-  record(CmdType::kPowerDownEnter, 0, 0, now);
-  powered_down_ = true;
+void Device::enter_power_down(MemCycle now, std::uint32_t rank) {
+  assert(!rank_powered_down(rank) && !in_self_refresh_);
+  record(CmdType::kPowerDownEnter, rank * geo_.banks, 0, now);
+  pd_mask_ |= 1u << rank;
   refresh_state(now);
 }
 
-void Device::exit_power_down(MemCycle now) {
-  assert(powered_down_);
-  record(CmdType::kPowerDownExit, 0, 0, now);
-  powered_down_ = false;
-  wakeup_ready_ = now + timing_.tXP;
+void Device::exit_power_down(MemCycle now, std::uint32_t rank) {
+  assert(rank_powered_down(rank));
+  record(CmdType::kPowerDownExit, rank * geo_.banks, 0, now);
+  pd_mask_ &= ~(1u << rank);
+  rank_wakeup_ready_[rank] = now + timing_.tXP;
   refresh_state(now);
 }
 
 void Device::enter_self_refresh(MemCycle now, std::uint32_t refresh_divider) {
-  assert(!powered_down_ && !in_self_refresh_);
+  assert(pd_mask_ == 0 && !in_self_refresh_);
   assert(all_banks_precharged());
   assert(refresh_divider >= 1);
   record(CmdType::kSelfRefreshEnter, 0, 0, now);
@@ -326,19 +410,25 @@ void Device::enter_self_refresh(MemCycle now, std::uint32_t refresh_divider) {
 void Device::exit_self_refresh(MemCycle now) {
   assert(in_self_refresh_);
   // Credit the internal refresh pulses performed while asleep: one pulse
-  // per (tREFI * divider).
+  // per (tREFI * divider), in every rank (each refreshes itself).
   const MemCycle stay = now - sr_entry_time_;
-  counters_.self_refresh_pulses +=
+  const std::uint64_t pulses =
       stay / (static_cast<MemCycle>(timing_.tREFI) * sr_divider_);
+  counters_.self_refresh_pulses += pulses * geo_.ranks;
+  for (std::uint32_t r = 0; r < geo_.ranks; ++r) {
+    rank_counters_[r].self_refresh_pulses += pulses;
+  }
   record(CmdType::kSelfRefreshExit, 0, 0, now);
   in_self_refresh_ = false;
-  wakeup_ready_ = now + timing_.tXSR;
+  for (std::uint32_t r = 0; r < geo_.ranks; ++r) {
+    rank_wakeup_ready_[r] = now + timing_.tXSR;
+  }
   refresh_state(now);
 }
 
 MemCycle Device::next_event(MemCycle now) const {
   // Min over every per-bank ready time that is still in the future, plus
-  // the rank-global wake-up bound. A lower bound only: whether anything
+  // the per-rank wake-up bounds. A lower bound only: whether anything
   // actually happens then depends on what the controller has queued.
   MemCycle e = static_cast<MemCycle>(-1);
   auto consider = [&](MemCycle t) {
@@ -349,7 +439,9 @@ MemCycle Device::next_event(MemCycle now) const {
     consider(b.ready_col());
     consider(b.ready_pre());
   }
-  consider(wakeup_ready_);
+  for (std::uint32_t r = 0; r < geo_.ranks; ++r) {
+    consider(rank_wakeup_ready_[r]);
+  }
   return e <= now ? now + 1 : e;
 }
 

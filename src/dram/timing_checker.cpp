@@ -50,20 +50,29 @@ struct BankState {
   bool row_open = false;
 };
 
+// Rank-scoped rule state (docs/SCALING.md): activates, refreshes and
+// power-mode wake-ups on one rank never constrain another; only the
+// shared data bus is channel-global.
+struct RankState {
+  std::optional<std::size_t> last_rank_act;  // tRRD
+  std::deque<std::size_t> act_window;        // tFAW
+  std::optional<std::size_t> last_ref;       // tRFC
+  std::optional<std::size_t> last_wakeup;    // tXP / tXSR
+  std::uint64_t wakeup_gap = 0;
+};
+
 }  // namespace
 
 std::vector<TimingViolation> TimingChecker::check(
     const std::vector<Command>& log, std::uint32_t num_banks,
-    bool sarp_overlap) const {
+    bool sarp_overlap, std::uint32_t banks_per_rank) const {
   std::vector<TimingViolation> out;
   std::vector<BankState> banks(num_banks);
-  std::optional<std::size_t> last_rank_act;       // tRRD
-  std::deque<std::size_t> act_window;             // tFAW
+  if (banks_per_rank == 0) banks_per_rank = num_banks;
+  std::vector<RankState> ranks((num_banks + banks_per_rank - 1) /
+                               banks_per_rank);
   std::optional<std::size_t> last_col;            // data bus (tBURST)
   std::optional<std::size_t> last_wr_any;         // tWTR
-  std::optional<std::size_t> last_ref;            // tRFC
-  std::optional<std::size_t> last_wakeup;         // tXP / tXSR
-  std::uint64_t wakeup_gap = 0;
 
   auto require = [&](std::optional<std::size_t> first, std::size_t second,
                      std::uint64_t gap, const char* rule) {
@@ -81,15 +90,17 @@ std::vector<TimingViolation> TimingChecker::check(
   for (std::size_t i = 0; i < log.size(); ++i) {
     const Command& c = log[i];
     BankState* b = c.bank < num_banks ? &banks[c.bank] : nullptr;
+    RankState& rk = ranks[std::min<std::size_t>(c.bank / banks_per_rank,
+                                                ranks.size() - 1)];
 
-    // No array command may beat a power-mode exit's wake-up penalty.
+    // No array command may beat its rank's power-mode wake-up penalty.
     const bool is_array_cmd =
         c.type == CmdType::kActivate || c.type == CmdType::kRead ||
         c.type == CmdType::kWrite || c.type == CmdType::kPrecharge ||
         c.type == CmdType::kRefresh || c.type == CmdType::kRefreshBank;
     if (is_array_cmd) {
-      require(last_wakeup, i, wakeup_gap, "tXP/tXSR (wake-up)");
-      require(last_ref, i, t_.tRFC, "tRFC");
+      require(rk.last_wakeup, i, rk.wakeup_gap, "tXP/tXSR (wake-up)");
+      require(rk.last_ref, i, t_.tRFC, "tRFC");
     }
     // Without the SARP overlap a per-bank refresh occupies its whole
     // bank for tRFCpb; with it, same-bank demand to other subarrays is
@@ -104,13 +115,13 @@ std::vector<TimingViolation> TimingChecker::check(
     switch (c.type) {
       case CmdType::kActivate: {
         require(b->last_pre, i, t_.tRP, "tRP");
-        require(last_rank_act, i, t_.tRRD, "tRRD");
-        if (act_window.size() >= 4) {
-          require(act_window.front(), i, t_.tFAW, "tFAW");
-          act_window.pop_front();
+        require(rk.last_rank_act, i, t_.tRRD, "tRRD");
+        if (rk.act_window.size() >= 4) {
+          require(rk.act_window.front(), i, t_.tFAW, "tFAW");
+          rk.act_window.pop_front();
         }
-        act_window.push_back(i);
-        last_rank_act = i;
+        rk.act_window.push_back(i);
+        rk.last_rank_act = i;
         b->last_act = i;
         b->row_open = true;
         break;
@@ -142,9 +153,13 @@ std::vector<TimingViolation> TimingChecker::check(
         break;
       }
       case CmdType::kRefresh: {
-        // All banks must be precharged, past tRP, and past any per-bank
-        // refresh still in flight.
-        for (std::uint32_t bk = 0; bk < num_banks; ++bk) {
+        // The rank's banks must be precharged, past tRP, and past any
+        // per-bank refresh still in flight (other ranks are unaffected).
+        const std::uint32_t first_bk =
+            (c.bank / banks_per_rank) * banks_per_rank;
+        const std::uint32_t end_bk =
+            std::min(first_bk + banks_per_rank, num_banks);
+        for (std::uint32_t bk = first_bk; bk < end_bk; ++bk) {
           if (banks[bk].row_open) {
             out.push_back({.first_index = banks[bk].last_act.value_or(0),
                            .second_index = i,
@@ -156,7 +171,7 @@ std::vector<TimingViolation> TimingChecker::check(
           require(banks[bk].last_pre, i, t_.tRP, "tRP before REF");
           require(banks[bk].last_refb, i, t_.tRFCpb, "tRFCpb before REF");
         }
-        last_ref = i;
+        rk.last_ref = i;
         break;
       }
       case CmdType::kRefreshBank: {
@@ -178,12 +193,15 @@ std::vector<TimingViolation> TimingChecker::check(
         break;
       }
       case CmdType::kPowerDownExit:
-        last_wakeup = i;
-        wakeup_gap = t_.tXP;
+        rk.last_wakeup = i;
+        rk.wakeup_gap = t_.tXP;
         break;
       case CmdType::kSelfRefreshExit:
-        last_wakeup = i;
-        wakeup_gap = t_.tXSR;
+        // Self-refresh is device-wide: every rank pays tXSR.
+        for (auto& r : ranks) {
+          r.last_wakeup = i;
+          r.wakeup_gap = t_.tXSR;
+        }
         break;
       case CmdType::kPowerDownEnter:
       case CmdType::kSelfRefreshEnter:

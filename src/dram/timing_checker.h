@@ -60,9 +60,18 @@ class TimingChecker {
   /// commands may proceed during tRFCpb, so the checker only enforces
   /// the REFpb-to-REFpb same-bank gap there. Pass the same value the
   /// controller ran with (ControllerConfig::sarp).
+  ///
+  /// `banks_per_rank` scopes the rank-level rules (tRRD, tFAW, tRFC,
+  /// tXP wake-up, REF all-banks-precharged) to each rank's bank group —
+  /// a REF or PDX on rank 0 does not constrain rank 1 (docs/SCALING.md).
+  /// Bank ids are global (rank * banks_per_rank + bank), matching the
+  /// Device command log. 0 (the default) means all banks are one rank.
+  /// The data-bus rules (tBURST, tWTR) stay channel-global: ranks share
+  /// the bus. Self-refresh entry/exit is device-wide, so its tXSR
+  /// wake-up penalty applies to every rank.
   [[nodiscard]] std::vector<TimingViolation> check(
       const std::vector<Command>& log, std::uint32_t num_banks,
-      bool sarp_overlap = false) const;
+      bool sarp_overlap = false, std::uint32_t banks_per_rank = 0) const;
 
  private:
   Timing t_;

@@ -1,12 +1,30 @@
 // Physical address to DRAM coordinate mapping.
 //
-// Open-page friendly layout: consecutive cache lines fill a row, then
-// rotate across banks, then advance the row. Sequential streams therefore
-// enjoy row-buffer hits while independent streams spread over banks.
+// Generalized over N channels x M ranks x B banks (docs/SCALING.md).
+// Three interleave granularities pick where the channel bits sit:
+//
+//   kLine    — consecutive cache lines rotate across channels first,
+//              then fill a row, then rotate banks/ranks, then advance
+//              the row. Sequential streams spread evenly over channels
+//              and still enjoy row-buffer hits (a row's lines live in
+//              the same physical row of every channel).
+//   kRow     — a whole row's worth of lines stays on one channel;
+//              consecutive rows rotate across channels. Maximizes
+//              per-channel row-hit runs, sacrifices channel-level
+//              parallelism for a single sequential stream.
+//   kBankXor — kLine layout, but the channel is permuted by the low
+//              row bits (XOR for power-of-two channel counts, modular
+//              add otherwise), breaking the channel-stride resonance
+//              of power-of-two strided streams.
+//
+// At 1 channel x 1 rank every mode degenerates to the original
+// single-channel map (col, then bank, then row), so existing pinned
+// references stay byte-identical.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <string_view>
 
 #include "common/types.h"
 #include "dram/dram_params.h"
@@ -14,57 +32,139 @@
 namespace mecc::memctrl {
 
 struct DramCoord {
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
   std::uint32_t bank = 0;
   std::uint32_t row = 0;
   std::uint32_t col = 0;  // line index within the row
 };
 
+enum class Interleave : std::uint8_t { kLine, kRow, kBankXor };
+
+[[nodiscard]] constexpr const char* interleave_name(Interleave m) {
+  switch (m) {
+    case Interleave::kLine: return "line";
+    case Interleave::kRow: return "row";
+    case Interleave::kBankXor: return "bank-xor";
+  }
+  return "?";
+}
+
+/// Parses "line" / "row" / "bank-xor"; returns false on anything else.
+[[nodiscard]] inline bool parse_interleave(std::string_view s,
+                                           Interleave* out) {
+  if (s == "line") { *out = Interleave::kLine; return true; }
+  if (s == "row") { *out = Interleave::kRow; return true; }
+  if (s == "bank-xor") { *out = Interleave::kBankXor; return true; }
+  return false;
+}
+
 class AddressMap {
  public:
-  explicit AddressMap(const dram::Geometry& geo) : geo_(geo) {
+  explicit AddressMap(const dram::Geometry& geo,
+                      Interleave mode = Interleave::kLine)
+      : geo_(geo), mode_(mode) {
     // decode() runs on every enqueue; with power-of-two geometry (the
-    // Table II device and every stock config) the five 64-bit divisions
+    // Table II device and every stock config) the 64-bit divisions
     // reduce to shifts and masks. Non-power-of-two geometries (exercised
     // by some unit tests) keep the generic path.
     const auto pow2 = [](std::uint64_t v) { return (v & (v - 1)) == 0; };
     if (pow2(geo_.total_lines()) && pow2(geo_.lines_per_row) &&
-        pow2(geo_.banks)) {
+        pow2(geo_.banks) && pow2(geo_.ranks) && pow2(geo_.channels)) {
       shifts_valid_ = true;
       line_mask_ = geo_.total_lines() - 1;
+      ch_mask_ = geo_.channels - 1;
+      ch_shift_ = log2u(geo_.channels);
       col_mask_ = geo_.lines_per_row - 1;
       bank_mask_ = geo_.banks - 1;
+      rank_mask_ = geo_.ranks - 1;
       lpr_shift_ = log2u(geo_.lines_per_row);
-      row_shift_ = lpr_shift_ + log2u(geo_.banks);
+      bank_shift_ = lpr_shift_ + log2u(geo_.banks);
+      rank_shift_ = bank_shift_ + log2u(geo_.ranks);
     }
   }
+
+  [[nodiscard]] Interleave mode() const { return mode_; }
 
   [[nodiscard]] DramCoord decode(Address byte_addr) const {
     DramCoord c;
     if (shifts_valid_) {
       const std::uint64_t line = (byte_addr / kLineBytes) & line_mask_;
-      c.col = static_cast<std::uint32_t>(line & col_mask_);
-      c.bank = static_cast<std::uint32_t>((line >> lpr_shift_) & bank_mask_);
-      c.row = static_cast<std::uint32_t>(line >> row_shift_);
+      std::uint64_t l2 = 0;  // line index within the channel
+      if (mode_ == Interleave::kRow) {
+        // col | channel | bank | rank | row (low to high)
+        c.col = static_cast<std::uint32_t>(line & col_mask_);
+        const std::uint64_t t = line >> lpr_shift_;
+        c.channel = static_cast<std::uint32_t>(t & ch_mask_);
+        l2 = ((t >> ch_shift_) << lpr_shift_) | c.col;
+      } else {
+        // channel | col | bank | rank | row (low to high)
+        c.channel = static_cast<std::uint32_t>(line & ch_mask_);
+        l2 = line >> ch_shift_;
+        c.col = static_cast<std::uint32_t>(l2 & col_mask_);
+      }
+      c.bank = static_cast<std::uint32_t>((l2 >> lpr_shift_) & bank_mask_);
+      c.rank = static_cast<std::uint32_t>((l2 >> bank_shift_) & rank_mask_);
+      c.row = static_cast<std::uint32_t>(l2 >> rank_shift_);
+      if (mode_ == Interleave::kBankXor) {
+        c.channel = static_cast<std::uint32_t>(
+            (c.channel ^ c.row) & ch_mask_);
+      }
       assert(c.row < geo_.rows_per_bank);
       return c;
     }
     const std::uint64_t line = (byte_addr / kLineBytes) % geo_.total_lines();
-    c.col = static_cast<std::uint32_t>(line % geo_.lines_per_row);
-    c.bank = static_cast<std::uint32_t>((line / geo_.lines_per_row) %
-                                        geo_.banks);
-    c.row = static_cast<std::uint32_t>(line /
+    std::uint64_t l2 = 0;
+    if (mode_ == Interleave::kRow) {
+      c.col = static_cast<std::uint32_t>(line % geo_.lines_per_row);
+      const std::uint64_t t = line / geo_.lines_per_row;
+      c.channel = static_cast<std::uint32_t>(t % geo_.channels);
+      l2 = (t / geo_.channels) * geo_.lines_per_row + c.col;
+    } else {
+      c.channel = static_cast<std::uint32_t>(line % geo_.channels);
+      l2 = line / geo_.channels;
+      c.col = static_cast<std::uint32_t>(l2 % geo_.lines_per_row);
+    }
+    const std::uint64_t banks_blk = l2 / geo_.lines_per_row;
+    c.bank = static_cast<std::uint32_t>(banks_blk % geo_.banks);
+    c.rank = static_cast<std::uint32_t>((banks_blk / geo_.banks) %
+                                        geo_.ranks);
+    c.row = static_cast<std::uint32_t>(banks_blk /
                                        (static_cast<std::uint64_t>(
-                                            geo_.lines_per_row) *
-                                        geo_.banks));
+                                            geo_.banks) *
+                                        geo_.ranks));
+    if (mode_ == Interleave::kBankXor) {
+      // row is a pure function of l2 (independent of the base channel),
+      // so permuting the channel by it keeps the map bijective.
+      c.channel = static_cast<std::uint32_t>(
+          (c.channel + c.row) % geo_.channels);
+    }
     assert(c.row < geo_.rows_per_bank);
     return c;
   }
 
   [[nodiscard]] Address encode(const DramCoord& c) const {
-    const std::uint64_t line =
-        (static_cast<std::uint64_t>(c.row) * geo_.banks + c.bank) *
+    std::uint64_t ch = c.channel;
+    if (mode_ == Interleave::kBankXor) {
+      ch = shifts_valid_
+               ? ((ch ^ c.row) & ch_mask_)
+               : (ch + geo_.channels - (c.row % geo_.channels)) %
+                     geo_.channels;
+    }
+    const std::uint64_t l2 =
+        ((static_cast<std::uint64_t>(c.row) * geo_.ranks + c.rank) *
+             geo_.banks +
+         c.bank) *
             geo_.lines_per_row +
         c.col;
+    std::uint64_t line = 0;
+    if (mode_ == Interleave::kRow) {
+      const std::uint64_t t =
+          (l2 / geo_.lines_per_row) * geo_.channels + ch;
+      line = t * geo_.lines_per_row + c.col;
+    } else {
+      line = l2 * geo_.channels + ch;
+    }
     return line * kLineBytes;
   }
 
@@ -76,12 +176,17 @@ class AddressMap {
   }
 
   dram::Geometry geo_;
+  Interleave mode_ = Interleave::kLine;
   bool shifts_valid_ = false;
   std::uint64_t line_mask_ = 0;
+  std::uint64_t ch_mask_ = 0;
   std::uint64_t col_mask_ = 0;
   std::uint64_t bank_mask_ = 0;
+  std::uint64_t rank_mask_ = 0;
+  std::uint32_t ch_shift_ = 0;
   std::uint32_t lpr_shift_ = 0;
-  std::uint32_t row_shift_ = 0;
+  std::uint32_t bank_shift_ = 0;
+  std::uint32_t rank_shift_ = 0;
 };
 
 }  // namespace mecc::memctrl

@@ -40,7 +40,8 @@ void Controller::trace_divider_change(std::uint32_t from, std::uint32_t to) {
 }
 
 Controller::Controller(dram::Device& device, const ControllerConfig& config)
-    : device_(device), config_(config), map_(device.geometry()) {
+    : device_(device), config_(config),
+      map_(device.geometry(), config.interleave) {
   // DARP/SARP are per-bank refinements; they mean nothing under the
   // rank-wide REF command.
   if (config_.refresh_granularity == RefreshGranularity::kAllBank) {
@@ -48,19 +49,29 @@ Controller::Controller(dram::Device& device, const ControllerConfig& config)
     config_.sarp = false;
   }
   device_.set_sarp_overlap(config_.sarp);
-  const std::uint32_t banks = device_.geometry().banks;
-  next_refresh_ = device_.timing().tREFI;
+  const std::uint32_t banks = device_.total_banks();  // global banks
+  const std::uint32_t ranks = device_.geometry().ranks;
+  const dram::MemCycle trefi = device_.timing().tREFI;
+  // All-bank: one REF schedule per rank, staggered by tREFI/ranks so
+  // the command bus sees an even cadence (rank 0 keeps the historical
+  // first due time of exactly tREFI; the divider applies from the first
+  // accrual on).
+  rank_next_refresh_.resize(ranks);
+  rank_refresh_debt_.assign(ranks, 0);
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    rank_next_refresh_[r] =
+        trefi * static_cast<dram::MemCycle>(ranks + r) / ranks;
+  }
+  next_refresh_ = rank_next_refresh_[0];
   if (config_.refresh_granularity == RefreshGranularity::kPerBank) {
-    // Stagger the first due times across the first tREFI so the rank
+    // Stagger the first due times across the first tREFI so the channel
     // sees an even REFpb cadence from the start (same convention as the
-    // all-bank schedule above: the divider applies from the first
-    // accrual on).
+    // all-bank schedule above).
     bank_next_refresh_.resize(banks);
     bank_refresh_debt_.assign(banks, 0);
-    const dram::MemCycle interval = device_.timing().tREFI;
     for (std::uint32_t b = 0; b < banks; ++b) {
       bank_next_refresh_[b] =
-          static_cast<dram::MemCycle>(b + 1) * interval / banks;
+          static_cast<dram::MemCycle>(b + 1) * trefi / banks;
     }
     next_refresh_ = bank_next_refresh_[0];
   }
@@ -68,20 +79,28 @@ Controller::Controller(dram::Device& device, const ControllerConfig& config)
   read_q_.reserve(config_.read_queue_size);
   write_q_.reserve(config_.write_queue_size);
   bank_queued_.assign(banks, 0);
+  rank_queued_.assign(ranks, 0);
   open_row_demand_.assign(banks, 0);
   open_row_demand_reads_.assign(banks, 0);
+  last_rank_activity_.assign(ranks, 0);
 }
 
 void Controller::resync_refresh(dram::MemCycle now) {
-  refresh_debt_ = 0;
-  refresh_urgent_ = false;
+  refresh_urgent_mask_ = 0;
   const dram::MemCycle interval = refresh_interval();
+  const std::uint32_t ranks = device_.geometry().ranks;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    rank_refresh_debt_[r] = 0;
+    rank_next_refresh_[r] =
+        now + interval * static_cast<dram::MemCycle>(ranks + r) / ranks;
+  }
+  total_ab_debt_ = 0;
   if (config_.refresh_granularity == RefreshGranularity::kPerBank) {
     // The device refreshed itself during the self-refresh stay: clear
     // every bank's debt and restart the stagger from `now` (leaving the
     // old due times in place replayed the whole pre-SR schedule as an
     // immediate REFpb burst on exit).
-    const std::uint32_t banks = device_.geometry().banks;
+    const std::uint32_t banks = device_.total_banks();
     for (std::uint32_t b = 0; b < banks; ++b) {
       bank_refresh_debt_[b] = 0;
       bank_next_refresh_[b] =
@@ -93,7 +112,7 @@ void Controller::resync_refresh(dram::MemCycle now) {
     next_refresh_ = bank_next_refresh_[0];
     return;
   }
-  next_refresh_ = now + interval;
+  next_refresh_ = rank_next_refresh_[0];
 }
 
 void Controller::recount_open_row_demand(std::uint32_t bank,
@@ -129,7 +148,7 @@ bool Controller::enqueue_read(Address line_addr, std::uint64_t id,
   r.id = id;
   r.arrive = now;
   const DramCoord c = map_.decode(line_addr);
-  r.bank = c.bank;
+  r.bank = c.rank * device_.geometry().banks + c.bank;  // global bank
   r.row = c.row;
   r.col = c.col;
   read_q_.push_back(r);
@@ -151,7 +170,7 @@ bool Controller::enqueue_write(Address line_addr, dram::MemCycle now) {
   r.line_addr = line_addr;
   r.arrive = now;
   const DramCoord c = map_.decode(line_addr);
-  r.bank = c.bank;
+  r.bank = c.rank * device_.geometry().banks + c.bank;  // global bank
   r.row = c.row;
   r.col = c.col;
   write_q_.push_back(r);
@@ -167,54 +186,76 @@ void Controller::manage_refresh(dram::MemCycle now) {
     manage_refresh_per_bank(now);
     return;
   }
-  if (now < next_refresh_ && refresh_debt_ == 0) {
+  if (now < next_refresh_ && total_ab_debt_ == 0) {
     // Common case (no boundary crossed, no debt): skip the interval
     // arithmetic entirely — this runs on every memory tick.
-    refresh_urgent_ = false;
+    refresh_urgent_mask_ = 0;
     return;
   }
-  const dram::MemCycle interval =
-      static_cast<dram::MemCycle>(device_.timing().tREFI) *
-      config_.refresh_divider;
-  // Accrue refresh debt for every interval boundary passed.
-  while (now >= next_refresh_) {
-    ++refresh_debt_;
-    next_refresh_ += interval;
+  const dram::MemCycle interval = refresh_interval();
+  const std::uint32_t ranks = device_.geometry().ranks;
+  // Accrue each rank's refresh debt for every interval boundary passed,
+  // and refresh the cached minimum due time.
+  if (now >= next_refresh_) {
+    dram::MemCycle min_due = kNoMemEvent;
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      while (now >= rank_next_refresh_[r]) {
+        ++rank_refresh_debt_[r];
+        ++total_ab_debt_;
+        rank_next_refresh_[r] += interval;
+      }
+      min_due = std::min(min_due, rank_next_refresh_[r]);
+    }
+    next_refresh_ = min_due;
   }
-  if (refresh_debt_ == 0) {
-    refresh_urgent_ = false;
+  if (total_ab_debt_ == 0) {
+    refresh_urgent_mask_ = 0;
     return;
   }
 
-  // Elastic refresh: while demand traffic is pending and the postpone
-  // budget isn't exhausted, let reads/writes go first.
-  if (config_.elastic_refresh &&
-      refresh_debt_ < config_.max_postponed_refreshes &&
-      (!read_q_.empty() || !write_q_.empty())) {
-    refresh_urgent_ = false;
-    return;
+  // Elastic refresh: while demand traffic is pending and a rank's
+  // postpone budget isn't exhausted, let reads/writes go first. Ranks
+  // with an unpostponed REF due outrank demand: the scheduler must stop
+  // opening new rows there so the banks drain to all-precharged. One
+  // refresh action (PD exit / REF / drain precharge) per tick, lowest
+  // owing rank first — the command bus carries one command per cycle.
+  const bool demand_pending = !read_q_.empty() || !write_q_.empty();
+  refresh_urgent_mask_ = 0;
+  int act_rank = -1;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    if (rank_refresh_debt_[r] == 0) continue;
+    if (config_.elastic_refresh &&
+        rank_refresh_debt_[r] < config_.max_postponed_refreshes &&
+        demand_pending) {
+      continue;  // postponed
+    }
+    refresh_urgent_mask_ |= 1u << r;
+    if (act_rank < 0) act_rank = static_cast<int>(r);
   }
-  // A due refresh now outranks demand traffic: the scheduler must stop
-  // opening new rows so the banks can drain to the all-precharged state.
-  refresh_urgent_ = true;
+  if (act_rank < 0) return;
+  const std::uint32_t r = static_cast<std::uint32_t>(act_rank);
 
-  // Refresh is due: get the device out of power-down, close open rows and
-  // issue the REF command with priority over regular traffic.
-  if (device_.in_power_down()) {
-    device_.exit_power_down(now);
+  // Refresh is due: get the rank out of power-down, close its open rows
+  // and issue the REF command with priority over regular traffic.
+  if (device_.rank_powered_down(r)) {
+    device_.exit_power_down(now, r);
     ++pd_exits_for_refresh_;
     if (tracer_ != nullptr) trace_power_event("pd_exit_refresh", now);
     return;
   }
-  if (device_.can_refresh(now)) {
-    device_.refresh(now);
+  if (device_.can_refresh(now, r)) {
+    device_.refresh(now, r);
     ++refreshes_;
-    --refresh_debt_;
-    refresh_urgent_ = refresh_debt_ > 0;
+    --rank_refresh_debt_[r];
+    --total_ab_debt_;
+    if (rank_refresh_debt_[r] == 0) refresh_urgent_mask_ &= ~(1u << r);
     return;
   }
-  for (std::uint32_t m = device_.open_banks(); m != 0; m &= m - 1) {
-    const std::uint32_t b = lowest_bank(m);
+  const std::uint32_t banks = device_.geometry().banks;
+  const std::uint32_t rank_open =
+      (device_.open_banks() >> (r * banks)) & ((1u << banks) - 1u);
+  for (std::uint32_t m = rank_open; m != 0; m &= m - 1) {
+    const std::uint32_t b = r * banks + lowest_bank(m);
     if (device_.can_precharge(b, now)) {
       device_.precharge(b, now);
       clear_open_row_demand(b);
@@ -228,19 +269,56 @@ int Controller::pull_in_candidate(dram::MemCycle now) const {
   // A pull-in spends future budget, so it is only legal with zero debt
   // outstanding anywhere (otherwise it would reorder past due work).
   if (!config_.darp || total_refresh_debt_ != 0) return -1;
-  if (device_.in_power_down() || device_.in_self_refresh()) return -1;
+  if (device_.in_self_refresh()) return -1;
   const dram::MemCycle horizon =
       now + static_cast<dram::MemCycle>(config_.max_postponed_refreshes) *
                 refresh_interval();
-  const std::uint32_t banks = device_.geometry().banks;
+  const std::uint32_t banks = device_.total_banks();
   for (std::uint32_t i = 0; i < banks; ++i) {
     const std::uint32_t b = (refresh_rr_ + i) % banks;
+    if (device_.rank_powered_down(device_.rank_of(b))) continue;  // asleep
     if (bank_queued_[b] != 0) continue;        // demand wants this bank
     if (bank_next_refresh_[b] > horizon) continue;  // budget exhausted
     if (!device_.can_refresh_bank(b, now)) continue;
     return static_cast<int>(b);
   }
   return -1;
+}
+
+int Controller::pull_in_candidate_rank(std::uint32_t rank,
+                                       dram::MemCycle now) const {
+  if (!config_.darp || total_refresh_debt_ != 0) return -1;
+  if (device_.in_self_refresh() || device_.rank_powered_down(rank)) return -1;
+  const dram::MemCycle horizon =
+      now + static_cast<dram::MemCycle>(config_.max_postponed_refreshes) *
+                refresh_interval();
+  const std::uint32_t banks = device_.geometry().banks;
+  for (std::uint32_t i = 0; i < banks; ++i) {
+    const std::uint32_t b = rank * banks + i;
+    if (bank_queued_[b] != 0) continue;
+    if (bank_next_refresh_[b] > horizon) continue;
+    if (!device_.can_refresh_bank(b, now)) continue;
+    return static_cast<int>(b);
+  }
+  return -1;
+}
+
+std::uint32_t Controller::rank_pb_debt(std::uint32_t rank) const {
+  const std::uint32_t banks = device_.geometry().banks;
+  std::uint32_t d = 0;
+  for (std::uint32_t i = 0; i < banks; ++i) {
+    d += bank_refresh_debt_[rank * banks + i];
+  }
+  return d;
+}
+
+dram::MemCycle Controller::rank_pb_next_refresh(std::uint32_t rank) const {
+  const std::uint32_t banks = device_.geometry().banks;
+  dram::MemCycle m = kNoMemEvent;
+  for (std::uint32_t i = 0; i < banks; ++i) {
+    m = std::min(m, bank_next_refresh_[rank * banks + i]);
+  }
+  return m;
 }
 
 void Controller::issue_bank_refresh(std::uint32_t bank, dram::MemCycle now,
@@ -263,16 +341,16 @@ void Controller::issue_bank_refresh(std::uint32_t bank, dram::MemCycle now,
   }
   --bank_refresh_debt_[bank];
   --total_refresh_debt_;
-  refresh_rr_ = (bank + 1) % device_.geometry().banks;
+  refresh_rr_ = (bank + 1) % device_.total_banks();
 }
 
 void Controller::manage_refresh_per_bank(dram::MemCycle now) {
   refresh_block_mask_ = 0;
   if (now < next_refresh_ && total_refresh_debt_ == 0) {
-    // Nothing due. DARP may still pull a refresh into an idle bank
-    // ahead of schedule (one per cycle), banking budget for later.
-    if (config_.darp && !device_.in_power_down() &&
-        !device_.in_self_refresh()) {
+    // Nothing due. DARP may still pull a refresh into an idle bank of
+    // an awake rank ahead of schedule (one per cycle), banking budget
+    // for later.
+    if (config_.darp && !device_.in_self_refresh()) {
       const int b = pull_in_candidate(now);
       if (b >= 0) {
         issue_bank_refresh(static_cast<std::uint32_t>(b), now,
@@ -285,7 +363,7 @@ void Controller::manage_refresh_per_bank(dram::MemCycle now) {
   // Accrue per-bank debt for every per-bank period boundary passed. A
   // boundary crossed while the bank still owes a refresh is a postpone
   // (DARP and elastic deliberately let these happen, bounded below).
-  const std::uint32_t banks = device_.geometry().banks;
+  const std::uint32_t banks = device_.total_banks();
   const dram::MemCycle interval = refresh_interval();
   if (now >= next_refresh_) {
     for (std::uint32_t b = 0; b < banks; ++b) {
@@ -338,10 +416,11 @@ void Controller::manage_refresh_per_bank(dram::MemCycle now) {
   const std::uint32_t b = static_cast<std::uint32_t>(target);
 
   // The target's REFpb outranks demand to that bank (only): hold off
-  // new ACTs into it, wake the device, drain its row, issue.
+  // new ACTs into it, wake its rank, drain its row, issue.
   refresh_block_mask_ = 1u << b;
-  if (device_.in_power_down()) {
-    device_.exit_power_down(now);
+  const std::uint32_t target_rank = device_.rank_of(b);
+  if (device_.rank_powered_down(target_rank)) {
+    device_.exit_power_down(now, target_rank);
     ++pd_exits_for_refresh_;
     if (tracer_ != nullptr) trace_power_event("pd_exit_refresh", now);
     return;
@@ -380,6 +459,7 @@ bool Controller::try_issue_column(std::vector<MemRequest>& q,
             .forwarded = false}});
         ++row_hits_;
         read_latency_mem_cycles_ += done - it->arrive;
+        work_rank_ = static_cast<int>(device_.rank_of(it->bank));
         index_erase(*it);
         q.erase(it);
         if (tracer_ != nullptr) trace_queue_depths(now);
@@ -389,6 +469,7 @@ bool Controller::try_issue_column(std::vector<MemRequest>& q,
       if (device_.can_write(it->bank, it->row, now)) {
         device_.write(it->bank, now);
         ++row_hits_;
+        work_rank_ = static_cast<int>(device_.rank_of(it->bank));
         index_erase(*it);
         q.erase(it);
         if (tracer_ != nullptr) trace_queue_depths(now);
@@ -415,16 +496,19 @@ bool Controller::try_prepare_row(std::vector<MemRequest>& q,
         device_.precharge(r.bank, now);
         clear_open_row_demand(r.bank);
         ++row_conflicts_;
+        work_rank_ = static_cast<int>(device_.rank_of(r.bank));
         return true;
       }
       continue;  // bank busy or row still wanted; look at other requests
     }
-    if (!bank.row_open() && !refresh_urgent_ &&
+    if (!bank.row_open() &&
+        (refresh_urgent_mask_ & (1u << device_.rank_of(r.bank))) == 0 &&
         (refresh_block_mask_ & (1u << r.bank)) == 0 &&
         device_.can_activate(r.bank, r.row, now)) {
       device_.activate(r.bank, r.row, now);
       recount_open_row_demand(r.bank, r.row);
       ++row_misses_;
+      work_rank_ = static_cast<int>(device_.rank_of(r.bank));
       return true;
     }
   }
@@ -432,40 +516,60 @@ bool Controller::try_prepare_row(std::vector<MemRequest>& q,
 }
 
 void Controller::manage_power_down(dram::MemCycle now, bool did_work) {
-  if (did_work || !read_q_.empty() || !write_q_.empty()) {
-    last_activity_ = now;
-    if (device_.in_power_down()) {
-      device_.exit_power_down(now);
-      ++pd_exits_;
-      if (tracer_ != nullptr) trace_power_event("pd_exit", now);
+  // Per rank: a rank is busy when it issued this tick's command or has
+  // demand queued; busy ranks stay awake (activity stamp refreshed),
+  // idle ranks walk the entry ladder independently — other ranks'
+  // traffic no longer keeps an idle rank out of power-down.
+  const std::uint32_t ranks = device_.geometry().ranks;
+  const std::uint32_t banks = device_.geometry().banks;
+  const bool per_bank =
+      config_.refresh_granularity == RefreshGranularity::kPerBank;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const bool busy =
+        (did_work && work_rank_ == static_cast<int>(r)) ||
+        rank_queued_[r] != 0;
+    if (busy) {
+      last_rank_activity_[r] = now;
+      if (device_.rank_powered_down(r)) {
+        device_.exit_power_down(now, r);
+        ++pd_exits_;
+        if (tracer_ != nullptr) trace_power_event("pd_exit", now);
+      }
+      continue;
     }
-    return;
-  }
-  if (device_.in_power_down() || device_.in_self_refresh()) return;
-  if (now - last_activity_ < config_.power_down_idle_threshold) return;
-  // Aggressive power-down: close open rows first so we land in the deeper
-  // precharge power-down state.
-  if (const std::uint32_t m = device_.open_banks(); m != 0) {
-    const std::uint32_t b = lowest_bank(m);
-    if (device_.can_precharge(b, now)) {
-      device_.precharge(b, now);
-      clear_open_row_demand(b);
+    if (device_.rank_powered_down(r) || device_.in_self_refresh()) continue;
+    if (now - last_rank_activity_[r] < config_.power_down_idle_threshold) {
+      continue;
     }
-    return;  // try again next cycle
+    // Aggressive power-down: close the rank's open rows first so it
+    // lands in the deeper precharge power-down state.
+    const std::uint32_t open =
+        (device_.open_banks() >> (r * banks)) & ((1u << banks) - 1u);
+    if (open != 0) {
+      const std::uint32_t b = r * banks + lowest_bank(open);
+      if (device_.can_precharge(b, now)) {
+        device_.precharge(b, now);
+        clear_open_row_demand(b);
+      }
+      continue;  // try again next cycle
+    }
+    // Leave headroom for the rank's pending or imminent refresh so we
+    // don't thrash.
+    if (config_.refresh_enabled) {
+      const std::uint32_t debt =
+          per_bank ? rank_pb_debt(r) : rank_refresh_debt_[r];
+      const dram::MemCycle due =
+          per_bank ? rank_pb_next_refresh(r) : rank_next_refresh_[r];
+      if (debt > 0 || due <= now + device_.timing().tXP) continue;
+    }
+    // DARP banks refresh budget while idle: stay awake while a pull-in
+    // into this rank is still possible, then power down for the periods
+    // just covered.
+    if (config_.darp && pull_in_candidate_rank(r, now) >= 0) continue;
+    device_.enter_power_down(now, r);
+    ++pd_entries_;
+    if (tracer_ != nullptr) trace_power_event("pd_enter", now);
   }
-  // Leave headroom for pending or imminent refresh so we don't thrash.
-  // (next_refresh_ is the earliest per-bank due time in per-bank mode.)
-  if (config_.refresh_enabled &&
-      (pending_refresh_debt() > 0 ||
-       next_refresh_ <= now + device_.timing().tXP)) {
-    return;
-  }
-  // DARP banks refresh budget while idle: stay awake while a pull-in is
-  // still possible, then power down for the periods just covered.
-  if (config_.darp && pull_in_candidate(now) >= 0) return;
-  device_.enter_power_down(now);
-  ++pd_entries_;
-  if (tracer_ != nullptr) trace_power_event("pd_enter", now);
 }
 
 void Controller::schedule(dram::MemCycle now) {
@@ -495,17 +599,20 @@ void Controller::schedule(dram::MemCycle now) {
 
 bool Controller::try_close_unneeded_row(dram::MemCycle now) {
   // Closed-page: proactively close rows nobody queued for, so the next
-  // miss to the bank skips the conflict precharge.
+  // miss to the bank skips the conflict precharge. Banks of powered-down
+  // ranks keep no rows open, and can_precharge rejects them anyway.
   if (config_.page_policy != PagePolicy::kClosed) return false;
-  if (device_.in_power_down() || device_.in_self_refresh()) return false;
+  if (device_.in_self_refresh()) return false;
   for (std::uint32_t m = device_.open_banks(); m != 0; m &= m - 1) {
     const std::uint32_t b = lowest_bank(m);
+    if (device_.rank_powered_down(device_.rank_of(b))) continue;
     const dram::Bank& bank = device_.bank(b);
     if (!row_still_needed(b, bank.open_row()) &&
         device_.can_precharge(b, now)) {
       device_.precharge(b, now);
       clear_open_row_demand(b);
       ++closed_page_precharges_;
+      work_rank_ = static_cast<int>(device_.rank_of(b));
       return true;
     }
   }
@@ -517,17 +624,22 @@ void Controller::tick(dram::MemCycle now) {
   // this runs every memory cycle).
   read_q_depth_.record(static_cast<double>(read_q_.size()));
   write_q_depth_.record(static_cast<double>(write_q_.size()));
+  work_rank_ = -1;
   manage_refresh(now);
   if ((read_q_.empty() && write_q_.empty())) {
     const bool closed = try_close_unneeded_row(now);
     manage_power_down(now, closed);
     return;
   }
-  if (device_.in_power_down()) {
-    device_.exit_power_down(now);
-    ++pd_exits_;
-    if (tracer_ != nullptr) trace_power_event("pd_exit", now);
-    return;
+  // Wake one powered-down rank with queued demand per tick (lowest
+  // first); scheduling resumes once every demanded rank is awake.
+  for (std::uint32_t r = 0; r < device_.geometry().ranks; ++r) {
+    if (rank_queued_[r] != 0 && device_.rank_powered_down(r)) {
+      device_.exit_power_down(now, r);
+      ++pd_exits_;
+      if (tracer_ != nullptr) trace_power_event("pd_exit", now);
+      return;
+    }
   }
   schedule(now);
 }
@@ -546,15 +658,13 @@ dram::MemCycle Controller::earliest_issue_bound() const {
   // on nearly every fast-forward attempt (docs/PERFORMANCE.md).
   dram::MemCycle e = kNoMemEvent;
   const dram::Timing& t = device_.timing();
-  const dram::MemCycle wake = device_.wakeup_ready();
-  const dram::MemCycle act_bound =
-      std::max(device_.next_act_allowed(), device_.act_faw_bound());
   const dram::MemCycle bus = device_.bus_ready();
   const dram::MemCycle read_bus =
       device_.last_col_was_write() ? bus + t.tWTR : bus;
-  const std::uint32_t banks = device_.geometry().banks;
-  for (std::uint32_t b = 0; b < banks; ++b) {
+  const std::uint32_t total = device_.total_banks();
+  for (std::uint32_t b = 0; b < total; ++b) {
     if (bank_queued_[b] == 0) continue;
+    const std::uint32_t rank = device_.rank_of(b);
     const dram::Bank& bank = device_.bank(b);
     dram::MemCycle c;
     if (bank.row_open()) {
@@ -571,16 +681,20 @@ dram::MemCycle Controller::earliest_issue_bound() const {
         c = std::min(c, bank.ready_pre());
       }
     } else {
-      c = std::max(bank.ready_act(), act_bound);
+      c = std::max(bank.ready_act(),
+                   std::max(device_.next_act_allowed(rank),
+                            device_.act_faw_bound(rank)));
     }
-    c = std::max(c, wake);
+    c = std::max(c, device_.wakeup_ready(rank));
     if (c < e) e = c;
   }
   if (config_.page_policy == PagePolicy::kClosed) {
     // Closed-page also proactively precharges rows nobody queued for.
     for (std::uint32_t m = device_.open_banks(); m != 0; m &= m - 1) {
-      const dram::Bank& bank = device_.bank(lowest_bank(m));
-      e = std::min(e, std::max(bank.ready_pre(), wake));
+      const std::uint32_t b = lowest_bank(m);
+      const dram::Bank& bank = device_.bank(b);
+      e = std::min(e, std::max(bank.ready_pre(),
+                               device_.wakeup_ready(device_.rank_of(b))));
     }
   }
   return e;
@@ -591,7 +705,7 @@ dram::MemCycle Controller::next_event(dram::MemCycle now) const {
   const bool queues_empty = read_q_.empty() && write_q_.empty();
   if (config_.refresh_enabled &&
       config_.refresh_granularity == RefreshGranularity::kPerBank) {
-    const std::uint32_t banks = device_.geometry().banks;
+    const std::uint32_t total = device_.total_banks();
     if (total_refresh_debt_ > 0) {
       // Actionable iff manage_refresh_per_bank would pick a target (the
       // conditions below are exactly its selection criteria); then it
@@ -599,7 +713,7 @@ dram::MemCycle Controller::next_event(dram::MemCycle now) const {
       bool actionable;
       if (config_.darp) {
         actionable = false;
-        for (std::uint32_t b = 0; b < banks && !actionable; ++b) {
+        for (std::uint32_t b = 0; b < total && !actionable; ++b) {
           actionable = bank_refresh_debt_[b] > 0 &&
                        (bank_queued_[b] == 0 ||
                         bank_refresh_debt_[b] >=
@@ -607,7 +721,7 @@ dram::MemCycle Controller::next_event(dram::MemCycle now) const {
         }
       } else if (config_.elastic_refresh && !queues_empty) {
         actionable = false;
-        for (std::uint32_t b = 0; b < banks && !actionable; ++b) {
+        for (std::uint32_t b = 0; b < total && !actionable; ++b) {
           actionable =
               bank_refresh_debt_[b] >= config_.max_postponed_refreshes;
         }
@@ -618,65 +732,76 @@ dram::MemCycle Controller::next_event(dram::MemCycle now) const {
     }
     e = std::min(e, next_refresh_);  // earliest per-bank accrual boundary
     if (config_.darp && total_refresh_debt_ == 0 &&
-        !device_.in_power_down() && !device_.in_self_refresh()) {
+        !device_.in_self_refresh()) {
       // Pull-in eligibility: idle bank b enters the pull-in horizon at
       // due_b - cap*interval; from then on the pass may act any cycle
       // (device acceptance can only delay it, so this stays a valid
-      // conservative bound).
+      // conservative bound). Banks of powered-down ranks are skipped by
+      // the pull-in pass until demand or debt wakes the rank, both of
+      // which are bounded elsewhere.
       const dram::MemCycle span =
           static_cast<dram::MemCycle>(config_.max_postponed_refreshes) *
           refresh_interval();
-      for (std::uint32_t b = 0; b < banks; ++b) {
+      for (std::uint32_t b = 0; b < total; ++b) {
         if (bank_queued_[b] != 0) continue;
+        if (device_.rank_powered_down(device_.rank_of(b))) continue;
         const dram::MemCycle due = bank_next_refresh_[b];
         e = std::min(e, due > now + span ? due - span : now + 1);
       }
     }
   } else if (config_.refresh_enabled) {
-    if (refresh_debt_ > 0) {
-      const bool postponed = config_.elastic_refresh &&
-                             refresh_debt_ < config_.max_postponed_refreshes &&
-                             !queues_empty;
+    for (std::uint32_t r = 0; r < device_.geometry().ranks; ++r) {
+      if (rank_refresh_debt_[r] == 0) continue;
+      const bool postponed =
+          config_.elastic_refresh &&
+          rank_refresh_debt_[r] < config_.max_postponed_refreshes &&
+          !queues_empty;
       // Unpostponed refresh debt drives work (power-down exits,
       // precharges, the REF itself) tick by tick until it clears.
       if (!postponed) return now + 1;
     }
-    e = std::min(e, next_refresh_);  // next debt accrual boundary
+    e = std::min(e, next_refresh_);  // next debt accrual boundary (any rank)
   }
-  if (!queues_empty) {
-    if (device_.in_power_down()) return now + 1;  // tick exits immediately
-    e = std::min(e, earliest_issue_bound());
-  } else if (!device_.in_power_down() && !device_.in_self_refresh()) {
-    // Idle machinery: close open rows, then enter power-down.
-    const std::uint32_t open = device_.open_banks();
+  const bool per_bank =
+      config_.refresh_granularity == RefreshGranularity::kPerBank;
+  const std::uint32_t banks = device_.geometry().banks;
+  for (std::uint32_t r = 0; r < device_.geometry().ranks; ++r) {
+    if (rank_queued_[r] != 0) {
+      if (device_.rank_powered_down(r)) return now + 1;  // tick wakes it
+      continue;  // demand: earliest_issue_bound below covers it
+    }
+    if (device_.rank_powered_down(r) || device_.in_self_refresh()) continue;
+    // Idle-rank machinery: close the rank's open rows, then enter
+    // power-down (other ranks may be serving demand meanwhile).
+    const std::uint32_t open =
+        (device_.open_banks() >> (r * banks)) & ((1u << banks) - 1u);
     for (std::uint32_t m = open; m != 0; m &= m - 1) {
-      const dram::Bank& bank = device_.bank(lowest_bank(m));
-      e = std::min(e, std::max(bank.ready_pre(), device_.wakeup_ready()));
+      const dram::Bank& bank = device_.bank(r * banks + lowest_bank(m));
+      e = std::min(e, std::max(bank.ready_pre(), device_.wakeup_ready(r)));
     }
     if (open == 0) {
-      const dram::MemCycle entry = std::max(
-          now + 1, last_activity_ + config_.power_down_idle_threshold);
+      const dram::MemCycle entry =
+          std::max(now + 1,
+                   last_rank_activity_[r] + config_.power_down_idle_threshold);
       if (!config_.refresh_enabled) {
         e = std::min(e, entry);
-      } else {
-        // Power-down entry leaves headroom for an imminent refresh:
-        // blocked at cycle t when next_refresh_ <= t + tXP. (Zero debt
-        // here, or we returned above.)
+      } else if ((per_bank ? rank_pb_debt(r) : rank_refresh_debt_[r]) == 0) {
+        // Power-down entry leaves headroom for the rank's imminent
+        // refresh: blocked at cycle t when its next due <= t + tXP.
+        // With debt outstanding the rank stays awake until it clears,
+        // which the refresh/issue bounds above already cover.
+        const dram::MemCycle due =
+            per_bank ? rank_pb_next_refresh(r) : rank_next_refresh_[r];
         const dram::MemCycle xp = device_.timing().tXP;
-        const dram::MemCycle cutoff = next_refresh_ > xp ? next_refresh_ - xp : 0;
+        const dram::MemCycle cutoff = due > xp ? due - xp : 0;
         if (entry < cutoff) e = std::min(e, entry);
         // Otherwise entry stays blocked until after the refresh, whose
         // boundary is already in e.
       }
     }
   }
+  if (!queues_empty) e = std::min(e, earliest_issue_bound());
   return e == kNoMemEvent ? e : std::max(e, now + 1);
-}
-
-dram::MemCycle Controller::next_completion_ready() const {
-  dram::MemCycle e = kNoMemEvent;
-  for (const auto& f : in_flight_) e = std::min(e, f.completion.done);
-  return e;
 }
 
 const std::vector<ReadCompletion>& Controller::collect_completions(

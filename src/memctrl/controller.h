@@ -67,6 +67,9 @@ struct ControllerConfig {
   RefreshGranularity refresh_granularity = RefreshGranularity::kAllBank;
   bool darp = false;
   bool sarp = false;
+  // Address interleave mode for the controller's internal decode; must
+  // match the system-level routing map (docs/SCALING.md).
+  Interleave interleave = Interleave::kLine;
 };
 
 class Controller {
@@ -96,7 +99,13 @@ class Controller {
   /// Earliest `done` cycle among in-flight reads (kNoMemEvent if none):
   /// the System must not skip past it, or completions would be collected
   /// — and their ECC decode timed — later than in the per-cycle loop.
-  [[nodiscard]] dram::MemCycle next_completion_ready() const;
+  /// Inline: the fast-forward fold queries it once per channel on every
+  /// executed cycle, and in_flight_ holds at most a handful of entries.
+  [[nodiscard]] dram::MemCycle next_completion_ready() const {
+    dram::MemCycle e = kNoMemEvent;
+    for (const auto& f : in_flight_) e = std::min(e, f.completion.done);
+    return e;
+  }
 
   /// Bulk-applies the only per-tick side effect of `n` skipped no-op
   /// ticks: the queue-depth occupancy samples (queue sizes cannot change
@@ -159,18 +168,35 @@ class Controller {
   void resync_refresh(dram::MemCycle now);
 
   // ---- refresh-schedule observers (tests/memctrl) ----
-  /// Outstanding refresh debt across the rank: per-bank total in
-  /// per-bank mode, the all-bank debt counter otherwise.
+  /// Outstanding refresh debt across the channel: per-(global-)bank
+  /// total in per-bank mode, the summed per-rank all-bank debt
+  /// otherwise.
   [[nodiscard]] std::uint32_t pending_refresh_debt() const {
     return config_.refresh_granularity == RefreshGranularity::kPerBank
                ? total_refresh_debt_
-               : refresh_debt_;
+               : total_ab_debt_;
   }
   [[nodiscard]] std::uint32_t refresh_debt(std::uint32_t bank) const {
     return bank_refresh_debt_[bank];
   }
   [[nodiscard]] dram::MemCycle bank_next_refresh(std::uint32_t bank) const {
     return bank_next_refresh_[bank];
+  }
+  /// All-bank mode: rank r's next REF due time.
+  [[nodiscard]] dram::MemCycle rank_next_refresh(std::uint32_t rank) const {
+    return rank_next_refresh_[rank];
+  }
+
+  /// Conservative lower bound on the `done` cycle of any read column
+  /// that has NOT yet issued: future scheduling cannot create a
+  /// completion earlier than this. kNoMemEvent when no read is queued
+  /// (nothing new can complete until another enqueue). Used to size
+  /// channel-parallel execution spans (docs/SCALING.md).
+  [[nodiscard]] dram::MemCycle earliest_new_completion_bound() const {
+    if (read_q_.empty()) return kNoMemEvent;
+    const dram::MemCycle b = earliest_issue_bound();
+    if (b == kNoMemEvent) return kNoMemEvent;
+    return b + device_.timing().tCL + device_.timing().tBURST;
   }
 
   /// Counter view (tests). Rebuilt on demand: the counters themselves
@@ -212,9 +238,16 @@ class Controller {
   void manage_refresh_per_bank(dram::MemCycle now);
   /// Bank a DARP pull-in could refresh right now (-1 if none): no
   /// outstanding debt anywhere, the bank has no queued demand, its next
-  /// due time is within max_postponed_refreshes periods, and the device
-  /// accepts a REFpb to it.
+  /// due time is within max_postponed_refreshes periods, its rank is
+  /// awake, and the device accepts a REFpb to it.
   [[nodiscard]] int pull_in_candidate(dram::MemCycle now) const;
+  /// Same, restricted to `rank`'s banks (per-rank power-down decisions).
+  [[nodiscard]] int pull_in_candidate_rank(std::uint32_t rank,
+                                           dram::MemCycle now) const;
+  /// Per-bank mode: rank r's outstanding debt / earliest due time
+  /// across its banks (per-rank power-down headroom checks).
+  [[nodiscard]] std::uint32_t rank_pb_debt(std::uint32_t rank) const;
+  [[nodiscard]] dram::MemCycle rank_pb_next_refresh(std::uint32_t rank) const;
   /// Issues the REFpb to `bank` and settles the schedule: debt-- (or,
   /// for a pull-in, due time += one period) and counters.
   void issue_bank_refresh(std::uint32_t bank, dram::MemCycle now,
@@ -256,6 +289,7 @@ class Controller {
   // issue bound differs from writes' (tWTR after a write burst).
   void index_insert(const MemRequest& r) {
     ++bank_queued_[r.bank];
+    ++rank_queued_[device_.rank_of(r.bank)];
     const dram::Bank& b = device_.bank(r.bank);
     if (b.open_row() == static_cast<std::int64_t>(r.row)) {
       ++open_row_demand_[r.bank];
@@ -266,6 +300,7 @@ class Controller {
   }
   void index_erase(const MemRequest& r) {
     --bank_queued_[r.bank];
+    --rank_queued_[device_.rank_of(r.bank)];
     const dram::Bank& b = device_.bank(r.bank);
     if (b.open_row() == static_cast<std::int64_t>(r.row)) {
       --open_row_demand_[r.bank];
@@ -315,28 +350,43 @@ class Controller {
   // open_row_demand_ counts queued requests per bank targeting that
   // bank's open row, for O(1) row_still_needed without any scan.
   std::vector<Address> write_lines_;
+  // Per-(global-)bank / per-rank demand counters.
   std::vector<std::uint32_t> bank_queued_;           // queued reqs per bank
+  std::vector<std::uint32_t> rank_queued_;           // ...summed per rank
   std::vector<std::uint32_t> open_row_demand_;       // ...targeting open row
   std::vector<std::uint32_t> open_row_demand_reads_; // ...that are reads
   std::uint32_t matched_total_ = 0;  // sum of open_row_demand_
 
   bool draining_writes_ = false;
+  // All-bank refresh schedule, one per rank (each rank takes its own
+  // REF command, staggered by interval/ranks). next_refresh_ caches the
+  // minimum due time across ranks (per-bank: across banks) for the
+  // per-tick early-out. refresh_urgent_mask_ holds one bit per rank:
+  // new ACTs into a rank owing an unpostponed REF are held off until
+  // its banks drain.
   dram::MemCycle next_refresh_ = 0;
-  std::uint32_t refresh_debt_ = 0;
-  bool refresh_urgent_ = false;  // block new ACTs until the REF goes out
+  std::vector<dram::MemCycle> rank_next_refresh_;
+  std::vector<std::uint32_t> rank_refresh_debt_;
+  std::uint32_t total_ab_debt_ = 0;        // sum of rank_refresh_debt_
+  std::uint32_t refresh_urgent_mask_ = 0;  // bit per rank
   // Per-bank refresh schedule (refresh_granularity == kPerBank): each
-  // bank's next due time (staggered by tREFI*divider/banks so the rank
-  // sees one REFpb per tREFI/banks on average), its outstanding debt,
-  // and the round-robin cursor. next_refresh_ doubles as the cached
-  // minimum due time. refresh_block_mask_ plays refresh_urgent_'s role
-  // bankwise: while the pass is draining one bank for its REFpb, only
-  // ACTs into *that* bank are held off.
+  // global bank's next due time (staggered by tREFI*divider/G so the
+  // channel sees one REFpb per tREFI/G on average, G = ranks*banks),
+  // its outstanding debt, and the round-robin cursor.
+  // refresh_block_mask_ plays refresh_urgent_mask_'s role bankwise:
+  // while the pass is draining one bank for its REFpb, only ACTs into
+  // *that* bank are held off.
   std::vector<dram::MemCycle> bank_next_refresh_;
   std::vector<std::uint32_t> bank_refresh_debt_;
   std::uint32_t total_refresh_debt_ = 0;  // sum of bank_refresh_debt_
   std::uint32_t refresh_rr_ = 0;          // round-robin start bank
-  std::uint32_t refresh_block_mask_ = 0;  // bit per bank: ACT held off
-  dram::MemCycle last_activity_ = 0;
+  std::uint32_t refresh_block_mask_ = 0;  // bit per global bank
+  // Power-down bookkeeping, per rank: last cycle the rank did work or
+  // had demand queued, and the rank that issued this tick's command
+  // (-1 if none) so manage_power_down only refreshes that rank's
+  // activity stamp.
+  std::vector<dram::MemCycle> last_rank_activity_;
+  int work_rank_ = -1;
 
   // Hot-path event counters (see stats()/export_counters).
   std::uint64_t reads_enqueued_ = 0;

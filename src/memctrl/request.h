@@ -17,7 +17,9 @@ struct MemRequest {
   std::uint64_t id = 0;        // caller's tag, returned on completion
   dram::MemCycle arrive = 0;   // enqueue time (memory cycles)
 
-  // Decoded DRAM coordinates (filled by the controller).
+  // Decoded DRAM coordinates (filled by the controller). `bank` is the
+  // global bank index within the channel: rank * banks_per_rank + bank,
+  // matching dram::Device's flattened bank array.
   std::uint32_t bank = 0;
   std::uint32_t row = 0;
   std::uint32_t col = 0;

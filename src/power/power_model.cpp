@@ -5,10 +5,11 @@
 namespace mecc::power {
 
 PowerModel::PowerModel(const PowerParams& params, const dram::Timing& timing,
-                       std::uint32_t banks)
-    : params_(params), timing_(timing), banks_(banks),
+                       std::uint32_t banks, std::uint32_t devices)
+    : params_(params), timing_(timing), banks_(banks), devices_(devices),
       tck_s_(1.0 / kMemFreqHz) {
   assert(banks_ >= 1);
+  assert(devices_ >= 1);
 }
 
 double PowerModel::energy_act_pre_nj() const {
@@ -72,7 +73,11 @@ ActiveEnergy PowerModel::active_energy(
         background_power_mw(static_cast<dram::PowerState>(s)) * secs;
     total_cycles += counters.state_cycles[s];
   }
-  e.seconds = static_cast<double>(total_cycles) * tck_s_;
+  // state_cycles sum per-device residencies (each rank of each channel
+  // accounts its own background current), so the wall-clock seconds of
+  // the interval are the total divided by the device count.
+  e.seconds = static_cast<double>(total_cycles) * tck_s_ /
+              static_cast<double>(devices_);
   e.activate_mj = static_cast<double>(counters.activates) *
                   energy_act_pre_nj() * 1e-6;
   e.read_mj = static_cast<double>(counters.reads) * energy_read_nj() * 1e-6;
@@ -86,7 +91,9 @@ ActiveEnergy PowerModel::active_energy(
 
 IdlePower PowerModel::idle_power(double refresh_period_s) const {
   assert(refresh_period_s > 0.0);
-  const double total_at_64ms_mw = params_.vdd * params_.idd8_ma;
+  // Every device (channel x rank) self-refreshes independently in idle.
+  const double total_at_64ms_mw =
+      params_.vdd * params_.idd8_ma * static_cast<double>(devices_);
   const double refresh_at_64ms_mw =
       total_at_64ms_mw * params_.self_refresh_refresh_share;
   IdlePower p;
@@ -97,8 +104,10 @@ IdlePower PowerModel::idle_power(double refresh_period_s) const {
 
 double PowerModel::refresh_ops_per_second(double refresh_period_s) const {
   assert(refresh_period_s > 0.0);
-  // All rows once per period, kRowsPerRefreshCommand rows per pulse.
-  return dram::kRefreshCommandsPerWindow * (0.064 / refresh_period_s) / 0.064;
+  // All rows once per period, kRowsPerRefreshCommand rows per pulse,
+  // in every device.
+  return dram::kRefreshCommandsPerWindow * (0.064 / refresh_period_s) /
+         0.064 * static_cast<double>(devices_);
 }
 
 }  // namespace mecc::power

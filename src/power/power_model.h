@@ -44,10 +44,16 @@ struct ActiveEnergy {
 class PowerModel {
  public:
   /// `banks` sizes the per-bank refresh command energy (a REFpb covers
-  /// 1/banks of the cells an all-bank REF does).
+  /// 1/banks of the cells an all-bank REF does). `devices` is the number
+  /// of physical DRAM devices behind the model (channels x ranks): idle
+  /// self-refresh power and refresh ops scale linearly with it, and it
+  /// normalizes the wall-clock seconds recovered from state-residency
+  /// counters that sum per-device cycles (docs/SCALING.md). Default 1
+  /// keeps the historical single-channel behavior.
   explicit PowerModel(const PowerParams& params = PowerParams{},
                       const dram::Timing& timing = dram::Timing{},
-                      std::uint32_t banks = dram::Geometry{}.banks);
+                      std::uint32_t banks = dram::Geometry{}.banks,
+                      std::uint32_t devices = 1);
 
   // ---- event energies (nanojoules) ----
   [[nodiscard]] double energy_act_pre_nj() const;
@@ -82,6 +88,7 @@ class PowerModel {
   PowerParams params_;
   dram::Timing timing_;
   std::uint32_t banks_;
+  std::uint32_t devices_;
   double tck_s_;  // memory-cycle duration in seconds
 };
 

@@ -149,6 +149,55 @@ constexpr Setter kRefreshGranularity{
     },
     "all-bank|per-bank"};
 
+constexpr Setter kChannels{
+    "--channels / MECC_CHANNELS",
+    [](const std::string& v, SimOptions& o) {
+      std::uint64_t x = 0;
+      if (!parse_u64(v, x) || x == 0 || x > 64) return false;
+      o.channels = static_cast<std::uint32_t>(x);
+      return true;
+    },
+    "a channel count in [1, 64]"};
+
+constexpr Setter kRanks{"--ranks / MECC_RANKS",
+                        [](const std::string& v, SimOptions& o) {
+                          std::uint64_t x = 0;
+                          if (!parse_u64(v, x) || x == 0 || x > 8) {
+                            return false;
+                          }
+                          o.ranks = static_cast<std::uint32_t>(x);
+                          return true;
+                        },
+                        "a rank count in [1, 8]"};
+
+constexpr Setter kInterleave{
+    "--interleave / MECC_INTERLEAVE",
+    [](const std::string& v, SimOptions& o) {
+      return memctrl::parse_interleave(v, &o.interleave);
+    },
+    "line|row|bank-xor"};
+
+constexpr Setter kStreams{"--streams / MECC_STREAMS",
+                          [](const std::string& v, SimOptions& o) {
+                            std::uint64_t x = 0;
+                            if (!parse_u64(v, x) || x == 0 || x > 64) {
+                              return false;
+                            }
+                            o.streams = static_cast<std::uint32_t>(x);
+                            return true;
+                          },
+                          "a stream count in [1, 64]"};
+
+constexpr Setter kChannelParallel{
+    "--channel-parallel / MECC_CHANNEL_PARALLEL",
+    [](const std::string& v, SimOptions& o) {
+      std::uint64_t x = 0;
+      if (!parse_u64(v, x) || x > 1024) return false;
+      o.channel_parallel = static_cast<unsigned>(x);
+      return true;
+    },
+    "a thread count in [0, 1024] (0 = serial)"};
+
 constexpr Setter kOut{"--out / MECC_OUT",
                       [](const std::string& v, SimOptions& o) {
                         if (v.empty()) return false;
@@ -249,6 +298,14 @@ void apply_refresh_options(const SimOptions& opts,
   if (cfg.darp) cfg.refresh_granularity = RefreshGranularity::kPerBank;
 }
 
+void apply_geometry_options(const SimOptions& opts, SystemConfig& cfg) {
+  if (opts.channels != 0) cfg.geometry.channels = opts.channels;
+  cfg.geometry.ranks = opts.ranks;
+  cfg.interleave = opts.interleave;
+  cfg.streams = opts.streams;
+  cfg.channel_threads = opts.channel_parallel;
+}
+
 tracing::TraceConfig trace_config_from(const SimOptions& opts) {
   tracing::TraceConfig c;
   c.enabled = !opts.trace.empty();
@@ -327,6 +384,11 @@ std::optional<SimOptions> parse_options_checked(int argc, char** argv,
       {"MECC_REFRESH_POLICY", "--refresh-policy=", kRefreshPolicy},
       {"MECC_REFRESH_GRANULARITY", "--refresh-granularity=",
        kRefreshGranularity},
+      {"MECC_CHANNELS", "--channels=", kChannels},
+      {"MECC_RANKS", "--ranks=", kRanks},
+      {"MECC_INTERLEAVE", "--interleave=", kInterleave},
+      {"MECC_STREAMS", "--streams=", kStreams},
+      {"MECC_CHANNEL_PARALLEL", "--channel-parallel=", kChannelParallel},
       {"MECC_TRACE", "--trace=", kTrace},
       {"MECC_TRACE_CATEGORIES", "--trace-categories=", kTraceCategories},
       {"MECC_TRACE_LIMIT", "--trace-limit=", kTraceLimit},

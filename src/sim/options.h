@@ -27,6 +27,20 @@
 //   --refresh-granularity=all-bank|per-bank
 //                      refresh command granularity (docs/SCHEDULING.md).
 //                      Default all-bank (the paper's baseline REF).
+//   --channels=N       memory channels (docs/SCALING.md). Default: the
+//                      binary's own default — single-config benches use
+//                      1, geometry sweeps use their full grid and treat
+//                      the flag as a restriction.
+//   --ranks=N          ranks per channel (default 1).
+//   --interleave=line|row|bank-xor
+//                      channel/rank interleaving of the physical line
+//                      address (docs/SCALING.md). Default line.
+//   --streams=N        independent request streams / cores (default 1;
+//                      ignored under --trace-file replay).
+//   --channel-parallel=N
+//                      worker threads for channel-parallel epoch ticking
+//                      (docs/SCALING.md). Default 0 = serial channel
+//                      order; any N is bit-identical to 0.
 //   --trace=FILE.json  Chrome/Perfetto trace-event output
 //                      (docs/OBSERVABILITY.md); "-" for stdout.
 //                      Omitted (default) = tracing off.
@@ -48,7 +62,8 @@
 //   --list-stats       dump every registered stat key and exit.
 //   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS / MECC_BER / MECC_OUT /
 //   MECC_PERF_OUT / MECC_FAST_FORWARD / MECC_REFRESH_POLICY /
-//   MECC_REFRESH_GRANULARITY / MECC_TRACE /
+//   MECC_REFRESH_GRANULARITY / MECC_CHANNELS / MECC_RANKS /
+//   MECC_INTERLEAVE / MECC_STREAMS / MECC_CHANNEL_PARALLEL / MECC_TRACE /
 //   MECC_TRACE_CATEGORIES / MECC_TRACE_LIMIT / MECC_METRICS_OUT /
 //   MECC_METRICS_INTERVAL / MECC_METRICS_KEYS environment variables as
 //   fallbacks.
@@ -67,12 +82,15 @@
 
 #include "common/trace.h"
 #include "common/types.h"
+#include "memctrl/address_map.h"
 
 namespace mecc::memctrl {
 struct ControllerConfig;
 }
 
 namespace mecc::sim {
+
+struct SystemConfig;
 
 /// --refresh-policy= values (docs/SCHEDULING.md). Strict is the paper's
 /// baseline: refresh exactly on schedule, demand waits.
@@ -110,6 +128,17 @@ struct SimOptions {
   RefreshGranularityOption refresh_granularity =
       RefreshGranularityOption::kAllBank;
 
+  // Memory-system geometry (docs/SCALING.md). channels == 0 means "not
+  // set on the command line": single-config benches fall back to 1 via
+  // apply_geometry_options, geometry sweeps run their full grid.
+  std::uint32_t channels = 0;
+  std::uint32_t ranks = 1;
+  memctrl::Interleave interleave = memctrl::Interleave::kLine;
+  std::uint32_t streams = 1;
+  // Worker threads for channel-parallel epoch ticking (0 = serial
+  // channel order; any value is bit-identical to serial).
+  unsigned channel_parallel = 0;
+
   // Observability (docs/OBSERVABILITY.md).
   std::string trace;             // trace destination ("" = tracing off)
   std::string trace_categories;  // category filter csv ("" = all)
@@ -125,6 +154,11 @@ struct SimOptions {
 /// darp-sarp force per-bank granularity, which they require).
 void apply_refresh_options(const SimOptions& opts,
                            memctrl::ControllerConfig& cfg);
+
+/// Maps the geometry knobs onto a SystemConfig: channels (unset leaves
+/// the config's own default alone), ranks, interleave, request streams
+/// and the channel-parallel thread count.
+void apply_geometry_options(const SimOptions& opts, SystemConfig& cfg);
 
 /// The SystemConfig::trace block the options select (parse_options
 /// already validated the category list).

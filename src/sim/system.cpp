@@ -36,6 +36,10 @@ namespace {
   return std::min(2.0, 1.0 / cpi_base);
 }
 
+/// Minimum channel-parallel span worth dispatching to the pool: shorter
+/// spans lose more to submit/wait_idle latency than they gain.
+constexpr dram::MemCycle kMinSpanTicks = 32;
+
 }  // namespace
 
 System::System(const trace::BenchmarkProfile& profile,
@@ -44,26 +48,37 @@ System::System(const trace::BenchmarkProfile& profile,
       config_(config),
       base_ipc_(calibrate_base_ipc(profile,
                                    config.calibration_read_latency_cycles)),
-      device_(config.geometry, config.timing),
-      controller_(device_, config.controller),
-      power_model_(config.power, config.timing, config.geometry.banks) {
+      route_(config.geometry, config.interleave),
+      power_model_(config.power, config.timing, config.geometry.banks,
+                   config.geometry.channels * config.geometry.ranks) {
   if (config.trace_file.empty()) {
-    source_ = std::make_unique<trace::GeneratorSource>(
-        profile,
-        trace::GeneratorConfig{
-            .footprint_scale =
-                config.footprint_scale != 0.0
-                    ? config.footprint_scale
-                    : static_cast<double>(config.instructions) / 4e9,
-            .phase_length_insts = config.phase_length_insts != 0
-                                      ? config.phase_length_insts
-                                      : std::max<std::uint64_t>(
-                                            1, config.instructions / 8),
-            .base_addr = 0,
-            .seed = config.seed,
-        });
+    // K streams: each core gets its own generator, decorrelated by seed
+    // and placed in its own line-aligned slice of physical memory, so
+    // streams contend for channels/banks without sharing footprints.
+    // Stream 0's generator is parameterized exactly like the historical
+    // single-stream one (base 0, the run seed).
+    const std::uint32_t streams = std::max<std::uint32_t>(1, config.streams);
+    const Address stream_stride =
+        config.geometry.capacity_bytes() / streams / kLineBytes * kLineBytes;
+    for (std::uint32_t k = 0; k < streams; ++k) {
+      sources_.push_back(std::make_unique<trace::GeneratorSource>(
+          profile,
+          trace::GeneratorConfig{
+              .footprint_scale =
+                  config.footprint_scale != 0.0
+                      ? config.footprint_scale
+                      : static_cast<double>(config.instructions) / 4e9,
+              .phase_length_insts = config.phase_length_insts != 0
+                                        ? config.phase_length_insts
+                                        : std::max<std::uint64_t>(
+                                              1, config.instructions / 8),
+              .base_addr = stream_stride * k,
+              .seed = config.seed + 0x9E3779B97F4A7C15ull * k,
+          }));
+    }
   } else {
-    source_ = std::make_unique<trace::FileTrace>(config.trace_file);
+    // Trace replay is inherently one request stream.
+    sources_.push_back(std::make_unique<trace::FileTrace>(config.trace_file));
   }
   init_engine_and_core();
 }
@@ -75,19 +90,33 @@ System::System(const trace::BenchmarkProfile& profile,
       config_(config),
       base_ipc_(calibrate_base_ipc(profile,
                                    config.calibration_read_latency_cycles)),
-      device_(config.geometry, config.timing),
-      controller_(device_, config.controller),
-      source_(std::move(source)),
-      power_model_(config.power, config.timing, config.geometry.banks) {
+      route_(config.geometry, config.interleave),
+      power_model_(config.power, config.timing, config.geometry.banks,
+                   config.geometry.channels * config.geometry.ranks) {
+  // An injected source is one stream by construction.
+  sources_.push_back(std::move(source));
   init_engine_and_core();
 }
 
 void System::init_engine_and_core() {
   const SystemConfig& config = config_;
+  assert(config.geometry.channels >= 1);
+  memctrl::ControllerConfig ctrl_config = config.controller;
+  ctrl_config.interleave = config.interleave;
+  for (std::uint32_t i = 0; i < config.geometry.channels; ++i) {
+    channels_.push_back(std::make_unique<Channel>(config.geometry,
+                                                  config.timing, ctrl_config));
+  }
+  ff_bounds_.resize(channels_.size());
+  if (config.channel_threads > 0 && channels_.size() > 1) {
+    channel_pool_ = std::make_unique<ThreadPool>(config.channel_threads);
+  }
   if (config.trace.enabled) {
     tracer_ = std::make_unique<tracing::Tracer>(config.trace);
-    device_.set_tracer(tracer_.get());
-    controller_.set_tracer(tracer_.get());
+    for (auto& ch : channels_) {
+      ch->device.set_tracer(tracer_.get());
+      ch->controller.set_tracer(tracer_.get());
+    }
   }
   ecc_model_.set_ecc6_decode_cycles(
       config.strong_ecc_t == 6
@@ -121,19 +150,25 @@ void System::init_engine_and_core() {
     due_policy_->set_tracer(tracer_.get());
   }
 
-  core_ = std::make_unique<cpu::InOrderCore>(
-      cpu::CoreConfig{.base_ipc = base_ipc_, .width = 2}, *source_,
-      [this](Address line, std::uint64_t tag) {
-        const dram::MemCycle now = core_->cycles() / kCpuCyclesPerMemCycle;
-        return controller_.enqueue_read(line, tag, now);
-      },
-      [this](Address line) {
-        const dram::MemCycle now = core_->cycles() / kCpuCyclesPerMemCycle;
-        if (!controller_.enqueue_write(line, now)) return false;
-        if (engine_) engine_->on_write(line);
-        shadow_write(line);
-        return true;
-      });
+  for (std::size_t k = 0; k < sources_.size(); ++k) {
+    cores_.push_back(std::make_unique<cpu::InOrderCore>(
+        cpu::CoreConfig{.base_ipc = base_ipc_, .width = 2}, *sources_[k],
+        [this, k](Address line, std::uint64_t tag) {
+          const dram::MemCycle now =
+              cores_[k]->cycles() / kCpuCyclesPerMemCycle;
+          return channel_of(line).enqueue_read(
+              line, (static_cast<std::uint64_t>(k) << kStreamTagShift) | tag,
+              now);
+        },
+        [this, k](Address line) {
+          const dram::MemCycle now =
+              cores_[k]->cycles() / kCpuCyclesPerMemCycle;
+          if (!channel_of(line).enqueue_write(line, now)) return false;
+          if (engine_) engine_->on_write(line);
+          shadow_write(line);
+          return true;
+        }));
+  }
   register_stats();
   if (config.metrics.enabled) {
     metrics_ =
@@ -144,15 +179,36 @@ void System::init_engine_and_core() {
 void System::register_stats() {
   // Every subsystem registers into the System's registry (ISSUE 2
   // tentpole); snapshot() keys follow docs/STATS.md. Registration order
-  // is fixed so snapshots are deterministic.
-  registry_.register_component(
-      "dram", [this](StatSet& s) { device_.export_stats(s); });
-  registry_.register_component(
-      "memctrl", [this](StatSet& s) { controller_.export_stats(s); });
-  registry_.register_component("cpu",
-                               [this](StatSet& s) { core_->export_stats(s); });
-  registry_.register_component(
-      "trace", [this](StatSet& s) { source_->export_stats(s); });
+  // is fixed so snapshots are deterministic. Single-instance shapes keep
+  // the historical unsuffixed names; multi-channel / multi-stream
+  // instances are namespaced per docs/SCALING.md ("dram.ch1.",
+  // "cpu.c1.", ...).
+  const bool multi_ch = channels_.size() > 1;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    Channel* ch = channels_[i].get();
+    registry_.register_component(
+        multi_ch ? "dram.ch" + std::to_string(i) : std::string("dram"),
+        [ch](StatSet& s) { ch->device.export_stats(s); });
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    Channel* ch = channels_[i].get();
+    registry_.register_component(
+        multi_ch ? "memctrl.ch" + std::to_string(i) : std::string("memctrl"),
+        [ch](StatSet& s) { ch->controller.export_stats(s); });
+  }
+  const bool multi_core = cores_.size() > 1;
+  for (std::size_t k = 0; k < cores_.size(); ++k) {
+    cpu::InOrderCore* core = cores_[k].get();
+    registry_.register_component(
+        multi_core ? "cpu.c" + std::to_string(k) : std::string("cpu"),
+        [core](StatSet& s) { core->export_stats(s); });
+  }
+  for (std::size_t k = 0; k < sources_.size(); ++k) {
+    trace::TraceSource* src = sources_[k].get();
+    registry_.register_component(
+        multi_core ? "trace.c" + std::to_string(k) : std::string("trace"),
+        [src](StatSet& s) { src->export_stats(s); });
+  }
   if (engine_) {
     registry_.register_component(
         "mecc", [this](StatSet& s) { engine_->export_stats(s); });
@@ -191,7 +247,9 @@ System::~System() {
   // Close the in-flight device spans first so the final metrics sample
   // sees any resulting ring drops, then take the end-of-run edge sample
   // and write the output files.
-  device_.flush_trace(now_ / kCpuCyclesPerMemCycle);
+  for (auto& ch : channels_) {
+    ch->device.flush_trace(now_ / kCpuCyclesPerMemCycle);
+  }
   if (tracer_) tracer_->set_now(now_);
   if (metrics_) metrics_->sample(now_, "final");
   if (tracer_ && !config_.trace.path.empty()) {
@@ -285,7 +343,8 @@ void System::shadow_read(Address line_addr, bool downgraded) {
       break;
     case memctrl::DueAction::kRefreshFallback:
       if (engine_) engine_->set_degraded(true);
-      controller_.set_refresh_divider(1);
+      for (auto& ch : channels_) ch->controller.set_refresh_divider(1);
+      invalidate_ff_bounds();  // the refresh schedule just changed
       break;
     case memctrl::DueAction::kNone:
       break;  // ladder exhausted; the DUE was reported upstream
@@ -306,13 +365,107 @@ void System::handle_completion(const memctrl::ReadCompletion& c, Cycle now) {
 
 RunResult System::run() { return run_period(config_.instructions); }
 
+void System::sync_refresh_divider() {
+  const std::uint32_t divider = engine_->active_refresh_divider();
+  if (divider == channels_[0]->controller.config().refresh_divider) return;
+  for (auto& ch : channels_) ch->controller.set_refresh_divider(divider);
+  invalidate_ff_bounds();  // the refresh schedule just changed
+}
+
+bool System::try_channel_span() {
+  // Preconditions: unobserved run (the caller is the !kObserved loop;
+  // this re-check keeps the contract local), every core stalled on read
+  // data, nothing pending system-side. Then until the earliest cycle any
+  // channel could deliver a completion — in-flight (next_completion_ready)
+  // or still queued (earliest_new_completion_bound) — the channels share
+  // no state at all, so they tick concurrently, each with its own
+  // event-driven inner skip, bit-identical to the serial channel order.
+  if (tracer_ || metrics_) return false;
+  for (const auto& c : cores_) {
+    if (!c->stalled_on_read()) return false;
+  }
+  if (!pending_data_.empty() || !pending_downgrade_writes_.empty()) {
+    return false;
+  }
+  const Cycle cur = now_;
+  const dram::MemCycle mem_cur = cur / kCpuCyclesPerMemCycle;
+  dram::MemCycle t_end = memctrl::kNoMemEvent;
+  unsigned busy = 0;
+  for (const auto& ch : channels_) {
+    const memctrl::Controller& ctrl = ch->controller;
+    if (!ctrl.idle()) ++busy;
+    const dram::MemCycle done = ctrl.next_completion_ready();
+    if (done != memctrl::kNoMemEvent) t_end = std::min(t_end, done);
+    const dram::MemCycle fresh = ctrl.earliest_new_completion_bound();
+    if (fresh != memctrl::kNoMemEvent) t_end = std::min(t_end, fresh);
+  }
+  // Every core is stalled, so some channel must eventually complete a
+  // read; a kNoMemEvent fold here means an inconsistent state — leave
+  // it to the serial path.
+  if (t_end == memctrl::kNoMemEvent) return false;
+  if (engine_) {
+    // The span skips engine ticks: stay strictly below its next event
+    // (T_end * 8 <= next_event <=> T_end <= next_event / 8).
+    t_end = std::min<dram::MemCycle>(
+        t_end, engine_->next_event(cur) / kCpuCyclesPerMemCycle);
+  }
+  if (busy < 2) return false;  // nothing to overlap
+  if (t_end <= mem_cur + 1 || t_end - mem_cur - 1 < kMinSpanTicks) {
+    return false;
+  }
+
+  // Execute memory ticks (mem_cur, t_end) concurrently, one task per
+  // channel. Inside the span no completion becomes ready (t_end is a
+  // lower bound on all of them), so collect_completions stays unneeded
+  // and each channel's state is private to its task.
+  const dram::MemCycle last = t_end - 1;  // last mem tick of the span
+  for (auto& chp : channels_) {
+    Channel* ch = chp.get();
+    channel_pool_->submit([ch, mem_cur, last]() {
+      memctrl::Controller& ctrl = ch->controller;
+      dram::MemCycle m = mem_cur;
+      while (m < last) {
+        ++m;
+        ctrl.tick(m);
+        if (m >= last) break;
+        // Per-channel event-driven skip, same contract as the serial
+        // fast-forward: next_event is conservative and skip_ticks
+        // bulk-applies the only per-tick side effect.
+        dram::MemCycle nxt = ctrl.next_event(m);
+        if (nxt == memctrl::kNoMemEvent || nxt > last) nxt = last;
+        if (nxt > m + 1) {
+          ctrl.skip_ticks(nxt - 1 - m);
+          m = nxt - 1;
+        }
+      }
+    });
+  }
+  channel_pool_->wait_idle();
+
+  // Land on the last CPU cycle before mem tick t_end: the serial loop's
+  // next iteration executes exactly cycle t_end * 8, where the first
+  // completion can be collected.
+  const Cycle new_now =
+      static_cast<Cycle>(t_end) * kCpuCyclesPerMemCycle - 1;
+  for (auto& c : cores_) c->skip_stalled(new_now - cur);
+  now_ = new_now;
+  invalidate_ff_bounds();  // idle channels' refreshes may have fired in-span
+  return true;
+}
+
 template <bool kObserved>
 void System::fast_forward_active(InstCount inst_boundary) {
   // A crossing is already pending (duplicate checkpoint thresholds):
   // leave this iteration fully to the per-cycle loop.
-  if (inst_boundary <= core_->retired()) return;
-  const bool stalled = core_->stalled_on_read();
-  if (!stalled && !core_->in_pure_gap()) return;
+  if (inst_boundary <= total_retired()) return;
+  // Every core must be in a pure state; one impure core forces the
+  // per-cycle loop for all of them (they share the clock).
+  bool any_gap = false;
+  for (const auto& c : cores_) {
+    if (c->stalled_on_read()) continue;
+    if (!c->in_pure_gap()) return;
+    any_gap = true;
+  }
 
   const Cycle cur = now_;
   constexpr Cycle kNoEvent = static_cast<Cycle>(-1);
@@ -341,25 +494,47 @@ void System::fast_forward_active(InstCount inst_boundary) {
     limit = std::min(limit, (mem_cur + 1) * kCpuCyclesPerMemCycle);
     if (limit <= cur + 1) return;
   }
-  const dram::MemCycle done = controller_.next_completion_ready();
-  if (done != memctrl::kNoMemEvent) {
-    limit = std::min(limit,
-                     std::max(done, mem_cur + 1) * kCpuCyclesPerMemCycle);
-    if (limit <= cur + 1) return;
-  }
   if (engine_) {
     limit = std::min(limit, engine_->next_event(cur));
     if (limit <= cur + 1) return;
   }
-  const dram::MemCycle mem_event = controller_.next_event(mem_cur);
-  if (mem_event != memctrl::kNoMemEvent) {
-    limit = std::min(limit, mem_event * kCpuCyclesPerMemCycle);
+  // Single pass per channel: completion bound, then the next_event bound.
+  // A channel with a valid cached bound has no demand at all (the cache
+  // condition below), so its completion query is skipped outright — the
+  // whole fold is O(busy channels), not O(channels).
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const memctrl::Controller& ctrl = channels_[i]->controller;
+    FfBound& cb = ff_bounds_[i];
+    dram::MemCycle mem_event;
+    if (cb.valid &&
+        (cb.value == memctrl::kNoMemEvent || mem_cur < cb.value)) {
+      mem_event = cb.value;
+    } else {
+      const dram::MemCycle done = ctrl.next_completion_ready();
+      if (done != memctrl::kNoMemEvent) {
+        limit = std::min(limit,
+                         std::max(done, mem_cur + 1) * kCpuCyclesPerMemCycle);
+        if (limit <= cur + 1) return;
+      }
+      mem_event = ctrl.next_event(mem_cur);
+      // Cacheable only for a channel with no demand at all: then ticks
+      // strictly before the bound are state no-ops (the fast-forward
+      // contract), so the absolute value stays correct until execution
+      // reaches it or an enqueue/divider change invalidates it.
+      cb.value = mem_event;
+      cb.valid = ctrl.read_queue_depth() == 0 &&
+                 ctrl.write_queue_depth() == 0 && !ctrl.has_in_flight();
+    }
+    if (mem_event != memctrl::kNoMemEvent) {
+      limit = std::min(limit, mem_event * kCpuCyclesPerMemCycle);
+      if (limit <= cur + 1) return;
+    }
   }
 
   Cycle max_skip;
   if (limit == kNoEvent) {
-    if (stalled) return;  // nothing can ever wake the core (unreachable)
-    // Fully quiescent memory system; the core retires autonomously.
+    if (!any_gap) return;  // nothing can ever wake the cores (unreachable)
+    // Fully quiescent memory system; the cores retire autonomously.
     // Advance in large slabs and recompute.
     max_skip = 1'000'000;
   } else {
@@ -367,17 +542,48 @@ void System::fast_forward_active(InstCount inst_boundary) {
     max_skip = limit - cur - 1;
   }
 
-  Cycle advanced;
-  if (stalled) {
-    advanced = max_skip;
-    core_->skip_stalled(advanced);
+  if (cores_.size() == 1) {
+    cpu::InOrderCore& core = *cores_[0];
+    Cycle advanced;
+    if (core.stalled_on_read()) {
+      advanced = max_skip;
+      core.skip_stalled(advanced);
+    } else {
+      advanced = core.advance_gap(max_skip, inst_boundary - core.retired());
+      if (advanced == 0) return;
+    }
+    now_ = cur + advanced;
   } else {
-    advanced = core_->advance_gap(max_skip, inst_boundary - core_->retired());
-    if (advanced == 0) return;
+    // Multi-stream: every core advances the SAME number of cycles (one
+    // shared clock). Gap cores first bound the advance by their own
+    // pure horizon and a per-core instruction budget — remaining/K, so
+    // the total crossing cannot happen mid-skip no matter how the
+    // retirement distributes across cores — then the folded minimum is
+    // applied to all of them.
+    const InstCount remaining = inst_boundary - total_retired();
+    const InstCount per_core =
+        remaining / static_cast<InstCount>(cores_.size());
+    if (per_core == 0) return;  // boundary too close for a joint skip
+    for (const auto& c : cores_) {
+      if (c->stalled_on_read()) continue;
+      max_skip = std::min(max_skip, c->gap_cycles_bound(max_skip, per_core));
+      if (max_skip == 0) return;
+    }
+    for (const auto& c : cores_) {
+      if (c->stalled_on_read()) {
+        c->skip_stalled(max_skip);
+      } else {
+        // The fold above guarantees the full advance for every gap core.
+        const Cycle adv = c->advance_gap(max_skip, per_core);
+        assert(adv == max_skip);
+        (void)adv;
+      }
+    }
+    now_ = cur + max_skip;
   }
-  now_ = cur + advanced;
   // Bulk-apply the skipped memory ticks' queue-depth samples.
-  controller_.skip_ticks(now_ / kCpuCyclesPerMemCycle - mem_cur);
+  const dram::MemCycle skipped = now_ / kCpuCyclesPerMemCycle - mem_cur;
+  for (auto& ch : channels_) ch->controller.skip_ticks(skipped);
 }
 
 template <bool kObserved>
@@ -385,8 +591,14 @@ void System::active_loop(InstCount target,
                          const std::vector<InstCount>& checkpoints,
                          std::size_t& next_cp, InstCount snap_retired,
                          RunResult& r, Cycle period_begin) {
-  while (core_->retired() < target) {
+  while (total_retired() < target) {
     if (config_.fast_forward) {
+      if constexpr (!kObserved) {
+        // Channel-parallel span first: it needs all-stalled cores and
+        // covers the whole window up to the next completion, which the
+        // serial fold below would otherwise walk alone.
+        if (channel_pool_) (void)try_channel_span();
+      }
       // Absolute retired count the skip must stay strictly below: the
       // period target, or the next checkpoint crossing if one is nearer.
       InstCount boundary = target;
@@ -413,51 +625,65 @@ void System::active_loop(InstCount target,
         // Divider transitions (SMD enable, degraded latch) land on the
         // cycle the engine changed state — executed in both fast-forward
         // modes — not on the next mode-dependent memory-cycle boundary.
-        controller_.set_refresh_divider(engine_->active_refresh_divider());
+        sync_refresh_divider();
       }
     }
 
     if (cycle % kCpuCyclesPerMemCycle == 0) {
       const dram::MemCycle mem_now = cycle / kCpuCyclesPerMemCycle;
-      // ECC-Downgrade write-backs go out as soon as the write queue has
-      // room (off the critical path).
+      // ECC-Downgrade write-backs go out as soon as the owning channel's
+      // write queue has room (off the critical path).
       while (!pending_downgrade_writes_.empty() &&
-             controller_.enqueue_write(pending_downgrade_writes_.back(),
-                                       mem_now)) {
+             channel_of(pending_downgrade_writes_.back())
+                 .enqueue_write(pending_downgrade_writes_.back(), mem_now)) {
         pending_downgrade_writes_.pop_back();
         ++downgrades_issued_;
       }
       if constexpr (!kObserved) {
         // Without a tracer the divider sync point is unobservable, and
-        // the controller only reads it inside tick(): the memory-cycle
+        // the controllers only read it inside tick(): the memory-cycle
         // boundary is the cheapest equivalent spot.
-        if (engine_) {
-          controller_.set_refresh_divider(engine_->active_refresh_divider());
-        }
+        if (engine_) sync_refresh_divider();
       }
-      controller_.tick(mem_now);
-      if (controller_.has_in_flight()) {
-        for (const auto& c : controller_.collect_completions(mem_now)) {
-          handle_completion(c, cycle);
+      for (std::size_t i = 0; i < channels_.size(); ++i) {
+        Channel& ch = *channels_[i];
+        // Elide the tick for a channel whose cached fast-forward bound
+        // proves this cycle is a state no-op (no demand, next event
+        // strictly ahead): identical to the full-span skip the fold
+        // would have taken, minus the fold. Only fast_forward_active /
+        // try_channel_span ever validate a bound, so per-cycle mode
+        // always takes the tick.
+        const FfBound& cb = ff_bounds_[i];
+        if (cb.valid &&
+            (cb.value == memctrl::kNoMemEvent || mem_now < cb.value)) {
+          ch.controller.skip_ticks(1);
+          continue;
+        }
+        ch.controller.tick(mem_now);
+        if (ch.controller.has_in_flight()) {
+          for (const auto& c : ch.controller.collect_completions(mem_now)) {
+            handle_completion(c, cycle);
+          }
         }
       }
     }
 
     // Deliver data whose (transfer + ECC decode) time has elapsed.
-    // (ready, seq)-ordered heap pops; the in-order core has at most one
-    // read outstanding, so this matches the old insertion-order scan.
+    // (ready, seq)-ordered heap pops; each in-order core has at most one
+    // read outstanding, routed back by the stream id in the tag's high
+    // bits.
     while (!pending_data_.empty() && pending_data_.front().ready <= cycle) {
       const std::uint64_t tag = pending_data_.front().tag;
       std::pop_heap(pending_data_.begin(), pending_data_.end(),
                     PendingAfter{});
       pending_data_.pop_back();
-      core_->on_read_data(tag);
+      cores_[tag >> kStreamTagShift]->on_read_data(tag);
     }
 
-    core_->tick();
+    for (auto& c : cores_) c->tick();
 
     if (next_cp < checkpoints.size() &&
-        core_->retired() - snap_retired >= checkpoints[next_cp]) {
+        total_retired() - snap_retired >= checkpoints[next_cp]) {
       r.checkpoints.push_back(
           {.instructions = checkpoints[next_cp],
            .cycles = cycle - period_begin});
@@ -474,23 +700,26 @@ RunResult System::run_period(InstCount instructions) {
   // Snapshot for per-period deltas (Fig. 4 lifecycle: a System may run
   // several active periods separated by idle_period calls).
   PeriodSnapshot snap;
-  snap.retired = core_->retired();
-  snap.core_cycles = core_->cycles();
-  snap.reads = core_->reads_issued();
-  snap.writes = core_->writes_issued();
+  snap.retired = total_retired();
+  snap.core_cycles = cores_[0]->cycles();
+  for (const auto& c : cores_) {
+    snap.reads += c->reads_issued();
+    snap.writes += c->writes_issued();
+  }
   snap.strong_decodes = strong_decodes_;
   snap.weak_decodes = weak_decodes_;
   snap.downgrades = downgrades_issued_;
-  snap.counters = device_.counters(now_ / kCpuCyclesPerMemCycle);
+  const dram::MemCycle mem_begin = now_ / kCpuCyclesPerMemCycle;
+  for (auto& ch : channels_) {
+    snap.counters.accumulate(ch->device.counters(mem_begin));
+  }
   const Cycle period_begin = now_;
   // Sync the engine's refresh divider at the period boundary (and after
   // every engine tick below) rather than at memory-cycle boundaries:
   // engine transitions happen at cycles both --fast-forward modes
   // execute, so divider trace events carry mode-independent stamps.
   if (tracer_) tracer_->set_now(period_begin);
-  if (engine_) {
-    controller_.set_refresh_divider(engine_->active_refresh_divider());
-  }
+  if (engine_) sync_refresh_divider();
 
   std::vector<InstCount> checkpoints = config_.checkpoint_insts;
   std::sort(checkpoints.begin(), checkpoints.end());
@@ -509,25 +738,36 @@ RunResult System::run_period(InstCount instructions) {
   if (tracer_) {
     tracer_->complete(tracing::Category::kEpoch, tracing::kTrackEpoch,
                       "active", period_begin, period_cycles, "instructions",
-                      core_->retired() - snap.retired);
+                      total_retired() - snap.retired);
   }
-  r.instructions = core_->retired() - snap.retired;
+  r.instructions = total_retired() - snap.retired;
   r.cpu_cycles = period_cycles;
   r.ipc = static_cast<double>(r.instructions) /
           static_cast<double>(period_cycles);
   r.seconds = cycles_to_seconds(period_cycles);
-  r.reads = core_->reads_issued() - snap.reads;
-  r.writes = core_->writes_issued() - snap.writes;
+  std::uint64_t reads_now = 0;
+  std::uint64_t writes_now = 0;
+  for (const auto& c : cores_) {
+    reads_now += c->reads_issued();
+    writes_now += c->writes_issued();
+  }
+  r.reads = reads_now - snap.reads;
+  r.writes = writes_now - snap.writes;
   r.measured_mpki = static_cast<double>(r.reads + r.writes) * 1000.0 /
                     static_cast<double>(r.instructions);
   r.strong_decodes = strong_decodes_ - snap.strong_decodes;
   r.weak_decodes = weak_decodes_ - snap.weak_decodes;
   r.downgrades = downgrades_issued_ - snap.downgrades;
 
-  // ---- energy accounting (this period's counter deltas) ----
+  // ---- energy accounting (this period's counter deltas, summed over
+  // channels; each channel's device sums its ranks' residencies and the
+  // power model divides the total by channels * ranks for seconds) ----
   const dram::MemCycle mem_now = now_ / kCpuCyclesPerMemCycle;
-  r.energy = power_model_.active_energy(
-      device_.counters(mem_now).since(snap.counters));
+  dram::ActivityCounters end_counters;
+  for (auto& ch : channels_) {
+    end_counters.accumulate(ch->device.counters(mem_now));
+  }
+  r.energy = power_model_.active_energy(end_counters.since(snap.counters));
   const auto weak_costs = ecc_model_.costs(ecc::Scheme::kSecded);
   const auto strong_costs = ecc_model_.costs(ecc::Scheme::kEcc6);
   double ecc_pj = 0.0;
@@ -595,40 +835,55 @@ IdleReport System::idle_period(double seconds) {
   IdleReport rep;
   rep.idle_seconds = seconds;
 
-  // Drain outstanding memory work (writes, in-flight reads) before the
-  // transition; cap the drain generously.
+  // Drain outstanding memory work (writes, in-flight reads) on every
+  // channel before the transition; cap the drain generously.
   dram::MemCycle mem_now = now_ / kCpuCyclesPerMemCycle;
   const dram::MemCycle drain_deadline = mem_now + 200'000;
-  while (!controller_.idle() && mem_now < drain_deadline) {
+  while (!all_channels_idle() && mem_now < drain_deadline) {
     ++mem_now;
     if (tracer_) tracer_->set_now(mem_now * kCpuCyclesPerMemCycle);
-    controller_.tick(mem_now);
-    for (const auto& c : controller_.collect_completions(mem_now)) {
-      handle_completion(c, mem_now * kCpuCyclesPerMemCycle);
+    for (auto& ch : channels_) {
+      ch->controller.tick(mem_now);
+      for (const auto& c : ch->controller.collect_completions(mem_now)) {
+        handle_completion(c, mem_now * kCpuCyclesPerMemCycle);
+      }
     }
-    if (!config_.fast_forward || controller_.idle()) continue;
-    // Event-driven drain: jump to the next tick where the controller
+    if (!config_.fast_forward || all_channels_idle()) continue;
+    // Event-driven drain: jump to the next tick where ANY controller
     // could issue, refresh, or complete a read (same bounds as
-    // fast_forward_active; the core is out of the picture here).
-    dram::MemCycle nxt = controller_.next_event(mem_now);
-    const dram::MemCycle done = controller_.next_completion_ready();
-    if (done != memctrl::kNoMemEvent) {
-      nxt = std::min(nxt, std::max(done, mem_now + 1));
+    // fast_forward_active; the cores are out of the picture here).
+    // Already-idle channels still fold their next_event so their
+    // refresh schedules keep firing exactly as in the per-cycle drain.
+    dram::MemCycle nxt = memctrl::kNoMemEvent;
+    for (auto& ch : channels_) {
+      dram::MemCycle e = ch->controller.next_event(mem_now);
+      const dram::MemCycle done = ch->controller.next_completion_ready();
+      if (done != memctrl::kNoMemEvent) {
+        e = std::min(e, std::max(done, mem_now + 1));
+      }
+      nxt = std::min(nxt, e);
     }
     if (nxt > drain_deadline) nxt = drain_deadline;  // covers kNoMemEvent
     if (nxt > mem_now + 1) {
-      controller_.skip_ticks(nxt - 1 - mem_now);
+      for (auto& ch : channels_) {
+        ch->controller.skip_ticks(nxt - 1 - mem_now);
+      }
       mem_now = nxt - 1;
     }
   }
-  if (!controller_.idle()) {
+  if (!all_channels_idle()) {
     // The memory system failed to drain within the cap. Fail loudly —
     // a silent force-clear here masks scheduler livelocks — but still
     // complete the transition so long campaigns degrade gracefully.
     ++drain_guard_exhausted_;
+    std::size_t reads_left = 0;
+    std::size_t writes_left = 0;
+    for (const auto& ch : channels_) {
+      reads_left += ch->controller.read_queue_depth();
+      writes_left += ch->controller.write_queue_depth();
+    }
     std::cerr << "mecc: idle_period drain guard exhausted after 200000 "
-                 "memory cycles (" << controller_.read_queue_depth()
-              << " reads / " << controller_.write_queue_depth()
+                 "memory cycles (" << reads_left << " reads / " << writes_left
               << " writes still queued or in flight); forcing the idle "
                  "transition\n";
   }
@@ -637,7 +892,7 @@ IdleReport System::idle_period(double seconds) {
     const std::uint64_t tag = pending_data_.front().tag;
     std::pop_heap(pending_data_.begin(), pending_data_.end(), PendingAfter{});
     pending_data_.pop_back();
-    core_->on_read_data(tag);
+    cores_[tag >> kStreamTagShift]->on_read_data(tag);
   }
   if (tracer_) tracer_->set_now(now_);
   if (metrics_) metrics_->sample(now_, "idle_enter");
@@ -658,34 +913,58 @@ IdleReport System::idle_period(double seconds) {
   }
   rep.refresh_period_s = 0.064 * divider;
 
-  // Precharge everything and enter self refresh.
+  // Wake every powered-down rank, precharge everything and enter self
+  // refresh (whole-channel, every channel together).
   mem_now = now_ / kCpuCyclesPerMemCycle;
-  if (device_.in_power_down()) device_.exit_power_down(mem_now);
-  mem_now += device_.timing().tXP;
+  for (auto& ch : channels_) {
+    for (std::uint32_t rank = 0; rank < ch->device.geometry().ranks;
+         ++rank) {
+      if (ch->device.rank_powered_down(rank)) {
+        ch->device.exit_power_down(mem_now, rank);
+      }
+    }
+  }
+  mem_now += config_.timing.tXP;
+  const auto all_precharged = [this]() {
+    for (const auto& ch : channels_) {
+      if (!ch->device.all_banks_precharged()) return false;
+    }
+    return true;
+  };
   int guard = 0;
-  while (!device_.all_banks_precharged() && guard++ < 1000) {
-    for (std::uint32_t b = 0; b < device_.geometry().banks; ++b) {
-      if (device_.bank(b).row_open() && device_.can_precharge(b, mem_now)) {
-        device_.precharge(b, mem_now);
+  while (!all_precharged() && guard++ < 1000) {
+    for (auto& ch : channels_) {
+      for (std::uint32_t b = 0; b < ch->device.total_banks(); ++b) {
+        if (ch->device.bank(b).row_open() &&
+            ch->device.can_precharge(b, mem_now)) {
+          ch->device.precharge(b, mem_now);
+        }
       }
     }
     ++mem_now;
   }
-  const std::uint64_t pulses_before =
-      device_.counters(mem_now).self_refresh_pulses;
-  device_.enter_self_refresh(mem_now, divider);
+  std::uint64_t pulses_before = 0;
+  for (auto& ch : channels_) {
+    pulses_before += ch->device.counters(mem_now).self_refresh_pulses;
+  }
+  for (auto& ch : channels_) {
+    ch->device.enter_self_refresh(mem_now, divider);
+  }
   const Cycle sleep_begin = mem_now * kCpuCyclesPerMemCycle;
   now_ = mem_now * kCpuCyclesPerMemCycle + seconds_to_cycles(seconds);
   mem_now = now_ / kCpuCyclesPerMemCycle;
   if (tracer_) tracer_->set_now(now_);
-  device_.exit_self_refresh(mem_now);
+  for (auto& ch : channels_) ch->device.exit_self_refresh(mem_now);
   if (tracer_) {
     tracer_->complete(tracing::Category::kEpoch, tracing::kTrackEpoch,
                       "idle", sleep_begin, now_ - sleep_begin,
                       "refresh_divider", divider);
   }
-  rep.refresh_pulses =
-      device_.counters(mem_now).self_refresh_pulses - pulses_before;
+  std::uint64_t pulses_after = 0;
+  for (auto& ch : channels_) {
+    pulses_after += ch->device.counters(mem_now).self_refresh_pulses;
+  }
+  rep.refresh_pulses = pulses_after - pulses_before;
   rep.idle_energy_mj =
       power_model_.idle_power(rep.refresh_period_s).total_mw() * seconds;
 
@@ -704,8 +983,9 @@ IdleReport System::idle_period(double seconds) {
     rep.injected_bits = shadow_->inject_retention_errors(ber);
   }
 
-  // Wake up: refresh schedule restarts, SMD re-arms.
-  controller_.resync_refresh(mem_now);
+  // Wake up: refresh schedules restart, SMD re-arms.
+  for (auto& ch : channels_) ch->controller.resync_refresh(mem_now);
+  invalidate_ff_bounds();  // schedules resynced, SR state cycled
   if (engine_) engine_->wake(now_);
   if (metrics_) metrics_->sample(now_, "wake");
   return rep;

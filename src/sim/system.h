@@ -21,9 +21,11 @@
 #include "ecc/ecc_model.h"
 #include "mecc/engine.h"
 #include "mecc/shadow_memory.h"
+#include "memctrl/address_map.h"
 #include "memctrl/controller.h"
 #include "memctrl/due_policy.h"
 #include "power/power_model.h"
+#include "sim/thread_pool.h"
 #include "reliability/retention_model.h"
 #include "trace/benchmarks.h"
 #include "trace/trace_source.h"
@@ -115,6 +117,24 @@ struct SystemConfig {
   // Nominal read latency used to back out each benchmark's non-memory
   // retire rate from its Table III IPC.
   double calibration_read_latency_cycles = 140.0;
+
+  // ---- multi-channel / multi-rank / multi-stream shape ----
+  // (docs/SCALING.md). geometry.channels x geometry.ranks size the
+  // memory system; these knobs pick the routing and the request load.
+  // All defaults reproduce the historical 1-channel single-stream
+  // System bit for bit.
+  //
+  // Channel/rank/bank interleave for the system-level router (also
+  // copied into every controller's internal decode map).
+  memctrl::Interleave interleave = memctrl::Interleave::kLine;
+  // Independent request streams: K in-order cores, each with its own
+  // decorrelated generator over its own slice of physical memory, all
+  // retiring on one shared clock. Trace-file replay forces 1.
+  std::uint32_t streams = 1;
+  // >0: during unobserved fast-forward runs, tick independent channels
+  // in parallel on a pool of this many threads over provably
+  // synchronization-free spans (bit-identical to the serial order).
+  unsigned channel_threads = 0;
 };
 
 struct Checkpoint {
@@ -253,9 +273,55 @@ class System {
     }
   };
 
+  /// One memory channel: a Device and the Controller that owns it. The
+  /// Device carries the FULL geometry (it never consults
+  /// geometry.channels internally), so the controller's AddressMap
+  /// decodes routed *global* addresses to the right rank/bank/row/col
+  /// without any channel-id plumbing.
+  struct Channel {
+    dram::Device device;
+    memctrl::Controller controller;
+    Channel(const dram::Geometry& g, const dram::Timing& t,
+            const memctrl::ControllerConfig& c)
+        : device(g, t), controller(device, c) {}
+  };
+
+  // Read tags carry the issuing stream in the high bits (stream 0's tags
+  // are unchanged, so single-stream traces stay byte-identical).
+  static constexpr std::uint32_t kStreamTagShift = 48;
+
   void init_engine_and_core();
   void register_stats();
   void handle_completion(const memctrl::ReadCompletion& c, Cycle now);
+  /// Controller owning `line` under the system-level interleave. Any
+  /// enqueue invalidates the channel's cached fast-forward bound.
+  [[nodiscard]] memctrl::Controller& channel_of(Address line) {
+    const std::uint32_t ch = route_.decode(line).channel;
+    ff_bounds_[ch].valid = false;
+    return channels_[ch]->controller;
+  }
+  [[nodiscard]] InstCount total_retired() const {
+    InstCount t = 0;
+    for (const auto& c : cores_) t += c->retired();
+    return t;
+  }
+  [[nodiscard]] bool all_channels_idle() const {
+    for (const auto& ch : channels_) {
+      if (!ch->controller.idle()) return false;
+    }
+    return true;
+  }
+  /// Channel-parallel fast-forward span (docs/SCALING.md): when every
+  /// core is stalled on read data and nothing is pending system-side,
+  /// the earliest cycle ANY channel can deliver a completion bounds a
+  /// span inside which the channels share no state at all — so they
+  /// tick concurrently on channel_pool_, bit-identically to the serial
+  /// order. Returns true when a span was executed (now_ advanced).
+  bool try_channel_span();
+  /// Propagates the engine's active refresh divider to every controller
+  /// (requires engine_). Pure no-op — and no cache invalidation — when
+  /// the divider is already current.
+  void sync_refresh_divider();
   /// Fast-forward step (docs/PERFORMANCE.md): called at the top of the
   /// run_period loop. When the core is in a pure state (stalled on read
   /// data or retiring gap instructions) this computes the minimum of
@@ -289,10 +355,13 @@ class System {
   SystemConfig config_;
   double base_ipc_;
 
-  dram::Device device_;
-  memctrl::Controller controller_;
-  std::unique_ptr<trace::TraceSource> source_;
-  std::unique_ptr<cpu::InOrderCore> core_;
+  // Channels in index order; all per-tick iteration is in this fixed
+  // order, so multi-channel execution stays deterministic.
+  std::vector<std::unique_ptr<Channel>> channels_;
+  memctrl::AddressMap route_;  // system-level channel routing
+  std::vector<std::unique_ptr<trace::TraceSource>> sources_;
+  std::vector<std::unique_ptr<cpu::InOrderCore>> cores_;
+  std::unique_ptr<ThreadPool> channel_pool_;  // channel-parallel spans
   std::unique_ptr<morph::Engine> engine_;
   ecc::EccModel ecc_model_;
   power::PowerModel power_model_;
@@ -311,6 +380,25 @@ class System {
   // component holds a raw Tracer* that stays null otherwise).
   std::unique_ptr<tracing::Tracer> tracer_;
   std::unique_ptr<tracing::MetricsSampler> metrics_;
+
+  // Cached per-channel next_event bound for the fast-forward fold. For
+  // a channel with empty queues and nothing in flight, next_event(now)
+  // is an absolute cycle (or kNoMemEvent) that stays correct until
+  // execution reaches it — ticks strictly before the bound are state
+  // no-ops for such a channel, which is exactly the fast-forward
+  // contract — or until the System perturbs the channel from outside:
+  // an enqueue (channel_of), a refresh-divider change, resync, or the
+  // idle_period machinery, all of which invalidate. Busy channels are
+  // never cached. Cuts the fold from O(channels) next_event scans per
+  // skip to one scan per *busy* channel (docs/SCALING.md).
+  struct FfBound {
+    dram::MemCycle value = 0;
+    bool valid = false;
+  };
+  std::vector<FfBound> ff_bounds_;
+  void invalidate_ff_bounds() {
+    for (auto& b : ff_bounds_) b.valid = false;
+  }
 
   std::vector<PendingData> pending_data_;  // min-heap, see PendingAfter
   std::uint64_t pending_seq_ = 0;

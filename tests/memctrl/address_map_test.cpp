@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
+#include <vector>
 
 namespace mecc::memctrl {
 namespace {
@@ -72,6 +74,144 @@ TEST(AddressMap, SubLineOffsetsShareALine) {
   const DramCoord b = map.decode(0x1000 + 63);
   EXPECT_EQ(a.col, b.col);
   EXPECT_EQ(a.row, b.row);
+}
+
+// ---- multi-channel / multi-rank (docs/SCALING.md) ----
+
+constexpr Interleave kAllModes[] = {Interleave::kLine, Interleave::kRow,
+                                    Interleave::kBankXor};
+
+std::vector<dram::Geometry> small_geometries() {
+  // Power-of-two geometries take the shift/mask fast path; the rest take
+  // the generic divide path. Both must agree with encode().
+  std::vector<dram::Geometry> geos;
+  for (std::uint32_t channels : {1u, 2u, 4u, 3u}) {
+    for (std::uint32_t ranks : {1u, 2u, 3u}) {
+      dram::Geometry g;
+      g.channels = channels;
+      g.ranks = ranks;
+      g.banks = 2;
+      g.rows_per_bank = 4;
+      g.lines_per_row = channels == 3 ? 6 : 8;
+      geos.push_back(g);
+    }
+  }
+  return geos;
+}
+
+TEST(AddressMap, ExhaustiveRoundTripAllModesAndGeometries) {
+  for (const dram::Geometry& geo : small_geometries()) {
+    for (const Interleave mode : kAllModes) {
+      const AddressMap map(geo, mode);
+      for (std::uint64_t line = 0; line < geo.total_lines(); ++line) {
+        const Address addr = line * kLineBytes;
+        const DramCoord c = map.decode(addr);
+        ASSERT_LT(c.channel, geo.channels) << interleave_name(mode);
+        ASSERT_LT(c.rank, geo.ranks) << interleave_name(mode);
+        ASSERT_LT(c.bank, geo.banks) << interleave_name(mode);
+        ASSERT_LT(c.row, geo.rows_per_bank) << interleave_name(mode);
+        ASSERT_LT(c.col, geo.lines_per_row) << interleave_name(mode);
+        ASSERT_EQ(map.encode(c), addr)
+            << interleave_name(mode) << " ch=" << geo.channels
+            << " rk=" << geo.ranks << " line=" << line;
+      }
+    }
+  }
+}
+
+TEST(AddressMap, ExhaustiveCoverageIsBijective) {
+  for (const dram::Geometry& geo : small_geometries()) {
+    for (const Interleave mode : kAllModes) {
+      const AddressMap map(geo, mode);
+      std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                          std::uint32_t, std::uint32_t>>
+          seen;
+      for (std::uint64_t line = 0; line < geo.total_lines(); ++line) {
+        const DramCoord c = map.decode(line * kLineBytes);
+        ASSERT_TRUE(seen.insert({c.channel, c.rank, c.bank, c.row, c.col})
+                        .second)
+            << interleave_name(mode) << " line=" << line;
+      }
+      EXPECT_EQ(seen.size(), geo.total_lines());
+    }
+  }
+}
+
+TEST(AddressMap, LineInterleaveSpreadsSequentialStreamEvenly) {
+  // A sequential stream must land on channels round-robin: after any
+  // multiple of `channels` lines, every channel has served exactly the
+  // same number of lines.
+  for (std::uint32_t channels : {2u, 4u, 8u}) {
+    dram::Geometry geo;
+    geo.channels = channels;
+    geo.ranks = 2;
+    const AddressMap map(geo, Interleave::kLine);
+    std::vector<std::uint64_t> per_channel(channels, 0);
+    const std::uint64_t lines = 1024 * channels;
+    for (std::uint64_t line = 0; line < lines; ++line) {
+      ++per_channel[map.decode(line * kLineBytes).channel];
+    }
+    for (std::uint32_t ch = 0; ch < channels; ++ch) {
+      EXPECT_EQ(per_channel[ch], lines / channels) << "ch=" << ch;
+    }
+  }
+}
+
+TEST(AddressMap, RowInterleaveKeepsARowOnOneChannel) {
+  dram::Geometry geo;
+  geo.channels = 4;
+  geo.ranks = 2;
+  const AddressMap map(geo, Interleave::kRow);
+  for (std::uint64_t r = 0; r < 16; ++r) {
+    const std::uint64_t base = r * geo.lines_per_row;
+    const std::uint32_t ch = map.decode(base * kLineBytes).channel;
+    for (std::uint32_t i = 1; i < geo.lines_per_row; ++i) {
+      EXPECT_EQ(map.decode((base + i) * kLineBytes).channel, ch)
+          << "row-block " << r;
+    }
+  }
+}
+
+TEST(AddressMap, BankXorBreaksChannelStrideResonance) {
+  // With kLine, a stride of `channels` lines hammers one channel. The
+  // bank-xor permutation must spread that stream across channels.
+  dram::Geometry geo;
+  geo.channels = 4;
+  geo.ranks = 1;
+  const AddressMap line_map(geo, Interleave::kLine);
+  const AddressMap xor_map(geo, Interleave::kBankXor);
+  std::set<std::uint32_t> line_channels;
+  std::set<std::uint32_t> xor_channels;
+  // Stride channels*lines_per_row: row changes every step, channel bits
+  // constant under kLine.
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(geo.channels) * geo.lines_per_row *
+      geo.banks;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    line_channels.insert(line_map.decode(i * stride * kLineBytes).channel);
+    xor_channels.insert(xor_map.decode(i * stride * kLineBytes).channel);
+  }
+  EXPECT_EQ(line_channels.size(), 1u);
+  EXPECT_GT(xor_channels.size(), 1u);
+}
+
+TEST(AddressMap, SingleChannelSingleRankMatchesLegacyLayout) {
+  // The strict-generalization contract: at 1ch x 1rank every mode
+  // reproduces the original col | bank | row map bit for bit.
+  dram::Geometry geo;  // stock geometry is 1ch x 1rank
+  const AddressMap legacy(geo);
+  for (const Interleave mode : kAllModes) {
+    const AddressMap map(geo, mode);
+    for (std::uint64_t line : {0ull, 1ull, 255ull, 4096ull, 65535ull}) {
+      const DramCoord a = legacy.decode(line * kLineBytes);
+      const DramCoord b = map.decode(line * kLineBytes);
+      EXPECT_EQ(a.channel, b.channel);
+      EXPECT_EQ(a.rank, b.rank);
+      EXPECT_EQ(a.bank, b.bank);
+      EXPECT_EQ(a.row, b.row);
+      EXPECT_EQ(a.col, b.col);
+    }
+  }
 }
 
 }  // namespace

@@ -229,5 +229,123 @@ TEST(PerBankRefreshFuzz, DebtConservedAcrossDividerMoves) {
   EXPECT_GT(ctl.stats().counter("refreshes_pb"), 0u);
 }
 
+// ---- multi-rank geometry (docs/SCALING.md) ----
+
+TEST(ControllerFuzzMultiRank, NoReadLostAcrossRanks) {
+  // Same exactly-once / bounded-latency / drain invariants as the
+  // single-rank fuzz, but with two ranks sharing the channel bus and
+  // per-rank power-down racing the traffic.
+  dram::Geometry geo;
+  geo.ranks = 2;
+  const dram::Timing timing;
+  dram::Device dev(geo, timing);
+  ControllerConfig cfg;
+  Controller ctl(dev, cfg);
+  Rng rng(77);
+
+  std::map<std::uint64_t, dram::MemCycle> outstanding;
+  std::set<std::uint64_t> completed;
+  std::uint64_t next_id = 1;
+  std::uint64_t enqueued_reads = 0;
+
+  const dram::MemCycle kTrafficCycles = 30'000;
+  const dram::MemCycle kDrainCycles = 20'000;
+  for (dram::MemCycle now = 0; now < kTrafficCycles + kDrainCycles; ++now) {
+    if (now < kTrafficCycles && rng.chance(0.15)) {
+      // Whole-device addresses so both ranks see traffic.
+      const Address addr = rng.next_below(geo.total_lines()) * kLineBytes;
+      if (rng.chance(0.65)) {
+        if (ctl.enqueue_read(addr, next_id, now)) {
+          outstanding.emplace(next_id, now);
+          ++next_id;
+          ++enqueued_reads;
+        }
+      } else {
+        (void)ctl.enqueue_write(addr, now);
+      }
+    }
+    ctl.tick(now);
+    for (const auto& c : ctl.collect_completions(now)) {
+      ASSERT_TRUE(outstanding.count(c.id)) << "unknown/duplicate id";
+      ASSERT_FALSE(completed.count(c.id)) << "duplicated completion";
+      EXPECT_LE(c.done - outstanding[c.id], 4000u);
+      completed.insert(c.id);
+      outstanding.erase(c.id);
+    }
+  }
+
+  EXPECT_GT(enqueued_reads, 500u);
+  EXPECT_TRUE(outstanding.empty()) << outstanding.size() << " reads lost";
+  EXPECT_EQ(completed.size(), enqueued_reads);
+  EXPECT_TRUE(ctl.idle());
+  EXPECT_GT(ctl.stats().counter("refreshes"), 20u);
+}
+
+class PerBankRefreshFuzzMultiRank
+    : public ::testing::TestWithParam<PerBankFuzzParam> {};
+
+TEST_P(PerBankRefreshFuzzMultiRank, CoverageAndDebtInvariantsHold) {
+  // The PR 7 leftover: the per-bank debt/coverage invariants must hold
+  // bank-by-bank across BOTH ranks — debt indexed by global bank id,
+  // every one of the ranks x banks banks keeping its retention window.
+  dram::Geometry geo;
+  geo.ranks = 2;
+  const dram::Timing timing;
+  dram::Device dev(geo, timing);
+  const std::uint32_t total_banks = geo.banks * geo.ranks;
+  std::vector<dram::Command> log;
+  dev.set_command_log(&log);
+  ControllerConfig cfg;
+  cfg.refresh_granularity = RefreshGranularity::kPerBank;
+  cfg.darp = GetParam().darp;
+  cfg.sarp = GetParam().sarp;
+  Controller ctl(dev, cfg);
+  Rng rng(456);
+
+  std::uint64_t id = 1;
+  const dram::MemCycle span = timing.tREFI * 30;
+  for (dram::MemCycle now = 0; now < span; ++now) {
+    const bool quiet = (now / (timing.tREFI / 2)) % 3 == 2;
+    if (!quiet && rng.chance(0.25)) {
+      (void)ctl.enqueue_read(rng.next_below(geo.total_lines()) * kLineBytes,
+                             id++, now);
+    }
+    ctl.tick(now);
+    (void)ctl.collect_completions(now);
+
+    std::uint32_t total = 0;
+    for (std::uint32_t b = 0; b < total_banks; ++b) {
+      ASSERT_LE(ctl.refresh_debt(b), cfg.max_postponed_refreshes)
+          << "bank " << b << " over-postponed at cycle " << now;
+      total += ctl.refresh_debt(b);
+    }
+    ASSERT_EQ(total, ctl.pending_refresh_debt())
+        << "debt not conserved at cycle " << now;
+  }
+
+  std::vector<std::uint64_t> refb_per_bank(total_banks, 0);
+  for (const auto& c : log) {
+    if (c.type == dram::CmdType::kRefreshBank) ++refb_per_bank[c.bank];
+  }
+  const std::uint64_t required =
+      span / timing.tREFI - cfg.max_postponed_refreshes - 1;
+  for (std::uint32_t b = 0; b < total_banks; ++b) {
+    EXPECT_GE(refb_per_bank[b], required)
+        << "bank " << b << " lost retention-window coverage";
+  }
+  const dram::TimingChecker checker(timing);
+  const auto violations =
+      checker.check(log, total_banks, cfg.sarp, geo.banks);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PerBankRefreshFuzzMultiRank,
+    ::testing::Values(PerBankFuzzParam{"strict", false, false},
+                      PerBankFuzzParam{"darp", true, false},
+                      PerBankFuzzParam{"darp_sarp", true, true}),
+    [](const auto& info) { return std::string(info.param.name); });
+
 }  // namespace
 }  // namespace mecc::memctrl

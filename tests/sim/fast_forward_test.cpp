@@ -123,6 +123,86 @@ INSTANTIATE_TEST_SUITE_P(
                           true, true, false}),
     [](const auto& info) { return std::string(info.param.name); });
 
+// Multi-channel x multi-rank geometry (docs/SCALING.md): the per-channel
+// fast-forward fold — each channel contributing its own refresh /
+// power-down / completion horizons, per-rank refresh state per
+// controller — must stay bit-identical under every refresh policy.
+class FastForwardGeometryRefreshPolicy
+    : public ::testing::TestWithParam<RefreshPolicyCase> {};
+
+TEST_P(FastForwardGeometryRefreshPolicy, BitIdenticalAt2x2) {
+  for (const char* name : {"povray", "lbm"}) {
+    const auto& b = trace::benchmark(name);
+    SystemConfig cfg = base_config(EccPolicy::kNoEcc);
+    cfg.geometry.channels = 2;
+    cfg.geometry.ranks = 2;
+    cfg.controller.refresh_granularity = GetParam().granularity;
+    cfg.controller.darp = GetParam().darp;
+    cfg.controller.sarp = GetParam().sarp;
+    cfg.controller.elastic_refresh = GetParam().elastic;
+    const RunResult on = run_once(b, cfg, true);
+    const RunResult off = run_once(b, cfg, false);
+    EXPECT_TRUE(same_simulated_result(on, off)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, FastForwardGeometryRefreshPolicy,
+    ::testing::Values(
+        RefreshPolicyCase{"AllBank", memctrl::RefreshGranularity::kAllBank,
+                          false, false, false},
+        RefreshPolicyCase{"PerBank", memctrl::RefreshGranularity::kPerBank,
+                          false, false, false},
+        RefreshPolicyCase{"PerBankElastic",
+                          memctrl::RefreshGranularity::kPerBank, false, false,
+                          true},
+        RefreshPolicyCase{"Darp", memctrl::RefreshGranularity::kPerBank, true,
+                          false, false},
+        RefreshPolicyCase{"DarpSarp", memctrl::RefreshGranularity::kPerBank,
+                          true, true, false}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(FastForward, GeometryInterleaveAndStreamsBitIdentical) {
+  // Every interleave mode and a multi-stream contention mix at
+  // 2ch x 2rank: the joint multi-core skip (per-core gap bounds folded
+  // into one shared-clock advance) must match the per-cycle loop.
+  for (const memctrl::Interleave mode :
+       {memctrl::Interleave::kLine, memctrl::Interleave::kRow,
+        memctrl::Interleave::kBankXor}) {
+    for (const std::uint32_t streams : {1u, 2u, 4u}) {
+      const auto& b = trace::benchmark("astar");
+      SystemConfig cfg = base_config(EccPolicy::kMecc);
+      cfg.geometry.channels = 2;
+      cfg.geometry.ranks = 2;
+      cfg.interleave = mode;
+      cfg.streams = streams;
+      const RunResult on = run_once(b, cfg, true);
+      const RunResult off = run_once(b, cfg, false);
+      EXPECT_TRUE(same_simulated_result(on, off))
+          << memctrl::interleave_name(mode) << " streams=" << streams;
+    }
+  }
+}
+
+TEST(FastForward, ChannelParallelBitIdenticalToSerialOrder) {
+  // Channel-parallel epoch ticking (thread pool inside one run) is a
+  // pure implementation detail: same simulated fields as the serial
+  // single-threaded order, fast-forward on or off.
+  const auto& b = trace::benchmark("lbm");
+  SystemConfig cfg = base_config(EccPolicy::kNoEcc);
+  cfg.geometry.channels = 4;
+  cfg.geometry.ranks = 2;
+  cfg.streams = 4;
+  const RunResult serial = run_once(b, cfg, true);
+  cfg.channel_threads = 4;
+  const RunResult parallel = run_once(b, cfg, true);
+  EXPECT_TRUE(same_simulated_result(serial, parallel));
+  cfg.fast_forward = false;
+  System sys(b, cfg);
+  const RunResult percycle = sys.run();
+  EXPECT_TRUE(same_simulated_result(serial, percycle));
+}
+
 TEST(FastForward, PerBankLifecycleBitIdentical) {
   // Active -> self-refresh idle -> active under DARP+SARP: the idle
   // transition exercises resync_refresh's per-bank reset, and the warm

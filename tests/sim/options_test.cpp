@@ -42,6 +42,11 @@ class OptionsTest : public ::testing::Test {
     unsetenv("MECC_OUT");
     unsetenv("MECC_REFRESH_POLICY");
     unsetenv("MECC_REFRESH_GRANULARITY");
+    unsetenv("MECC_CHANNELS");
+    unsetenv("MECC_RANKS");
+    unsetenv("MECC_INTERLEAVE");
+    unsetenv("MECC_STREAMS");
+    unsetenv("MECC_CHANNEL_PARALLEL");
   }
 };
 
@@ -250,6 +255,9 @@ TEST_F(OptionsTest, EveryRecognizedFlagIsReportedConsumed) {
       "--trace-categories=dram", "--trace-limit=4",
       "--metrics-out=-",    "--metrics-interval=100",
       "--metrics-keys=power", "--list-stats",
+      "--channels=2",       "--ranks=2",
+      "--interleave=line",  "--streams=2",
+      "--channel-parallel=0",
   };
   std::vector<bool> consumed;
   const auto o = parse_checked(shared, nullptr, 1000, &consumed);
@@ -286,6 +294,64 @@ TEST_F(OptionsTest, PrefixLookalikesAreNotConsumed) {
   EXPECT_FALSE(consumed[1]);
   EXPECT_FALSE(consumed[2]);
   EXPECT_EQ(o->seed, 1u);  // untouched default
+}
+
+// ---- geometry options (docs/SCALING.md) ----
+
+TEST_F(OptionsTest, GeometryFlagsParse) {
+  const SimOptions o = parse({"--channels=4", "--ranks=2",
+                              "--interleave=bank-xor", "--streams=3",
+                              "--channel-parallel=2"});
+  EXPECT_EQ(o.channels, 4u);
+  EXPECT_EQ(o.ranks, 2u);
+  EXPECT_EQ(o.interleave, memctrl::Interleave::kBankXor);
+  EXPECT_EQ(o.streams, 3u);
+  EXPECT_EQ(o.channel_parallel, 2u);
+}
+
+TEST_F(OptionsTest, GeometryDefaultsLeaveSingleChannel) {
+  const SimOptions o = parse({});
+  EXPECT_EQ(o.channels, 0u);  // 0 = "not set": keep the config's geometry
+  EXPECT_EQ(o.ranks, 1u);
+  EXPECT_EQ(o.interleave, memctrl::Interleave::kLine);
+  EXPECT_EQ(o.streams, 1u);
+}
+
+TEST_F(OptionsTest, GeometryEnvOverrides) {
+  setenv("MECC_CHANNELS", "8", 1);
+  setenv("MECC_RANKS", "2", 1);
+  setenv("MECC_INTERLEAVE", "row", 1);
+  setenv("MECC_STREAMS", "4", 1);
+  const SimOptions o = parse({});
+  EXPECT_EQ(o.channels, 8u);
+  EXPECT_EQ(o.ranks, 2u);
+  EXPECT_EQ(o.interleave, memctrl::Interleave::kRow);
+  EXPECT_EQ(o.streams, 4u);
+  // argv still beats env.
+  const SimOptions o2 = parse({"--channels=2", "--interleave=line"});
+  EXPECT_EQ(o2.channels, 2u);
+  EXPECT_EQ(o2.interleave, memctrl::Interleave::kLine);
+}
+
+TEST_F(OptionsTest, MalformedGeometryValuesRejected) {
+  std::string error;
+  EXPECT_FALSE(parse_checked({"--channels=0"}, &error).has_value());
+  EXPECT_NE(error.find("--channels"), std::string::npos);
+  EXPECT_FALSE(parse_checked({"--channels=65"}).has_value());
+  EXPECT_FALSE(parse_checked({"--channels=two"}).has_value());
+  EXPECT_FALSE(parse_checked({"--ranks=0"}).has_value());
+  EXPECT_FALSE(parse_checked({"--ranks=9"}).has_value());
+  EXPECT_FALSE(parse_checked({"--streams=0"}).has_value());
+  EXPECT_FALSE(parse_checked({"--interleave=diagonal"}, &error).has_value());
+  EXPECT_NE(error.find("--interleave"), std::string::npos);
+  EXPECT_FALSE(parse_checked({"--channel-parallel=x"}).has_value());
+}
+
+TEST_F(OptionsTest, MalformedGeometryEnvRejected) {
+  setenv("MECC_INTERLEAVE", "spiral", 1);
+  std::string error;
+  EXPECT_FALSE(parse_checked({}, &error).has_value());
+  EXPECT_NE(error.find("MECC_INTERLEAVE"), std::string::npos);
 }
 
 TEST_F(OptionsTest, MalformedRecognizedFlagStillConsumedOnFailure) {

@@ -187,6 +187,56 @@ TEST(System, RefreshesHappenDuringActiveMode) {
   EXPECT_GT(r.stats.counter("memctrl.refreshes"), 0u);
 }
 
+TEST(System, MultiChannelStatKeysAreNamespaced) {
+  // docs/SCALING.md: multi-instance components get per-instance
+  // prefixes (memctrl.ch0., dram.ch1., ...); the single-channel path
+  // keeps the legacy unsuffixed names (previous test).
+  const auto& b = trace::benchmark("lbm");
+  SystemConfig c = quick_config(1'000'000);
+  c.geometry.channels = 2;
+  c.geometry.ranks = 2;
+  const RunResult r = run_benchmark(b, EccPolicy::kNoEcc, c);
+  EXPECT_GT(r.stats.counter("memctrl.ch0.refreshes"), 0u);
+  EXPECT_GT(r.stats.counter("memctrl.ch1.refreshes"), 0u);
+  // Line interleave spreads a streaming workload over both channels.
+  EXPECT_GT(r.stats.counter("memctrl.ch0.reads_enqueued"), 0u);
+  EXPECT_GT(r.stats.counter("memctrl.ch1.reads_enqueued"), 0u);
+  // The legacy unsuffixed keys must NOT exist at 2 channels.
+  EXPECT_EQ(r.stats.counter("memctrl.refreshes"), 0u);
+  EXPECT_EQ(r.stats.counter("memctrl.reads_enqueued"), 0u);
+}
+
+TEST(System, MultiChannelDeterministicAndParallelBitIdentical) {
+  const auto& b = trace::benchmark("lbm");
+  SystemConfig c = quick_config(500'000);
+  c.geometry.channels = 4;
+  c.geometry.ranks = 2;
+  c.streams = 2;
+  const RunResult serial = run_benchmark(b, EccPolicy::kMecc, c);
+  const RunResult again = run_benchmark(b, EccPolicy::kMecc, c);
+  c.channel_threads = 4;
+  const RunResult parallel = run_benchmark(b, EccPolicy::kMecc, c);
+  EXPECT_EQ(serial.cpu_cycles, again.cpu_cycles);
+  EXPECT_EQ(serial.cpu_cycles, parallel.cpu_cycles);
+  EXPECT_EQ(serial.reads, parallel.reads);
+  EXPECT_DOUBLE_EQ(serial.energy.total_mj(), parallel.energy.total_mj());
+  for (const auto& [key, value] : serial.stats.counters()) {
+    EXPECT_EQ(value, parallel.stats.counter(key)) << key;
+  }
+}
+
+TEST(System, MoreChannelsRelieveBandwidthPressure) {
+  // A memory-bound workload must not get slower when its traffic is
+  // spread over more channels (and generally gets faster).
+  const auto& b = trace::benchmark("lbm");
+  SystemConfig c = quick_config(1'000'000);
+  c.geometry.channels = 1;
+  const double one = run_benchmark(b, EccPolicy::kNoEcc, c).ipc;
+  c.geometry.channels = 4;
+  const double four = run_benchmark(b, EccPolicy::kNoEcc, c).ipc;
+  EXPECT_GE(four, one * 0.999);
+}
+
 TEST(System, ReplaysTraceFiles) {
   // Dump a synthetic trace, replay it through the full system, and check
   // the replay matches the workload's character.
