@@ -24,6 +24,10 @@
 //   --fleet-selftest=SPEC        failure injection (docs/FLEET.md)
 //   --fleet-aggregate-out=FILE   aggregate JSONL copy (default
 //                                STATE_DIR/aggregate.jsonl only)
+//   --fleet-dashboard            live in-terminal dashboard (stderr)
+//   --telemetry-out=FILE         mecc-telemetry-v1 snapshot feed
+//                                (JSONL; scripts/mecc_top.py reads it)
+//   --fleet-telemetry-interval-s=X  min seconds between snapshots
 //
 // The aggregate JSONL is byte-identical for a given (config, seed)
 // regardless of --jobs, retries, or interruptions; the supervision
@@ -129,6 +133,13 @@ int main(int argc, char** argv) {
     } else if (eat_prefix(arg, "--fleet-aggregate-out=", &v)) {
       if (*v == '\0') flag_error(arg);
       aggregate_out = v;
+    } else if (std::strcmp(arg, "--fleet-dashboard") == 0) {
+      cfg.dashboard = true;
+    } else if (eat_prefix(arg, "--telemetry-out=", &v)) {
+      if (*v == '\0') flag_error(arg);
+      cfg.telemetry_out = v;
+    } else if (eat_prefix(arg, "--fleet-telemetry-interval-s=", &v)) {
+      if (!parse_pos_double(v, &cfg.telemetry_interval_s)) flag_error(arg);
     } else if (eat_prefix(arg, "--fleet-", &v)) {
       flag_error(arg);  // unknown --fleet-* flag: refuse loudly
     }

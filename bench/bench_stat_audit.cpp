@@ -1,0 +1,181 @@
+// Counter-audit matrix (docs/OBSERVABILITY.md): runs sim::audit_system_run
+// over the refresh-policy x geometry x fast-forward matrix plus one
+// fault-injection campaign, and exits non-zero if any trace/counter
+// inconsistency is found. The two observability surfaces — the event
+// trace and the StatRegistry — are produced by independent code paths;
+// this bench is the tier-1 gate that they never drift apart.
+//
+// Flags (on top of the shared --instructions/--seed/--out):
+//   --audit-stats=on|off   run the audit matrix (default on; off skips
+//                          it and exits 0, for wiring experiments)
+//   --audit-selftest=KEY   deliberately miscount snapshot key KEY by +1
+//                          on one config; the audit MUST catch it and
+//                          this bench then exits non-zero with the key
+//                          named in the failure (exit 3 if the skew
+//                          slipped through — an audit bug).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/stat_audit.h"
+
+namespace {
+
+using namespace mecc;
+using namespace mecc::sim;
+
+struct MatrixEntry {
+  const char* tag;
+  RefreshPolicyOption policy;
+  std::uint32_t channels;
+  std::uint32_t ranks;
+  bool fast_forward;
+};
+
+[[nodiscard]] AuditOptions audit_options(const SimOptions& base,
+                                         const MatrixEntry& m) {
+  SimOptions o = base;
+  o.refresh_policy = m.policy;
+  o.refresh_granularity = RefreshGranularityOption::kAllBank;
+  o.channels = m.channels;
+  o.ranks = m.ranks;
+  o.fast_forward = m.fast_forward;
+  o.trace.clear();
+  o.metrics_out.clear();
+  AuditOptions a;
+  a.config = bench::scaled_config(o);
+  a.config.policy = EccPolicy::kMecc;
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SimOptions opts = parse_options(argc, argv, 20'000);
+
+  bool audit_on = true;
+  std::string selftest_key;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--audit-stats=off") == 0) {
+      audit_on = false;
+    } else if (std::strcmp(arg, "--audit-stats=on") == 0 ||
+               std::strcmp(arg, "--audit-stats") == 0) {
+      audit_on = true;
+    } else if (std::strncmp(arg, "--audit-selftest=", 17) == 0) {
+      selftest_key = arg + 17;
+      if (selftest_key.empty()) {
+        std::fprintf(stderr, "error: --audit-selftest= needs a stat key\n");
+        return 2;
+      }
+    }
+  }
+
+  bench::BenchOutput out("stat_audit", opts);
+  bench::print_banner(
+      "Counter audit: trace replay vs StatRegistry, policy x geometry",
+      "every DRAM command, queue edge, residency span and error instant "
+      "must match its counter");
+
+  const MatrixEntry kMatrix[] = {
+      {"strict", RefreshPolicyOption::kStrict, 1, 1, true},
+      {"strict_noff", RefreshPolicyOption::kStrict, 1, 1, false},
+      {"strict_2ch", RefreshPolicyOption::kStrict, 2, 1, true},
+      {"strict_2r", RefreshPolicyOption::kStrict, 1, 2, true},
+      {"strict_2ch_2r_noff", RefreshPolicyOption::kStrict, 2, 2, false},
+      {"elastic", RefreshPolicyOption::kElastic, 1, 1, true},
+      {"elastic_noff", RefreshPolicyOption::kElastic, 1, 1, false},
+      {"elastic_2ch", RefreshPolicyOption::kElastic, 2, 1, true},
+      {"elastic_2r", RefreshPolicyOption::kElastic, 1, 2, true},
+      {"darp", RefreshPolicyOption::kDarp, 1, 1, true},
+      {"darp_noff", RefreshPolicyOption::kDarp, 1, 1, false},
+      {"darp_2ch", RefreshPolicyOption::kDarp, 2, 1, true},
+      {"darp_2r", RefreshPolicyOption::kDarp, 1, 2, true},
+      {"darp_sarp", RefreshPolicyOption::kDarpSarp, 1, 1, true},
+      {"darp_sarp_noff", RefreshPolicyOption::kDarpSarp, 1, 1, false},
+      {"darp_sarp_2ch", RefreshPolicyOption::kDarpSarp, 2, 1, true},
+      {"darp_sarp_2r", RefreshPolicyOption::kDarpSarp, 1, 2, true},
+      {"darp_sarp_2ch_2r", RefreshPolicyOption::kDarpSarp, 2, 2, true},
+  };
+
+  // Self-test mode: one config, one deliberately miscounted key. The
+  // audit catching it (exit 1, key named) is the PASS outcome tier 1
+  // asserts on; the skew slipping through is an audit bug (exit 3).
+  if (!selftest_key.empty()) {
+    AuditOptions a = audit_options(opts, kMatrix[0]);
+    a.skew_key = selftest_key;
+    const AuditResult r = audit_system_run(a);
+    if (r.ok) {
+      std::fprintf(stderr,
+                   "selftest: skew on '%s' was NOT caught by the audit\n",
+                   selftest_key.c_str());
+      return 3;
+    }
+    for (const std::string& f : r.failures) {
+      std::fprintf(stderr, "audit[%s]: FAIL: %s\n", kMatrix[0].tag, f.c_str());
+    }
+    std::printf("selftest: skew on '%s' caught (%llu checks, %llu events)\n",
+                selftest_key.c_str(),
+                static_cast<unsigned long long>(r.checks),
+                static_cast<unsigned long long>(r.events_replayed));
+    return 1;
+  }
+
+  if (!audit_on) {
+    std::printf("audit disabled (--audit-stats=off)\n");
+    return 0;
+  }
+
+  TextTable t({"config", "events", "checks", "status"});
+  std::uint64_t total_checks = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_failures = 0;
+  auto run_one = [&](const char* tag, const AuditOptions& a) {
+    const AuditResult r = audit_system_run(a);
+    total_checks += r.checks;
+    total_events += r.events_replayed;
+    total_failures += r.failures.size();
+    for (const std::string& f : r.failures) {
+      std::fprintf(stderr, "audit[%s]: FAIL: %s\n", tag, f.c_str());
+    }
+    t.add_row({tag, std::to_string(r.events_replayed),
+               std::to_string(r.checks), r.ok ? "ok" : "FAIL"});
+  };
+
+  for (const MatrixEntry& m : kMatrix) {
+    run_one(m.tag, audit_options(opts, m));
+  }
+
+  // Fault-injection campaign: retention errors + transient read noise
+  // exercise the error-instant audit family (shadow CE/DUE, retries).
+  {
+    AuditOptions a = audit_options(opts, kMatrix[0]);
+    a.config.fault.enabled = true;
+    a.config.fault.shadow_lines = 1024;
+    a.config.fault.ber_override = 2e-5;
+    a.config.fault.transient_read_ber = 1e-4;
+    run_one("fault_campaign", a);
+  }
+
+  t.print("Audit matrix (refresh policy x channels x ranks x fast-forward)");
+
+  out.add_scalar("audit_configs",
+                 static_cast<double>(std::size(kMatrix)) + 1.0);
+  out.add_scalar("audit_checks", static_cast<double>(total_checks));
+  out.add_scalar("audit_events_replayed", static_cast<double>(total_events));
+  out.add_scalar("audit_failures", static_cast<double>(total_failures));
+
+  if (total_failures != 0) {
+    std::fprintf(stderr, "audit: %llu inconsistencies found\n",
+                 static_cast<unsigned long long>(total_failures));
+    (void)out.write();
+    return 1;
+  }
+  std::printf("audit clean: %llu checks over %llu trace events, 0 "
+              "inconsistencies\n",
+              static_cast<unsigned long long>(total_checks),
+              static_cast<unsigned long long>(total_events));
+  return out.write();
+}

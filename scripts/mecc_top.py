@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Terminal viewer / validator for the mecc-telemetry-v1 fleet feed.
+
+The fleet orchestrator (`bench_fleet_campaign --telemetry-out=FILE.jsonl`)
+appends one compact-JSON snapshot per publish. This tool either renders
+the feed like `top` (default: print the latest snapshot; --follow tails
+the file and redraws) or checks feed integrity (--validate).
+
+Validation rules (docs/OBSERVABILITY.md):
+  * every line is valid JSON with schema == "mecc-telemetry-v1" and the
+    full required key set;
+  * t_s is nondecreasing WITHIN a segment. A t_s decrease marks a resume
+    boundary (the orchestrator was killed and restarted; the hub's clock
+    and monotone device clamp restart with it) — monotonicity checks
+    restart there;
+  * devices_done is nondecreasing within a segment and never exceeds
+    devices_total; coverage stays in [0, 1];
+  * with --expect-final, the last line must have final == true (the
+    campaign completed and published its closing snapshot).
+
+Exit status: 0 clean, 1 validation failure, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+SCHEMA = "mecc-telemetry-v1"
+
+REQUIRED_KEYS = [
+    "schema",
+    "t_s",
+    "devices_total",
+    "devices_done",
+    "shards_total",
+    "shards_done",
+    "shards_degraded",
+    "shards_running",
+    "shards_pending",
+    "coverage",
+    "throughput_devices_per_s",
+    "eta_s",
+    "due_events",
+    "ce_events",
+    "energy_mj_per_day_sum",
+    "sample_count",
+    "due_per_year_p50",
+    "due_per_year_p99",
+    "due_per_year_p999",
+    "energy_mj_per_day_p50",
+    "energy_mj_per_day_p99",
+    "retries",
+    "workers_crashed",
+    "final",
+]
+
+
+def parse_line(line, lineno):
+    """Returns (snapshot, error): one of the two is None."""
+    try:
+        snap = json.loads(line)
+    except json.JSONDecodeError as e:
+        return None, "line %d: not valid JSON (%s)" % (lineno, e)
+    if not isinstance(snap, dict):
+        return None, "line %d: not a JSON object" % lineno
+    if snap.get("schema") != SCHEMA:
+        return None, "line %d: schema %r != %r" % (
+            lineno, snap.get("schema"), SCHEMA)
+    missing = [k for k in REQUIRED_KEYS if k not in snap]
+    if missing:
+        return None, "line %d: missing keys %s" % (lineno, ", ".join(missing))
+    return snap, None
+
+
+def validate(path, expect_final):
+    failures = []
+    snaps = []
+    segments = 1
+    prev = None
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.rstrip("\n")
+            if not raw:
+                failures.append("line %d: empty line" % lineno)
+                continue
+            snap, err = parse_line(raw, lineno)
+            if err:
+                failures.append(err)
+                continue
+            if snap["coverage"] < 0.0 or snap["coverage"] > 1.0:
+                failures.append("line %d: coverage %r outside [0, 1]"
+                                % (lineno, snap["coverage"]))
+            if snap["devices_done"] > snap["devices_total"]:
+                failures.append(
+                    "line %d: devices_done %d > devices_total %d"
+                    % (lineno, snap["devices_done"], snap["devices_total"]))
+            if prev is not None:
+                if snap["t_s"] < prev["t_s"]:
+                    # Resume boundary: the orchestrator restarted, its
+                    # hub clock and monotone clamp restarted with it.
+                    segments += 1
+                elif snap["devices_done"] < prev["devices_done"]:
+                    failures.append(
+                        "line %d: devices_done stepped back %d -> %d "
+                        "within a segment (t_s %g -> %g)"
+                        % (lineno, prev["devices_done"], snap["devices_done"],
+                           prev["t_s"], snap["t_s"]))
+            prev = snap
+            snaps.append(snap)
+    if not snaps:
+        failures.append("feed is empty")
+    if expect_final and snaps and not snaps[-1]["final"]:
+        failures.append("last line has final == false but the campaign "
+                        "was expected to have completed")
+    return snaps, segments, failures
+
+
+def fmt_duration(seconds):
+    if seconds < 0:
+        return "?"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return "%dh%02dm" % (seconds // 3600, (seconds % 3600) // 60)
+    if seconds >= 60:
+        return "%dm%02ds" % (seconds // 60, seconds % 60)
+    return "%ds" % seconds
+
+
+def render(snap):
+    total = max(snap["devices_total"], 1)
+    frac = snap["devices_done"] / total
+    bar_w = 32
+    bar = "#" * int(frac * bar_w + 0.5)
+    bar = bar.ljust(bar_w, ".")
+    lines = [
+        "mecc fleet  [%s] %5.1f%%  %d/%d devices%s" % (
+            bar, 100.0 * frac, snap["devices_done"], snap["devices_total"],
+            "  (final)" if snap["final"] else ""),
+        "  shards   : %d/%d done, %d running, %d pending, %d degraded" % (
+            snap["shards_done"], snap["shards_total"], snap["shards_running"],
+            snap["shards_pending"], snap["shards_degraded"]),
+        "  rate     : %.0f devices/s | eta %s | elapsed %s" % (
+            snap["throughput_devices_per_s"], fmt_duration(snap["eta_s"]),
+            fmt_duration(snap["t_s"])),
+        "  health   : %d retries, %d workers crashed" % (
+            snap["retries"], snap["workers_crashed"]),
+        "  errors   : %d DUE, %d CE | DUE/yr p50 %.3g p99 %.3g p99.9 %.3g" % (
+            snap["due_events"], snap["ce_events"], snap["due_per_year_p50"],
+            snap["due_per_year_p99"], snap["due_per_year_p999"]),
+        "  energy   : mJ/day p50 %.4g p99 %.4g (%d devices sampled)" % (
+            snap["energy_mj_per_day_p50"], snap["energy_mj_per_day_p99"],
+            snap["sample_count"]),
+    ]
+    return "\n".join(lines)
+
+
+def tail_lines(path, state):
+    """Yields complete new lines since the last call; state is a dict
+    carrying the byte offset and the partial-line buffer."""
+    try:
+        with open(path, "rb") as f:
+            f.seek(state["offset"])
+            chunk = f.read()
+    except OSError:
+        return []
+    state["offset"] += len(chunk)
+    state["buf"] += chunk
+    lines = []
+    while True:
+        nl = state["buf"].find(b"\n")
+        if nl < 0:
+            break
+        lines.append(state["buf"][:nl].decode("utf-8", "replace"))
+        state["buf"] = state["buf"][nl + 1:]
+    return lines
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="viewer/validator for the mecc-telemetry-v1 fleet feed")
+    ap.add_argument("feed", help="telemetry JSONL feed file (--telemetry-out)")
+    ap.add_argument("--validate", action="store_true",
+                    help="check feed integrity instead of rendering")
+    ap.add_argument("--expect-final", action="store_true",
+                    help="with --validate: require the last snapshot to "
+                         "carry final == true")
+    ap.add_argument("--follow", action="store_true",
+                    help="keep tailing the feed and redraw on new snapshots "
+                         "(stops once a final snapshot arrives)")
+    ap.add_argument("--interval", type=float, default=0.2,
+                    help="poll interval for --follow (seconds)")
+    args = ap.parse_args()
+
+    if args.validate:
+        try:
+            snaps, segments, failures = validate(args.feed, args.expect_final)
+        except OSError as e:
+            print("error: %s" % e, file=sys.stderr)
+            return 2
+        for f in failures:
+            print("validate: FAIL: %s" % f, file=sys.stderr)
+        if failures:
+            return 1
+        print("validate: ok: %d snapshots, %d segment%s, final=%s" % (
+            len(snaps), segments, "s" if segments != 1 else "",
+            str(snaps[-1]["final"]).lower()))
+        return 0
+
+    state = {"offset": 0, "buf": b""}
+    last = None
+    rendered_lines = 0
+    while True:
+        for raw in tail_lines(args.feed, state):
+            snap, err = parse_line(raw, 0)
+            if snap is not None:
+                last = snap
+        if last is not None:
+            out = render(last)
+            if args.follow and sys.stdout.isatty() and rendered_lines:
+                sys.stdout.write("\x1b[%dF\x1b[J" % rendered_lines)
+            sys.stdout.write(out + "\n")
+            sys.stdout.flush()
+            rendered_lines = out.count("\n") + 1
+        if not args.follow or (last is not None and last["final"]):
+            break
+        time.sleep(args.interval)
+    if last is None:
+        print("error: no snapshots in %s" % args.feed, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

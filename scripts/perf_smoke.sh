@@ -42,6 +42,28 @@ for mode in on off; do
   done
 done
 
+# Self-profiler leg (docs/OBSERVABILITY.md): interleaved
+# unprofiled/profiled PAIRS of the ff=on sweep. The overhead estimate
+# is the median of per-pair wall ratios — on a host with several
+# percent run-to-run noise, back-to-back pairing cancels slow drift and
+# the median kills outliers, where "one profiled run vs the unprofiled
+# best" folds that noise in as pure upward bias. Host-dependent and
+# non-gating like the rest of this file. What IS gated here is
+# byte-identity: profiling must not perturb --out.
+for ((i = 0; i < repeats; ++i)); do
+  "$bench" --instructions="$instructions" --seed=1 --jobs=1 \
+    --fast-forward=on --out="$tmpdir/out_pair_${i}.json" \
+    --perf-out="$tmpdir/perf_pair_${i}.json" > /dev/null 2>&1
+  "$bench" --instructions="$instructions" --seed=1 --jobs=1 \
+    --fast-forward=on --profile="$tmpdir/profile_${i}.json" \
+    --out="$tmpdir/out_prof_${i}.json" \
+    --perf-out="$tmpdir/perf_prof_${i}.json" > /dev/null 2>&1
+  if ! cmp -s "$tmpdir/out_on_0.json" "$tmpdir/out_prof_${i}.json"; then
+    echo "perf_smoke: --profile perturbed the simulated output" >&2
+    exit 1
+  fi
+done
+
 # Channel-scaling leg (docs/SCALING.md): the per-channel fast-forward
 # speedup at 2/4/8 channels. The PR gate is >= 3x at 4 channels; like
 # the single-channel numbers above, the recorded values are
@@ -163,6 +185,40 @@ for ch in (2, 4, 8):
                                    3),
     }
 
+# Self-profiler breakdown + overhead (docs/OBSERVABILITY.md): median
+# of per-pair (profiled / unprofiled-run-just-before-it) wall ratios.
+# Residual noise can still push it below zero on a quiet host; the
+# <= 2% target is documentation, not a gate. The phase breakdown comes
+# from the fastest profiled repeat.
+ratios = []
+prof_picks = []
+for i in range(repeats):
+    with open(f"{tmpdir}/perf_pair_{i}.json") as f:
+        pair_wall = json.load(f)["suites"][0]["wall_seconds"]
+    with open(f"{tmpdir}/perf_prof_{i}.json") as f:
+        prof_wall_i = json.load(f)["suites"][0]["wall_seconds"]
+    ratios.append(prof_wall_i / pair_wall)
+    prof_picks.append((prof_wall_i, i))
+ratios.sort()
+median_ratio = ratios[len(ratios) // 2] if len(ratios) % 2 else \
+    (ratios[len(ratios) // 2 - 1] + ratios[len(ratios) // 2]) / 2
+prof_picks.sort()
+prof_wall, prof_best_i = prof_picks[0]
+with open(f"{tmpdir}/profile_{prof_best_i}.json") as f:
+    profile = json.load(f)
+phases = sorted((e for e in profile["entries"]),
+                key=lambda e: e["est_ns"], reverse=True)
+report["profiler"] = {
+    "wall_seconds": prof_wall,
+    "overhead_median_paired": round(median_ratio - 1.0, 4),
+    "spans_dropped": profile["spans_dropped"],
+    "phases": [
+        {"name": f"{e['component']}.{e['phase']}", "calls": e["calls"],
+         "est_ms": round(e["est_ns"] / 1e6, 3)}
+        for e in phases[:8]
+    ],
+}
+
 if codec_json:
     with open(codec_json) as f:
         codec = json.load(f)
@@ -195,6 +251,11 @@ print(f"perf_smoke: ff=on {on['wall_seconds']:.3f}s, "
 for ch, entry in report["channel_scaling"].items():
     print(f"perf_smoke: {ch} x 2r fast-forward speedup "
           f"{entry['speedup_wall_mips']:.2f}x")
+prof = report["profiler"]
+top = prof["phases"][0]["name"] if prof["phases"] else "none"
+print(f"perf_smoke: profiler overhead "
+      f"{100 * prof['overhead_median_paired']:.2f}% "
+      f"(median of paired runs, target <= 2%), hottest phase {top}")
 for e in report.get("ecc_codec", {}).get("entries", []):
     if "speedup" in e:
         print(f"perf_smoke: codec {e['name']}: "

@@ -101,6 +101,34 @@ python3 scripts/trace_summary.py --metrics \
   build/tier1_metrics.ladder_retry_only.jsonl \
   build/tier1_metrics.ladder_no_scrub.jsonl
 
+# Self-profiler smoke (docs/OBSERVABILITY.md): --profile must emit a
+# parseable mecc-profile-v1 report and must not perturb a single
+# simulated byte — the --out of a profiled run is compared against the
+# unprofiled reference emission generated above with the same knobs.
+profile_json="build/tier1_profile.json"
+profile_out="build/tier1_profile_out.json"
+build/bench/bench_table3_workloads --instructions=50000 --seed=1 --jobs=4 \
+  --profile="$profile_json" --out="$profile_out" > /dev/null
+python3 -m json.tool "$profile_json" > /dev/null
+grep -q 'mecc-profile-v1' "$profile_json"
+cmp "$out_json" "$profile_out"
+
+# Counter-audit gate (docs/OBSERVABILITY.md): the event trace and the
+# stats snapshot must agree on every invariant family across the
+# policy x geometry matrix, and the self-test — one deliberately
+# miscounted stat — must fail with exit 1 naming the skewed key.
+build/bench/bench_stat_audit --instructions=20000 --seed=1 \
+  --out=build/tier1_audit_out.json > /dev/null
+python3 -m json.tool build/tier1_audit_out.json > /dev/null
+audit_rc=0
+build/bench/bench_stat_audit --audit-selftest=dram.activates \
+  > build/tier1_audit_selftest.log 2>&1 || audit_rc=$?
+if [[ "$audit_rc" != 1 ]]; then
+  echo "tier1: audit selftest exited $audit_rc, expected 1" >&2
+  exit 1
+fi
+grep -q 'dram.activates' build/tier1_audit_selftest.log
+
 # Shared-flag strip smoke (regression for the bench_ecc_codec leak):
 # every SimOptions flag must pass through the bench without reaching
 # benchmark::Initialize, which exits non-zero on flags it does not
@@ -133,10 +161,16 @@ build/tests/test_codec_equivalence --gtest_brief=1 > /dev/null
 # hard-exits mid-run (orch-exit selftest: _exit(137) with no cleanup,
 # the moral equivalent of kill -9) with a worker-crash injection on top,
 # then --resume it at different parallelism. The resumed aggregate must
-# match the reference byte for byte.
+# match the reference byte for byte. The killed + resumed runs stream
+# the mecc-telemetry-v1 feed (docs/OBSERVABILITY.md) while the
+# reference runs with telemetry off, so the final cmp doubles as the
+# telemetry byte-identity gate; the feed itself must validate with a
+# resume boundary and a closing final snapshot.
 fleet_flags=(--fleet-devices=2000 --fleet-devices-per-shard=250
   --fleet-lines-per-device=4096 --seed=1 --fleet-backoff-s=0.01)
+fleet_feed="build/tier1_fleet_feed.jsonl"
 rm -rf build/tier1_fleet_ref build/tier1_fleet_kill
+rm -f "$fleet_feed"
 build/bench/bench_fleet_campaign "${fleet_flags[@]}" --jobs=3 \
   --fleet-state-dir=build/tier1_fleet_ref \
   --out=build/tier1_fleet_out.json > /dev/null
@@ -144,13 +178,16 @@ python3 -m json.tool build/tier1_fleet_out.json > /dev/null
 fleet_rc=0
 build/bench/bench_fleet_campaign "${fleet_flags[@]}" --jobs=2 \
   --fleet-state-dir=build/tier1_fleet_kill \
+  --telemetry-out="$fleet_feed" \
   --fleet-selftest=orch-exit@3,crash@1:1 > /dev/null || fleet_rc=$?
 if [[ "$fleet_rc" != 137 ]]; then
   echo "tier1: fleet orch-exit selftest exited $fleet_rc, expected 137" >&2
   exit 1
 fi
 build/bench/bench_fleet_campaign "${fleet_flags[@]}" --jobs=4 \
-  --resume=build/tier1_fleet_kill > /dev/null
+  --resume=build/tier1_fleet_kill \
+  --telemetry-out="$fleet_feed" > /dev/null
+python3 scripts/mecc_top.py "$fleet_feed" --validate --expect-final
 cmp build/tier1_fleet_ref/aggregate.jsonl build/tier1_fleet_kill/aggregate.jsonl
 
 # Wall-clock report (non-gating: host-dependent numbers, never a
@@ -163,9 +200,10 @@ if [[ "$run_tsan" == 1 ]]; then
     test_parallel_runner test_run_json test_stats \
     test_golden_vectors test_codec_property test_fast_forward \
     test_trace test_observability test_codec_equivalence \
-    test_refresh_policy test_fleet_orchestrator
+    test_refresh_policy test_fleet_orchestrator \
+    test_telemetry test_profile test_stat_audit
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|QuantileSketch|GoldenVectors|CodecProperty|FastForward|Tracer|MetricsSampler|Observability|CodecEquivalence|PerBankRefresh|DarpRefresh|SarpRefresh|Fleet'
+    -R 'ThreadPool|ParallelRunner|RunJson|StatSet|StatRegistry|Distribution|QuantileSketch|GoldenVectors|CodecProperty|FastForward|Tracer|MetricsSampler|Observability|CodecEquivalence|PerBankRefresh|DarpRefresh|SarpRefresh|Fleet|Telemetry|ProgressRecord|ProgressTailer|SnapshotJson|HostProfiler|StatAudit'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -175,7 +213,8 @@ if [[ "$run_asan" == 1 ]]; then
     test_fault_campaign test_line_codec test_bitvec test_fast_forward \
     test_json test_trace test_observability test_codec_equivalence \
     test_refresh_policy test_controller_fuzz test_elastic_refresh \
-    test_fleet_orchestrator
+    test_fleet_orchestrator test_stats \
+    test_telemetry test_profile test_stat_audit
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward|JsonEscape|JsonWriter|Tracer|MetricsSampler|Observability|CodecEquivalence|PerBankRefresh|DarpRefresh|SarpRefresh|ElasticRefresh|ControllerFuzz|ControllerStress|Fleet'
+    -R 'FaultInjector|MonteCarlo|MemoryImage|ShadowMemory|DuePolicy|FaultCampaign|LineCodec|BitVec|FastForward|JsonEscape|JsonWriter|Tracer|MetricsSampler|Observability|CodecEquivalence|PerBankRefresh|DarpRefresh|SarpRefresh|ElasticRefresh|ControllerFuzz|ControllerStress|Fleet|StatSet|StatRegistry|Distribution|QuantileSketch|Telemetry|ProgressRecord|ProgressTailer|SnapshotJson|HostProfiler|StatAudit'
 fi

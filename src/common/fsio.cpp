@@ -86,6 +86,14 @@ bool write_file(const std::string& path, const std::string& contents) {
   return ok;
 }
 
+bool append_file(const std::string& path, const std::string& contents) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, contents.data(), contents.size());
+  ::close(fd);
+  return ok;
+}
+
 bool read_file(const std::string& path, std::string* out) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return false;

@@ -31,4 +31,12 @@ namespace mecc {
 /// the file cannot be opened or read.
 [[nodiscard]] bool read_file(const std::string& path, std::string* out);
 
+/// Appends `contents` to `path` (O_APPEND, created if missing) as a
+/// single write() call, so concurrent tailing readers see each record
+/// either completely or not at all — the fleet progress streams
+/// (docs/OBSERVABILITY.md) append one '\n'-terminated JSONL record per
+/// call. Non-durable like write_file (no fsync).
+[[nodiscard]] bool append_file(const std::string& path,
+                               const std::string& contents);
+
 }  // namespace mecc

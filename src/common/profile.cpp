@@ -1,0 +1,187 @@
+#include "common/profile.h"
+
+#include <time.h>
+
+#include <cstring>
+
+#include "common/json.h"
+#include "common/stats.h"
+
+namespace mecc::prof {
+
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+HostProfiler& HostProfiler::instance() {
+  static HostProfiler p;
+  return p;
+}
+
+std::size_t HostProfiler::slot(const char* component, const char* phase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = n_slots_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::strcmp(slots_[i].component, component) == 0 &&
+        std::strcmp(slots_[i].phase, phase) == 0) {
+      return i;
+    }
+  }
+  if (n >= kMaxSlots) return kMaxSlots - 1;  // overflow bucket: last slot
+  slots_[n].component = component;
+  slots_[n].phase = phase;
+  n_slots_.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+void HostProfiler::record_span(std::size_t slot, std::uint64_t t0_ns,
+                               std::uint64_t dur_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Span s{static_cast<std::uint32_t>(slot), t0_ns, dur_ns};
+  if (spans_.size() < kSpanRingCap) {
+    spans_.push_back(s);
+    return;
+  }
+  spans_[span_head_] = s;
+  span_head_ = (span_head_ + 1) % spans_.size();
+  ++spans_dropped_;
+}
+
+std::vector<PhaseStat> HostProfiler::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = n_slots_.load(std::memory_order_acquire);
+  std::vector<PhaseStat> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Slot& s = slots_[i];
+    PhaseStat p;
+    p.component = s.component;
+    p.phase = s.phase;
+    p.calls = s.calls.load(std::memory_order_relaxed);
+    p.timed = s.timed.load(std::memory_order_relaxed);
+    p.measured_ns = s.ns.load(std::memory_order_relaxed);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void HostProfiler::export_stats(StatSet& out) const {
+  for (const PhaseStat& p : report()) {
+    if (p.calls == 0) continue;
+    const std::string key = p.component + "." + p.phase;
+    out.add(key + ".calls", p.calls);
+    out.add(key + ".est_us", p.est_ns() / 1000);
+  }
+}
+
+std::string HostProfiler::json() const {
+  const std::vector<PhaseStat> stats = report();
+  std::vector<Span> spans;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans.reserve(spans_.size());
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      spans.push_back(spans_[(span_head_ + i) % spans_.size()]);
+    }
+    dropped = spans_dropped_;
+  }
+  JsonWriter w(/*indent_width=*/-1);
+  w.begin_object();
+  w.key("schema");
+  w.value("mecc-profile-v1");
+  w.key("entries");
+  w.begin_array();
+  for (const PhaseStat& p : stats) {
+    if (p.calls == 0) continue;
+    w.begin_object();
+    w.key("component");
+    w.value(p.component);
+    w.key("phase");
+    w.value(p.phase);
+    w.key("calls");
+    w.value(p.calls);
+    w.key("timed");
+    w.value(p.timed);
+    w.key("measured_ns");
+    w.value(p.measured_ns);
+    w.key("est_ns");
+    w.value(p.est_ns());
+    w.end_object();
+  }
+  w.end_array();
+  // Perfetto-compatible host-time track: Chrome trace-event 'X' spans,
+  // microsecond timestamps relative to the first span, one tid per
+  // profiler slot (thread_name metadata names it component.phase).
+  w.key("spans_dropped");
+  w.value(dropped);
+  w.key("traceEvents");
+  w.begin_array();
+  std::uint64_t t_base = 0;
+  for (const Span& s : spans) {
+    if (t_base == 0 || s.t0_ns < t_base) t_base = s.t0_ns;
+  }
+  bool slot_used[kMaxSlots] = {};
+  for (const Span& s : spans) slot_used[s.slot] = true;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (!slot_used[i]) continue;
+    w.begin_object();
+    w.key("name");
+    w.value("thread_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(i));
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value("host." + stats[i].component + "." + stats[i].phase);
+    w.end_object();
+    w.end_object();
+  }
+  for (const Span& s : spans) {
+    w.begin_object();
+    w.key("name");
+    if (s.slot < stats.size()) {
+      w.value(stats[s.slot].component + "." + stats[s.slot].phase);
+    } else {
+      w.value("?");
+    }
+    w.key("cat");
+    w.value("host");
+    w.key("ph");
+    w.value("X");
+    w.key("ts");
+    w.value((s.t0_ns - t_base) / 1000);
+    w.key("dur");
+    w.value(s.dur_ns / 1000);
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(s.slot));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+void HostProfiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = n_slots_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[i].calls.store(0, std::memory_order_relaxed);
+    slots_[i].timed.store(0, std::memory_order_relaxed);
+    slots_[i].ns.store(0, std::memory_order_relaxed);
+  }
+  spans_.clear();
+  span_head_ = 0;
+  spans_dropped_ = 0;
+}
+
+}  // namespace mecc::prof

@@ -1,0 +1,244 @@
+// Host-side self-profiler (docs/OBSERVABILITY.md): scoped wall-time
+// timers attributing *host* CPU time to component x phase (controller
+// tick, fast-forward bound computation, codec batch walks, fleet
+// shards). Strictly host-side observability — nothing here may feed a
+// simulated stat, so --out JSON stays byte-identical whether the
+// profiler is on or off.
+//
+// Cost model:
+//   - disabled (default): coarse scopes are one relaxed atomic load and
+//     an untaken branch; hot-loop scopes compile to nothing (the
+//     kProfiled=false loop instantiation selects NullScopedTimer). No
+//     clock is read anywhere.
+//   - enabled: coarse scopes (one per run period / shard) read the
+//     monotonic clock twice; hot per-iteration scopes use
+//     SampledScopedTimer, whose untimed path is a thread_local counter
+//     bump and an untaken branch — no atomics, no clock, not even the
+//     enabled() load (the dispatch into the kProfiled loop already
+//     tested it). 1 in kSampleStride calls reads the clock and accounts
+//     the whole stride block, so calls/est_ns are stride-quantized
+//     estimates.
+//
+// The profiler is process-global (like the console writer): bench
+// binaries enable it via --profile=FILE and export the aggregate as a
+// `profile.*` stat component plus a Perfetto-compatible host-time track.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mecc {
+class StatSet;
+}
+
+namespace mecc::prof {
+
+/// Monotonic host time in nanoseconds (CLOCK_MONOTONIC).
+[[nodiscard]] std::uint64_t monotonic_ns();
+
+/// One component x phase aggregate. `timed` of the `calls` invocations
+/// actually read the clock; est_ns() scales the measured time back up
+/// to the full call count (est == measured for unsampled scopes).
+struct PhaseStat {
+  std::string component;
+  std::string phase;
+  std::uint64_t calls = 0;
+  std::uint64_t timed = 0;
+  std::uint64_t measured_ns = 0;
+  [[nodiscard]] std::uint64_t est_ns() const {
+    if (timed == 0) return 0;
+    return static_cast<std::uint64_t>(
+        static_cast<double>(measured_ns) *
+        (static_cast<double>(calls) / static_cast<double>(timed)));
+  }
+};
+
+/// Process-global host-time profiler. Slots are registered once per
+/// call site (function-local static) and accounted with per-slot
+/// atomics, so concurrent scopes (channel-parallel ticking, fleet
+/// supervision) need no lock on the hot path.
+class HostProfiler {
+ public:
+  static HostProfiler& instance();
+
+  /// Fast global gate — one relaxed load, checked before any clock read.
+  [[nodiscard]] static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    enabled_flag().store(on, std::memory_order_relaxed);
+  }
+
+  /// Registers (or finds) the slot for one component x phase pair.
+  /// Call once per site and cache the index (function-local static).
+  [[nodiscard]] std::size_t slot(const char* component, const char* phase);
+
+  void add(std::size_t slot, std::uint64_t ns) {
+    Slot& s = slots_[slot];
+    s.calls.fetch_add(1, std::memory_order_relaxed);
+    s.timed.fetch_add(1, std::memory_order_relaxed);
+    s.ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+  /// Sampled-path accounting: one timed call stands in for a whole
+  /// stride block, so `calls` advances by `stride` and stays an
+  /// estimate quantized to the sampling stride.
+  void add_sampled(std::size_t slot, std::uint64_t ns, std::uint64_t stride) {
+    Slot& s = slots_[slot];
+    s.calls.fetch_add(stride, std::memory_order_relaxed);
+    s.timed.fetch_add(1, std::memory_order_relaxed);
+    s.ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  /// Appends one span to the bounded host-time track (oldest dropped
+  /// once full). Coarse scopes only — sampled scopes aggregate only.
+  void record_span(std::size_t slot, std::uint64_t t0_ns,
+                   std::uint64_t dur_ns);
+
+  /// Aggregates, registration order (deterministic given call order).
+  [[nodiscard]] std::vector<PhaseStat> report() const;
+
+  /// Merges the aggregates into `out` as `<component>.<phase>.calls` /
+  /// `.est_us` counters — the `profile.*` stat component. Host-side
+  /// only: callers must never merge this into a --out snapshot.
+  void export_stats(StatSet& out) const;
+
+  /// Standalone profile report: schema-versioned JSON with the
+  /// aggregate table plus a Chrome/Perfetto trace of the span ring
+  /// (one host-time track per component, wall-clock microseconds).
+  [[nodiscard]] std::string json() const;
+
+  /// Drops all aggregates and spans (slots stay registered).
+  void reset();
+
+ private:
+  HostProfiler() = default;
+
+  struct Slot {
+    const char* component = nullptr;
+    const char* phase = nullptr;
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> timed{0};
+    std::atomic<std::uint64_t> ns{0};
+  };
+  struct Span {
+    std::uint32_t slot = 0;
+    std::uint64_t t0_ns = 0;
+    std::uint64_t dur_ns = 0;
+  };
+
+  [[nodiscard]] static std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> flag{false};
+    return flag;
+  }
+
+  static constexpr std::size_t kMaxSlots = 64;
+  static constexpr std::size_t kSpanRingCap = 8192;
+
+  Slot slots_[kMaxSlots];
+  std::atomic<std::size_t> n_slots_{0};
+  mutable std::mutex mu_;  // slot registration + span ring + readers
+  std::vector<Span> spans_;
+  std::size_t span_head_ = 0;
+  std::uint64_t spans_dropped_ = 0;
+};
+
+/// RAII wall-time scope. One relaxed load when the profiler is off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::size_t slot) : slot_(slot) {
+    if (HostProfiler::enabled()) t0_ = monotonic_ns();
+  }
+  ~ScopedTimer() {
+    if (t0_ == 0) return;
+    const std::uint64_t dur = monotonic_ns() - t0_;
+    HostProfiler& p = HostProfiler::instance();
+    p.add(slot_, dur);
+    p.record_span(slot_, t0_, dur);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::size_t slot_;
+  std::uint64_t t0_ = 0;  // 0 = profiler off at entry
+};
+
+/// Sampled scope for per-iteration hot paths: 1 in kSampleStride calls
+/// reads the clock and accounts the whole stride block (so calls and
+/// est_ns are stride-quantized estimates); the other calls touch only a
+/// thread_local counter — no shared atomics, no clock, keeping the
+/// per-call overhead in the low single nanoseconds on paths entered
+/// millions of times per run. `site_count` is per-thread, so every
+/// thread samples its own stream independently. Never records spans.
+///
+/// There is deliberately NO enabled() check: callers reach this type
+/// only through a dispatch that already tested the profiler (the
+/// kProfiled template parameter of System::active_loop, selected once
+/// per period via std::conditional_t). Constructing one while the
+/// profiler is off still samples — route through NullScopedTimer
+/// instead.
+class SampledScopedTimer {
+ public:
+  // 1-in-512: the timed path pays two clock reads (~30 ns each) plus
+  // three fetch_adds on slot atomics *shared across worker threads* —
+  // at --jobs parallelism the cache-line contention, not the clock, is
+  // what shows up (measured ~10% wall overhead at stride 64 on the
+  // 28-benchmark sweep). Hot paths enter these scopes tens of millions
+  // of times per run, so even 1/512 leaves tens of thousands of
+  // samples per slot.
+  static constexpr std::uint64_t kSampleStride = 512;
+
+  SampledScopedTimer(std::size_t slot, std::uint64_t& site_count) {
+    if (site_count++ % kSampleStride != 0) [[likely]] return;
+    slot_ = slot;
+    t0_ = monotonic_ns();
+  }
+  ~SampledScopedTimer() {
+    if (t0_ == 0) [[likely]] return;
+    HostProfiler::instance().add_sampled(slot_, monotonic_ns() - t0_,
+                                         kSampleStride);
+  }
+  SampledScopedTimer(const SampledScopedTimer&) = delete;
+  SampledScopedTimer& operator=(const SampledScopedTimer&) = delete;
+
+ private:
+  std::size_t slot_ = 0;  // only read when t0_ != 0
+  std::uint64_t t0_ = 0;
+};
+
+/// No-op stand-in with SampledScopedTimer's constructor shape, for the
+/// !kObserved instantiation of templated hot loops (std::conditional_t
+/// selects it so the unobserved path compiles to nothing — not even the
+/// enabled() load).
+struct NullScopedTimer {
+  NullScopedTimer(std::size_t, std::uint64_t&) {}
+};
+
+// Call-site helpers: register the slot once, then construct the scope.
+// Two-level concat so __LINE__ expands before pasting.
+//
+//   MECC_PROF_SCOPE("sim", "run_period");
+//   MECC_PROF_SAMPLED_SCOPE("memctrl", "tick");
+#define MECC_PROF_CONCAT_INNER(a, b) a##b
+#define MECC_PROF_CONCAT(a, b) MECC_PROF_CONCAT_INNER(a, b)
+
+#define MECC_PROF_SCOPE(component, phase)                                  \
+  static const std::size_t MECC_PROF_CONCAT(mecc_prof_slot_, __LINE__) =   \
+      ::mecc::prof::HostProfiler::instance().slot(component, phase);       \
+  ::mecc::prof::ScopedTimer MECC_PROF_CONCAT(mecc_prof_timer_, __LINE__)(  \
+      MECC_PROF_CONCAT(mecc_prof_slot_, __LINE__))
+
+#define MECC_PROF_SAMPLED_SCOPE(component, phase)                          \
+  static const std::size_t MECC_PROF_CONCAT(mecc_prof_slot_, __LINE__) =   \
+      ::mecc::prof::HostProfiler::instance().slot(component, phase);       \
+  static thread_local std::uint64_t MECC_PROF_CONCAT(mecc_prof_count_,     \
+                                                     __LINE__) = 0;        \
+  ::mecc::prof::SampledScopedTimer MECC_PROF_CONCAT(mecc_prof_timer_,      \
+                                                    __LINE__)(             \
+      MECC_PROF_CONCAT(mecc_prof_slot_, __LINE__),                         \
+      MECC_PROF_CONCAT(mecc_prof_count_, __LINE__))
+
+}  // namespace mecc::prof

@@ -99,6 +99,15 @@ void Tracer::push(const TraceEvent& e) {
   ++dropped_;
 }
 
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
 std::string Tracer::json() const {
   // Chronological append order (ring start at head_), then a stable sort
   // by timestamp: 'X' complete events are recorded at span *end* with an

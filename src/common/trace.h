@@ -144,6 +144,12 @@ class Tracer {
   /// equal event streams serialize to equal bytes.
   [[nodiscard]] std::string json() const;
 
+  /// The retained events in chronological append order (ring unrolled
+  /// from the oldest retained event). The counter-audit layer
+  /// (sim/stat_audit.h) replays these against StatRegistry snapshots;
+  /// audits require dropped() == 0 to see the complete stream.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
   /// Writes json() to `path` ("-" = stdout). False with a stderr
   /// diagnostic when the file cannot be written.
   [[nodiscard]] bool write(const std::string& path) const;

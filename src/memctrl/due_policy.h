@@ -53,11 +53,21 @@ class DuePolicy {
   void on_ce(std::size_t bits) {
     stats_.add("ce");
     stats_.add("ce_bits", bits);
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::kDue, tracing::kTrackErrors, "ce",
+                       tracer_->now(), "bits", bits);
+    }
   }
 
   /// A decode returned data that failed an integrity check (shadow
   /// campaigns only; real hardware cannot see these).
-  void on_silent_corruption() { stats_.add("silent"); }
+  void on_silent_corruption() {
+    stats_.add("silent");
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::kDue, tracing::kTrackErrors,
+                       "silent", tracer_->now());
+    }
+  }
 
   /// A decode reported uncorrectable.
   void on_due() {
@@ -72,6 +82,11 @@ class DuePolicy {
   void on_retry(bool success) {
     stats_.add("retries");
     if (success) stats_.add("retry_success");
+    if (tracer_ != nullptr) {
+      tracer_->instant(tracing::Category::kDue, tracing::kTrackErrors,
+                       "retry", tracer_->now(), "success",
+                       success ? 1u : 0u);
+    }
   }
 
   /// Retries are exhausted and the DUE stands: climb the ladder one

@@ -16,7 +16,9 @@
 
 #include "common/fsio.h"
 #include "common/json.h"
+#include "common/profile.h"
 #include "power/power_model.h"
+#include "sim/telemetry.h"
 #include "reliability/failure_analysis.h"
 #include "reliability/retention_model.h"
 
@@ -528,7 +530,9 @@ DeviceResult simulate_device(const FleetConfig& cfg,
 
 ShardResult run_shard(
     const FleetConfig& cfg, std::uint64_t shard,
-    const std::function<void(std::uint64_t devices_done)>& progress) {
+    const std::function<void(std::uint64_t devices_done,
+                             const ShardResult& partial)>& progress) {
+  MECC_PROF_SCOPE("fleet", "shard");
   ShardResult r;
   r.shard = shard;
   r.digest = fnv1a(kFnvBasis, shard);
@@ -549,10 +553,10 @@ ShardResult run_shard(
     r.digest = fnv1a(r.digest, double_bits(d.energy_mj_per_day));
     r.digest = fnv1a(r.digest, double_bits(d.due_per_year));
     if (progress && ((device - begin) & 255u) == 255u) {
-      progress(device - begin + 1);
+      progress(device - begin + 1, r);
     }
   }
-  if (progress) progress(end - begin);
+  if (progress) progress(end - begin, r);
   return r;
 }
 
@@ -602,6 +606,18 @@ bool parse_shard_result(const std::string& doc, ShardResult* r) {
   }
   parsed.energy_mj_per_day_sum = bits_double(energy_sum_bits);
   *r = std::move(parsed);
+  return true;
+}
+
+bool heartbeat_advanced(bool read_ok, const std::string& value,
+                        std::string* last_value) {
+  // A failed or empty read is a worker mid-rewrite (truncate-write) or
+  // not yet started — no evidence either way, so leave *last_value
+  // alone; otherwise the stored "" would make the next real value look
+  // like progress even from a genuinely hung worker.
+  if (!read_ok || value.empty()) return false;
+  if (value == *last_value) return false;
+  *last_value = value;
   return true;
 }
 
@@ -847,6 +863,9 @@ bool Orchestrator::spawn_worker(const PendingShard& p, Running* out) {
   if (!cfg_.selftest.empty()) {
     args.push_back("--fleet-selftest=" + cfg_.selftest);
   }
+  if (cfg_.dashboard || !cfg_.telemetry_out.empty()) {
+    args.push_back("--fleet-progress=1");
+  }
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (auto& a : args) argv.push_back(a.data());
@@ -967,6 +986,36 @@ CampaignOutcome Orchestrator::run() {
     pending_.push_back({s, attempts_.count(s) ? attempts_[s] : 0u, 0.0});
   }
 
+  // Live telemetry hub (docs/OBSERVABILITY.md): purely observational —
+  // it tails the worker progress streams and writes its own feed file /
+  // stderr dashboard, so checkpoints and the aggregate stay untouched.
+  TelemetryHub hub(TelemetryHub::Config{cfg_.state_dir, cfg_.telemetry_out,
+                                        cfg_.dashboard,
+                                        cfg_.telemetry_interval_s,
+                                        cfg_.devices, shards_});
+  auto publish = [&](bool final_snapshot) {
+    TelemetryHub::CompletedAggregate agg;
+    agg.shards_done = done_.size();
+    agg.shards_degraded = degraded_.size();
+    QuantileSketch due_rate;
+    QuantileSketch energy;
+    for (const auto& [shard, r] : done_) {
+      agg.devices_done += r.devices;
+      agg.due_events += r.due_events;
+      agg.ce_events += r.ce_events;
+      agg.energy_mj_per_day_sum += r.energy_mj_per_day_sum;
+      due_rate.merge(r.due_rate);
+      energy.merge(r.energy);
+    }
+    agg.due_rate = &due_rate;
+    agg.energy = &energy;
+    agg.retries = retries_;
+    agg.workers_crashed = crashed_;
+    hub.publish(mono_s(), agg, running_.size(), pending_.size(),
+                final_snapshot);
+  };
+
+  MECC_PROF_SCOPE("fleet", "supervise");
   while (done_.size() + degraded_.size() < shards_) {
     if (cfg_.interrupt != nullptr && *cfg_.interrupt != 0) {
       finish_interrupted(static_cast<int>(*cfg_.interrupt), &out);
@@ -1005,9 +1054,8 @@ CampaignOutcome Orchestrator::run() {
         // advancing, "slow" when the heartbeat still moves — only the
         // former is killed before the hard deadline.
         std::string hb;
-        if (read_file(heartbeat_file(r.shard), &hb) &&
-            hb != r.last_hb_value) {
-          r.last_hb_value = hb;
+        const bool ok = read_file(heartbeat_file(r.shard), &hb);
+        if (heartbeat_advanced(ok, hb, &r.last_hb_value)) {
           r.last_hb_time = now;
         }
         const bool hung = now - r.last_hb_time > cfg_.heartbeat_timeout_s;
@@ -1024,6 +1072,7 @@ CampaignOutcome Orchestrator::run() {
           }
           record_failure(r.shard, r.attempt,
                          hung ? "heartbeat stopped" : "deadline exceeded");
+          hub.retire_shard(r.shard);
           running_.erase(running_.begin() +
                          static_cast<std::ptrdiff_t>(i));
           continue;
@@ -1034,6 +1083,12 @@ CampaignOutcome Orchestrator::run() {
       // Exited (or waitpid failed, which we treat as a lost worker).
       const std::uint64_t shard = r.shard;
       const unsigned attempt = r.attempt;
+      // Pick up any progress records the worker appended right before
+      // exiting, then drop its live partial: its contribution now comes
+      // from done_/degraded accounting (the monotone clamp in the hub
+      // keeps the published device count from stepping backwards).
+      hub.poll_shard(shard);
+      hub.retire_shard(shard);
       running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
       if (got < 0 || (WIFSIGNALED(status) != 0)) {
         ++crashed_;
@@ -1073,8 +1128,13 @@ CampaignOutcome Orchestrator::run() {
         std::_Exit(137);
       }
     }
+    if (hub.enabled()) {
+      for (const auto& live : running_) hub.poll_shard(live.shard);
+      if (hub.due(mono_s())) publish(false);
+    }
     sleep_s(0.002);
   }
+  publish(true);
 
   fill_outcome(&out);
   out.completed = true;
@@ -1216,6 +1276,7 @@ int worker_main(int argc, char** argv) {
   FleetConfig cfg;
   std::uint64_t shard = ~0ull;
   std::uint64_t attempt = 0;
+  bool emit_progress = false;
   auto usage_error = [](const char* arg) {
     std::fprintf(stderr, "error: bad fleet worker argument '%s'\n", arg);
     return 2;
@@ -1271,6 +1332,10 @@ int worker_main(int argc, char** argv) {
       if (!parse_double_arg(v, &cfg.heartbeat_interval_s)) {
         return usage_error(arg);
       }
+    } else if (eat_prefix(arg, "--fleet-progress=", &v)) {
+      std::uint64_t flag = 0;
+      if (!parse_u64_arg(v, &flag)) return usage_error(arg);
+      emit_progress = flag != 0;
     } else if (eat_prefix(arg, "--fleet-selftest=", &v)) {
       cfg.selftest = v;
     } else if (eat_prefix(arg, "--fleet-", &v)) {
@@ -1329,13 +1394,38 @@ int worker_main(int argc, char** argv) {
     }
   }
 
+  // Telemetry progress stream (docs/OBSERVABILITY.md): one record at
+  // heartbeat cadence plus a final `done` record, each a single
+  // append_file() so the orchestrator's tailer never sees a torn line.
+  const std::uint64_t devices_in_shard =
+      shard_end(cfg, shard) - shard_begin(cfg, shard);
+  auto emit = [&](const ShardResult& partial, std::uint64_t devices_done,
+                  bool done) {
+    if (!emit_progress) return;
+    ShardProgress p;
+    p.shard = shard;
+    p.attempt = attempt;
+    p.devices_total = devices_in_shard;
+    p.devices_done = devices_done;
+    p.done = done;
+    p.due_events = partial.due_events;
+    p.ce_events = partial.ce_events;
+    p.energy_mj_per_day_sum = partial.energy_mj_per_day_sum;
+    p.due_rate = partial.due_rate;
+    p.energy = partial.energy;
+    (void)append_file(progress_file(cfg.state_dir, shard),
+                      progress_record_json(p) + "\n");
+  };
+
   double last_hb = mono_s();
   const ShardResult result =
-      run_shard(cfg, shard, [&](std::uint64_t) {
+      run_shard(cfg, shard, [&](std::uint64_t devices_done,
+                                const ShardResult& partial) {
         const double now = mono_s();
         if (now - last_hb >= cfg.heartbeat_interval_s) {
           last_hb = now;
           heartbeat();
+          emit(partial, devices_done, false);
         }
       });
   const std::string path =
@@ -1344,6 +1434,7 @@ int worker_main(int argc, char** argv) {
                          "fleet shard result")) {
     return 1;
   }
+  emit(result, devices_in_shard, true);
   return 0;
 }
 

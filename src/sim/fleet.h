@@ -129,6 +129,12 @@ struct FleetConfig {
   std::string worker_exe;        // "" = /proc/self/exe
   std::string selftest;          // failure-injection spec ("" = off)
   bool resume = false;           // require an existing manifest
+  /// Live telemetry (docs/OBSERVABILITY.md): strictly host-side — the
+  /// dashboard draws to stderr and the feed is its own JSONL file, so
+  /// neither can perturb the checkpoint or the aggregate bytes.
+  bool dashboard = false;           // in-terminal rolling dashboard
+  std::string telemetry_out;        // "" = no mecc-telemetry-v1 feed
+  double telemetry_interval_s = 0.5;  // min seconds between snapshots
   /// When set, the orchestrator polls this flag (a signal handler's
   /// sig_atomic_t) between supervision steps: nonzero -> kill workers,
   /// checkpoint, and return with exit_code = 128 + value.
@@ -178,16 +184,29 @@ struct ShardResult {
 };
 
 /// Computes shard `shard` in-process. `progress` (may be empty) is
-/// invoked every few hundred devices — the worker's heartbeat hook.
+/// invoked every few hundred devices with the device count completed so
+/// far and the shard's running partial aggregate — the worker's
+/// heartbeat and telemetry-stream hook.
 [[nodiscard]] ShardResult run_shard(
     const FleetConfig& cfg, std::uint64_t shard,
-    const std::function<void(std::uint64_t devices_done)>& progress = {});
+    const std::function<void(std::uint64_t devices_done,
+                             const ShardResult& partial)>& progress = {});
 
 /// Single-line compact JSON for a shard result / its exact inverse.
 /// parse_shard_result accepts exactly the serializer's output; anything
 /// else returns false and the orchestrator simply re-runs the shard.
 [[nodiscard]] std::string shard_result_json(const ShardResult& r);
 [[nodiscard]] bool parse_shard_result(const std::string& doc, ShardResult* r);
+
+/// Heartbeat-reader hardening (docs/FLEET.md): workers rewrite their
+/// heartbeat file with a plain truncate-write, so the supervisor can
+/// race it and read an empty or partially written value. Returns true
+/// (and updates *last_value) only on a successful, non-empty read that
+/// differs from the previous value — a failed/empty/truncated read is
+/// "no change", never progress, so a worker cannot dodge the hung
+/// watchdog by being observed mid-write.
+[[nodiscard]] bool heartbeat_advanced(bool read_ok, const std::string& value,
+                                      std::string* last_value);
 
 /// Everything the supervision run produced. Split in two: the
 /// *population aggregate* (deterministic, lands in the aggregate JSONL)

@@ -268,6 +268,14 @@ constexpr Setter kMetricsKeys{"--metrics-keys / MECC_METRICS_KEYS",
                               "a comma-separated stat-key list "
                               "(see --list-stats)"};
 
+constexpr Setter kProfile{"--profile / MECC_PROFILE",
+                          [](const std::string& v, SimOptions& o) {
+                            if (v.empty()) return false;
+                            o.profile = v;
+                            return true;
+                          },
+                          "a file path (or \"-\" for stdout)"};
+
 [[nodiscard]] std::vector<std::string> split_csv(const std::string& csv) {
   std::vector<std::string> out;
   std::size_t pos = 0;
@@ -395,6 +403,7 @@ std::optional<SimOptions> parse_options_checked(int argc, char** argv,
       {"MECC_METRICS_OUT", "--metrics-out=", kMetricsOut},
       {"MECC_METRICS_INTERVAL", "--metrics-interval=", kMetricsInterval},
       {"MECC_METRICS_KEYS", "--metrics-keys=", kMetricsKeys},
+      {"MECC_PROFILE", "--profile=", kProfile},
   };
 
   for (const auto& knob : knobs) {

@@ -60,13 +60,18 @@
 //                      `component.stat` keys or whole components);
 //                      default all keys. See --list-stats.
 //   --list-stats       dump every registered stat key and exit.
+//   --profile=FILE.json
+//                      host-side self-profiler report (component x phase
+//                      wall time + Perfetto host-time track,
+//                      docs/OBSERVABILITY.md); "-" for stdout. Omitted
+//                      (default) = profiler off, zero overhead.
 //   MECC_INSTRUCTIONS / MECC_SEED / MECC_JOBS / MECC_BER / MECC_OUT /
 //   MECC_PERF_OUT / MECC_FAST_FORWARD / MECC_REFRESH_POLICY /
 //   MECC_REFRESH_GRANULARITY / MECC_CHANNELS / MECC_RANKS /
 //   MECC_INTERLEAVE / MECC_STREAMS / MECC_CHANNEL_PARALLEL / MECC_TRACE /
 //   MECC_TRACE_CATEGORIES / MECC_TRACE_LIMIT / MECC_METRICS_OUT /
-//   MECC_METRICS_INTERVAL / MECC_METRICS_KEYS environment variables as
-//   fallbacks.
+//   MECC_METRICS_INTERVAL / MECC_METRICS_KEYS / MECC_PROFILE environment
+//   variables as fallbacks.
 //
 // Unknown flags are ignored (benches accept the google-benchmark flags
 // too), but a *recognized* flag with a malformed or out-of-range value
@@ -147,6 +152,9 @@ struct SimOptions {
   Cycle metrics_interval = 1'000'000;    // window length in CPU cycles
   std::string metrics_keys;      // stat-key selector csv ("" = all)
   bool list_stats = false;       // dump registered stat keys and exit
+  // Host-side self-profiler report destination ("" = profiler off);
+  // like --perf-out this is wall-clock data and never part of --out.
+  std::string profile;
 };
 
 /// Maps the refresh knobs onto a ControllerConfig: granularity first,

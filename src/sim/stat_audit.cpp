@@ -1,0 +1,324 @@
+#include "sim/stat_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/trace.h"
+#include "trace/benchmarks.h"
+
+namespace mecc::sim {
+
+namespace {
+
+// Aggregated view of one replayed trace: instant counts by
+// (category, name), power-span residency sums by state name, and the
+// queue-counter positive-edge sums (enqueue events).
+struct Replay {
+  std::map<std::pair<int, std::string>, std::uint64_t> instants;
+  std::map<std::string, std::uint64_t> power_span_cpu_cycles;
+  std::uint64_t read_q_enqueues = 0;
+  std::uint64_t write_q_enqueues = 0;
+};
+
+[[nodiscard]] Replay replay_events(
+    const std::vector<tracing::TraceEvent>& events) {
+  Replay rp;
+  // Queues start empty, so the first counter sample's positive delta is
+  // measured against 0.
+  std::int64_t last_read_q = 0;
+  std::int64_t last_write_q = 0;
+  for (const tracing::TraceEvent& e : events) {
+    switch (e.ph) {
+      case 'i':
+        ++rp.instants[{static_cast<int>(e.cat), e.name}];
+        break;
+      case 'X':
+        if (e.cat == tracing::Category::kPower) {
+          rp.power_span_cpu_cycles[e.name] += e.dur;
+        }
+        break;
+      case 'C': {
+        if (e.cat != tracing::Category::kQueue) break;
+        const auto cur = static_cast<std::int64_t>(std::llround(e.value));
+        if (std::string_view(e.name) == "read_q") {
+          if (cur > last_read_q) {
+            rp.read_q_enqueues += static_cast<std::uint64_t>(cur - last_read_q);
+          }
+          last_read_q = cur;
+        } else if (std::string_view(e.name) == "write_q") {
+          if (cur > last_write_q) {
+            rp.write_q_enqueues +=
+                static_cast<std::uint64_t>(cur - last_write_q);
+          }
+          last_write_q = cur;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return rp;
+}
+
+[[nodiscard]] std::uint64_t instant_count(const Replay& rp,
+                                          tracing::Category cat,
+                                          const char* name) {
+  const auto it = rp.instants.find({static_cast<int>(cat), name});
+  return it == rp.instants.end() ? 0 : it->second;
+}
+
+// Failure accumulation with the stat key in every message (the
+// self-test greps for the skewed key by name).
+struct Auditor {
+  AuditResult result;
+
+  void check_eq(const std::string& key, std::uint64_t stat_value,
+                std::uint64_t trace_value, const std::string& trace_what) {
+    ++result.checks;
+    if (stat_value == trace_value) return;
+    result.ok = false;
+    result.failures.push_back(
+        "stat '" + key + "' = " + std::to_string(stat_value) + " but " +
+        trace_what + " = " + std::to_string(trace_value));
+  }
+
+  void check_range(const std::string& key, std::uint64_t value,
+                   std::uint64_t lo, std::uint64_t hi,
+                   const std::string& what) {
+    ++result.checks;
+    if (value >= lo && value <= hi) return;
+    result.ok = false;
+    result.failures.push_back("'" + key + "': " + what + " = " +
+                              std::to_string(value) + " outside [" +
+                              std::to_string(lo) + ", " + std::to_string(hi) +
+                              "]");
+  }
+};
+
+// Sum of one per-channel counter over every channel component
+// ("dram.activates" single-channel, "dram.chK.activates" otherwise).
+// Rank-suffixed duplicates ("dram.r0.activates") are deliberately NOT
+// summed — they re-count the same commands per rank.
+[[nodiscard]] std::uint64_t sum_channels(const StatSet& snap,
+                                         const std::string& component,
+                                         std::uint32_t channels,
+                                         const std::string& stat) {
+  if (channels <= 1) return snap.counter(component + "." + stat);
+  std::uint64_t total = 0;
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    total += snap.counter(component + ".ch" + std::to_string(c) + "." + stat);
+  }
+  return total;
+}
+
+// Display key for the family: the literal key single-channel (so the
+// self-test failure names exactly the skewed key), the ch* pattern
+// otherwise.
+[[nodiscard]] std::string family_key(const std::string& component,
+                                     std::uint32_t channels,
+                                     const std::string& stat) {
+  return channels <= 1 ? component + "." + stat
+                       : component + ".ch*." + stat;
+}
+
+}  // namespace
+
+AuditResult audit_system_run(const AuditOptions& opts) {
+  SystemConfig cfg = opts.config;
+  // Force the drop-free in-memory tracer: the audit needs the COMPLETE
+  // event stream (a wrapped ring would fail every count), across every
+  // category it replays.
+  cfg.trace.enabled = true;
+  cfg.trace.path.clear();
+  cfg.trace.categories = tracing::kAllCategories;
+  cfg.trace.limit = std::max<std::uint64_t>(cfg.trace.limit, 1u << 22);
+  cfg.metrics.enabled = false;
+
+  const trace::BenchmarkProfile* profile = nullptr;
+  if (!opts.benchmark.empty()) {
+    profile = &trace::benchmark(opts.benchmark);
+  } else {
+    for (const trace::BenchmarkProfile& p : trace::all_benchmarks()) {
+      if (profile == nullptr || p.mpki > profile->mpki) profile = &p;
+    }
+  }
+
+  System sys(*profile, cfg);
+  // Full lifecycle: active -> idle (self-refresh entry/exit, fault
+  // injection) -> active again, then close the in-flight spans so the
+  // residency integral is complete up to the snapshot.
+  (void)sys.run_period(cfg.instructions);
+  (void)sys.idle_period(opts.idle_seconds);
+  (void)sys.run_period(cfg.instructions / 4 + 1);
+  sys.flush_observability();
+
+  Auditor a;
+  if (sys.tracer()->dropped() != 0) {
+    a.result.ok = false;
+    a.result.failures.push_back(
+        "trace ring dropped " + std::to_string(sys.tracer()->dropped()) +
+        " events ('trace.dropped_events' nonzero); the audit needs the "
+        "complete stream — raise the trace limit");
+    return std::move(a.result);
+  }
+
+  StatSet snap = sys.registry().snapshot();
+  if (!opts.skew_key.empty()) snap.add(opts.skew_key, 1);
+
+  const std::vector<tracing::TraceEvent> events = sys.tracer()->events();
+  const Replay rp = replay_events(events);
+  a.result.events_replayed = events.size();
+
+  const std::uint32_t channels = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(cfg.geometry.channels));
+  const std::uint32_t ranks =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(cfg.geometry.ranks));
+  using tracing::Category;
+
+  // ---- DRAM command stream vs. device counters (1:1 by design) ----
+  const struct {
+    const char* instant;
+    const char* stat;
+  } kDramPairs[] = {
+      {"ACT", "activates"}, {"RD", "reads"},      {"WR", "writes"},
+      {"PRE", "precharges"}, {"REF", "refreshes"}, {"REFB", "refreshes_pb"},
+  };
+  for (const auto& p : kDramPairs) {
+    a.check_eq(family_key("dram", channels, p.stat),
+               sum_channels(snap, "dram", channels, p.stat),
+               instant_count(rp, Category::kDram, p.instant),
+               std::string("the trace carries ") + p.instant + " instants");
+  }
+  // The controller-side issue counters must agree with the same command
+  // instants (the controller is the only REF/REFB issuer).
+  a.check_eq(family_key("memctrl", channels, "refreshes"),
+             sum_channels(snap, "memctrl", channels, "refreshes"),
+             instant_count(rp, Category::kDram, "REF"),
+             "the trace carries REF instants");
+  a.check_eq(family_key("memctrl", channels, "refreshes_pb"),
+             sum_channels(snap, "memctrl", channels, "refreshes_pb"),
+             instant_count(rp, Category::kDram, "REFB"),
+             "the trace carries REFB instants");
+
+  // ---- power management commands ----
+  // PD entry is controller-only, so it pairs exactly; PD *exit* can also
+  // come from the idle-entry drain (System wakes powered-down ranks
+  // directly), so the instants bound the counters from above, with the
+  // slack bounded by the rank population per idle period.
+  const std::uint64_t pde = instant_count(rp, Category::kDram, "PDE");
+  const std::uint64_t pdx = instant_count(rp, Category::kDram, "PDX");
+  a.check_eq(family_key("memctrl", channels, "pd_entries"),
+             sum_channels(snap, "memctrl", channels, "pd_entries"), pde,
+             "the trace carries PDE instants");
+  const std::uint64_t pd_exits_counted =
+      sum_channels(snap, "memctrl", channels, "pd_exits") +
+      sum_channels(snap, "memctrl", channels, "pd_exits_for_refresh");
+  a.check_range(family_key("memctrl", channels, "pd_exits"), pdx,
+                pd_exits_counted,
+                pd_exits_counted +
+                    static_cast<std::uint64_t>(channels) * ranks,
+                "PDX instants (counted exits + idle-entry direct exits)");
+  a.check_range(family_key("memctrl", channels, "pd_entries"), pde, pdx,
+                pdx + static_cast<std::uint64_t>(channels) * ranks,
+                "PDE instants (every entry exits or is still down)");
+  // Exactly one idle period: every channel enters and leaves self
+  // refresh exactly once.
+  a.check_eq("dram self-refresh entries (SRE)", channels,
+             instant_count(rp, Category::kDram, "SRE"),
+             "the trace carries SRE instants");
+  a.check_eq("dram self-refresh exits (SRX)", channels,
+             instant_count(rp, Category::kDram, "SRX"),
+             "the trace carries SRX instants");
+
+  // ---- queue-depth counter edges vs. enqueue counters ----
+  // Single-channel only: multiple controllers interleave on one counter
+  // track and the per-channel deltas become inseparable.
+  if (channels == 1) {
+    a.check_eq("memctrl.reads_enqueued",
+               snap.counter("memctrl.reads_enqueued"), rp.read_q_enqueues,
+               "the read_q counter edges sum to");
+    a.check_eq("memctrl.writes_enqueued",
+               snap.counter("memctrl.writes_enqueued"), rp.write_q_enqueues,
+               "the write_q counter edges sum to");
+  }
+
+  // ---- power-state residency spans vs. state_cycles counters ----
+  // Span durations are CPU cycles; state_cycles are memory cycles and
+  // accumulate once per RANK per elapsed cycle. Single-rank: exact
+  // per-state equality. Multi-rank: the channel-level span is exact for
+  // self_refresh (all ranks share it) and the grand total integrates to
+  // ranks x the span total; the per-state split differs whenever ranks
+  // disagree (one powered down, one active).
+  static constexpr const char* kStates[] = {
+      "precharge_standby", "active_standby", "precharge_power_down",
+      "active_power_down", "self_refresh"};
+  auto span_cycles = [&rp](const char* state) -> std::uint64_t {
+    const auto it = rp.power_span_cpu_cycles.find(state);
+    return it == rp.power_span_cpu_cycles.end() ? 0 : it->second;
+  };
+  if (ranks == 1) {
+    for (const char* s : kStates) {
+      const std::string stat = std::string("state_cycles.") + s;
+      a.check_eq(family_key("dram", channels, stat),
+                 sum_channels(snap, "dram", channels, stat) *
+                     kCpuCyclesPerMemCycle,
+                 span_cycles(s),
+                 std::string("the '") + s + "' residency spans sum to");
+    }
+  } else {
+    a.check_eq(family_key("dram", channels, "state_cycles.self_refresh"),
+               sum_channels(snap, "dram", channels,
+                            "state_cycles.self_refresh") *
+                   kCpuCyclesPerMemCycle,
+               span_cycles("self_refresh") * ranks,
+               "ranks x the self_refresh residency spans sum to");
+    std::uint64_t stat_total = 0;
+    std::uint64_t span_total = 0;
+    for (const char* s : kStates) {
+      stat_total +=
+          sum_channels(snap, "dram", channels, std::string("state_cycles.") + s);
+      span_total += span_cycles(s);
+    }
+    a.check_eq(family_key("dram", channels, "state_cycles.*"),
+               stat_total * kCpuCyclesPerMemCycle, span_total * ranks,
+               "ranks x the total residency spans sum to");
+  }
+
+  // ---- fault-campaign error instants vs. errors.* counters ----
+  // The errors component merges the shadow memory's counters with the
+  // DUE policy's; each side's instants are distinct (kInject shadow_*
+  // vs. kDue names), so the sums pair exactly. Audited unconditionally:
+  // without a fault campaign both sides must be zero, and a key that
+  // materializes with no matching instant is exactly the kind of
+  // miscount this layer exists to catch.
+  {
+    a.check_eq("errors.due", snap.counter("errors.due"),
+               instant_count(rp, Category::kInject, "shadow_due") +
+                   instant_count(rp, Category::kDue, "due"),
+               "the trace carries shadow_due + due instants");
+    a.check_eq("errors.ce", snap.counter("errors.ce"),
+               instant_count(rp, Category::kInject, "shadow_ce") +
+                   instant_count(rp, Category::kDue, "ce"),
+               "the trace carries shadow_ce + ce instants");
+    a.check_eq("errors.silent", snap.counter("errors.silent"),
+               instant_count(rp, Category::kInject, "silent_corruption") +
+                   instant_count(rp, Category::kDue, "silent"),
+               "the trace carries silent_corruption + silent instants");
+    a.check_eq("errors.retries", snap.counter("errors.retries"),
+               instant_count(rp, Category::kDue, "retry"),
+               "the trace carries retry instants");
+    a.check_eq("errors.injections", snap.counter("errors.injections"),
+               instant_count(rp, Category::kInject, "inject_retention"),
+               "the trace carries inject_retention instants");
+  }
+
+  return std::move(a.result);
+}
+
+}  // namespace mecc::sim

@@ -1,0 +1,57 @@
+// Counter-audit layer (docs/OBSERVABILITY.md): replays the event trace
+// of a finished System run against a StatRegistry snapshot and checks
+// that the two observability surfaces agree — every DRAM command
+// instant must match its counter bump 1:1, queue-depth counter edges
+// must sum to the enqueue counters, power-state residency spans must
+// integrate to the state_cycles counters, and fault-campaign error
+// instants must match the errors.* counters. A silent divergence
+// between the trace and the stats means one of them is lying about the
+// simulation; the audit turns that into a hard failure naming the key.
+//
+// The audit is strictly host-side: it builds its own System with the
+// in-memory tracer forced on, so it never perturbs a measurement run.
+// bench_stat_audit runs it over the policy x geometry matrix in tier 1;
+// AuditOptions::skew_key is the self-test hook (deliberately miscount
+// one stat; the audit must fail and name it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace mecc::sim {
+
+struct AuditOptions {
+  /// Simulation shape to audit. Trace settings are overridden (the
+  /// audit forces an in-memory, all-category, drop-free tracer);
+  /// everything else — policy, geometry, refresh scheduling, fault
+  /// campaign, fast_forward — is audited as configured.
+  SystemConfig config{};
+  /// Benchmark profile name (trace::benchmark); "" picks the
+  /// highest-MPKI profile so the trace has dense command traffic.
+  std::string benchmark;
+  /// Idle-period length between the two active periods, so the audit
+  /// covers the self-refresh entry/exit path and (for fault campaigns)
+  /// the retention-injection instants.
+  double idle_seconds = 0.02;
+  /// Self-test fault injection: add +1 to this snapshot key before
+  /// checking, so the audit MUST fail and its failure message MUST
+  /// contain this key ("" = no injection).
+  std::string skew_key;
+};
+
+struct AuditResult {
+  bool ok = true;
+  /// Human-readable inconsistencies, each naming the stat key involved.
+  std::vector<std::string> failures;
+  std::uint64_t checks = 0;           // invariants evaluated
+  std::uint64_t events_replayed = 0;  // trace events consumed
+};
+
+/// Runs one active/idle/active lifecycle under `opts` and audits the
+/// trace against the final stats snapshot. See AuditResult.
+[[nodiscard]] AuditResult audit_system_run(const AuditOptions& opts);
+
+}  // namespace mecc::sim

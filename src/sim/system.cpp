@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <iostream>
+#include <type_traits>
 
+#include "common/profile.h"
 #include "trace/file_trace.h"
 
 namespace mecc::sim {
@@ -205,9 +208,19 @@ void System::register_stats() {
   }
   for (std::size_t k = 0; k < sources_.size(); ++k) {
     trace::TraceSource* src = sources_[k].get();
+    // The first trace component additionally surfaces the tracer's
+    // ring-buffer drop count as trace.dropped_events (nonzero only, so
+    // healthy snapshots keep the committed reference key set): a
+    // truncated trace must never be mistaken for a complete one.
+    const bool carries_drop_count = k == 0;
     registry_.register_component(
         multi_core ? "trace.c" + std::to_string(k) : std::string("trace"),
-        [src](StatSet& s) { src->export_stats(s); });
+        [src, carries_drop_count, this](StatSet& s) {
+          src->export_stats(s);
+          if (carries_drop_count && tracer_ && tracer_->dropped() > 0) {
+            s.add("dropped_events", tracer_->dropped());
+          }
+        });
   }
   if (engine_) {
     registry_.register_component(
@@ -242,21 +255,37 @@ void System::register_stats() {
   });
 }
 
+void System::flush_observability() {
+  // Close the in-flight device spans (row_open, power-state residency)
+  // at the current cycle so the trace is complete up to now_. The
+  // counter-audit layer calls this before reading tracer()->events();
+  // the destructor calls it again before writing files (a second flush
+  // only re-closes spans still open since this call).
+  for (auto& ch : channels_) {
+    ch->device.flush_trace(now_ / kCpuCyclesPerMemCycle);
+  }
+  if (tracer_) tracer_->set_now(now_);
+}
+
 System::~System() {
   if (!tracer_ && !metrics_) return;
   // Close the in-flight device spans first so the final metrics sample
   // sees any resulting ring drops, then take the end-of-run edge sample
   // and write the output files.
-  for (auto& ch : channels_) {
-    ch->device.flush_trace(now_ / kCpuCyclesPerMemCycle);
-  }
-  if (tracer_) tracer_->set_now(now_);
+  flush_observability();
   if (metrics_) metrics_->sample(now_, "final");
   if (tracer_ && !config_.trace.path.empty()) {
     (void)tracer_->write(config_.trace.path);
   }
   if (metrics_ && !config_.metrics.path.empty()) {
     (void)metrics_->write(config_.metrics.path);
+  }
+  if (tracer_ && tracer_->dropped() > 0) {
+    std::fprintf(stderr,
+                 "warning: trace ring dropped %llu events "
+                 "(trace.dropped_events); the trace is truncated — raise "
+                 "--trace-limit for a complete stream\n",
+                 static_cast<unsigned long long>(tracer_->dropped()));
   }
 }
 
@@ -453,8 +482,18 @@ bool System::try_channel_span() {
   return true;
 }
 
-template <bool kObserved>
+template <bool kObserved, bool kProfiled>
 void System::fast_forward_active(InstCount inst_boundary) {
+  // Host-profiler attribution of the bound fold (docs/OBSERVABILITY.md):
+  // sampled, and only in the profiled instantiations — the others
+  // compile this to nothing (profiler-on runs are routed to a
+  // kProfiled loop by run_period).
+  static const std::size_t prof_slot =
+      prof::HostProfiler::instance().slot("sim", "ff_bound");
+  static thread_local std::uint64_t prof_calls = 0;
+  std::conditional_t<kProfiled, prof::SampledScopedTimer,
+                     prof::NullScopedTimer>
+      prof_scope(prof_slot, prof_calls);
   // A crossing is already pending (duplicate checkpoint thresholds):
   // leave this iteration fully to the per-cycle loop.
   if (inst_boundary <= total_retired()) return;
@@ -586,7 +625,7 @@ void System::fast_forward_active(InstCount inst_boundary) {
   for (auto& ch : channels_) ch->controller.skip_ticks(skipped);
 }
 
-template <bool kObserved>
+template <bool kObserved, bool kProfiled>
 void System::active_loop(InstCount target,
                          const std::vector<InstCount>& checkpoints,
                          std::size_t& next_cp, InstCount snap_retired,
@@ -605,7 +644,7 @@ void System::active_loop(InstCount target,
       if (next_cp < checkpoints.size()) {
         boundary = std::min(boundary, snap_retired + checkpoints[next_cp]);
       }
-      fast_forward_active<kObserved>(boundary);
+      fast_forward_active<kObserved, kProfiled>(boundary);
     }
     ++now_;
     const Cycle cycle = now_;
@@ -659,7 +698,17 @@ void System::active_loop(InstCount target,
           ch.controller.skip_ticks(1);
           continue;
         }
-        ch.controller.tick(mem_now);
+        {
+          // Sampled host-time attribution of the controller tick, in
+          // the profiled instantiations only (same seam as ff_bound).
+          static const std::size_t prof_slot =
+              prof::HostProfiler::instance().slot("memctrl", "tick");
+          static thread_local std::uint64_t prof_calls = 0;
+          std::conditional_t<kProfiled, prof::SampledScopedTimer,
+                             prof::NullScopedTimer>
+              prof_scope(prof_slot, prof_calls);
+          ch.controller.tick(mem_now);
+        }
         if (ch.controller.has_in_flight()) {
           for (const auto& c : ch.controller.collect_completions(mem_now)) {
             handle_completion(c, cycle);
@@ -693,6 +742,7 @@ void System::active_loop(InstCount target,
 }
 
 RunResult System::run_period(InstCount instructions) {
+  MECC_PROF_SCOPE("sim", "run_period");
   RunResult r;
   r.benchmark = std::string(profile_.name);
   r.policy = config_.policy;
@@ -726,12 +776,26 @@ RunResult System::run_period(InstCount instructions) {
   std::size_t next_cp = 0;
 
   const InstCount target = snap.retired + instructions;
+  // Four instantiations: observability (tracer/metrics) and the
+  // self-profiler select independently, so a --profile run without a
+  // tracer keeps the lean loop plus sampled scopes (docs/PERFORMANCE.md
+  // overhead budget). All four produce identical simulated state, so
+  // --out stays byte-equal.
+  const bool profiled = prof::HostProfiler::enabled();
   if (tracer_ || metrics_) {
-    active_loop<true>(target, checkpoints, next_cp, snap.retired, r,
-                      period_begin);
+    if (profiled) {
+      active_loop<true, true>(target, checkpoints, next_cp, snap.retired, r,
+                              period_begin);
+    } else {
+      active_loop<true, false>(target, checkpoints, next_cp, snap.retired, r,
+                               period_begin);
+    }
+  } else if (profiled) {
+    active_loop<false, true>(target, checkpoints, next_cp, snap.retired, r,
+                             period_begin);
   } else {
-    active_loop<false>(target, checkpoints, next_cp, snap.retired, r,
-                       period_begin);
+    active_loop<false, false>(target, checkpoints, next_cp, snap.retired, r,
+                              period_begin);
   }
 
   const Cycle period_cycles = now_ - period_begin;
@@ -832,6 +896,7 @@ RunResult System::run_period(InstCount instructions) {
 }
 
 IdleReport System::idle_period(double seconds) {
+  MECC_PROF_SCOPE("sim", "idle_period");
   IdleReport rep;
   rep.idle_seconds = seconds;
 
@@ -904,7 +969,12 @@ IdleReport System::idle_period(double seconds) {
     rep.lines_upgraded = up.lines_upgraded;
     rep.upgrade_seconds = up.upgrade_seconds;
     now_ += up.upgrade_cycles;
-    if (shadow_) shadow_->upgrade_all();  // functional ECC-Upgrade mirror
+    if (shadow_) {
+      // Functional ECC-Upgrade mirror: the codec batch walk is the
+      // dominant cold host cost, so it gets its own profile phase.
+      MECC_PROF_SCOPE("mecc", "codec_batch");
+      shadow_->upgrade_all();
+    }
     divider = engine_->idle_refresh_divider();  // 1 once degraded
   } else if (config_.policy == EccPolicy::kEcc6) {
     // Always-strong systems also sleep at 1 s — unless the DUE ladder

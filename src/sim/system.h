@@ -257,6 +257,12 @@ class System {
   /// destruction; tests can read jsonl() any time.
   [[nodiscard]] tracing::MetricsSampler* metrics() { return metrics_.get(); }
 
+  /// Closes the in-flight trace spans (row_open, power-state residency)
+  /// at the current cycle. The counter-audit layer (sim/stat_audit.h)
+  /// calls this before replaying tracer()->events() against a stats
+  /// snapshot; a no-op without a tracer. Idempotent at a fixed cycle.
+  void flush_observability();
+
  private:
   struct PendingData {
     Cycle ready = 0;
@@ -332,16 +338,21 @@ class System {
   /// checkpoint crossing) the skip must stay strictly below, so those
   /// crossings still happen under per-cycle control. kObserved mirrors
   /// active_loop's: only the observed instantiation folds the metrics
-  /// window boundary into the skip bound.
-  template <bool kObserved>
+  /// window boundary into the skip bound; kProfiled adds the sampled
+  /// host-time scope.
+  template <bool kObserved, bool kProfiled>
   void fast_forward_active(InstCount inst_boundary);
-  /// The run_period inner loop, compiled twice: kObserved=true carries
-  /// the tracer clock, windowed metrics samples and the per-cycle
-  /// refresh-divider sync (mode-independent trace stamps); the
-  /// kObserved=false instantiation is statically free of all of it —
-  /// the zero-cost-when-off contract in docs/OBSERVABILITY.md is held
-  /// by the compiler, not by per-cycle null checks.
-  template <bool kObserved>
+  /// The run_period inner loop, compiled per (kObserved, kProfiled):
+  /// kObserved=true carries the tracer clock, windowed metrics samples
+  /// and the per-cycle refresh-divider sync (mode-independent trace
+  /// stamps); kProfiled=true carries only the self-profiler's sampled
+  /// scopes, so a --profile run without a tracer/metrics sink keeps the
+  /// lean loop (per-cycle observability checks and the 8x-denser
+  /// divider sync would dwarf the scopes' own cost). The <false, false>
+  /// instantiation is statically free of all of it — the
+  /// zero-cost-when-off contract in docs/OBSERVABILITY.md is held by
+  /// the compiler, not by per-cycle null checks.
+  template <bool kObserved, bool kProfiled>
   void active_loop(InstCount target, const std::vector<InstCount>& checkpoints,
                    std::size_t& next_cp, InstCount snap_retired, RunResult& r,
                    Cycle period_begin);

@@ -1,0 +1,443 @@
+#include "sim/telemetry.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/fsio.h"
+#include "common/json.h"
+
+namespace mecc::sim::fleet {
+
+namespace {
+
+void sketch_json(JsonWriter& w, const QuantileSketch& s) {
+  w.begin_object();
+  w.key("count");
+  w.value(s.count());
+  w.key("sum");
+  w.value(s.sum());
+  w.key("min");
+  w.value(s.min());
+  w.key("max");
+  w.value(s.max());
+  w.key("b");
+  w.begin_array();
+  for (const auto& [index, n] : s.buckets()) {
+    w.begin_array();
+    w.value(static_cast<std::int64_t>(index));
+    w.value(n);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+/// Position just past "\"key\":" in doc, from `from`; npos when absent.
+[[nodiscard]] std::size_t find_key(const std::string& doc,
+                                   const std::string& key,
+                                   std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = doc.find(needle, from);
+  return pos == std::string::npos ? std::string::npos : pos + needle.size();
+}
+
+[[nodiscard]] bool scan_u64(const std::string& doc, const std::string& key,
+                            std::uint64_t* out, std::size_t from = 0) {
+  const std::size_t pos = find_key(doc, key, from);
+  if (pos == std::string::npos) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(doc.c_str() + pos, &end, 10);
+  if (end == doc.c_str() + pos || errno != 0) return false;
+  *out = v;
+  return true;
+}
+
+[[nodiscard]] bool scan_double(const std::string& doc, const std::string& key,
+                               double* out, std::size_t from = 0) {
+  const std::size_t pos = find_key(doc, key, from);
+  if (pos == std::string::npos) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(doc.c_str() + pos, &end);
+  if (end == doc.c_str() + pos || errno != 0) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses the sketch object serialized by sketch_json at "key": {...}.
+/// Sketch objects contain no nested objects, so the first '}' after the
+/// key closes it.
+[[nodiscard]] bool scan_sketch(const std::string& doc, const std::string& key,
+                               QuantileSketch* out, std::size_t from = 0) {
+  const std::size_t pos = find_key(doc, key, from);
+  if (pos == std::string::npos) return false;
+  const std::size_t close = doc.find('}', pos);
+  if (close == std::string::npos) return false;
+  const std::string obj = doc.substr(pos, close - pos + 1);
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  if (!scan_u64(obj, "count", &count) || !scan_double(obj, "sum", &sum) ||
+      !scan_double(obj, "min", &min) || !scan_double(obj, "max", &max)) {
+    return false;
+  }
+  std::size_t p = find_key(obj, "b");
+  if (p == std::string::npos || p >= obj.size() || obj[p] != '[') {
+    return false;
+  }
+  ++p;  // past the outer '['
+  std::map<std::int32_t, std::uint64_t> buckets;
+  while (p < obj.size() && obj[p] != ']') {
+    if (obj[p] == ',') {
+      ++p;
+      continue;
+    }
+    if (obj[p] != '[') return false;
+    ++p;
+    errno = 0;
+    char* end = nullptr;
+    const long idx = std::strtol(obj.c_str() + p, &end, 10);
+    if (end == obj.c_str() + p || errno != 0) return false;
+    p = static_cast<std::size_t>(end - obj.c_str());
+    if (p >= obj.size() || obj[p] != ',') return false;
+    ++p;
+    const unsigned long long n = std::strtoull(obj.c_str() + p, &end, 10);
+    if (end == obj.c_str() + p || errno != 0) return false;
+    p = static_cast<std::size_t>(end - obj.c_str());
+    if (p >= obj.size() || obj[p] != ']') return false;
+    ++p;
+    buckets[static_cast<std::int32_t>(idx)] = n;
+  }
+  if (p >= obj.size()) return false;
+  out->restore(buckets, count, sum, min, max);
+  return true;
+}
+
+}  // namespace
+
+std::string progress_file(const std::string& state_dir, std::uint64_t shard) {
+  return state_dir + "/progress_" + std::to_string(shard) + ".jsonl";
+}
+
+std::string progress_record_json(const ShardProgress& p) {
+  JsonWriter w(-1);
+  w.begin_object();
+  w.key("schema");
+  w.value(kProgressSchema);
+  w.key("shard");
+  w.value(p.shard);
+  w.key("attempt");
+  w.value(p.attempt);
+  w.key("devices_total");
+  w.value(p.devices_total);
+  w.key("devices_done");
+  w.value(p.devices_done);
+  w.key("done");
+  w.value(std::uint64_t{p.done ? 1u : 0u});
+  w.key("due_events");
+  w.value(p.due_events);
+  w.key("ce_events");
+  w.value(p.ce_events);
+  w.key("energy_sum");
+  w.value(p.energy_mj_per_day_sum);
+  w.key("due_rate");
+  sketch_json(w, p.due_rate);
+  w.key("energy");
+  sketch_json(w, p.energy);
+  w.end_object();
+  return w.str();
+}
+
+bool parse_progress_record(const std::string& line, ShardProgress* out) {
+  if (line.find(std::string("\"schema\":\"") + kProgressSchema + "\"") ==
+      std::string::npos) {
+    return false;
+  }
+  ShardProgress p;
+  std::uint64_t done = 0;
+  if (!scan_u64(line, "shard", &p.shard) ||
+      !scan_u64(line, "attempt", &p.attempt) ||
+      !scan_u64(line, "devices_total", &p.devices_total) ||
+      !scan_u64(line, "devices_done", &p.devices_done) ||
+      !scan_u64(line, "done", &done) ||
+      !scan_u64(line, "due_events", &p.due_events) ||
+      !scan_u64(line, "ce_events", &p.ce_events) ||
+      !scan_double(line, "energy_sum", &p.energy_mj_per_day_sum) ||
+      !scan_sketch(line, "due_rate", &p.due_rate) ||
+      !scan_sketch(line, "energy", &p.energy)) {
+    return false;
+  }
+  p.done = done != 0;
+  // Accept exactly the serializer's output, nothing weaker: the scans
+  // above locate fields by key, so a truncation that drops only the
+  // record's closing brace would still scan clean. Doubles print
+  // %.17g (round-trip exact), so re-serializing the parsed record
+  // reproduces an untorn line byte for byte.
+  if (progress_record_json(p) != line) return false;
+  *out = std::move(p);
+  return true;
+}
+
+std::vector<std::string> ProgressTailer::poll() {
+  std::vector<std::string> lines;
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return lines;
+  char buf[1 << 14];
+  for (;;) {
+    const ssize_t n = ::pread(fd, buf, sizeof buf,
+                              static_cast<off_t>(offset_));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    offset_ += static_cast<std::uint64_t>(n);
+    partial_.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = partial_.find('\n', start);
+    if (nl == std::string::npos) break;
+    lines.push_back(partial_.substr(start, nl - start));
+    start = nl + 1;
+  }
+  partial_.erase(0, start);
+  return lines;
+}
+
+std::string snapshot_json(const FleetSnapshot& s) {
+  JsonWriter w(-1);
+  w.begin_object();
+  w.key("schema");
+  w.value(kTelemetrySchema);
+  w.key("t_s");
+  w.value(s.t_s);
+  w.key("devices_total");
+  w.value(s.devices_total);
+  w.key("devices_done");
+  w.value(s.devices_done);
+  w.key("shards_total");
+  w.value(s.shards_total);
+  w.key("shards_done");
+  w.value(s.shards_done);
+  w.key("shards_degraded");
+  w.value(s.shards_degraded);
+  w.key("shards_running");
+  w.value(s.shards_running);
+  w.key("shards_pending");
+  w.value(s.shards_pending);
+  w.key("coverage");
+  w.value(s.coverage);
+  w.key("throughput_devices_per_s");
+  w.value(s.throughput_devices_per_s);
+  w.key("eta_s");
+  w.value(s.eta_s);
+  w.key("due_events");
+  w.value(s.due_events);
+  w.key("ce_events");
+  w.value(s.ce_events);
+  w.key("energy_mj_per_day_sum");
+  w.value(s.energy_mj_per_day_sum);
+  w.key("sample_count");
+  w.value(s.due_rate.count());
+  w.key("due_per_year_p50");
+  w.value(s.due_rate.quantile(0.50));
+  w.key("due_per_year_p99");
+  w.value(s.due_rate.quantile(0.99));
+  w.key("due_per_year_p999");
+  w.value(s.due_rate.quantile(0.999));
+  w.key("energy_mj_per_day_p50");
+  w.value(s.energy.quantile(0.50));
+  w.key("energy_mj_per_day_p99");
+  w.value(s.energy.quantile(0.99));
+  w.key("retries");
+  w.value(s.retries);
+  w.key("workers_crashed");
+  w.value(s.workers_crashed);
+  w.key("final");
+  w.value(s.final_snapshot);
+  w.end_object();
+  return w.str();
+}
+
+std::string render_dashboard(const FleetSnapshot& s) {
+  char line[256];
+  std::string out;
+  const double device_frac =
+      s.devices_total == 0
+          ? 0.0
+          : static_cast<double>(s.devices_done) /
+                static_cast<double>(s.devices_total);
+  constexpr int kBarWidth = 24;
+  const int filled = static_cast<int>(device_frac * kBarWidth + 0.5);
+  std::string bar;
+  for (int i = 0; i < kBarWidth; ++i) bar += i < filled ? '#' : '.';
+  std::snprintf(line, sizeof line,
+                "mecc fleet  [%s] %5.1f%%  %llu/%llu devices%s\n",
+                bar.c_str(), 100.0 * device_frac,
+                static_cast<unsigned long long>(s.devices_done),
+                static_cast<unsigned long long>(s.devices_total),
+                s.final_snapshot ? "  (final)" : "");
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  shards %llu/%llu done, %llu running, %llu pending, "
+                "%llu degraded | retries %llu, crashed %llu\n",
+                static_cast<unsigned long long>(s.shards_done),
+                static_cast<unsigned long long>(s.shards_total),
+                static_cast<unsigned long long>(s.shards_running),
+                static_cast<unsigned long long>(s.shards_pending),
+                static_cast<unsigned long long>(s.shards_degraded),
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.workers_crashed));
+  out += line;
+  if (s.eta_s >= 0.0) {
+    std::snprintf(line, sizeof line,
+                  "  %.0f devices/s | eta %.1fs | elapsed %.1fs | due %llu "
+                  "(p99 %.3g/yr) | ce %llu\n",
+                  s.throughput_devices_per_s, s.eta_s, s.t_s,
+                  static_cast<unsigned long long>(s.due_events),
+                  s.due_rate.quantile(0.99),
+                  static_cast<unsigned long long>(s.ce_events));
+  } else {
+    std::snprintf(line, sizeof line,
+                  "  warming up | elapsed %.1fs | due %llu | ce %llu\n",
+                  s.t_s, static_cast<unsigned long long>(s.due_events),
+                  static_cast<unsigned long long>(s.ce_events));
+  }
+  out += line;
+  return out;
+}
+
+void TelemetryHub::poll_shard(std::uint64_t shard) {
+  if (!enabled()) return;
+  auto [it, inserted] = tailers_.try_emplace(
+      shard, ProgressTailer(progress_file(cfg_.state_dir, shard)));
+  for (const std::string& line : it->second.poll()) {
+    ShardProgress p;
+    if (!parse_progress_record(line, &p) || p.shard != shard) continue;
+    ShardProgress& slot = live_[shard];
+    // Attempts are ordered: a newer attempt always replaces the slot
+    // (its walk restarted, so a lower devices_done is legitimate), the
+    // same attempt only ever advances, and a killed attempt's record
+    // that flushes late is ignored outright — it describes work the
+    // retry has already replaced.
+    if (p.attempt > slot.attempt ||
+        (p.attempt == slot.attempt && p.devices_done >= slot.devices_done)) {
+      slot = std::move(p);
+    }
+  }
+}
+
+void TelemetryHub::retire_shard(std::uint64_t shard) { live_.erase(shard); }
+
+void TelemetryHub::publish(double now_s, const CompletedAggregate& done,
+                           std::uint64_t shards_running,
+                           std::uint64_t shards_pending,
+                           bool final_snapshot) {
+  if (!enabled()) return;
+  if (start_s_ < 0.0) start_s_ = now_s;
+  FleetSnapshot s;
+  s.t_s = now_s - start_s_;
+  s.devices_total = cfg_.devices_total;
+  s.shards_total = cfg_.shards_total;
+  s.shards_done = done.shards_done;
+  s.shards_degraded = done.shards_degraded;
+  s.shards_running = shards_running;
+  s.shards_pending = shards_pending;
+  s.coverage = cfg_.shards_total == 0
+                   ? 0.0
+                   : static_cast<double>(done.shards_done) /
+                         static_cast<double>(cfg_.shards_total);
+  s.due_events = done.due_events;
+  s.ce_events = done.ce_events;
+  s.energy_mj_per_day_sum = done.energy_mj_per_day_sum;
+  s.retries = done.retries;
+  s.workers_crashed = done.workers_crashed;
+  if (done.due_rate != nullptr) s.due_rate = *done.due_rate;
+  if (done.energy != nullptr) s.energy = *done.energy;
+  std::uint64_t devices = done.devices_done;
+  for (const auto& [shard, p] : live_) {
+    devices += p.devices_done;
+    s.due_events += p.due_events;
+    s.ce_events += p.ce_events;
+    s.energy_mj_per_day_sum += p.energy_mj_per_day_sum;
+    s.due_rate.merge(p.due_rate);
+    s.energy.merge(p.energy);
+  }
+  // Monotone, clamped: a killed worker's lost partial progress or a
+  // racing final record must never move the published number backwards
+  // or past the fleet size.
+  monotone_devices_done_ = std::max(monotone_devices_done_, devices);
+  s.devices_done = std::min(monotone_devices_done_, cfg_.devices_total);
+
+  if (s.t_s > last_rate_t_s_ && s.devices_done >= last_rate_devices_) {
+    const double inst =
+        static_cast<double>(s.devices_done - last_rate_devices_) /
+        (s.t_s - last_rate_t_s_);
+    ewma_rate_ = ewma_rate_ == 0.0 ? inst : 0.4 * inst + 0.6 * ewma_rate_;
+  }
+  last_rate_t_s_ = s.t_s;
+  last_rate_devices_ = s.devices_done;
+  s.throughput_devices_per_s = ewma_rate_;
+  if (ewma_rate_ > 1e-9 && s.devices_total >= s.devices_done) {
+    s.eta_s = static_cast<double>(s.devices_total - s.devices_done) /
+              ewma_rate_;
+  }
+  s.final_snapshot = final_snapshot;
+
+  if (!cfg_.feed_path.empty()) {
+    // Telemetry must never kill a campaign, but an unwritable feed
+    // shouldn't fail silently either: warn once and keep going.
+    if (!append_file(cfg_.feed_path, snapshot_json(s) + "\n") &&
+        !feed_warned_) {
+      feed_warned_ = true;
+      std::fprintf(stderr,
+                   "warning: cannot append --telemetry-out feed '%s'\n",
+                   cfg_.feed_path.c_str());
+    }
+  }
+  if (cfg_.dashboard) {
+    const std::string panel = render_dashboard(s);
+    const int lines =
+        static_cast<int>(std::count(panel.begin(), panel.end(), '\n'));
+    if (::isatty(2) != 0) {
+      // In-place refresh: cursor up over the previous panel, clear each
+      // line as it is redrawn.
+      if (dashboard_lines_ > 0) {
+        std::fprintf(stderr, "\x1b[%dF", dashboard_lines_);
+      }
+      std::string cleared;
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t nl = panel.find('\n', start);
+        if (nl == std::string::npos) break;
+        cleared += "\x1b[K" + panel.substr(start, nl - start + 1);
+        start = nl + 1;
+      }
+      std::fputs(cleared.c_str(), stderr);
+      dashboard_lines_ = lines;
+    } else {
+      // Not a terminal: one compact status line per publish.
+      std::fprintf(stderr,
+                   "[fleet] %llu/%llu devices, %llu/%llu shards done%s\n",
+                   static_cast<unsigned long long>(s.devices_done),
+                   static_cast<unsigned long long>(s.devices_total),
+                   static_cast<unsigned long long>(s.shards_done),
+                   static_cast<unsigned long long>(s.shards_total),
+                   s.final_snapshot ? " (final)" : "");
+    }
+  }
+  last_snapshot_ = s;
+  last_publish_s_ = now_s;
+}
+
+}  // namespace mecc::sim::fleet

@@ -1,0 +1,179 @@
+// Live fleet telemetry hub (docs/OBSERVABILITY.md): workers append
+// progress/metric records to per-shard JSONL streams; the orchestrator
+// tails those streams incrementally, folds partial QuantileSketches and
+// coverage/throughput/ETA into a rolling FleetSnapshot, and serves it
+// as an in-terminal dashboard (--fleet-dashboard) plus a
+// machine-readable feed (--telemetry-out=FILE.jsonl, consumed by
+// scripts/mecc_top.py).
+//
+// Everything in this header is strictly host-side observability: the
+// progress streams and the feed live next to (never inside) the
+// checkpointed artifacts, so the aggregate JSONL and every --out file
+// stay byte-identical whether telemetry is on or off.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace mecc::sim::fleet {
+
+inline constexpr char kProgressSchema[] = "mecc-fleet-progress-v1";
+inline constexpr char kTelemetrySchema[] = "mecc-telemetry-v1";
+
+/// The progress stream of one shard: state_dir/progress_<shard>.jsonl.
+/// Append-only across attempts; each record is one append_file() call.
+[[nodiscard]] std::string progress_file(const std::string& state_dir,
+                                        std::uint64_t shard);
+
+/// One worker progress record: the shard's running partial aggregate.
+/// Workers emit one at heartbeat cadence plus a final `done` record.
+struct ShardProgress {
+  std::uint64_t shard = 0;
+  std::uint64_t attempt = 0;
+  std::uint64_t devices_total = 0;  // devices in this shard
+  std::uint64_t devices_done = 0;
+  bool done = false;
+  std::uint64_t due_events = 0;
+  std::uint64_t ce_events = 0;
+  double energy_mj_per_day_sum = 0.0;
+  QuantileSketch due_rate;  // partial per-device DUEs/year
+  QuantileSketch energy;    // partial per-device energy mJ/day
+};
+
+/// Single-line compact JSON for a progress record / its inverse.
+/// parse accepts exactly the serializer's output; a torn or foreign
+/// line returns false and the hub simply skips it.
+[[nodiscard]] std::string progress_record_json(const ShardProgress& p);
+[[nodiscard]] bool parse_progress_record(const std::string& line,
+                                         ShardProgress* out);
+
+/// Incremental JSONL tailer: remembers its byte offset and hands out
+/// only complete ('\n'-terminated) lines appended since the last poll.
+/// A trailing partial line is buffered until its terminator arrives, so
+/// a record raced mid-append is delivered whole on a later poll, never
+/// torn.
+class ProgressTailer {
+ public:
+  explicit ProgressTailer(std::string path) : path_(std::move(path)) {}
+
+  /// Complete new lines (without their '\n'), oldest first. Empty when
+  /// the file is missing or nothing complete arrived.
+  [[nodiscard]] std::vector<std::string> poll();
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;
+  std::string partial_;
+};
+
+/// One rolling view of the whole campaign.
+struct FleetSnapshot {
+  double t_s = 0.0;  // seconds since the hub's first publish
+  std::uint64_t devices_total = 0;
+  std::uint64_t devices_done = 0;  // completed shards + live partials
+  std::uint64_t shards_total = 0;
+  std::uint64_t shards_done = 0;
+  std::uint64_t shards_degraded = 0;
+  std::uint64_t shards_running = 0;
+  std::uint64_t shards_pending = 0;
+  double coverage = 0.0;  // shards_done / shards_total
+  double throughput_devices_per_s = 0.0;  // EWMA
+  double eta_s = -1.0;                    // < 0: unknown yet
+  std::uint64_t due_events = 0;
+  std::uint64_t ce_events = 0;
+  double energy_mj_per_day_sum = 0.0;
+  QuantileSketch due_rate;  // completed shards + live partials
+  QuantileSketch energy;
+  std::uint64_t retries = 0;
+  std::uint64_t workers_crashed = 0;
+  bool final_snapshot = false;
+};
+
+/// One mecc-telemetry-v1 feed line (compact JSON, no trailing newline).
+[[nodiscard]] std::string snapshot_json(const FleetSnapshot& s);
+
+/// Multi-line text panel for the in-terminal dashboard.
+[[nodiscard]] std::string render_dashboard(const FleetSnapshot& s);
+
+/// The orchestrator-side aggregation hub. The orchestrator owns shard
+/// lifecycle (done/degraded/pending accounting); the hub owns the
+/// stream tailers, the live partials, the EWMA throughput/ETA, the
+/// feed file and the dashboard rendering.
+class TelemetryHub {
+ public:
+  struct Config {
+    std::string state_dir;
+    std::string feed_path;  // "" = no machine-readable feed
+    bool dashboard = false;
+    double interval_s = 0.5;  // min seconds between publishes
+    std::uint64_t devices_total = 0;
+    std::uint64_t shards_total = 0;
+  };
+
+  /// Everything the orchestrator already knows from completed shards;
+  /// the hub adds the live partial streams on top.
+  struct CompletedAggregate {
+    std::uint64_t shards_done = 0;
+    std::uint64_t shards_degraded = 0;
+    std::uint64_t devices_done = 0;
+    std::uint64_t due_events = 0;
+    std::uint64_t ce_events = 0;
+    double energy_mj_per_day_sum = 0.0;
+    const QuantileSketch* due_rate = nullptr;  // may be null (empty)
+    const QuantileSketch* energy = nullptr;
+    std::uint64_t retries = 0;
+    std::uint64_t workers_crashed = 0;
+  };
+
+  explicit TelemetryHub(Config cfg) : cfg_(std::move(cfg)) {}
+
+  [[nodiscard]] bool enabled() const {
+    return cfg_.dashboard || !cfg_.feed_path.empty();
+  }
+  /// True once interval_s elapsed since the last publish.
+  [[nodiscard]] bool due(double now_s) const {
+    return enabled() && now_s - last_publish_s_ >= cfg_.interval_s;
+  }
+
+  /// Tails the shard's progress stream and ingests any new records.
+  void poll_shard(std::uint64_t shard);
+
+  /// Drops the shard's live partial (its contribution now comes from
+  /// the orchestrator's completed/failed accounting). The tailer stays,
+  /// so a retried shard's new records are picked up from where the
+  /// stream left off.
+  void retire_shard(std::uint64_t shard);
+
+  /// Builds a snapshot from `done` + the live partials, appends it to
+  /// the feed, and redraws the dashboard. The published devices_done is
+  /// clamped monotone (a lost worker's partial progress never makes the
+  /// number go backwards) and never exceeds devices_total.
+  void publish(double now_s, const CompletedAggregate& done,
+               std::uint64_t shards_running, std::uint64_t shards_pending,
+               bool final_snapshot);
+
+  /// The snapshot assembled by the last publish (tests/inspection).
+  [[nodiscard]] const FleetSnapshot& last_snapshot() const {
+    return last_snapshot_;
+  }
+
+ private:
+  Config cfg_;
+  std::map<std::uint64_t, ProgressTailer> tailers_;
+  std::map<std::uint64_t, ShardProgress> live_;
+  FleetSnapshot last_snapshot_;
+  double start_s_ = -1.0;
+  double last_publish_s_ = -1e300;
+  double last_rate_t_s_ = 0.0;
+  std::uint64_t last_rate_devices_ = 0;
+  std::uint64_t monotone_devices_done_ = 0;
+  double ewma_rate_ = 0.0;
+  int dashboard_lines_ = 0;
+  bool feed_warned_ = false;  // one warning per hub for a dead feed path
+};
+
+}  // namespace mecc::sim::fleet

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 namespace mecc {
 namespace {
 
@@ -215,6 +220,98 @@ TEST(QuantileSketch, RestoreRoundTripsExactly) {
   restored.restore(s.buckets(), s.count(), s.sum(), s.min(), s.max());
   EXPECT_EQ(s, restored);
   EXPECT_DOUBLE_EQ(s.quantile(0.99), restored.quantile(0.99));
+}
+
+// ---- streaming-merge properties (telemetry hub, docs/OBSERVABILITY.md)
+//
+// The live fleet dashboard folds partial per-shard sketches into a
+// rolling population snapshot in *arrival* order, which changes from
+// poll to poll; the aggregate must not depend on it.
+
+namespace {
+
+/// Deterministic spread of positive samples for shard `k`.
+[[nodiscard]] QuantileSketch shard_sketch(int k, int samples) {
+  QuantileSketch s;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(k + 1);
+  for (int i = 0; i < samples; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const double v =
+        static_cast<double>(x % 100'000) / 997.0 + 1e-3 * (k + 1);
+    s.record(v);
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(QuantileSketch, IncrementalMergeMatchesOneShot) {
+  // 8 shard sketches of uneven sizes, folded one at a time (the
+  // streaming path) vs all at once into a fresh sketch.
+  std::vector<QuantileSketch> shards;
+  QuantileSketch one_shot;
+  for (int k = 0; k < 8; ++k) {
+    shards.push_back(shard_sketch(k, 50 + 37 * k));
+    one_shot.merge(shards.back());
+  }
+  QuantileSketch incremental;
+  for (const auto& s : shards) incremental.merge(s);
+  EXPECT_EQ(incremental, one_shot);
+  EXPECT_DOUBLE_EQ(incremental.quantile(0.5), one_shot.quantile(0.5));
+  EXPECT_DOUBLE_EQ(incremental.quantile(0.999), one_shot.quantile(0.999));
+}
+
+TEST(QuantileSketch, MergeIsAssociativeAndOrderIndependent) {
+  // Buckets, count, min, and max are exactly order-independent (integer
+  // counts in a sorted map, min/max folds). `sum` is a floating-point
+  // accumulation, so reordering may move it by an ulp — byte-identity of
+  // fleet aggregates comes from merging in shard-id order, not from
+  // sum being associative. Assert exactly what the sketch guarantees.
+  std::vector<QuantileSketch> shards;
+  for (int k = 0; k < 6; ++k) shards.push_back(shard_sketch(k, 64 + 11 * k));
+  // Left fold in index order.
+  QuantileSketch left;
+  for (const auto& s : shards) left.merge(s);
+  // Reverse order.
+  QuantileSketch rev;
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) rev.merge(*it);
+  // Pairwise tree: (0+1) + (2+3) + (4+5).
+  QuantileSketch tree;
+  for (int k = 0; k < 6; k += 2) {
+    QuantileSketch pair = shards[static_cast<std::size_t>(k)];
+    pair.merge(shards[static_cast<std::size_t>(k + 1)]);
+    tree.merge(pair);
+  }
+  for (const QuantileSketch* other : {&rev, &tree}) {
+    EXPECT_EQ(left.buckets(), other->buckets());
+    EXPECT_EQ(left.count(), other->count());
+    EXPECT_EQ(left.min(), other->min());
+    EXPECT_EQ(left.max(), other->max());
+    EXPECT_NEAR(left.sum(), other->sum(), 16 * std::abs(left.sum()) *
+                                              std::numeric_limits<double>::epsilon());
+    EXPECT_DOUBLE_EQ(left.quantile(0.5), other->quantile(0.5));
+    EXPECT_DOUBLE_EQ(left.quantile(0.99), other->quantile(0.99));
+  }
+}
+
+TEST(QuantileSketch, RestoreThenMergeMatchesDirectMerge) {
+  // The telemetry hub merges sketches that round-tripped through the
+  // progress-record JSON (buckets + moments): restoring before merging
+  // must land on the same aggregate as merging the originals.
+  const QuantileSketch a = shard_sketch(1, 123);
+  const QuantileSketch b = shard_sketch(2, 321);
+  QuantileSketch direct = a;
+  direct.merge(b);
+  QuantileSketch ra;
+  ra.restore(a.buckets(), a.count(), a.sum(), a.min(), a.max());
+  QuantileSketch rb;
+  rb.restore(b.buckets(), b.count(), b.sum(), b.min(), b.max());
+  QuantileSketch via_restore = ra;
+  via_restore.merge(rb);
+  EXPECT_EQ(direct, via_restore);
+  EXPECT_DOUBLE_EQ(direct.quantile(0.99), via_restore.quantile(0.99));
 }
 
 }  // namespace

@@ -133,6 +133,29 @@ TEST(FleetSelftest, SpecParsing) {
   EXPECT_FALSE(parse_selftest("explode@1", &spec, &error));
 }
 
+TEST(FleetHeartbeat, TornOrMissingReadsNeverRegisterProgress) {
+  // Workers truncate-write their heartbeat, so the watchdog can race a
+  // mid-rewrite and read "" (or fail the read entirely). Neither is
+  // evidence of progress, and neither may update the stored value:
+  // if "" were stored, the next read of the *same stale* heartbeat
+  // would look like an advance and a genuinely hung worker would
+  // dodge the watchdog forever.
+  std::string last;
+  EXPECT_FALSE(heartbeat_advanced(/*read_ok=*/false, "", &last));
+  EXPECT_TRUE(last.empty());
+  EXPECT_FALSE(heartbeat_advanced(/*read_ok=*/true, "", &last));
+  EXPECT_TRUE(last.empty());
+
+  EXPECT_TRUE(heartbeat_advanced(true, "100", &last));
+  EXPECT_FALSE(heartbeat_advanced(true, "100", &last));  // unchanged: hung
+  EXPECT_FALSE(heartbeat_advanced(true, "", &last));     // torn read
+  // The same stale value after the torn read is still not an advance.
+  EXPECT_FALSE(heartbeat_advanced(true, "100", &last));
+  EXPECT_EQ(last, "100");
+  EXPECT_TRUE(heartbeat_advanced(true, "200", &last));
+  EXPECT_EQ(last, "200");
+}
+
 TEST(FleetOrchestrator, HappyPathCompletesEveryShard) {
   const std::string dir = fresh_state_dir();
   Orchestrator orch(small_config(dir));

@@ -1,0 +1,229 @@
+// Live telemetry hub suite (docs/OBSERVABILITY.md): progress-record
+// round-trip, torn/foreign-line rejection, the complete-lines-only
+// tailer, and the hub's merge/clamp/retire semantics — all host-side,
+// driven through real files in a per-test temp dir.
+#include "sim/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/fsio.h"
+#include "common/stats.h"
+
+namespace mecc::sim::fleet {
+namespace {
+
+/// Fresh per-test directory under the gtest tmpdir.
+[[nodiscard]] std::string fresh_dir() {
+  std::string templ = ::testing::TempDir() + "telemXXXXXX";
+  const char* dir = ::mkdtemp(templ.data());
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+[[nodiscard]] ShardProgress sample_progress() {
+  ShardProgress p;
+  p.shard = 3;
+  p.attempt = 2;
+  p.devices_total = 50;
+  p.devices_done = 17;
+  p.done = false;
+  p.due_events = 4;
+  p.ce_events = 91;
+  p.energy_mj_per_day_sum = 123.4375;
+  for (int i = 1; i <= 16; ++i) {
+    p.due_rate.record(0.25 * i);
+    p.energy.record(30.0 + i);
+  }
+  return p;
+}
+
+TEST(ProgressRecord, RoundTripsExactly) {
+  const ShardProgress p = sample_progress();
+  ShardProgress q;
+  ASSERT_TRUE(parse_progress_record(progress_record_json(p), &q));
+  EXPECT_EQ(q.shard, p.shard);
+  EXPECT_EQ(q.attempt, p.attempt);
+  EXPECT_EQ(q.devices_total, p.devices_total);
+  EXPECT_EQ(q.devices_done, p.devices_done);
+  EXPECT_EQ(q.done, p.done);
+  EXPECT_EQ(q.due_events, p.due_events);
+  EXPECT_EQ(q.ce_events, p.ce_events);
+  // Bit-exact: the serializer carries doubles as bit patterns.
+  EXPECT_EQ(q.energy_mj_per_day_sum, p.energy_mj_per_day_sum);
+  EXPECT_EQ(q.due_rate, p.due_rate);
+  EXPECT_EQ(q.energy, p.energy);
+}
+
+TEST(ProgressRecord, FinalDoneRecordRoundTrips) {
+  ShardProgress p = sample_progress();
+  p.done = true;
+  p.devices_done = p.devices_total;
+  ShardProgress q;
+  ASSERT_TRUE(parse_progress_record(progress_record_json(p), &q));
+  EXPECT_TRUE(q.done);
+  EXPECT_EQ(q.devices_done, q.devices_total);
+}
+
+TEST(ProgressRecord, RejectsTornAndForeignLines) {
+  const std::string line = progress_record_json(sample_progress());
+  ShardProgress q;
+  // Every proper prefix is a torn append: all must be rejected.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, line.size() / 4,
+                          line.size() / 2, line.size() - 1}) {
+    EXPECT_FALSE(parse_progress_record(line.substr(0, cut), &q))
+        << "accepted a torn record cut at byte " << cut;
+  }
+  EXPECT_FALSE(parse_progress_record("{\"schema\":\"other-v1\"}", &q));
+  EXPECT_FALSE(parse_progress_record("not json at all", &q));
+}
+
+TEST(ProgressTailer, DeliversOnlyCompleteLines) {
+  const std::string dir = fresh_dir();
+  const std::string path = dir + "/stream.jsonl";
+  ProgressTailer tailer(path);
+
+  // Missing file: quietly nothing (the worker has not started yet).
+  EXPECT_TRUE(tailer.poll().empty());
+
+  // A record raced mid-append stays buffered until its '\n' arrives.
+  ASSERT_TRUE(append_file(path, "{\"half\":"));
+  EXPECT_TRUE(tailer.poll().empty());
+  ASSERT_TRUE(append_file(path, "1}\n{\"tail\":"));
+  std::vector<std::string> lines = tailer.poll();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"half\":1}");
+
+  // Completing the second record delivers it whole, never torn.
+  ASSERT_TRUE(append_file(path, "2}\n"));
+  lines = tailer.poll();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"tail\":2}");
+  EXPECT_TRUE(tailer.poll().empty());
+}
+
+TEST(TelemetryHub, MergesLivePartialsAndClampsMonotone) {
+  const std::string dir = fresh_dir();
+  TelemetryHub::Config cfg;
+  cfg.state_dir = dir;
+  cfg.feed_path = dir + "/feed.jsonl";
+  cfg.interval_s = 0.0;
+  cfg.devices_total = 100;
+  cfg.shards_total = 2;
+  TelemetryHub hub(cfg);
+  ASSERT_TRUE(hub.enabled());
+
+  // A live shard's partial progress counts toward devices_done and its
+  // partial sketches fold into the snapshot distribution.
+  ShardProgress p = sample_progress();
+  p.shard = 0;
+  p.devices_done = 30;
+  ASSERT_TRUE(append_file(progress_file(dir, 0),
+                          progress_record_json(p) + "\n"));
+  hub.poll_shard(0);
+  TelemetryHub::CompletedAggregate done;
+  hub.publish(1.0, done, /*shards_running=*/1, /*shards_pending=*/1,
+              /*final_snapshot=*/false);
+  EXPECT_EQ(hub.last_snapshot().devices_done, 30u);
+  EXPECT_EQ(hub.last_snapshot().due_events, p.due_events);
+  EXPECT_EQ(hub.last_snapshot().due_rate.count(), p.due_rate.count());
+
+  // Retiring the shard (worker lost, its contribution now comes from
+  // the orchestrator) must not make devices_done step backwards.
+  hub.retire_shard(0);
+  hub.publish(2.0, done, 0, 2, false);
+  EXPECT_EQ(hub.last_snapshot().devices_done, 30u);
+
+  // The tailer survives retirement: the retried shard's new records
+  // are picked up from where its stream left off.
+  p.attempt = 3;
+  p.devices_done = 40;
+  ASSERT_TRUE(append_file(progress_file(dir, 0),
+                          progress_record_json(p) + "\n"));
+  hub.poll_shard(0);
+  hub.publish(3.0, done, 1, 1, false);
+  EXPECT_EQ(hub.last_snapshot().devices_done, 40u);
+
+  // Completed-shard accounting merges with the remaining live partial,
+  // and the published total never exceeds devices_total.
+  done.shards_done = 1;
+  done.devices_done = 75;
+  hub.publish(4.0, done, 1, 0, false);
+  EXPECT_EQ(hub.last_snapshot().devices_done, 100u);
+  EXPECT_EQ(hub.last_snapshot().shards_done, 1u);
+
+  hub.publish(5.0, done, 0, 0, /*final_snapshot=*/true);
+  EXPECT_TRUE(hub.last_snapshot().final_snapshot);
+
+  // Every publish appended one mecc-telemetry-v1 feed line; the last
+  // one carries the closing final flag.
+  std::string feed;
+  ASSERT_TRUE(read_file(cfg.feed_path, &feed));
+  std::size_t lines = 0;
+  for (char c : feed) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 5u);
+  EXPECT_NE(feed.find(std::string("\"schema\":\"") + kTelemetrySchema + "\""),
+            std::string::npos);
+  EXPECT_NE(feed.find("\"final\":true"), std::string::npos);
+}
+
+TEST(TelemetryHub, StaleAttemptRecordsNeverRegressLivePartial) {
+  const std::string dir = fresh_dir();
+  TelemetryHub::Config cfg;
+  cfg.state_dir = dir;
+  cfg.feed_path = dir + "/feed.jsonl";
+  cfg.interval_s = 0.0;
+  cfg.devices_total = 100;
+  cfg.shards_total = 2;
+  TelemetryHub hub(cfg);
+
+  // Attempt 2 reports 20 devices; a late-flushed record from the killed
+  // attempt 1 claiming 35 must not win (it describes replaced work).
+  ShardProgress fresh = sample_progress();
+  fresh.shard = 0;
+  fresh.attempt = 2;
+  fresh.devices_done = 20;
+  ShardProgress stale = fresh;
+  stale.attempt = 1;
+  stale.devices_done = 35;
+  ASSERT_TRUE(append_file(progress_file(dir, 0),
+                          progress_record_json(fresh) + "\n" +
+                              progress_record_json(stale) + "\n"));
+  hub.poll_shard(0);
+  hub.publish(1.0, TelemetryHub::CompletedAggregate{}, 1, 1, false);
+  EXPECT_EQ(hub.last_snapshot().devices_done, 20u);
+}
+
+TEST(TelemetryHub, DisabledHubPublishesNothing) {
+  TelemetryHub::Config cfg;
+  cfg.state_dir = fresh_dir();
+  TelemetryHub hub(cfg);  // no feed, no dashboard
+  EXPECT_FALSE(hub.enabled());
+  EXPECT_FALSE(hub.due(1e9));
+}
+
+TEST(SnapshotJson, CarriesTheFullRequiredKeySet) {
+  // scripts/mecc_top.py --validate requires exactly these keys on every
+  // line; keep the serializer and the validator in lockstep.
+  FleetSnapshot s;
+  s.devices_total = 10;
+  const std::string doc = snapshot_json(s);
+  for (const char* key :
+       {"schema", "t_s", "devices_total", "devices_done", "shards_total",
+        "shards_done", "shards_degraded", "shards_running", "shards_pending",
+        "coverage", "throughput_devices_per_s", "eta_s", "due_events",
+        "ce_events", "energy_mj_per_day_sum", "sample_count",
+        "due_per_year_p50", "due_per_year_p99", "due_per_year_p999",
+        "energy_mj_per_day_p50", "energy_mj_per_day_p99", "retries",
+        "workers_crashed", "final"}) {
+    EXPECT_NE(doc.find(std::string("\"") + key + "\":"), std::string::npos)
+        << "snapshot_json dropped required key '" << key << "'";
+  }
+}
+
+}  // namespace
+}  // namespace mecc::sim::fleet
